@@ -1,0 +1,94 @@
+//! Criterion benches for the end-to-end similarity operators — one per
+//! operator family of the paper (Similar in its three strategies, SimJoin,
+//! TopN numeric and string).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqo_core::{EngineBuilder, JoinOptions, Rank, SimilarityEngine, Strategy};
+use sqo_datasets::{bible_words, string_rows};
+use sqo_storage::triple::{Row, Value};
+
+fn word_engine(n: usize, peers: usize) -> (SimilarityEngine, Vec<String>) {
+    let words = bible_words(n, 23);
+    let rows = string_rows("word", &words, "w");
+    let engine = EngineBuilder::new().peers(peers).q(2).seed(23).build_with_rows(&rows);
+    (engine, words)
+}
+
+fn bench_similar(c: &mut Criterion) {
+    let (mut engine, words) = word_engine(3_000, 512);
+    let mut g = c.benchmark_group("similar_d1");
+    g.sample_size(20);
+    for strategy in [Strategy::QSamples, Strategy::QGrams, Strategy::Naive] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(strategy.label()),
+            &strategy,
+            |b, &strategy| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    i = (i + 37) % words.len();
+                    let from = engine.random_peer();
+                    engine.similar(&words[i], Some("word"), 1, from, strategy)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_sim_join(c: &mut Criterion) {
+    let (mut engine, _words) = word_engine(2_000, 256);
+    let mut g = c.benchmark_group("sim_join");
+    g.sample_size(10);
+    g.bench_function("self_join_left20_d1", |b| {
+        let opts = JoinOptions { strategy: Strategy::QGrams, left_limit: Some(20) };
+        b.iter(|| {
+            let from = engine.random_peer();
+            engine.sim_join("word", Some("word"), 1, from, &opts)
+        })
+    });
+    g.finish();
+}
+
+fn bench_top_n(c: &mut Criterion) {
+    // Numeric top-N over a car-like relation.
+    let rows: Vec<Row> = (0..5_000)
+        .map(|i| {
+            Row::new(
+                format!("car:{i}"),
+                [
+                    ("hp".to_string(), Value::from((50 + (i * 13) % 500) as i64)),
+                    ("price".to_string(), Value::from((5_000 + (i * 1_117) % 90_000) as i64)),
+                ],
+            )
+        })
+        .collect();
+    let mut engine = EngineBuilder::new().peers(512).seed(29).build_with_rows(&rows);
+    let mut g = c.benchmark_group("top_n");
+    g.sample_size(20);
+    g.bench_function("numeric_max_10", |b| {
+        b.iter(|| {
+            let from = engine.random_peer();
+            engine.top_n_numeric("hp", 10, Rank::Max, from)
+        })
+    });
+    g.bench_function("numeric_nn_10", |b| {
+        b.iter(|| {
+            let from = engine.random_peer();
+            engine.top_n_numeric("price", 10, Rank::Nn(Value::Int(40_000)), from)
+        })
+    });
+
+    let (mut wengine, words) = word_engine(3_000, 256);
+    g.bench_function("string_nn_5_dmax3", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 41) % words.len();
+            let from = wengine.random_peer();
+            wengine.top_n_similar(Some("word"), 5, &words[i], 3, from, Strategy::QGrams)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_similar, bench_sim_join, bench_top_n);
+criterion_main!(benches);

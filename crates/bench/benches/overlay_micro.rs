@@ -1,0 +1,67 @@
+//! Criterion micro-benches for the overlay substrate: key hashing, trie
+//! lookup, routing, retrieval and range queries on a mid-sized network.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sqo_core::EngineBuilder;
+use sqo_datasets::{bible_words, string_rows};
+use sqo_overlay::hash::{hash_i64, hash_str};
+use sqo_storage::keys;
+use sqo_storage::triple::Value;
+
+fn bench_hashing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hashing");
+    g.bench_function("hash_str_word", |b| b.iter(|| hash_str(black_box("similarity"))));
+    g.bench_function("hash_i64", |b| b.iter(|| hash_i64(black_box(-123456789))));
+    g.bench_function("attr_value_key", |b| {
+        b.iter(|| keys::attr_value_key(black_box("price"), black_box(&Value::Int(50_000))))
+    });
+    g.finish();
+}
+
+fn bench_network_ops(c: &mut Criterion) {
+    let words = bible_words(5_000, 3);
+    let rows = string_rows("word", &words, "w");
+    let mut engine = EngineBuilder::new().peers(1024).seed(17).build_with_rows(&rows);
+
+    let mut g = c.benchmark_group("network");
+    g.bench_function("route_1024_peers", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % words.len();
+            let from = engine.random_peer();
+            let key = keys::oid_key(&format!("w:{i}"));
+            engine.network_mut().route(from, &key).unwrap()
+        })
+    });
+    g.bench_function("retrieve_exact", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % words.len();
+            let from = engine.random_peer();
+            let key = keys::attr_value_key("word", &Value::from(words[i].clone()));
+            engine.network_mut().retrieve(from, &key).unwrap()
+        })
+    });
+    g.bench_function("range_query_narrow", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 7) % (words.len() - 1);
+            let (lo, hi) = if words[i] <= words[i + 1] {
+                (&words[i], &words[i + 1])
+            } else {
+                (&words[i + 1], &words[i])
+            };
+            let (klo, khi) = keys::attr_value_range(
+                "word",
+                &Value::from(lo.clone()),
+                &Value::from(hi.clone()),
+            );
+            let from = engine.random_peer();
+            engine.network_mut().range_query(from, &klo, &khi).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_hashing, bench_network_ops);
+criterion_main!(benches);

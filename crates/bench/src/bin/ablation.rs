@@ -1,0 +1,10 @@
+//! A1–A4 design-choice ablations (q length, filters, delegation, recall).
+//!
+//! `cargo run -p sqo-bench --release --bin ablation`
+
+use sqo_bench::ablation::{render, run_ablations};
+
+fn main() {
+    let points = run_ablations(42);
+    println!("{}", render(&points));
+}

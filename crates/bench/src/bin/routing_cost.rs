@@ -1,0 +1,10 @@
+//! E5: measure routing hops vs the §2 claim of 0.5·log₂N expected cost.
+//!
+//! `cargo run -p sqo-bench --release --bin routing_cost`
+
+use sqo_bench::routing::{render, run_routing_cost};
+
+fn main() {
+    let points = run_routing_cost(&[128, 512, 2048, 8192, 32_768], 20_000, 2_000, 42);
+    println!("{}", render(&points));
+}

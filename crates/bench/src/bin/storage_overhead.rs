@@ -1,0 +1,12 @@
+//! E6: storage-overhead accounting vs the §8 linearity claim.
+//!
+//! `cargo run -p sqo-bench --release --bin storage_overhead`
+
+use sqo_bench::storage_overhead::{render, render_publish, run_publish_cost, run_storage_overhead};
+
+fn main() {
+    let points = run_storage_overhead(10, 500, 3, 42);
+    println!("{}", render(&points));
+    let publish = run_publish_cost(10, 20, 1024, 42);
+    println!("{}", render_publish(&publish));
+}

@@ -1,0 +1,18 @@
+//! # sqo-bench — the paper's evaluation, regenerated
+//!
+//! Library half of the benchmark harness. The binaries (`figure1`,
+//! `routing_cost`, `storage_overhead`, `ablation`) are thin CLI wrappers
+//! around the functions here, which are themselves under test.
+//!
+//! The §6 evaluation has a single figure with four panels — messages and
+//! data volume over network size, for the bible-words and painting-titles
+//! datasets — plus analytic claims in §2 (routing cost ≈ 0.5·log₂N) and §8
+//! (storage overhead linear in the attribute count). Every one of those is
+//! reproduced here; see DESIGN.md §4 for the experiment index.
+
+pub mod ablation;
+pub mod figure1;
+pub mod routing;
+pub mod storage_overhead;
+
+pub use figure1::{run_figure1, Dataset, Figure1Config, SeriesPoint};

@@ -1,0 +1,347 @@
+//! Multi-attribute similarity queries.
+//!
+//! §4: *"Queries on multiple attributes can be handled, for instance, by
+//! processing separate sub-queries and intersecting the results, or by
+//! pre-processing locally materialized intermediate results. Which of these
+//! two approaches, or any other, more sophisticated, strategy, is used is a
+//! choice depending on cost optimizations, which is part of our ongoing
+//! work."*
+//!
+//! Both strategies are implemented:
+//!
+//! * [`MultiStrategy::Intersect`] — one distributed `Similar` per
+//!   predicate, intersect the oid sets at the initiator. Cost: the sum of
+//!   all sub-queries.
+//! * [`MultiStrategy::Pipelined`] — run only the (heuristically) most
+//!   selective predicate over the network; the fetched objects already
+//!   carry *all* their attributes (vertical storage reassembles whole
+//!   tuples), so the remaining predicates verify locally, free of
+//!   messages.
+//!
+//! The metamorphic test pins the optimization contract: identical results,
+//! pipelined never costs more messages. (VQL's executor follows the
+//! pipelined shape: one access path per subject, residual predicates
+//! verified on bindings.)
+
+use crate::engine::SimilarityEngine;
+use crate::similar::Strategy;
+use crate::stats::QueryStats;
+use rustc_hash::FxHashMap;
+use sqo_overlay::peer::PeerId;
+use sqo_storage::posting::Object;
+use sqo_strsim::edit::levenshtein_bounded;
+
+/// One per-attribute similarity predicate: `dist(attr, query) <= d`.
+#[derive(Debug, Clone)]
+pub struct AttrPredicate {
+    pub attr: String,
+    pub query: String,
+    pub d: usize,
+}
+
+impl AttrPredicate {
+    pub fn new(attr: impl Into<String>, query: impl Into<String>, d: usize) -> Self {
+        Self { attr: attr.into(), query: query.into(), d }
+    }
+}
+
+/// Evaluation strategy for the conjunction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MultiStrategy {
+    /// Separate sub-queries, intersected at the initiator.
+    Intersect,
+    /// Most selective sub-query over the network, rest verified locally on
+    /// the materialized objects.
+    Pipelined,
+}
+
+/// An object satisfying every predicate, with the matched value and
+/// distance per attribute.
+#[derive(Debug, Clone)]
+pub struct MultiMatch {
+    pub oid: String,
+    pub object: Object,
+    /// `(attr, matched value, distance)` per predicate, in predicate order.
+    pub bindings: Vec<(String, String, usize)>,
+}
+
+/// Result of a multi-attribute similarity query.
+#[derive(Debug, Clone)]
+pub struct MultiResult {
+    pub matches: Vec<MultiMatch>,
+    pub stats: QueryStats,
+}
+
+impl SimilarityEngine {
+    /// Conjunctive multi-attribute similarity selection — see module docs.
+    ///
+    /// # Panics
+    /// Panics if `preds` is empty.
+    pub fn similar_multi(
+        &mut self,
+        preds: &[AttrPredicate],
+        from: PeerId,
+        strategy: Strategy,
+        multi: MultiStrategy,
+    ) -> MultiResult {
+        assert!(!preds.is_empty(), "need at least one predicate");
+        match multi {
+            MultiStrategy::Intersect => self.multi_intersect(preds, from, strategy),
+            MultiStrategy::Pipelined => self.multi_pipelined(preds, from, strategy),
+        }
+    }
+
+    fn multi_intersect(
+        &mut self,
+        preds: &[AttrPredicate],
+        from: PeerId,
+        strategy: Strategy,
+    ) -> MultiResult {
+        let mut stats = QueryStats::default();
+        // oid → (object, bindings found so far); an oid must appear in every
+        // sub-query's result to survive.
+        type Alive = FxHashMap<String, (Object, Vec<(String, String, usize)>)>;
+        let mut alive: Option<Alive> = None;
+        for p in preds {
+            let res = self.similar(&p.query, Some(&p.attr), p.d, from, strategy);
+            stats.absorb(&res.stats);
+            let mut this: Alive = FxHashMap::default();
+            for m in res.matches {
+                this.entry(m.oid.clone())
+                    .or_insert_with(|| (m.object.clone(), Vec::new()))
+                    .1
+                    .push((p.attr.clone(), m.matched, m.distance));
+            }
+            alive = Some(match alive {
+                None => this,
+                Some(prev) => {
+                    let mut next = FxHashMap::default();
+                    for (oid, (obj, mut bindings)) in prev {
+                        if let Some((_, found)) = this.remove(&oid) {
+                            bindings.extend(found);
+                            next.insert(oid, (obj, bindings));
+                        }
+                    }
+                    next
+                }
+            });
+            if alive.as_ref().is_some_and(FxHashMap::is_empty) {
+                break; // early out: conjunction already empty
+            }
+        }
+        let mut matches: Vec<MultiMatch> = alive
+            .unwrap_or_default()
+            .into_iter()
+            .map(|(oid, (object, bindings))| MultiMatch { oid, object, bindings })
+            .collect();
+        matches.sort_by(|a, b| a.oid.cmp(&b.oid));
+        stats.matches = matches.len();
+        MultiResult { matches, stats }
+    }
+
+    fn multi_pipelined(
+        &mut self,
+        preds: &[AttrPredicate],
+        from: PeerId,
+        strategy: Strategy,
+    ) -> MultiResult {
+        // Selectivity heuristic: longer query strings and smaller distances
+        // produce fewer candidates (more grams to match, tighter filters).
+        let lead_idx = (0..preds.len())
+            .max_by_key(|&i| {
+                let p = &preds[i];
+                (p.query.chars().count() as i64) - 3 * (p.d as i64)
+            })
+            .expect("non-empty");
+        let lead = &preds[lead_idx];
+
+        let res = self.similar(&lead.query, Some(&lead.attr), lead.d, from, strategy);
+        let mut stats = res.stats;
+
+        let mut matches: Vec<MultiMatch> = Vec::new();
+        let mut seen = rustc_hash::FxHashSet::default();
+        for m in res.matches {
+            if !seen.insert(m.oid.clone()) {
+                continue; // multivalued lead attr: verify each object once
+            }
+            // The object is fully materialized: verify the remaining
+            // predicates locally.
+            let mut bindings: Vec<(String, String, usize)> = Vec::new();
+            let mut ok = true;
+            for (i, p) in preds.iter().enumerate() {
+                if i == lead_idx {
+                    bindings.push((p.attr.clone(), m.matched.clone(), m.distance));
+                    continue;
+                }
+                let mut found: Option<(String, usize)> = None;
+                for (attr, value) in &m.object.fields {
+                    if attr.as_str() != p.attr {
+                        continue;
+                    }
+                    let Some(text) = value.as_str() else { continue };
+                    self.count_comparison();
+                    if let Some(dist) = levenshtein_bounded(&p.query, text, p.d) {
+                        if found.as_ref().is_none_or(|(_, best)| dist < *best) {
+                            found = Some((text.to_string(), dist));
+                        }
+                    }
+                }
+                match found {
+                    Some((text, dist)) => bindings.push((p.attr.clone(), text, dist)),
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                matches.push(MultiMatch { oid: m.oid, object: m.object, bindings });
+            }
+        }
+        matches.sort_by(|a, b| a.oid.cmp(&b.oid));
+        stats.matches = matches.len();
+        stats.edit_comparisons = self.edit_comparisons;
+        MultiResult { matches, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineBuilder;
+    use sqo_storage::triple::{Row, Value};
+
+    fn contact_rows() -> Vec<Row> {
+        vec![
+            Row::new(
+                "p:1",
+                [("first", Value::from("johann")), ("last", Value::from("mueller"))],
+            ),
+            Row::new(
+                "p:2",
+                [("first", Value::from("johann")), ("last", Value::from("mueler"))], // typos
+            ),
+            Row::new(
+                "p:3",
+                [("first", Value::from("johann")), ("last", Value::from("schmidt"))],
+            ),
+            Row::new(
+                "p:4",
+                [("first", Value::from("petra")), ("last", Value::from("mueller"))],
+            ),
+        ]
+    }
+
+    fn preds() -> Vec<AttrPredicate> {
+        vec![
+            AttrPredicate::new("first", "johann", 1),
+            AttrPredicate::new("last", "mueller", 1),
+        ]
+    }
+
+    #[test]
+    fn both_strategies_agree() {
+        let mut e = EngineBuilder::new().peers(32).q(2).seed(70).build_with_rows(&contact_rows());
+        let from = e.random_peer();
+        let a = e.similar_multi(&preds(), from, Strategy::QGrams, MultiStrategy::Intersect);
+        let b = e.similar_multi(&preds(), from, Strategy::QGrams, MultiStrategy::Pipelined);
+        let oids = |r: &MultiResult| -> Vec<String> {
+            r.matches.iter().map(|m| m.oid.clone()).collect()
+        };
+        assert_eq!(oids(&a), vec!["p:1", "p:2"]);
+        assert_eq!(oids(&a), oids(&b));
+        // Both carry per-attribute bindings.
+        for r in [&a, &b] {
+            let m1 = &r.matches[0];
+            assert_eq!(m1.bindings.len(), 2);
+            assert!(m1.bindings.iter().any(|(a, v, d)| a == "first" && v == "johann" && *d == 0));
+        }
+    }
+
+    #[test]
+    fn pipelined_never_costs_more() {
+        let mut e = EngineBuilder::new().peers(64).q(2).seed(71).build_with_rows(&contact_rows());
+        let from = e.random_peer();
+        let a = e.similar_multi(&preds(), from, Strategy::QGrams, MultiStrategy::Intersect);
+        let b = e.similar_multi(&preds(), from, Strategy::QGrams, MultiStrategy::Pipelined);
+        assert!(
+            b.stats.traffic.messages <= a.stats.traffic.messages,
+            "pipelined {} vs intersect {}",
+            b.stats.traffic.messages,
+            a.stats.traffic.messages
+        );
+        assert!(b.stats.traffic.messages > 0);
+    }
+
+    #[test]
+    fn empty_conjunction_early_out() {
+        let mut e = EngineBuilder::new().peers(32).q(2).seed(72).build_with_rows(&contact_rows());
+        let from = e.random_peer();
+        let preds = vec![
+            AttrPredicate::new("first", "zzzzzz", 1), // matches nothing
+            AttrPredicate::new("last", "mueller", 1),
+        ];
+        let a = e.similar_multi(&preds, from, Strategy::QGrams, MultiStrategy::Intersect);
+        assert!(a.matches.is_empty());
+        let b = e.similar_multi(&preds, from, Strategy::QGrams, MultiStrategy::Pipelined);
+        assert!(b.matches.is_empty());
+    }
+
+    #[test]
+    fn single_predicate_degenerates_to_similar() {
+        let mut e = EngineBuilder::new().peers(16).q(2).seed(73).build_with_rows(&contact_rows());
+        let from = e.random_peer();
+        let preds = vec![AttrPredicate::new("last", "mueller", 1)];
+        let multi = e.similar_multi(&preds, from, Strategy::QGrams, MultiStrategy::Pipelined);
+        let plain = e.similar("mueller", Some("last"), 1, from, Strategy::QGrams);
+        let mut a: Vec<&String> = multi.matches.iter().map(|m| &m.oid).collect();
+        let mut b: Vec<&String> = plain.matches.iter().map(|m| &m.oid).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        b.dedup();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn three_way_conjunction() {
+        let rows = vec![
+            Row::new(
+                "x:1",
+                [
+                    ("a", Value::from("alpha")),
+                    ("b", Value::from("bravo")),
+                    ("c", Value::from("charlie")),
+                ],
+            ),
+            Row::new(
+                "x:2",
+                [
+                    ("a", Value::from("alpha")),
+                    ("b", Value::from("bravo")),
+                    ("c", Value::from("zulu")),
+                ],
+            ),
+        ];
+        let mut e = EngineBuilder::new().peers(16).q(2).seed(74).build_with_rows(&rows);
+        let from = e.random_peer();
+        let preds = vec![
+            AttrPredicate::new("a", "alpha", 0),
+            AttrPredicate::new("b", "bravo", 0),
+            AttrPredicate::new("c", "charlie", 1),
+        ];
+        for multi in [MultiStrategy::Intersect, MultiStrategy::Pipelined] {
+            let r = e.similar_multi(&preds, from, Strategy::QGrams, multi);
+            assert_eq!(r.matches.len(), 1, "{multi:?}");
+            assert_eq!(r.matches[0].oid, "x:1");
+            assert_eq!(r.matches[0].bindings.len(), 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one predicate")]
+    fn empty_predicates_panic() {
+        let mut e = EngineBuilder::new().peers(8).build_with_rows(&contact_rows());
+        let from = e.random_peer();
+        e.similar_multi(&[], from, Strategy::QGrams, MultiStrategy::Intersect);
+    }
+}

@@ -1,0 +1,195 @@
+//! The naive string-similarity baseline (§4).
+//!
+//! *"A naive approach to process string similarity is to send a query to
+//! each peer which is responsible for a part of the strings to be compared.
+//! The contacted peers then compare the queried string to the data available
+//! locally and send matching results back to the peer having initiated the
+//! query. As shown in Section 6 this approach does not scale well."*
+//!
+//! Instance level: every partition holding values of the attribute is
+//! contacted (the `key(A # *)` subtree plus the short-value side family);
+//! schema level: every partition holding *any* attribute-value posting.
+//! Contacted peers run the edit-distance verification locally — free of
+//! messages but charged to [`QueryStats::edit_comparisons`], the "enormous
+//! effort incurred by comparing the strings at the peers locally" the paper
+//! remarks on. Only matching triples travel back.
+
+use crate::engine::SimilarityEngine;
+use crate::similar::{Candidate, SimilarMatch, SimilarResult};
+use rustc_hash::FxHashMap;
+use sqo_overlay::key::Key;
+use sqo_overlay::peer::PeerId;
+use sqo_overlay::Metrics;
+use sqo_storage::keys;
+use sqo_storage::posting::{Object, Posting};
+use sqo_strsim::edit::levenshtein_bounded;
+
+impl SimilarityEngine {
+    /// Naive evaluation of `Similar(s, a, d)`; also the fallback for query
+    /// strings shorter than `q`. `snap` is the already-opened stats window.
+    pub(crate) fn naive_similar(
+        &mut self,
+        s: &str,
+        attr: Option<&str>,
+        d: usize,
+        from: PeerId,
+        snap: Metrics,
+        object_cache: &mut FxHashMap<String, Object>,
+    ) -> SimilarResult {
+        // The key-space regions holding "the strings to be compared".
+        let prefixes: Vec<Key> = match attr {
+            Some(a) => vec![keys::attr_scan_prefix(a), keys::short_value_prefix(a)],
+            None => vec![keys::attr_value_family_prefix(), keys::short_attr_prefix()],
+        };
+
+        let mut candidates: Vec<Candidate> = Vec::new();
+        let mut partitions_contacted = 0usize;
+        for prefix in &prefixes {
+            let (ps, pe) = self.net.subtree_of(prefix);
+            if ps == pe {
+                continue;
+            }
+            // Route once into the subtree, then shower-forward.
+            let Ok(entry) = self.net.route(from, prefix) else { continue };
+            let entry_part = self.net.peer(entry).partition as usize;
+            for part in ps..pe {
+                let responder = if part == entry_part {
+                    entry
+                } else {
+                    let Some(p) = self.net.partition_member(part) else { continue };
+                    self.net.charge_forward();
+                    p
+                };
+                partitions_contacted += 1;
+                let postings = self.net.local_prefix_scan(responder, prefix);
+                // Local comparison at the data peer.
+                let mut local_matches: Vec<Candidate> = Vec::new();
+                let mut payload = 0usize;
+                let mut seen_attr_names: Vec<&str> = Vec::new();
+                for p in &postings {
+                    match (attr, p) {
+                        (
+                            Some(a),
+                            Posting::Base { triple, .. } | Posting::ShortValue { triple },
+                        ) => {
+                            if triple.attr.as_str() != a {
+                                continue;
+                            }
+                            let Some(text) = triple.value.as_str() else { continue };
+                            self.count_comparison();
+                            if levenshtein_bounded(s, text, d).is_some() {
+                                payload += triple.repr_len();
+                                local_matches.push(Candidate {
+                                    oid: triple.oid.clone(),
+                                    attr: a.to_string(),
+                                    text: text.to_string(),
+                                });
+                            }
+                        }
+                        (
+                            None,
+                            Posting::Base { triple, .. } | Posting::ShortAttr { triple },
+                        ) => {
+                            let name = triple.attr.as_str();
+                            // One comparison per distinct local name, the way
+                            // an implementation would actually do it.
+                            if !seen_attr_names.contains(&name) {
+                                seen_attr_names.push(name);
+                                self.count_comparison();
+                            }
+                            if levenshtein_bounded(s, name, d).is_some() {
+                                payload += triple.repr_len();
+                                local_matches.push(Candidate {
+                                    oid: triple.oid.clone(),
+                                    attr: name.to_string(),
+                                    text: name.to_string(),
+                                });
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                if responder != from && !local_matches.is_empty() {
+                    self.net.send_direct(responder, from, payload);
+                }
+                candidates.extend(local_matches);
+            }
+        }
+
+        candidates.sort_by(|a, b| (&a.oid, &a.attr, &a.text).cmp(&(&b.oid, &b.attr, &b.text)));
+        candidates.dedup();
+        let n_candidates = candidates.len();
+
+        // The peers already verified; what remains is assembling complete
+        // result objects (same stage-2 contract as the gram strategies).
+        let matches: Vec<SimilarMatch> =
+            self.verify_candidates(s, d, from, candidates, object_cache);
+
+        let mut stats = self.finish_query(&snap);
+        stats.probes = partitions_contacted;
+        stats.candidates = n_candidates;
+        stats.matches = matches.len();
+        SimilarResult { matches, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::engine::EngineBuilder;
+    use crate::similar::Strategy;
+    use sqo_storage::triple::{Row, Value};
+
+    fn rows() -> Vec<Row> {
+        ["painting", "paintxng", "sculpture", "mural", "paint"]
+            .iter()
+            .enumerate()
+            .map(|(i, w)| Row::new(format!("t:{i}"), [("title", Value::from(*w))]))
+            .collect()
+    }
+
+    #[test]
+    fn naive_matches_are_correct() {
+        let mut e = EngineBuilder::new().peers(32).seed(20).build_with_rows(&rows());
+        let from = e.random_peer();
+        let res = e.similar("painting", Some("title"), 1, from, Strategy::Naive);
+        let mut found: Vec<&str> = res.matches.iter().map(|m| m.matched.as_str()).collect();
+        found.sort_unstable();
+        assert_eq!(found, vec!["painting", "paintxng"]);
+    }
+
+    #[test]
+    fn naive_message_cost_grows_with_network() {
+        let data: Vec<Row> = (0..400)
+            .map(|i| Row::new(format!("w:{i}"), [("word", Value::from(format!("tok{i:04}en")))]))
+            .collect();
+        let cost = |peers: usize| {
+            let mut e = EngineBuilder::new().peers(peers).seed(21).build_with_rows(&data);
+            let from = e.random_peer();
+            e.similar("tok0001en", Some("word"), 1, from, Strategy::Naive)
+                .stats
+                .traffic
+                .messages
+        };
+        let small = cost(16);
+        let large = cost(256);
+        assert!(
+            large >= small * 4,
+            "naive cost must grow ~linearly with peers: {small} -> {large}"
+        );
+    }
+
+    #[test]
+    fn naive_schema_level() {
+        let data = vec![
+            Row::new("a:1", [("dealer", Value::from(1))]),
+            Row::new("a:2", [("dealerx", Value::from(2))]),
+            Row::new("a:3", [("price", Value::from(3))]),
+        ];
+        let mut e = EngineBuilder::new().peers(16).seed(22).build_with_rows(&data);
+        let from = e.random_peer();
+        let res = e.similar("dealer", None, 1, from, Strategy::Naive);
+        let mut attrs: Vec<&str> = res.matches.iter().map(|m| m.attr.as_str()).collect();
+        attrs.sort_unstable();
+        assert_eq!(attrs, vec!["dealer", "dealerx"]);
+    }
+}

@@ -1,0 +1,80 @@
+//! Ranking functions for top-N queries.
+//!
+//! §5: "In the current implementation we support ranking functions MIN,
+//! MAX and NN."
+
+use sqo_storage::triple::Value;
+
+/// How top-N orders candidates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Rank {
+    /// Smallest values first.
+    Min,
+    /// Largest values first.
+    Max,
+    /// Nearest neighbors of a target value first (numeric distance or, via
+    /// [`crate::topn`]'s string path, edit distance).
+    Nn(Value),
+}
+
+impl Rank {
+    /// Score of `v` under this ranking — smaller is better.
+    ///
+    /// Returns `None` for values outside the ranking's domain (e.g. strings
+    /// under numeric NN).
+    pub fn score(&self, v: &Value) -> Option<f64> {
+        match self {
+            Rank::Min => v.as_float(),
+            Rank::Max => v.as_float().map(|x| -x),
+            Rank::Nn(target) => match (target, v) {
+                (Value::Str(_), Value::Str(_)) => None, // string NN scored by edit distance
+                _ => {
+                    let t = target.as_float()?;
+                    let x = v.as_float()?;
+                    Some((x - t).abs())
+                }
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for Rank {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rank::Min => write!(f, "MIN"),
+            Rank::Max => write!(f, "MAX"),
+            Rank::Nn(v) => write!(f, "NN {v}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_scores_ascending() {
+        let r = Rank::Min;
+        assert!(r.score(&Value::Int(1)) < r.score(&Value::Int(2)));
+    }
+
+    #[test]
+    fn max_scores_descending() {
+        let r = Rank::Max;
+        assert!(r.score(&Value::Int(5)) < r.score(&Value::Int(2)));
+    }
+
+    #[test]
+    fn nn_scores_by_distance() {
+        let r = Rank::Nn(Value::Int(10));
+        assert!(r.score(&Value::Int(9)) < r.score(&Value::Int(20)));
+        assert_eq!(r.score(&Value::Int(10)), Some(0.0));
+        assert_eq!(r.score(&Value::Float(10.5)), Some(0.5));
+    }
+
+    #[test]
+    fn strings_not_numerically_scorable() {
+        assert_eq!(Rank::Min.score(&Value::from("x")), None);
+        assert_eq!(Rank::Nn(Value::from("x")).score(&Value::from("y")), None);
+    }
+}

@@ -1,0 +1,249 @@
+//! Exact-match and range selections — the "traditional" physical operators
+//! the similarity operators compose with (already present in the paper's
+//! prior work \[10\]; VQL needs them for its non-similarity predicates).
+
+use crate::engine::SimilarityEngine;
+use crate::stats::QueryStats;
+use rustc_hash::FxHashSet;
+use sqo_overlay::peer::PeerId;
+use sqo_storage::keys;
+use sqo_storage::posting::{Object, Posting};
+use sqo_storage::triple::Value;
+use sqo_strsim::numeric::NumericInterval;
+
+/// A selection hit: the value that satisfied the predicate plus its object.
+#[derive(Debug, Clone)]
+pub struct SelectHit {
+    pub oid: String,
+    pub value: Value,
+    pub object: Object,
+}
+
+/// Result of a selection.
+#[derive(Debug, Clone)]
+pub struct SelectResult {
+    pub hits: Vec<SelectHit>,
+    pub stats: QueryStats,
+}
+
+impl SimilarityEngine {
+    /// `σ(A = v)`: exact-match selection via `key(A # v)`.
+    pub fn select_exact(&mut self, attr: &str, v: &Value, from: PeerId) -> SelectResult {
+        let snap = self.begin_query();
+        let key = keys::attr_value_key(attr, v);
+        let postings = self.net.retrieve(from, &key).unwrap_or_default();
+        let matched: Vec<(String, Value)> = postings
+            .iter()
+            .filter_map(Posting::as_base)
+            .filter(|t| t.attr.as_str() == attr && t.value == *v)
+            .map(|t| (t.oid.clone(), t.value.clone()))
+            .collect();
+        self.assemble(matched, from, snap)
+    }
+
+    /// `σ(lo <= A <= hi)`: range selection via the order-preserving keys.
+    pub fn select_range(
+        &mut self,
+        attr: &str,
+        lo: &Value,
+        hi: &Value,
+        from: PeerId,
+    ) -> SelectResult {
+        let snap = self.begin_query();
+        let (klo, khi) = keys::attr_value_range(attr, lo, hi);
+        let postings = if klo <= khi {
+            self.net.range_query(from, &klo, &khi).unwrap_or_default()
+        } else {
+            Vec::new()
+        };
+        let in_bounds = |t: &sqo_storage::triple::Triple| match (lo.as_float(), hi.as_float()) {
+            (Some(l), Some(h)) => t
+                .value
+                .as_float()
+                .map(|x| l <= x && x <= h)
+                .unwrap_or(false),
+            _ => match (&t.value, lo, hi) {
+                (Value::Str(s), Value::Str(l), Value::Str(h)) => {
+                    s.as_str() >= l.as_str() && (s.as_str() <= h.as_str() || s.starts_with(h.as_str()))
+                }
+                _ => false,
+            },
+        };
+        let matched: Vec<(String, Value)> = postings
+            .iter()
+            .filter_map(Posting::as_base)
+            .filter(|t| t.attr.as_str() == attr && in_bounds(t))
+            .map(|t| (t.oid.clone(), t.value.clone()))
+            .collect();
+        self.assemble(matched, from, snap)
+    }
+
+    /// Numeric similarity selection: `dist(A, v) <= eps` mapped to the range
+    /// `[v − eps, v + eps]` and "processed as a range query" (§4).
+    pub fn select_numeric_similar(
+        &mut self,
+        attr: &str,
+        v: &Value,
+        eps: f64,
+        from: PeerId,
+    ) -> SelectResult {
+        let center = v
+            .as_float()
+            .expect("numeric similarity requires a numeric center value");
+        let iv = NumericInterval::around_float(center, eps);
+        let NumericInterval::Float { lo, hi } = iv else { unreachable!() };
+        let (vlo, vhi) = match v {
+            Value::Int(_) => (Value::Int(lo.floor() as i64), Value::Int(hi.ceil() as i64)),
+            _ => (Value::Float(lo), Value::Float(hi)),
+        };
+        let mut result = self.select_range(attr, &vlo, &vhi, from);
+        // Tighten to the exact Euclidean ball (the int-rounded range may
+        // include boundary values just outside eps).
+        result.hits.retain(|h| h.value.as_float().map(|x| (x - center).abs() <= eps).unwrap_or(false));
+        result.stats.matches = result.hits.len();
+        result
+    }
+
+    /// Keyword selection: "any attribute = v" via the value index `key(v)`.
+    pub fn select_keyword(&mut self, v: &Value, from: PeerId) -> SelectResult {
+        let snap = self.begin_query();
+        let key = keys::value_key(v);
+        let postings = self.net.retrieve(from, &key).unwrap_or_default();
+        let matched: Vec<(String, Value)> = postings
+            .iter()
+            .filter_map(Posting::as_base)
+            .filter(|t| t.value == *v)
+            .map(|t| (t.oid.clone(), t.value.clone()))
+            .collect();
+        self.assemble(matched, from, snap)
+    }
+
+    /// All values of an attribute (full attribute scan; the join's line 1).
+    pub fn select_all(&mut self, attr: &str, from: PeerId) -> SelectResult {
+        let snap = self.begin_query();
+        let mut matched: Vec<(String, Value)> = Vec::new();
+        for prefix in [keys::attr_scan_prefix(attr), keys::short_value_prefix(attr)] {
+            for p in self.scan_prefix(from, &prefix) {
+                match p {
+                    Posting::Base { triple, .. } | Posting::ShortValue { triple }
+                        if triple.attr.as_str() == attr => {
+                            matched.push((triple.oid.clone(), triple.value.clone()));
+                        }
+                    _ => {}
+                }
+            }
+        }
+        self.assemble(matched, from, snap)
+    }
+
+    fn assemble(
+        &mut self,
+        mut matched: Vec<(String, Value)>,
+        from: PeerId,
+        snap: sqo_overlay::Metrics,
+    ) -> SelectResult {
+        matched.sort_by(|a, b| (&a.0, format_val(&a.1)).cmp(&(&b.0, format_val(&b.1))));
+        matched.dedup_by(|a, b| a.0 == b.0 && a.1 == b.1);
+        let oids: FxHashSet<String> = matched.iter().map(|(o, _)| o.clone()).collect();
+        let objects = self.fetch_objects(from, &oids);
+        let hits: Vec<SelectHit> = matched
+            .into_iter()
+            .filter_map(|(oid, value)| {
+                let object = objects.get(&oid)?.clone();
+                Some(SelectHit { oid, value, object })
+            })
+            .collect();
+        let mut stats = self.finish_query(&snap);
+        stats.matches = hits.len();
+        SelectResult { hits, stats }
+    }
+}
+
+fn format_val(v: &Value) -> String {
+    v.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::engine::EngineBuilder;
+    use sqo_storage::triple::{Row, Value};
+
+    fn rows() -> Vec<Row> {
+        (0..30)
+            .map(|i| {
+                Row::new(
+                    format!("car:{i}"),
+                    [
+                        ("name".to_string(), Value::from(format!("model{i:02}"))),
+                        ("hp".to_string(), Value::from(100 + 10 * i as i64)),
+                    ],
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exact_selection() {
+        let mut e = EngineBuilder::new().peers(16).seed(50).build_with_rows(&rows());
+        let from = e.random_peer();
+        let res = e.select_exact("hp", &Value::Int(150), from);
+        assert_eq!(res.hits.len(), 1);
+        assert_eq!(res.hits[0].oid, "car:5");
+    }
+
+    #[test]
+    fn range_selection_numeric() {
+        let mut e = EngineBuilder::new().peers(16).seed(51).build_with_rows(&rows());
+        let from = e.random_peer();
+        let res = e.select_range("hp", &Value::Int(150), &Value::Int(200), from);
+        let mut oids: Vec<&str> = res.hits.iter().map(|h| h.oid.as_str()).collect();
+        oids.sort_unstable();
+        assert_eq!(oids, vec!["car:10", "car:5", "car:6", "car:7", "car:8", "car:9"]);
+    }
+
+    #[test]
+    fn range_selection_strings() {
+        let mut e = EngineBuilder::new().peers(16).seed(52).build_with_rows(&rows());
+        let from = e.random_peer();
+        let res = e.select_range(
+            "name",
+            &Value::from("model03"),
+            &Value::from("model06"),
+            from,
+        );
+        assert_eq!(res.hits.len(), 4);
+    }
+
+    #[test]
+    fn numeric_similarity_is_a_ball() {
+        let mut e = EngineBuilder::new().peers(16).seed(53).build_with_rows(&rows());
+        let from = e.random_peer();
+        let res = e.select_numeric_similar("hp", &Value::Int(200), 25.0, from);
+        let mut hps: Vec<i64> = res.hits.iter().map(|h| h.value.as_int().unwrap()).collect();
+        hps.sort_unstable();
+        assert_eq!(hps, vec![180, 190, 200, 210, 220]);
+    }
+
+    #[test]
+    fn keyword_lookup_hits_any_attribute() {
+        let data = vec![
+            Row::new("a:1", [("name", Value::from("shared"))]),
+            Row::new("a:2", [("title", Value::from("shared"))]),
+            Row::new("a:3", [("title", Value::from("different"))]),
+        ];
+        let mut e = EngineBuilder::new().peers(16).seed(54).build_with_rows(&data);
+        let from = e.random_peer();
+        let res = e.select_keyword(&Value::from("shared"), from);
+        let mut oids: Vec<&str> = res.hits.iter().map(|h| h.oid.as_str()).collect();
+        oids.sort_unstable();
+        assert_eq!(oids, vec!["a:1", "a:2"]);
+    }
+
+    #[test]
+    fn select_all_returns_every_value() {
+        let mut e = EngineBuilder::new().peers(16).seed(55).build_with_rows(&rows());
+        let from = e.random_peer();
+        let res = e.select_all("hp", from);
+        assert_eq!(res.hits.len(), 30);
+    }
+}

@@ -1,0 +1,511 @@
+//! The basic similarity operator — Algorithm 2 of the paper.
+//!
+//! `Similar(s, a, d, p)` returns all objects with a value of attribute `a`
+//! within edit distance `d` of the search string `s` (*instance level*), or
+//! — when `a` is empty — all objects having an **attribute named** within
+//! distance `d` of `s` (*schema level*, e.g. finding `dlrid` under typos).
+//!
+//! Three strategies are implemented, matching the §6 evaluation:
+//!
+//! * [`Strategy::QGrams`] — probe every overlapping q-gram of `s`; apply
+//!   position, length and count filters; fetch candidate objects; verify.
+//! * [`Strategy::QSamples`] — probe only `d + 1` non-overlapping grams
+//!   (fewer index probes, weaker filtering, more candidates).
+//! * [`Strategy::Naive`] — ship the query to every peer responsible for a
+//!   part of the compared string space; peers compare locally (the
+//!   baseline whose messages grow linearly with the network).
+//!
+//! ## Completeness note (documented deviation)
+//!
+//! The paper claims both gram variants are "guaranteed to find matching
+//! data". That holds only when `|s| >= q·(d+1)`: below that, `d` edits can
+//! destroy *every* shared gram (e.g. `house`/`hoXse` share no 3-grams at
+//! distance 1). This implementation is faithful to the algorithms — it has
+//! the same blind spot — and additionally (a) routes queries with `|s| < q`
+//! through the naive path (no grams exist at all), and (b) supplements the
+//! candidate set from the short-string side families, so data shorter than
+//! `q` remains findable. The oracle property tests assert exact recall in
+//! the guaranteed regime and report recall in the lossy regime; the bench
+//! harness records achieved recall per run.
+
+use crate::engine::SimilarityEngine;
+use crate::stats::QueryStats;
+use rustc_hash::{FxHashMap, FxHashSet};
+use sqo_overlay::key::Key;
+use sqo_overlay::peer::PeerId;
+use sqo_storage::keys;
+use sqo_storage::posting::{Object, Posting};
+use sqo_storage::triple::AttrName;
+use sqo_strsim::edit::levenshtein_bounded;
+use sqo_strsim::filters::{count_filter_threshold, length_filter, position_filter};
+use sqo_strsim::qgram::{qgrams, PositionalQGram};
+use sqo_strsim::qsample::qsamples;
+
+/// Evaluation strategy for string similarity (the three curves of Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    QGrams,
+    QSamples,
+    Naive,
+}
+
+impl Strategy {
+    pub const ALL: [Strategy; 3] = [Strategy::QSamples, Strategy::QGrams, Strategy::Naive];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Strategy::QGrams => "qgrams",
+            Strategy::QSamples => "qsamples",
+            Strategy::Naive => "strings",
+        }
+    }
+}
+
+/// One verified similarity match.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimilarMatch {
+    pub oid: String,
+    /// Instance level: the queried attribute. Schema level: the attribute
+    /// whose *name* matched.
+    pub attr: AttrName,
+    /// The matched string (a value at instance level, an attribute name at
+    /// schema level).
+    pub matched: String,
+    pub distance: usize,
+    /// The complete reassembled object ("build complete object o from T′").
+    pub object: Object,
+}
+
+/// Result of a `Similar` invocation.
+#[derive(Debug, Clone)]
+pub struct SimilarResult {
+    pub matches: Vec<SimilarMatch>,
+    pub stats: QueryStats,
+}
+
+/// A stage-1 candidate: a concrete string occurrence on a concrete object.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct Candidate {
+    pub oid: String,
+    pub attr: String,
+    pub text: String,
+}
+
+impl SimilarityEngine {
+    /// `Similar(s, a, d, p)` — see module docs. `attr = None` selects the
+    /// schema level.
+    pub fn similar(
+        &mut self,
+        s: &str,
+        attr: Option<&str>,
+        d: usize,
+        from: PeerId,
+        strategy: Strategy,
+    ) -> SimilarResult {
+        let mut cache = FxHashMap::default();
+        self.similar_cached(s, attr, d, from, strategy, &mut cache)
+    }
+
+    /// `Similar` with an initiator-local object cache, letting iterative
+    /// callers (top-N distance shells, join loops) avoid re-fetching
+    /// objects they already hold.
+    pub(crate) fn similar_cached(
+        &mut self,
+        s: &str,
+        attr: Option<&str>,
+        d: usize,
+        from: PeerId,
+        strategy: Strategy,
+        object_cache: &mut FxHashMap<String, Object>,
+    ) -> SimilarResult {
+        let snap = self.begin_query();
+        let q = self.q();
+        let s_len = s.chars().count();
+
+        // No grams exist for |s| < q: the gram index is blind, fall back to
+        // the naive scan (documented in the module docs).
+        if strategy == Strategy::Naive || s_len < q {
+            return self.naive_similar(s, attr, d, from, snap, object_cache);
+        }
+
+        // ---- Stage 1: gram probes --------------------------------------
+        let probes: Vec<PositionalQGram> = match strategy {
+            Strategy::QGrams => qgrams(s, q),
+            Strategy::QSamples => qsamples(s, q, d),
+            Strategy::Naive => unreachable!("handled above"),
+        };
+        // Positions of each distinct probed gram in s (for the position
+        // filter) — probing each distinct gram key once.
+        let mut gram_positions: FxHashMap<&str, Vec<u32>> = FxHashMap::default();
+        for g in &probes {
+            gram_positions.entry(g.gram.as_str()).or_default().push(g.pos);
+        }
+        let mut probe_keys: Vec<Key> = gram_positions
+            .keys()
+            .map(|gram| match attr {
+                Some(a) => keys::instance_gram_key(a, gram),
+                None => keys::schema_gram_key(gram),
+            })
+            .collect();
+        probe_keys.sort_unstable(); // determinism of batching
+
+        // The length/position filters run *where the postings live*: the
+        // delegated query carries (s, a, d), so the gram-owning peer prunes
+        // locally and only survivors travel (§4's delegation optimization;
+        // with delegation off the same filter runs at the initiator after
+        // the full lists were charged to the wire).
+        let filters = self.cfg.filters;
+        let attr_owned = attr.map(str::to_string);
+        let local_filter = {
+            let gram_positions = &gram_positions;
+            let attr_owned = &attr_owned;
+            move |p: &Posting| -> bool {
+                let (gram, pos, len) = match (attr_owned, p) {
+                    (Some(a), Posting::InstanceGram { triple, gram, pos, .. }) => {
+                        if triple.attr.as_str() != a.as_str() {
+                            return false; // the "a == ξ(t′, 2)" guard of Alg. 2
+                        }
+                        let Some(text) = triple.value.as_str() else { return false };
+                        (gram, *pos, text.chars().count())
+                    }
+                    (None, Posting::SchemaGram { triple, gram, pos }) => {
+                        (gram, *pos, triple.attr.as_str().chars().count())
+                    }
+                    _ => return false,
+                };
+                let Some(q_positions) = gram_positions.get(gram.as_str()) else {
+                    return false; // not a probed gram (shouldn't happen: exact keys)
+                };
+                if filters.position
+                    && !q_positions.iter().any(|&qp| position_filter(pos, qp, d))
+                {
+                    return false;
+                }
+                !filters.length || length_filter(len, s_len, d)
+            }
+        };
+        let postings = self.probe_keys(from, &probe_keys, &local_filter);
+
+        // ---- Stage 1.5: candidate aggregation + count filter -------------
+        // Shared-gram counting is per *posting* (one per gram occurrence in
+        // the candidate), not per distinct gram string: the count-filter
+        // bound is on the bag intersection of the two gram multisets, and
+        // counting distinct grams would under-count candidates whose grams
+        // repeat ("aaaa") — an unsound prune.
+        let mut shared_grams: FxHashMap<Candidate, usize> = FxHashMap::default();
+        for p in &postings {
+            let cand = match (attr, p) {
+                (Some(a), Posting::InstanceGram { triple, .. }) => Candidate {
+                    oid: triple.oid.clone(),
+                    attr: a.to_string(),
+                    text: triple.value.as_str().unwrap_or_default().to_string(),
+                },
+                (None, Posting::SchemaGram { triple, .. }) => Candidate {
+                    oid: triple.oid.clone(),
+                    attr: triple.attr.as_str().to_string(),
+                    text: triple.attr.as_str().to_string(),
+                },
+                _ => continue,
+            };
+            *shared_grams.entry(cand).or_default() += 1;
+        }
+
+        // Count filter — meaningful only when all grams were probed.
+        let mut candidates: Vec<Candidate> = shared_grams
+            .into_iter()
+            .filter(|(cand, shared)| {
+                if !(filters.count && strategy == Strategy::QGrams) {
+                    return true;
+                }
+                let threshold = count_filter_threshold(s_len, cand.text.chars().count(), q, d);
+                *shared as i64 >= threshold
+            })
+            .map(|(cand, _)| cand)
+            .collect();
+
+        // ---- Short-string supplement ------------------------------------
+        // Data strings with |t| < q live in the side families; they can only
+        // match when the length window reaches below q.
+        if s_len.saturating_sub(d) < q {
+            let prefix = match attr {
+                Some(a) => keys::short_value_prefix(a),
+                None => keys::short_attr_prefix(),
+            };
+            for p in self.scan_prefix(from, &prefix) {
+                let cand = match (attr, &p) {
+                    (Some(a), Posting::ShortValue { triple }) => {
+                        if triple.attr.as_str() != a {
+                            continue;
+                        }
+                        let Some(text) = triple.value.as_str() else { continue };
+                        Candidate {
+                            oid: triple.oid.clone(),
+                            attr: a.to_string(),
+                            text: text.to_string(),
+                        }
+                    }
+                    (None, Posting::ShortAttr { triple }) => Candidate {
+                        oid: triple.oid.clone(),
+                        attr: triple.attr.as_str().to_string(),
+                        text: triple.attr.as_str().to_string(),
+                    },
+                    _ => continue,
+                };
+                if filters.length && !length_filter(cand.text.chars().count(), s_len, d) {
+                    continue;
+                }
+                candidates.push(cand);
+            }
+        }
+        candidates.sort_by(|a, b| (&a.oid, &a.attr, &a.text).cmp(&(&b.oid, &b.attr, &b.text)));
+        candidates.dedup();
+        let n_candidates = candidates.len();
+
+        // ---- Pre-verification (value-carrying postings) -------------------
+        // When instance-gram postings ship the complete value (§4's closing
+        // optimization, `PublishConfig::grams_carry_value`), the initiator
+        // already holds every candidate's string and can run the edit-
+        // distance check *before* stage 2 — objects are then fetched only
+        // for true matches.
+        if self.cfg.publish.grams_carry_value && attr.is_some() {
+            let mut surviving = Vec::with_capacity(candidates.len());
+            for cand in candidates {
+                self.count_comparison();
+                if sqo_strsim::edit::within_distance(s, &cand.text, d) {
+                    surviving.push(cand);
+                }
+            }
+            candidates = surviving;
+        }
+
+        // ---- Stage 2: object fetch + verification ------------------------
+        let matches = self.verify_candidates(s, d, from, candidates, object_cache);
+
+        let mut stats = self.finish_query(&snap);
+        stats.probes = probe_keys.len();
+        stats.candidates = n_candidates;
+        stats.matches = matches.len();
+        SimilarResult { matches, stats }
+    }
+
+    /// Fetch candidate objects (batched, cached) and run the final
+    /// edit-distance verification at the initiator.
+    pub(crate) fn verify_candidates(
+        &mut self,
+        s: &str,
+        d: usize,
+        from: PeerId,
+        candidates: Vec<Candidate>,
+        object_cache: &mut FxHashMap<String, Object>,
+    ) -> Vec<SimilarMatch> {
+        let missing: FxHashSet<String> = candidates
+            .iter()
+            .map(|c| c.oid.clone())
+            .filter(|oid| !object_cache.contains_key(oid))
+            .collect();
+        if !missing.is_empty() {
+            let fetched = self.fetch_objects(from, &missing);
+            object_cache.extend(fetched);
+        }
+        let mut matches = Vec::new();
+        for cand in candidates {
+            let Some(object) = object_cache.get(&cand.oid) else { continue };
+            self.count_comparison();
+            if let Some(distance) = levenshtein_bounded(s, &cand.text, d) {
+                matches.push(SimilarMatch {
+                    oid: cand.oid,
+                    attr: AttrName::new(cand.attr),
+                    matched: cand.text,
+                    distance,
+                    object: object.clone(),
+                });
+            }
+        }
+        matches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::engine::EngineBuilder;
+    use crate::similar::Strategy;
+    use sqo_storage::triple::{Row, Value};
+
+    fn word_rows(words: &[&str]) -> Vec<Row> {
+        words
+            .iter()
+            .enumerate()
+            .map(|(i, w)| Row::new(format!("w:{i}"), [("word", Value::from(*w))]))
+            .collect()
+    }
+
+    #[test]
+    fn finds_close_words_qgrams() {
+        let rows = word_rows(&["similar", "simular", "similarity", "dissimilar", "overlay"]);
+        let mut e = EngineBuilder::new().peers(32).seed(1).build_with_rows(&rows);
+        let from = e.random_peer();
+        let res = e.similar("similar", Some("word"), 1, from, Strategy::QGrams);
+        let mut found: Vec<&str> = res.matches.iter().map(|m| m.matched.as_str()).collect();
+        found.sort_unstable();
+        assert_eq!(found, vec!["similar", "simular"]);
+        assert_eq!(res.matches.iter().find(|m| m.matched == "similar").unwrap().distance, 0);
+        assert!(res.stats.probes > 0);
+        assert!(res.stats.traffic.messages > 0);
+    }
+
+    #[test]
+    fn qsamples_probe_fewer_keys() {
+        let rows = word_rows(&["abcdefghijkl", "abcdefghijkx", "zzzzzzzzzzzz"]);
+        let mut e = EngineBuilder::new().peers(32).seed(2).build_with_rows(&rows);
+        let from = e.random_peer();
+        let full = e.similar("abcdefghijkl", Some("word"), 1, from, Strategy::QGrams);
+        let sampled = e.similar("abcdefghijkl", Some("word"), 1, from, Strategy::QSamples);
+        assert!(sampled.stats.probes < full.stats.probes);
+        let mut a: Vec<&str> = full.matches.iter().map(|m| m.matched.as_str()).collect();
+        let mut b: Vec<&str> = sampled.matches.iter().map(|m| m.matched.as_str()).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "in the guaranteed regime both variants agree");
+    }
+
+    #[test]
+    fn all_strategies_agree_in_guaranteed_regime() {
+        // |s| = 12 >= q(d+1) = 3*2 -> exact recall for all strategies.
+        let rows = word_rows(&[
+            "paintingblue",
+            "paintingblux",
+            "paintingreen",
+            "sculpturered",
+            "pxintingblue",
+        ]);
+        let mut e = EngineBuilder::new().peers(48).seed(3).build_with_rows(&rows);
+        let from = e.random_peer();
+        let collect = |e: &mut crate::engine::SimilarityEngine, s: Strategy| {
+            let mut v: Vec<String> = e
+                .similar("paintingblue", Some("word"), 1, from, s)
+                .matches
+                .into_iter()
+                .map(|m| m.matched)
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        let naive = collect(&mut e, Strategy::Naive);
+        assert_eq!(naive, vec!["paintingblue", "paintingblux", "pxintingblue"]);
+        assert_eq!(collect(&mut e, Strategy::QGrams), naive);
+        assert_eq!(collect(&mut e, Strategy::QSamples), naive);
+    }
+
+    #[test]
+    fn schema_level_finds_typo_attributes() {
+        let rows = vec![
+            Row::new("d:1", [("dlrid", Value::from(10))]),
+            Row::new("d:2", [("dlrjd", Value::from(11))]), // typo'd attribute
+            Row::new("d:3", [("price", Value::from(12))]),
+        ];
+        let mut e = EngineBuilder::new().peers(24).seed(4).build_with_rows(&rows);
+        let from = e.random_peer();
+        let res = e.similar("dlrid", None, 1, from, Strategy::QGrams);
+        let mut attrs: Vec<&str> = res.matches.iter().map(|m| m.attr.as_str()).collect();
+        attrs.sort_unstable();
+        assert_eq!(attrs, vec!["dlrid", "dlrjd"]);
+    }
+
+    #[test]
+    fn short_query_falls_back_to_naive_and_finds_short_data() {
+        let rows = word_rows(&["ab", "ax", "abcdef"]);
+        let mut e = EngineBuilder::new().peers(16).seed(5).build_with_rows(&rows);
+        let from = e.random_peer();
+        // |s| = 2 < q = 3: naive fallback, still complete.
+        let res = e.similar("ab", Some("word"), 1, from, Strategy::QGrams);
+        let mut found: Vec<&str> = res.matches.iter().map(|m| m.matched.as_str()).collect();
+        found.sort_unstable();
+        assert_eq!(found, vec!["ab", "ax"]);
+    }
+
+    #[test]
+    fn short_data_found_by_longer_query() {
+        // Data "abc" (has a gram), data "ab" (short family), query "abc".
+        let rows = word_rows(&["ab", "abc", "zzz"]);
+        let mut e = EngineBuilder::new().peers(16).seed(6).build_with_rows(&rows);
+        let from = e.random_peer();
+        let res = e.similar("abc", Some("word"), 1, from, Strategy::QGrams);
+        let mut found: Vec<&str> = res.matches.iter().map(|m| m.matched.as_str()).collect();
+        found.sort_unstable();
+        assert_eq!(found, vec!["ab", "abc"], "short-family supplement must fire");
+    }
+
+    #[test]
+    fn distance_zero_is_exact_match() {
+        let rows = word_rows(&["exact", "exalt"]);
+        let mut e = EngineBuilder::new().peers(16).seed(7).build_with_rows(&rows);
+        let from = e.random_peer();
+        let res = e.similar("exact", Some("word"), 0, from, Strategy::QGrams);
+        assert_eq!(res.matches.len(), 1);
+        assert_eq!(res.matches[0].matched, "exact");
+        assert_eq!(res.matches[0].distance, 0);
+    }
+
+    #[test]
+    fn no_matches_when_nothing_close() {
+        let rows = word_rows(&["alpha", "beta"]);
+        let mut e = EngineBuilder::new().peers(16).seed(8).build_with_rows(&rows);
+        let from = e.random_peer();
+        let res = e.similar("qqqqqqq", Some("word"), 1, from, Strategy::QGrams);
+        assert!(res.matches.is_empty());
+        assert_eq!(res.stats.matches, 0);
+    }
+
+    #[test]
+    fn wrong_attribute_is_invisible() {
+        let rows = vec![
+            Row::new("o:1", [("title", Value::from("similar"))]),
+            Row::new("o:2", [("word", Value::from("similar"))]),
+        ];
+        let mut e = EngineBuilder::new().peers(16).seed(9).build_with_rows(&rows);
+        let from = e.random_peer();
+        let res = e.similar("similar", Some("word"), 0, from, Strategy::QGrams);
+        assert_eq!(res.matches.len(), 1);
+        assert_eq!(res.matches[0].oid, "o:2");
+    }
+
+    #[test]
+    fn naive_counts_local_comparisons() {
+        let rows = word_rows(&["one", "two", "three", "four", "five", "sixsix"]);
+        let mut e = EngineBuilder::new().peers(16).seed(10).build_with_rows(&rows);
+        let from = e.random_peer();
+        let res = e.similar("seven", Some("word"), 1, from, Strategy::Naive);
+        assert!(
+            res.stats.edit_comparisons >= 6,
+            "naive must compare against every stored value (got {})",
+            res.stats.edit_comparisons
+        );
+    }
+
+    #[test]
+    fn matches_carry_complete_objects() {
+        let rows = vec![Row::new(
+            "car:9",
+            [("name", Value::from("BMW 320d")), ("hp", Value::from(190))],
+        )];
+        let mut e = EngineBuilder::new().peers(16).seed(11).build_with_rows(&rows);
+        let from = e.random_peer();
+        let res = e.similar("BMW 320d", Some("name"), 1, from, Strategy::QGrams);
+        assert_eq!(res.matches.len(), 1);
+        let obj = &res.matches[0].object;
+        assert_eq!(obj.get("hp"), Some(&Value::from(190)));
+        assert_eq!(obj.get("name"), Some(&Value::from("BMW 320d")));
+    }
+
+    #[test]
+    fn multivalued_attribute_yields_multiple_matches() {
+        let rows = vec![Row::new(
+            "o:1",
+            [("tag", Value::from("redish")), ("tag", Value::from("redisx"))],
+        )];
+        let mut e = EngineBuilder::new().peers(16).seed(12).build_with_rows(&rows);
+        let from = e.random_peer();
+        let res = e.similar("redish", Some("tag"), 1, from, Strategy::QGrams);
+        assert_eq!(res.matches.len(), 2, "both values of the tag attribute match");
+    }
+}

@@ -1,0 +1,65 @@
+//! Per-query cost accounting.
+//!
+//! The overlay's [`Metrics`] counts traffic; [`QueryStats`] adds the
+//! operator-level view: candidate-set sizes, verification work, and
+//! enlargement rounds. The Figure-1 benches read `traffic.messages` and
+//! `traffic.result_bytes`; the ablations read the rest.
+
+use serde::Serialize;
+use sqo_overlay::Metrics;
+
+/// Cost profile of one operator invocation.
+#[derive(Debug, Default, Clone, Copy, Serialize)]
+pub struct QueryStats {
+    /// Network traffic attributable to this query (snapshot delta).
+    pub traffic: Metrics,
+    /// Stage-1 index probes issued (distinct gram keys / fan-out partitions).
+    pub probes: usize,
+    /// Candidates that survived the cheap filters and entered stage 2.
+    pub candidates: usize,
+    /// Edit-distance verifications performed (anywhere in the system —
+    /// includes the naive baseline's local scans, exposing its hidden CPU
+    /// cost, §6: "the enormous effort incurred by comparing the strings at
+    /// the peers locally").
+    pub edit_comparisons: u64,
+    /// Final matches returned.
+    pub matches: usize,
+    /// Range-enlargement / distance-shell iterations (top-N).
+    pub rounds: usize,
+}
+
+impl QueryStats {
+    /// Aggregate another query's stats into this one (workload totals).
+    pub fn absorb(&mut self, other: &QueryStats) {
+        self.traffic.add(&other.traffic);
+        self.probes += other.probes;
+        self.candidates += other.candidates;
+        self.edit_comparisons += other.edit_comparisons;
+        self.matches += other.matches;
+        self.rounds += other.rounds;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_sums_fields() {
+        let mut a = QueryStats { probes: 2, candidates: 5, matches: 1, ..Default::default() };
+        let b = QueryStats {
+            probes: 3,
+            candidates: 7,
+            matches: 2,
+            edit_comparisons: 9,
+            rounds: 1,
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.probes, 5);
+        assert_eq!(a.candidates, 12);
+        assert_eq!(a.matches, 3);
+        assert_eq!(a.edit_comparisons, 9);
+        assert_eq!(a.rounds, 1);
+    }
+}

@@ -1,0 +1,505 @@
+//! Top-N queries — Algorithms 4 and 5 of the paper.
+//!
+//! `TopN(a, N, rank, v, p)` returns the `N` objects whose value of
+//! attribute `a` ranks best under `rank ∈ {MIN, MAX, NN}`.
+//!
+//! **Numeric attributes** follow Algorithm 4 faithfully: the processing
+//! peer estimates the *data density* from its local partition (`c` items
+//! over a local key range of width `r` — "approximately equivalent to the
+//! data density on all other peers because of load balancing"), derives a
+//! first query range expected to contain all `N` results, issues a P-Grid
+//! range query, and — if the estimate was short — enlarges the range
+//! according to the observed density (lines 10–12) until `|R| >= N`.
+//! `Keys(range, rank, u, v)` (Algorithm 5) positions the window: descending
+//! from the maximum for MAX, ascending from the minimum for MIN, growing
+//! symmetrically around the target for NN.
+//!
+//! **String attributes** (NN only, §5: "for processing top-N queries on
+//! strings we have to handle concrete distances instead of interval start
+//! and end points") run `Similar` over expanding edit-distance shells
+//! `d = 1, 3, 5, …` up to `d_max`, reusing the initiator's object cache
+//! across shells, until `N` matches are known.
+
+use crate::engine::SimilarityEngine;
+use crate::ranking::Rank;
+use crate::similar::Strategy;
+use crate::stats::QueryStats;
+use rustc_hash::{FxHashMap, FxHashSet};
+use sqo_overlay::peer::PeerId;
+use sqo_storage::keys;
+use sqo_storage::posting::Object;
+use sqo_storage::triple::Value;
+
+/// One ranked result.
+#[derive(Debug, Clone)]
+pub struct TopNItem {
+    pub oid: String,
+    /// The ranked value (numeric path) or matched string (string path).
+    pub value: Value,
+    /// Ranking score — smaller is better (distance for NN, the value itself
+    /// for MIN, its negation for MAX).
+    pub score: f64,
+    pub object: Object,
+}
+
+/// Result of a top-N query.
+#[derive(Debug, Clone)]
+pub struct TopNResult {
+    pub items: Vec<TopNItem>,
+    pub stats: QueryStats,
+}
+
+/// Iteration cap for the enlargement loop — a safety net; the loop normally
+/// exits after one or two rounds (that is the point of density estimation).
+const MAX_ROUNDS: usize = 32;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NumDomain {
+    Int,
+    Float,
+}
+
+impl NumDomain {
+    fn of(v: &Value) -> Option<NumDomain> {
+        match v {
+            Value::Int(_) => Some(NumDomain::Int),
+            Value::Float(_) => Some(NumDomain::Float),
+            Value::Str(_) => None,
+        }
+    }
+
+    fn value(self, x: f64) -> Value {
+        match self {
+            NumDomain::Int => Value::Int(x.round().clamp(i64::MIN as f64, i64::MAX as f64) as i64),
+            NumDomain::Float => Value::Float(x),
+        }
+    }
+}
+
+impl SimilarityEngine {
+    /// Top-N over a **numeric** attribute (Algorithm 4). For `Rank::Nn` the
+    /// target must be numeric; use [`Self::top_n_similar`] for string NN.
+    pub fn top_n_numeric(
+        &mut self,
+        attr: &str,
+        n: usize,
+        rank: Rank,
+        from: PeerId,
+    ) -> TopNResult {
+        assert!(n >= 1, "top-0 is trivial");
+        if let Rank::Nn(target) = &rank {
+            assert!(
+                target.as_float().is_some(),
+                "numeric top-N requires a numeric NN target"
+            );
+        }
+        let snap = self.begin_query();
+        let prefix = keys::attr_scan_prefix(attr);
+        let (ps, pe) = self.net.subtree_of(&prefix);
+
+        // --- Lines 1–3: local density estimation at the entry peer -------
+        let entry_path = match rank {
+            Rank::Max => self.net.paths()[pe.saturating_sub(1).max(ps)].clone(),
+            Rank::Min => self.net.paths()[ps].clone(),
+            Rank::Nn(ref v) => keys::attr_value_key(attr, v),
+        };
+        let entry = match self.net.route(from, &entry_path) {
+            Ok(p) => p,
+            Err(_) => {
+                return TopNResult { items: Vec::new(), stats: self.finish_query(&snap) };
+            }
+        };
+
+        // Density sampling. The entry partition is the natural sample, but
+        // a boundary partition may hold no postings of this attribute (it
+        // merely *covers* part of the attribute's key interval); in that
+        // case walk towards the data — one forward message per extra
+        // partition probed — so the estimate (and, for MAX/MIN, the global
+        // extremum) comes from real postings.
+        let entry_part = self.net.peer(entry).partition as usize;
+        let mut domain: Option<NumDomain> = None;
+        let mut local: Vec<f64> = Vec::new();
+        for part in probe_order(&rank, ps, pe, entry_part) {
+            let responder = if part == entry_part {
+                entry
+            } else {
+                let Some(p) = self.net.partition_member(part) else { continue };
+                self.net.charge_forward();
+                p
+            };
+            for p in self.net.local_prefix_scan(responder, &prefix) {
+                let Some(t) = p.as_base() else { continue };
+                if t.attr.as_str() != attr {
+                    continue;
+                }
+                if let Some(x) = t.value.as_float() {
+                    if domain.is_none() {
+                        domain = NumDomain::of(&t.value);
+                    }
+                    local.push(x);
+                }
+            }
+            if !local.is_empty() {
+                break;
+            }
+        }
+        if local.is_empty() {
+            // No posting of this attribute exists anywhere.
+            return TopNResult { items: Vec::new(), stats: self.finish_query(&snap) };
+        }
+
+        let (c, local_lo, local_hi) = summarize(&local);
+        // range = N * r / c (line 3), with a floor so zero-width local data
+        // still makes progress.
+        let r_width = (local_hi - local_lo).max(f64::EPSILON);
+        let mut range = if c > 0 { (n as f64) * r_width / (c as f64) } else { 1.0 };
+        // For NN the first window must at least reach the data: when the
+        // target lies outside the populated key region (or the local sample
+        // is a single point, making the density estimate degenerate), grow
+        // the initial range to cover the gap to the nearest sampled value.
+        if let Rank::Nn(t) = &rank {
+            let target = t.as_float().expect("checked above");
+            let gap = local
+                .iter()
+                .map(|x| (x - target).abs())
+                .fold(f64::INFINITY, f64::min);
+            if gap.is_finite() {
+                range = range.max(2.0 * gap + r_width);
+            }
+        }
+        range = range.max(f64::EPSILON);
+
+        // --- Lines 4–7: initial window via Keys() ------------------------
+        let (mut fr, mut to) = match &rank {
+            Rank::Max => {
+                let v = local_hi + range + 1.0; // line 5
+                keys_window(range, &rank, v, v)
+            }
+            Rank::Min => {
+                let v = local_lo - range - 1.0; // mirror of line 5
+                keys_window(range, &rank, v, v)
+            }
+            Rank::Nn(t) => {
+                let v = t.as_float().expect("checked above");
+                keys_window(range, &rank, v, v)
+            }
+        };
+
+        // --- Lines 8–13: query, enlarge until |R| >= N --------------------
+        let mut results: FxHashMap<(String, u64), (Value, f64)> = FxHashMap::default();
+        let mut rounds = 0usize;
+        let mut stagnant = 0usize;
+        while rounds < MAX_ROUNDS {
+            rounds += 1;
+            let before = results.len();
+            // Domain may be unknown until the first round returns data.
+            let dom = domain.unwrap_or(NumDomain::Int);
+            let (klo, khi) = keys::attr_value_range(attr, &dom.value(fr), &dom.value(to));
+            // Query both numeric subdomains when the type is still unknown.
+            let postings = self.net.range_query(from, &klo, &khi).unwrap_or_default();
+            for p in &postings {
+                let Some(t) = p.as_base() else { continue };
+                if t.attr.as_str() != attr {
+                    continue;
+                }
+                let Some(x) = t.value.as_float() else { continue };
+                if domain.is_none() {
+                    domain = NumDomain::of(&t.value);
+                }
+                let Some(score) = rank.score(&t.value) else { continue };
+                results.insert((t.oid.clone(), x.to_bits()), (t.value.clone(), score));
+            }
+            if results.len() >= n {
+                break;
+            }
+            stagnant = if results.len() == before { stagnant + 1 } else { 0 };
+            if stagnant >= 8 {
+                break; // range exhausted the populated key space
+            }
+            // Line 11: adapt the range to the observed density; grow
+            // exponentially while rounds come back empty so sparse, distant
+            // data is still reached.
+            let observed = results.len().max(1) as f64;
+            let mut grow = ((n as f64) * (to - fr) / observed).max(range);
+            if stagnant > 0 {
+                grow = grow.max((to - fr) * (1 << stagnant.min(20)) as f64);
+            }
+            // Extend the window over fresh key space (see module docs on the
+            // cleaned-up iteration of Keys()).
+            match rank {
+                Rank::Max => fr -= grow,
+                Rank::Min => to += grow,
+                Rank::Nn(_) => {
+                    fr -= grow / 2.0;
+                    to += grow / 2.0;
+                }
+            }
+            range = grow;
+        }
+
+        // --- Line 14: sort, prune, assemble -------------------------------
+        let mut ranked: Vec<(String, Value, f64)> =
+            results.into_iter().map(|((oid, _), (v, s))| (oid, v, s)).collect();
+        ranked.sort_by(|a, b| a.2.total_cmp(&b.2).then_with(|| a.0.cmp(&b.0)));
+        ranked.truncate(n);
+
+        let oids: FxHashSet<String> = ranked.iter().map(|(o, _, _)| o.clone()).collect();
+        let objects = self.fetch_objects(from, &oids);
+        let items: Vec<TopNItem> = ranked
+            .into_iter()
+            .filter_map(|(oid, value, score)| {
+                let object = objects.get(&oid)?.clone();
+                Some(TopNItem { oid, value, score, object })
+            })
+            .collect();
+
+        let mut stats = self.finish_query(&snap);
+        stats.rounds = rounds;
+        stats.matches = items.len();
+        TopNResult { items, stats }
+    }
+
+    /// Top-N nearest neighbors of a **string** under edit distance:
+    /// expanding distance shells over `Similar`. `attr = None` ranks
+    /// attribute *names* (schema level), as in the paper's
+    /// `ORDER BY ?a NN 'dlrid'` example.
+    pub fn top_n_similar(
+        &mut self,
+        attr: Option<&str>,
+        n: usize,
+        target: &str,
+        d_max: usize,
+        from: PeerId,
+        strategy: Strategy,
+    ) -> TopNResult {
+        assert!(n >= 1, "top-0 is trivial");
+        let mut object_cache: FxHashMap<String, Object> = FxHashMap::default();
+        let mut stats = QueryStats::default();
+        let mut best: FxHashMap<(String, String, String), (usize, Object)> = FxHashMap::default();
+        let mut rounds = 0;
+
+        let mut d = 1usize.min(d_max);
+        loop {
+            rounds += 1;
+            let res = self.similar_cached(target, attr, d, from, strategy, &mut object_cache);
+            stats.absorb(&res.stats);
+            for m in res.matches {
+                best.entry((m.oid, m.attr.as_str().to_string(), m.matched))
+                    .or_insert((m.distance, m.object));
+            }
+            if best.len() >= n || d >= d_max {
+                break;
+            }
+            d = (d + 2).min(d_max);
+        }
+
+        let mut ranked: Vec<TopNItem> = best
+            .into_iter()
+            .map(|((oid, _attr, matched), (dist, object))| TopNItem {
+                oid,
+                value: Value::Str(matched),
+                score: dist as f64,
+                object,
+            })
+            .collect();
+        ranked.sort_by(|a, b| {
+            a.score
+                .total_cmp(&b.score)
+                .then_with(|| a.value.as_str().cmp(&b.value.as_str()))
+                .then_with(|| a.oid.cmp(&b.oid))
+        });
+        ranked.truncate(n);
+
+        stats.rounds = rounds;
+        stats.matches = ranked.len();
+        TopNResult { items: ranked, stats }
+    }
+}
+
+/// Partition probe order for density sampling: MAX wants the topmost
+/// populated partition (its local max *is* the global max), MIN the
+/// bottommost, NN spirals outward from the target's partition.
+fn probe_order(rank: &Rank, ps: usize, pe: usize, entry: usize) -> Vec<usize> {
+    match rank {
+        Rank::Max => (ps..pe).rev().collect(),
+        Rank::Min => (ps..pe).collect(),
+        Rank::Nn(_) => {
+            let entry = entry.clamp(ps, pe.saturating_sub(1).max(ps));
+            let mut order = vec![entry];
+            for step in 1..(pe - ps).max(1) {
+                if entry >= step && entry - step >= ps {
+                    order.push(entry - step);
+                }
+                if entry + step < pe {
+                    order.push(entry + step);
+                }
+            }
+            order
+        }
+    }
+}
+
+fn summarize(xs: &[f64]) -> (usize, f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &x in xs {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    if xs.is_empty() {
+        (0, 0.0, 0.0)
+    } else {
+        (xs.len(), lo, hi)
+    }
+}
+
+/// Algorithm 5, `Keys(range, rank, u, v)`: the first query window.
+fn keys_window(range: f64, rank: &Rank, u: f64, v: f64) -> (f64, f64) {
+    match rank {
+        Rank::Max => {
+            let to = v - range - 1.0;
+            let fr = to - range;
+            (fr, to)
+        }
+        Rank::Min => {
+            let fr = v + range + 1.0;
+            let to = fr + range;
+            (fr, to)
+        }
+        Rank::Nn(_) => (u - range / 2.0, v + range / 2.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineBuilder;
+    use sqo_storage::triple::Row;
+
+    fn car_rows(n: usize) -> Vec<Row> {
+        (0..n)
+            .map(|i| {
+                Row::new(
+                    format!("car:{i}"),
+                    [
+                        ("name".to_string(), Value::from(format!("model{i:03}x"))),
+                        ("hp".to_string(), Value::from((50 + (i * 7) % 400) as i64)),
+                        ("price".to_string(), Value::from(10_000.0 + 137.5 * i as f64)),
+                    ],
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn max_returns_the_largest_values() {
+        let rows = car_rows(120);
+        let mut e = EngineBuilder::new().peers(64).seed(30).build_with_rows(&rows);
+        let from = e.random_peer();
+        let res = e.top_n_numeric("hp", 5, Rank::Max, from);
+        assert_eq!(res.items.len(), 5);
+        let got: Vec<i64> = res.items.iter().map(|i| i.value.as_int().unwrap()).collect();
+        let mut all: Vec<i64> =
+            rows.iter().map(|r| r.get("hp").unwrap().as_int().unwrap()).collect();
+        all.sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(got, all[..5].to_vec());
+    }
+
+    #[test]
+    fn min_returns_the_smallest_values() {
+        let rows = car_rows(80);
+        let mut e = EngineBuilder::new().peers(32).seed(31).build_with_rows(&rows);
+        let from = e.random_peer();
+        let res = e.top_n_numeric("price", 3, Rank::Min, from);
+        let got: Vec<f64> = res.items.iter().map(|i| i.value.as_float().unwrap()).collect();
+        assert_eq!(got, vec![10_000.0, 10_137.5, 10_275.0]);
+    }
+
+    #[test]
+    fn nn_returns_nearest_numeric_neighbors() {
+        let rows = car_rows(100);
+        let mut e = EngineBuilder::new().peers(48).seed(32).build_with_rows(&rows);
+        let from = e.random_peer();
+        let res = e.top_n_numeric("hp", 4, Rank::Nn(Value::Int(200)), from);
+        assert_eq!(res.items.len(), 4);
+        // Oracle: closest hp values to 200.
+        let mut all: Vec<i64> =
+            rows.iter().map(|r| r.get("hp").unwrap().as_int().unwrap()).collect();
+        all.sort_by_key(|v| (v - 200).abs());
+        let got: Vec<i64> = res.items.iter().map(|i| i.value.as_int().unwrap()).collect();
+        let worst_got = got.iter().map(|v| (v - 200).abs()).max().unwrap();
+        let best_excluded = all[4..].iter().map(|v| (v - 200).abs()).min().unwrap();
+        assert!(
+            worst_got <= best_excluded,
+            "returned a farther neighbor than an excluded one"
+        );
+    }
+
+    #[test]
+    fn density_estimation_needs_few_rounds() {
+        let rows = car_rows(200);
+        let mut e = EngineBuilder::new().peers(64).seed(33).build_with_rows(&rows);
+        let from = e.random_peer();
+        let res = e.top_n_numeric("hp", 10, Rank::Max, from);
+        assert_eq!(res.items.len(), 10);
+        assert!(
+            res.stats.rounds <= 6,
+            "density estimate should converge quickly, took {} rounds",
+            res.stats.rounds
+        );
+    }
+
+    #[test]
+    fn n_larger_than_data_returns_everything() {
+        let rows = car_rows(7);
+        let mut e = EngineBuilder::new().peers(8).seed(34).build_with_rows(&rows);
+        let from = e.random_peer();
+        let res = e.top_n_numeric("hp", 50, Rank::Max, from);
+        assert_eq!(res.items.len(), 7);
+    }
+
+    #[test]
+    fn missing_attribute_returns_empty() {
+        let rows = car_rows(10);
+        let mut e = EngineBuilder::new().peers(8).seed(35).build_with_rows(&rows);
+        let from = e.random_peer();
+        let res = e.top_n_numeric("nonexistent", 3, Rank::Max, from);
+        assert!(res.items.is_empty());
+    }
+
+    #[test]
+    fn string_nn_shells() {
+        let words = ["haus", "hause", "house", "mouse", "horse", "xylophone"];
+        let rows: Vec<Row> = words
+            .iter()
+            .enumerate()
+            .map(|(i, w)| Row::new(format!("w:{i}"), [("word", Value::from(*w))]))
+            .collect();
+        let mut e = EngineBuilder::new().peers(32).seed(36).q(2).build_with_rows(&rows);
+        let from = e.random_peer();
+        let res = e.top_n_similar(Some("word"), 3, "house", 5, from, Strategy::QGrams);
+        assert_eq!(res.items.len(), 3);
+        assert_eq!(res.items[0].value.as_str(), Some("house"));
+        assert_eq!(res.items[0].score, 0.0);
+        // hause (d=1) and horse/mouse (d=1) compete for the remaining slots.
+        assert!(res.items[1..].iter().all(|i| i.score <= 1.0));
+    }
+
+    #[test]
+    fn string_nn_respects_dmax() {
+        let rows = vec![Row::new("w:0", [("word", Value::from("completelyother"))])];
+        let mut e = EngineBuilder::new().peers(8).seed(37).build_with_rows(&rows);
+        let from = e.random_peer();
+        let res = e.top_n_similar(Some("word"), 5, "zzzzz", 2, from, Strategy::QGrams);
+        assert!(res.items.is_empty(), "nothing within d_max must mean empty result");
+    }
+
+    #[test]
+    #[should_panic(expected = "numeric top-N requires a numeric NN target")]
+    fn numeric_nn_with_string_target_panics() {
+        let rows = car_rows(5);
+        let mut e = EngineBuilder::new().peers(8).build_with_rows(&rows);
+        let from = e.random_peer();
+        e.top_n_numeric("hp", 1, Rank::Nn(Value::from("oops")), from);
+    }
+}

@@ -1,0 +1,188 @@
+//! The car-market example database from §3 of the paper: cars with `name`,
+//! `hp`, `price`, `mileage` and a `dealer` reference; dealers with `dlrid`,
+//! `name` and `addr`. A configurable fraction of dealer rows uses *typo'd
+//! attribute names* (`dlrjd`, `dlridx`, …) and typo'd values, motivating the
+//! schema- and instance-level similarity queries of the paper's examples
+//! ("Select all attribute names which have a maximal distance of 2 from
+//! 'dlrid', for instance to detect typos").
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sqo_storage::triple::{Row, Value};
+
+/// Generation parameters.
+#[derive(Debug, Clone)]
+pub struct CarMarketConfig {
+    pub cars: usize,
+    pub dealers: usize,
+    /// Probability that a dealer row uses a typo'd `dlrid` attribute name,
+    /// and that a car name carries a misspelling.
+    pub typo_rate: f64,
+    pub seed: u64,
+}
+
+impl Default for CarMarketConfig {
+    fn default() -> Self {
+        Self { cars: 200, dealers: 20, typo_rate: 0.1, seed: 42 }
+    }
+}
+
+const BRANDS: [(&str, &[&str]); 6] = [
+    ("BMW", &["316i", "320d", "330i", "520d", "M3"]),
+    ("Audi", &["A3", "A4", "A6", "TT", "Q5"]),
+    ("VW", &["Golf", "Passat", "Polo", "Tiguan"]),
+    ("Mercedes", &["C200", "E220", "S400"]),
+    ("Toyota", &["Corolla", "Camry", "Yaris"]),
+    ("Volvo", &["V40", "V60", "XC90"]),
+];
+
+const DLRID_TYPOS: [&str; 4] = ["dlrjd", "dlridx", "dlid", "dlrrid"];
+const STREETS: [&str; 6] = ["Main St", "High St", "Park Ave", "Ringstrasse", "Bahnhofstr", "Elm Rd"];
+
+fn typo(rng: &mut StdRng, s: &str) -> String {
+    let mut cs: Vec<char> = s.chars().collect();
+    if cs.is_empty() {
+        return s.to_string();
+    }
+    let i = rng.gen_range(0..cs.len());
+    match rng.gen_range(0..3) {
+        0 => {
+            // substitution
+            cs[i] = char::from(b'a' + rng.gen_range(0..26u8));
+        }
+        1 => {
+            cs.remove(i);
+        }
+        _ => {
+            cs.insert(i, char::from(b'a' + rng.gen_range(0..26u8)));
+        }
+    }
+    cs.into_iter().collect()
+}
+
+/// Dealer rows. Dealer ids are strings `"D<number>"` so that the paper's
+/// *similarity* join on ids (`FILTER (dist(?id,?cid) < 2)`) is meaningful.
+pub fn dealer_rows(cfg: &CarMarketConfig) -> Vec<Row> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xD1A1);
+    (0..cfg.dealers)
+        .map(|i| {
+            let id_attr = if rng.gen_bool(cfg.typo_rate) {
+                DLRID_TYPOS[rng.gen_range(0..DLRID_TYPOS.len())].to_string()
+            } else {
+                "dlrid".to_string()
+            };
+            let name = format!("autohaus {}", crate::words::generate_word(&mut rng, 6));
+            let addr = format!(
+                "{} {}",
+                rng.gen_range(1..200),
+                STREETS[rng.gen_range(0..STREETS.len())]
+            );
+            Row::new(
+                format!("dlr:{i}"),
+                vec![
+                    (id_attr, Value::from(format!("D{i:04}"))),
+                    ("name".to_string(), Value::from(name)),
+                    ("addr".to_string(), Value::from(addr)),
+                ],
+            )
+        })
+        .collect()
+}
+
+/// Car rows referencing the dealers.
+pub fn car_rows(cfg: &CarMarketConfig) -> Vec<Row> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xCA25);
+    (0..cfg.cars)
+        .map(|i| {
+            let (brand, models) = BRANDS[rng.gen_range(0..BRANDS.len())];
+            let model = models[rng.gen_range(0..models.len())];
+            let mut name = format!("{brand} {model}");
+            if rng.gen_bool(cfg.typo_rate) {
+                name = typo(&mut rng, &name);
+            }
+            let dealer = rng.gen_range(0..cfg.dealers.max(1));
+            Row::new(
+                format!("car:{i}"),
+                vec![
+                    ("name".to_string(), Value::from(name)),
+                    ("hp".to_string(), Value::from(rng.gen_range(60..420) as i64)),
+                    ("price".to_string(), Value::from(rng.gen_range(4_000..90_000) as i64)),
+                    ("mileage".to_string(), Value::from(rng.gen_range(0..250_000) as i64)),
+                    ("dealer".to_string(), Value::from(format!("D{dealer:04}"))),
+                ],
+            )
+        })
+        .collect()
+}
+
+/// The full example database: dealers + cars.
+pub fn car_market(cfg: &CarMarketConfig) -> Vec<Row> {
+    let mut rows = dealer_rows(cfg);
+    rows.extend(car_rows(cfg));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_determinism() {
+        let cfg = CarMarketConfig::default();
+        let rows = car_market(&cfg);
+        assert_eq!(rows.len(), cfg.cars + cfg.dealers);
+        assert_eq!(rows, car_market(&cfg));
+    }
+
+    #[test]
+    fn cars_reference_existing_dealers() {
+        let cfg = CarMarketConfig { cars: 50, dealers: 5, ..Default::default() };
+        let dealers = dealer_rows(&cfg);
+        let cars = car_rows(&cfg);
+        for car in &cars {
+            let d = car.get("dealer").and_then(|v| v.as_str().map(str::to_string)).unwrap();
+            assert!(
+                dealers.iter().any(|row| row
+                    .fields
+                    .iter()
+                    .any(|(_, v)| v.as_str() == Some(d.as_str()))),
+                "dangling dealer reference {d}"
+            );
+        }
+    }
+
+    #[test]
+    fn typo_attributes_appear() {
+        let cfg = CarMarketConfig { dealers: 200, typo_rate: 0.3, ..Default::default() };
+        let dealers = dealer_rows(&cfg);
+        let typod = dealers
+            .iter()
+            .filter(|r| r.fields.iter().any(|(a, _)| DLRID_TYPOS.contains(&a.as_str())))
+            .count();
+        assert!(typod > 20, "expected typo'd dlrid attributes, got {typod}");
+        let clean = dealers
+            .iter()
+            .filter(|r| r.fields.iter().any(|(a, _)| a.as_str() == "dlrid"))
+            .count();
+        assert!(clean > typod, "most rows stay clean");
+    }
+
+    #[test]
+    fn zero_typo_rate_is_clean() {
+        let cfg = CarMarketConfig { typo_rate: 0.0, ..Default::default() };
+        for r in dealer_rows(&cfg) {
+            assert!(r.fields.iter().any(|(a, _)| a.as_str() == "dlrid"));
+        }
+    }
+
+    #[test]
+    fn numeric_fields_in_expected_ranges() {
+        let cfg = CarMarketConfig::default();
+        for car in car_rows(&cfg) {
+            let hp = car.get("hp").unwrap().as_int().unwrap();
+            assert!((60..420).contains(&hp));
+            let price = car.get("price").unwrap().as_int().unwrap();
+            assert!((4_000..90_000).contains(&price));
+        }
+    }
+}

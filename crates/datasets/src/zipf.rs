@@ -1,0 +1,76 @@
+//! Zipf-distributed sampling for skewed-workload ablations.
+//!
+//! The paper's related-work discussion notes EZSearch "works well … even
+//! for Zipf-like query distributions"; the ablation benches use this sampler
+//! to check the same for our operators (popular search strings hit popular
+//! q-gram partitions — the stress case for the gram index).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Inverse-CDF Zipf sampler over ranks `0..n`.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Build for `n` items with exponent `s > 0` (s ≈ 1 is classic Zipf).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n >= 1, "need at least one item");
+        assert!(s > 0.0, "exponent must be positive");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Sample a rank (0 = most popular).
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let x: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < x).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rank_zero_dominates() {
+        let z = ZipfSampler::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10] * 5, "zipf head too flat: {counts:?}");
+        assert!(counts[0] > 1_000);
+    }
+
+    #[test]
+    fn all_ranks_reachable() {
+        let z = ZipfSampler::new(5, 0.5);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 5];
+        for _ in 0..5_000 {
+            seen[z.sample(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn single_item_always_zero() {
+        let z = ZipfSampler::new(1, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(z.sample(&mut rng), 0);
+    }
+}

@@ -1,0 +1,34 @@
+//! # sqo-overlay — the P-Grid substrate
+//!
+//! A from-scratch implementation of the P-Grid distributed hash table
+//! (Aberer et al. \[1, 2\]) as used by the paper: a binary-trie key space
+//! with order-preserving hashing, prefix routing (Algorithm 1 of the paper),
+//! structural replication, and shower-style range queries (Datta et al.
+//! \[6\]) — wrapped in a deterministic shared-memory simulator that accounts
+//! every message and byte, reproducing the measurement methodology of the
+//! paper's evaluation (§6).
+//!
+//! Layering:
+//!
+//! * [`key`] — arbitrary-length binary keys with the prefix algebra.
+//! * [`hash`] — order- and prefix-preserving hashing of strings and numbers.
+//! * [`trie`] — construction of a load-balanced partition cover.
+//! * [`peer`] — per-peer state: path π(p), routing table ρ(p,l), replicas
+//!   σ(p), local store δ(p).
+//! * [`network`] — the simulator: routing, retrieval, range queries,
+//!   delegation primitives, churn.
+//! * [`metrics`] — message/bandwidth accounting.
+
+pub mod bootstrap;
+pub mod hash;
+pub mod key;
+pub mod metrics;
+pub mod network;
+pub mod peer;
+pub mod trie;
+
+pub use bootstrap::{bootstrap, BootstrapConfig, BootstrapOutcome};
+pub use key::Key;
+pub use metrics::Metrics;
+pub use network::{Network, NetworkConfig, RouteError};
+pub use peer::{Item, Peer, PeerId};

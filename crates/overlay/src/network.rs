@@ -1,0 +1,806 @@
+//! The shared-memory overlay simulator.
+//!
+//! This is the Rust counterpart of the paper's Java simulator (§6): the
+//! entire P-Grid network lives in one address space, "messages" are function
+//! calls, and every interaction that *would* cross the wire in a deployment
+//! is charged to [`Metrics`] — one message per routing hop (Algorithm 1
+//! forwards the query peer-to-peer), one per shower fan-out edge, one per
+//! result transfer, with payload bytes counted for the data-volume measure.
+//!
+//! The simulation is fully deterministic for a given seed: routing reference
+//! selection, peer assignment and initiator choice all draw from one seeded
+//! RNG.
+
+use crate::key::Key;
+use crate::metrics::Metrics;
+use crate::peer::{Item, Peer, PeerId};
+use crate::trie::{build_partitions, find_partition, subtree_range};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use smallvec::SmallVec;
+
+/// Static parameters of a simulated network.
+#[derive(Debug, Clone)]
+pub struct NetworkConfig {
+    /// Number of peers |P|.
+    pub peers: usize,
+    /// Target structural-replication factor: the trie is split into about
+    /// `peers / replication` partitions, and all peers of a partition hold
+    /// replicas of its data.
+    pub replication: usize,
+    /// Routing references per trie level (redundancy for fault tolerance;
+    /// P-Grid keeps several and picks randomly, which also spreads load).
+    pub refs_per_level: usize,
+    /// Fixed per-message envelope size in bytes (addresses, type, query id).
+    pub msg_header_bytes: usize,
+    /// RNG seed for deterministic simulation.
+    pub seed: u64,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        Self { peers: 64, replication: 1, refs_per_level: 2, msg_header_bytes: 48, seed: 42 }
+    }
+}
+
+/// Routing failure (only observable under churn).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteError {
+    /// No alive routing reference towards the key at some trie level.
+    NoAliveReference,
+    /// The whole destination partition is dead.
+    PartitionDead,
+    /// The initiating peer itself is dead.
+    InitiatorDead,
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteError::NoAliveReference => write!(f, "no alive routing reference"),
+            RouteError::PartitionDead => write!(f, "destination partition has no alive peer"),
+            RouteError::InitiatorDead => write!(f, "initiating peer is dead"),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// The simulated P-Grid network holding items of type `T`.
+pub struct Network<T> {
+    cfg: NetworkConfig,
+    /// Sorted, prefix-free, complete partition paths.
+    paths: Vec<Key>,
+    /// Peers per partition (structural replicas).
+    part_peers: Vec<SmallVec<[PeerId; 4]>>,
+    peers: Vec<Peer<T>>,
+    metrics: Metrics,
+    rng: StdRng,
+}
+
+impl<T: Item> Network<T> {
+    /// Construct a network of `cfg.peers` peers, build the trie adapted to
+    /// the data keys, wire routing tables, and insert all items.
+    pub fn build(cfg: NetworkConfig, data: Vec<(Key, T)>) -> Self {
+        let mut keys: Vec<Key> = data.iter().map(|(k, _)| k.clone()).collect();
+        let target_partitions = (cfg.peers / cfg.replication).max(1);
+        let paths = build_partitions(&mut keys, target_partitions);
+        drop(keys);
+        Self::build_with_paths(cfg, paths, None, data)
+    }
+
+    /// Construct a network whose trie emerged from the decentralized
+    /// construction protocol ([`crate::bootstrap`]) instead of the
+    /// centralized splitter.
+    pub fn build_bootstrapped(
+        cfg: NetworkConfig,
+        data: Vec<(Key, T)>,
+        boot: &crate::bootstrap::BootstrapConfig,
+    ) -> Self {
+        let keys: Vec<Key> = data.iter().map(|(k, _)| k.clone()).collect();
+        let outcome = crate::bootstrap::bootstrap(&keys, cfg.peers, boot);
+        Self::build_with_paths(cfg, outcome.paths, Some(outcome.peer_paths), data)
+    }
+
+    /// Construct from an explicit partition cover. `peer_paths`, when
+    /// given, assigns each peer to the partition with that exact path
+    /// (partitions left empty fall back to round-robin assignment).
+    pub fn build_with_paths(
+        cfg: NetworkConfig,
+        paths: Vec<Key>,
+        peer_paths: Option<Vec<Key>>,
+        data: Vec<(Key, T)>,
+    ) -> Self {
+        assert!(cfg.peers >= 1, "need at least one peer");
+        assert!(cfg.replication >= 1, "replication factor must be >= 1");
+        assert!(cfg.refs_per_level >= 1, "need at least one reference per level");
+        assert!(
+            crate::trie::is_complete_cover(&paths),
+            "partition paths must form a complete prefix-free cover"
+        );
+        debug_assert!(paths.windows(2).all(|w| w[0] < w[1]), "paths must be sorted");
+
+        // Assign peers to partitions: honor explicit placements, then
+        // round-robin so every partition gets at least one peer and surplus
+        // peers become structural replicas.
+        let mut part_peers: Vec<SmallVec<[PeerId; 4]>> = vec![SmallVec::new(); paths.len()];
+        let mut peers: Vec<Peer<T>> = Vec::with_capacity(cfg.peers);
+        let explicit: Vec<Option<usize>> = match &peer_paths {
+            Some(pp) => {
+                assert_eq!(pp.len(), cfg.peers, "one path per peer expected");
+                pp.iter().map(|p| paths.binary_search(p).ok()).collect()
+            }
+            None => vec![None; cfg.peers],
+        };
+        // First pass: empty partitions claim unplaced or redundant peers.
+        let mut assignment: Vec<usize> = (0..cfg.peers)
+            .map(|i| explicit[i].unwrap_or(i % paths.len()))
+            .collect();
+        {
+            let mut coverage = vec![0usize; paths.len()];
+            for &part in &assignment {
+                coverage[part] += 1;
+            }
+            let mut spare: Vec<usize> = (0..cfg.peers)
+                .filter(|&i| coverage[assignment[i]] > 1)
+                .collect();
+            for part in 0..paths.len() {
+                if coverage[part] > 0 {
+                    continue;
+                }
+                // Pop spares until one whose donor partition still has
+                // redundancy (an earlier pop may have drained it).
+                while let Some(peer) = spare.pop() {
+                    if coverage[assignment[peer]] > 1 {
+                        coverage[assignment[peer]] -= 1;
+                        assignment[peer] = part;
+                        coverage[part] += 1;
+                        break;
+                    }
+                }
+            }
+        }
+        for (i, &part) in assignment.iter().enumerate() {
+            let id = PeerId(i as u32);
+            part_peers[part].push(id);
+            peers.push(Peer::new(id, part as u32, paths[part].clone()));
+        }
+
+        let mut net = Network {
+            cfg,
+            paths,
+            part_peers,
+            peers,
+            metrics: Metrics::default(),
+            rng: StdRng::seed_from_u64(0), // replaced below, after cfg move
+        };
+        net.rng = StdRng::seed_from_u64(net.cfg.seed);
+        net.wire_replicas();
+        net.wire_routing_tables();
+        for (key, item) in data {
+            net.insert_item(key, item);
+        }
+        net
+    }
+
+    fn wire_replicas(&mut self) {
+        for part in 0..self.paths.len() {
+            let members = self.part_peers[part].clone();
+            for &p in &members {
+                self.peers[p.index()].replicas =
+                    members.iter().copied().filter(|&q| q != p).collect();
+            }
+        }
+    }
+
+    fn wire_routing_tables(&mut self) {
+        let refs = self.cfg.refs_per_level;
+        for pid in 0..self.peers.len() {
+            let path = self.peers[pid].path.clone();
+            let mut table = Vec::with_capacity(path.len());
+            for l in 0..path.len() {
+                let comp = path.complement_at(l);
+                let (s, e) = subtree_range(&self.paths, &comp);
+                debug_assert!(e > s, "complete cover guarantees a complementary subtree");
+                let mut level_refs: SmallVec<[PeerId; 4]> = SmallVec::new();
+                let mut guard = 0;
+                while level_refs.len() < refs && guard < refs * 8 {
+                    guard += 1;
+                    let part = self.rng.gen_range(s..e);
+                    let members = &self.part_peers[part];
+                    if members.is_empty() {
+                        continue; // peerless gap partition (bootstrap tries)
+                    }
+                    let peer = members[self.rng.gen_range(0..members.len())];
+                    if !level_refs.contains(&peer) {
+                        level_refs.push(peer);
+                    }
+                }
+                table.push(level_refs);
+            }
+            self.peers[pid].routing = table;
+        }
+    }
+
+    /// Insert an item, replicating it into every partition its key covers
+    /// (one partition in the common case; several only when the key is
+    /// shorter than the local trie depth) and onto every structural replica.
+    pub fn insert_item(&mut self, key: Key, item: T) {
+        let (s, e) = subtree_range(&self.paths, &key);
+        debug_assert!(e > s, "complete cover guarantees an owner for every key");
+        for part in s..e {
+            for &p in &self.part_peers[part].clone() {
+                self.peers[p.index()].insert(key.clone(), item.clone());
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    pub fn config(&self) -> &NetworkConfig {
+        &self.cfg
+    }
+
+    pub fn peer_count(&self) -> usize {
+        self.peers.len()
+    }
+
+    pub fn partition_count(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Sorted partition paths (the global trie's leaves).
+    pub fn paths(&self) -> &[Key] {
+        &self.paths
+    }
+
+    pub fn peer(&self, id: PeerId) -> &Peer<T> {
+        &self.peers[id.index()]
+    }
+
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    pub fn reset_metrics(&mut self) {
+        self.metrics = Metrics::default();
+    }
+
+    /// A uniformly random alive peer (query initiators in the workload).
+    ///
+    /// # Panics
+    /// Panics if every peer is dead.
+    pub fn random_peer(&mut self) -> PeerId {
+        assert!(self.peers.iter().any(|p| p.alive), "all peers dead");
+        loop {
+            let id = PeerId(self.rng.gen_range(0..self.peers.len()) as u32);
+            if self.peers[id.index()].alive {
+                return id;
+            }
+        }
+    }
+
+    /// Total stored (key, item) pairs across all peers (replicas included).
+    pub fn total_stored_items(&self) -> usize {
+        self.peers.iter().map(Peer::item_count).sum()
+    }
+
+    /// Total stored payload bytes across all peers (replicas included).
+    pub fn total_stored_bytes(&self) -> u64 {
+        self.peers.iter().map(Peer::stored_bytes).sum()
+    }
+
+    // ------------------------------------------------------------------
+    // Churn
+    // ------------------------------------------------------------------
+
+    pub fn fail_peer(&mut self, id: PeerId) {
+        self.peers[id.index()].alive = false;
+    }
+
+    pub fn revive_peer(&mut self, id: PeerId) {
+        self.peers[id.index()].alive = true;
+    }
+
+    /// Kill a random `fraction` of all peers. Returns the victims.
+    pub fn fail_random_fraction(&mut self, fraction: f64) -> Vec<PeerId> {
+        assert!((0.0..=1.0).contains(&fraction));
+        let n = ((self.peers.len() as f64) * fraction).round() as usize;
+        let mut victims = Vec::with_capacity(n);
+        while victims.len() < n {
+            let id = PeerId(self.rng.gen_range(0..self.peers.len()) as u32);
+            if self.peers[id.index()].alive {
+                self.peers[id.index()].alive = false;
+                victims.push(id);
+            }
+        }
+        victims
+    }
+
+    // ------------------------------------------------------------------
+    // Routing (Algorithm 1)
+    // ------------------------------------------------------------------
+
+    /// Prefix-route from `from` towards `key`; returns the first peer whose
+    /// path is a prefix of `key` (or extended by `key`). Each hop is one
+    /// message.
+    pub fn route(&mut self, from: PeerId, key: &Key) -> Result<PeerId, RouteError> {
+        if !self.peers[from.index()].alive {
+            return Err(RouteError::InitiatorDead);
+        }
+        let mut cur = from;
+        // The hop bound is the trie depth; a cycle would indicate a wiring
+        // bug, not a simulation condition.
+        let max_hops = 2 * crate::trie::MAX_PATH_BITS + 2;
+        for _ in 0..max_hops {
+            let peer = &self.peers[cur.index()];
+            if peer.path.is_prefix_of(key) || key.is_prefix_of(&peer.path) {
+                return Ok(cur);
+            }
+            let l = peer.path.common_prefix_len(key);
+            debug_assert!(l < peer.path.len());
+            let Some(next) = self.pick_alive_ref(cur, l) else {
+                self.metrics.failed_routes += 1;
+                return Err(RouteError::NoAliveReference);
+            };
+            self.metrics.count_hop(self.cfg.msg_header_bytes);
+            cur = next;
+        }
+        unreachable!("routing must converge within the trie depth");
+    }
+
+    /// Randomly select an alive reference of `peer` at level `l`, falling
+    /// back to alive structural replicas of the referenced partitions.
+    fn pick_alive_ref(&mut self, peer: PeerId, l: usize) -> Option<PeerId> {
+        let refs = self.peers[peer.index()].routing[l].clone();
+        if refs.is_empty() {
+            return None;
+        }
+        let start = self.rng.gen_range(0..refs.len());
+        for i in 0..refs.len() {
+            let cand = refs[(start + i) % refs.len()];
+            if self.peers[cand.index()].alive {
+                return Some(cand);
+            }
+            // Dead reference: its structural replicas share the path, so any
+            // alive one makes the same routing progress.
+            let part = self.peers[cand.index()].partition as usize;
+            if let Some(rep) = self.alive_member(part) {
+                return Some(rep);
+            }
+        }
+        None
+    }
+
+    /// Some alive peer of partition `part`, chosen at random.
+    fn alive_member(&mut self, part: usize) -> Option<PeerId> {
+        let members = &self.part_peers[part];
+        let alive: SmallVec<[PeerId; 4]> = members
+            .iter()
+            .copied()
+            .filter(|p| self.peers[p.index()].alive)
+            .collect();
+        if alive.is_empty() {
+            None
+        } else {
+            Some(alive[self.rng.gen_range(0..alive.len())])
+        }
+    }
+
+    /// Index of the partition responsible for `key`.
+    pub fn partition_of(&self, key: &Key) -> usize {
+        find_partition(&self.paths, key)
+    }
+
+    /// Contiguous partition-index range `[s, e)` of the subtree under `key`.
+    pub fn subtree_of(&self, key: &Key) -> (usize, usize) {
+        subtree_range(&self.paths, key)
+    }
+
+    // ------------------------------------------------------------------
+    // Retrieval (Algorithm 1 + shower fan-out)
+    // ------------------------------------------------------------------
+
+    /// `Retrieve(key, p)`: all items whose key has `key` as a prefix.
+    ///
+    /// Routes to the responsible partition; if `key` is shallower than the
+    /// trie, fans out shower-style to every partition of its subtree (one
+    /// forward message each). One result message per answering partition.
+    ///
+    /// Items stored redundantly (keys shorter than the trie depth) may be
+    /// returned once per covering partition; callers that care deduplicate
+    /// by object identity.
+    pub fn retrieve(&mut self, from: PeerId, key: &Key) -> Result<Vec<T>, RouteError> {
+        let entry = self.route(from, key)?;
+        let (s, e) = subtree_range(&self.paths, key);
+        let entry_part = self.peers[entry.index()].partition as usize;
+        let mut out = Vec::new();
+        for part in s..e {
+            let responder = if part == entry_part {
+                entry
+            } else {
+                // Shower forward into the sibling partition.
+                match self.alive_member(part) {
+                    Some(p) => {
+                        self.metrics.count_forward(self.cfg.msg_header_bytes);
+                        p
+                    }
+                    None => {
+                        self.metrics.failed_routes += 1;
+                        continue;
+                    }
+                }
+            };
+            let (items, touched) = self.peers[responder.index()].scan_prefix(key);
+            self.metrics.local_items_scanned += touched;
+            let payload: usize = items.iter().map(Item::size_bytes).sum();
+            if responder != from {
+                self.metrics.count_result(self.cfg.msg_header_bytes, payload);
+            }
+            out.extend(items);
+        }
+        Ok(out)
+    }
+
+    /// Range query over `[lo, hi]` (both inclusive), shower-style: route to
+    /// the partition containing `lo`, then forward across the partitions
+    /// intersecting the range; each responder replies directly to the
+    /// initiator (Datta et al. \[6\]).
+    pub fn range_query(&mut self, from: PeerId, lo: &Key, hi: &Key) -> Result<Vec<T>, RouteError> {
+        assert!(lo <= hi, "empty range: lo > hi");
+        // Partitions intersecting [lo, hi]: sup(path) >= lo and path <= hi.
+        // A partition whose path *extends* hi also qualifies: it stores
+        // items whose key is a prefix of its path — in particular an item
+        // with key exactly hi (sorted order puts such extensions directly
+        // after hi, so the predicate stays monotone).
+        let s = self
+            .paths
+            .partition_point(|p| p.cmp_extended(true, lo) == std::cmp::Ordering::Less);
+        let e = self
+            .paths
+            .partition_point(|p| p <= hi || hi.is_prefix_of(p))
+            .max(s);
+        if s == e {
+            return Ok(Vec::new());
+        }
+        let entry = self.route(from, lo)?;
+        let entry_part = self.peers[entry.index()].partition as usize;
+        let mut out = Vec::new();
+        for part in s..e {
+            let responder = if part == entry_part {
+                entry
+            } else {
+                match self.alive_member(part) {
+                    Some(p) => {
+                        self.metrics.count_forward(self.cfg.msg_header_bytes);
+                        p
+                    }
+                    None => {
+                        self.metrics.failed_routes += 1;
+                        continue;
+                    }
+                }
+            };
+            let (items, touched) = self.peers[responder.index()].scan_range(lo, hi);
+            self.metrics.local_items_scanned += touched;
+            let payload: usize = items.iter().map(Item::size_bytes).sum();
+            if responder != from {
+                self.metrics.count_result(self.cfg.msg_header_bytes, payload);
+            }
+            out.extend(items);
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Delegation primitives (the §4 optimizations are built on these)
+    // ------------------------------------------------------------------
+
+    /// Route a *query* to the owner of `key` and return that peer without
+    /// fetching anything; the caller then scans locally and decides where
+    /// results travel next (delegation instead of request/response).
+    pub fn delegate_to(&mut self, from: PeerId, key: &Key) -> Result<PeerId, RouteError> {
+        self.route(from, key)
+    }
+
+    /// A direct message of `payload_bytes` between two known peers
+    /// (delegation step or result return). One message.
+    pub fn send_direct(&mut self, _from: PeerId, _to: PeerId, payload_bytes: usize) {
+        self.metrics
+            .count_result(self.cfg.msg_header_bytes, payload_bytes);
+    }
+
+    /// Local prefix scan at `peer` — free of messages, but accounted as
+    /// local work.
+    pub fn local_prefix_scan(&mut self, peer: PeerId, key: &Key) -> Vec<T> {
+        let (items, touched) = self.peers[peer.index()].scan_prefix(key);
+        self.metrics.local_items_scanned += touched;
+        items
+    }
+
+    /// Local range scan at `peer`.
+    pub fn local_range_scan(&mut self, peer: PeerId, lo: &Key, hi: &Key) -> Vec<T> {
+        let (items, touched) = self.peers[peer.index()].scan_range(lo, hi);
+        self.metrics.local_items_scanned += touched;
+        items
+    }
+
+    /// Alive member of a partition (for fan-out planning by operators).
+    pub fn partition_member(&mut self, part: usize) -> Option<PeerId> {
+        self.alive_member(part)
+    }
+
+    /// Charge one forward message (operator-driven shower step).
+    pub fn charge_forward(&mut self) {
+        self.metrics.count_forward(self.cfg.msg_header_bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::hash_str;
+
+    #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+    struct W(String);
+    impl Item for W {
+        fn size_bytes(&self) -> usize {
+            self.0.len()
+        }
+    }
+
+    fn word_net(n_peers: usize, n_words: usize) -> (Network<W>, Vec<String>) {
+        let words: Vec<String> = (0..n_words).map(|i| format!("word{i:05}")).collect();
+        let data: Vec<(Key, W)> =
+            words.iter().map(|w| (hash_str(w), W(w.clone()))).collect();
+        let cfg = NetworkConfig { peers: n_peers, ..Default::default() };
+        (Network::build(cfg, data), words)
+    }
+
+    #[test]
+    fn every_key_is_retrievable() {
+        let (mut net, words) = word_net(64, 300);
+        for w in &words {
+            let from = net.random_peer();
+            let got = net.retrieve(from, &hash_str(w)).expect("route");
+            assert!(got.contains(&W(w.clone())), "word {w} not found");
+        }
+    }
+
+    #[test]
+    fn retrieval_counts_messages() {
+        let (mut net, words) = word_net(64, 300);
+        net.reset_metrics();
+        let from = net.random_peer();
+        net.retrieve(from, &hash_str(&words[0])).unwrap();
+        let m = net.metrics();
+        assert!(m.messages >= 1, "retrieval from a remote peer must cost messages");
+        assert!(m.result_msgs >= 1);
+        assert!(m.result_bytes as usize >= words[0].len());
+    }
+
+    #[test]
+    fn self_retrieval_costs_no_result_message() {
+        // If the initiator owns the key, no messages at all are needed.
+        let (mut net, words) = word_net(8, 50);
+        let key = hash_str(&words[0]);
+        let owner_part = net.partition_of(&key);
+        let owner = net.partition_member(owner_part).unwrap();
+        net.reset_metrics();
+        let got = net.retrieve(owner, &key).unwrap();
+        assert!(got.contains(&W(words[0].clone())));
+        assert_eq!(net.metrics().route_hops, 0);
+        assert_eq!(net.metrics().result_msgs, 0);
+    }
+
+    #[test]
+    fn routing_cost_is_logarithmic() {
+        // Expected ~0.5 * log2(P) hops per lookup (§2). Allow generous slack.
+        let (mut net, words) = word_net(1024, 2000);
+        net.reset_metrics();
+        let lookups = 200;
+        for i in 0..lookups {
+            let from = net.random_peer();
+            net.route(from, &hash_str(&words[i % words.len()])).unwrap();
+        }
+        let avg_hops = net.metrics().route_hops as f64 / lookups as f64;
+        let log_p = (net.partition_count() as f64).log2();
+        assert!(
+            avg_hops <= log_p,
+            "average hops {avg_hops:.2} exceeds log2(P) = {log_p:.2}"
+        );
+        assert!(avg_hops >= 0.2 * log_p, "suspiciously cheap routing: {avg_hops:.2}");
+    }
+
+    #[test]
+    fn prefix_retrieve_fans_out() {
+        let (mut net, _words) = word_net(64, 300);
+        let from = net.random_peer();
+        // All 300 words share the prefix "word0"/"word": query "word" must
+        // hit the whole subtree and return everything.
+        let got = net.retrieve(from, &hash_str("word")).unwrap();
+        assert_eq!(got.len(), 300);
+    }
+
+    #[test]
+    fn range_query_matches_oracle() {
+        let (mut net, words) = word_net(32, 200);
+        let lo = hash_str("word00050");
+        let hi = hash_str("word00149");
+        let from = net.random_peer();
+        let mut got: Vec<String> =
+            net.range_query(from, &lo, &hi).unwrap().into_iter().map(|w| w.0).collect();
+        got.sort_unstable();
+        let expect: Vec<String> = words
+            .iter()
+            .filter(|w| {
+                let k = hash_str(w);
+                k >= lo && k <= hi
+            })
+            .cloned()
+            .collect();
+        assert_eq!(got, expect);
+        assert_eq!(got.len(), 100);
+    }
+
+    #[test]
+    fn empty_range_is_empty_and_cheap() {
+        let (mut net, _) = word_net(32, 100);
+        net.reset_metrics();
+        let from = net.random_peer();
+        let lo = hash_str("zzz");
+        let hi = hash_str("zzzz");
+        let got = net.range_query(from, &lo, &hi).unwrap();
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn inverted_range_panics() {
+        let (mut net, _) = word_net(8, 10);
+        let from = net.random_peer();
+        let _ = net.range_query(from, &hash_str("b"), &hash_str("a"));
+    }
+
+    #[test]
+    fn single_peer_network_works() {
+        let (mut net, words) = word_net(1, 20);
+        assert_eq!(net.partition_count(), 1);
+        let from = net.random_peer();
+        let got = net.retrieve(from, &hash_str(&words[3])).unwrap();
+        assert_eq!(got, vec![W(words[3].clone())]);
+        assert_eq!(net.metrics().messages, 0, "single peer needs no messages");
+    }
+
+    #[test]
+    fn replication_replicates_data() {
+        let words: Vec<String> = (0..100).map(|i| format!("w{i:03}")).collect();
+        let data: Vec<(Key, W)> = words.iter().map(|w| (hash_str(w), W(w.clone()))).collect();
+        let cfg = NetworkConfig { peers: 32, replication: 4, ..Default::default() };
+        let net = Network::build(cfg, data);
+        assert!(net.partition_count() <= 8);
+        // Every item is stored once per structural replica.
+        assert_eq!(net.total_stored_items(), 100 * 4);
+    }
+
+    #[test]
+    fn retrieval_survives_churn_with_replication() {
+        let words: Vec<String> = (0..200).map(|i| format!("w{i:03}")).collect();
+        let data: Vec<(Key, W)> = words.iter().map(|w| (hash_str(w), W(w.clone()))).collect();
+        let cfg = NetworkConfig {
+            peers: 64,
+            replication: 4,
+            refs_per_level: 3,
+            seed: 7,
+            ..Default::default()
+        };
+        let mut net = Network::build(cfg, data);
+        net.fail_random_fraction(0.25);
+        let mut found = 0;
+        let mut attempted = 0;
+        for w in &words {
+            let from = net.random_peer();
+            attempted += 1;
+            if let Ok(items) = net.retrieve(from, &hash_str(w)) {
+                if items.contains(&W(w.clone())) {
+                    found += 1;
+                }
+            }
+        }
+        // With replication 4 and 25% churn the vast majority must survive.
+        assert!(
+            found as f64 >= 0.9 * attempted as f64,
+            "only {found}/{attempted} lookups succeeded under churn"
+        );
+    }
+
+    #[test]
+    fn determinism_same_seed_same_traffic() {
+        let run = || {
+            let (mut net, words) = word_net(128, 500);
+            net.reset_metrics();
+            for i in 0..50 {
+                let from = net.random_peer();
+                net.retrieve(from, &hash_str(&words[i * 7 % words.len()])).unwrap();
+            }
+            *net.metrics()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn dead_initiator_errors() {
+        let (mut net, words) = word_net(16, 50);
+        let from = net.random_peer();
+        net.fail_peer(from);
+        assert_eq!(
+            net.retrieve(from, &hash_str(&words[0])),
+            Err(RouteError::InitiatorDead)
+        );
+    }
+}
+
+#[cfg(test)]
+mod bootstrap_integration_tests {
+    use super::*;
+    use crate::bootstrap::BootstrapConfig;
+    use crate::hash::hash_str;
+
+    #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+    struct W(String);
+    impl Item for W {
+        fn size_bytes(&self) -> usize {
+            self.0.len()
+        }
+    }
+
+    #[test]
+    fn bootstrapped_network_serves_lookups() {
+        let words: Vec<String> = (0..400).map(|i| format!("word{i:04}x")).collect();
+        let data: Vec<(Key, W)> =
+            words.iter().map(|w| (hash_str(w), W(w.clone()))).collect();
+        let cfg = NetworkConfig { peers: 48, seed: 5, ..Default::default() };
+        let boot = BootstrapConfig { split_threshold: 24, ..Default::default() };
+        let mut net = Network::build_bootstrapped(cfg, data, &boot);
+        assert!(net.partition_count() > 1, "bootstrap should have split");
+        assert!(net.partition_count() <= net.peer_count());
+        for w in words.iter().step_by(7) {
+            let from = net.random_peer();
+            let got = net.retrieve(from, &hash_str(w)).expect("route");
+            assert!(got.contains(&W(w.clone())), "{w} unreachable on emergent trie");
+        }
+    }
+
+    #[test]
+    fn bootstrapped_range_queries_work() {
+        let words: Vec<String> = (0..300).map(|i| format!("k{i:03}")).collect();
+        let data: Vec<(Key, W)> =
+            words.iter().map(|w| (hash_str(w), W(w.clone()))).collect();
+        let cfg = NetworkConfig { peers: 32, seed: 6, ..Default::default() };
+        let mut net =
+            Network::build_bootstrapped(cfg, data, &BootstrapConfig::default());
+        let from = net.random_peer();
+        let got = net
+            .range_query(from, &hash_str("k100"), &hash_str("k199"))
+            .expect("route");
+        let mut names: Vec<String> = got.into_iter().map(|w| w.0).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 100);
+    }
+
+    #[test]
+    fn explicit_paths_constructor_validates_cover() {
+        let result = std::panic::catch_unwind(|| {
+            Network::<W>::build_with_paths(
+                NetworkConfig::default(),
+                vec![Key::parse("0")], // incomplete: misses "1"
+                None,
+                Vec::new(),
+            )
+        });
+        assert!(result.is_err(), "incomplete covers must be rejected");
+    }
+}

@@ -1,0 +1,182 @@
+//! Peer state: path, routing table, replica links, local store.
+
+use crate::key::Key;
+use smallvec::SmallVec;
+use std::collections::BTreeMap;
+
+/// Dense peer identifier (index into the network's peer table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PeerId(pub u32);
+
+impl PeerId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for PeerId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Anything storable in the overlay. The byte size feeds the data-volume
+/// accounting; items are cheap to clone (payloads are typically `Arc`ed).
+pub trait Item: Clone {
+    /// Serialized size in bytes, as charged to result messages.
+    fn size_bytes(&self) -> usize;
+}
+
+/// A peer of the overlay network.
+///
+/// Field names follow the paper's notation: `path` is π(p), `routing[l]` is
+/// ρ(p, l) — references to peers in the complementary subtrie at level `l` —
+/// `replicas` is σ(p), and `store` is δ(p).
+#[derive(Debug, Clone)]
+pub struct Peer<T> {
+    pub id: PeerId,
+    /// Index of the peer's key-space partition.
+    pub partition: u32,
+    /// π(p): the binary path identifying the partition.
+    pub path: Key,
+    /// ρ(p, l): for each prefix length `l < path.len()`, peers whose path
+    /// agrees on the first `l` bits and differs at bit `l`.
+    pub routing: Vec<SmallVec<[PeerId; 4]>>,
+    /// σ(p): peers with the same path (structural replicas).
+    pub replicas: SmallVec<[PeerId; 4]>,
+    /// δ(p): locally stored items, ordered by key for prefix/range scans.
+    pub store: BTreeMap<Key, SmallVec<[T; 2]>>,
+    /// Churn flag; dead peers neither answer nor forward.
+    pub alive: bool,
+}
+
+impl<T: Item> Peer<T> {
+    pub fn new(id: PeerId, partition: u32, path: Key) -> Self {
+        Self {
+            id,
+            partition,
+            path,
+            routing: Vec::new(),
+            replicas: SmallVec::new(),
+            store: BTreeMap::new(),
+            alive: true,
+        }
+    }
+
+    /// Insert an item under `key` into δ(p).
+    pub fn insert(&mut self, key: Key, item: T) {
+        self.store.entry(key).or_default().push(item);
+    }
+
+    /// All items whose key has `key` as a prefix (the `key(d) ⊇ key` match
+    /// of Algorithm 1, line 2). Returns the number of map entries touched
+    /// alongside the items, for local-scan accounting.
+    pub fn scan_prefix(&self, key: &Key) -> (Vec<T>, u64) {
+        let mut out = Vec::new();
+        let mut touched = 0;
+        for (k, items) in self.store.range(key.clone()..) {
+            if !key.is_prefix_of(k) {
+                break;
+            }
+            touched += 1;
+            out.extend(items.iter().cloned());
+        }
+        (out, touched)
+    }
+
+    /// All items with `lo <= key <= hi`.
+    pub fn scan_range(&self, lo: &Key, hi: &Key) -> (Vec<T>, u64) {
+        let mut out = Vec::new();
+        let mut touched = 0;
+        for (_k, items) in self.store.range(lo.clone()..=hi.clone()) {
+            touched += 1;
+            out.extend(items.iter().cloned());
+        }
+        (out, touched)
+    }
+
+    /// Exact-key items.
+    pub fn scan_exact(&self, key: &Key) -> (Vec<T>, u64) {
+        match self.store.get(key) {
+            Some(items) => (items.iter().cloned().collect(), 1),
+            None => (Vec::new(), 0),
+        }
+    }
+
+    /// Number of stored (key, item) pairs.
+    pub fn item_count(&self) -> usize {
+        self.store.values().map(SmallVec::len).sum()
+    }
+
+    /// Total payload bytes stored, for storage-overhead accounting.
+    pub fn stored_bytes(&self) -> u64 {
+        self.store
+            .values()
+            .flat_map(|v| v.iter())
+            .map(|i| i.size_bytes() as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::hash_str;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct S(&'static str);
+    impl Item for S {
+        fn size_bytes(&self) -> usize {
+            self.0.len()
+        }
+    }
+
+    fn peer() -> Peer<S> {
+        let mut p = Peer::new(PeerId(0), 0, Key::empty());
+        for w in ["alpha", "alpine", "beta", "alp", "gamma"] {
+            p.insert(hash_str(w), S(Box::leak(w.to_string().into_boxed_str())));
+        }
+        p
+    }
+
+    #[test]
+    fn prefix_scan_matches_extension_semantics() {
+        let p = peer();
+        let (hits, touched) = p.scan_prefix(&hash_str("alp"));
+        let mut names: Vec<_> = hits.iter().map(|s| s.0).collect();
+        names.sort_unstable();
+        assert_eq!(names, vec!["alp", "alpha", "alpine"]);
+        assert_eq!(touched, 3);
+    }
+
+    #[test]
+    fn exact_scan() {
+        let p = peer();
+        assert_eq!(p.scan_exact(&hash_str("beta")).0, vec![S("beta")]);
+        assert!(p.scan_exact(&hash_str("delta")).0.is_empty());
+    }
+
+    #[test]
+    fn range_scan_inclusive() {
+        let p = peer();
+        let (hits, _) = p.scan_range(&hash_str("alpha"), &hash_str("beta"));
+        let mut names: Vec<_> = hits.iter().map(|s| s.0).collect();
+        names.sort_unstable();
+        assert_eq!(names, vec!["alpha", "alpine", "beta"]);
+    }
+
+    #[test]
+    fn multiple_items_same_key() {
+        let mut p = peer();
+        p.insert(hash_str("beta"), S("beta"));
+        assert_eq!(p.scan_exact(&hash_str("beta")).0.len(), 2);
+        assert_eq!(p.item_count(), 6);
+    }
+
+    #[test]
+    fn stored_bytes_sums_payloads() {
+        let p = peer();
+        assert_eq!(p.stored_bytes(), ("alpha".len() + "alpine".len() + "beta".len() + "alp".len() + "gamma".len()) as u64);
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests for the overlay substrate: key algebra, hashing,
+//! trie construction and end-to-end retrieval.
+
+use proptest::prelude::*;
+use sqo_overlay::hash::{hash_i64, hash_str};
+use sqo_overlay::key::Key;
+use sqo_overlay::network::{Network, NetworkConfig};
+use sqo_overlay::peer::Item;
+use sqo_overlay::trie::{build_partitions, find_partition, is_complete_cover};
+
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct S(String);
+impl Item for S {
+    fn size_bytes(&self) -> usize {
+        self.0.len()
+    }
+}
+
+fn bits() -> impl Strategy<Value = Vec<bool>> {
+    prop::collection::vec(any::<bool>(), 0..40)
+}
+
+proptest! {
+    /// Key ordering equals lexicographic ordering of the bit strings.
+    #[test]
+    fn key_order_is_bit_lexicographic(a in bits(), b in bits()) {
+        let ka = Key::from_bits(a.iter().copied());
+        let kb = Key::from_bits(b.iter().copied());
+        prop_assert_eq!(ka.cmp(&kb), a.cmp(&b));
+    }
+
+    /// parse/to_bit_string round-trips, prefix() really truncates.
+    #[test]
+    fn key_roundtrip_and_prefix(a in bits(), l in 0usize..40) {
+        let k = Key::from_bits(a.iter().copied());
+        prop_assert_eq!(Key::parse(&k.to_bit_string()), k.clone());
+        let l = l.min(a.len());
+        let p = k.prefix(l);
+        prop_assert_eq!(p.len(), l);
+        prop_assert!(p.is_prefix_of(&k));
+        prop_assert_eq!(k.common_prefix_len(&p), l);
+    }
+
+    /// common_prefix_len is symmetric and bounded by both lengths.
+    #[test]
+    fn common_prefix_symmetric(a in bits(), b in bits()) {
+        let ka = Key::from_bits(a.iter().copied());
+        let kb = Key::from_bits(b.iter().copied());
+        let l = ka.common_prefix_len(&kb);
+        prop_assert_eq!(l, kb.common_prefix_len(&ka));
+        prop_assert!(l <= a.len().min(b.len()));
+        if l < a.len().min(b.len()) {
+            prop_assert_ne!(ka.bit(l), kb.bit(l));
+        }
+    }
+
+    /// Order-preserving string hash: a <= b ⇒ key(a) <= key(b), and the
+    /// prefix relation carries over.
+    #[test]
+    fn string_hash_preserves_order(a in "[a-z ]{0,20}", b in "[a-z ]{0,20}") {
+        let (ka, kb) = (hash_str(&a), hash_str(&b));
+        match a.cmp(&b) {
+            std::cmp::Ordering::Less => prop_assert!(ka <= kb),
+            std::cmp::Ordering::Equal => prop_assert_eq!(&ka, &kb),
+            std::cmp::Ordering::Greater => prop_assert!(ka >= kb),
+        }
+        if a.starts_with(&b) {
+            prop_assert!(kb.is_prefix_of(&ka));
+        }
+    }
+
+    /// Order-preserving integer hash.
+    #[test]
+    fn int_hash_preserves_order(a in any::<i64>(), b in any::<i64>()) {
+        prop_assert_eq!(hash_i64(a).cmp(&hash_i64(b)), a.cmp(&b));
+    }
+
+    /// Trie construction yields a complete prefix-free cover and
+    /// find_partition always returns a covering partition.
+    #[test]
+    fn trie_cover_and_lookup(
+        words in prop::collection::hash_set("[a-z]{1,8}", 1..60),
+        target in 1usize..40,
+    ) {
+        let words: Vec<String> = words.into_iter().collect();
+        let mut keys: Vec<Key> = words.iter().map(|w| hash_str(w)).collect();
+        let paths = build_partitions(&mut keys, target);
+        prop_assert!(paths.len() <= target);
+        prop_assert!(is_complete_cover(&paths));
+        for k in &keys {
+            let idx = find_partition(&paths, k);
+            prop_assert!(
+                paths[idx].is_prefix_of(k) || k.is_prefix_of(&paths[idx]),
+                "partition {} does not cover key {}", paths[idx], k
+            );
+        }
+    }
+
+    /// End-to-end: every inserted item is retrievable from any initiator,
+    /// for arbitrary data and network sizes.
+    #[test]
+    fn retrieve_finds_everything(
+        words in prop::collection::hash_set("[a-z]{1,10}", 1..40),
+        peers in 1usize..50,
+        seed in 0u64..100,
+    ) {
+        let words: Vec<String> = words.into_iter().collect();
+        let data: Vec<(Key, S)> = words.iter().map(|w| (hash_str(w), S(w.clone()))).collect();
+        let cfg = NetworkConfig { peers, seed, ..Default::default() };
+        let mut net = Network::build(cfg, data);
+        for w in &words {
+            let from = net.random_peer();
+            let got = net.retrieve(from, &hash_str(w)).expect("routing failed");
+            prop_assert!(got.contains(&S(w.clone())), "missing {w}");
+        }
+    }
+
+    /// Range queries agree with the brute-force oracle.
+    #[test]
+    fn range_query_oracle(
+        words in prop::collection::hash_set("[a-z]{1,6}", 1..40),
+        lo in "[a-z]{0,6}",
+        hi in "[a-z]{0,6}",
+        peers in 1usize..30,
+    ) {
+        let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+        let (klo, khi) = (hash_str(&lo), hash_str(&hi));
+        let words: Vec<String> = words.into_iter().collect();
+        let data: Vec<(Key, S)> = words.iter().map(|w| (hash_str(w), S(w.clone()))).collect();
+        let cfg = NetworkConfig { peers, ..Default::default() };
+        let mut net = Network::build(cfg, data);
+        let from = net.random_peer();
+        let mut got: Vec<String> =
+            net.range_query(from, &klo, &khi).unwrap().into_iter().map(|s| s.0).collect();
+        got.sort_unstable();
+        got.dedup();
+        let mut expect: Vec<String> = words
+            .iter()
+            .filter(|w| {
+                let k = hash_str(w);
+                k >= klo && k <= khi
+            })
+            .cloned()
+            .collect();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+}

@@ -1,0 +1,271 @@
+//! Key derivation for the vertical storage scheme.
+//!
+//! §3/§4 of the paper: every triple `(oid, A, v)` is inserted under several
+//! keys —
+//!
+//! 1. `key(oid)` — object lookups (reassembling complete tuples),
+//! 2. `key(A # v)` — attribute selections and range queries,
+//! 3. `key(v)` — keyword-like queries ("any attribute = v"),
+//! 4. `key(A # q)` for every q-gram `q` of a **string** value `v` —
+//!    instance-level similarity probes,
+//! 5. `key(q_A)` for every q-gram `q_A` of the attribute **name** —
+//!    schema-level similarity probes.
+//!
+//! Each family is prefixed with a one-byte *index tag* so the families
+//! occupy disjoint subtries (without it, `key(oid)` and `key(v)` of equal
+//! strings would collide). Within a family, keys are order- and
+//! prefix-preserving, which is what range scans and prefix fan-outs rely on.
+//! Components are separated by a `0x00` byte so that `hp#...` and `hpx#...`
+//! ranges cannot interleave.
+//!
+//! Two auxiliary families (tags 6 and 7) index strings *shorter than q*,
+//! which produce no q-grams; the `Similar` operator scans them directly when
+//! the query's match-length window dips below `q` (completeness — see
+//! `sqo-core::similar`).
+
+use crate::triple::Value;
+use sqo_overlay::hash::{hash_f64, hash_i64, hash_str};
+use sqo_overlay::key::Key;
+
+/// Index-family tags (first byte of every key).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum IndexFamily {
+    /// `key(oid)` → base triple.
+    Oid = 0x01,
+    /// `key(A # v)` → base triple.
+    AttrValue = 0x02,
+    /// `key(v)` → base triple (keyword index).
+    Value = 0x03,
+    /// `key(A # q-gram(v))` → gram posting (instance level).
+    InstanceGram = 0x04,
+    /// `key(q-gram(A))` → gram posting (schema level).
+    SchemaGram = 0x05,
+    /// `key(A # v)` for string values with `|v| < q`.
+    ShortValue = 0x06,
+    /// `key(A)` for attribute names with `|A| < q`.
+    ShortAttr = 0x07,
+}
+
+/// Value-type tags inside the value component of a key, keeping the three
+/// value domains (ints, floats, strings) in disjoint, internally ordered
+/// subranges.
+const VT_INT: u8 = 0x01;
+const VT_FLOAT: u8 = 0x02;
+const VT_STR: u8 = 0x03;
+
+fn tag_key(family: IndexFamily) -> Key {
+    Key::from_bytes(&[family as u8])
+}
+
+/// Order-preserving key fragment for a value.
+pub fn value_fragment(v: &Value) -> Key {
+    match v {
+        Value::Int(i) => Key::from_bytes(&[VT_INT]).concat(&hash_i64(*i)),
+        Value::Float(f) => Key::from_bytes(&[VT_FLOAT]).concat(&hash_f64(*f)),
+        Value::Str(s) => Key::from_bytes(&[VT_STR]).concat(&hash_str(s)),
+    }
+}
+
+/// Key fragment for an attribute name, `0x00`-terminated.
+fn attr_fragment(attr: &str) -> Key {
+    hash_str(attr).concat(&Key::from_bytes(&[0x00]))
+}
+
+// ---------------------------------------------------------------------
+// Family 1: oid index
+// ---------------------------------------------------------------------
+
+/// `key(oid)`.
+pub fn oid_key(oid: &str) -> Key {
+    tag_key(IndexFamily::Oid).concat(&hash_str(oid))
+}
+
+// ---------------------------------------------------------------------
+// Family 2: attribute-value index
+// ---------------------------------------------------------------------
+
+/// `key(A # v)`.
+pub fn attr_value_key(attr: &str, v: &Value) -> Key {
+    tag_key(IndexFamily::AttrValue)
+        .concat(&attr_fragment(attr))
+        .concat(&value_fragment(v))
+}
+
+/// Prefix covering **all** values of attribute `A` — the scan the
+/// schema-level operations and full-attribute fetches (similarity join left
+/// sides) use.
+pub fn attr_scan_prefix(attr: &str) -> Key {
+    tag_key(IndexFamily::AttrValue).concat(&attr_fragment(attr))
+}
+
+/// Inclusive key range for `v ∈ [lo, hi]` of attribute `A`. `lo` and `hi`
+/// must be of the same value kind.
+pub fn attr_value_range(attr: &str, lo: &Value, hi: &Value) -> (Key, Key) {
+    let base = attr_scan_prefix(attr);
+    let klo = base.concat(&value_fragment(lo));
+    // Extend the upper bound so that string keys *starting with* hi are
+    // included (range semantics on truncated string keys), by appending
+    // 1-bits up to the string-key capacity.
+    let mut khi = base.concat(&value_fragment(hi));
+    if matches!(hi, Value::Str(_)) {
+        for _ in 0..8 {
+            khi.push_bit(true);
+        }
+    }
+    (klo, khi)
+}
+
+// ---------------------------------------------------------------------
+// Family 3: keyword (value) index
+// ---------------------------------------------------------------------
+
+/// `key(v)` — the "any attribute = v" index.
+pub fn value_key(v: &Value) -> Key {
+    tag_key(IndexFamily::Value).concat(&value_fragment(v))
+}
+
+// ---------------------------------------------------------------------
+// Family 4: instance-level q-gram index
+// ---------------------------------------------------------------------
+
+/// `key(A # q)` for a q-gram `q` of a value of attribute `A`.
+pub fn instance_gram_key(attr: &str, gram: &str) -> Key {
+    tag_key(IndexFamily::InstanceGram)
+        .concat(&attr_fragment(attr))
+        .concat(&hash_str(gram))
+}
+
+/// Prefix covering all instance grams of attribute `A` (naive-baseline
+/// fan-out never uses this — it scans family 2 — but tests do).
+pub fn instance_gram_prefix(attr: &str) -> Key {
+    tag_key(IndexFamily::InstanceGram).concat(&attr_fragment(attr))
+}
+
+// ---------------------------------------------------------------------
+// Family 5: schema-level q-gram index
+// ---------------------------------------------------------------------
+
+/// `key(q_A)` for a q-gram of the attribute name.
+pub fn schema_gram_key(gram: &str) -> Key {
+    tag_key(IndexFamily::SchemaGram).concat(&hash_str(gram))
+}
+
+// ---------------------------------------------------------------------
+// Families 6 & 7: short strings (|s| < q)
+// ---------------------------------------------------------------------
+
+/// `key(A # v)` in the short-value family.
+pub fn short_value_key(attr: &str, v: &str) -> Key {
+    tag_key(IndexFamily::ShortValue)
+        .concat(&attr_fragment(attr))
+        .concat(&hash_str(v))
+}
+
+/// Prefix covering all short values of attribute `A`.
+pub fn short_value_prefix(attr: &str) -> Key {
+    tag_key(IndexFamily::ShortValue).concat(&attr_fragment(attr))
+}
+
+/// `key(A)` in the short-attr family (schema level).
+pub fn short_attr_key(attr: &str) -> Key {
+    tag_key(IndexFamily::ShortAttr).concat(&hash_str(attr))
+}
+
+/// Prefix covering the whole short-attr family.
+pub fn short_attr_prefix() -> Key {
+    tag_key(IndexFamily::ShortAttr)
+}
+
+/// Prefix covering the **entire** attribute-value family (every stored
+/// `(A, v)` posting) — the fan-out set of the naive baseline's schema-level
+/// scan, which must visit every peer holding any attribute data.
+pub fn attr_value_family_prefix() -> Key {
+    tag_key(IndexFamily::AttrValue)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_are_disjoint() {
+        // Same string in different roles must never produce prefix-related
+        // keys across families.
+        let keys = [
+            oid_key("bmw"),
+            attr_value_key("bmw", &Value::from("bmw")),
+            value_key(&Value::from("bmw")),
+            instance_gram_key("bmw", "bmw"),
+            schema_gram_key("bmw"),
+            short_value_key("bmw", "bm"),
+            short_attr_key("bm"),
+        ];
+        for (i, a) in keys.iter().enumerate() {
+            for (j, b) in keys.iter().enumerate() {
+                if i != j {
+                    assert!(!a.is_prefix_of(b), "family {i} key is prefix of family {j} key");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn attr_scan_prefix_covers_exactly_its_attribute() {
+        let k_hp = attr_value_key("hp", &Value::from(190));
+        let k_hpx = attr_value_key("hpx", &Value::from(190));
+        let p = attr_scan_prefix("hp");
+        assert!(p.is_prefix_of(&k_hp));
+        assert!(!p.is_prefix_of(&k_hpx));
+    }
+
+    #[test]
+    fn value_domains_are_ordered_and_disjoint() {
+        let i = value_fragment(&Value::from(5));
+        let f = value_fragment(&Value::from(5.0));
+        let s = value_fragment(&Value::from("5"));
+        assert!(i < f && f < s, "int < float < str domains");
+        assert!(value_fragment(&Value::from(-10)) < value_fragment(&Value::from(10)));
+        assert!(value_fragment(&Value::from("a")) < value_fragment(&Value::from("b")));
+    }
+
+    #[test]
+    fn numeric_range_keys_bound_correctly() {
+        let (lo, hi) = attr_value_range("price", &Value::from(100), &Value::from(200));
+        let in_range = attr_value_key("price", &Value::from(150));
+        let below = attr_value_key("price", &Value::from(99));
+        let above = attr_value_key("price", &Value::from(201));
+        assert!(lo <= in_range && in_range <= hi);
+        assert!(below < lo);
+        assert!(above > hi);
+    }
+
+    #[test]
+    fn string_range_includes_exact_upper_bound() {
+        let (lo, hi) = attr_value_range("name", &Value::from("audi"), &Value::from("bmw"));
+        let exact_hi = attr_value_key("name", &Value::from("bmw"));
+        assert!(exact_hi >= lo && exact_hi <= hi);
+        let extension = attr_value_key("name", &Value::from("bmwx"));
+        // Extensions of the upper bound are included by design (prefix
+        // semantics of truncated string keys); strictly larger strings not.
+        assert!(extension <= hi);
+        let larger = attr_value_key("name", &Value::from("bn"));
+        assert!(larger > hi);
+    }
+
+    #[test]
+    fn gram_keys_cluster_by_attribute() {
+        let a = instance_gram_key("name", "bmw");
+        let b = instance_gram_key("name", "mwx");
+        let c = instance_gram_key("color", "bmw");
+        let p = instance_gram_prefix("name");
+        assert!(p.is_prefix_of(&a) && p.is_prefix_of(&b));
+        assert!(!p.is_prefix_of(&c));
+    }
+
+    #[test]
+    fn short_families_scan_prefixes() {
+        assert!(short_value_prefix("nm").is_prefix_of(&short_value_key("nm", "ab")));
+        assert!(short_attr_prefix().is_prefix_of(&short_attr_key("hp")));
+    }
+}

@@ -1,0 +1,138 @@
+//! Property tests for the vertical storage scheme: key-family discipline,
+//! posting inventories, and object reassembly.
+
+use proptest::prelude::*;
+use sqo_storage::keys;
+use sqo_storage::posting::{BaseKind, Object, Posting};
+use sqo_storage::publish::{postings_for_rows, postings_for_triple, PublishConfig};
+use sqo_storage::triple::{Row, Triple, Value};
+use sqo_strsim::qgram::qgram_count;
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        "[a-z ]{0,12}".prop_map(Value::from),
+        any::<i64>().prop_map(Value::Int),
+        (-1e9f64..1e9).prop_map(Value::Float),
+    ]
+}
+
+proptest! {
+    /// Every posting's key starts with the tag of the family it belongs to,
+    /// and instance postings' keys extend the attribute's scan prefix.
+    #[test]
+    fn posting_keys_respect_families(
+        oid in "[a-z]{1,8}",
+        attr in "[a-z]{1,8}",
+        value in value_strategy(),
+        q in 2usize..5,
+    ) {
+        let t = Triple::new(oid.clone(), attr.clone(), value);
+        let cfg = PublishConfig { q, ..PublishConfig::default() };
+        for (key, posting) in postings_for_triple(&t, &cfg) {
+            match &posting {
+                Posting::Base { kind: BaseKind::Oid, .. } => {
+                    prop_assert_eq!(&key, &keys::oid_key(&oid));
+                }
+                Posting::Base { kind: BaseKind::AttrValue, triple } => {
+                    prop_assert!(keys::attr_scan_prefix(&attr).is_prefix_of(&key));
+                    prop_assert_eq!(&key, &keys::attr_value_key(&attr, &triple.value));
+                }
+                Posting::Base { kind: BaseKind::Value, triple } => {
+                    prop_assert_eq!(&key, &keys::value_key(&triple.value));
+                }
+                Posting::InstanceGram { gram, .. } => {
+                    prop_assert_eq!(&key, &keys::instance_gram_key(&attr, gram));
+                    prop_assert_eq!(gram.chars().count(), q);
+                }
+                Posting::SchemaGram { gram, .. } => {
+                    prop_assert_eq!(&key, &keys::schema_gram_key(gram));
+                    prop_assert_eq!(gram.chars().count(), q);
+                }
+                Posting::ShortValue { triple } => {
+                    let s = triple.value.as_str().expect("short postings are strings");
+                    prop_assert!(s.chars().count() < q);
+                    prop_assert!(keys::short_value_prefix(&attr).is_prefix_of(&key));
+                }
+                Posting::ShortAttr { .. } => {
+                    prop_assert!(attr.chars().count() < q);
+                    prop_assert!(keys::short_attr_prefix().is_prefix_of(&key));
+                }
+            }
+        }
+    }
+
+    /// Posting counts follow the closed-form inventory: 3 base postings
+    /// (2 without the keyword index), one instance gram per value q-gram,
+    /// one schema gram per attr-name q-gram, short-family fallbacks
+    /// otherwise.
+    #[test]
+    fn posting_inventory_formula(
+        oid in "[a-z]{1,6}",
+        attr in "[a-z]{1,9}",
+        s in "[a-z]{0,15}",
+        q in 2usize..4,
+        keyword in any::<bool>(),
+    ) {
+        let t = Triple::new(oid, attr.clone(), Value::from(s.clone()));
+        let cfg = PublishConfig { q, keyword_index: keyword, ..PublishConfig::default() };
+        let ps = postings_for_triple(&t, &cfg);
+        let base = ps.iter().filter(|(_, p)| matches!(p, Posting::Base { .. })).count();
+        prop_assert_eq!(base, if keyword { 3 } else { 2 });
+        let igrams = ps.iter().filter(|(_, p)| matches!(p, Posting::InstanceGram { .. })).count();
+        let shorts = ps.iter().filter(|(_, p)| matches!(p, Posting::ShortValue { .. })).count();
+        let n = s.chars().count();
+        if n >= q {
+            prop_assert_eq!(igrams, qgram_count(n, q));
+            prop_assert_eq!(shorts, 0);
+        } else {
+            prop_assert_eq!(igrams, 0);
+            prop_assert_eq!(shorts, 1);
+        }
+        let sgrams = ps.iter().filter(|(_, p)| matches!(p, Posting::SchemaGram { .. })).count();
+        let na = attr.chars().count();
+        prop_assert_eq!(sgrams, qgram_count(na, q));
+    }
+
+    /// Object reassembly from oid postings is lossless for a row's fields
+    /// (up to deduplication of identical (attr, value) pairs).
+    #[test]
+    fn object_roundtrip(
+        oid in "[a-z]{1,6}",
+        fields in prop::collection::vec(("[a-z]{1,6}", value_strategy()), 1..8),
+    ) {
+        let row = Row::new(oid.clone(), fields.clone());
+        let cfg = PublishConfig::default();
+        let (all, _) = postings_for_rows(&[row], &cfg);
+        let oid_postings: Vec<Posting> = all
+            .into_iter()
+            .filter(|(k, _)| keys::oid_key(&oid).is_prefix_of(k))
+            .map(|(_, p)| p)
+            .collect();
+        let obj = Object::from_postings(&oid, &oid_postings);
+        for (attr, value) in &fields {
+            prop_assert!(
+                obj.fields.iter().any(|(a, v)| a.as_str() == attr && v == value),
+                "field ({attr}, {value:?}) lost in reassembly"
+            );
+        }
+        // No foreign fields appear.
+        for (a, v) in &obj.fields {
+            prop_assert!(fields.iter().any(|(fa, fv)| fa == a.as_str() && fv == v));
+        }
+    }
+
+    /// Range keys bracket exactly the keys of in-range values.
+    #[test]
+    fn range_keys_bracket_values(
+        attr in "[a-z]{1,6}",
+        mut bounds in prop::collection::vec(any::<i64>(), 2),
+        probe in any::<i64>(),
+    ) {
+        bounds.sort_unstable();
+        let (lo, hi) = (bounds[0], bounds[1]);
+        let (klo, khi) = keys::attr_value_range(&attr, &Value::Int(lo), &Value::Int(hi));
+        let kp = keys::attr_value_key(&attr, &Value::Int(probe));
+        let inside = lo <= probe && probe <= hi;
+        prop_assert_eq!(inside, klo <= kp && kp <= khi);
+    }
+}

@@ -1,0 +1,206 @@
+//! Levenshtein edit distance.
+//!
+//! Two entry points are provided:
+//!
+//! * [`levenshtein`] — the exact distance, two-row dynamic program,
+//!   `O(|a|·|b|)` time and `O(min(|a|,|b|))` space.
+//! * [`levenshtein_bounded`] — banded variant that only fills the diagonal
+//!   band of width `2d + 1` and gives up early once the distance provably
+//!   exceeds `d`. This is the verifier used in the final step of the
+//!   `Similar` operator (Algorithm 2, line 23 of the paper), where `d` is
+//!   small (the paper's workload uses `d ≤ 5`).
+//!
+//! Distances are computed over Unicode scalar values, not bytes, so that a
+//! multi-byte character counts as a single edit.
+
+/// Exact Levenshtein distance between `a` and `b`.
+///
+/// ```
+/// use sqo_strsim::levenshtein;
+/// assert_eq!(levenshtein("kitten", "sitting"), 3);
+/// assert_eq!(levenshtein("", "abc"), 3);
+/// assert_eq!(levenshtein("same", "same"), 0);
+/// ```
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    if a == b {
+        return 0;
+    }
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    levenshtein_chars(&a, &b)
+}
+
+fn levenshtein_chars(a: &[char], b: &[char]) -> usize {
+    // Keep the shorter string in the inner dimension to minimize row size.
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if short.is_empty() {
+        return long.len();
+    }
+    let mut row: Vec<usize> = (0..=short.len()).collect();
+    for (i, &lc) in long.iter().enumerate() {
+        let mut prev_diag = row[0];
+        row[0] = i + 1;
+        for (j, &sc) in short.iter().enumerate() {
+            let cost = usize::from(lc != sc);
+            let next = (prev_diag + cost).min(row[j] + 1).min(row[j + 1] + 1);
+            prev_diag = row[j + 1];
+            row[j + 1] = next;
+        }
+    }
+    row[short.len()]
+}
+
+/// Banded Levenshtein: returns `Some(dist)` if `dist(a, b) <= d`, else `None`.
+///
+/// Runs in `O(d · min(|a|,|b|))` time. The band exploits that any cell
+/// `(i, j)` with `|i - j| > d` cannot lie on a path of cost `≤ d`.
+///
+/// ```
+/// use sqo_strsim::levenshtein_bounded;
+/// assert_eq!(levenshtein_bounded("kitten", "sitting", 3), Some(3));
+/// assert_eq!(levenshtein_bounded("kitten", "sitting", 2), None);
+/// assert_eq!(levenshtein_bounded("abc", "abc", 0), Some(0));
+/// ```
+pub fn levenshtein_bounded(a: &str, b: &str, d: usize) -> Option<usize> {
+    // Length filter before any allocation: the distance is at least the
+    // character-count difference. This is the hot path of the naive
+    // baseline, which compares the query against *every* stored value.
+    let alen = a.chars().count();
+    let blen = b.chars().count();
+    if alen.abs_diff(blen) > d {
+        return None;
+    }
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+    if long.len() - short.len() > d {
+        return None;
+    }
+    if short.is_empty() {
+        return Some(long.len());
+    }
+    if d == 0 {
+        return if short == long { Some(0) } else { None };
+    }
+
+    const INF: usize = usize::MAX / 2;
+    let n = short.len();
+    let mut row = vec![INF; n + 1];
+    for (j, slot) in row.iter_mut().enumerate().take(d.min(n) + 1) {
+        *slot = j;
+    }
+    for (i, &lc) in long.iter().enumerate() {
+        let i1 = i + 1;
+        // Band for this row: columns j with |i1 - j| <= d.
+        let lo = i1.saturating_sub(d);
+        let hi = (i1 + d).min(n);
+        let mut prev_diag = if lo == 0 { i } else { row[lo - 1] };
+        let mut row_min = INF;
+        // Cell left of the band start is outside the band: unreachable.
+        let mut left = if lo == 0 { i1 } else { INF };
+        if lo == 0 {
+            row[0] = i1;
+            row_min = i1;
+        }
+        for j in lo.max(1)..=hi {
+            let sc = short[j - 1];
+            let cost = usize::from(lc != sc);
+            let up = row[j];
+            let next = (prev_diag + cost).min(left + 1).min(up + 1);
+            prev_diag = up;
+            row[j] = next;
+            left = next;
+            row_min = row_min.min(next);
+        }
+        // Invalidate the cell just right of the band so the next row does not
+        // read a stale value from two rows ago.
+        if hi < n {
+            row[hi + 1] = INF;
+        }
+        if row_min > d {
+            return None;
+        }
+    }
+    let dist = row[n];
+    (dist <= d).then_some(dist)
+}
+
+/// `true` iff `dist(a, b) <= d`. Convenience wrapper over
+/// [`levenshtein_bounded`].
+pub fn within_distance(a: &str, b: &str, d: usize) -> bool {
+    levenshtein_bounded(a, b, d).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_pairs() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+        assert_eq!(levenshtein("gumbo", "gambol"), 2);
+        assert_eq!(levenshtein("book", "back"), 2);
+    }
+
+    #[test]
+    fn empty_and_identity() {
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+    }
+
+    #[test]
+    fn symmetric() {
+        assert_eq!(levenshtein("paris", "alice"), levenshtein("alice", "paris"));
+    }
+
+    #[test]
+    fn unicode_counts_scalars_not_bytes() {
+        // 'é' is two UTF-8 bytes but one edit.
+        assert_eq!(levenshtein("café", "cafe"), 1);
+        assert_eq!(levenshtein("日本語", "日本"), 1);
+    }
+
+    #[test]
+    fn bounded_agrees_with_exact_within_bound() {
+        let pairs = [
+            ("kitten", "sitting"),
+            ("abcdef", "abcdef"),
+            ("", "xy"),
+            ("similar", "dissimilar"),
+            ("dlrid", "dealerid"),
+        ];
+        for (a, b) in pairs {
+            let exact = levenshtein(a, b);
+            for d in 0..=8 {
+                let got = levenshtein_bounded(a, b, d);
+                if exact <= d {
+                    assert_eq!(got, Some(exact), "{a:?} vs {b:?} d={d}");
+                } else {
+                    assert_eq!(got, None, "{a:?} vs {b:?} d={d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_zero_distance() {
+        assert_eq!(levenshtein_bounded("x", "x", 0), Some(0));
+        assert_eq!(levenshtein_bounded("x", "y", 0), None);
+        assert_eq!(levenshtein_bounded("", "", 0), Some(0));
+    }
+
+    #[test]
+    fn length_gap_short_circuits() {
+        assert_eq!(levenshtein_bounded("a", "abcdefgh", 3), None);
+    }
+
+    #[test]
+    fn within_distance_boundary() {
+        assert!(within_distance("bmw", "bmv", 1));
+        assert!(!within_distance("bmw", "audi", 2));
+        assert!(within_distance("bmw", "audi", 4));
+    }
+}

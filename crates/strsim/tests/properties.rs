@@ -1,0 +1,133 @@
+//! Property-based tests for the approximate-string-matching substrate.
+//!
+//! These pin down the *soundness* invariants the distributed operators rely
+//! on: if a filter or sampling scheme violated them, the DHT operators would
+//! silently drop true matches — the worst failure mode for a similarity
+//! index.
+
+use proptest::prelude::*;
+use sqo_strsim::edit::{levenshtein, levenshtein_bounded};
+use sqo_strsim::filters::{count_filter_threshold, length_filter, position_filter};
+use sqo_strsim::qgram::{padded_qgrams, qgram_count, qgrams};
+use sqo_strsim::qsample::{is_complete_sample, qsamples};
+use std::collections::HashMap;
+
+fn word() -> impl Strategy<Value = String> {
+    "[a-f]{0,16}"
+}
+
+fn shared_qgram_count(a: &str, b: &str, q: usize) -> usize {
+    let mut bag: HashMap<String, usize> = HashMap::new();
+    for g in qgrams(a, q) {
+        *bag.entry(g.gram).or_insert(0) += 1;
+    }
+    let mut shared = 0;
+    for g in qgrams(b, q) {
+        if let Some(c) = bag.get_mut(&g.gram) {
+            if *c > 0 {
+                *c -= 1;
+                shared += 1;
+            }
+        }
+    }
+    shared
+}
+
+proptest! {
+    /// Edit distance is a metric: symmetry, identity, triangle inequality.
+    #[test]
+    fn edit_distance_is_a_metric(a in word(), b in word(), c in word()) {
+        let ab = levenshtein(&a, &b);
+        let ba = levenshtein(&b, &a);
+        prop_assert_eq!(ab, ba);
+        prop_assert_eq!(levenshtein(&a, &a), 0);
+        let ac = levenshtein(&a, &c);
+        let cb = levenshtein(&c, &b);
+        prop_assert!(ab <= ac + cb, "triangle violated: d({},{})={} > {}+{}", a, b, ab, ac, cb);
+    }
+
+    /// The banded computation agrees with the exact one for every bound.
+    #[test]
+    fn bounded_matches_exact(a in word(), b in word(), d in 0usize..20) {
+        let exact = levenshtein(&a, &b);
+        match levenshtein_bounded(&a, &b, d) {
+            Some(got) => {
+                prop_assert!(exact <= d);
+                prop_assert_eq!(got, exact);
+            }
+            None => prop_assert!(exact > d),
+        }
+    }
+
+    /// Length difference lower-bounds the edit distance, so the length filter
+    /// is sound.
+    #[test]
+    fn length_filter_sound(a in word(), b in word()) {
+        let d = levenshtein(&a, &b);
+        prop_assert!(length_filter(a.chars().count(), b.chars().count(), d));
+    }
+
+    /// Count filter soundness: strings within distance d share at least the
+    /// threshold number of q-grams.
+    #[test]
+    fn count_filter_sound(a in word(), b in word(), q in 1usize..5) {
+        let d = levenshtein(&a, &b);
+        let bound = count_filter_threshold(a.chars().count(), b.chars().count(), q, d);
+        let shared = shared_qgram_count(&a, &b, q) as i64;
+        prop_assert!(shared >= bound,
+            "a={:?} b={:?} q={} d={} shared={} bound={}", a, b, q, d, shared, bound);
+    }
+
+    /// Position filter soundness: some occurrence of a preserved sample gram
+    /// lies within d positions. We verify the weaker but operationally used
+    /// form: for every pair within distance d, at least one query q-gram
+    /// occurs in the data string at an offset within d of its query offset —
+    /// provided the query admits a complete (d+1)-sample.
+    #[test]
+    fn qsample_completeness(a in "[a-c]{6,24}", d in 1usize..4, seed in 0u64..1000) {
+        let q = 2;
+        prop_assume!(is_complete_sample(a.chars().count(), q, d));
+        // Derive b from a by exactly <= d random edits.
+        let mut b: Vec<char> = a.chars().collect();
+        let mut s = seed;
+        for _ in 0..d {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let pos = (s >> 33) as usize % (b.len() + 1);
+            match (s >> 13) % 3 {
+                0 if pos < b.len() => { b[pos] = char::from(b'a' + ((s >> 3) % 3) as u8); }
+                1 if pos < b.len() => { b.remove(pos); }
+                _ => { b.insert(pos, char::from(b'a' + ((s >> 3) % 3) as u8)); }
+            }
+        }
+        let b: String = b.into_iter().collect();
+        let dist = levenshtein(&a, &b);
+        prop_assume!(dist <= d); // edits may cancel; only the <= d case matters
+        let sample = qsamples(&a, q, d);
+        let b_grams = qgrams(&b, q);
+        let hit = sample.iter().any(|sg| {
+            b_grams.iter().any(|bg| bg.gram == sg.gram && position_filter(bg.pos, sg.pos, d))
+        });
+        prop_assert!(hit, "no sample gram of {:?} found in {:?} within shift {}", a, b, d);
+    }
+
+    /// Gram counts follow the closed-form formulas.
+    #[test]
+    fn gram_count_formulas(a in word(), q in 1usize..5) {
+        let n = a.chars().count();
+        prop_assert_eq!(qgrams(&a, q).len(), qgram_count(n, q));
+        if n > 0 {
+            prop_assert_eq!(padded_qgrams(&a, q).len(), n + q - 1);
+        }
+    }
+
+    /// Every sample is a subset of the full positional q-gram set.
+    #[test]
+    fn samples_subset_of_grams(a in word(), q in 1usize..4, d in 0usize..4) {
+        let all: std::collections::HashSet<_> =
+            qgrams(&a, q).into_iter().map(|g| (g.gram, g.pos)).collect();
+        for g in qsamples(&a, q, d) {
+            prop_assert!(all.contains(&(g.gram.clone(), g.pos)));
+        }
+        prop_assert!(qsamples(&a, q, d).len() <= d + 1);
+    }
+}

@@ -1,0 +1,246 @@
+//! Abstract syntax of VQL (Vertical Query Language).
+//!
+//! §3 of the paper: VQL borrows SPARQL's surface syntax — a `SELECT` /
+//! `WHERE` block over triple patterns `(subject, attribute, value)` with
+//! `FILTER` predicates, where `dist(x, y)` expresses similarity (edit
+//! distance on strings, Euclidean distance on numbers), plus `ORDER BY`
+//! (including `NN 'target'` nearest-neighbor ordering), `LIMIT` and
+//! `OFFSET`. All predicates combine conjunctively. There is no `FROM`
+//! clause — the vertical scheme has no horizontal relations to name.
+
+use sqo_storage::triple::Value;
+use std::fmt;
+
+/// A position in a triple pattern: a variable or a constant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Term {
+    Var(String),
+    Const(Value),
+}
+
+impl Term {
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+
+    pub fn as_const(&self) -> Option<&Value> {
+        match self {
+            Term::Var(_) => None,
+            Term::Const(v) => Some(v),
+        }
+    }
+}
+
+/// A triple pattern `(s, p, o)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TriplePattern {
+    pub s: Term,
+    pub p: Term,
+    pub o: Term,
+}
+
+/// A scalar expression inside a FILTER.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operand {
+    Var(String),
+    Lit(Value),
+    /// `dist(a, b)` — edit distance for strings, Euclidean for numbers.
+    Dist(Box<Operand>, Box<Operand>),
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+}
+
+impl CmpOp {
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+        }
+    }
+}
+
+/// One `FILTER (left op right)` predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Filter {
+    pub left: Operand,
+    pub op: CmpOp,
+    pub right: Operand,
+}
+
+/// Result ordering.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OrderBy {
+    /// `ORDER BY ?v [ASC|DESC]`.
+    Key { var: String, desc: bool },
+    /// `ORDER BY ?v NN 'target'` — nearest-neighbor ranking (§3's third
+    /// example sorts attribute names by distance to `'dlrid'`).
+    Nn { var: String, target: Value },
+}
+
+/// A parsed VQL query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    pub select: Vec<String>,
+    pub patterns: Vec<TriplePattern>,
+    pub filters: Vec<Filter>,
+    pub order: Option<OrderBy>,
+    pub limit: Option<usize>,
+    pub offset: Option<usize>,
+}
+
+// ---------------------------------------------------------------------
+// Pretty printing (the parse → print → parse round-trip test anchor)
+// ---------------------------------------------------------------------
+
+fn fmt_value(v: &Value, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match v {
+        Value::Str(s) => write!(f, "'{}'", s.replace('\'', "\\'")),
+        Value::Int(i) => write!(f, "{i}"),
+        Value::Float(x) => {
+            if x.fract() == 0.0 && x.is_finite() {
+                write!(f, "{x:.1}")
+            } else {
+                write!(f, "{x}")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "?{v}"),
+            // Bare identifiers (attribute names, oids) print unquoted when
+            // they lex as identifiers; everything else quotes.
+            Term::Const(Value::Str(s)) if is_bare_ident(s) => f.write_str(s),
+            Term::Const(v) => fmt_value(v, f),
+        }
+    }
+}
+
+pub(crate) fn is_bare_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        && !matches!(
+            s.to_ascii_uppercase().as_str(),
+            "SELECT" | "WHERE" | "FILTER" | "ORDER" | "BY" | "ASC" | "DESC" | "LIMIT"
+                | "OFFSET" | "NN" | "DIST"
+        )
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Var(v) => write!(f, "?{v}"),
+            Operand::Lit(v) => fmt_value(v, f),
+            Operand::Dist(a, b) => write!(f, "dist({a},{b})"),
+        }
+    }
+}
+
+impl fmt::Display for Filter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FILTER ({} {} {})", self.left, self.op.symbol(), self.right)
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        for (i, v) in self.select.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "?{v}")?;
+        }
+        write!(f, " WHERE {{ ")?;
+        for p in &self.patterns {
+            write!(f, "({},{},{}) ", p.s, p.p, p.o)?;
+        }
+        for flt in &self.filters {
+            write!(f, "{flt} ")?;
+        }
+        write!(f, "}}")?;
+        match &self.order {
+            Some(OrderBy::Key { var, desc }) => {
+                write!(f, " ORDER BY ?{var}{}", if *desc { " DESC" } else { " ASC" })?;
+            }
+            Some(OrderBy::Nn { var, target }) => {
+                write!(f, " ORDER BY ?{var} NN ")?;
+                struct V<'a>(&'a Value);
+                impl fmt::Display for V<'_> {
+                    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                        fmt_value(self.0, f)
+                    }
+                }
+                write!(f, "{}", V(target))?;
+            }
+            None => {}
+        }
+        if let Some(l) = self.limit {
+            write!(f, " LIMIT {l}")?;
+        }
+        if let Some(o) = self.offset {
+            write!(f, " OFFSET {o}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn term_accessors() {
+        assert_eq!(Term::Var("x".into()).as_var(), Some("x"));
+        assert_eq!(Term::Const(Value::Int(3)).as_const(), Some(&Value::Int(3)));
+        assert_eq!(Term::Var("x".into()).as_const(), None);
+    }
+
+    #[test]
+    fn display_terms() {
+        assert_eq!(Term::Var("o".into()).to_string(), "?o");
+        assert_eq!(Term::Const(Value::from("name")).to_string(), "name");
+        assert_eq!(Term::Const(Value::from("two words")).to_string(), "'two words'");
+        assert_eq!(Term::Const(Value::Int(5)).to_string(), "5");
+    }
+
+    #[test]
+    fn display_filter() {
+        let f = Filter {
+            left: Operand::Dist(
+                Box::new(Operand::Var("n".into())),
+                Box::new(Operand::Lit(Value::from("BMW"))),
+            ),
+            op: CmpOp::Lt,
+            right: Operand::Lit(Value::Int(2)),
+        };
+        assert_eq!(f.to_string(), "FILTER (dist(?n,'BMW') < 2)");
+    }
+
+    #[test]
+    fn keywords_never_print_bare() {
+        assert!(!is_bare_ident("select"));
+        assert!(!is_bare_ident("NN"));
+        assert!(is_bare_ident("name"));
+        assert!(is_bare_ident("ns:price"));
+    }
+}

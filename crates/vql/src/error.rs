@@ -1,0 +1,33 @@
+//! VQL error types.
+
+use std::fmt;
+
+/// Anything that can go wrong between query text and result rows.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VqlError {
+    /// Lexical error: unexpected character.
+    Lex { pos: usize, message: String },
+    /// Syntax error with token position.
+    Parse { pos: usize, message: String },
+    /// The query is valid but the planner cannot find an access path
+    /// (e.g. a subject with neither a constant attribute nor a similarity
+    /// predicate — that would be a full database scan).
+    Unplannable(String),
+    /// Semantic error (unknown variable in SELECT/ORDER, type mismatch…).
+    Semantic(String),
+}
+
+impl fmt::Display for VqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VqlError::Lex { pos, message } => write!(f, "lex error at {pos}: {message}"),
+            VqlError::Parse { pos, message } => write!(f, "parse error at token {pos}: {message}"),
+            VqlError::Unplannable(m) => write!(f, "unplannable query: {m}"),
+            VqlError::Semantic(m) => write!(f, "semantic error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for VqlError {}
+
+pub type Result<T> = std::result::Result<T, VqlError>;

@@ -1,0 +1,436 @@
+//! VQL execution over the similarity engine.
+//!
+//! Execution is materialize-then-join at the initiating peer: every subject
+//! plan fetches its candidate objects through the physical operators of
+//! `sqo-core` (each call paying its overlay messages), the resulting
+//! binding sets are hash-joined locally on shared variables, join-spanning
+//! `dist` predicates and residual filters run on the joined rows, and
+//! ORDER BY / LIMIT / OFFSET shape the output — the "separate sub-queries
+//! and intersecting the results" strategy of §4.
+
+use crate::ast::{CmpOp, Filter, Operand, OrderBy, Query, Term};
+use crate::error::{Result, VqlError};
+use crate::plan::{plan, AccessPath, Plan, SubjectPlan};
+use rustc_hash::FxHashMap;
+use sqo_core::{QueryStats, SimilarityEngine, Strategy};
+use sqo_overlay::peer::PeerId;
+use sqo_storage::posting::Object;
+use sqo_storage::triple::Value;
+use sqo_strsim::edit::levenshtein;
+
+/// Execution options.
+#[derive(Debug, Clone)]
+pub struct ExecOptions {
+    /// Strategy for instance/schema similarity paths.
+    pub strategy: Strategy,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        Self { strategy: Strategy::QGrams }
+    }
+}
+
+/// A result table.
+#[derive(Debug, Clone)]
+pub struct QueryOutput {
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Value>>,
+    pub stats: QueryStats,
+}
+
+/// One binding row during execution.
+type Row = FxHashMap<String, Value>;
+
+/// Parse, plan and execute `text` against `engine` from peer `from`.
+pub fn run(
+    engine: &mut SimilarityEngine,
+    from: PeerId,
+    text: &str,
+    opts: &ExecOptions,
+) -> Result<QueryOutput> {
+    let query = crate::parser::parse(text)?;
+    execute(engine, from, &query, opts)
+}
+
+/// Execute a parsed query.
+pub fn execute(
+    engine: &mut SimilarityEngine,
+    from: PeerId,
+    query: &Query,
+    opts: &ExecOptions,
+) -> Result<QueryOutput> {
+    let plan = plan(query)?;
+    let mut stats = QueryStats::default();
+
+    // ---- Materialize every subject -----------------------------------
+    let mut sides: Vec<(Vec<Row>, &SubjectPlan)> = Vec::with_capacity(plan.subjects.len());
+    for sp in &plan.subjects {
+        let rows = materialize(engine, from, sp, opts, &mut stats)?;
+        sides.push((rows, sp));
+    }
+
+    // ---- Join ---------------------------------------------------------
+    // Join the smaller sides first to keep intermediate results small.
+    sides.sort_by_key(|(rows, _)| rows.len());
+    let mut acc: Vec<Row> = Vec::new();
+    let mut acc_vars: Vec<String> = Vec::new();
+    for (i, (rows, sp)) in sides.into_iter().enumerate() {
+        if i == 0 {
+            acc = rows;
+            acc_vars = sp.vars.iter().cloned().collect();
+            continue;
+        }
+        let shared: Vec<String> =
+            sp.vars.iter().filter(|v| acc_vars.contains(v)).cloned().collect();
+        acc = hash_join(acc, rows, &shared);
+        let new_vars: Vec<String> =
+            sp.vars.iter().filter(|v| !acc_vars.contains(v)).cloned().collect();
+        acc_vars.extend(new_vars);
+        // Apply any cross filter whose variables are now all bound.
+        acc.retain(|row| {
+            plan.cross_filters
+                .iter()
+                .filter(|f| filter_ready(f, &acc_vars))
+                .all(|f| eval_filter(f, row, &mut stats).unwrap_or(false))
+        });
+    }
+
+    // ---- Residual + remaining cross filters ---------------------------
+    acc.retain(|row| {
+        plan.residual
+            .iter()
+            .chain(plan.cross_filters.iter())
+            .all(|f| eval_filter(f, row, &mut stats).unwrap_or(false))
+    });
+
+    // ---- Order / offset / limit ---------------------------------------
+    order_rows(&mut acc, &plan, &mut stats)?;
+    let offset = plan.offset.unwrap_or(0);
+    if offset > 0 {
+        acc = acc.into_iter().skip(offset).collect();
+    }
+    if let Some(limit) = plan.limit {
+        acc.truncate(limit);
+    }
+
+    // ---- Project -------------------------------------------------------
+    let mut rows = Vec::with_capacity(acc.len());
+    for r in &acc {
+        let mut out = Vec::with_capacity(plan.select.len());
+        for col in &plan.select {
+            let Some(v) = r.get(col) else {
+                return Err(VqlError::Semantic(format!("?{col} unbound in a result row")));
+            };
+            out.push(v.clone());
+        }
+        rows.push(out);
+    }
+    stats.matches = rows.len();
+    Ok(QueryOutput { columns: plan.select.clone(), rows, stats })
+}
+
+/// Materialize one subject's binding rows via its access path.
+fn materialize(
+    engine: &mut SimilarityEngine,
+    from: PeerId,
+    sp: &SubjectPlan,
+    opts: &ExecOptions,
+    stats: &mut QueryStats,
+) -> Result<Vec<Row>> {
+    // (object, schema-matched attribute name) pairs.
+    let mut sources: Vec<(Object, Option<String>)> = Vec::new();
+    match &sp.path {
+        AccessPath::ByOid { oid } => {
+            let (obj, s) = engine.lookup_object(from, oid);
+            stats.absorb(&s);
+            if let Some(o) = obj {
+                sources.push((o, None));
+            }
+        }
+        AccessPath::Exact { attr, value } => {
+            let res = engine.select_exact(attr, value, from);
+            stats.absorb(&res.stats);
+            dedup_objects(res.hits.into_iter().map(|h| h.object), &mut sources);
+        }
+        AccessPath::Range { attr, lo, hi } => {
+            let (lo, hi) = open_range_bounds(lo.clone(), hi.clone());
+            let res = engine.select_range(attr, &lo, &hi, from);
+            stats.absorb(&res.stats);
+            dedup_objects(res.hits.into_iter().map(|h| h.object), &mut sources);
+        }
+        AccessPath::NumericSimilar { attr, center, eps } => {
+            let res = engine.select_numeric_similar(attr, center, *eps, from);
+            stats.absorb(&res.stats);
+            dedup_objects(res.hits.into_iter().map(|h| h.object), &mut sources);
+        }
+        AccessPath::StringSimilar { attr, query, d } => {
+            let res = engine.similar(query, Some(attr), *d, from, opts.strategy);
+            stats.absorb(&res.stats);
+            dedup_objects(res.matches.into_iter().map(|m| m.object), &mut sources);
+        }
+        AccessPath::SchemaSimilar { query, d } => {
+            let res = engine.similar(query, None, *d, from, opts.strategy);
+            stats.absorb(&res.stats);
+            // Keep the matched attribute: it binds the pattern's attr var.
+            let mut seen = rustc_hash::FxHashSet::default();
+            for m in res.matches {
+                if seen.insert((m.oid.clone(), m.attr.as_str().to_string())) {
+                    sources.push((m.object, Some(m.attr.as_str().to_string())));
+                }
+            }
+        }
+        AccessPath::FullScan { attr } => {
+            let res = engine.select_all(attr, from);
+            stats.absorb(&res.stats);
+            dedup_objects(res.hits.into_iter().map(|h| h.object), &mut sources);
+        }
+    }
+
+    let mut rows = Vec::new();
+    for (obj, schema_attr) in &sources {
+        rows.extend(bind_object(sp, obj, schema_attr.as_deref()));
+    }
+    Ok(rows)
+}
+
+fn dedup_objects(objs: impl Iterator<Item = Object>, out: &mut Vec<(Object, Option<String>)>) {
+    let mut seen = rustc_hash::FxHashSet::default();
+    for o in objs {
+        if seen.insert(o.oid.clone()) {
+            out.push((o, None));
+        }
+    }
+}
+
+fn open_range_bounds(lo: Option<Value>, hi: Option<Value>) -> (Value, Value) {
+    // Domain sentinels for half-open ranges; the residual filter restores
+    // exact strictness.
+    let kind = lo.as_ref().or(hi.as_ref()).cloned();
+    let (dlo, dhi) = match kind {
+        Some(Value::Float(_)) => (Value::Float(f64::MIN), Value::Float(f64::MAX)),
+        Some(Value::Str(_)) => {
+            (Value::Str(String::new()), Value::Str("\u{10FFFF}".repeat(8)))
+        }
+        _ => (Value::Int(i64::MIN), Value::Int(i64::MAX)),
+    };
+    (lo.unwrap_or(dlo), hi.unwrap_or(dhi))
+}
+
+/// Expand an object into binding rows satisfying all patterns of the
+/// subject (conjunctive; multivalued attributes multiply rows).
+fn bind_object(sp: &SubjectPlan, obj: &Object, schema_attr: Option<&str>) -> Vec<Row> {
+    let mut rows: Vec<Row> = vec![Row::default()];
+    if !sp.var.starts_with("$oid:") {
+        rows[0].insert(sp.var.clone(), Value::Str(obj.oid.clone()));
+    }
+    for pattern in &sp.patterns {
+        let mut next: Vec<Row> = Vec::new();
+        for row in &rows {
+            // Candidate fields for this pattern.
+            for (attr, value) in &obj.fields {
+                // Attribute position.
+                let mut candidate = row.clone();
+                match &pattern.p {
+                    Term::Const(Value::Str(a)) => {
+                        if a != attr.as_str() {
+                            continue;
+                        }
+                    }
+                    Term::Const(_) => continue,
+                    Term::Var(av) => {
+                        // A schema-similar path restricts its attr var to the
+                        // matched attribute for the *first* variable-attr
+                        // pattern; conflicts resolved by binding equality.
+                        if let Some(sa) = schema_attr {
+                            if sp.patterns.iter().position(|pp| pp == pattern)
+                                == sp.patterns.iter().position(|pp| pp.p.as_var().is_some())
+                                && attr.as_str() != sa
+                            {
+                                continue;
+                            }
+                        }
+                        match candidate.get(av) {
+                            Some(Value::Str(bound)) if bound != attr.as_str() => continue,
+                            Some(_) => {}
+                            None => {
+                                candidate
+                                    .insert(av.clone(), Value::Str(attr.as_str().to_string()));
+                            }
+                        }
+                    }
+                }
+                // Object position.
+                match &pattern.o {
+                    Term::Const(v) => {
+                        if v != value {
+                            continue;
+                        }
+                    }
+                    Term::Var(ov) => match candidate.get(ov) {
+                        Some(bound) if bound != value => continue,
+                        Some(_) => {}
+                        None => {
+                            candidate.insert(ov.clone(), value.clone());
+                        }
+                    },
+                }
+                next.push(candidate);
+            }
+        }
+        rows = next;
+        if rows.is_empty() {
+            break; // the object lacks a required attribute
+        }
+    }
+    rows
+}
+
+fn hash_join(left: Vec<Row>, right: Vec<Row>, shared: &[String]) -> Vec<Row> {
+    if shared.is_empty() {
+        // Cartesian product (cross filters prune right after).
+        let mut out = Vec::with_capacity(left.len() * right.len().max(1));
+        for l in &left {
+            for r in &right {
+                let mut m = l.clone();
+                m.extend(r.iter().map(|(k, v)| (k.clone(), v.clone())));
+                out.push(m);
+            }
+        }
+        return out;
+    }
+    let key_of = |row: &Row| -> Option<Vec<String>> {
+        shared.iter().map(|v| row.get(v).map(Value::to_string)).collect()
+    };
+    let mut table: FxHashMap<Vec<String>, Vec<&Row>> = FxHashMap::default();
+    for r in &right {
+        if let Some(k) = key_of(r) {
+            table.entry(k).or_default().push(r);
+        }
+    }
+    let mut out = Vec::new();
+    for l in &left {
+        let Some(k) = key_of(l) else { continue };
+        if let Some(rs) = table.get(&k) {
+            for r in rs {
+                let mut m = l.clone();
+                m.extend(r.iter().map(|(k, v)| (k.clone(), v.clone())));
+                out.push(m);
+            }
+        }
+    }
+    out
+}
+
+fn filter_ready(f: &Filter, bound: &[String]) -> bool {
+    let mut vars = rustc_hash::FxHashSet::default();
+    fn collect(op: &Operand, out: &mut rustc_hash::FxHashSet<String>) {
+        match op {
+            Operand::Var(v) => {
+                out.insert(v.clone());
+            }
+            Operand::Lit(_) => {}
+            Operand::Dist(a, b) => {
+                collect(a, out);
+                collect(b, out);
+            }
+        }
+    }
+    collect(&f.left, &mut vars);
+    collect(&f.right, &mut vars);
+    vars.iter().all(|v| bound.contains(v))
+}
+
+/// Evaluate an operand on a row. `None` = unbound/ill-typed (row fails).
+fn eval_operand(op: &Operand, row: &Row, stats: &mut QueryStats) -> Option<Value> {
+    match op {
+        Operand::Var(v) => row.get(v).cloned(),
+        Operand::Lit(v) => Some(v.clone()),
+        Operand::Dist(a, b) => {
+            let av = eval_operand(a, row, stats)?;
+            let bv = eval_operand(b, row, stats)?;
+            Some(Value::Float(distance(&av, &bv, stats)?))
+        }
+    }
+}
+
+/// `dist(a, b)`: edit distance for strings, Euclidean for numbers (§3).
+fn distance(a: &Value, b: &Value, stats: &mut QueryStats) -> Option<f64> {
+    match (a, b) {
+        (Value::Str(x), Value::Str(y)) => {
+            stats.edit_comparisons += 1;
+            Some(levenshtein(x, y) as f64)
+        }
+        _ => {
+            let x = a.as_float()?;
+            let y = b.as_float()?;
+            Some((x - y).abs())
+        }
+    }
+}
+
+fn eval_filter(f: &Filter, row: &Row, stats: &mut QueryStats) -> Option<bool> {
+    let l = eval_operand(&f.left, row, stats)?;
+    let r = eval_operand(&f.right, row, stats)?;
+    let ord = compare(&l, &r)?;
+    Some(match f.op {
+        CmpOp::Lt => ord == std::cmp::Ordering::Less,
+        CmpOp::Le => ord != std::cmp::Ordering::Greater,
+        CmpOp::Gt => ord == std::cmp::Ordering::Greater,
+        CmpOp::Ge => ord != std::cmp::Ordering::Less,
+        CmpOp::Eq => ord == std::cmp::Ordering::Equal,
+        CmpOp::Ne => ord != std::cmp::Ordering::Equal,
+    })
+}
+
+fn compare(a: &Value, b: &Value) -> Option<std::cmp::Ordering> {
+    match (a, b) {
+        (Value::Str(x), Value::Str(y)) => Some(x.cmp(y)),
+        _ => {
+            let x = a.as_float()?;
+            let y = b.as_float()?;
+            x.partial_cmp(&y)
+        }
+    }
+}
+
+fn order_rows(rows: &mut Vec<Row>, plan: &Plan, stats: &mut QueryStats) -> Result<()> {
+    match &plan.order {
+        None => {
+            // Deterministic output: sort by the projected columns.
+            rows.sort_by_key(|r| {
+                plan.select.iter().map(|c| r.get(c).map(Value::to_string)).collect::<Vec<_>>()
+            });
+        }
+        Some(OrderBy::Key { var, desc }) => {
+            rows.sort_by(|a, b| {
+                let ord = match (a.get(var), b.get(var)) {
+                    (Some(x), Some(y)) => {
+                        compare(x, y).unwrap_or(std::cmp::Ordering::Equal)
+                    }
+                    _ => std::cmp::Ordering::Equal,
+                };
+                if *desc {
+                    ord.reverse()
+                } else {
+                    ord
+                }
+            });
+        }
+        Some(OrderBy::Nn { var, target }) => {
+            let mut keyed: Vec<(f64, Row)> = std::mem::take(rows)
+                .into_iter()
+                .map(|r| {
+                    let d = r
+                        .get(var)
+                        .and_then(|v| distance(v, target, stats))
+                        .unwrap_or(f64::INFINITY);
+                    (d, r)
+                })
+                .collect();
+            keyed.sort_by(|a, b| a.0.total_cmp(&b.0));
+            *rows = keyed.into_iter().map(|(_, r)| r).collect();
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,273 @@
+//! VQL tokenizer.
+
+use crate::error::{Result, VqlError};
+
+/// Lexical tokens. Keywords are case-insensitive.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    // keywords
+    Select,
+    Where,
+    Filter,
+    Order,
+    By,
+    Asc,
+    Desc,
+    Limit,
+    Offset,
+    Nn,
+    Dist,
+    // atoms
+    Var(String),
+    Ident(String),
+    Str(String),
+    Int(i64),
+    Float(f64),
+    // punctuation
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    Comma,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+}
+
+/// Tokenize a VQL string.
+pub fn lex(input: &str) -> Result<Vec<Token>> {
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0usize;
+    let mut out = Vec::new();
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            '{' => {
+                out.push(Token::LBrace);
+                i += 1;
+            }
+            '}' => {
+                out.push(Token::RBrace);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '<' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Token::Le);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '!' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Token::Ne);
+                    i += 2;
+                } else {
+                    return Err(VqlError::Lex { pos: i, message: "expected '=' after '!'".into() });
+                }
+            }
+            '?' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < chars.len() && (chars[j].is_ascii_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+                if j == start {
+                    return Err(VqlError::Lex { pos: i, message: "empty variable name".into() });
+                }
+                out.push(Token::Var(chars[start..j].iter().collect()));
+                i = j;
+            }
+            '\'' => {
+                let mut j = i + 1;
+                let mut s = String::new();
+                let mut closed = false;
+                while j < chars.len() {
+                    match chars[j] {
+                        '\\' if chars.get(j + 1) == Some(&'\'') => {
+                            s.push('\'');
+                            j += 2;
+                        }
+                        '\'' => {
+                            closed = true;
+                            j += 1;
+                            break;
+                        }
+                        other => {
+                            s.push(other);
+                            j += 1;
+                        }
+                    }
+                }
+                if !closed {
+                    return Err(VqlError::Lex { pos: i, message: "unterminated string".into() });
+                }
+                out.push(Token::Str(s));
+                i = j;
+            }
+            c if c.is_ascii_digit()
+                || (c == '-' && chars.get(i + 1).is_some_and(char::is_ascii_digit)) =>
+            {
+                let start = i;
+                let mut j = i + 1;
+                let mut is_float = false;
+                while j < chars.len()
+                    && (chars[j].is_ascii_digit()
+                        || (chars[j] == '.'
+                            && !is_float
+                            && chars.get(j + 1).is_some_and(char::is_ascii_digit)))
+                {
+                    if chars[j] == '.' {
+                        is_float = true;
+                    }
+                    j += 1;
+                }
+                let text: String = chars[start..j].iter().collect();
+                if is_float {
+                    let v = text.parse::<f64>().map_err(|e| VqlError::Lex {
+                        pos: start,
+                        message: format!("bad float {text:?}: {e}"),
+                    })?;
+                    out.push(Token::Float(v));
+                } else {
+                    let v = text.parse::<i64>().map_err(|e| VqlError::Lex {
+                        pos: start,
+                        message: format!("bad integer {text:?}: {e}"),
+                    })?;
+                    out.push(Token::Int(v));
+                }
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < chars.len()
+                    && (chars[j].is_ascii_alphanumeric() || chars[j] == '_' || chars[j] == ':')
+                {
+                    j += 1;
+                }
+                let word: String = chars[start..j].iter().collect();
+                out.push(match word.to_ascii_uppercase().as_str() {
+                    "SELECT" => Token::Select,
+                    "WHERE" => Token::Where,
+                    "FILTER" => Token::Filter,
+                    "ORDER" => Token::Order,
+                    "BY" => Token::By,
+                    "ASC" => Token::Asc,
+                    "DESC" => Token::Desc,
+                    "LIMIT" => Token::Limit,
+                    "OFFSET" => Token::Offset,
+                    "NN" => Token::Nn,
+                    "DIST" => Token::Dist,
+                    _ => Token::Ident(word),
+                });
+                i = j;
+            }
+            other => {
+                return Err(VqlError::Lex {
+                    pos: i,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_the_papers_first_query() {
+        let q = "SELECT ?n,?h,?p WHERE { (?o,name,?n) FILTER (?p < 50000) } ORDER BY ?h DESC LIMIT 5";
+        let toks = lex(q).unwrap();
+        assert_eq!(toks[0], Token::Select);
+        assert!(toks.contains(&Token::Var("o".into())));
+        assert!(toks.contains(&Token::Ident("name".into())));
+        assert!(toks.contains(&Token::Int(50000)));
+        assert!(toks.contains(&Token::Desc));
+        assert_eq!(toks.last(), Some(&Token::Int(5)));
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(lex("select WHERE fIlTeR").unwrap(), vec![
+            Token::Select,
+            Token::Where,
+            Token::Filter
+        ]);
+    }
+
+    #[test]
+    fn strings_with_escapes_and_spaces() {
+        assert_eq!(
+            lex("'mona lisa' 'it\\'s'").unwrap(),
+            vec![Token::Str("mona lisa".into()), Token::Str("it's".into())]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            lex("42 -7 3.25 -0.5").unwrap(),
+            vec![Token::Int(42), Token::Int(-7), Token::Float(3.25), Token::Float(-0.5)]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            lex("< <= > >= = !=").unwrap(),
+            vec![Token::Lt, Token::Le, Token::Gt, Token::Ge, Token::Eq, Token::Ne]
+        );
+    }
+
+    #[test]
+    fn dist_is_a_keyword() {
+        assert_eq!(lex("dist DIST Dist").unwrap(), vec![Token::Dist; 3]);
+    }
+
+    #[test]
+    fn namespace_idents() {
+        assert_eq!(lex("cars:price").unwrap(), vec![Token::Ident("cars:price".into())]);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(matches!(lex("#"), Err(VqlError::Lex { .. })));
+        assert!(matches!(lex("'unterminated"), Err(VqlError::Lex { .. })));
+        assert!(matches!(lex("? x"), Err(VqlError::Lex { .. })));
+        assert!(matches!(lex("!x"), Err(VqlError::Lex { .. })));
+    }
+}

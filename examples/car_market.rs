@@ -1,0 +1,84 @@
+//! The paper's running example (§3): a public car-market database,
+//! queried with the three example VQL queries from the paper — top-N,
+//! similarity selection with a join, and schema-level similarity with
+//! nearest-neighbor ordering.
+//!
+//! ```text
+//! cargo run --example car_market
+//! ```
+
+use sqo::core::EngineBuilder;
+use sqo::datasets::{car_market, CarMarketConfig};
+use sqo::vql::{run, ExecOptions};
+
+fn main() {
+    let cfg = CarMarketConfig { cars: 300, dealers: 30, typo_rate: 0.15, seed: 2026 };
+    let rows = car_market(&cfg);
+    let mut engine = EngineBuilder::new().peers(128).q(2).seed(11).build_with_rows(&rows);
+    println!(
+        "car market: {} rows over {} peers ({} partitions); {} postings, {:.1}x storage blow-up\n",
+        rows.len(),
+        engine.network().peer_count(),
+        engine.network().partition_count(),
+        engine.publish_stats().total_postings(),
+        engine.publish_stats().overhead_factor(),
+    );
+    let opts = ExecOptions::default();
+
+    // --- Paper query 1: top-5 most powerful cars below 50000 -------------
+    let q1 = "SELECT ?n,?h,?p \
+        WHERE { (?o,name,?n) (?o,hp,?h) (?o,price,?p) FILTER (?p < 50000) } \
+        ORDER BY ?h DESC LIMIT 5";
+    let from = engine.random_peer();
+    let out = run(&mut engine, from, q1, &opts).expect("q1");
+    println!("Q1 — 5 most powerful cars below 50000:");
+    for r in &out.rows {
+        println!("  name={:<14} hp={:<5} price={}", r[0].to_string(), r[1], r[2]);
+    }
+    println!("  [{} messages]\n", out.stats.traffic.messages);
+
+    // --- Paper query 2: BMW-like cars with their dealers ------------------
+    let q2 = "SELECT ?n,?h,?p,?dn,?a \
+        WHERE { (?x,dealer,?d) (?y,dlrid,?d) \
+        (?x,name,?n) (?x,hp,?h) (?x,price,?p) \
+        (?y,addr,?a) (?y,name,?dn) \
+        FILTER (?p < 50000) \
+        FILTER (dist(?n,'BMW 320d') < 4)} \
+        ORDER BY ?h DESC LIMIT 5";
+    let from = engine.random_peer();
+    let out = run(&mut engine, from, q2, &opts).expect("q2");
+    println!("Q2 — BMW-320d-like cars below 50000 with dealers:");
+    for r in &out.rows {
+        println!(
+            "  name={:<14} hp={:<5} price={:<7} dealer={} @ {}",
+            r[0].to_string(),
+            r[1],
+            r[2],
+            r[3],
+            r[4]
+        );
+    }
+    println!("  [{} messages]\n", out.stats.traffic.messages);
+
+    // --- Paper query 3: schema-level similarity to find typo'd dlrid ------
+    let q3 = "SELECT ?n,?p,?dn,?ad \
+        WHERE { (?d,?a,?id) (?d,name,?dn) (?d,addr,?ad) \
+        (?o,name,?n) (?o,price,?p) \
+        (?o,dealer,?cid) \
+        FILTER (dist(?id,?cid) < 2) \
+        FILTER (dist(?a,'dlrid') < 3)} \
+        ORDER BY ?a NN 'dlrid' LIMIT 12";
+    let from = engine.random_peer();
+    let out = run(&mut engine, from, q3, &opts).expect("q3");
+    println!("Q3 — cars joined to dealers via ids, tolerating typo'd 'dlrid' attributes:");
+    for r in &out.rows {
+        println!(
+            "  car={:<14} price={:<7} dealer={} @ {}",
+            r[0].to_string(),
+            r[1],
+            r[2],
+            r[3]
+        );
+    }
+    println!("  [{} messages]", out.stats.traffic.messages);
+}

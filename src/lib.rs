@@ -1,0 +1,40 @@
+//! # sqo — Similarity Queries on Structured Data in Structured Overlays
+//!
+//! Umbrella crate re-exporting the public API of the workspace, which
+//! reproduces Karnstedt, Sattler, Hauswirth & Schmidt, *Similarity Queries on
+//! Structured Data in Structured Overlays* (ICDE 2006) in Rust:
+//!
+//! * [`overlay`] — the P-Grid binary-trie DHT substrate with an
+//!   message/bandwidth-accounting shared-memory simulator,
+//! * [`storage`] — the vertically-oriented triple storage scheme with q-gram
+//!   index postings,
+//! * [`strsim`] — edit distance, positional q-grams, q-samples and pruning
+//!   filters,
+//! * [`core`] — the physical similarity operators (`Similar`, `SimJoin`,
+//!   `TopN`, naive baseline),
+//! * [`vql`] — the Vertical Query Language: parser, planner, executor,
+//! * [`datasets`] — synthetic datasets and the paper's evaluation workload.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sqo::core::{EngineBuilder, Strategy};
+//! use sqo::storage::Row;
+//!
+//! let rows = vec![
+//!     Row::new("car:1", [("name", "BMW 320d"), ("color", "blue")]),
+//!     Row::new("car:2", [("name", "BMW 320i"), ("color", "red")]),
+//!     Row::new("car:3", [("name", "Audi A4"), ("color", "blue")]),
+//! ];
+//! let mut engine = EngineBuilder::new().peers(32).seed(7).build_with_rows(&rows);
+//! let initiator = engine.random_peer();
+//! let res = engine.similar("BMW 320x", Some("name"), 1, initiator, Strategy::QGrams);
+//! assert_eq!(res.matches.len(), 2);
+//! ```
+
+pub use sqo_core as core;
+pub use sqo_datasets as datasets;
+pub use sqo_overlay as overlay;
+pub use sqo_storage as storage;
+pub use sqo_strsim as strsim;
+pub use sqo_vql as vql;

@@ -1,0 +1,102 @@
+//! Robustness under churn: P-Grid's structural replication and redundant
+//! routing references keep similarity queries working while peers die
+//! (§2: "the algorithm always terminates successfully, if … at least one
+//! peer in each partition is reachable").
+
+use sqo::core::{EngineBuilder, Strategy};
+use sqo::datasets::{bible_words, string_rows};
+
+#[test]
+fn similarity_queries_survive_moderate_churn() {
+    let words = bible_words(1_000, 55);
+    let rows = string_rows("word", &words, "w");
+    let mut e = EngineBuilder::new()
+        .peers(96)
+        .replication(4)
+        .refs_per_level(3)
+        .q(2)
+        .seed(12)
+        .build_with_rows(&rows);
+
+    // Baseline answers.
+    let queries: Vec<&String> = words.iter().step_by(83).collect();
+    let mut baseline = Vec::new();
+    for q in &queries {
+        let from = e.random_peer();
+        let res = e.similar(q, Some("word"), 1, from, Strategy::QGrams);
+        let mut m: Vec<String> = res.matches.into_iter().map(|m| m.matched).collect();
+        m.sort_unstable();
+        baseline.push(m);
+    }
+
+    // Kill a quarter of the network.
+    e.network_mut().fail_random_fraction(0.25);
+
+    let mut complete = 0usize;
+    for (q, base) in queries.iter().zip(&baseline) {
+        let from = e.random_peer();
+        let res = e.similar(q, Some("word"), 1, from, Strategy::QGrams);
+        let mut m: Vec<String> = res.matches.into_iter().map(|m| m.matched).collect();
+        m.sort_unstable();
+        if &m == base {
+            complete += 1;
+        }
+    }
+    assert!(
+        complete as f64 >= 0.85 * queries.len() as f64,
+        "only {complete}/{} queries returned complete answers under 25% churn",
+        queries.len()
+    );
+}
+
+#[test]
+fn no_replication_means_data_loss_under_churn() {
+    // Negative control: with replication 1, killing peers must lose data —
+    // the simulator does not silently cheat.
+    let words = bible_words(500, 66);
+    let rows = string_rows("word", &words, "w");
+    let mut e = EngineBuilder::new()
+        .peers(64)
+        .replication(1)
+        .q(2)
+        .seed(13)
+        .build_with_rows(&rows);
+    e.network_mut().fail_random_fraction(0.4);
+
+    let mut lost = 0usize;
+    let queries: Vec<&String> = words.iter().step_by(29).collect();
+    for q in &queries {
+        let from = e.random_peer();
+        let res = e.similar(q, Some("word"), 0, from, Strategy::QGrams);
+        if !res.matches.iter().any(|m| &m.matched == *q) {
+            lost += 1;
+        }
+    }
+    assert!(
+        lost > 0,
+        "40% churn with no replication must lose at least one exact lookup"
+    );
+}
+
+#[test]
+fn failed_routes_are_accounted() {
+    let words = bible_words(300, 21);
+    let rows = string_rows("word", &words, "w");
+    let mut e = EngineBuilder::new()
+        .peers(32)
+        .replication(1)
+        .refs_per_level(1)
+        .q(2)
+        .seed(14)
+        .build_with_rows(&rows);
+    e.network_mut().fail_random_fraction(0.5);
+    e.network_mut().reset_metrics();
+    for q in words.iter().step_by(17) {
+        let from = e.random_peer();
+        let _ = e.similar(q, Some("word"), 1, from, Strategy::QGrams);
+    }
+    assert!(
+        e.network().metrics().failed_routes > 0,
+        "heavy churn with single refs must produce observable routing failures"
+    );
+}
