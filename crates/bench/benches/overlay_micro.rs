@@ -51,11 +51,8 @@ fn bench_network_ops(c: &mut Criterion) {
             } else {
                 (&words[i + 1], &words[i])
             };
-            let (klo, khi) = keys::attr_value_range(
-                "word",
-                &Value::from(lo.clone()),
-                &Value::from(hi.clone()),
-            );
+            let (klo, khi) =
+                keys::attr_value_range("word", &Value::from(lo.clone()), &Value::from(hi.clone()));
             let from = engine.random_peer();
             engine.network_mut().range_query(from, &klo, &khi).unwrap()
         })

@@ -238,7 +238,9 @@ mod tests {
         // A4: naive recall is 1 by construction.
         assert!((find("A4-strategy", "strings").recall - 1.0).abs() < 1e-9);
         // Filters never hurt recall (soundness).
-        assert!((find("A2-filters", "all").recall - find("A2-filters", "none").recall).abs() < 1e-9);
+        assert!(
+            (find("A2-filters", "all").recall - find("A2-filters", "none").recall).abs() < 1e-9
+        );
         // A5: carrying values trades volume for fewer messages, same recall.
         let plain = find("A5-carry-value", "grams only");
         let carry = find("A5-carry-value", "grams+value");

@@ -1,0 +1,47 @@
+//! CLI wrapper for the latency/throughput trajectory bench.
+//!
+//! ```text
+//! latency [--smoke] [--out PATH]
+//! ```
+//!
+//! Writes the JSON point list (one point per latency model × operator ×
+//! client count) to `PATH` (default `BENCH_latency.json`) and prints a
+//! table to stdout. The committed `BENCH_latency.json` at the repository
+//! root is the default-configuration baseline future PRs measure against.
+
+use sqo_bench::latency::{render, run_latency_bench, LatencyBenchConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = LatencyBenchConfig::default();
+    let mut out = String::from("BENCH_latency.json");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => cfg = LatencyBenchConfig::smoke(),
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => out = path.clone(),
+                    None => {
+                        eprintln!("--out needs a path");
+                        eprintln!("usage: latency [--smoke] [--out PATH]");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: latency [--smoke] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let points = run_latency_bench(&cfg);
+    print!("{}", render(&points));
+    std::fs::write(&out, serde_json::to_string_pretty(&points).expect("serialize"))
+        .expect("write output");
+    eprintln!("wrote {} points to {out}", points.len());
+}

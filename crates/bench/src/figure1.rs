@@ -161,7 +161,10 @@ fn measure(
 
 /// Run the sweep. `progress` is called after each measured point (the CLI
 /// prints incrementally; tests pass a no-op).
-pub fn run_figure1(cfg: &Figure1Config, mut progress: impl FnMut(&SeriesPoint)) -> Vec<SeriesPoint> {
+pub fn run_figure1(
+    cfg: &Figure1Config,
+    mut progress: impl FnMut(&SeriesPoint),
+) -> Vec<SeriesPoint> {
     let mut out = Vec::new();
     for &dataset in &cfg.datasets {
         let size = match dataset {
@@ -172,8 +175,7 @@ pub fn run_figure1(cfg: &Figure1Config, mut progress: impl FnMut(&SeriesPoint)) 
         for &peers in &cfg.peer_counts {
             let mut engine = build_engine(dataset, &strings, peers, cfg.q, cfg.seed);
             for &strategy in &cfg.strategies {
-                let point =
-                    measure(&mut engine, dataset, &strings, strategy, &cfg.spec, cfg.seed);
+                let point = measure(&mut engine, dataset, &strings, strategy, &cfg.spec, cfg.seed);
                 progress(&point);
                 out.push(point);
             }
@@ -205,16 +207,13 @@ pub fn render_tables(points: &[SeriesPoint]) -> String {
             for &n in &peers {
                 write!(s, "{n:>10}").unwrap();
                 for strat in ["qsamples", "qgrams", "strings"] {
-                    let v = ds
-                        .iter()
-                        .find(|p| p.peers == n && p.strategy == strat)
-                        .map(|p| {
-                            if metric == "messages" {
-                                p.messages_per_query
-                            } else {
-                                p.volume_kib_per_query
-                            }
-                        });
+                    let v = ds.iter().find(|p| p.peers == n && p.strategy == strat).map(|p| {
+                        if metric == "messages" {
+                            p.messages_per_query
+                        } else {
+                            p.volume_kib_per_query
+                        }
+                    });
                     match v {
                         Some(v) => write!(s, "{v:>12.1}").unwrap(),
                         None => write!(s, "{:>12}", "-").unwrap(),

@@ -1,0 +1,193 @@
+//! The latency/throughput trajectory bench: the §6 query mix driven as a
+//! concurrent workload under every latency model, at increasing client
+//! counts. Emits one JSON point per (model × operator × clients) so future
+//! optimizations (batching, caching, adaptive routing) have a baseline
+//! trajectory to beat — the `BENCH_latency.json` at the repository root is
+//! a committed run of the default configuration.
+
+use serde::Serialize;
+use sqo_core::{EngineBuilder, SimilarityEngine, Strategy};
+use sqo_datasets::{bible_words, string_rows};
+use sqo_sim::{
+    run_driver, Arrival, DriverConfig, DriverReport, LatencyModel, QueryKind, SimConfig,
+};
+
+/// Sweep configuration.
+#[derive(Debug, Clone)]
+pub struct LatencyBenchConfig {
+    pub words: usize,
+    pub peers: usize,
+    /// Client counts to sweep (the contention axis).
+    pub client_counts: Vec<usize>,
+    pub queries_per_client: usize,
+    pub mean_interarrival_us: u64,
+    pub models: Vec<LatencyModel>,
+    pub strategy: Strategy,
+    pub seed: u64,
+}
+
+impl Default for LatencyBenchConfig {
+    fn default() -> Self {
+        Self {
+            words: 2_000,
+            peers: 256,
+            client_counts: vec![1, 4, 16],
+            queries_per_client: 6,
+            mean_interarrival_us: 5_000,
+            models: vec![
+                LatencyModel::Constant { us: 1_000 },
+                LatencyModel::Uniform { min_us: 300, max_us: 4_000 },
+                LatencyModel::LogNormal { median_us: 1_500.0, sigma: 0.8 },
+                LatencyModel::PerLink { min_us: 300, max_us: 12_000, salt: 17 },
+            ],
+            strategy: Strategy::QGrams,
+            seed: 73,
+        }
+    }
+}
+
+impl LatencyBenchConfig {
+    /// A seconds-scale configuration for tests.
+    pub fn smoke() -> Self {
+        Self {
+            words: 400,
+            peers: 48,
+            client_counts: vec![1, 4],
+            queries_per_client: 3,
+            models: vec![
+                LatencyModel::Constant { us: 1_000 },
+                LatencyModel::LogNormal { median_us: 1_500.0, sigma: 0.8 },
+            ],
+            ..Self::default()
+        }
+    }
+}
+
+/// One (model, clients, operator) measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct LatencyPoint {
+    pub model: String,
+    pub clients: usize,
+    pub operator: String,
+    pub count: usize,
+    pub mean_us: u64,
+    pub p50_us: u64,
+    pub p95_us: u64,
+    pub p99_us: u64,
+    pub max_us: u64,
+    /// Workload-wide throughput of the run this point came from.
+    pub throughput_qps: f64,
+    /// Workload-wide queue time — the contention signal.
+    pub queue_us_total: u64,
+}
+
+fn fresh_engine(cfg: &LatencyBenchConfig, words: &[String]) -> SimilarityEngine {
+    let rows = string_rows("word", words, "w");
+    EngineBuilder::new().peers(cfg.peers).q(2).seed(cfg.seed).build_with_rows(&rows)
+}
+
+fn points_of(report: &DriverReport, model: &LatencyModel, clients: usize) -> Vec<LatencyPoint> {
+    let queue_us_total = report.total.sim.map(|s| s.queue_us).unwrap_or(0);
+    report
+        .per_operator
+        .iter()
+        .map(|op| LatencyPoint {
+            model: model.label().to_string(),
+            clients,
+            operator: op.operator.clone(),
+            count: op.summary.count,
+            mean_us: op.summary.mean_us,
+            p50_us: op.summary.p50_us,
+            p95_us: op.summary.p95_us,
+            p99_us: op.summary.p99_us,
+            max_us: op.summary.max_us,
+            throughput_qps: report.throughput_qps,
+            queue_us_total,
+        })
+        .collect()
+}
+
+/// Run the sweep. Deterministic for a given configuration.
+pub fn run_latency_bench(cfg: &LatencyBenchConfig) -> Vec<LatencyPoint> {
+    let words = bible_words(cfg.words, 23);
+    let mut out = Vec::new();
+    for model in &cfg.models {
+        for &clients in &cfg.client_counts {
+            let mut engine = fresh_engine(cfg, &words);
+            let driver_cfg = DriverConfig {
+                clients,
+                queries_per_client: cfg.queries_per_client,
+                arrival: Arrival::Poisson { mean_interarrival_us: cfg.mean_interarrival_us },
+                mix: vec![
+                    QueryKind::Similar { d: 1 },
+                    QueryKind::SimJoin { d: 1, left_limit: Some(8) },
+                    QueryKind::TopN { n: 5, d_max: 3 },
+                    QueryKind::Vql { d: 1 },
+                ],
+                strategy: cfg.strategy,
+                sim: SimConfig { latency: *model, ..SimConfig::default() },
+                churn: Vec::new(),
+                seed: cfg.seed,
+            };
+            let report = run_driver(&mut engine, "word", &words, &driver_cfg);
+            out.extend(points_of(&report, model, clients));
+        }
+    }
+    out
+}
+
+/// Human-readable table of a sweep.
+pub fn render(points: &[LatencyPoint]) -> String {
+    let mut s =
+        String::from("model      clients operator  count   p50(ms)   p95(ms)   p99(ms)  qps\n");
+    for p in points {
+        s.push_str(&format!(
+            "{:<10} {:>7} {:<9} {:>5} {:>9.2} {:>9.2} {:>9.2} {:>5.1}\n",
+            p.model,
+            p.clients,
+            p.operator,
+            p.count,
+            p.p50_us as f64 / 1e3,
+            p.p95_us as f64 / 1e3,
+            p.p99_us as f64 / 1e3,
+            p.throughput_qps,
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_sweep_covers_models_operators_and_is_deterministic() {
+        let cfg = LatencyBenchConfig {
+            words: 200,
+            peers: 24,
+            client_counts: vec![2],
+            // Each client must cycle through the whole 4-kind mix, or the
+            // per-operator point set comes up short.
+            queries_per_client: 4,
+            models: vec![
+                LatencyModel::Constant { us: 500 },
+                LatencyModel::Uniform { min_us: 100, max_us: 2_000 },
+            ],
+            ..LatencyBenchConfig::default()
+        };
+        let a = run_latency_bench(&cfg);
+        // 2 models x 1 client count x 4 operators.
+        assert_eq!(a.len(), 8);
+        for p in &a {
+            assert!(p.count > 0);
+            assert!(p.p50_us <= p.p99_us);
+        }
+        let b = run_latency_bench(&cfg);
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "bench sweep must be deterministic"
+        );
+        assert!(!render(&a).is_empty());
+    }
+}

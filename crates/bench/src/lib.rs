@@ -12,7 +12,9 @@
 
 pub mod ablation;
 pub mod figure1;
+pub mod latency;
 pub mod routing;
 pub mod storage_overhead;
 
 pub use figure1::{run_figure1, Dataset, Figure1Config, SeriesPoint};
+pub use latency::{run_latency_bench, LatencyBenchConfig, LatencyPoint};

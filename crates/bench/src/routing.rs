@@ -33,8 +33,7 @@ pub fn run_routing_cost(
     peer_counts
         .iter()
         .map(|&peers| {
-            let mut engine =
-                EngineBuilder::new().peers(peers).seed(seed).build_with_rows(&rows);
+            let mut engine = EngineBuilder::new().peers(peers).seed(seed).build_with_rows(&rows);
             engine.network_mut().reset_metrics();
             for i in 0..lookups {
                 let from = engine.random_peer();
@@ -45,13 +44,7 @@ pub fn run_routing_cost(
             let partitions = engine.network().partition_count();
             let avg_hops = m.route_hops as f64 / lookups as f64;
             let log_p = (partitions.max(2) as f64).log2();
-            RoutingPoint {
-                peers,
-                partitions,
-                lookups,
-                avg_hops,
-                hops_over_log: avg_hops / log_p,
-            }
+            RoutingPoint { peers, partitions, lookups, avg_hops, hops_over_log: avg_hops / log_p }
         })
         .collect()
 }

@@ -118,8 +118,8 @@ pub fn run_publish_cost(
                         })
                         .collect();
                     let from = engine.random_peer();
-                    let stats = engine
-                        .publish_rows_traced(&[Row::new(format!("p:{r}"), fields)], from);
+                    let stats =
+                        engine.publish_rows_traced(&[Row::new(format!("p:{r}"), fields)], from);
                     messages += stats.traffic.messages;
                     bytes += stats.traffic.bytes;
                 }

@@ -1,0 +1,171 @@
+//! Offline stand-in for `criterion`: the same API shape (groups, benchmark
+//! ids, `Bencher::iter`, the `criterion_group!`/`criterion_main!` macros)
+//! backed by a simple wall-clock timer instead of the statistical engine.
+//! Each benchmark runs a short warmup, then a timed batch, and prints the
+//! mean iteration time.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value passthrough.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        Self { id: format!("{name}/{param}") }
+    }
+
+    pub fn from_parameter(param: impl Display) -> Self {
+        Self { id: param.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Per-iteration timer handed to benchmark closures.
+pub struct Bencher {
+    /// Total measured time and iteration count of the last `iter` call.
+    elapsed: Duration,
+    iters: u64,
+    target: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup + calibration round.
+        let start = Instant::now();
+        black_box(f());
+        let one = start.elapsed().max(Duration::from_nanos(50));
+        let batch = (self.target.as_nanos() / one.as_nanos().max(1)).clamp(1, 100_000) as u64;
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = batch;
+    }
+}
+
+/// Stand-in for `criterion::Criterion`.
+pub struct Criterion {
+    /// Measurement budget per benchmark.
+    target: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { target: Duration::from_millis(200) }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup { parent: self }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        run_one(self.target, &id.into().id, f);
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sample-size hint; the stand-in only uses the time budget.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        run_one(self.parent.target, &id.into().id, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(self.parent.target, &id.id, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(target: Duration, id: &str, mut f: F) {
+    let mut b = Bencher { elapsed: Duration::ZERO, iters: 0, target };
+    f(&mut b);
+    if b.iters > 0 {
+        let per = b.elapsed.as_nanos() as f64 / b.iters as f64;
+        println!("  {id}: {} iters, {:.0} ns/iter", b.iters, per);
+    } else {
+        println!("  {id}: no measurement");
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_api_runs() {
+        let mut c = Criterion { target: Duration::from_millis(5) };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        g.bench_function("plain", |b| b.iter(|| black_box(2u64 + 2)));
+        g.bench_with_input(BenchmarkId::new("with", 3), &3u64, |b, &x| b.iter(|| black_box(x * x)));
+        g.finish();
+        c.bench_function("top", |b| b.iter(|| black_box(1)));
+    }
+}

@@ -1,0 +1,661 @@
+//! Offline stand-in for `proptest`, scoped to the subset this workspace
+//! uses. It keeps the *property-testing* semantics — deterministic
+//! pseudo-random generation over composable strategies, many cases per
+//! property — and drops shrinking: a failing case panics with the assertion
+//! message (which in these suites always embeds the offending values).
+//!
+//! Supported surface: `proptest!` with optional `#![proptest_config(..)]`,
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`, `Strategy` with
+//! `prop_map`/`prop_recursive`/`boxed`, `Just`, `any::<T>()`, integer and
+//! float ranges, regex-subset string literals, tuples, `prop_oneof!`,
+//! `prop::collection::{vec, hash_set}`, and `prop::option::of`.
+
+pub mod test_runner {
+    /// Deterministic xoshiro256++ stream for test-case generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// Seed deterministically from the property's name, so every test
+        /// function gets its own reproducible stream.
+        pub fn deterministic(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            let mut state = h ^ 0x9E37_79B9_7F4A_7C15;
+            let mut next = || {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self { s: [next(), next(), next(), next()] }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform in `[0, n)`; `n` must be nonzero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            self.next_u64() % n
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Per-property configuration (stand-in for proptest's `Config`).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per property.
+        pub cases: u32,
+        /// Unused (kept for struct-update compatibility).
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 64, max_shrink_iters: 0 }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::string::gen_from_pattern;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::Range;
+    use std::rc::Rc;
+
+    /// A composable generator of values (no shrinking in this stand-in).
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Recursive strategies: `expand` lifts a strategy for the inner
+        /// value into one for the enclosing value; generation picks a depth
+        /// in `0..=depth` and stacks `expand` that many times.
+        fn prop_recursive<F, S>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            expand: F,
+        ) -> Recursive<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S + 'static,
+            S: Strategy<Value = Self::Value> + 'static,
+        {
+            Recursive { base: self.boxed(), expand: Rc::new(move |b| expand(b).boxed()), depth }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Reference-counted type-erased strategy (clonable, as the recursive
+    /// combinator requires).
+    pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            Self(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    pub struct Recursive<T> {
+        base: BoxedStrategy<T>,
+        expand: Rc<dyn Fn(BoxedStrategy<T>) -> BoxedStrategy<T>>,
+        depth: u32,
+    }
+
+    impl<T> Strategy for Recursive<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let d = rng.below(self.depth as u64 + 1);
+            let mut cur = self.base.clone();
+            for _ in 0..d {
+                cur = (self.expand)(cur);
+            }
+            cur.generate(rng)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        alts: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(alts: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!alts.is_empty(), "prop_oneof! needs at least one alternative");
+            Self { alts }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.alts.len() as u64) as usize;
+            self.alts[i].generate(rng)
+        }
+    }
+
+    /// Types with a canonical full-domain strategy (`any::<T>()`).
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Bounded doubles: ±1e12 with full fractional variety.
+            (rng.unit_f64() - 0.5) * 2e12
+        }
+    }
+
+    pub struct Any<T>(PhantomData<T>);
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    // Integer and float ranges are strategies.
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+        )*};
+    }
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    /// Regex-subset string literals are strategies producing `String`.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            gen_from_pattern(self, rng)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::HashSet;
+    use std::hash::Hash;
+    use std::ops::Range;
+
+    /// Inclusive-exclusive size bound for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl SizeRange {
+        fn pick(self, rng: &mut TestRng) -> usize {
+            if self.hi <= self.lo + 1 {
+                self.lo
+            } else {
+                self.lo + rng.below((self.hi - self.lo) as u64) as usize
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            Self { lo: r.start, hi: r.end }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        HashSetStrategy { element, size: size.into() }
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let target = self.size.pick(rng).max(self.size.lo);
+            let mut out = HashSet::new();
+            // Small domains may not admit `target` distinct values; settle
+            // for the minimum after a bounded number of attempts.
+            let mut attempts = 0usize;
+            let max_attempts = 50 * (target + 1);
+            while out.len() < target && attempts < max_attempts {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            assert!(
+                out.len() >= self.size.lo,
+                "hash_set generation could not reach the minimum size {}",
+                self.size.lo
+            );
+            out
+        }
+    }
+}
+
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `None` about a quarter of the time, `Some(inner)` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod string {
+    use crate::test_runner::TestRng;
+
+    /// One parsed regex atom: a set of candidate chars plus a repetition
+    /// count range (inclusive).
+    struct Atom {
+        chars: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    /// Generate a string from the regex subset used in the test suites:
+    /// concatenations of character classes `[a-z0-9 :_-]`, the wildcard
+    /// `.`, and literal characters, each optionally followed by `{m}` or
+    /// `{m,n}`. Anything else panics.
+    pub fn gen_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let atoms = parse(pattern);
+        let mut out = String::new();
+        for a in &atoms {
+            let n = if a.max > a.min {
+                a.min + rng.below((a.max - a.min + 1) as u64) as usize
+            } else {
+                a.min
+            };
+            for _ in 0..n {
+                let i = rng.below(a.chars.len() as u64) as usize;
+                out.push(a.chars[i]);
+            }
+        }
+        out
+    }
+
+    fn parse(pattern: &str) -> Vec<Atom> {
+        let mut atoms = Vec::new();
+        let mut it = pattern.chars().peekable();
+        while let Some(c) = it.next() {
+            let chars: Vec<char> = match c {
+                '[' => {
+                    let mut set = Vec::new();
+                    let mut prev: Option<char> = None;
+                    loop {
+                        let c = it
+                            .next()
+                            .unwrap_or_else(|| panic!("unterminated class in {pattern:?}"));
+                        match c {
+                            ']' => break,
+                            '-' if prev.is_some() && it.peek() != Some(&']') => {
+                                let lo = prev.take().unwrap();
+                                let hi = it.next().unwrap();
+                                // `lo` was already pushed as a single; the
+                                // rest of the range follows.
+                                let mut x = lo as u32 + 1;
+                                while x <= hi as u32 {
+                                    set.push(char::from_u32(x).unwrap());
+                                    x += 1;
+                                }
+                            }
+                            c => {
+                                set.push(c);
+                                prev = Some(c);
+                            }
+                        }
+                    }
+                    set
+                }
+                '.' => (0x20u32..0x7F).map(|x| char::from_u32(x).unwrap()).collect(),
+                '{' | '}' | '*' | '+' | '?' | '(' | ')' | '|' | '\\' => {
+                    panic!("unsupported regex construct {c:?} in {pattern:?}")
+                }
+                c => vec![c],
+            };
+            // Optional repetition.
+            let (min, max) = if it.peek() == Some(&'{') {
+                it.next();
+                let mut spec = String::new();
+                for c in it.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad repetition bound"),
+                        hi.trim().parse().expect("bad repetition bound"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().expect("bad repetition count");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            assert!(min <= max, "inverted repetition in {pattern:?}");
+            atoms.push(Atom { chars, min, max });
+        }
+        atoms
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Namespace mirror of `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::strategy;
+    }
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Reject the current case and move on to the next one. Only valid at the
+/// top level of a `proptest!` body (it expands to `continue` on the case
+/// loop; real proptest unwinds from anywhere).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::Strategy::boxed($s)),+])
+    };
+}
+
+/// The property-test entry point. Each `fn name(pat in strategy, ..) { .. }`
+/// expands to a `#[test]` function running `cases` deterministic iterations.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::Config = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::deterministic(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for __case in 0..__cfg.cases {
+                let ($($pat,)+) = (
+                    $($crate::strategy::Strategy::generate(&($strat), &mut __rng),)+
+                );
+                $body
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_patterns(x in 3usize..10, w in "[a-c]{2,4}", b in any::<bool>()) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((2..=4).contains(&w.len()));
+            prop_assert!(w.chars().all(|c| ('a'..='c').contains(&c)));
+            let _ = b;
+        }
+
+        #[test]
+        fn collections(v in prop::collection::vec(0i64..5, 1..6),
+                       s in prop::collection::hash_set("[a-z]{1,8}", 1..10)) {
+            prop_assert!(!v.is_empty() && v.len() < 6);
+            prop_assert!(!s.is_empty() && s.len() < 10);
+        }
+
+        #[test]
+        fn oneof_and_map(x in prop_oneof![Just(1u8), Just(2u8), 5u8..7]) {
+            prop_assert!(x == 1 || x == 2 || x == 5 || x == 6);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let gen = |label: &str| {
+            let mut rng = crate::test_runner::TestRng::deterministic(label);
+            (0..20).map(|_| "[a-z]{0,12}".generate(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(gen("x"), gen("x"));
+        assert_ne!(gen("x"), gen("y"));
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        use crate::strategy::{Just, Strategy};
+        #[derive(Debug, Clone)]
+        #[allow(dead_code)]
+        enum Tree {
+            Leaf,
+            Node(Box<Tree>, Box<Tree>),
+        }
+        let strat = Just(Tree::Leaf).boxed().prop_recursive(3, 8, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+        });
+        let mut rng = crate::test_runner::TestRng::deterministic("tree");
+        for _ in 0..50 {
+            let _ = strat.generate(&mut rng);
+        }
+    }
+}

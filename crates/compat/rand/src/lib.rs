@@ -1,0 +1,217 @@
+//! Offline stand-in for the subset of the `rand` crate this workspace uses:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], and the [`Rng`] methods
+//! `gen_range`, `gen_bool` and `gen`.
+//!
+//! The generator is an xoshiro256++ seeded through SplitMix64 — not the real
+//! `StdRng` (ChaCha12), but a high-quality deterministic PRNG. Determinism
+//! is the only contract the workspace relies on: same seed, same stream, on
+//! every platform.
+
+/// Core trait: a source of uniform `u64`s.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seeding by a single `u64`, the only constructor the workspace uses.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Sampling helpers over an [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from a (half-open or inclusive) range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// A uniform sample of `T` (`f64` in `[0, 1)`, full-range integers).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types `gen()` can produce (stand-in for rand's `Standard` distribution).
+pub trait Standard: Sized {
+    fn sample<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+#[inline]
+fn unit_f64(x: u64) -> f64 {
+    // 53 high-quality bits -> [0, 1).
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Ranges `gen_range` accepts.
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128) % span;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        self.start + unit_f64(rng.next_u64()) * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f32> for core::ops::Range<f32> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        self.start + (unit_f64(rng.next_u64()) as f32) * (self.end - self.start)
+    }
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (stand-in for rand's `StdRng`).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        fn from_state(mut state: u64) -> Self {
+            // SplitMix64 expansion of the seed into the xoshiro state.
+            let mut next = || {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            Self::from_state(state)
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1000usize), b.gen_range(0..1000usize));
+        }
+    }
+
+    #[test]
+    fn ranges_hit_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[rng.gen_range(0..5usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..100 {
+            let x = rng.gen_range(-3i64..=3);
+            assert!((-3..=3).contains(&x));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_roughly_calibrated() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "p=0.3 gave {hits}/10000");
+    }
+
+    #[test]
+    fn gen_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! `#[derive(Serialize)]` for the offline serde stand-in.
+//!
+//! Supports exactly the shapes this workspace serializes: non-generic
+//! structs with named fields, and enums whose variants are all unit-like
+//! (serialized as their name string). Anything else is a compile error —
+//! extend here if a new shape appears.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+
+    // Skip outer attributes and visibility to the `struct` / `enum` keyword.
+    let mut i = 0;
+    while i < tokens.len() {
+        if let TokenTree::Ident(id) = &tokens[i] {
+            let s = id.to_string();
+            if s == "struct" || s == "enum" {
+                break;
+            }
+        }
+        i += 1;
+    }
+    let kind = tokens[i].to_string();
+    let name = match &tokens[i + 1] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("derive(Serialize): expected type name, got {other}"),
+    };
+    if matches!(&tokens[i + 2], TokenTree::Punct(p) if p.as_char() == '<') {
+        panic!("derive(Serialize) stand-in does not support generic types ({name})");
+    }
+    let body_group = tokens[i + 2..]
+        .iter()
+        .find_map(|t| match t {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.clone()),
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("derive(Serialize) stand-in does not support tuple structs ({name})")
+            }
+            _ => None,
+        })
+        .unwrap_or_else(|| panic!("derive(Serialize): no braced body on {name}"));
+
+    let code = if kind == "struct" {
+        struct_impl(&name, &body_group)
+    } else {
+        enum_impl(&name, &body_group)
+    };
+    code.parse().expect("derive(Serialize): generated code must parse")
+}
+
+/// Split the items of a braced body on commas at angle-bracket depth 0.
+/// Nested `()`/`[]`/`{}` arrive as single `Group` tokens, so only generic
+/// argument lists need explicit depth tracking.
+fn split_on_commas(group: &proc_macro::Group) -> Vec<Vec<TokenTree>> {
+    let mut items: Vec<Vec<TokenTree>> = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0i32;
+    for t in group.stream() {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    items.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t);
+    }
+    if !cur.is_empty() {
+        items.push(cur);
+    }
+    items
+}
+
+/// First identifier after attributes and visibility — the field/variant name.
+fn leading_ident(item: &[TokenTree]) -> Option<String> {
+    let mut j = 0;
+    while j < item.len() {
+        match &item[j] {
+            // `#[...]` attribute (doc comments included).
+            TokenTree::Punct(p) if p.as_char() == '#' => j += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                j += 1;
+                // `pub(crate)` etc.
+                if matches!(item.get(j), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    j += 1;
+                }
+            }
+            TokenTree::Ident(id) => return Some(id.to_string()),
+            other => panic!("derive(Serialize): unexpected token {other}"),
+        }
+    }
+    None
+}
+
+fn struct_impl(name: &str, body: &proc_macro::Group) -> String {
+    let mut stmts = String::from("out.push('{');");
+    let mut first = true;
+    for item in split_on_commas(body) {
+        let Some(field) = leading_ident(&item) else { continue };
+        if !first {
+            stmts.push_str("out.push(',');");
+        }
+        first = false;
+        stmts.push_str(&format!("out.push_str(\"\\\"{field}\\\":\");"));
+        stmts.push_str(&format!("::serde::Serialize::serialize_json(&self.{field}, out);"));
+    }
+    stmts.push_str("out.push('}');");
+    impl_block(name, &stmts)
+}
+
+fn enum_impl(name: &str, body: &proc_macro::Group) -> String {
+    let mut arms = String::new();
+    for item in split_on_commas(body) {
+        let Some(variant) = leading_ident(&item) else { continue };
+        if item.iter().any(|t| matches!(t, TokenTree::Group(_))) {
+            panic!(
+                "derive(Serialize) stand-in supports unit enum variants only ({name}::{variant})"
+            );
+        }
+        arms.push_str(&format!("{name}::{variant} => out.push_str(\"\\\"{variant}\\\"\"),"));
+    }
+    impl_block(name, &format!("match self {{ {arms} }}"))
+}
+
+fn impl_block(name: &str, body: &str) -> String {
+    format!(
+        "impl ::serde::Serialize for {name} {{\
+            fn serialize_json(&self, out: &mut ::std::string::String) {{ {body} }}\
+        }}"
+    )
+}

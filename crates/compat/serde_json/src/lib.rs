@@ -1,0 +1,92 @@
+//! Offline stand-in for `serde_json`: `to_string` and `to_string_pretty`
+//! over the serde stand-in's direct-JSON `Serialize` trait.
+
+use std::fmt;
+
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+/// Compact-serialize, then re-indent (string-literal aware).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let compact = to_string(value)?;
+    let mut out = String::with_capacity(compact.len() * 2);
+    let mut indent = 0usize;
+    let mut chars = compact.chars().peekable();
+    let newline = |out: &mut String, indent: usize| {
+        out.push('\n');
+        for _ in 0..indent {
+            out.push_str("  ");
+        }
+    };
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => {
+                out.push('"');
+                // Copy the string literal verbatim, honoring escapes.
+                while let Some(s) = chars.next() {
+                    out.push(s);
+                    match s {
+                        '\\' => {
+                            if let Some(esc) = chars.next() {
+                                out.push(esc);
+                            }
+                        }
+                        '"' => break,
+                        _ => {}
+                    }
+                }
+            }
+            '{' | '[' => {
+                out.push(c);
+                // Empty containers stay on one line.
+                let close = if c == '{' { '}' } else { ']' };
+                if chars.peek() == Some(&close) {
+                    out.push(chars.next().unwrap());
+                } else {
+                    indent += 1;
+                    newline(&mut out, indent);
+                }
+            }
+            '}' | ']' => {
+                indent = indent.saturating_sub(1);
+                newline(&mut out, indent);
+                out.push(c);
+            }
+            ',' => {
+                out.push(',');
+                newline(&mut out, indent);
+            }
+            ':' => out.push_str(": "),
+            c => out.push(c),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn pretty_round() {
+        let v = vec![(1u64, "a".to_string()), (2, "b{}".to_string())];
+        let pretty = super::to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\"a\""));
+        assert!(pretty.contains("\"b{}\""));
+        assert!(pretty.lines().count() > 3);
+    }
+}

@@ -1,0 +1,176 @@
+//! Offline stand-in for `smallvec`: same type-level API (`SmallVec<[T; N]>`)
+//! backed by a plain `Vec<T>` — the inline-storage optimization is dropped,
+//! the semantics are identical. `Deref`/`DerefMut` to `Vec<T>` make the
+//! whole `Vec` surface available.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// Marker trait tying `SmallVec<[T; N]>` to its item type.
+pub trait Array {
+    type Item;
+    const CAP: usize;
+}
+
+impl<T, const N: usize> Array for [T; N] {
+    type Item = T;
+    const CAP: usize = N;
+}
+
+/// Vec-backed stand-in for `smallvec::SmallVec`.
+pub struct SmallVec<A: Array> {
+    inner: Vec<A::Item>,
+}
+
+impl<A: Array> SmallVec<A> {
+    #[inline]
+    pub fn new() -> Self {
+        Self { inner: Vec::new() }
+    }
+
+    #[inline]
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { inner: Vec::with_capacity(cap) }
+    }
+
+    #[inline]
+    pub fn from_vec(inner: Vec<A::Item>) -> Self {
+        Self { inner }
+    }
+
+    #[inline]
+    pub fn into_vec(self) -> Vec<A::Item> {
+        self.inner
+    }
+
+    // Inherent mirrors of `Vec` accessors, so fully-qualified calls like
+    // `SmallVec::len` resolve without going through `Deref`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+impl<A: Array> Default for SmallVec<A> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<A: Array> Deref for SmallVec<A> {
+    type Target = Vec<A::Item>;
+    #[inline]
+    fn deref(&self) -> &Vec<A::Item> {
+        &self.inner
+    }
+}
+
+impl<A: Array> DerefMut for SmallVec<A> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut Vec<A::Item> {
+        &mut self.inner
+    }
+}
+
+impl<A: Array> Clone for SmallVec<A>
+where
+    A::Item: Clone,
+{
+    fn clone(&self) -> Self {
+        Self { inner: self.inner.clone() }
+    }
+}
+
+impl<A: Array> fmt::Debug for SmallVec<A>
+where
+    A::Item: fmt::Debug,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl<A: Array> PartialEq for SmallVec<A>
+where
+    A::Item: PartialEq,
+{
+    fn eq(&self, other: &Self) -> bool {
+        self.inner == other.inner
+    }
+}
+
+impl<A: Array> Eq for SmallVec<A> where A::Item: Eq {}
+
+impl<A: Array> FromIterator<A::Item> for SmallVec<A> {
+    fn from_iter<I: IntoIterator<Item = A::Item>>(iter: I) -> Self {
+        Self { inner: iter.into_iter().collect() }
+    }
+}
+
+impl<A: Array> Extend<A::Item> for SmallVec<A> {
+    fn extend<I: IntoIterator<Item = A::Item>>(&mut self, iter: I) {
+        self.inner.extend(iter)
+    }
+}
+
+impl<A: Array> IntoIterator for SmallVec<A> {
+    type Item = A::Item;
+    type IntoIter = std::vec::IntoIter<A::Item>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.into_iter()
+    }
+}
+
+impl<'a, A: Array> IntoIterator for &'a SmallVec<A> {
+    type Item = &'a A::Item;
+    type IntoIter = std::slice::Iter<'a, A::Item>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter()
+    }
+}
+
+impl<'a, A: Array> IntoIterator for &'a mut SmallVec<A> {
+    type Item = &'a mut A::Item;
+    type IntoIter = std::slice::IterMut<'a, A::Item>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter_mut()
+    }
+}
+
+impl<A: Array> From<Vec<A::Item>> for SmallVec<A> {
+    fn from(inner: Vec<A::Item>) -> Self {
+        Self { inner }
+    }
+}
+
+/// `smallvec!` constructor macro (same surface as the real crate's).
+#[macro_export]
+macro_rules! smallvec {
+    () => { $crate::SmallVec::new() };
+    ($($x:expr),+ $(,)?) => { $crate::SmallVec::from_vec(vec![$($x),+]) };
+    ($elem:expr; $n:expr) => { $crate::SmallVec::from_vec(vec![$elem; $n]) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_surface_via_deref() {
+        let mut v: SmallVec<[u32; 4]> = SmallVec::new();
+        v.push(1);
+        v.push(2);
+        assert_eq!(v.len(), 2);
+        assert!(v.contains(&2));
+        assert_eq!(v[0], 1);
+        let doubled: SmallVec<[u32; 4]> = v.iter().map(|x| x * 2).collect();
+        assert_eq!(doubled.into_vec(), vec![2, 4]);
+        let cloned = vec![SmallVec::<[u32; 4]>::new(); 3];
+        assert_eq!(cloned.len(), 3);
+    }
+}

@@ -174,7 +174,9 @@ impl SimilarityEngine {
             }
             let mut parts: Vec<_> = by_part.into_iter().collect();
             parts.sort_by_key(|(p, _)| *p);
+            self.net.sim_fork();
             for (_part, batch) in parts {
+                self.net.sim_branch();
                 if let Ok(owner) = self.net.route(from, &batch[0].0) {
                     let payload: usize = batch.iter().map(|(_, p)| p.size_bytes()).sum();
                     if owner != from {
@@ -185,8 +187,11 @@ impl SimilarityEngine {
                     }
                 }
             }
+            self.net.sim_join();
         } else {
+            self.net.sim_fork();
             for (key, posting) in postings {
+                self.net.sim_branch();
                 if let Ok(owner) = self.net.route(from, &key) {
                     if owner != from {
                         self.net.send_direct(from, owner, posting.size_bytes());
@@ -194,6 +199,7 @@ impl SimilarityEngine {
                     self.net.insert_item(key, posting);
                 }
             }
+            self.net.sim_join();
         }
         let mut out = self.finish_query(&snap);
         out.matches = stats.total_postings();
@@ -219,15 +225,18 @@ impl SimilarityEngine {
     }
 
     /// Open a fresh stats window: snapshot traffic, reset the comparison
-    /// counter.
+    /// counter, and open a virtual-time window on the network's event sink
+    /// (if one is installed).
     pub(crate) fn begin_query(&mut self) -> Metrics {
         self.edit_comparisons = 0;
+        self.net.sim_begin_query();
         self.traffic_snapshot()
     }
 
-    pub(crate) fn finish_query(&self, snap: &Metrics) -> QueryStats {
+    pub(crate) fn finish_query(&mut self, snap: &Metrics) -> QueryStats {
         QueryStats {
             traffic: self.net.metrics().delta(snap),
+            sim: self.net.sim_end_query(),
             edit_comparisons: self.edit_comparisons,
             ..Default::default()
         }
@@ -263,12 +272,16 @@ impl SimilarityEngine {
         local_filter: &dyn Fn(&Posting) -> bool,
     ) -> Vec<Posting> {
         if !self.cfg.delegation {
+            // Independent retrieves fan out in parallel from the initiator.
             let mut out = Vec::new();
+            self.net.sim_fork();
             for k in keys {
+                self.net.sim_branch();
                 if let Ok(items) = self.net.retrieve(from, k) {
                     out.extend(items.into_iter().filter(|p| local_filter(p)));
                 }
             }
+            self.net.sim_join();
             return out;
         }
         // Group keys by partition.
@@ -279,7 +292,11 @@ impl SimilarityEngine {
         let mut parts: Vec<(usize, Vec<&Key>)> = by_part.into_iter().collect();
         parts.sort_by_key(|(p, _)| *p); // determinism
         let mut out = Vec::new();
+        // Per-partition probes are independent sub-requests: each branch
+        // routes, scans and replies on its own timeline.
+        self.net.sim_fork();
         for (_part, part_keys) in parts {
+            self.net.sim_branch();
             // One routed query message chain to the partition...
             let Ok(owner) = self.net.route(from, part_keys[0]) else {
                 continue;
@@ -288,10 +305,7 @@ impl SimilarityEngine {
             let mut batch: Vec<Posting> = Vec::new();
             for k in &part_keys {
                 batch.extend(
-                    self.net
-                        .local_prefix_scan(owner, k)
-                        .into_iter()
-                        .filter(|p| local_filter(p)),
+                    self.net.local_prefix_scan(owner, k).into_iter().filter(|p| local_filter(p)),
                 );
             }
             // ...one combined reply carrying only the survivors.
@@ -301,6 +315,7 @@ impl SimilarityEngine {
             }
             out.extend(batch);
         }
+        self.net.sim_join();
         out
     }
 
@@ -317,12 +332,15 @@ impl SimilarityEngine {
         let mut result: FxHashMap<String, Object> = FxHashMap::default();
 
         if !self.cfg.delegation {
+            self.net.sim_fork();
             for oid in sorted {
+                self.net.sim_branch();
                 let key = sqo_storage::keys::oid_key(oid);
                 if let Ok(postings) = self.net.retrieve(from, &key) {
                     result.insert(oid.clone(), Object::from_postings(oid, &postings));
                 }
             }
+            self.net.sim_join();
             return result;
         }
 
@@ -333,7 +351,9 @@ impl SimilarityEngine {
         }
         let mut parts: Vec<(usize, Vec<&String>)> = by_part.into_iter().collect();
         parts.sort_by_key(|(p, _)| *p);
+        self.net.sim_fork();
         for (_part, part_oids) in parts {
+            self.net.sim_branch();
             let first_key = sqo_storage::keys::oid_key(part_oids[0]);
             let Ok(owner) = self.net.route(from, &first_key) else {
                 continue;
@@ -350,6 +370,7 @@ impl SimilarityEngine {
                 self.net.send_direct(owner, from, payload);
             }
         }
+        self.net.sim_join();
         result
     }
 
@@ -480,9 +501,7 @@ mod tests {
             let mut messages = 0;
             for r in 0..10 {
                 let fields: Vec<(String, Value)> = (0..n_attrs)
-                    .map(|i| {
-                        (format!("attr{i:02}"), Value::from(format!("value{r:02}x{i:02}")))
-                    })
+                    .map(|i| (format!("attr{i:02}"), Value::from(format!("value{r:02}x{i:02}"))))
                     .collect();
                 let row = Row::new(format!("n:{r}"), fields);
                 messages += e.publish_rows_traced(&[row], from).traffic.messages;

@@ -213,30 +213,18 @@ mod tests {
 
     fn contact_rows() -> Vec<Row> {
         vec![
-            Row::new(
-                "p:1",
-                [("first", Value::from("johann")), ("last", Value::from("mueller"))],
-            ),
+            Row::new("p:1", [("first", Value::from("johann")), ("last", Value::from("mueller"))]),
             Row::new(
                 "p:2",
                 [("first", Value::from("johann")), ("last", Value::from("mueler"))], // typos
             ),
-            Row::new(
-                "p:3",
-                [("first", Value::from("johann")), ("last", Value::from("schmidt"))],
-            ),
-            Row::new(
-                "p:4",
-                [("first", Value::from("petra")), ("last", Value::from("mueller"))],
-            ),
+            Row::new("p:3", [("first", Value::from("johann")), ("last", Value::from("schmidt"))]),
+            Row::new("p:4", [("first", Value::from("petra")), ("last", Value::from("mueller"))]),
         ]
     }
 
     fn preds() -> Vec<AttrPredicate> {
-        vec![
-            AttrPredicate::new("first", "johann", 1),
-            AttrPredicate::new("last", "mueller", 1),
-        ]
+        vec![AttrPredicate::new("first", "johann", 1), AttrPredicate::new("last", "mueller", 1)]
     }
 
     #[test]
@@ -245,9 +233,8 @@ mod tests {
         let from = e.random_peer();
         let a = e.similar_multi(&preds(), from, Strategy::QGrams, MultiStrategy::Intersect);
         let b = e.similar_multi(&preds(), from, Strategy::QGrams, MultiStrategy::Pipelined);
-        let oids = |r: &MultiResult| -> Vec<String> {
-            r.matches.iter().map(|m| m.oid.clone()).collect()
-        };
+        let oids =
+            |r: &MultiResult| -> Vec<String> { r.matches.iter().map(|m| m.oid.clone()).collect() };
         assert_eq!(oids(&a), vec!["p:1", "p:2"]);
         assert_eq!(oids(&a), oids(&b));
         // Both carry per-attribute bindings.

@@ -49,15 +49,19 @@ impl SimilarityEngine {
             if ps == pe {
                 continue;
             }
-            // Route once into the subtree, then shower-forward.
+            // Route once into the subtree, then shower-forward. The
+            // per-partition branches verify in parallel; the initiator is
+            // done when the slowest responder's matches arrive.
             let Ok(entry) = self.net.route(from, prefix) else { continue };
             let entry_part = self.net.peer(entry).partition as usize;
+            self.net.sim_fork();
             for part in ps..pe {
+                self.net.sim_branch();
                 let responder = if part == entry_part {
                     entry
                 } else {
                     let Some(p) = self.net.partition_member(part) else { continue };
-                    self.net.charge_forward();
+                    self.net.forward_to(entry, p);
                     p
                 };
                 partitions_contacted += 1;
@@ -86,10 +90,7 @@ impl SimilarityEngine {
                                 });
                             }
                         }
-                        (
-                            None,
-                            Posting::Base { triple, .. } | Posting::ShortAttr { triple },
-                        ) => {
+                        (None, Posting::Base { triple, .. } | Posting::ShortAttr { triple }) => {
                             let name = triple.attr.as_str();
                             // One comparison per distinct local name, the way
                             // an implementation would actually do it.
@@ -114,6 +115,7 @@ impl SimilarityEngine {
                 }
                 candidates.extend(local_matches);
             }
+            self.net.sim_join();
         }
 
         candidates.sort_by(|a, b| (&a.oid, &a.attr, &a.text).cmp(&(&b.oid, &b.attr, &b.text)));
@@ -165,10 +167,7 @@ mod tests {
         let cost = |peers: usize| {
             let mut e = EngineBuilder::new().peers(peers).seed(21).build_with_rows(&data);
             let from = e.random_peer();
-            e.similar("tok0001en", Some("word"), 1, from, Strategy::Naive)
-                .stats
-                .traffic
-                .messages
+            e.similar("tok0001en", Some("word"), 1, from, Strategy::Naive).stats.traffic.messages
         };
         let small = cost(16);
         let large = cost(256);

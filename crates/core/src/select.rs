@@ -57,14 +57,11 @@ impl SimilarityEngine {
             Vec::new()
         };
         let in_bounds = |t: &sqo_storage::triple::Triple| match (lo.as_float(), hi.as_float()) {
-            (Some(l), Some(h)) => t
-                .value
-                .as_float()
-                .map(|x| l <= x && x <= h)
-                .unwrap_or(false),
+            (Some(l), Some(h)) => t.value.as_float().map(|x| l <= x && x <= h).unwrap_or(false),
             _ => match (&t.value, lo, hi) {
                 (Value::Str(s), Value::Str(l), Value::Str(h)) => {
-                    s.as_str() >= l.as_str() && (s.as_str() <= h.as_str() || s.starts_with(h.as_str()))
+                    s.as_str() >= l.as_str()
+                        && (s.as_str() <= h.as_str() || s.starts_with(h.as_str()))
                 }
                 _ => false,
             },
@@ -87,9 +84,7 @@ impl SimilarityEngine {
         eps: f64,
         from: PeerId,
     ) -> SelectResult {
-        let center = v
-            .as_float()
-            .expect("numeric similarity requires a numeric center value");
+        let center = v.as_float().expect("numeric similarity requires a numeric center value");
         let iv = NumericInterval::around_float(center, eps);
         let NumericInterval::Float { lo, hi } = iv else { unreachable!() };
         let (vlo, vhi) = match v {
@@ -99,7 +94,9 @@ impl SimilarityEngine {
         let mut result = self.select_range(attr, &vlo, &vhi, from);
         // Tighten to the exact Euclidean ball (the int-rounded range may
         // include boundary values just outside eps).
-        result.hits.retain(|h| h.value.as_float().map(|x| (x - center).abs() <= eps).unwrap_or(false));
+        result
+            .hits
+            .retain(|h| h.value.as_float().map(|x| (x - center).abs() <= eps).unwrap_or(false));
         result.stats.matches = result.hits.len();
         result
     }
@@ -126,9 +123,10 @@ impl SimilarityEngine {
             for p in self.scan_prefix(from, &prefix) {
                 match p {
                     Posting::Base { triple, .. } | Posting::ShortValue { triple }
-                        if triple.attr.as_str() == attr => {
-                            matched.push((triple.oid.clone(), triple.value.clone()));
-                        }
+                        if triple.attr.as_str() == attr =>
+                    {
+                        matched.push((triple.oid.clone(), triple.value.clone()));
+                    }
                     _ => {}
                 }
             }
@@ -205,12 +203,7 @@ mod tests {
     fn range_selection_strings() {
         let mut e = EngineBuilder::new().peers(16).seed(52).build_with_rows(&rows());
         let from = e.random_peer();
-        let res = e.select_range(
-            "name",
-            &Value::from("model03"),
-            &Value::from("model06"),
-            from,
-        );
+        let res = e.select_range("name", &Value::from("model03"), &Value::from("model06"), from);
         assert_eq!(res.hits.len(), 4);
     }
 

@@ -176,9 +176,7 @@ impl SimilarityEngine {
                 let Some(q_positions) = gram_positions.get(gram.as_str()) else {
                     return false; // not a probed gram (shouldn't happen: exact keys)
                 };
-                if filters.position
-                    && !q_positions.iter().any(|&qp| position_filter(pos, qp, d))
-                {
+                if filters.position && !q_positions.iter().any(|&qp| position_filter(pos, qp, d)) {
                     return false;
                 }
                 !filters.length || length_filter(len, s_len, d)
@@ -484,10 +482,8 @@ mod tests {
 
     #[test]
     fn matches_carry_complete_objects() {
-        let rows = vec![Row::new(
-            "car:9",
-            [("name", Value::from("BMW 320d")), ("hp", Value::from(190))],
-        )];
+        let rows =
+            vec![Row::new("car:9", [("name", Value::from("BMW 320d")), ("hp", Value::from(190))])];
         let mut e = EngineBuilder::new().peers(16).seed(11).build_with_rows(&rows);
         let from = e.random_peer();
         let res = e.similar("BMW 320d", Some("name"), 1, from, Strategy::QGrams);
@@ -499,10 +495,8 @@ mod tests {
 
     #[test]
     fn multivalued_attribute_yields_multiple_matches() {
-        let rows = vec![Row::new(
-            "o:1",
-            [("tag", Value::from("redish")), ("tag", Value::from("redisx"))],
-        )];
+        let rows =
+            vec![Row::new("o:1", [("tag", Value::from("redish")), ("tag", Value::from("redisx"))])];
         let mut e = EngineBuilder::new().peers(16).seed(12).build_with_rows(&rows);
         let from = e.random_peer();
         let res = e.similar("redish", Some("tag"), 1, from, Strategy::QGrams);

@@ -79,11 +79,12 @@ impl SimilarityEngine {
             for p in self.scan_prefix(from, &prefix) {
                 match p {
                     Posting::Base { triple, .. } | Posting::ShortValue { triple }
-                        if triple.attr.as_str() == ln => {
-                            if let Some(s) = triple.value.as_str() {
-                                left.push((triple.oid.clone(), s.to_string()));
-                            }
+                        if triple.attr.as_str() == ln =>
+                    {
+                        if let Some(s) = triple.value.as_str() {
+                            left.push((triple.oid.clone(), s.to_string()));
                         }
+                    }
                     _ => {}
                 }
             }
@@ -101,14 +102,8 @@ impl SimilarityEngine {
         let mut inner_stats = QueryStats::default();
         let mut pairs = Vec::new();
         for (left_oid, left_value) in left {
-            let res = self.similar_cached(
-                &left_value,
-                rn,
-                d,
-                from,
-                opts.strategy,
-                &mut object_cache,
-            );
+            let res =
+                self.similar_cached(&left_value, rn, d, from, opts.strategy, &mut object_cache);
             inner_stats.absorb(&res.stats);
             for m in res.matches {
                 pairs.push(JoinPair {
@@ -166,11 +161,8 @@ mod tests {
         let from = e.random_peer();
         let res = e.sim_join("dealer", Some("dlrname"), 1, from, &JoinOptions::default());
         assert_eq!(res.left_size, 2);
-        let mut got: Vec<(String, String)> = res
-            .pairs
-            .iter()
-            .map(|p| (p.left_value.clone(), p.right.matched.clone()))
-            .collect();
+        let mut got: Vec<(String, String)> =
+            res.pairs.iter().map(|p| (p.left_value.clone(), p.right.matched.clone())).collect();
         got.sort_unstable();
         assert_eq!(
             got,

@@ -6,13 +6,19 @@
 //! `traffic.result_bytes`; the ablations read the rest.
 
 use serde::Serialize;
-use sqo_overlay::Metrics;
+use sqo_overlay::{Metrics, SimLatency};
 
 /// Cost profile of one operator invocation.
 #[derive(Debug, Default, Clone, Copy, Serialize)]
 pub struct QueryStats {
     /// Network traffic attributable to this query (snapshot delta).
     pub traffic: Metrics,
+    /// Simulated-latency profile: present when the engine's network has a
+    /// virtual-time sink installed (see `sqo-sim`), `None` in the plain
+    /// message-counting mode. `sim.elapsed_us` is the critical-path time of
+    /// the query under the configured latency model, with parallel fan-outs
+    /// accounted as max-over-branches rather than summed hops.
+    pub sim: Option<SimLatency>,
     /// Stage-1 index probes issued (distinct gram keys / fan-out partitions).
     pub probes: usize,
     /// Candidates that survived the cheap filters and entered stage 2.
@@ -32,6 +38,11 @@ impl QueryStats {
     /// Aggregate another query's stats into this one (workload totals).
     pub fn absorb(&mut self, other: &QueryStats) {
         self.traffic.add(&other.traffic);
+        match (&mut self.sim, &other.sim) {
+            (Some(mine), Some(theirs)) => mine.absorb(theirs),
+            (None, Some(theirs)) => self.sim = Some(*theirs),
+            _ => {}
+        }
         self.probes += other.probes;
         self.candidates += other.candidates;
         self.edit_comparisons += other.edit_comparisons;

@@ -79,19 +79,10 @@ impl NumDomain {
 impl SimilarityEngine {
     /// Top-N over a **numeric** attribute (Algorithm 4). For `Rank::Nn` the
     /// target must be numeric; use [`Self::top_n_similar`] for string NN.
-    pub fn top_n_numeric(
-        &mut self,
-        attr: &str,
-        n: usize,
-        rank: Rank,
-        from: PeerId,
-    ) -> TopNResult {
+    pub fn top_n_numeric(&mut self, attr: &str, n: usize, rank: Rank, from: PeerId) -> TopNResult {
         assert!(n >= 1, "top-0 is trivial");
         if let Rank::Nn(target) = &rank {
-            assert!(
-                target.as_float().is_some(),
-                "numeric top-N requires a numeric NN target"
-            );
+            assert!(target.as_float().is_some(), "numeric top-N requires a numeric NN target");
         }
         let snap = self.begin_query();
         let prefix = keys::attr_scan_prefix(attr);
@@ -124,7 +115,7 @@ impl SimilarityEngine {
                 entry
             } else {
                 let Some(p) = self.net.partition_member(part) else { continue };
-                self.net.charge_forward();
+                self.net.forward_to(entry, p);
                 p
             };
             for p in self.net.local_prefix_scan(responder, &prefix) {
@@ -159,10 +150,7 @@ impl SimilarityEngine {
         // the initial range to cover the gap to the nearest sampled value.
         if let Rank::Nn(t) = &rank {
             let target = t.as_float().expect("checked above");
-            let gap = local
-                .iter()
-                .map(|x| (x - target).abs())
-                .fold(f64::INFINITY, f64::min);
+            let gap = local.iter().map(|x| (x - target).abs()).fold(f64::INFINITY, f64::min);
             if gap.is_finite() {
                 range = range.max(2.0 * gap + r_width);
             }
@@ -429,10 +417,7 @@ mod tests {
         let got: Vec<i64> = res.items.iter().map(|i| i.value.as_int().unwrap()).collect();
         let worst_got = got.iter().map(|v| (v - 200).abs()).max().unwrap();
         let best_excluded = all[4..].iter().map(|v| (v - 200).abs()).min().unwrap();
-        assert!(
-            worst_got <= best_excluded,
-            "returned a farther neighbor than an excluded one"
-        );
+        assert!(worst_got <= best_excluded, "returned a farther neighbor than an excluded one");
     }
 
     #[test]

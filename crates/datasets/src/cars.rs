@@ -37,7 +37,8 @@ const BRANDS: [(&str, &[&str]); 6] = [
 ];
 
 const DLRID_TYPOS: [&str; 4] = ["dlrjd", "dlridx", "dlid", "dlrrid"];
-const STREETS: [&str; 6] = ["Main St", "High St", "Park Ave", "Ringstrasse", "Bahnhofstr", "Elm Rd"];
+const STREETS: [&str; 6] =
+    ["Main St", "High St", "Park Ave", "Ringstrasse", "Bahnhofstr", "Elm Rd"];
 
 fn typo(rng: &mut StdRng, s: &str) -> String {
     let mut cs: Vec<char> = s.chars().collect();
@@ -72,11 +73,8 @@ pub fn dealer_rows(cfg: &CarMarketConfig) -> Vec<Row> {
                 "dlrid".to_string()
             };
             let name = format!("autohaus {}", crate::words::generate_word(&mut rng, 6));
-            let addr = format!(
-                "{} {}",
-                rng.gen_range(1..200),
-                STREETS[rng.gen_range(0..STREETS.len())]
-            );
+            let addr =
+                format!("{} {}", rng.gen_range(1..200), STREETS[rng.gen_range(0..STREETS.len())]);
             Row::new(
                 format!("dlr:{i}"),
                 vec![
@@ -142,10 +140,9 @@ mod tests {
         for car in &cars {
             let d = car.get("dealer").and_then(|v| v.as_str().map(str::to_string)).unwrap();
             assert!(
-                dealers.iter().any(|row| row
-                    .fields
+                dealers
                     .iter()
-                    .any(|(_, v)| v.as_str() == Some(d.as_str()))),
+                    .any(|row| row.fields.iter().any(|(_, v)| v.as_str() == Some(d.as_str()))),
                 "dangling dealer reference {d}"
             );
         }
@@ -160,10 +157,8 @@ mod tests {
             .filter(|r| r.fields.iter().any(|(a, _)| DLRID_TYPOS.contains(&a.as_str())))
             .count();
         assert!(typod > 20, "expected typo'd dlrid attributes, got {typod}");
-        let clean = dealers
-            .iter()
-            .filter(|r| r.fields.iter().any(|(a, _)| a.as_str() == "dlrid"))
-            .count();
+        let clean =
+            dealers.iter().filter(|r| r.fields.iter().any(|(a, _)| a.as_str() == "dlrid")).count();
         assert!(clean > typod, "most rows stay clean");
     }
 

@@ -20,8 +20,8 @@ pub const PAINTING_TITLE_COUNT: usize = 66_349;
 pub const MAX_TITLE_LEN: usize = 132;
 
 const FUNCTION_WORDS: [&str; 16] = [
-    "a", "of", "the", "in", "on", "at", "de", "la", "le", "und", "der", "with", "and", "by",
-    "sur", "les",
+    "a", "of", "the", "in", "on", "at", "de", "la", "le", "und", "der", "with", "and", "by", "sur",
+    "les",
 ];
 
 fn title_word(rng: &mut StdRng) -> String {
@@ -43,9 +43,9 @@ fn one_title(rng: &mut StdRng) -> String {
     // Target lengths: bulk around the mean via two uniform draws, plus an
     // occasional long-descriptive-title tail reaching towards the 132 cap.
     let target = if rng.gen_bool(0.06) {
-        62 + rng.gen_range(0..64)
+        62 + rng.gen_range(0..64usize)
     } else {
-        8 + rng.gen_range(0..27) + rng.gen_range(0..27)
+        8 + rng.gen_range(0..27usize) + rng.gen_range(0..27usize)
     };
     let mut title = String::with_capacity(target + 12);
     loop {
@@ -91,20 +91,14 @@ mod tests {
         assert!(min >= 1);
         assert!(max <= MAX_TITLE_LEN, "max {max}");
         assert!(max > 80, "long tail expected, max only {max}");
-        assert!(
-            (mean - 37.08).abs() < 4.0,
-            "mean length {mean:.2} too far from the paper's 37.08"
-        );
+        assert!((mean - 37.08).abs() < 4.0, "mean length {mean:.2} too far from the paper's 37.08");
     }
 
     #[test]
     fn titles_contain_spaces() {
         let titles = painting_titles(2_000, 2);
         let with_spaces = titles.iter().filter(|t| t.contains(' ')).count();
-        assert!(
-            with_spaces as f64 > 0.9 * titles.len() as f64,
-            "most titles must be multi-word"
-        );
+        assert!(with_spaces as f64 > 0.9 * titles.len() as f64, "most titles must be multi-word");
     }
 
     #[test]

@@ -135,10 +135,7 @@ mod tests {
         let (min, max, mean) = length_stats(&words);
         assert!(min >= 5, "min length {min}");
         assert!(max <= 14, "max length {max}");
-        assert!(
-            (mean - 6.46).abs() < 0.25,
-            "mean length {mean:.3} too far from the paper's 6.46"
-        );
+        assert!((mean - 6.46).abs() < 0.25, "mean length {mean:.3} too far from the paper's 6.46");
     }
 
     #[test]

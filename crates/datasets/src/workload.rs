@@ -103,8 +103,8 @@ pub fn run_workload(
 ) -> WorkloadReport {
     assert!(!strings.is_empty(), "workload needs a non-empty string pool");
     let mut rng = StdRng::seed_from_u64(seed);
-    let zipf = (spec.zipf_exponent > 0.0)
-        .then(|| ZipfSampler::new(strings.len(), spec.zipf_exponent));
+    let zipf =
+        (spec.zipf_exponent > 0.0).then(|| ZipfSampler::new(strings.len(), spec.zipf_exponent));
     let pick = |rng: &mut StdRng| -> &str {
         let idx = match &zipf {
             Some(z) => z.sample(rng),
@@ -118,8 +118,7 @@ pub fn run_workload(
         for &n in &spec.top_n {
             let s = pick(&mut rng).to_string();
             let from = engine.random_peer();
-            let res =
-                engine.top_n_similar(Some(attr), n, &s, spec.top_n_dmax, from, strategy);
+            let res = engine.top_n_similar(Some(attr), n, &s, spec.top_n_dmax, from, strategy);
             report.total.absorb(&res.stats);
             report.top_n_stats.absorb(&res.stats);
             report.queries_run += 1;
@@ -168,9 +167,7 @@ mod tests {
         let spec = WorkloadSpec::smoke();
         let run = || {
             let mut e = engine(&words, 16);
-            run_workload(&mut e, "word", &words, &spec, Strategy::QSamples, 5)
-                .total
-                .traffic
+            run_workload(&mut e, "word", &words, &spec, Strategy::QSamples, 5).total.traffic
         };
         assert_eq!(run(), run());
     }

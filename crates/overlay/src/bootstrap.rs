@@ -231,16 +231,10 @@ fn specialize(p: &mut BootPeer, _level: usize) {
         return;
     }
     let child0 = p.path.child(false);
-    let in_child0 = p
-        .data
-        .iter()
-        .filter(|k| child0.is_prefix_of(k) || k.is_prefix_of(&child0))
-        .count();
-    let in_region = p
-        .data
-        .iter()
-        .filter(|k| p.path.is_prefix_of(k) || k.is_prefix_of(&p.path))
-        .count();
+    let in_child0 =
+        p.data.iter().filter(|k| child0.is_prefix_of(k) || k.is_prefix_of(&child0)).count();
+    let in_region =
+        p.data.iter().filter(|k| p.path.is_prefix_of(k) || k.is_prefix_of(&p.path)).count();
     p.path.push_bit(in_child0 * 2 < in_region);
 }
 
@@ -286,12 +280,8 @@ fn repair_cover(mut paths: Vec<Key>) -> Vec<Key> {
         .enumerate()
         .map(|(i, p)| paths.get(i + 1).is_some_and(|next| p.is_prefix_of(next)))
         .collect();
-    let mut frontier: Vec<Key> = paths
-        .into_iter()
-        .zip(has_descendant)
-        .filter(|(_, s)| !s)
-        .map(|(p, _)| p)
-        .collect();
+    let mut frontier: Vec<Key> =
+        paths.into_iter().zip(has_descendant).filter(|(_, s)| !s).map(|(p, _)| p).collect();
     if frontier.is_empty() {
         return vec![Key::empty()];
     }
@@ -305,10 +295,8 @@ fn repair_cover(mut paths: Vec<Key>) -> Vec<Key> {
         // Find frontier paths under `region`.
         let _ = i; // (index kept for clarity; search below is by prefix)
         let start = frontier.partition_point(|p| p < &region);
-        let in_region = frontier[start..]
-            .iter()
-            .take_while(|p| region.is_prefix_of(p))
-            .collect::<Vec<_>>();
+        let in_region =
+            frontier[start..].iter().take_while(|p| region.is_prefix_of(p)).collect::<Vec<_>>();
         i = start;
         match in_region.first() {
             None => {
@@ -411,7 +399,8 @@ mod tests {
     #[test]
     fn load_balance_comparable_to_centralized() {
         let mut keys = word_keys(1_000);
-        let out = bootstrap(&keys, 32, &BootstrapConfig { split_threshold: 48, ..Default::default() });
+        let out =
+            bootstrap(&keys, 32, &BootstrapConfig { split_threshold: 48, ..Default::default() });
         // Heaviest emergent partition should hold a modest share of keys.
         keys.sort_unstable();
         let max_load = out
@@ -420,10 +409,7 @@ mod tests {
             .map(|p| keys.iter().filter(|k| p.is_prefix_of(k)).count())
             .max()
             .unwrap();
-        assert!(
-            max_load <= keys.len() / 2,
-            "one emergent partition holds {max_load}/1000 keys"
-        );
+        assert!(max_load <= keys.len() / 2, "one emergent partition holds {max_load}/1000 keys");
     }
 
     #[test]

@@ -1,0 +1,183 @@
+//! The event-charging hook: virtual-time accounting for the simulator.
+//!
+//! The shared-memory [`Network`](crate::network::Network) counts messages
+//! and bytes ([`crate::metrics::Metrics`]); it has no notion of *time*. An
+//! [`EventSink`] installed on the network receives every simulated wire
+//! interaction — routing hops, shower forwards, result transfers, local
+//! scans — plus fork/join markers around parallel fan-outs, and turns them
+//! into simulated wall-clock latency. The canonical implementation lives in
+//! the `sqo-sim` crate (`NetSim`: pluggable latency models, message loss
+//! with retry, per-peer serial service queues); the overlay only defines the
+//! contract so that it does not depend on the simulator.
+//!
+//! ## Timing model
+//!
+//! The sink maintains a *frontier*: the virtual time at the point of the
+//! query's control flow. Sequential steps ([`EventSink::deliver`],
+//! [`EventSink::local_work`]) advance the frontier. Parallel fan-outs (the
+//! shower phase of a retrieve, batched probes across partitions) are
+//! bracketed by [`EventSink::fork`] / [`EventSink::join`], with
+//! [`EventSink::branch`] separating the branches: every branch starts at
+//! the fork's frontier and the join resumes at the **latest** branch
+//! completion — critical-path accounting, not summed hop counts.
+
+use crate::peer::PeerId;
+use serde::Serialize;
+
+/// What role a delivered message plays (mirrors the [`Metrics`] breakdown).
+///
+/// [`Metrics`]: crate::metrics::Metrics
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MsgKind {
+    /// Algorithm-1 routing hop.
+    Route,
+    /// Intra-subtree shower forward.
+    Forward,
+    /// Result-bearing message (owner → initiator or delegation successor).
+    Result,
+}
+
+/// Simulated-latency profile of one query (or an aggregate of queries).
+///
+/// All fields are microseconds of virtual time except the two counters.
+/// For a single query `elapsed_us == end_us - start_us` is the critical
+/// path; the per-category fields (`net_us`, `queue_us`, `service_us`,
+/// `route_us`, `forward_us`, `result_us`) are summed over *all* messages,
+/// so with parallel fan-out their total may exceed the critical path.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct SimLatency {
+    /// Virtual time when the query began.
+    pub start_us: u64,
+    /// Virtual time when the last result reached the initiator.
+    pub end_us: u64,
+    /// Critical-path duration (for aggregates: summed durations).
+    pub elapsed_us: u64,
+    /// Link latency summed over all messages (loss timeouts included).
+    pub net_us: u64,
+    /// Time messages spent queued behind busy receivers.
+    pub queue_us: u64,
+    /// Receiver CPU occupancy (per-message + per-byte service, local scans).
+    pub service_us: u64,
+    /// Frontier time spent in routing hops.
+    pub route_us: u64,
+    /// Frontier time spent in shower forwards.
+    pub forward_us: u64,
+    /// Frontier time spent in result transfers.
+    pub result_us: u64,
+    /// Messages that passed through the sink.
+    pub timed_messages: u64,
+    /// Retransmissions caused by simulated message loss.
+    pub retransmissions: u64,
+}
+
+impl SimLatency {
+    /// True when nothing was recorded (the all-zero default).
+    pub fn is_empty(&self) -> bool {
+        self.elapsed_us == 0 && self.timed_messages == 0 && self.end_us == 0
+    }
+
+    /// Aggregate another profile: durations and counters add, the window
+    /// becomes the envelope. For sequential sub-operations of one query the
+    /// summed `elapsed_us` equals the end-to-end critical path.
+    pub fn absorb(&mut self, other: &SimLatency) {
+        if other.is_empty() {
+            return;
+        }
+        if self.is_empty() {
+            *self = *other;
+            return;
+        }
+        self.start_us = self.start_us.min(other.start_us);
+        self.end_us = self.end_us.max(other.end_us);
+        self.elapsed_us += other.elapsed_us;
+        self.net_us += other.net_us;
+        self.queue_us += other.queue_us;
+        self.service_us += other.service_us;
+        self.route_us += other.route_us;
+        self.forward_us += other.forward_us;
+        self.result_us += other.result_us;
+        self.timed_messages += other.timed_messages;
+        self.retransmissions += other.retransmissions;
+    }
+}
+
+/// Receiver of simulated network events (see the module docs for the
+/// timing model). Installed on a network via
+/// [`Network::set_event_sink`](crate::network::Network::set_event_sink);
+/// all methods are invoked by the overlay as queries execute.
+pub trait EventSink {
+    /// Open a query window at the current frontier.
+    fn begin_query(&mut self);
+
+    /// Close the query window and return its latency profile.
+    fn end_query(&mut self) -> SimLatency;
+
+    /// A message of `bytes` travels `from → to`; advances the frontier by
+    /// link latency (plus loss retries) and the receiver's service time.
+    fn deliver(&mut self, from: PeerId, to: PeerId, bytes: usize, kind: MsgKind);
+
+    /// Local scan work at `peer` over `items` stored entries; occupies the
+    /// peer and advances the frontier.
+    fn local_work(&mut self, peer: PeerId, items: u64);
+
+    /// Open a parallel fan-out at the current frontier.
+    fn fork(&mut self);
+
+    /// Start the next branch of the innermost fork (rewinds the frontier to
+    /// the fork point, remembering the previous branch's completion).
+    fn branch(&mut self);
+
+    /// Close the innermost fork: the frontier jumps to the latest branch
+    /// completion.
+    fn join(&mut self);
+
+    /// Current frontier, in virtual microseconds.
+    fn now_us(&self) -> u64;
+
+    /// Set the frontier to `t_us` (a query arrival in an open-loop
+    /// workload; may rewind relative to a previously simulated query, which
+    /// is how concurrent queries overlap).
+    fn reset_to_us(&mut self, t_us: u64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_merges_windows_and_sums_durations() {
+        let mut a = SimLatency {
+            start_us: 100,
+            end_us: 300,
+            elapsed_us: 200,
+            net_us: 120,
+            timed_messages: 3,
+            ..Default::default()
+        };
+        let b = SimLatency {
+            start_us: 300,
+            end_us: 450,
+            elapsed_us: 150,
+            net_us: 90,
+            timed_messages: 2,
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.start_us, 100);
+        assert_eq!(a.end_us, 450);
+        assert_eq!(a.elapsed_us, 350);
+        assert_eq!(a.net_us, 210);
+        assert_eq!(a.timed_messages, 5);
+    }
+
+    #[test]
+    fn absorb_ignores_empty_and_adopts_into_empty() {
+        let full = SimLatency { start_us: 5, end_us: 9, elapsed_us: 4, ..Default::default() };
+        let mut a = SimLatency::default();
+        a.absorb(&full);
+        assert_eq!(a, full);
+        let mut b = full;
+        b.absorb(&SimLatency::default());
+        assert_eq!(b, full);
+    }
+}

@@ -137,12 +137,7 @@ mod tests {
             f64::INFINITY,
         ];
         for w in vals.windows(2) {
-            assert!(
-                hash_f64(w[0]) <= hash_f64(w[1]),
-                "{} should hash <= {}",
-                w[0],
-                w[1]
-            );
+            assert!(hash_f64(w[0]) <= hash_f64(w[1]), "{} should hash <= {}", w[0], w[1]);
             if w[0] != w[1] {
                 assert!(hash_f64(w[0]) < hash_f64(w[1]), "{} vs {}", w[0], w[1]);
             }

@@ -275,7 +275,7 @@ mod tests {
     #[test]
     fn ordering_is_bit_lexicographic() {
         let cases = [
-            ("", "0"),       // prefix before extension
+            ("", "0"), // prefix before extension
             ("0", "1"),
             ("0", "00"),
             ("01", "1"),
@@ -343,7 +343,7 @@ mod tests {
     fn cmp_extended_interval_semantics() {
         use Ordering::*;
         let part = Key::parse("01"); // covers [0100…, 0111…]
-        // Partition max (0111…) vs bounds:
+                                     // Partition max (0111…) vs bounds:
         assert_eq!(part.cmp_extended(true, &Key::parse("0101")), Greater);
         assert_eq!(part.cmp_extended(true, &Key::parse("1000")), Less);
         assert_eq!(part.cmp_extended(true, &Key::parse("01")), Greater);

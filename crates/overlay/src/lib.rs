@@ -18,8 +18,12 @@
 //! * [`network`] — the simulator: routing, retrieval, range queries,
 //!   delegation primitives, churn.
 //! * [`metrics`] — message/bandwidth accounting.
+//! * [`clock`] — the virtual-time hook: an [`EventSink`] installed on the
+//!   network turns hop counts into simulated latency (implemented by
+//!   `sqo-sim`).
 
 pub mod bootstrap;
+pub mod clock;
 pub mod hash;
 pub mod key;
 pub mod metrics;
@@ -28,7 +32,8 @@ pub mod peer;
 pub mod trie;
 
 pub use bootstrap::{bootstrap, BootstrapConfig, BootstrapOutcome};
+pub use clock::{EventSink, MsgKind, SimLatency};
 pub use key::Key;
-pub use metrics::Metrics;
+pub use metrics::{Metrics, PeerLoad};
 pub use network::{Network, NetworkConfig, RouteError};
 pub use peer::{Item, Peer, PeerId};

@@ -11,8 +11,9 @@
 //! selection, peer assignment and initiator choice all draw from one seeded
 //! RNG.
 
+use crate::clock::{EventSink, MsgKind, SimLatency};
 use crate::key::Key;
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, PeerLoad};
 use crate::peer::{Item, Peer, PeerId};
 use crate::trie::{build_partitions, find_partition, subtree_range};
 use rand::rngs::StdRng;
@@ -75,6 +76,12 @@ pub struct Network<T> {
     part_peers: Vec<SmallVec<[PeerId; 4]>>,
     peers: Vec<Peer<T>>,
     metrics: Metrics,
+    /// Per-peer sent/received traffic (reset together with `metrics`).
+    peer_load: Vec<PeerLoad>,
+    /// Optional virtual-time charger; every wire interaction is mirrored
+    /// into it (see [`crate::clock`]). `None` keeps the network a pure
+    /// message counter with zero behavior change.
+    sink: Option<Box<dyn EventSink>>,
     rng: StdRng,
 }
 
@@ -133,17 +140,15 @@ impl<T: Item> Network<T> {
             None => vec![None; cfg.peers],
         };
         // First pass: empty partitions claim unplaced or redundant peers.
-        let mut assignment: Vec<usize> = (0..cfg.peers)
-            .map(|i| explicit[i].unwrap_or(i % paths.len()))
-            .collect();
+        let mut assignment: Vec<usize> =
+            (0..cfg.peers).map(|i| explicit[i].unwrap_or(i % paths.len())).collect();
         {
             let mut coverage = vec![0usize; paths.len()];
             for &part in &assignment {
                 coverage[part] += 1;
             }
-            let mut spare: Vec<usize> = (0..cfg.peers)
-                .filter(|&i| coverage[assignment[i]] > 1)
-                .collect();
+            let mut spare: Vec<usize> =
+                (0..cfg.peers).filter(|&i| coverage[assignment[i]] > 1).collect();
             for part in 0..paths.len() {
                 if coverage[part] > 0 {
                     continue;
@@ -166,12 +171,15 @@ impl<T: Item> Network<T> {
             peers.push(Peer::new(id, part as u32, paths[part].clone()));
         }
 
+        let n_peers = peers.len();
         let mut net = Network {
             cfg,
             paths,
             part_peers,
             peers,
             metrics: Metrics::default(),
+            peer_load: vec![PeerLoad::default(); n_peers],
+            sink: None,
             rng: StdRng::seed_from_u64(0), // replaced below, after cfg move
         };
         net.rng = StdRng::seed_from_u64(net.cfg.seed);
@@ -264,8 +272,128 @@ impl<T: Item> Network<T> {
         &self.metrics
     }
 
+    /// Reset the global and per-peer traffic counters.
     pub fn reset_metrics(&mut self) {
         self.metrics = Metrics::default();
+        self.peer_load = vec![PeerLoad::default(); self.peers.len()];
+    }
+
+    /// Traffic counters of one peer.
+    pub fn peer_load(&self, id: PeerId) -> PeerLoad {
+        self.peer_load[id.index()]
+    }
+
+    /// Traffic counters of every peer, indexed by [`PeerId`].
+    pub fn peer_loads(&self) -> &[PeerLoad] {
+        &self.peer_load
+    }
+
+    // ------------------------------------------------------------------
+    // Virtual-time hook (see crate::clock)
+    // ------------------------------------------------------------------
+
+    /// Install an event sink; every subsequent wire interaction is charged
+    /// to it. Replaces any previous sink.
+    pub fn set_event_sink(&mut self, sink: Box<dyn EventSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Remove and return the installed sink, if any.
+    pub fn take_event_sink(&mut self) -> Option<Box<dyn EventSink>> {
+        self.sink.take()
+    }
+
+    pub fn has_event_sink(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Open a virtual-time query window (no-op without a sink).
+    pub fn sim_begin_query(&mut self) {
+        if let Some(s) = &mut self.sink {
+            s.begin_query();
+        }
+    }
+
+    /// Close the query window and return its latency profile.
+    pub fn sim_end_query(&mut self) -> Option<SimLatency> {
+        self.sink.as_mut().map(|s| s.end_query())
+    }
+
+    /// Open a parallel fan-out at the current frontier (no-op without a
+    /// sink). Callers running logically-parallel sub-requests in a loop
+    /// bracket the loop with `sim_fork`/`sim_join` and prefix each
+    /// iteration with `sim_branch` to get critical-path accounting.
+    pub fn sim_fork(&mut self) {
+        if let Some(s) = &mut self.sink {
+            s.fork();
+        }
+    }
+
+    /// Start the next branch of the innermost fork.
+    pub fn sim_branch(&mut self) {
+        if let Some(s) = &mut self.sink {
+            s.branch();
+        }
+    }
+
+    /// Close the innermost fork (frontier := latest branch completion).
+    pub fn sim_join(&mut self) {
+        if let Some(s) = &mut self.sink {
+            s.join();
+        }
+    }
+
+    /// Current virtual time, if a sink is installed.
+    pub fn sim_now_us(&self) -> Option<u64> {
+        self.sink.as_ref().map(|s| s.now_us())
+    }
+
+    /// Move the frontier to `t_us` (query arrival in a driven workload).
+    pub fn sim_reset_to_us(&mut self, t_us: u64) {
+        if let Some(s) = &mut self.sink {
+            s.reset_to_us(t_us);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Charge helpers: metrics + per-peer load + virtual time, together
+    // ------------------------------------------------------------------
+
+    /// One message `from → to` of the given kind: global metrics, per-peer
+    /// load accounts and virtual time all charged together. `payload` is
+    /// nonzero only for result-bearing messages.
+    fn charge(&mut self, kind: MsgKind, from: PeerId, to: PeerId, payload: usize) {
+        let hb = self.cfg.msg_header_bytes;
+        match kind {
+            MsgKind::Route => self.metrics.count_hop(hb),
+            MsgKind::Forward => self.metrics.count_forward(hb),
+            MsgKind::Result => self.metrics.count_result(hb, payload),
+        }
+        let bytes = hb + payload;
+        self.peer_load[from.index()].count_sent(bytes as u64);
+        self.peer_load[to.index()].count_recv(bytes as u64);
+        if let Some(s) = &mut self.sink {
+            s.deliver(from, to, bytes, kind);
+        }
+    }
+
+    fn charge_hop(&mut self, from: PeerId, to: PeerId) {
+        self.charge(MsgKind::Route, from, to, 0);
+    }
+
+    fn charge_forward(&mut self, from: PeerId, to: PeerId) {
+        self.charge(MsgKind::Forward, from, to, 0);
+    }
+
+    fn charge_result(&mut self, from: PeerId, to: PeerId, payload: usize) {
+        self.charge(MsgKind::Result, from, to, payload);
+    }
+
+    fn charge_scan(&mut self, peer: PeerId, touched: u64) {
+        self.metrics.local_items_scanned += touched;
+        if let Some(s) = &mut self.sink {
+            s.local_work(peer, touched);
+        }
     }
 
     /// A uniformly random alive peer (query initiators in the workload).
@@ -307,7 +435,14 @@ impl<T: Item> Network<T> {
     /// Kill a random `fraction` of all peers. Returns the victims.
     pub fn fail_random_fraction(&mut self, fraction: f64) -> Vec<PeerId> {
         assert!((0.0..=1.0).contains(&fraction));
-        let n = ((self.peers.len() as f64) * fraction).round() as usize;
+        // The fraction is of *all* peers, but only alive peers can die, and
+        // one peer always survives — repeated churn (a driver schedule) must
+        // neither spin forever hunting victims that no longer exist nor
+        // leave the network unable to choose an initiator. Use `fail_peer`
+        // to kill a specific peer unconditionally.
+        let alive = self.peers.iter().filter(|p| p.alive).count();
+        let n =
+            (((self.peers.len() as f64) * fraction).round() as usize).min(alive.saturating_sub(1));
         let mut victims = Vec::with_capacity(n);
         while victims.len() < n {
             let id = PeerId(self.rng.gen_range(0..self.peers.len()) as u32);
@@ -345,7 +480,7 @@ impl<T: Item> Network<T> {
                 self.metrics.failed_routes += 1;
                 return Err(RouteError::NoAliveReference);
             };
-            self.metrics.count_hop(self.cfg.msg_header_bytes);
+            self.charge_hop(cur, next);
             cur = next;
         }
         unreachable!("routing must converge within the trie depth");
@@ -377,11 +512,8 @@ impl<T: Item> Network<T> {
     /// Some alive peer of partition `part`, chosen at random.
     fn alive_member(&mut self, part: usize) -> Option<PeerId> {
         let members = &self.part_peers[part];
-        let alive: SmallVec<[PeerId; 4]> = members
-            .iter()
-            .copied()
-            .filter(|p| self.peers[p.index()].alive)
-            .collect();
+        let alive: SmallVec<[PeerId; 4]> =
+            members.iter().copied().filter(|p| self.peers[p.index()].alive).collect();
         if alive.is_empty() {
             None
         } else {
@@ -417,14 +549,19 @@ impl<T: Item> Network<T> {
         let (s, e) = subtree_range(&self.paths, key);
         let entry_part = self.peers[entry.index()].partition as usize;
         let mut out = Vec::new();
+        // The shower branches run in parallel in a deployment: each starts
+        // from the moment the query reached `entry` and the initiator is
+        // done when the *last* result arrives.
+        self.sim_fork();
         for part in s..e {
+            self.sim_branch();
             let responder = if part == entry_part {
                 entry
             } else {
                 // Shower forward into the sibling partition.
                 match self.alive_member(part) {
                     Some(p) => {
-                        self.metrics.count_forward(self.cfg.msg_header_bytes);
+                        self.charge_forward(entry, p);
                         p
                     }
                     None => {
@@ -434,13 +571,14 @@ impl<T: Item> Network<T> {
                 }
             };
             let (items, touched) = self.peers[responder.index()].scan_prefix(key);
-            self.metrics.local_items_scanned += touched;
+            self.charge_scan(responder, touched);
             let payload: usize = items.iter().map(Item::size_bytes).sum();
             if responder != from {
-                self.metrics.count_result(self.cfg.msg_header_bytes, payload);
+                self.charge_result(responder, from, payload);
             }
             out.extend(items);
         }
+        self.sim_join();
         Ok(out)
     }
 
@@ -455,26 +593,24 @@ impl<T: Item> Network<T> {
         // items whose key is a prefix of its path — in particular an item
         // with key exactly hi (sorted order puts such extensions directly
         // after hi, so the predicate stays monotone).
-        let s = self
-            .paths
-            .partition_point(|p| p.cmp_extended(true, lo) == std::cmp::Ordering::Less);
-        let e = self
-            .paths
-            .partition_point(|p| p <= hi || hi.is_prefix_of(p))
-            .max(s);
+        let s =
+            self.paths.partition_point(|p| p.cmp_extended(true, lo) == std::cmp::Ordering::Less);
+        let e = self.paths.partition_point(|p| p <= hi || hi.is_prefix_of(p)).max(s);
         if s == e {
             return Ok(Vec::new());
         }
         let entry = self.route(from, lo)?;
         let entry_part = self.peers[entry.index()].partition as usize;
         let mut out = Vec::new();
+        self.sim_fork();
         for part in s..e {
+            self.sim_branch();
             let responder = if part == entry_part {
                 entry
             } else {
                 match self.alive_member(part) {
                     Some(p) => {
-                        self.metrics.count_forward(self.cfg.msg_header_bytes);
+                        self.charge_forward(entry, p);
                         p
                     }
                     None => {
@@ -484,13 +620,14 @@ impl<T: Item> Network<T> {
                 }
             };
             let (items, touched) = self.peers[responder.index()].scan_range(lo, hi);
-            self.metrics.local_items_scanned += touched;
+            self.charge_scan(responder, touched);
             let payload: usize = items.iter().map(Item::size_bytes).sum();
             if responder != from {
-                self.metrics.count_result(self.cfg.msg_header_bytes, payload);
+                self.charge_result(responder, from, payload);
             }
             out.extend(items);
         }
+        self.sim_join();
         Ok(out)
     }
 
@@ -506,24 +643,24 @@ impl<T: Item> Network<T> {
     }
 
     /// A direct message of `payload_bytes` between two known peers
-    /// (delegation step or result return). One message.
-    pub fn send_direct(&mut self, _from: PeerId, _to: PeerId, payload_bytes: usize) {
-        self.metrics
-            .count_result(self.cfg.msg_header_bytes, payload_bytes);
+    /// (delegation step or result return). One message, charged to the
+    /// sender/receiver load accounts and to the virtual clock.
+    pub fn send_direct(&mut self, from: PeerId, to: PeerId, payload_bytes: usize) {
+        self.charge_result(from, to, payload_bytes);
     }
 
     /// Local prefix scan at `peer` — free of messages, but accounted as
-    /// local work.
+    /// local work (and as CPU occupancy on the virtual clock).
     pub fn local_prefix_scan(&mut self, peer: PeerId, key: &Key) -> Vec<T> {
         let (items, touched) = self.peers[peer.index()].scan_prefix(key);
-        self.metrics.local_items_scanned += touched;
+        self.charge_scan(peer, touched);
         items
     }
 
     /// Local range scan at `peer`.
     pub fn local_range_scan(&mut self, peer: PeerId, lo: &Key, hi: &Key) -> Vec<T> {
         let (items, touched) = self.peers[peer.index()].scan_range(lo, hi);
-        self.metrics.local_items_scanned += touched;
+        self.charge_scan(peer, touched);
         items
     }
 
@@ -532,9 +669,10 @@ impl<T: Item> Network<T> {
         self.alive_member(part)
     }
 
-    /// Charge one forward message (operator-driven shower step).
-    pub fn charge_forward(&mut self) {
-        self.metrics.count_forward(self.cfg.msg_header_bytes);
+    /// Charge one forward message `from → to` (operator-driven shower
+    /// step).
+    pub fn forward_to(&mut self, from: PeerId, to: PeerId) {
+        self.charge_forward(from, to);
     }
 }
 
@@ -553,8 +691,7 @@ mod tests {
 
     fn word_net(n_peers: usize, n_words: usize) -> (Network<W>, Vec<String>) {
         let words: Vec<String> = (0..n_words).map(|i| format!("word{i:05}")).collect();
-        let data: Vec<(Key, W)> =
-            words.iter().map(|w| (hash_str(w), W(w.clone()))).collect();
+        let data: Vec<(Key, W)> = words.iter().map(|w| (hash_str(w), W(w.clone()))).collect();
         let cfg = NetworkConfig { peers: n_peers, ..Default::default() };
         (Network::build(cfg, data), words)
     }
@@ -607,10 +744,7 @@ mod tests {
         }
         let avg_hops = net.metrics().route_hops as f64 / lookups as f64;
         let log_p = (net.partition_count() as f64).log2();
-        assert!(
-            avg_hops <= log_p,
-            "average hops {avg_hops:.2} exceeds log2(P) = {log_p:.2}"
-        );
+        assert!(avg_hops <= log_p, "average hops {avg_hops:.2} exceeds log2(P) = {log_p:.2}");
         assert!(avg_hops >= 0.2 * log_p, "suspiciously cheap routing: {avg_hops:.2}");
     }
 
@@ -735,10 +869,63 @@ mod tests {
         let (mut net, words) = word_net(16, 50);
         let from = net.random_peer();
         net.fail_peer(from);
-        assert_eq!(
-            net.retrieve(from, &hash_str(&words[0])),
-            Err(RouteError::InitiatorDead)
-        );
+        assert_eq!(net.retrieve(from, &hash_str(&words[0])), Err(RouteError::InitiatorDead));
+    }
+
+    #[test]
+    fn repeated_churn_fractions_terminate_and_spare_one_peer() {
+        let (mut net, _) = word_net(20, 60);
+        // Cumulatively > 100%: must terminate (not spin hunting victims)
+        // and must leave one peer alive for initiator selection.
+        let first = net.fail_random_fraction(0.6).len();
+        let second = net.fail_random_fraction(0.6).len();
+        assert_eq!(first, 12);
+        assert_eq!(second, 7, "second wave is capped at alive - 1");
+        assert_eq!(net.fail_random_fraction(1.0).len(), 0);
+        let survivor = net.random_peer(); // would panic if all were dead
+        assert!(net.peer(survivor).alive);
+    }
+
+    #[test]
+    fn per_peer_load_balances_against_global_metrics() {
+        let (mut net, words) = word_net(64, 300);
+        net.reset_metrics();
+        for w in words.iter().step_by(11) {
+            let from = net.random_peer();
+            net.retrieve(from, &hash_str(w)).unwrap();
+        }
+        let m = *net.metrics();
+        assert!(m.messages > 0);
+        // Every message has exactly one sender and one receiver, so both
+        // per-peer sums must equal the global counters.
+        let sent_msgs: u64 = net.peer_loads().iter().map(|l| l.msgs_sent).sum();
+        let recv_msgs: u64 = net.peer_loads().iter().map(|l| l.msgs_recv).sum();
+        let sent_bytes: u64 = net.peer_loads().iter().map(|l| l.bytes_sent).sum();
+        assert_eq!(sent_msgs, m.messages);
+        assert_eq!(recv_msgs, m.messages);
+        assert_eq!(sent_bytes, m.bytes);
+        // Load is spread over more than one peer (this is what the global
+        // counters cannot show).
+        let loaded = net.peer_loads().iter().filter(|l| l.msgs_total() > 0).count();
+        assert!(loaded > 1, "traffic concentrated on {loaded} peer(s)");
+    }
+
+    #[test]
+    fn send_direct_charges_both_endpoints() {
+        let (mut net, _) = word_net(8, 40);
+        net.reset_metrics();
+        let a = PeerId(1);
+        let b = PeerId(5);
+        net.send_direct(a, b, 500);
+        let hb = net.config().msg_header_bytes as u64;
+        assert_eq!(net.peer_load(a).msgs_sent, 1);
+        assert_eq!(net.peer_load(a).bytes_sent, hb + 500);
+        assert_eq!(net.peer_load(b).msgs_recv, 1);
+        assert_eq!(net.peer_load(b).bytes_recv, hb + 500);
+        assert_eq!(net.peer_load(b).msgs_sent, 0);
+        assert_eq!(net.metrics().result_msgs, 1);
+        net.reset_metrics();
+        assert_eq!(net.peer_load(a).msgs_sent, 0, "reset clears per-peer load");
     }
 }
 
@@ -759,8 +946,7 @@ mod bootstrap_integration_tests {
     #[test]
     fn bootstrapped_network_serves_lookups() {
         let words: Vec<String> = (0..400).map(|i| format!("word{i:04}x")).collect();
-        let data: Vec<(Key, W)> =
-            words.iter().map(|w| (hash_str(w), W(w.clone()))).collect();
+        let data: Vec<(Key, W)> = words.iter().map(|w| (hash_str(w), W(w.clone()))).collect();
         let cfg = NetworkConfig { peers: 48, seed: 5, ..Default::default() };
         let boot = BootstrapConfig { split_threshold: 24, ..Default::default() };
         let mut net = Network::build_bootstrapped(cfg, data, &boot);
@@ -776,15 +962,11 @@ mod bootstrap_integration_tests {
     #[test]
     fn bootstrapped_range_queries_work() {
         let words: Vec<String> = (0..300).map(|i| format!("k{i:03}")).collect();
-        let data: Vec<(Key, W)> =
-            words.iter().map(|w| (hash_str(w), W(w.clone()))).collect();
+        let data: Vec<(Key, W)> = words.iter().map(|w| (hash_str(w), W(w.clone()))).collect();
         let cfg = NetworkConfig { peers: 32, seed: 6, ..Default::default() };
-        let mut net =
-            Network::build_bootstrapped(cfg, data, &BootstrapConfig::default());
+        let mut net = Network::build_bootstrapped(cfg, data, &BootstrapConfig::default());
         let from = net.random_peer();
-        let got = net
-            .range_query(from, &hash_str("k100"), &hash_str("k199"))
-            .expect("route");
+        let got = net.range_query(from, &hash_str("k100"), &hash_str("k199")).expect("route");
         let mut names: Vec<String> = got.into_iter().map(|w| w.0).collect();
         names.sort_unstable();
         names.dedup();

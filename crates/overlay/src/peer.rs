@@ -111,11 +111,7 @@ impl<T: Item> Peer<T> {
 
     /// Total payload bytes stored, for storage-overhead accounting.
     pub fn stored_bytes(&self) -> u64 {
-        self.store
-            .values()
-            .flat_map(|v| v.iter())
-            .map(|i| i.size_bytes() as u64)
-            .sum()
+        self.store.values().flat_map(|v| v.iter()).map(|i| i.size_bytes() as u64).sum()
     }
 }
 
@@ -177,6 +173,9 @@ mod tests {
     #[test]
     fn stored_bytes_sums_payloads() {
         let p = peer();
-        assert_eq!(p.stored_bytes(), ("alpha".len() + "alpine".len() + "beta".len() + "alp".len() + "gamma".len()) as u64);
+        assert_eq!(
+            p.stored_bytes(),
+            ("alpha".len() + "alpine".len() + "beta".len() + "alp".len() + "gamma".len()) as u64
+        );
     }
 }

@@ -38,8 +38,7 @@ struct Candidate {
 
 impl Ord for Candidate {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.load, self.depth_neg, &other.path)
-            .cmp(&(other.load, other.depth_neg, &self.path))
+        (self.load, self.depth_neg, &other.path).cmp(&(other.load, other.depth_neg, &self.path))
     }
 }
 impl PartialOrd for Candidate {
@@ -74,10 +73,7 @@ pub fn build_partitions(keys: &mut [Key], target: usize) -> Vec<Key> {
     while heap.len() + done.len() < target {
         let Some(top) = heap.pop() else { break };
         let (lo, hi) = top.range;
-        if top.load <= 1
-            || top.path.len() >= MAX_PATH_BITS
-            || keys[lo] == keys[hi - 1]
-        {
+        if top.load <= 1 || top.path.len() >= MAX_PATH_BITS || keys[lo] == keys[hi - 1] {
             // Cannot usefully split (single key, duplicate-only load — e.g.
             // a popular q-gram posted by thousands of strings — or depth
             // cap); freeze it. Surplus peers replicate instead.
@@ -90,9 +86,7 @@ pub fn build_partitions(keys: &mut [Key], target: usize) -> Vec<Key> {
         // depth+1 bits sort before both children's data; attribute them to
         // the 0-child (they are replicated into all covered partitions at
         // insert time anyway, this only steers the split heuristic).
-        let split = partition_point(&keys[lo..hi], |k| {
-            k.len() <= depth || !k.bit(depth)
-        }) + lo;
+        let split = partition_point(&keys[lo..hi], |k| k.len() <= depth || !k.bit(depth)) + lo;
         let child0 = top.path.child(false);
         let child1 = top.path.child(true);
         heap.push(Candidate {
@@ -190,9 +184,7 @@ pub fn find_partition(paths: &[Key], key: &Key) -> usize {
 pub fn subtree_range(paths: &[Key], key: &Key) -> (usize, usize) {
     let start = paths.partition_point(|p| p.cmp_extended(true, key) == std::cmp::Ordering::Less);
     let mut end = start;
-    while end < paths.len()
-        && (key.is_prefix_of(&paths[end]) || paths[end].is_prefix_of(key))
-    {
+    while end < paths.len() && (key.is_prefix_of(&paths[end]) || paths[end].is_prefix_of(key)) {
         end += 1;
     }
     (start, end)
@@ -254,11 +246,7 @@ mod tests {
             let paths = build_partitions(keys, target);
             assert!(is_complete_cover(&paths), "cover violated at target {target}");
             keys.sort_unstable();
-            paths
-                .iter()
-                .map(|p| keys.iter().filter(|k| p.is_prefix_of(k)).count())
-                .max()
-                .unwrap()
+            paths.iter().map(|p| keys.iter().filter(|k| p.is_prefix_of(k)).count()).max().unwrap()
         };
         // The splitter must *adapt*: quadrupling the partition budget has to
         // shrink the heaviest partition substantially. (Absolute balance is
@@ -297,23 +285,13 @@ mod tests {
         let paths = build_partitions(&mut keys, 8);
         for k in &keys {
             let idx = find_partition(&paths, k);
-            assert!(
-                paths[idx].is_prefix_of(k),
-                "partition {} does not own key {}",
-                paths[idx],
-                k
-            );
+            assert!(paths[idx].is_prefix_of(k), "partition {} does not own key {}", paths[idx], k);
         }
     }
 
     #[test]
     fn find_partition_short_key() {
-        let paths = vec![
-            Key::parse("00"),
-            Key::parse("010"),
-            Key::parse("011"),
-            Key::parse("1"),
-        ];
+        let paths = vec![Key::parse("00"), Key::parse("010"), Key::parse("011"), Key::parse("1")];
         assert!(is_complete_cover(&paths));
         // "0" is shorter than the trie: the first extending partition wins.
         assert_eq!(find_partition(&paths, &Key::parse("0")), 0);
@@ -325,12 +303,7 @@ mod tests {
 
     #[test]
     fn subtree_range_covers_prefix_queries() {
-        let paths = vec![
-            Key::parse("00"),
-            Key::parse("010"),
-            Key::parse("011"),
-            Key::parse("1"),
-        ];
+        let paths = vec![Key::parse("00"), Key::parse("010"), Key::parse("011"), Key::parse("1")];
         assert_eq!(subtree_range(&paths, &Key::parse("0")), (0, 3));
         assert_eq!(subtree_range(&paths, &Key::parse("01")), (1, 3));
         assert_eq!(subtree_range(&paths, &Key::parse("011")), (2, 3));

@@ -1,0 +1,77 @@
+//! # sqo-sim — deterministic discrete-event network simulation
+//!
+//! The paper evaluates its operators by *counting* messages on a
+//! shared-memory P-Grid simulator; `sqo-overlay` reproduces that. This
+//! crate adds the dimension the counting model cannot express: **time**.
+//! A virtual clock, a binary-heap event queue, pluggable latency models,
+//! message loss with retry, and per-peer serial service queues turn hop
+//! counts into simulated wall-clock latency — and single queries into
+//! concurrent workloads whose tail latency reflects contention.
+//!
+//! * [`events`] — the virtual clock + event queue (deterministic
+//!   tie-breaking).
+//! * [`latency`] — [`LatencyModel`] (constant / uniform jitter / log-normal
+//!   WAN / per-link asymmetric) and [`LossModel`] (timeout + retry).
+//! * [`netsim`] — [`NetSim`], the [`sqo_overlay::clock::EventSink`]
+//!   implementation: critical-path fork/join accounting and per-peer serial
+//!   queues.
+//! * [`driver`] — the concurrent-workload driver: N clients, Poisson or
+//!   closed-loop arrivals, churn schedules, per-operator p50/p95/p99.
+//! * [`report`] — latency summaries.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sqo_core::EngineBuilder;
+//! use sqo_datasets::{bible_words, string_rows};
+//! use sqo_sim::{run_driver, Arrival, DriverConfig, LatencyModel, SimConfig};
+//!
+//! let words = bible_words(300, 9);
+//! let rows = string_rows("word", &words, "w");
+//! let mut engine = EngineBuilder::new().peers(64).q(2).seed(1).build_with_rows(&rows);
+//!
+//! let cfg = DriverConfig {
+//!     clients: 4,
+//!     queries_per_client: 3,
+//!     arrival: Arrival::Poisson { mean_interarrival_us: 10_000 },
+//!     sim: SimConfig {
+//!         latency: LatencyModel::Uniform { min_us: 500, max_us: 2_000 },
+//!         ..SimConfig::default()
+//!     },
+//!     ..DriverConfig::default()
+//! };
+//! let report = run_driver(&mut engine, "word", &words, &cfg);
+//! assert_eq!(report.queries_run, 12);
+//! assert!(report.overall.p99_us >= report.overall.p50_us);
+//! ```
+//!
+//! Or instrument individual queries without the driver:
+//!
+//! ```
+//! use sqo_core::{EngineBuilder, Strategy};
+//! use sqo_datasets::{bible_words, string_rows};
+//! use sqo_sim::{install, SimConfig};
+//!
+//! let words = bible_words(200, 3);
+//! let rows = string_rows("word", &words, "w");
+//! let mut engine = EngineBuilder::new().peers(32).seed(2).build_with_rows(&rows);
+//! install(&mut engine, SimConfig::default());
+//!
+//! let from = engine.random_peer();
+//! let res = engine.similar(&words[0], Some("word"), 1, from, Strategy::QGrams);
+//! let sim = res.stats.sim.expect("sink installed");
+//! assert!(sim.elapsed_us > 0, "a remote query takes virtual time");
+//! ```
+
+pub mod driver;
+pub mod events;
+pub mod latency;
+pub mod netsim;
+pub mod report;
+
+pub use driver::{run_driver, Arrival, ChurnEvent, DriverConfig, DriverReport, QueryKind};
+pub use events::EventQueue;
+pub use latency::{LatencyModel, LossModel};
+pub use netsim::{install, NetSim, SimConfig};
+pub use report::{percentile_us, LatencySummary, OperatorLatency};
+pub use sqo_overlay::SimLatency;

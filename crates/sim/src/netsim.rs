@@ -1,0 +1,335 @@
+//! `NetSim` — the virtual-time charger installed on an overlay network.
+//!
+//! Implements [`EventSink`]: every message the overlay simulates is stamped
+//! onto a virtual clock using a pluggable [`LatencyModel`], optional
+//! [`LossModel`] retransmissions, and a **per-peer serial service queue** —
+//! each peer processes one message at a time, so concurrent queries landing
+//! on the same hot peer wait behind each other exactly the way a single
+//! request thread would make them in a deployment.
+//!
+//! ## Timing of one message `from → to`
+//!
+//! ```text
+//! depart   = frontier (virtual time at the sender)
+//! arrive   = depart + loss_timeouts + link_latency(from, to)
+//! start    = max(arrive, busy_until[to])        <- serial queue
+//! done     = start + service(bytes)
+//! busy_until[to] = done; frontier = done
+//! ```
+//!
+//! Fork/branch/join rewind the frontier to the fork point for every branch
+//! and resume at the latest completion — the critical path of a parallel
+//! fan-out. The per-peer queues are shared by *all* queries, which is where
+//! cross-query contention (and the concurrent-workload p99 inflation the
+//! driver measures) comes from.
+
+use crate::latency::{LatencyModel, LossModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sqo_overlay::clock::{EventSink, MsgKind, SimLatency};
+use sqo_overlay::PeerId;
+
+/// Everything configurable about the virtual-time model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    pub latency: LatencyModel,
+    pub loss: LossModel,
+    /// Fixed receiver CPU cost per message.
+    pub service_us_per_msg: u64,
+    /// Additional receiver cost per KiB of message body.
+    pub service_us_per_kib: u64,
+    /// Local-scan cost per stored entry touched.
+    pub scan_us_per_item: u64,
+    /// Seed of the sampling stream (jitter, loss).
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            latency: LatencyModel::default(),
+            loss: LossModel::default(),
+            service_us_per_msg: 50,
+            service_us_per_kib: 20,
+            scan_us_per_item: 2,
+            seed: 42,
+        }
+    }
+}
+
+struct Fork {
+    start_us: u64,
+    max_end_us: u64,
+}
+
+/// The event-charging engine. Install on a network with
+/// [`install`](crate::install) or `Network::set_event_sink`.
+pub struct NetSim {
+    cfg: SimConfig,
+    rng: StdRng,
+    /// Virtual time at the query's point of control.
+    frontier_us: u64,
+    /// High-water mark over everything ever simulated (monotone).
+    clock_us: u64,
+    busy_until_us: Vec<u64>,
+    forks: Vec<Fork>,
+    /// Open query windows, innermost last. Operators nest windows (a join
+    /// opens one, then its per-left-item selections open their own); an
+    /// inner window closing folds its sums into the parent, so the
+    /// outermost window sees the whole query — the same inclusion
+    /// semantics as the traffic-snapshot deltas.
+    windows: Vec<(SimLatency, usize)>,
+    /// Lifetime totals across all top-level queries (never reset).
+    totals: SimLatency,
+}
+
+impl NetSim {
+    /// `n_peers` sizes the per-peer service queues.
+    pub fn new(cfg: SimConfig, n_peers: usize) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(cfg.seed),
+            cfg,
+            frontier_us: 0,
+            clock_us: 0,
+            busy_until_us: vec![0; n_peers],
+            forks: Vec::new(),
+            windows: Vec::new(),
+            totals: SimLatency::default(),
+        }
+    }
+
+    /// Monotone high-water virtual time.
+    pub fn clock_us(&self) -> u64 {
+        self.clock_us
+    }
+
+    /// Lifetime totals across every query charged to this sink.
+    pub fn totals(&self) -> &SimLatency {
+        &self.totals
+    }
+
+    fn service_us(&self, bytes: usize) -> u64 {
+        self.cfg.service_us_per_msg + self.cfg.service_us_per_kib * (bytes as u64 / 1024)
+    }
+}
+
+impl EventSink for NetSim {
+    fn begin_query(&mut self) {
+        self.windows.push((
+            SimLatency { start_us: self.frontier_us, ..SimLatency::default() },
+            self.forks.len(),
+        ));
+    }
+
+    fn end_query(&mut self) -> SimLatency {
+        let (mut cur, fork_depth) = self.windows.pop().expect("end_query without begin_query");
+        debug_assert_eq!(self.forks.len(), fork_depth, "window closed inside an open fork");
+        // Self-heal in release builds: a fork left open by an early return
+        // inside the window must not let later queries rewind to a stale
+        // fork point — drop the leaked forks so corruption cannot outlive
+        // the query that caused it.
+        self.forks.truncate(fork_depth);
+        cur.end_us = self.frontier_us;
+        cur.elapsed_us = cur.end_us.saturating_sub(cur.start_us);
+        match self.windows.last_mut() {
+            // Fold the inner window's sums (not its wall-clock span, which
+            // the parent's own start/end already covers) into the parent.
+            Some((parent, _)) => {
+                parent.net_us += cur.net_us;
+                parent.queue_us += cur.queue_us;
+                parent.service_us += cur.service_us;
+                parent.route_us += cur.route_us;
+                parent.forward_us += cur.forward_us;
+                parent.result_us += cur.result_us;
+                parent.timed_messages += cur.timed_messages;
+                parent.retransmissions += cur.retransmissions;
+            }
+            None => self.totals.absorb(&cur),
+        }
+        cur
+    }
+
+    fn deliver(&mut self, from: PeerId, to: PeerId, bytes: usize, kind: MsgKind) {
+        let depart = self.frontier_us;
+        let (loss_us, retx) = self.cfg.loss.sample(&mut self.rng);
+        let link = self.cfg.latency.sample(from, to, &mut self.rng);
+        let arrive = depart + loss_us + link;
+        let start = arrive.max(self.busy_until_us[to.index()]);
+        let service = self.service_us(bytes);
+        let done = start + service;
+        self.busy_until_us[to.index()] = done;
+        self.frontier_us = done;
+        self.clock_us = self.clock_us.max(done);
+
+        if let Some((cur, _)) = self.windows.last_mut() {
+            cur.net_us += loss_us + link;
+            cur.queue_us += start - arrive;
+            cur.service_us += service;
+            cur.timed_messages += 1;
+            cur.retransmissions += retx as u64;
+            let span = done - depart;
+            match kind {
+                MsgKind::Route => cur.route_us += span,
+                MsgKind::Forward => cur.forward_us += span,
+                MsgKind::Result => cur.result_us += span,
+            }
+        }
+    }
+
+    fn local_work(&mut self, peer: PeerId, items: u64) {
+        let cost = self.cfg.scan_us_per_item * items;
+        if cost == 0 {
+            return;
+        }
+        let start = self.frontier_us.max(self.busy_until_us[peer.index()]);
+        let done = start + cost;
+        if let Some((cur, _)) = self.windows.last_mut() {
+            cur.queue_us += start - self.frontier_us;
+            cur.service_us += cost;
+        }
+        self.busy_until_us[peer.index()] = done;
+        self.frontier_us = done;
+        self.clock_us = self.clock_us.max(done);
+    }
+
+    fn fork(&mut self) {
+        self.forks.push(Fork { start_us: self.frontier_us, max_end_us: self.frontier_us });
+    }
+
+    fn branch(&mut self) {
+        let f = self.forks.last_mut().expect("branch outside a fork");
+        f.max_end_us = f.max_end_us.max(self.frontier_us);
+        self.frontier_us = f.start_us;
+    }
+
+    fn join(&mut self) {
+        let f = self.forks.pop().expect("join outside a fork");
+        self.frontier_us = self.frontier_us.max(f.max_end_us);
+    }
+
+    fn now_us(&self) -> u64 {
+        self.frontier_us
+    }
+
+    fn reset_to_us(&mut self, t_us: u64) {
+        // May rewind relative to a previously *simulated* query — that is
+        // how overlapping arrivals are expressed — but never rewinds the
+        // global high-water clock.
+        self.frontier_us = t_us;
+        self.clock_us = self.clock_us.max(t_us);
+    }
+}
+
+/// Install a fresh [`NetSim`] with `cfg` on the engine's network. Replaces
+/// any previously installed sink; subsequent queries report
+/// `QueryStats::sim`.
+pub fn install(engine: &mut sqo_core::SimilarityEngine, cfg: SimConfig) {
+    let n = engine.network().peer_count();
+    engine.network_mut().set_event_sink(Box::new(NetSim::new(cfg, n)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim(latency_us: u64) -> NetSim {
+        NetSim::new(
+            SimConfig {
+                latency: LatencyModel::Constant { us: latency_us },
+                service_us_per_msg: 10,
+                service_us_per_kib: 0,
+                scan_us_per_item: 1,
+                ..SimConfig::default()
+            },
+            8,
+        )
+    }
+
+    #[test]
+    fn sequential_hops_add_up() {
+        let mut s = sim(100);
+        s.begin_query();
+        s.deliver(PeerId(0), PeerId(1), 48, MsgKind::Route);
+        s.deliver(PeerId(1), PeerId(2), 48, MsgKind::Route);
+        let lat = s.end_query();
+        assert_eq!(lat.elapsed_us, 2 * (100 + 10));
+        assert_eq!(lat.timed_messages, 2);
+        assert_eq!(lat.route_us, 220);
+        assert_eq!(lat.queue_us, 0);
+    }
+
+    #[test]
+    fn fork_takes_the_critical_path_not_the_sum() {
+        let mut s = sim(100);
+        s.begin_query();
+        s.fork();
+        // Branch 1: one hop (110 us). Branch 2: two hops (220 us).
+        s.branch();
+        s.deliver(PeerId(0), PeerId(1), 0, MsgKind::Forward);
+        s.branch();
+        s.deliver(PeerId(0), PeerId(2), 0, MsgKind::Forward);
+        s.deliver(PeerId(2), PeerId(3), 0, MsgKind::Result);
+        s.join();
+        let lat = s.end_query();
+        assert_eq!(lat.elapsed_us, 220, "join must take the max branch, not 330");
+        assert_eq!(lat.timed_messages, 3);
+    }
+
+    #[test]
+    fn serial_queue_delays_messages_to_a_busy_peer() {
+        let mut s = sim(100);
+        // Query A occupies peer 5 until t = 110.
+        s.begin_query();
+        s.deliver(PeerId(0), PeerId(5), 0, MsgKind::Route);
+        let a = s.end_query();
+        assert_eq!(a.end_us, 110);
+        // Query B arrives at t = 0 too; its message reaches peer 5 at 100
+        // but must wait for A's service to finish at 110.
+        s.reset_to_us(0);
+        s.begin_query();
+        s.deliver(PeerId(1), PeerId(5), 0, MsgKind::Route);
+        let b = s.end_query();
+        assert_eq!(b.queue_us, 10);
+        assert_eq!(b.end_us, 120);
+    }
+
+    #[test]
+    fn local_work_occupies_the_peer() {
+        let mut s = sim(100);
+        s.begin_query();
+        s.local_work(PeerId(3), 50);
+        let lat = s.end_query();
+        assert_eq!(lat.elapsed_us, 50);
+        assert_eq!(lat.service_us, 50);
+    }
+
+    #[test]
+    fn nested_windows_fold_into_the_parent() {
+        let mut s = sim(100);
+        s.begin_query(); // outer (a join)
+        s.deliver(PeerId(0), PeerId(1), 0, MsgKind::Route);
+        s.begin_query(); // inner (per-left selection)
+        s.deliver(PeerId(1), PeerId(2), 0, MsgKind::Route);
+        let inner = s.end_query();
+        assert_eq!(inner.timed_messages, 1);
+        assert_eq!(inner.elapsed_us, 110);
+        let outer = s.end_query();
+        assert_eq!(outer.timed_messages, 2, "outer window includes inner activity");
+        assert_eq!(outer.elapsed_us, 220);
+        assert_eq!(outer.start_us, 0);
+        // Lifetime totals count the top-level query once, not twice.
+        assert_eq!(s.totals().timed_messages, 2);
+    }
+
+    #[test]
+    fn clock_high_water_is_monotone_under_rewinds() {
+        let mut s = sim(100);
+        s.begin_query();
+        s.deliver(PeerId(0), PeerId(1), 0, MsgKind::Route);
+        s.end_query();
+        let high = s.clock_us();
+        s.reset_to_us(0);
+        assert_eq!(s.now_us(), 0);
+        assert!(s.clock_us() >= high, "high-water clock must not rewind");
+    }
+}

@@ -1,0 +1,75 @@
+//! Latency summaries: percentiles, per-operator breakdowns, JSON-ready.
+
+use serde::Serialize;
+
+/// Nearest-rank percentile of a **sorted** slice of microsecond latencies.
+/// `p` in `(0, 100]`; an empty slice yields 0.
+pub fn percentile_us(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input must be sorted");
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Distribution summary of a set of query latencies.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize)]
+pub struct LatencySummary {
+    pub count: usize,
+    pub mean_us: u64,
+    pub p50_us: u64,
+    pub p95_us: u64,
+    pub p99_us: u64,
+    pub max_us: u64,
+}
+
+impl LatencySummary {
+    /// Summarize (sorts a copy; input order is irrelevant).
+    pub fn of(latencies_us: &[u64]) -> Self {
+        if latencies_us.is_empty() {
+            return Self::default();
+        }
+        let mut xs = latencies_us.to_vec();
+        xs.sort_unstable();
+        Self {
+            count: xs.len(),
+            mean_us: xs.iter().sum::<u64>() / xs.len() as u64,
+            p50_us: percentile_us(&xs, 50.0),
+            p95_us: percentile_us(&xs, 95.0),
+            p99_us: percentile_us(&xs, 99.0),
+            max_us: *xs.last().unwrap(),
+        }
+    }
+}
+
+/// One operator's latency profile within a driven workload.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct OperatorLatency {
+    pub operator: String,
+    pub summary: LatencySummary,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let xs: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_us(&xs, 50.0), 50);
+        assert_eq!(percentile_us(&xs, 95.0), 95);
+        assert_eq!(percentile_us(&xs, 99.0), 99);
+        assert_eq!(percentile_us(&xs, 100.0), 100);
+        assert_eq!(percentile_us(&[7], 99.0), 7);
+        assert_eq!(percentile_us(&[], 99.0), 0);
+    }
+
+    #[test]
+    fn summary_orders_invariants() {
+        let s = LatencySummary::of(&[5, 1, 9, 3, 7, 100, 2, 4, 6, 8]);
+        assert_eq!(s.count, 10);
+        assert!(s.p50_us <= s.p95_us && s.p95_us <= s.p99_us && s.p99_us <= s.max_us);
+        assert_eq!(s.max_us, 100);
+    }
+}

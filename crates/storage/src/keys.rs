@@ -87,9 +87,7 @@ pub fn oid_key(oid: &str) -> Key {
 
 /// `key(A # v)`.
 pub fn attr_value_key(attr: &str, v: &Value) -> Key {
-    tag_key(IndexFamily::AttrValue)
-        .concat(&attr_fragment(attr))
-        .concat(&value_fragment(v))
+    tag_key(IndexFamily::AttrValue).concat(&attr_fragment(attr)).concat(&value_fragment(v))
 }
 
 /// Prefix covering **all** values of attribute `A` — the scan the
@@ -131,9 +129,7 @@ pub fn value_key(v: &Value) -> Key {
 
 /// `key(A # q)` for a q-gram `q` of a value of attribute `A`.
 pub fn instance_gram_key(attr: &str, gram: &str) -> Key {
-    tag_key(IndexFamily::InstanceGram)
-        .concat(&attr_fragment(attr))
-        .concat(&hash_str(gram))
+    tag_key(IndexFamily::InstanceGram).concat(&attr_fragment(attr)).concat(&hash_str(gram))
 }
 
 /// Prefix covering all instance grams of attribute `A` (naive-baseline
@@ -157,9 +153,7 @@ pub fn schema_gram_key(gram: &str) -> Key {
 
 /// `key(A # v)` in the short-value family.
 pub fn short_value_key(attr: &str, v: &str) -> Key {
-    tag_key(IndexFamily::ShortValue)
-        .concat(&attr_fragment(attr))
-        .concat(&hash_str(v))
+    tag_key(IndexFamily::ShortValue).concat(&attr_fragment(attr)).concat(&hash_str(v))
 }
 
 /// Prefix covering all short values of attribute `A`.

@@ -105,10 +105,9 @@ impl Item for Posting {
 impl PartialEq for Posting {
     fn eq(&self, other: &Self) -> bool {
         match (self, other) {
-            (
-                Posting::Base { kind: k1, triple: t1 },
-                Posting::Base { kind: k2, triple: t2 },
-            ) => k1 == k2 && t1 == t2,
+            (Posting::Base { kind: k1, triple: t1 }, Posting::Base { kind: k2, triple: t2 }) => {
+                k1 == k2 && t1 == t2
+            }
             (
                 Posting::InstanceGram { triple: t1, gram: g1, pos: p1, .. },
                 Posting::InstanceGram { triple: t2, gram: g2, pos: p2, .. },
@@ -141,9 +140,7 @@ impl Object {
         for p in postings {
             if let Posting::Base { triple, .. } = p {
                 if triple.oid == oid
-                    && !fields
-                        .iter()
-                        .any(|(a, v)| *a == triple.attr && *v == triple.value)
+                    && !fields.iter().any(|(a, v)| *a == triple.attr && *v == triple.value)
                 {
                     fields.push((triple.attr.clone(), triple.value.clone()));
                 }
@@ -161,11 +158,7 @@ impl Object {
     /// Serialized size estimate.
     pub fn repr_len(&self) -> usize {
         self.oid.len()
-            + self
-                .fields
-                .iter()
-                .map(|(a, v)| a.as_str().len() + v.repr_len() + 8)
-                .sum::<usize>()
+            + self.fields.iter().map(|(a, v)| a.as_str().len() + v.repr_len() + 8).sum::<usize>()
     }
 }
 

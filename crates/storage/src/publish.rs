@@ -83,10 +83,7 @@ pub fn postings_for_triple(triple: &Triple, cfg: &PublishConfig) -> Vec<(Key, Po
     let mut out = Vec::new();
 
     // The three base insertions of §3.
-    out.push((
-        keys::oid_key(&tr.oid),
-        Posting::Base { kind: BaseKind::Oid, triple: tr.clone() },
-    ));
+    out.push((keys::oid_key(&tr.oid), Posting::Base { kind: BaseKind::Oid, triple: tr.clone() }));
     out.push((
         keys::attr_value_key(tr.attr.as_str(), &tr.value),
         Posting::Base { kind: BaseKind::AttrValue, triple: tr.clone() },
@@ -183,8 +180,7 @@ mod tests {
         let t = Triple::new("car:1", "name", "bmw320");
         let ps = postings_for_triple(&t, &cfg());
         let bases = ps.iter().filter(|(_, p)| matches!(p, Posting::Base { .. })).count();
-        let igrams =
-            ps.iter().filter(|(_, p)| matches!(p, Posting::InstanceGram { .. })).count();
+        let igrams = ps.iter().filter(|(_, p)| matches!(p, Posting::InstanceGram { .. })).count();
         let sgrams = ps.iter().filter(|(_, p)| matches!(p, Posting::SchemaGram { .. })).count();
         assert_eq!(bases, 3, "the three §3 insertions");
         assert_eq!(igrams, "bmw320".len() - 3 + 1, "one per value q-gram");
@@ -241,10 +237,7 @@ mod tests {
         assert_eq!(stats.triples, 3);
         assert_eq!(stats.total_postings(), ps.len());
         assert!(stats.overhead_factor() > 3.0, "grams must add overhead");
-        assert_eq!(
-            stats.total_bytes,
-            ps.iter().map(|(_, p)| p.size_bytes() as u64).sum::<u64>()
-        );
+        assert_eq!(stats.total_bytes, ps.iter().map(|(_, p)| p.size_bytes() as u64).sum::<u64>());
     }
 
     #[test]

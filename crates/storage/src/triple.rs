@@ -178,9 +178,11 @@ impl Row {
 
     /// The row as triples (the §3 decomposition).
     pub fn triples(&self) -> impl Iterator<Item = Triple> + '_ {
-        self.fields
-            .iter()
-            .map(|(a, v)| Triple { oid: self.oid.clone(), attr: a.clone(), value: v.clone() })
+        self.fields.iter().map(|(a, v)| Triple {
+            oid: self.oid.clone(),
+            attr: a.clone(),
+            value: v.clone(),
+        })
     }
 
     /// Value of the first field named `attr`, if present.

@@ -49,10 +49,7 @@ pub fn qgrams(s: &str, q: usize) -> Vec<PositionalQGram> {
     }
     let mut out = Vec::with_capacity(chars.len() - q + 1);
     for i in 0..=chars.len() - q {
-        out.push(PositionalQGram {
-            gram: chars[i..i + q].iter().collect(),
-            pos: i as u32,
-        });
+        out.push(PositionalQGram { gram: chars[i..i + q].iter().collect(), pos: i as u32 });
     }
     out
 }
@@ -84,10 +81,7 @@ pub fn padded_qgrams(s: &str, q: usize) -> Vec<PositionalQGram> {
     }
     let mut out = Vec::with_capacity(padded.len() - q + 1);
     for i in 0..=padded.len() - q {
-        out.push(PositionalQGram {
-            gram: padded[i..i + q].iter().collect(),
-            pos: i as u32,
-        });
+        out.push(PositionalQGram { gram: padded[i..i + q].iter().collect(), pos: i as u32 });
     }
     out
 }

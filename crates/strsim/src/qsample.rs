@@ -113,8 +113,8 @@ mod tests {
         let q = 3;
         // Apply up to d hand-picked edits and check a sample gram survives.
         let mutations = [
-            (1, "simiXarityqueriesonstructureddata".to_string()),   // substitution
-            (2, "imilarityquerieonstructureddata".to_string()),     // 2 deletions
+            (1, "simiXarityqueriesonstructureddata".to_string()), // substitution
+            (2, "imilarityquerieonstructureddata".to_string()),   // 2 deletions
             (3, "ximilarityqueriesonxstructureddataxx".to_string()), // mixed
         ];
         for (d, mutated) in mutations {

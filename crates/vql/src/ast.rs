@@ -140,8 +140,17 @@ pub(crate) fn is_bare_ident(s: &str) -> bool {
         && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
         && !matches!(
             s.to_ascii_uppercase().as_str(),
-            "SELECT" | "WHERE" | "FILTER" | "ORDER" | "BY" | "ASC" | "DESC" | "LIMIT"
-                | "OFFSET" | "NN" | "DIST"
+            "SELECT"
+                | "WHERE"
+                | "FILTER"
+                | "ORDER"
+                | "BY"
+                | "ASC"
+                | "DESC"
+                | "LIMIT"
+                | "OFFSET"
+                | "NN"
+                | "DIST"
         )
 }
 

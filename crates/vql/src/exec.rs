@@ -209,9 +209,7 @@ fn open_range_bounds(lo: Option<Value>, hi: Option<Value>) -> (Value, Value) {
     let kind = lo.as_ref().or(hi.as_ref()).cloned();
     let (dlo, dhi) = match kind {
         Some(Value::Float(_)) => (Value::Float(f64::MIN), Value::Float(f64::MAX)),
-        Some(Value::Str(_)) => {
-            (Value::Str(String::new()), Value::Str("\u{10FFFF}".repeat(8)))
-        }
+        Some(Value::Str(_)) => (Value::Str(String::new()), Value::Str("\u{10FFFF}".repeat(8))),
         _ => (Value::Int(i64::MIN), Value::Int(i64::MAX)),
     };
     (lo.unwrap_or(dlo), hi.unwrap_or(dhi))
@@ -254,8 +252,7 @@ fn bind_object(sp: &SubjectPlan, obj: &Object, schema_attr: Option<&str>) -> Vec
                             Some(Value::Str(bound)) if bound != attr.as_str() => continue,
                             Some(_) => {}
                             None => {
-                                candidate
-                                    .insert(av.clone(), Value::Str(attr.as_str().to_string()));
+                                candidate.insert(av.clone(), Value::Str(attr.as_str().to_string()));
                             }
                         }
                     }
@@ -405,9 +402,7 @@ fn order_rows(rows: &mut Vec<Row>, plan: &Plan, stats: &mut QueryStats) -> Resul
         Some(OrderBy::Key { var, desc }) => {
             rows.sort_by(|a, b| {
                 let ord = match (a.get(var), b.get(var)) {
-                    (Some(x), Some(y)) => {
-                        compare(x, y).unwrap_or(std::cmp::Ordering::Equal)
-                    }
+                    (Some(x), Some(y)) => compare(x, y).unwrap_or(std::cmp::Ordering::Equal),
                     _ => std::cmp::Ordering::Equal,
                 };
                 if *desc {

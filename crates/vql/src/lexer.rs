@@ -210,7 +210,8 @@ mod tests {
 
     #[test]
     fn lexes_the_papers_first_query() {
-        let q = "SELECT ?n,?h,?p WHERE { (?o,name,?n) FILTER (?p < 50000) } ORDER BY ?h DESC LIMIT 5";
+        let q =
+            "SELECT ?n,?h,?p WHERE { (?o,name,?n) FILTER (?p < 50000) } ORDER BY ?h DESC LIMIT 5";
         let toks = lex(q).unwrap();
         assert_eq!(toks[0], Token::Select);
         assert!(toks.contains(&Token::Var("o".into())));
@@ -222,11 +223,10 @@ mod tests {
 
     #[test]
     fn keywords_case_insensitive() {
-        assert_eq!(lex("select WHERE fIlTeR").unwrap(), vec![
-            Token::Select,
-            Token::Where,
-            Token::Filter
-        ]);
+        assert_eq!(
+            lex("select WHERE fIlTeR").unwrap(),
+            vec![Token::Select, Token::Where, Token::Filter]
+        );
     }
 
     #[test]

@@ -257,10 +257,7 @@ mod tests {
     fn parses_paper_query_3_with_nn_order() {
         let q = parse(PAPER_Q3).unwrap();
         assert_eq!(q.patterns.len(), 6);
-        assert_eq!(
-            q.order,
-            Some(OrderBy::Nn { var: "a".into(), target: Value::from("dlrid") })
-        );
+        assert_eq!(q.order, Some(OrderBy::Nn { var: "a".into(), target: Value::from("dlrid") }));
         // Variable attribute position.
         assert_eq!(q.patterns[0].p, Term::Var("a".into()));
     }

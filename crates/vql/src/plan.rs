@@ -239,11 +239,9 @@ pub fn plan(query: &Query) -> Result<Plan> {
             });
             if let Some(attr) = attr {
                 let path = match &lit {
-                    Value::Str(s) => AccessPath::StringSimilar {
-                        attr,
-                        query: s.clone(),
-                        d: eps as usize,
-                    },
+                    Value::Str(s) => {
+                        AccessPath::StringSimilar { attr, query: s.clone(), d: eps as usize }
+                    }
                     num => AccessPath::NumericSimilar { attr, center: num.clone(), eps },
                 };
                 candidates.entry(owner.clone()).or_default().push(path);
@@ -285,13 +283,13 @@ pub fn plan(query: &Query) -> Result<Plan> {
     let mut subjects = Vec::with_capacity(order_of_subjects.len());
     for subj in order_of_subjects {
         let patterns = groups[&subj].clone();
-        let mut best: Option<AccessPath> = const_subjects
-            .get(&subj)
-            .map(|oid| AccessPath::ByOid { oid: oid.clone() });
+        let mut best: Option<AccessPath> =
+            const_subjects.get(&subj).map(|oid| AccessPath::ByOid { oid: oid.clone() });
         if best.is_none() {
             // Exact-match from a constant object value on a constant attr.
             for p in &patterns {
-                if let (Some(attr), Some(v)) = (p.p.as_const().and_then(Value::as_str), p.o.as_const())
+                if let (Some(attr), Some(v)) =
+                    (p.p.as_const().and_then(Value::as_str), p.o.as_const())
                 {
                     best = Some(AccessPath::Exact { attr: attr.to_string(), value: v.clone() });
                     break;
@@ -368,10 +366,9 @@ mod tests {
 
     #[test]
     fn schema_similarity_path() {
-        let q = parse(
-            "SELECT ?a WHERE { (?d,?a,?id) (?d,name,?dn) FILTER (dist(?a,'dlrid') < 3) }",
-        )
-        .unwrap();
+        let q =
+            parse("SELECT ?a WHERE { (?d,?a,?id) (?d,name,?dn) FILTER (dist(?a,'dlrid') < 3) }")
+                .unwrap();
         let plan = plan(&q).unwrap();
         assert_eq!(
             plan.subjects[0].path,
@@ -423,8 +420,7 @@ mod tests {
 
     #[test]
     fn dist_lt_on_strings_tightens_to_d_minus_one() {
-        let q =
-            parse("SELECT ?n WHERE { (?x,name,?n) FILTER (dist(?n,'BMW') < 2) }").unwrap();
+        let q = parse("SELECT ?n WHERE { (?x,name,?n) FILTER (dist(?n,'BMW') < 2) }").unwrap();
         let plan = plan(&q).unwrap();
         assert_eq!(
             plan.subjects[0].path,

@@ -148,11 +148,8 @@ fn paper_query_2_bmw_with_dealers() {
     // Below 50000 and joinable via dlrid: car:1 (D001→dlr:1), car:3 is at
     // D002 whose dealer row uses the typo'd attribute (no dlrid) → drops
     // out, car:4 "Audi A4" d=6 (<7) at D002 → also drops out.
-    let rows: Vec<(&str, &str)> = out
-        .rows
-        .iter()
-        .map(|r| (r[0].as_str().unwrap(), r[3].as_str().unwrap()))
-        .collect();
+    let rows: Vec<(&str, &str)> =
+        out.rows.iter().map(|r| (r[0].as_str().unwrap(), r[3].as_str().unwrap())).collect();
     assert_eq!(rows, vec![("BMW 320d", "autohaus nord")]);
 }
 
@@ -180,11 +177,8 @@ fn paper_query_3_schema_similarity_join() {
     // d=1! so cross pairs too).
     assert!(!out.rows.is_empty());
     // Every car appears with at least its own dealer.
-    let pairs: Vec<(&str, &str)> = out
-        .rows
-        .iter()
-        .map(|r| (r[0].as_str().unwrap(), r[2].as_str().unwrap()))
-        .collect();
+    let pairs: Vec<(&str, &str)> =
+        out.rows.iter().map(|r| (r[0].as_str().unwrap(), r[2].as_str().unwrap())).collect();
     assert!(pairs.contains(&("BMW 320d", "autohaus nord")));
     assert!(pairs.contains(&("BWM 318i", "autohaus sued")), "typo'd dlrjd must be found");
     // NN ordering puts exact 'dlrid' matches before the typo'd attribute.
@@ -196,22 +190,12 @@ fn paper_query_3_schema_similarity_join() {
 fn exact_match_and_oid_paths() {
     let mut e = engine();
     let from = e.random_peer();
-    let out = run(
-        &mut e,
-        from,
-        "SELECT ?h WHERE { ('car:2',hp,?h) }",
-        &ExecOptions::default(),
-    )
-    .unwrap();
+    let out =
+        run(&mut e, from, "SELECT ?h WHERE { ('car:2',hp,?h) }", &ExecOptions::default()).unwrap();
     assert_eq!(out.rows, vec![vec![Value::Int(480)]]);
 
-    let out = run(
-        &mut e,
-        from,
-        "SELECT ?x WHERE { (?x,dealer,'D002') }",
-        &ExecOptions::default(),
-    )
-    .unwrap();
+    let out = run(&mut e, from, "SELECT ?x WHERE { (?x,dealer,'D002') }", &ExecOptions::default())
+        .unwrap();
     let mut oids: Vec<&str> = out.rows.iter().map(|r| r[0].as_str().unwrap()).collect();
     oids.sort_unstable();
     assert_eq!(oids, vec!["car:3", "car:4"]);
@@ -259,13 +243,9 @@ fn conjunctive_semantics_drop_incomplete_objects() {
         Row::new("a:2", [("x", Value::from(2)), ("y", Value::from(20))]),
     ]);
     let from = e.random_peer();
-    let out = run(
-        &mut e,
-        from,
-        "SELECT ?v,?w WHERE { (?s,x,?v) (?s,y,?w) }",
-        &ExecOptions::default(),
-    )
-    .unwrap();
+    let out =
+        run(&mut e, from, "SELECT ?v,?w WHERE { (?s,x,?v) (?s,y,?w) }", &ExecOptions::default())
+            .unwrap();
     assert_eq!(out.rows, vec![vec![Value::Int(2), Value::Int(20)]]);
 }
 
@@ -273,12 +253,11 @@ fn conjunctive_semantics_drop_incomplete_objects() {
 fn unplannable_and_semantic_errors_surface() {
     let mut e = engine();
     let from = e.random_peer();
-    let err = run(&mut e, from, "SELECT ?v WHERE { (?s,?a,?v) }", &ExecOptions::default())
-        .unwrap_err();
-    assert!(matches!(err, VqlError::Unplannable(_)));
     let err =
-        run(&mut e, from, "SELECT ?nope WHERE { (?s,name,?n) }", &ExecOptions::default())
-            .unwrap_err();
+        run(&mut e, from, "SELECT ?v WHERE { (?s,?a,?v) }", &ExecOptions::default()).unwrap_err();
+    assert!(matches!(err, VqlError::Unplannable(_)));
+    let err = run(&mut e, from, "SELECT ?nope WHERE { (?s,name,?n) }", &ExecOptions::default())
+        .unwrap_err();
     assert!(matches!(err, VqlError::Semantic(_)));
     let err = run(&mut e, from, "SELEC ?n", &ExecOptions::default()).unwrap_err();
     assert!(matches!(err, VqlError::Parse { .. }));

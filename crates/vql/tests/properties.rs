@@ -30,8 +30,7 @@ fn term() -> impl Strategy<Value = Term> {
 fn operand() -> impl Strategy<Value = Operand> {
     let leaf = prop_oneof![var().prop_map(Operand::Var), literal().prop_map(Operand::Lit)];
     leaf.prop_recursive(2, 6, 2, |inner| {
-        (inner.clone(), inner)
-            .prop_map(|(a, b)| Operand::Dist(Box::new(a), Box::new(b)))
+        (inner.clone(), inner).prop_map(|(a, b)| Operand::Dist(Box::new(a), Box::new(b)))
     })
 }
 
@@ -64,10 +63,7 @@ fn query() -> impl Strategy<Value = Query> {
     )
         .prop_map(|(select, patterns, filters, order, limit, offset)| Query {
             select,
-            patterns: patterns
-                .into_iter()
-                .map(|(s, p, o)| TriplePattern { s, p, o })
-                .collect(),
+            patterns: patterns.into_iter().map(|(s, p, o)| TriplePattern { s, p, o }).collect(),
             filters: filters
                 .into_iter()
                 .map(|(left, op, right)| Filter { left, op, right })

@@ -72,13 +72,7 @@ fn main() {
     let out = run(&mut engine, from, q3, &opts).expect("q3");
     println!("Q3 — cars joined to dealers via ids, tolerating typo'd 'dlrid' attributes:");
     for r in &out.rows {
-        println!(
-            "  car={:<14} price={:<7} dealer={} @ {}",
-            r[0].to_string(),
-            r[1],
-            r[2],
-            r[3]
-        );
+        println!("  car={:<14} price={:<7} dealer={} @ {}", r[0].to_string(), r[1], r[2], r[3]);
     }
     println!("  [{} messages]", out.stats.traffic.messages);
 }

@@ -54,15 +54,11 @@ fn main() {
     for d in 1..=4 {
         let from = engine.random_peer();
         let res = engine.similar("dlrid", None, d, from, Strategy::QGrams);
-        let mut names: Vec<(String, usize)> = res
-            .matches
-            .iter()
-            .map(|m| (m.attr.as_str().to_string(), m.distance))
-            .collect();
+        let mut names: Vec<(String, usize)> =
+            res.matches.iter().map(|m| (m.attr.as_str().to_string(), m.distance)).collect();
         names.sort();
         names.dedup();
-        let shown: Vec<String> =
-            names.iter().map(|(n, dist)| format!("{n} (d={dist})")).collect();
+        let shown: Vec<String> = names.iter().map(|(n, dist)| format!("{n} (d={dist})")).collect();
         println!(
             "  d<={d}: {:<46} [{} msgs, {} candidates]",
             shown.join(", "),
@@ -87,10 +83,7 @@ fn main() {
         if seen.insert(p.right.attr.as_str().to_string()) {
             println!(
                 "  {} ≈ {} (distance {}) e.g. object {}",
-                p.left_value,
-                p.right.attr,
-                p.right.distance,
-                p.right.oid
+                p.left_value, p.right.attr, p.right.distance, p.right.oid
             );
         }
     }
@@ -109,7 +102,5 @@ fn main() {
         let hits = engine.select_all(alias, from);
         total += hits.hits.len();
     }
-    println!(
-        "\ncoverage: {total} dealer ids reachable via aliases {aliases:?} (28 published)"
-    );
+    println!("\ncoverage: {total} dealer ids reachable via aliases {aliases:?} (28 published)");
 }

@@ -18,13 +18,8 @@ fn main() {
     let queries: Vec<&String> = words.iter().step_by(977).take(5).collect();
 
     for peers in [64usize, 512, 4096] {
-        let mut engine =
-            EngineBuilder::new().peers(peers).q(2).seed(13).build_with_rows(&rows);
-        println!(
-            "--- {} peers ({} partitions) ---",
-            peers,
-            engine.network().partition_count()
-        );
+        let mut engine = EngineBuilder::new().peers(peers).q(2).seed(13).build_with_rows(&rows);
+        println!("--- {} peers ({} partitions) ---", peers, engine.network().partition_count());
         for strategy in [Strategy::QSamples, Strategy::QGrams, Strategy::Naive] {
             let mut msgs = 0u64;
             let mut kib = 0f64;

@@ -13,7 +13,10 @@
 //! * [`core`] — the physical similarity operators (`Similar`, `SimJoin`,
 //!   `TopN`, naive baseline),
 //! * [`vql`] — the Vertical Query Language: parser, planner, executor,
-//! * [`datasets`] — synthetic datasets and the paper's evaluation workload.
+//! * [`datasets`] — synthetic datasets and the paper's evaluation workload,
+//! * [`sim`] — the discrete-event network simulator: virtual time, latency
+//!   models, loss/retry, and concurrent-query workload driving with
+//!   per-operator latency percentiles.
 //!
 //! ## Quickstart
 //!
@@ -35,6 +38,7 @@
 pub use sqo_core as core;
 pub use sqo_datasets as datasets;
 pub use sqo_overlay as overlay;
+pub use sqo_sim as sim;
 pub use sqo_storage as storage;
 pub use sqo_strsim as strsim;
 pub use sqo_vql as vql;

@@ -55,12 +55,7 @@ fn no_replication_means_data_loss_under_churn() {
     // the simulator does not silently cheat.
     let words = bible_words(500, 66);
     let rows = string_rows("word", &words, "w");
-    let mut e = EngineBuilder::new()
-        .peers(64)
-        .replication(1)
-        .q(2)
-        .seed(13)
-        .build_with_rows(&rows);
+    let mut e = EngineBuilder::new().peers(64).replication(1).q(2).seed(13).build_with_rows(&rows);
     e.network_mut().fail_random_fraction(0.4);
 
     let mut lost = 0usize;
@@ -72,10 +67,7 @@ fn no_replication_means_data_loss_under_churn() {
             lost += 1;
         }
     }
-    assert!(
-        lost > 0,
-        "40% churn with no replication must lose at least one exact lookup"
-    );
+    assert!(lost > 0, "40% churn with no replication must lose at least one exact lookup");
 }
 
 #[test]

@@ -169,8 +169,8 @@ fn strategies_consistent_on_fixed_corpus() {
     // A deterministic corpus exercising all three strategies at several
     // distances, cross-checked against brute force.
     let words: Vec<String> = [
-        "overlay", "overlays", "overplay", "ovenlay", "network", "networks",
-        "betwork", "painting", "painring", "print", "sprint", "splint",
+        "overlay", "overlays", "overplay", "ovenlay", "network", "networks", "betwork", "painting",
+        "painring", "print", "sprint", "splint",
     ]
     .iter()
     .map(|s| s.to_string())
@@ -180,8 +180,7 @@ fn strategies_consistent_on_fixed_corpus() {
         for query in ["overlay", "network", "paint", "sprint"] {
             let from = e.random_peer();
             let naive = e.similar(query, Some("word"), d, from, Strategy::Naive);
-            let brute: Vec<&String> =
-                words.iter().filter(|w| levenshtein(query, w) <= d).collect();
+            let brute: Vec<&String> = words.iter().filter(|w| levenshtein(query, w) <= d).collect();
             assert_eq!(naive.matches.len(), brute.len(), "naive {query} d={d}");
             // Gram strategies are subsets of brute force (sound), and in the
             // guaranteed regime equal it.

@@ -43,10 +43,7 @@ fn delegation_changes_cost_not_results() {
     let (matches_on, msgs_on) = run_queries(&mut on, &words);
     let (matches_off, msgs_off) = run_queries(&mut off, &words);
     assert_eq!(matches_on, matches_off, "delegation altered results");
-    assert!(
-        msgs_on < msgs_off,
-        "batching should save messages: {msgs_on} vs {msgs_off}"
-    );
+    assert!(msgs_on < msgs_off, "batching should save messages: {msgs_on} vs {msgs_off}");
 }
 
 #[test]

@@ -1,0 +1,134 @@
+//! Acceptance tests for the simulated-latency subsystem: deterministic
+//! per-operator percentiles under distinct latency models, and the
+//! concurrency effect — overlapping clients contend at shared peers and
+//! push the tail up relative to a serialized execution of the *same*
+//! queries.
+
+use sqo::core::EngineBuilder;
+use sqo::datasets::{bible_words, string_rows};
+use sqo::sim::{run_driver, Arrival, DriverConfig, LatencyModel, QueryKind, SimConfig};
+
+fn engine(words: &[String], peers: usize) -> sqo::core::SimilarityEngine {
+    let rows = string_rows("word", words, "w");
+    EngineBuilder::new().peers(peers).q(2).seed(41).build_with_rows(&rows)
+}
+
+/// `QueryStats` reports deterministic p50/p95/p99 for `similar`, `simjoin`
+/// and `topn` under three distinct latency models.
+#[test]
+fn per_operator_percentiles_under_three_models() {
+    let words = bible_words(500, 23);
+    let models = [
+        LatencyModel::Constant { us: 1_000 },
+        LatencyModel::Uniform { min_us: 300, max_us: 4_000 },
+        LatencyModel::LogNormal { median_us: 1_200.0, sigma: 0.7 },
+    ];
+    for model in models {
+        let run = || {
+            let mut e = engine(&words, 64);
+            let cfg = DriverConfig {
+                clients: 4,
+                queries_per_client: 3,
+                mix: vec![
+                    QueryKind::Similar { d: 1 },
+                    QueryKind::SimJoin { d: 1, left_limit: Some(6) },
+                    QueryKind::TopN { n: 5, d_max: 3 },
+                ],
+                sim: SimConfig { latency: model, ..SimConfig::default() },
+                ..DriverConfig::default()
+            };
+            run_driver(&mut e, "word", &words, &cfg)
+        };
+        let report = run();
+        let again = run();
+
+        let mut operators: Vec<&str> =
+            report.per_operator.iter().map(|o| o.operator.as_str()).collect();
+        operators.sort_unstable();
+        assert_eq!(operators, vec!["similar", "simjoin", "topn"], "{model:?}");
+        for op in &report.per_operator {
+            let s = op.summary;
+            assert!(s.count >= 4, "{model:?}/{}: too few samples", op.operator);
+            assert!(s.p50_us > 0, "{model:?}/{}: zero latency", op.operator);
+            assert!(
+                s.p50_us <= s.p95_us && s.p95_us <= s.p99_us && s.p99_us <= s.max_us,
+                "{model:?}/{}: percentile order violated: {s:?}",
+                op.operator
+            );
+        }
+        // Deterministic: the second run reproduces every percentile.
+        assert_eq!(report.per_operator, again.per_operator, "{model:?}");
+        assert_eq!(report.overall, again.overall, "{model:?}");
+    }
+}
+
+/// Ten clients whose queries overlap in virtual time see a higher p99 than
+/// the *same* queries executed without overlap, under the same latency
+/// model — contention at the per-peer serial queues is the only
+/// difference. (Poisson arrival sampling consumes the same RNG draws
+/// regardless of the mean, so both runs issue the identical query
+/// sequence; only the spacing differs.)
+#[test]
+fn concurrent_workload_inflates_p99_over_serial() {
+    let words = bible_words(600, 29);
+    let run = |mean_interarrival_us: u64| {
+        let mut e = engine(&words, 48);
+        let cfg = DriverConfig {
+            clients: 10,
+            queries_per_client: 4,
+            arrival: Arrival::Poisson { mean_interarrival_us },
+            mix: vec![
+                QueryKind::Similar { d: 1 },
+                QueryKind::TopN { n: 5, d_max: 3 },
+                QueryKind::SimJoin { d: 1, left_limit: Some(6) },
+            ],
+            sim: SimConfig {
+                latency: LatencyModel::Constant { us: 1_000 },
+                ..SimConfig::default()
+            },
+            ..DriverConfig::default()
+        };
+        run_driver(&mut e, "word", &words, &cfg)
+    };
+
+    // Dense arrivals: heavy overlap. Sparse arrivals: each query finishes
+    // long before the next begins — a serialized execution of the same
+    // trace.
+    let concurrent = run(2_000);
+    let serial = run(500_000_000);
+    assert_eq!(concurrent.queries_run, 40);
+    assert_eq!(serial.queries_run, 40);
+
+    let c99 = concurrent.overall.p99_us;
+    let s99 = serial.overall.p99_us;
+    assert!(c99 > s99, "10 overlapping clients must inflate p99: concurrent {c99} vs serial {s99}");
+    // The inflation is queueing, not different base latencies.
+    let cq = concurrent.total.sim.unwrap().queue_us;
+    let sq = serial.total.sim.unwrap().queue_us;
+    assert!(cq > sq, "contention must show up as queue time: {cq} vs {sq}");
+    assert_eq!(
+        concurrent.total.sim.unwrap().net_us,
+        serial.total.sim.unwrap().net_us,
+        "same trace, same wire time"
+    );
+}
+
+/// A closed-loop single client is the degenerate no-contention case: its
+/// queue time comes only from within-query fan-out, never from other
+/// queries.
+#[test]
+fn single_closed_loop_client_has_stable_latency() {
+    let words = bible_words(300, 31);
+    let mut e = engine(&words, 32);
+    let cfg = DriverConfig {
+        clients: 1,
+        queries_per_client: 8,
+        arrival: Arrival::Closed { think_us: 1_000 },
+        mix: vec![QueryKind::Similar { d: 1 }],
+        ..DriverConfig::default()
+    };
+    let report = run_driver(&mut e, "word", &words, &cfg);
+    assert_eq!(report.queries_run, 8);
+    assert!(report.virtual_span_us > 0);
+    assert!(report.throughput_qps > 0.0);
+}

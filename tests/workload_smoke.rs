@@ -3,9 +3,7 @@
 //! living in the test suite so regressions in any layer surface here.
 
 use sqo::core::Strategy;
-use sqo::datasets::{
-    bible_words, painting_titles, run_workload, string_rows, WorkloadSpec,
-};
+use sqo::datasets::{bible_words, painting_titles, run_workload, string_rows, WorkloadSpec};
 
 #[test]
 fn words_workload_shapes() {
@@ -15,11 +13,8 @@ fn words_workload_shapes() {
 
     let mut per_strategy = Vec::new();
     for strategy in Strategy::ALL {
-        let mut engine = sqo::core::EngineBuilder::new()
-            .peers(256)
-            .q(2)
-            .seed(31)
-            .build_with_rows(&rows);
+        let mut engine =
+            sqo::core::EngineBuilder::new().peers(256).q(2).seed(31).build_with_rows(&rows);
         let report = run_workload(&mut engine, "word", &words, &spec, strategy, 17);
         assert_eq!(report.queries_run, spec.total_queries());
         assert!(report.total.traffic.messages > 0);
