@@ -40,7 +40,8 @@ fn bench_sim_join(c: &mut Criterion) {
     let mut g = c.benchmark_group("sim_join");
     g.sample_size(10);
     g.bench_function("self_join_left20_d1", |b| {
-        let opts = JoinOptions { strategy: Strategy::QGrams, left_limit: Some(20) };
+        let opts =
+            JoinOptions { strategy: Strategy::QGrams, left_limit: Some(20), ..Default::default() };
         b.iter(|| {
             let from = engine.random_peer();
             engine.sim_join("word", Some("word"), 1, from, &opts)

@@ -120,7 +120,7 @@ pub fn run_latency_bench(cfg: &LatencyBenchConfig) -> Vec<LatencyPoint> {
                 arrival: Arrival::Poisson { mean_interarrival_us: cfg.mean_interarrival_us },
                 mix: vec![
                     QueryKind::Similar { d: 1 },
-                    QueryKind::SimJoin { d: 1, left_limit: Some(8) },
+                    QueryKind::SimJoin { d: 1, left_limit: Some(8), window: 1 },
                     QueryKind::TopN { n: 5, d_max: 3 },
                     QueryKind::Vql { d: 1 },
                 ],

@@ -71,6 +71,13 @@ impl EngineBuilder {
         self
     }
 
+    /// Force uniform-random reference selection even when a virtual-time
+    /// sink is installed (the A/B baseline for load-aware routing).
+    pub fn uniform_refs(mut self, on: bool) -> Self {
+        self.cfg.network.uniform_refs = on;
+        self
+    }
+
     /// q-gram length used for indexing and probing.
     pub fn q(mut self, q: usize) -> Self {
         assert!(q >= 1);
@@ -109,9 +116,17 @@ pub struct SimilarityEngine {
     pub(crate) net: Network<Posting>,
     pub(crate) cfg: EngineConfig,
     publish_stats: PublishStats,
-    /// Edit-distance invocations since the last stats window (drained into
-    /// [`QueryStats::edit_comparisons`]).
+    /// Monotone count of edit-distance invocations; stats windows snapshot
+    /// it and report the delta ([`QueryStats::edit_comparisons`]), so steps
+    /// of interleaved queries never steal each other's comparisons.
     pub(crate) edit_comparisons: u64,
+}
+
+/// Counter snapshot opening a stats window (see
+/// [`SimilarityEngine::begin_query`]).
+pub(crate) struct StatsSnap {
+    traffic: Metrics,
+    comparisons: u64,
 }
 
 impl SimilarityEngine {
@@ -224,20 +239,20 @@ impl SimilarityEngine {
         *self.net.metrics()
     }
 
-    /// Open a fresh stats window: snapshot traffic, reset the comparison
-    /// counter, and open a virtual-time window on the network's event sink
-    /// (if one is installed).
-    pub(crate) fn begin_query(&mut self) -> Metrics {
-        self.edit_comparisons = 0;
+    /// Open a fresh stats window: snapshot the monotone traffic and
+    /// comparison counters and open a virtual-time window on the network's
+    /// event sink (if one is installed). Windows nest: an inner window's
+    /// charges fold into the enclosing one.
+    pub(crate) fn begin_query(&mut self) -> StatsSnap {
         self.net.sim_begin_query();
-        self.traffic_snapshot()
+        StatsSnap { traffic: self.traffic_snapshot(), comparisons: self.edit_comparisons }
     }
 
-    pub(crate) fn finish_query(&mut self, snap: &Metrics) -> QueryStats {
+    pub(crate) fn finish_query(&mut self, snap: &StatsSnap) -> QueryStats {
         QueryStats {
-            traffic: self.net.metrics().delta(snap),
+            traffic: self.net.metrics().delta(&snap.traffic),
             sim: self.net.sim_end_query(),
-            edit_comparisons: self.edit_comparisons,
+            edit_comparisons: self.edit_comparisons - snap.comparisons,
             ..Default::default()
         }
     }
@@ -250,6 +265,59 @@ impl SimilarityEngine {
     // ------------------------------------------------------------------
     // Batched index probes & object fetches (the §4 optimizations)
     // ------------------------------------------------------------------
+
+    /// Group probe keys into fan-out branches: one branch per responsible
+    /// partition with delegation on (contact-once batching), one branch per
+    /// key with delegation off. Branch order is deterministic (partition
+    /// index / input order).
+    pub(crate) fn plan_probe_branches(&self, keys: &[Key]) -> Vec<Vec<Key>> {
+        if !self.cfg.delegation {
+            return keys.iter().map(|k| vec![k.clone()]).collect();
+        }
+        let mut by_part: FxHashMap<usize, Vec<Key>> = FxHashMap::default();
+        for k in keys {
+            by_part.entry(self.net.partition_of(k)).or_default().push(k.clone());
+        }
+        let mut parts: Vec<(usize, Vec<Key>)> = by_part.into_iter().collect();
+        parts.sort_by_key(|(p, _)| *p); // determinism
+        parts.into_iter().map(|(_, ks)| ks).collect()
+    }
+
+    /// One probe branch (see [`Self::probe_keys`] for the cost model): with
+    /// delegation, one routed query chain to the keys' partition, local
+    /// scans + filtering there, one combined reply carrying only survivors;
+    /// without, a full independent `Retrieve` per key with the filter at the
+    /// initiator.
+    pub(crate) fn probe_branch(
+        &mut self,
+        from: PeerId,
+        keys: &[Key],
+        local_filter: &dyn Fn(&Posting) -> bool,
+    ) -> Vec<Posting> {
+        if !self.cfg.delegation {
+            let mut out = Vec::new();
+            for k in keys {
+                if let Ok(items) = self.net.retrieve(from, k) {
+                    out.extend(items.into_iter().filter(|p| local_filter(p)));
+                }
+            }
+            return out;
+        }
+        let Ok(owner) = self.net.route(from, &keys[0]) else {
+            return Vec::new();
+        };
+        let mut batch: Vec<Posting> = Vec::new();
+        for k in keys {
+            batch.extend(
+                self.net.local_prefix_scan(owner, k).into_iter().filter(|p| local_filter(p)),
+            );
+        }
+        if owner != from {
+            let payload: usize = batch.iter().map(Item::size_bytes).sum();
+            self.net.send_direct(owner, from, payload);
+        }
+        batch
+    }
 
     /// Probe a set of exact index keys and return the postings stored under
     /// them (prefix-extension semantics, matching `Retrieve`) that pass
@@ -265,110 +333,95 @@ impl SimilarityEngine {
     /// grams would dwarf everything else). With delegation off, each key is
     /// a full independent `Retrieve`: the whole posting list is charged to
     /// the wire and filtering happens at the initiator.
+    ///
+    /// This is the synchronous form; stepped execution runs the same
+    /// branches one [`ExecStep`] at a time (see [`crate::similar`]), which
+    /// is why only the batching contract tests call it directly.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn probe_keys(
         &mut self,
         from: PeerId,
         keys: &[Key],
         local_filter: &dyn Fn(&Posting) -> bool,
     ) -> Vec<Posting> {
-        if !self.cfg.delegation {
-            // Independent retrieves fan out in parallel from the initiator.
-            let mut out = Vec::new();
-            self.net.sim_fork();
-            for k in keys {
-                self.net.sim_branch();
-                if let Ok(items) = self.net.retrieve(from, k) {
-                    out.extend(items.into_iter().filter(|p| local_filter(p)));
-                }
-            }
-            self.net.sim_join();
-            return out;
-        }
-        // Group keys by partition.
-        let mut by_part: FxHashMap<usize, Vec<&Key>> = FxHashMap::default();
-        for k in keys {
-            by_part.entry(self.net.partition_of(k)).or_default().push(k);
-        }
-        let mut parts: Vec<(usize, Vec<&Key>)> = by_part.into_iter().collect();
-        parts.sort_by_key(|(p, _)| *p); // determinism
+        let branches = self.plan_probe_branches(keys);
         let mut out = Vec::new();
         // Per-partition probes are independent sub-requests: each branch
         // routes, scans and replies on its own timeline.
         self.net.sim_fork();
-        for (_part, part_keys) in parts {
+        for keys in branches {
             self.net.sim_branch();
-            // One routed query message chain to the partition...
-            let Ok(owner) = self.net.route(from, part_keys[0]) else {
-                continue;
-            };
-            // ...all local scans + filtering there...
-            let mut batch: Vec<Posting> = Vec::new();
-            for k in &part_keys {
-                batch.extend(
-                    self.net.local_prefix_scan(owner, k).into_iter().filter(|p| local_filter(p)),
-                );
-            }
-            // ...one combined reply carrying only the survivors.
-            if owner != from {
-                let payload: usize = batch.iter().map(Item::size_bytes).sum();
-                self.net.send_direct(owner, from, payload);
-            }
-            out.extend(batch);
+            out.extend(self.probe_branch(from, &keys, local_filter));
         }
         self.net.sim_join();
         out
     }
 
+    /// Group object fetches into fan-out branches (per owning partition
+    /// with delegation, per oid without). `oids` must be sorted for
+    /// determinism.
+    pub(crate) fn plan_fetch_branches(&self, oids: &[String]) -> Vec<Vec<String>> {
+        if !self.cfg.delegation {
+            return oids.iter().map(|o| vec![o.clone()]).collect();
+        }
+        let mut by_part: FxHashMap<usize, Vec<String>> = FxHashMap::default();
+        for oid in oids {
+            let key = sqo_storage::keys::oid_key(oid);
+            by_part.entry(self.net.partition_of(&key)).or_default().push(oid.clone());
+        }
+        let mut parts: Vec<(usize, Vec<String>)> = by_part.into_iter().collect();
+        parts.sort_by_key(|(p, _)| *p);
+        parts.into_iter().map(|(_, os)| os).collect()
+    }
+
+    /// One object-fetch branch: route to the oids' partition, assemble the
+    /// objects from the postings stored there, one reply with the payload.
+    pub(crate) fn fetch_branch(&mut self, from: PeerId, oids: &[String]) -> Vec<(String, Object)> {
+        let mut out = Vec::with_capacity(oids.len());
+        if !self.cfg.delegation {
+            for oid in oids {
+                let key = sqo_storage::keys::oid_key(oid);
+                if let Ok(postings) = self.net.retrieve(from, &key) {
+                    out.push((oid.clone(), Object::from_postings(oid, &postings)));
+                }
+            }
+            return out;
+        }
+        let first_key = sqo_storage::keys::oid_key(&oids[0]);
+        let Ok(owner) = self.net.route(from, &first_key) else {
+            return out;
+        };
+        let mut payload = 0usize;
+        for oid in oids {
+            let key = sqo_storage::keys::oid_key(oid);
+            let postings = self.net.local_prefix_scan(owner, &key);
+            let obj = Object::from_postings(oid, &postings);
+            payload += obj.repr_len();
+            out.push((oid.clone(), obj));
+        }
+        if owner != from {
+            self.net.send_direct(owner, from, payload);
+        }
+        out
+    }
+
     /// Fetch the complete objects for a set of oids (Algorithm 2's
     /// "build complete object o from T′" step), batched per partition when
-    /// delegation is on. Returns oid → assembled object.
+    /// delegation is on. Returns oid → assembled object. Synchronous form
+    /// of the same branches the stepped operators schedule one at a time.
     pub(crate) fn fetch_objects(
         &mut self,
         from: PeerId,
         oids: &FxHashSet<String>,
     ) -> FxHashMap<String, Object> {
-        let mut sorted: Vec<&String> = oids.iter().collect();
+        let mut sorted: Vec<String> = oids.iter().cloned().collect();
         sorted.sort_unstable(); // determinism
+        let branches = self.plan_fetch_branches(&sorted);
         let mut result: FxHashMap<String, Object> = FxHashMap::default();
-
-        if !self.cfg.delegation {
-            self.net.sim_fork();
-            for oid in sorted {
-                self.net.sim_branch();
-                let key = sqo_storage::keys::oid_key(oid);
-                if let Ok(postings) = self.net.retrieve(from, &key) {
-                    result.insert(oid.clone(), Object::from_postings(oid, &postings));
-                }
-            }
-            self.net.sim_join();
-            return result;
-        }
-
-        let mut by_part: FxHashMap<usize, Vec<&String>> = FxHashMap::default();
-        for oid in sorted {
-            let key = sqo_storage::keys::oid_key(oid);
-            by_part.entry(self.net.partition_of(&key)).or_default().push(oid);
-        }
-        let mut parts: Vec<(usize, Vec<&String>)> = by_part.into_iter().collect();
-        parts.sort_by_key(|(p, _)| *p);
         self.net.sim_fork();
-        for (_part, part_oids) in parts {
+        for oids in branches {
             self.net.sim_branch();
-            let first_key = sqo_storage::keys::oid_key(part_oids[0]);
-            let Ok(owner) = self.net.route(from, &first_key) else {
-                continue;
-            };
-            let mut payload = 0usize;
-            for oid in part_oids {
-                let key = sqo_storage::keys::oid_key(oid);
-                let postings = self.net.local_prefix_scan(owner, &key);
-                let obj = Object::from_postings(oid, &postings);
-                payload += obj.repr_len();
-                result.insert(oid.clone(), obj);
-            }
-            if owner != from {
-                self.net.send_direct(owner, from, payload);
-            }
+            result.extend(self.fetch_branch(from, &oids));
         }
         self.net.sim_join();
         result
@@ -390,6 +443,148 @@ impl SimilarityEngine {
         let mut stats = self.finish_query(&snap);
         stats.matches = usize::from(obj.is_some());
         (obj, stats)
+    }
+
+    // ------------------------------------------------------------------
+    // Stepped execution (the event-driven operator model)
+    // ------------------------------------------------------------------
+
+    /// Execute `f` as one atomic chunk of a stepped task: position the
+    /// virtual clock at `at_us`, open a stats window around the chunk, and
+    /// fold its charges (traffic, comparisons, latency profile) into `acc`.
+    /// Returns `f`'s result and the virtual time the chunk completed at.
+    ///
+    /// Every wire interaction inside the chunk observes the per-peer
+    /// backlogs left by *all* previously executed steps — of this task and
+    /// of every other in-flight task — which is what makes contention
+    /// symmetric when a driver interleaves tasks in global time order.
+    pub fn charged<R>(
+        &mut self,
+        acc: &mut QueryStats,
+        at_us: u64,
+        f: impl FnOnce(&mut Self) -> R,
+    ) -> (R, u64) {
+        self.net.sim_reset_to_us(at_us);
+        let snap = self.begin_query();
+        let r = f(self);
+        let step = self.finish_query(&snap);
+        let end = self.net.sim_now_us().unwrap_or(at_us);
+        acc.traffic.add(&step.traffic);
+        acc.edit_comparisons += step.edit_comparisons;
+        if let Some(s) = step.sim {
+            match &mut acc.sim {
+                Some(mine) => mine.absorb(&s),
+                None => acc.sim = Some(s),
+            }
+        }
+        (r, end)
+    }
+
+    /// Drive a stepped task to completion on the current virtual clock —
+    /// the synchronous execution path every public operator entry point
+    /// uses. The task's steps run back to back (its internal fan-out
+    /// bookkeeping still applies critical-path timing), so a standalone
+    /// query costs exactly what its interleaved steps would.
+    pub fn run_task(&mut self, task: &mut dyn ExecStep) -> QueryStats {
+        let mut at = self.net.sim_now_us().unwrap_or(0);
+        loop {
+            match task.step(self, at) {
+                StepOutcome::Yield { at_us } => at = at_us,
+                StepOutcome::Done(stats) => return stats,
+            }
+        }
+    }
+}
+
+/// Close out a task's accumulated stats: a stepped query's latency is its
+/// completion envelope (last result minus arrival), queue waits between
+/// steps included. Custom [`ExecStep`] implementations call this right
+/// before returning [`StepOutcome::Done`].
+pub fn finalize_stats(stats: &mut QueryStats) {
+    if let Some(s) = &mut stats.sim {
+        s.elapsed_us = s.end_us.saturating_sub(s.start_us);
+    }
+}
+
+/// Outcome of advancing a stepped task.
+#[derive(Debug, Clone, Copy)]
+pub enum StepOutcome {
+    /// More work remains; resume the task at virtual time `at_us` (a
+    /// fan-out branch may resume *before* the scheduler's current time —
+    /// branches are charged from their fork point).
+    Yield { at_us: u64 },
+    /// The task completed; its accumulated, finalized stats.
+    Done(QueryStats),
+}
+
+/// A resumable query execution: operator work split into explicit
+/// continuation steps (issue-probe → await-responses → merge) that a
+/// scheduler interleaves with other tasks on one event queue.
+///
+/// Each `step` call performs one bounded chunk of work — typically a single
+/// routed sub-request — charged at the given virtual time, then yields the
+/// time it wants to resume at. Implementations must make progress on every
+/// call (the state machine advances even when routing fails), so a task
+/// always terminates in finitely many steps.
+pub trait ExecStep {
+    /// Advance by one step at virtual time `at_us`.
+    fn step(&mut self, engine: &mut SimilarityEngine, at_us: u64) -> StepOutcome;
+}
+
+/// Bookkeeping for a stepped parallel fan-out: every branch starts at the
+/// fork frontier and the merge resumes at the latest branch completion —
+/// the stepped counterpart of `sim_fork`/`sim_branch`/`sim_join`, except
+/// that branches yield back to the scheduler instead of being charged
+/// analytically in one synchronous sweep.
+pub(crate) struct FanOut<B> {
+    queue: std::collections::VecDeque<B>,
+    /// Virtual time the fan-out was issued at; every branch is charged
+    /// from here.
+    pub fork_us: u64,
+    /// Latest branch completion seen so far (the merge point).
+    pub max_end_us: u64,
+}
+
+impl<B> FanOut<B> {
+    pub(crate) fn new(branches: impl IntoIterator<Item = B>, fork_us: u64) -> Self {
+        Self { queue: branches.into_iter().collect(), fork_us, max_end_us: fork_us }
+    }
+
+    /// Take the next branch to execute, if any remain.
+    pub(crate) fn pop(&mut self) -> Option<B> {
+        self.queue.pop_front()
+    }
+
+    pub(crate) fn record_end(&mut self, end_us: u64) {
+        self.max_end_us = self.max_end_us.max(end_us);
+    }
+
+    pub(crate) fn is_done(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+/// One of the engine's physical operators as a resumable task — the unit a
+/// workload driver schedules on its event queue. Construction is pure
+/// (planning happens lazily on the first step, when the engine is
+/// available), so drivers can build tasks at arrival-event time.
+pub enum QueryTask {
+    Similar(crate::similar::SimilarTask),
+    Select(crate::select::SelectTask),
+    Join(crate::simjoin::JoinTask),
+    Multi(crate::multi::MultiTask),
+    TopN(crate::topn::TopNTask),
+}
+
+impl ExecStep for QueryTask {
+    fn step(&mut self, engine: &mut SimilarityEngine, at_us: u64) -> StepOutcome {
+        match self {
+            QueryTask::Similar(t) => t.step(engine, at_us),
+            QueryTask::Select(t) => t.step(engine, at_us),
+            QueryTask::Join(t) => t.step(engine, at_us),
+            QueryTask::Multi(t) => t.step(engine, at_us),
+            QueryTask::TopN(t) => t.step(engine, at_us),
+        }
     }
 }
 

@@ -25,11 +25,13 @@ pub mod simjoin;
 pub mod stats;
 pub mod topn;
 
-pub use engine::{EngineBuilder, EngineConfig, SimilarityEngine};
-pub use multi::{AttrPredicate, MultiMatch, MultiResult, MultiStrategy};
+pub use engine::{
+    finalize_stats, EngineBuilder, EngineConfig, ExecStep, QueryTask, SimilarityEngine, StepOutcome,
+};
+pub use multi::{AttrPredicate, MultiMatch, MultiResult, MultiStrategy, MultiTask};
 pub use ranking::Rank;
-pub use select::{SelectHit, SelectResult};
-pub use similar::{SimilarMatch, SimilarResult, Strategy};
-pub use simjoin::{JoinOptions, JoinPair, JoinResult};
+pub use select::{SelectHit, SelectResult, SelectTask};
+pub use similar::{SimilarMatch, SimilarResult, SimilarTask, Strategy};
+pub use simjoin::{JoinOptions, JoinPair, JoinResult, JoinTask};
 pub use stats::QueryStats;
-pub use topn::{TopNItem, TopNResult};
+pub use topn::{TopNItem, TopNResult, TopNTask};

@@ -23,8 +23,8 @@
 //! pipelined shape: one access path per subject, residual predicates
 //! verified on bindings.)
 
-use crate::engine::SimilarityEngine;
-use crate::similar::Strategy;
+use crate::engine::{finalize_stats, ExecStep, SimilarityEngine, StepOutcome};
+use crate::similar::{SimilarTask, Strategy};
 use crate::stats::QueryStats;
 use rustc_hash::FxHashMap;
 use sqo_overlay::peer::PeerId;
@@ -84,124 +84,229 @@ impl SimilarityEngine {
         strategy: Strategy,
         multi: MultiStrategy,
     ) -> MultiResult {
+        let mut task = MultiTask::new(preds.to_vec(), from, strategy, multi);
+        let stats = self.run_task(&mut task);
+        MultiResult { matches: task.take_matches(), stats }
+    }
+}
+
+/// oid → (object, bindings found so far); an oid must appear in every
+/// sub-query's result to survive the intersection.
+type Alive = FxHashMap<String, (Object, Vec<(String, String, usize)>)>;
+
+/// A multi-attribute conjunction as a resumable task: one child
+/// [`SimilarTask`] per predicate (all of them for `Intersect`, only the
+/// most selective one for `Pipelined`), followed by the local intersection
+/// or residual verification.
+pub struct MultiTask {
+    preds: Vec<AttrPredicate>,
+    from: PeerId,
+    strategy: Strategy,
+    multi: MultiStrategy,
+    state: MState,
+    stats: QueryStats,
+    lead_idx: usize,
+    alive: Option<Alive>,
+    matches: Vec<MultiMatch>,
+}
+
+enum MState {
+    Init,
+    Child { idx: usize, child: Box<SimilarTask>, resume_at: u64 },
+    PipeVerify { lead: Vec<crate::similar::SimilarMatch>, at_us: u64 },
+    Finalize,
+    Finished,
+}
+
+impl MultiTask {
+    /// # Panics
+    /// Panics if `preds` is empty.
+    pub fn new(
+        preds: Vec<AttrPredicate>,
+        from: PeerId,
+        strategy: Strategy,
+        multi: MultiStrategy,
+    ) -> Self {
         assert!(!preds.is_empty(), "need at least one predicate");
-        match multi {
-            MultiStrategy::Intersect => self.multi_intersect(preds, from, strategy),
-            MultiStrategy::Pipelined => self.multi_pipelined(preds, from, strategy),
+        Self {
+            preds,
+            from,
+            strategy,
+            multi,
+            state: MState::Init,
+            stats: QueryStats::default(),
+            lead_idx: 0,
+            alive: None,
+            matches: Vec::new(),
         }
     }
 
-    fn multi_intersect(
-        &mut self,
-        preds: &[AttrPredicate],
-        from: PeerId,
-        strategy: Strategy,
-    ) -> MultiResult {
-        let mut stats = QueryStats::default();
-        // oid → (object, bindings found so far); an oid must appear in every
-        // sub-query's result to survive.
-        type Alive = FxHashMap<String, (Object, Vec<(String, String, usize)>)>;
-        let mut alive: Option<Alive> = None;
-        for p in preds {
-            let res = self.similar(&p.query, Some(&p.attr), p.d, from, strategy);
-            stats.absorb(&res.stats);
-            let mut this: Alive = FxHashMap::default();
-            for m in res.matches {
-                this.entry(m.oid.clone())
-                    .or_insert_with(|| (m.object.clone(), Vec::new()))
-                    .1
-                    .push((p.attr.clone(), m.matched, m.distance));
-            }
-            alive = Some(match alive {
-                None => this,
-                Some(prev) => {
-                    let mut next = FxHashMap::default();
-                    for (oid, (obj, mut bindings)) in prev {
-                        if let Some((_, found)) = this.remove(&oid) {
-                            bindings.extend(found);
-                            next.insert(oid, (obj, bindings));
-                        }
-                    }
-                    next
-                }
-            });
-            if alive.as_ref().is_some_and(FxHashMap::is_empty) {
-                break; // early out: conjunction already empty
-            }
-        }
-        let mut matches: Vec<MultiMatch> = alive
-            .unwrap_or_default()
-            .into_iter()
-            .map(|(oid, (object, bindings))| MultiMatch { oid, object, bindings })
-            .collect();
-        matches.sort_by(|a, b| a.oid.cmp(&b.oid));
-        stats.matches = matches.len();
-        MultiResult { matches, stats }
+    /// The conjunction's matches, once the task is done.
+    pub fn take_matches(&mut self) -> Vec<MultiMatch> {
+        std::mem::take(&mut self.matches)
     }
 
-    fn multi_pipelined(
-        &mut self,
-        preds: &[AttrPredicate],
-        from: PeerId,
-        strategy: Strategy,
-    ) -> MultiResult {
-        // Selectivity heuristic: longer query strings and smaller distances
-        // produce fewer candidates (more grams to match, tighter filters).
-        let lead_idx = (0..preds.len())
-            .max_by_key(|&i| {
-                let p = &preds[i];
-                (p.query.chars().count() as i64) - 3 * (p.d as i64)
-            })
-            .expect("non-empty");
-        let lead = &preds[lead_idx];
+    fn child_for(&self, idx: usize) -> Box<SimilarTask> {
+        let p = &self.preds[idx];
+        Box::new(SimilarTask::new(&p.query, Some(&p.attr), p.d, self.from, self.strategy))
+    }
+}
 
-        let res = self.similar(&lead.query, Some(&lead.attr), lead.d, from, strategy);
-        let mut stats = res.stats;
-
-        let mut matches: Vec<MultiMatch> = Vec::new();
-        let mut seen = rustc_hash::FxHashSet::default();
-        for m in res.matches {
-            if !seen.insert(m.oid.clone()) {
-                continue; // multivalued lead attr: verify each object once
-            }
-            // The object is fully materialized: verify the remaining
-            // predicates locally.
-            let mut bindings: Vec<(String, String, usize)> = Vec::new();
-            let mut ok = true;
-            for (i, p) in preds.iter().enumerate() {
-                if i == lead_idx {
-                    bindings.push((p.attr.clone(), m.matched.clone(), m.distance));
+impl ExecStep for MultiTask {
+    fn step(&mut self, engine: &mut SimilarityEngine, at_us: u64) -> StepOutcome {
+        loop {
+            match std::mem::replace(&mut self.state, MState::Finished) {
+                MState::Init => {
+                    self.lead_idx = match self.multi {
+                        MultiStrategy::Intersect => 0,
+                        // Selectivity heuristic: longer query strings and
+                        // smaller distances produce fewer candidates (more
+                        // grams to match, tighter filters).
+                        MultiStrategy::Pipelined => (0..self.preds.len())
+                            .max_by_key(|&i| {
+                                let p = &self.preds[i];
+                                (p.query.chars().count() as i64) - 3 * (p.d as i64)
+                            })
+                            .expect("non-empty"),
+                    };
+                    let first = match self.multi {
+                        MultiStrategy::Intersect => 0,
+                        MultiStrategy::Pipelined => self.lead_idx,
+                    };
+                    let child = self.child_for(first);
+                    self.state = MState::Child { idx: first, child, resume_at: at_us };
                     continue;
                 }
-                let mut found: Option<(String, usize)> = None;
-                for (attr, value) in &m.object.fields {
-                    if attr.as_str() != p.attr {
-                        continue;
-                    }
-                    let Some(text) = value.as_str() else { continue };
-                    self.count_comparison();
-                    if let Some(dist) = levenshtein_bounded(&p.query, text, p.d) {
-                        if found.as_ref().is_none_or(|(_, best)| dist < *best) {
-                            found = Some((text.to_string(), dist));
+
+                MState::Child { idx, mut child, resume_at } => {
+                    match child.step(engine, resume_at) {
+                        StepOutcome::Yield { at_us } => {
+                            self.state = MState::Child { idx, child, resume_at: at_us };
+                            return StepOutcome::Yield { at_us };
+                        }
+                        StepOutcome::Done(child_stats) => {
+                            self.stats.absorb(&child_stats);
+                            let end = child_stats.sim.map(|s| s.end_us).unwrap_or(resume_at);
+                            let matches = child.take_matches();
+                            match self.multi {
+                                MultiStrategy::Pipelined => {
+                                    self.state = MState::PipeVerify { lead: matches, at_us: end };
+                                    continue;
+                                }
+                                MultiStrategy::Intersect => {
+                                    let p = &self.preds[idx];
+                                    let mut this: Alive = FxHashMap::default();
+                                    for m in matches {
+                                        this.entry(m.oid.clone())
+                                            .or_insert_with(|| (m.object.clone(), Vec::new()))
+                                            .1
+                                            .push((p.attr.clone(), m.matched, m.distance));
+                                    }
+                                    self.alive = Some(match self.alive.take() {
+                                        None => this,
+                                        Some(prev) => {
+                                            let mut next = FxHashMap::default();
+                                            for (oid, (obj, mut bindings)) in prev {
+                                                if let Some((_, found)) = this.remove(&oid) {
+                                                    bindings.extend(found);
+                                                    next.insert(oid, (obj, bindings));
+                                                }
+                                            }
+                                            next
+                                        }
+                                    });
+                                    let empty =
+                                        self.alive.as_ref().is_some_and(FxHashMap::is_empty);
+                                    if empty || idx + 1 >= self.preds.len() {
+                                        // Early out: conjunction already
+                                        // empty, or every predicate ran.
+                                        self.state = MState::Finalize;
+                                        continue;
+                                    }
+                                    let child = self.child_for(idx + 1);
+                                    self.state =
+                                        MState::Child { idx: idx + 1, child, resume_at: end };
+                                    return StepOutcome::Yield { at_us: end };
+                                }
+                            }
                         }
                     }
                 }
-                match found {
-                    Some((text, dist)) => bindings.push((p.attr.clone(), text, dist)),
-                    None => {
-                        ok = false;
-                        break;
-                    }
+
+                MState::PipeVerify { lead, at_us: at } => {
+                    // The lead's objects are fully materialized: verify the
+                    // remaining predicates locally at the initiator.
+                    let (preds, lead_idx) = (&self.preds, self.lead_idx);
+                    let mut acc = self.stats;
+                    let (matches, _end) = engine.charged(&mut acc, at, |e| {
+                        let mut matches: Vec<MultiMatch> = Vec::new();
+                        let mut seen = rustc_hash::FxHashSet::default();
+                        for m in lead {
+                            if !seen.insert(m.oid.clone()) {
+                                continue; // multivalued lead attr: verify once
+                            }
+                            let mut bindings: Vec<(String, String, usize)> = Vec::new();
+                            let mut ok = true;
+                            for (i, p) in preds.iter().enumerate() {
+                                if i == lead_idx {
+                                    bindings.push((p.attr.clone(), m.matched.clone(), m.distance));
+                                    continue;
+                                }
+                                let mut found: Option<(String, usize)> = None;
+                                for (attr, value) in &m.object.fields {
+                                    if attr.as_str() != p.attr {
+                                        continue;
+                                    }
+                                    let Some(text) = value.as_str() else { continue };
+                                    e.count_comparison();
+                                    if let Some(dist) = levenshtein_bounded(&p.query, text, p.d) {
+                                        if found.as_ref().is_none_or(|(_, best)| dist < *best) {
+                                            found = Some((text.to_string(), dist));
+                                        }
+                                    }
+                                }
+                                match found {
+                                    Some((text, dist)) => {
+                                        bindings.push((p.attr.clone(), text, dist))
+                                    }
+                                    None => {
+                                        ok = false;
+                                        break;
+                                    }
+                                }
+                            }
+                            if ok {
+                                matches.push(MultiMatch { oid: m.oid, object: m.object, bindings });
+                            }
+                        }
+                        matches
+                    });
+                    self.stats = acc;
+                    self.matches = matches;
+                    self.state = MState::Finalize;
+                    continue;
                 }
-            }
-            if ok {
-                matches.push(MultiMatch { oid: m.oid, object: m.object, bindings });
+
+                MState::Finalize => {
+                    if self.multi == MultiStrategy::Intersect {
+                        self.matches = self
+                            .alive
+                            .take()
+                            .unwrap_or_default()
+                            .into_iter()
+                            .map(|(oid, (object, bindings))| MultiMatch { oid, object, bindings })
+                            .collect();
+                    }
+                    self.matches.sort_by(|a, b| a.oid.cmp(&b.oid));
+                    self.stats.matches = self.matches.len();
+                    finalize_stats(&mut self.stats);
+                    self.state = MState::Finished;
+                    return StepOutcome::Done(self.stats);
+                }
+
+                MState::Finished => return StepOutcome::Done(self.stats),
             }
         }
-        matches.sort_by(|a, b| a.oid.cmp(&b.oid));
-        stats.matches = matches.len();
-        stats.edit_comparisons = self.edit_comparisons;
-        MultiResult { matches, stats }
     }
 }
 

@@ -15,123 +15,87 @@
 //! remarks on. Only matching triples travel back.
 
 use crate::engine::SimilarityEngine;
-use crate::similar::{Candidate, SimilarMatch, SimilarResult};
-use rustc_hash::FxHashMap;
+use crate::similar::Candidate;
 use sqo_overlay::key::Key;
 use sqo_overlay::peer::PeerId;
-use sqo_overlay::Metrics;
-use sqo_storage::keys;
-use sqo_storage::posting::{Object, Posting};
+use sqo_storage::posting::Posting;
 use sqo_strsim::edit::levenshtein_bounded;
 
 impl SimilarityEngine {
-    /// Naive evaluation of `Similar(s, a, d)`; also the fallback for query
-    /// strings shorter than `q`. `snap` is the already-opened stats window.
-    pub(crate) fn naive_similar(
+    /// One branch of the naive broadcast: forward into partition `part`
+    /// (unless it is the routing entry's own partition), compare the query
+    /// string against everything stored there, and reply with the matching
+    /// triples. Returns `None` when the partition has no alive member —
+    /// the branch silently drops, exactly like a dead responder would.
+    ///
+    /// This is the per-partition body the stepped
+    /// [`SimilarTask`](crate::similar::SimilarTask) schedules one event at
+    /// a time, replacing the old synchronous fork/branch/join sweep.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn naive_branch(
         &mut self,
         s: &str,
         attr: Option<&str>,
         d: usize,
         from: PeerId,
-        snap: Metrics,
-        object_cache: &mut FxHashMap<String, Object>,
-    ) -> SimilarResult {
-        // The key-space regions holding "the strings to be compared".
-        let prefixes: Vec<Key> = match attr {
-            Some(a) => vec![keys::attr_scan_prefix(a), keys::short_value_prefix(a)],
-            None => vec![keys::attr_value_family_prefix(), keys::short_attr_prefix()],
+        entry: PeerId,
+        entry_part: usize,
+        part: usize,
+        prefix: &Key,
+    ) -> Option<Vec<Candidate>> {
+        let responder = if part == entry_part {
+            entry
+        } else {
+            let p = self.net.partition_member(part)?;
+            self.net.forward_to(entry, p);
+            p
         };
-
-        let mut candidates: Vec<Candidate> = Vec::new();
-        let mut partitions_contacted = 0usize;
-        for prefix in &prefixes {
-            let (ps, pe) = self.net.subtree_of(prefix);
-            if ps == pe {
-                continue;
-            }
-            // Route once into the subtree, then shower-forward. The
-            // per-partition branches verify in parallel; the initiator is
-            // done when the slowest responder's matches arrive.
-            let Ok(entry) = self.net.route(from, prefix) else { continue };
-            let entry_part = self.net.peer(entry).partition as usize;
-            self.net.sim_fork();
-            for part in ps..pe {
-                self.net.sim_branch();
-                let responder = if part == entry_part {
-                    entry
-                } else {
-                    let Some(p) = self.net.partition_member(part) else { continue };
-                    self.net.forward_to(entry, p);
-                    p
-                };
-                partitions_contacted += 1;
-                let postings = self.net.local_prefix_scan(responder, prefix);
-                // Local comparison at the data peer.
-                let mut local_matches: Vec<Candidate> = Vec::new();
-                let mut payload = 0usize;
-                let mut seen_attr_names: Vec<&str> = Vec::new();
-                for p in &postings {
-                    match (attr, p) {
-                        (
-                            Some(a),
-                            Posting::Base { triple, .. } | Posting::ShortValue { triple },
-                        ) => {
-                            if triple.attr.as_str() != a {
-                                continue;
-                            }
-                            let Some(text) = triple.value.as_str() else { continue };
-                            self.count_comparison();
-                            if levenshtein_bounded(s, text, d).is_some() {
-                                payload += triple.repr_len();
-                                local_matches.push(Candidate {
-                                    oid: triple.oid.clone(),
-                                    attr: a.to_string(),
-                                    text: text.to_string(),
-                                });
-                            }
-                        }
-                        (None, Posting::Base { triple, .. } | Posting::ShortAttr { triple }) => {
-                            let name = triple.attr.as_str();
-                            // One comparison per distinct local name, the way
-                            // an implementation would actually do it.
-                            if !seen_attr_names.contains(&name) {
-                                seen_attr_names.push(name);
-                                self.count_comparison();
-                            }
-                            if levenshtein_bounded(s, name, d).is_some() {
-                                payload += triple.repr_len();
-                                local_matches.push(Candidate {
-                                    oid: triple.oid.clone(),
-                                    attr: name.to_string(),
-                                    text: name.to_string(),
-                                });
-                            }
-                        }
-                        _ => {}
+        let postings = self.net.local_prefix_scan(responder, prefix);
+        // Local comparison at the data peer.
+        let mut local_matches: Vec<Candidate> = Vec::new();
+        let mut payload = 0usize;
+        let mut seen_attr_names: Vec<&str> = Vec::new();
+        for p in &postings {
+            match (attr, p) {
+                (Some(a), Posting::Base { triple, .. } | Posting::ShortValue { triple }) => {
+                    if triple.attr.as_str() != a {
+                        continue;
+                    }
+                    let Some(text) = triple.value.as_str() else { continue };
+                    self.count_comparison();
+                    if levenshtein_bounded(s, text, d).is_some() {
+                        payload += triple.repr_len();
+                        local_matches.push(Candidate {
+                            oid: triple.oid.clone(),
+                            attr: a.to_string(),
+                            text: text.to_string(),
+                        });
                     }
                 }
-                if responder != from && !local_matches.is_empty() {
-                    self.net.send_direct(responder, from, payload);
+                (None, Posting::Base { triple, .. } | Posting::ShortAttr { triple }) => {
+                    let name = triple.attr.as_str();
+                    // One comparison per distinct local name, the way an
+                    // implementation would actually do it.
+                    if !seen_attr_names.contains(&name) {
+                        seen_attr_names.push(name);
+                        self.count_comparison();
+                    }
+                    if levenshtein_bounded(s, name, d).is_some() {
+                        payload += triple.repr_len();
+                        local_matches.push(Candidate {
+                            oid: triple.oid.clone(),
+                            attr: name.to_string(),
+                            text: name.to_string(),
+                        });
+                    }
                 }
-                candidates.extend(local_matches);
+                _ => {}
             }
-            self.net.sim_join();
         }
-
-        candidates.sort_by(|a, b| (&a.oid, &a.attr, &a.text).cmp(&(&b.oid, &b.attr, &b.text)));
-        candidates.dedup();
-        let n_candidates = candidates.len();
-
-        // The peers already verified; what remains is assembling complete
-        // result objects (same stage-2 contract as the gram strategies).
-        let matches: Vec<SimilarMatch> =
-            self.verify_candidates(s, d, from, candidates, object_cache);
-
-        let mut stats = self.finish_query(&snap);
-        stats.probes = partitions_contacted;
-        stats.candidates = n_candidates;
-        stats.matches = matches.len();
-        SimilarResult { matches, stats }
+        if responder != from && !local_matches.is_empty() {
+            self.net.send_direct(responder, from, payload);
+        }
+        Some(local_matches)
     }
 }
 

@@ -2,9 +2,9 @@
 //! the similarity operators compose with (already present in the paper's
 //! prior work \[10\]; VQL needs them for its non-similarity predicates).
 
-use crate::engine::SimilarityEngine;
+use crate::engine::{finalize_stats, ExecStep, FanOut, SimilarityEngine, StepOutcome};
 use crate::stats::QueryStats;
-use rustc_hash::FxHashSet;
+use rustc_hash::FxHashMap;
 use sqo_overlay::peer::PeerId;
 use sqo_storage::keys;
 use sqo_storage::posting::{Object, Posting};
@@ -29,16 +29,7 @@ pub struct SelectResult {
 impl SimilarityEngine {
     /// `σ(A = v)`: exact-match selection via `key(A # v)`.
     pub fn select_exact(&mut self, attr: &str, v: &Value, from: PeerId) -> SelectResult {
-        let snap = self.begin_query();
-        let key = keys::attr_value_key(attr, v);
-        let postings = self.net.retrieve(from, &key).unwrap_or_default();
-        let matched: Vec<(String, Value)> = postings
-            .iter()
-            .filter_map(Posting::as_base)
-            .filter(|t| t.attr.as_str() == attr && t.value == *v)
-            .map(|t| (t.oid.clone(), t.value.clone()))
-            .collect();
-        self.assemble(matched, from, snap)
+        self.run_select(SelectTask::exact(attr, v.clone(), from))
     }
 
     /// `σ(lo <= A <= hi)`: range selection via the order-preserving keys.
@@ -49,10 +40,166 @@ impl SimilarityEngine {
         hi: &Value,
         from: PeerId,
     ) -> SelectResult {
-        let snap = self.begin_query();
+        self.run_select(SelectTask::range(attr, lo.clone(), hi.clone(), from))
+    }
+
+    /// Numeric similarity selection: `dist(A, v) <= eps` mapped to the range
+    /// `[v − eps, v + eps]` and "processed as a range query" (§4).
+    pub fn select_numeric_similar(
+        &mut self,
+        attr: &str,
+        v: &Value,
+        eps: f64,
+        from: PeerId,
+    ) -> SelectResult {
+        self.run_select(SelectTask::numeric_similar(attr, v.clone(), eps, from))
+    }
+
+    /// Keyword selection: "any attribute = v" via the value index `key(v)`.
+    pub fn select_keyword(&mut self, v: &Value, from: PeerId) -> SelectResult {
+        self.run_select(SelectTask::keyword(v.clone(), from))
+    }
+
+    /// All values of an attribute (full attribute scan; the join's line 1).
+    pub fn select_all(&mut self, attr: &str, from: PeerId) -> SelectResult {
+        self.run_select(SelectTask::full_scan(attr, from))
+    }
+
+    fn run_select(&mut self, mut task: SelectTask) -> SelectResult {
+        let stats = self.run_task(&mut task);
+        SelectResult { hits: task.take_hits(), stats }
+    }
+}
+
+/// A selection as a resumable task: scan (retrieve / range fan-out) →
+/// per-partition object fetches → assemble, one step each.
+pub struct SelectTask {
+    kind: SelectKind,
+    from: PeerId,
+    state: SelState,
+    stats: QueryStats,
+    matched: Vec<(String, Value)>,
+    objects: FxHashMap<String, Object>,
+    hits: Vec<SelectHit>,
+}
+
+enum SelectKind {
+    Exact { attr: String, v: Value },
+    Range { attr: String, lo: Value, hi: Value },
+    NumericSimilar { attr: String, center: Value, eps: f64 },
+    Keyword { v: Value },
+    All { attr: String },
+}
+
+enum SelState {
+    Scan,
+    Fetch { fan: FanOut<Vec<String>> },
+    Assemble,
+    Finished,
+}
+
+impl SelectTask {
+    pub fn exact(attr: &str, v: Value, from: PeerId) -> Self {
+        Self::new(SelectKind::Exact { attr: attr.to_string(), v }, from)
+    }
+
+    pub fn range(attr: &str, lo: Value, hi: Value, from: PeerId) -> Self {
+        Self::new(SelectKind::Range { attr: attr.to_string(), lo, hi }, from)
+    }
+
+    pub fn numeric_similar(attr: &str, center: Value, eps: f64, from: PeerId) -> Self {
+        assert!(center.as_float().is_some(), "numeric similarity requires a numeric center value");
+        Self::new(SelectKind::NumericSimilar { attr: attr.to_string(), center, eps }, from)
+    }
+
+    pub fn keyword(v: Value, from: PeerId) -> Self {
+        Self::new(SelectKind::Keyword { v }, from)
+    }
+
+    pub fn full_scan(attr: &str, from: PeerId) -> Self {
+        Self::new(SelectKind::All { attr: attr.to_string() }, from)
+    }
+
+    fn new(kind: SelectKind, from: PeerId) -> Self {
+        Self {
+            kind,
+            from,
+            state: SelState::Scan,
+            stats: QueryStats::default(),
+            matched: Vec::new(),
+            objects: FxHashMap::default(),
+            hits: Vec::new(),
+        }
+    }
+
+    /// The selection hits, once the task is done.
+    pub fn take_hits(&mut self) -> Vec<SelectHit> {
+        std::mem::take(&mut self.hits)
+    }
+
+    /// The index scan of the selection, executed as one charged chunk.
+    fn scan(kind: &SelectKind, from: PeerId, e: &mut SimilarityEngine) -> Vec<(String, Value)> {
+        match kind {
+            SelectKind::Exact { attr, v } => {
+                let key = keys::attr_value_key(attr, v);
+                let postings = e.net.retrieve(from, &key).unwrap_or_default();
+                postings
+                    .iter()
+                    .filter_map(Posting::as_base)
+                    .filter(|t| t.attr.as_str() == attr && t.value == *v)
+                    .map(|t| (t.oid.clone(), t.value.clone()))
+                    .collect()
+            }
+            SelectKind::Range { attr, lo, hi } => Self::range_scan(attr, lo, hi, from, e),
+            SelectKind::NumericSimilar { attr, center, eps } => {
+                let c = center.as_float().expect("checked at construction");
+                let iv = NumericInterval::around_float(c, *eps);
+                let NumericInterval::Float { lo, hi } = iv else { unreachable!() };
+                let (vlo, vhi) = match center {
+                    Value::Int(_) => (Value::Int(lo.floor() as i64), Value::Int(hi.ceil() as i64)),
+                    _ => (Value::Float(lo), Value::Float(hi)),
+                };
+                Self::range_scan(attr, &vlo, &vhi, from, e)
+            }
+            SelectKind::Keyword { v } => {
+                let key = keys::value_key(v);
+                let postings = e.net.retrieve(from, &key).unwrap_or_default();
+                postings
+                    .iter()
+                    .filter_map(Posting::as_base)
+                    .filter(|t| t.value == *v)
+                    .map(|t| (t.oid.clone(), t.value.clone()))
+                    .collect()
+            }
+            SelectKind::All { attr } => {
+                let mut matched = Vec::new();
+                for prefix in [keys::attr_scan_prefix(attr), keys::short_value_prefix(attr)] {
+                    for p in e.scan_prefix(from, &prefix) {
+                        match p {
+                            Posting::Base { triple, .. } | Posting::ShortValue { triple }
+                                if triple.attr.as_str() == attr =>
+                            {
+                                matched.push((triple.oid.clone(), triple.value.clone()));
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                matched
+            }
+        }
+    }
+
+    fn range_scan(
+        attr: &str,
+        lo: &Value,
+        hi: &Value,
+        from: PeerId,
+        e: &mut SimilarityEngine,
+    ) -> Vec<(String, Value)> {
         let (klo, khi) = keys::attr_value_range(attr, lo, hi);
         let postings = if klo <= khi {
-            self.net.range_query(from, &klo, &khi).unwrap_or_default()
+            e.net.range_query(from, &klo, &khi).unwrap_or_default()
         } else {
             Vec::new()
         };
@@ -66,94 +213,85 @@ impl SimilarityEngine {
                 _ => false,
             },
         };
-        let matched: Vec<(String, Value)> = postings
+        postings
             .iter()
             .filter_map(Posting::as_base)
             .filter(|t| t.attr.as_str() == attr && in_bounds(t))
             .map(|t| (t.oid.clone(), t.value.clone()))
-            .collect();
-        self.assemble(matched, from, snap)
+            .collect()
     }
+}
 
-    /// Numeric similarity selection: `dist(A, v) <= eps` mapped to the range
-    /// `[v − eps, v + eps]` and "processed as a range query" (§4).
-    pub fn select_numeric_similar(
-        &mut self,
-        attr: &str,
-        v: &Value,
-        eps: f64,
-        from: PeerId,
-    ) -> SelectResult {
-        let center = v.as_float().expect("numeric similarity requires a numeric center value");
-        let iv = NumericInterval::around_float(center, eps);
-        let NumericInterval::Float { lo, hi } = iv else { unreachable!() };
-        let (vlo, vhi) = match v {
-            Value::Int(_) => (Value::Int(lo.floor() as i64), Value::Int(hi.ceil() as i64)),
-            _ => (Value::Float(lo), Value::Float(hi)),
-        };
-        let mut result = self.select_range(attr, &vlo, &vhi, from);
-        // Tighten to the exact Euclidean ball (the int-rounded range may
-        // include boundary values just outside eps).
-        result
-            .hits
-            .retain(|h| h.value.as_float().map(|x| (x - center).abs() <= eps).unwrap_or(false));
-        result.stats.matches = result.hits.len();
-        result
-    }
-
-    /// Keyword selection: "any attribute = v" via the value index `key(v)`.
-    pub fn select_keyword(&mut self, v: &Value, from: PeerId) -> SelectResult {
-        let snap = self.begin_query();
-        let key = keys::value_key(v);
-        let postings = self.net.retrieve(from, &key).unwrap_or_default();
-        let matched: Vec<(String, Value)> = postings
-            .iter()
-            .filter_map(Posting::as_base)
-            .filter(|t| t.value == *v)
-            .map(|t| (t.oid.clone(), t.value.clone()))
-            .collect();
-        self.assemble(matched, from, snap)
-    }
-
-    /// All values of an attribute (full attribute scan; the join's line 1).
-    pub fn select_all(&mut self, attr: &str, from: PeerId) -> SelectResult {
-        let snap = self.begin_query();
-        let mut matched: Vec<(String, Value)> = Vec::new();
-        for prefix in [keys::attr_scan_prefix(attr), keys::short_value_prefix(attr)] {
-            for p in self.scan_prefix(from, &prefix) {
-                match p {
-                    Posting::Base { triple, .. } | Posting::ShortValue { triple }
-                        if triple.attr.as_str() == attr =>
-                    {
-                        matched.push((triple.oid.clone(), triple.value.clone()));
+impl ExecStep for SelectTask {
+    fn step(&mut self, engine: &mut SimilarityEngine, at_us: u64) -> StepOutcome {
+        loop {
+            match std::mem::replace(&mut self.state, SelState::Finished) {
+                SelState::Scan => {
+                    let (kind, from) = (&self.kind, self.from);
+                    let mut acc = self.stats;
+                    let (mut matched, end) =
+                        engine.charged(&mut acc, at_us, |e| Self::scan(kind, from, e));
+                    self.stats = acc;
+                    matched.sort_by(|a, b| (&a.0, format_val(&a.1)).cmp(&(&b.0, format_val(&b.1))));
+                    matched.dedup_by(|a, b| a.0 == b.0 && a.1 == b.1);
+                    let mut oids: Vec<String> = matched.iter().map(|(o, _)| o.clone()).collect();
+                    oids.sort_unstable();
+                    oids.dedup();
+                    self.matched = matched;
+                    if oids.is_empty() {
+                        self.state = SelState::Assemble;
+                        continue;
                     }
-                    _ => {}
+                    let branches = engine.plan_fetch_branches(&oids);
+                    self.state = SelState::Fetch { fan: FanOut::new(branches, end) };
+                    return StepOutcome::Yield { at_us: end };
                 }
+
+                SelState::Fetch { mut fan } => {
+                    let Some(oids) = fan.pop() else {
+                        self.state = SelState::Assemble;
+                        continue;
+                    };
+                    let from = self.from;
+                    let mut acc = self.stats;
+                    let (got, end) =
+                        engine.charged(&mut acc, fan.fork_us, |e| e.fetch_branch(from, &oids));
+                    self.stats = acc;
+                    self.objects.extend(got);
+                    fan.record_end(end);
+                    let next_at = if fan.is_done() { fan.max_end_us } else { fan.fork_us };
+                    self.state = SelState::Fetch { fan };
+                    return StepOutcome::Yield { at_us: next_at };
+                }
+
+                SelState::Assemble => {
+                    let matched = std::mem::take(&mut self.matched);
+                    let mut hits: Vec<SelectHit> = matched
+                        .into_iter()
+                        .filter_map(|(oid, value)| {
+                            let object = self.objects.get(&oid)?.clone();
+                            Some(SelectHit { oid, value, object })
+                        })
+                        .collect();
+                    // Tighten numeric similarity to the exact Euclidean ball
+                    // (the int-rounded range may include boundary values just
+                    // outside eps).
+                    if let SelectKind::NumericSimilar { center, eps, .. } = &self.kind {
+                        let c = center.as_float().expect("checked at construction");
+                        hits.retain(|h| {
+                            h.value.as_float().map(|x| (x - c).abs() <= *eps).unwrap_or(false)
+                        });
+                    }
+                    self.stats.matches = hits.len();
+                    finalize_stats(&mut self.stats);
+                    self.hits = hits;
+                    self.state = SelState::Finished;
+                    return StepOutcome::Done(self.stats);
+                }
+
+                SelState::Finished => return StepOutcome::Done(self.stats),
             }
         }
-        self.assemble(matched, from, snap)
-    }
-
-    fn assemble(
-        &mut self,
-        mut matched: Vec<(String, Value)>,
-        from: PeerId,
-        snap: sqo_overlay::Metrics,
-    ) -> SelectResult {
-        matched.sort_by(|a, b| (&a.0, format_val(&a.1)).cmp(&(&b.0, format_val(&b.1))));
-        matched.dedup_by(|a, b| a.0 == b.0 && a.1 == b.1);
-        let oids: FxHashSet<String> = matched.iter().map(|(o, _)| o.clone()).collect();
-        let objects = self.fetch_objects(from, &oids);
-        let hits: Vec<SelectHit> = matched
-            .into_iter()
-            .filter_map(|(oid, value)| {
-                let object = objects.get(&oid)?.clone();
-                Some(SelectHit { oid, value, object })
-            })
-            .collect();
-        let mut stats = self.finish_query(&snap);
-        stats.matches = hits.len();
-        SelectResult { hits, stats }
     }
 }
 

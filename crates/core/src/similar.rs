@@ -28,9 +28,9 @@
 //! the guaranteed regime and report recall in the lossy regime; the bench
 //! harness records achieved recall per run.
 
-use crate::engine::SimilarityEngine;
+use crate::engine::{finalize_stats, ExecStep, FanOut, SimilarityEngine, StepOutcome};
 use crate::stats::QueryStats;
-use rustc_hash::{FxHashMap, FxHashSet};
+use rustc_hash::FxHashMap;
 use sqo_overlay::key::Key;
 use sqo_overlay::peer::PeerId;
 use sqo_storage::keys;
@@ -93,7 +93,8 @@ pub(crate) struct Candidate {
 
 impl SimilarityEngine {
     /// `Similar(s, a, d, p)` — see module docs. `attr = None` selects the
-    /// schema level.
+    /// schema level. Synchronous entry point: builds a [`SimilarTask`] and
+    /// drives its steps to completion back to back.
     pub fn similar(
         &mut self,
         s: &str,
@@ -118,208 +119,493 @@ impl SimilarityEngine {
         strategy: Strategy,
         object_cache: &mut FxHashMap<String, Object>,
     ) -> SimilarResult {
-        let snap = self.begin_query();
-        let q = self.q();
-        let s_len = s.chars().count();
-
-        // No grams exist for |s| < q: the gram index is blind, fall back to
-        // the naive scan (documented in the module docs).
-        if strategy == Strategy::Naive || s_len < q {
-            return self.naive_similar(s, attr, d, from, snap, object_cache);
-        }
-
-        // ---- Stage 1: gram probes --------------------------------------
-        let probes: Vec<PositionalQGram> = match strategy {
-            Strategy::QGrams => qgrams(s, q),
-            Strategy::QSamples => qsamples(s, q, d),
-            Strategy::Naive => unreachable!("handled above"),
-        };
-        // Positions of each distinct probed gram in s (for the position
-        // filter) — probing each distinct gram key once.
-        let mut gram_positions: FxHashMap<&str, Vec<u32>> = FxHashMap::default();
-        for g in &probes {
-            gram_positions.entry(g.gram.as_str()).or_default().push(g.pos);
-        }
-        let mut probe_keys: Vec<Key> = gram_positions
-            .keys()
-            .map(|gram| match attr {
-                Some(a) => keys::instance_gram_key(a, gram),
-                None => keys::schema_gram_key(gram),
-            })
-            .collect();
-        probe_keys.sort_unstable(); // determinism of batching
-
-        // The length/position filters run *where the postings live*: the
-        // delegated query carries (s, a, d), so the gram-owning peer prunes
-        // locally and only survivors travel (§4's delegation optimization;
-        // with delegation off the same filter runs at the initiator after
-        // the full lists were charged to the wire).
-        let filters = self.cfg.filters;
-        let attr_owned = attr.map(str::to_string);
-        let local_filter = {
-            let gram_positions = &gram_positions;
-            let attr_owned = &attr_owned;
-            move |p: &Posting| -> bool {
-                let (gram, pos, len) = match (attr_owned, p) {
-                    (Some(a), Posting::InstanceGram { triple, gram, pos, .. }) => {
-                        if triple.attr.as_str() != a.as_str() {
-                            return false; // the "a == ξ(t′, 2)" guard of Alg. 2
-                        }
-                        let Some(text) = triple.value.as_str() else { return false };
-                        (gram, *pos, text.chars().count())
-                    }
-                    (None, Posting::SchemaGram { triple, gram, pos }) => {
-                        (gram, *pos, triple.attr.as_str().chars().count())
-                    }
-                    _ => return false,
-                };
-                let Some(q_positions) = gram_positions.get(gram.as_str()) else {
-                    return false; // not a probed gram (shouldn't happen: exact keys)
-                };
-                if filters.position && !q_positions.iter().any(|&qp| position_filter(pos, qp, d)) {
-                    return false;
-                }
-                !filters.length || length_filter(len, s_len, d)
+        let mut task = SimilarTask::new(s, attr, d, from, strategy);
+        let mut at = self.net.sim_now_us().unwrap_or(0);
+        let stats = loop {
+            match task.step_with(self, object_cache, at) {
+                StepOutcome::Yield { at_us } => at = at_us,
+                StepOutcome::Done(stats) => break stats,
             }
         };
-        let postings = self.probe_keys(from, &probe_keys, &local_filter);
+        SimilarResult { matches: task.take_matches(), stats }
+    }
+}
 
-        // ---- Stage 1.5: candidate aggregation + count filter -------------
-        // Shared-gram counting is per *posting* (one per gram occurrence in
-        // the candidate), not per distinct gram string: the count-filter
-        // bound is on the bag intersection of the two gram multisets, and
-        // counting distinct grams would under-count candidates whose grams
-        // repeat ("aaaa") — an unsound prune.
-        let mut shared_grams: FxHashMap<Candidate, usize> = FxHashMap::default();
-        for p in &postings {
-            let cand = match (attr, p) {
-                (Some(a), Posting::InstanceGram { triple, .. }) => Candidate {
-                    oid: triple.oid.clone(),
-                    attr: a.to_string(),
-                    text: triple.value.as_str().unwrap_or_default().to_string(),
-                },
-                (None, Posting::SchemaGram { triple, .. }) => Candidate {
-                    oid: triple.oid.clone(),
-                    attr: triple.attr.as_str().to_string(),
-                    text: triple.attr.as_str().to_string(),
-                },
-                _ => continue,
-            };
-            *shared_grams.entry(cand).or_default() += 1;
+/// The basic similarity operator as a resumable task: issue-probe →
+/// await-responses → merge, one fan-out branch per step, so a workload
+/// driver can interleave its progress with other queries at message
+/// granularity (see [`crate::engine::ExecStep`]).
+pub struct SimilarTask {
+    s: String,
+    attr: Option<String>,
+    d: usize,
+    from: PeerId,
+    strategy: Strategy,
+    state: SimState,
+    stats: QueryStats,
+    /// Object cache used when the task runs standalone; iterative parents
+    /// (joins, top-N shells) pass their own via [`Self::step_with`].
+    cache: FxHashMap<String, Object>,
+    s_len: usize,
+    /// True when executing the naive broadcast path (strategy or short-`s`
+    /// fallback); switches the meaning of `stats.probes` to "partitions
+    /// contacted".
+    is_naive: bool,
+    /// Positions of each distinct probed gram in `s` (position filter).
+    gram_positions: FxHashMap<String, Vec<u32>>,
+    postings: Vec<Posting>,
+    candidates: Vec<Candidate>,
+    partitions_contacted: usize,
+    matches: Vec<SimilarMatch>,
+}
+
+/// Continuation states of a [`SimilarTask`].
+enum SimState {
+    /// Plan the probes (first step; needs the engine for partition lookup).
+    Init,
+    /// One gram-probe branch per step (stage 1).
+    Probe {
+        fan: FanOut<Vec<Key>>,
+    },
+    /// Naive path: route into the subtree of `prefixes[idx]`.
+    NaiveRoute {
+        prefixes: Vec<Key>,
+        idx: usize,
+        at_us: u64,
+    },
+    /// Naive path: one per-partition compare-locally branch per step.
+    NaiveFan {
+        prefixes: Vec<Key>,
+        idx: usize,
+        prefix: Key,
+        entry: PeerId,
+        entry_part: usize,
+        fan: FanOut<usize>,
+    },
+    /// Gram merge: candidate aggregation, count filter, short-string
+    /// supplement, pre-verification (stage 1.5).
+    Aggregate {
+        at_us: u64,
+    },
+    /// Compute missing objects against the cache and plan stage 2.
+    PlanFetch {
+        at_us: u64,
+    },
+    /// One object-fetch branch per step (stage 2a).
+    Fetch {
+        fan: FanOut<Vec<String>>,
+    },
+    /// Final edit-distance verification at the initiator (stage 2b).
+    Verify {
+        at_us: u64,
+    },
+    Finished,
+}
+
+impl SimilarTask {
+    pub fn new(s: &str, attr: Option<&str>, d: usize, from: PeerId, strategy: Strategy) -> Self {
+        Self {
+            s: s.to_string(),
+            attr: attr.map(str::to_string),
+            d,
+            from,
+            strategy,
+            state: SimState::Init,
+            stats: QueryStats::default(),
+            cache: FxHashMap::default(),
+            s_len: 0,
+            is_naive: false,
+            gram_positions: FxHashMap::default(),
+            postings: Vec::new(),
+            candidates: Vec::new(),
+            partitions_contacted: 0,
+            matches: Vec::new(),
         }
-
-        // Count filter — meaningful only when all grams were probed.
-        let mut candidates: Vec<Candidate> = shared_grams
-            .into_iter()
-            .filter(|(cand, shared)| {
-                if !(filters.count && strategy == Strategy::QGrams) {
-                    return true;
-                }
-                let threshold = count_filter_threshold(s_len, cand.text.chars().count(), q, d);
-                *shared as i64 >= threshold
-            })
-            .map(|(cand, _)| cand)
-            .collect();
-
-        // ---- Short-string supplement ------------------------------------
-        // Data strings with |t| < q live in the side families; they can only
-        // match when the length window reaches below q.
-        if s_len.saturating_sub(d) < q {
-            let prefix = match attr {
-                Some(a) => keys::short_value_prefix(a),
-                None => keys::short_attr_prefix(),
-            };
-            for p in self.scan_prefix(from, &prefix) {
-                let cand = match (attr, &p) {
-                    (Some(a), Posting::ShortValue { triple }) => {
-                        if triple.attr.as_str() != a {
-                            continue;
-                        }
-                        let Some(text) = triple.value.as_str() else { continue };
-                        Candidate {
-                            oid: triple.oid.clone(),
-                            attr: a.to_string(),
-                            text: text.to_string(),
-                        }
-                    }
-                    (None, Posting::ShortAttr { triple }) => Candidate {
-                        oid: triple.oid.clone(),
-                        attr: triple.attr.as_str().to_string(),
-                        text: triple.attr.as_str().to_string(),
-                    },
-                    _ => continue,
-                };
-                if filters.length && !length_filter(cand.text.chars().count(), s_len, d) {
-                    continue;
-                }
-                candidates.push(cand);
-            }
-        }
-        candidates.sort_by(|a, b| (&a.oid, &a.attr, &a.text).cmp(&(&b.oid, &b.attr, &b.text)));
-        candidates.dedup();
-        let n_candidates = candidates.len();
-
-        // ---- Pre-verification (value-carrying postings) -------------------
-        // When instance-gram postings ship the complete value (§4's closing
-        // optimization, `PublishConfig::grams_carry_value`), the initiator
-        // already holds every candidate's string and can run the edit-
-        // distance check *before* stage 2 — objects are then fetched only
-        // for true matches.
-        if self.cfg.publish.grams_carry_value && attr.is_some() {
-            let mut surviving = Vec::with_capacity(candidates.len());
-            for cand in candidates {
-                self.count_comparison();
-                if sqo_strsim::edit::within_distance(s, &cand.text, d) {
-                    surviving.push(cand);
-                }
-            }
-            candidates = surviving;
-        }
-
-        // ---- Stage 2: object fetch + verification ------------------------
-        let matches = self.verify_candidates(s, d, from, candidates, object_cache);
-
-        let mut stats = self.finish_query(&snap);
-        stats.probes = probe_keys.len();
-        stats.candidates = n_candidates;
-        stats.matches = matches.len();
-        SimilarResult { matches, stats }
     }
 
-    /// Fetch candidate objects (batched, cached) and run the final
-    /// edit-distance verification at the initiator.
-    pub(crate) fn verify_candidates(
+    /// The verified matches, once the task is done.
+    pub fn take_matches(&mut self) -> Vec<SimilarMatch> {
+        std::mem::take(&mut self.matches)
+    }
+
+    /// Advance one step, resolving object fetches against `cache` (the
+    /// parent-owned variant of [`ExecStep::step`]).
+    pub(crate) fn step_with(
         &mut self,
-        s: &str,
-        d: usize,
-        from: PeerId,
-        candidates: Vec<Candidate>,
-        object_cache: &mut FxHashMap<String, Object>,
-    ) -> Vec<SimilarMatch> {
-        let missing: FxHashSet<String> = candidates
-            .iter()
-            .map(|c| c.oid.clone())
-            .filter(|oid| !object_cache.contains_key(oid))
-            .collect();
-        if !missing.is_empty() {
-            let fetched = self.fetch_objects(from, &missing);
-            object_cache.extend(fetched);
-        }
-        let mut matches = Vec::new();
-        for cand in candidates {
-            let Some(object) = object_cache.get(&cand.oid) else { continue };
-            self.count_comparison();
-            if let Some(distance) = levenshtein_bounded(s, &cand.text, d) {
-                matches.push(SimilarMatch {
-                    oid: cand.oid,
-                    attr: AttrName::new(cand.attr),
-                    matched: cand.text,
-                    distance,
-                    object: object.clone(),
-                });
+        engine: &mut SimilarityEngine,
+        cache: &mut FxHashMap<String, Object>,
+        at_us: u64,
+    ) -> StepOutcome {
+        loop {
+            match std::mem::replace(&mut self.state, SimState::Finished) {
+                SimState::Init => {
+                    let q = engine.q();
+                    self.s_len = self.s.chars().count();
+                    // No grams exist for |s| < q: the gram index is blind,
+                    // fall back to the naive scan (see module docs).
+                    if self.strategy == Strategy::Naive || self.s_len < q {
+                        self.is_naive = true;
+                        let prefixes: Vec<Key> = match &self.attr {
+                            Some(a) => vec![keys::attr_scan_prefix(a), keys::short_value_prefix(a)],
+                            None => {
+                                vec![keys::attr_value_family_prefix(), keys::short_attr_prefix()]
+                            }
+                        };
+                        self.state = SimState::NaiveRoute { prefixes, idx: 0, at_us };
+                        continue;
+                    }
+                    // ---- Stage 1 plan: distinct gram keys ----------------
+                    let probes: Vec<PositionalQGram> = match self.strategy {
+                        Strategy::QGrams => qgrams(&self.s, q),
+                        Strategy::QSamples => qsamples(&self.s, q, self.d),
+                        Strategy::Naive => unreachable!("handled above"),
+                    };
+                    for g in probes {
+                        self.gram_positions.entry(g.gram).or_default().push(g.pos);
+                    }
+                    let mut probe_keys: Vec<Key> = self
+                        .gram_positions
+                        .keys()
+                        .map(|gram| match &self.attr {
+                            Some(a) => keys::instance_gram_key(a, gram),
+                            None => keys::schema_gram_key(gram),
+                        })
+                        .collect();
+                    probe_keys.sort_unstable(); // determinism of batching
+                    self.stats.probes = probe_keys.len();
+                    let branches = engine.plan_probe_branches(&probe_keys);
+                    self.state = SimState::Probe { fan: FanOut::new(branches, at_us) };
+                    continue;
+                }
+
+                SimState::Probe { mut fan } => {
+                    let Some(branch_keys) = fan.pop() else {
+                        self.state = SimState::Aggregate { at_us: fan.max_end_us };
+                        continue;
+                    };
+                    // The length/position filters run *where the postings
+                    // live*: the delegated query carries (s, a, d), so the
+                    // gram-owning peer prunes locally and only survivors
+                    // travel (§4's delegation optimization; with delegation
+                    // off the same filter runs at the initiator after the
+                    // full lists were charged to the wire).
+                    let filters = engine.config().filters;
+                    let (s_len, d, from) = (self.s_len, self.d, self.from);
+                    let gram_positions = &self.gram_positions;
+                    let attr = &self.attr;
+                    let mut acc = self.stats;
+                    let (got, end) = engine.charged(&mut acc, fan.fork_us, |e| {
+                        let local_filter = |p: &Posting| -> bool {
+                            let (gram, pos, len) = match (attr, p) {
+                                (Some(a), Posting::InstanceGram { triple, gram, pos, .. }) => {
+                                    if triple.attr.as_str() != a.as_str() {
+                                        return false; // the "a == ξ(t′, 2)" guard of Alg. 2
+                                    }
+                                    let Some(text) = triple.value.as_str() else { return false };
+                                    (gram, *pos, text.chars().count())
+                                }
+                                (None, Posting::SchemaGram { triple, gram, pos }) => {
+                                    (gram, *pos, triple.attr.as_str().chars().count())
+                                }
+                                _ => return false,
+                            };
+                            let Some(q_positions) = gram_positions.get(gram.as_str()) else {
+                                return false; // not a probed gram (shouldn't happen: exact keys)
+                            };
+                            if filters.position
+                                && !q_positions.iter().any(|&qp| position_filter(pos, qp, d))
+                            {
+                                return false;
+                            }
+                            !filters.length || length_filter(len, s_len, d)
+                        };
+                        e.probe_branch(from, &branch_keys, &local_filter)
+                    });
+                    self.stats = acc;
+                    self.postings.extend(got);
+                    fan.record_end(end);
+                    let next_at = if fan.is_done() { fan.max_end_us } else { fan.fork_us };
+                    self.state = SimState::Probe { fan };
+                    return StepOutcome::Yield { at_us: next_at };
+                }
+
+                SimState::NaiveRoute { prefixes, idx, at_us: at } => {
+                    if idx >= prefixes.len() {
+                        self.state = SimState::PlanFetch { at_us: at };
+                        continue;
+                    }
+                    let prefix = prefixes[idx].clone();
+                    let (ps, pe) = engine.net.subtree_of(&prefix);
+                    if ps == pe {
+                        self.state = SimState::NaiveRoute { prefixes, idx: idx + 1, at_us: at };
+                        continue;
+                    }
+                    // Route once into the subtree, then shower-forward; the
+                    // per-partition branches verify in parallel and the
+                    // initiator is done when the slowest responder replies.
+                    let from = self.from;
+                    let mut acc = self.stats;
+                    let (routed, end) =
+                        engine.charged(&mut acc, at, |e| e.net.route(from, &prefix).ok());
+                    self.stats = acc;
+                    match routed {
+                        Some(entry) => {
+                            let entry_part = engine.net.peer(entry).partition as usize;
+                            self.state = SimState::NaiveFan {
+                                prefixes,
+                                idx,
+                                prefix,
+                                entry,
+                                entry_part,
+                                fan: FanOut::new(ps..pe, end),
+                            };
+                        }
+                        None => {
+                            self.state = SimState::NaiveRoute { prefixes, idx: idx + 1, at_us: end }
+                        }
+                    }
+                    return StepOutcome::Yield { at_us: end };
+                }
+
+                SimState::NaiveFan { prefixes, idx, prefix, entry, entry_part, mut fan } => {
+                    let Some(part) = fan.pop() else {
+                        self.state =
+                            SimState::NaiveRoute { prefixes, idx: idx + 1, at_us: fan.max_end_us };
+                        continue;
+                    };
+                    let (s, attr, d, from) = (&self.s, &self.attr, self.d, self.from);
+                    let mut acc = self.stats;
+                    let (got, end) = engine.charged(&mut acc, fan.fork_us, |e| {
+                        e.naive_branch(
+                            s,
+                            attr.as_deref(),
+                            d,
+                            from,
+                            entry,
+                            entry_part,
+                            part,
+                            &prefix,
+                        )
+                    });
+                    self.stats = acc;
+                    if let Some(local) = got {
+                        self.partitions_contacted += 1;
+                        self.candidates.extend(local);
+                    }
+                    fan.record_end(end);
+                    let next_at = if fan.is_done() { fan.max_end_us } else { fan.fork_us };
+                    self.state =
+                        SimState::NaiveFan { prefixes, idx, prefix, entry, entry_part, fan };
+                    return StepOutcome::Yield { at_us: next_at };
+                }
+
+                SimState::Aggregate { at_us: at } => {
+                    let postings = std::mem::take(&mut self.postings);
+                    let q = engine.q();
+                    let filters = engine.config().filters;
+                    let grams_carry =
+                        engine.config().publish.grams_carry_value && self.attr.is_some();
+                    let (s, attr, s_len, d, strategy, from) =
+                        (&self.s, &self.attr, self.s_len, self.d, self.strategy, self.from);
+                    let mut acc = self.stats;
+                    let ((candidates, n_candidates), end) = engine.charged(&mut acc, at, |e| {
+                        // ---- Stage 1.5: aggregation + count filter -------
+                        // Shared-gram counting is per *posting* (one per gram
+                        // occurrence in the candidate), not per distinct gram
+                        // string: the count-filter bound is on the bag
+                        // intersection of the two gram multisets, and
+                        // counting distinct grams would under-count
+                        // candidates whose grams repeat ("aaaa") — an
+                        // unsound prune.
+                        let mut shared_grams: FxHashMap<Candidate, usize> = FxHashMap::default();
+                        for p in &postings {
+                            let cand = match (attr, p) {
+                                (Some(a), Posting::InstanceGram { triple, .. }) => Candidate {
+                                    oid: triple.oid.clone(),
+                                    attr: a.clone(),
+                                    text: triple.value.as_str().unwrap_or_default().to_string(),
+                                },
+                                (None, Posting::SchemaGram { triple, .. }) => Candidate {
+                                    oid: triple.oid.clone(),
+                                    attr: triple.attr.as_str().to_string(),
+                                    text: triple.attr.as_str().to_string(),
+                                },
+                                _ => continue,
+                            };
+                            *shared_grams.entry(cand).or_default() += 1;
+                        }
+                        // Count filter — meaningful only when all grams were
+                        // probed.
+                        let mut candidates: Vec<Candidate> = shared_grams
+                            .into_iter()
+                            .filter(|(cand, shared)| {
+                                if !(filters.count && strategy == Strategy::QGrams) {
+                                    return true;
+                                }
+                                let threshold =
+                                    count_filter_threshold(s_len, cand.text.chars().count(), q, d);
+                                *shared as i64 >= threshold
+                            })
+                            .map(|(cand, _)| cand)
+                            .collect();
+
+                        // ---- Short-string supplement ---------------------
+                        // Data strings with |t| < q live in the side
+                        // families; they can only match when the length
+                        // window reaches below q.
+                        if s_len.saturating_sub(d) < q {
+                            let prefix = match attr {
+                                Some(a) => keys::short_value_prefix(a),
+                                None => keys::short_attr_prefix(),
+                            };
+                            for p in e.scan_prefix(from, &prefix) {
+                                let cand = match (attr, &p) {
+                                    (Some(a), Posting::ShortValue { triple }) => {
+                                        if triple.attr.as_str() != a.as_str() {
+                                            continue;
+                                        }
+                                        let Some(text) = triple.value.as_str() else { continue };
+                                        Candidate {
+                                            oid: triple.oid.clone(),
+                                            attr: a.clone(),
+                                            text: text.to_string(),
+                                        }
+                                    }
+                                    (None, Posting::ShortAttr { triple }) => Candidate {
+                                        oid: triple.oid.clone(),
+                                        attr: triple.attr.as_str().to_string(),
+                                        text: triple.attr.as_str().to_string(),
+                                    },
+                                    _ => continue,
+                                };
+                                if filters.length
+                                    && !length_filter(cand.text.chars().count(), s_len, d)
+                                {
+                                    continue;
+                                }
+                                candidates.push(cand);
+                            }
+                        }
+                        candidates.sort_by(|a, b| {
+                            (&a.oid, &a.attr, &a.text).cmp(&(&b.oid, &b.attr, &b.text))
+                        });
+                        candidates.dedup();
+                        let n_candidates = candidates.len();
+
+                        // ---- Pre-verification (value-carrying postings) --
+                        // When instance-gram postings ship the complete value
+                        // (§4's closing optimization,
+                        // `PublishConfig::grams_carry_value`), the initiator
+                        // already holds every candidate's string and can run
+                        // the edit-distance check *before* stage 2 — objects
+                        // are then fetched only for true matches.
+                        if grams_carry {
+                            let mut surviving = Vec::with_capacity(candidates.len());
+                            for cand in candidates {
+                                e.count_comparison();
+                                if sqo_strsim::edit::within_distance(s, &cand.text, d) {
+                                    surviving.push(cand);
+                                }
+                            }
+                            candidates = surviving;
+                        }
+                        (candidates, n_candidates)
+                    });
+                    self.stats = acc;
+                    self.stats.candidates = n_candidates;
+                    self.candidates = candidates;
+                    self.state = SimState::PlanFetch { at_us: end };
+                    continue;
+                }
+
+                SimState::PlanFetch { at_us: at } => {
+                    if self.is_naive {
+                        // The peers already verified; count the contacted
+                        // partitions and dedup before assembly.
+                        self.candidates.sort_by(|a, b| {
+                            (&a.oid, &a.attr, &a.text).cmp(&(&b.oid, &b.attr, &b.text))
+                        });
+                        self.candidates.dedup();
+                        self.stats.candidates = self.candidates.len();
+                        self.stats.probes = self.partitions_contacted;
+                    }
+                    let mut missing: Vec<String> = self
+                        .candidates
+                        .iter()
+                        .map(|c| c.oid.clone())
+                        .filter(|oid| !cache.contains_key(oid))
+                        .collect();
+                    missing.sort_unstable();
+                    missing.dedup();
+                    if missing.is_empty() {
+                        self.state = SimState::Verify { at_us: at };
+                        continue;
+                    }
+                    let branches = engine.plan_fetch_branches(&missing);
+                    self.state = SimState::Fetch { fan: FanOut::new(branches, at) };
+                    continue;
+                }
+
+                SimState::Fetch { mut fan } => {
+                    let Some(oids) = fan.pop() else {
+                        self.state = SimState::Verify { at_us: fan.max_end_us };
+                        continue;
+                    };
+                    let from = self.from;
+                    let mut acc = self.stats;
+                    let (got, end) =
+                        engine.charged(&mut acc, fan.fork_us, |e| e.fetch_branch(from, &oids));
+                    self.stats = acc;
+                    cache.extend(got);
+                    fan.record_end(end);
+                    let next_at = if fan.is_done() { fan.max_end_us } else { fan.fork_us };
+                    self.state = SimState::Fetch { fan };
+                    return StepOutcome::Yield { at_us: next_at };
+                }
+
+                SimState::Verify { at_us: at } => {
+                    let candidates = std::mem::take(&mut self.candidates);
+                    let (s, d) = (&self.s, self.d);
+                    let mut acc = self.stats;
+                    let (matches, _end) = engine.charged(&mut acc, at, |e| {
+                        let mut matches = Vec::new();
+                        for cand in candidates {
+                            let Some(object) = cache.get(&cand.oid) else { continue };
+                            e.count_comparison();
+                            if let Some(distance) = levenshtein_bounded(s, &cand.text, d) {
+                                matches.push(SimilarMatch {
+                                    oid: cand.oid,
+                                    attr: AttrName::new(cand.attr),
+                                    matched: cand.text,
+                                    distance,
+                                    object: object.clone(),
+                                });
+                            }
+                        }
+                        matches
+                    });
+                    self.stats = acc;
+                    self.stats.matches = matches.len();
+                    finalize_stats(&mut self.stats);
+                    self.matches = matches;
+                    self.state = SimState::Finished;
+                    return StepOutcome::Done(self.stats);
+                }
+
+                SimState::Finished => {
+                    return StepOutcome::Done(self.stats);
+                }
             }
         }
-        matches
+    }
+}
+
+impl ExecStep for SimilarTask {
+    fn step(&mut self, engine: &mut SimilarityEngine, at_us: u64) -> StepOutcome {
+        let mut cache = std::mem::take(&mut self.cache);
+        let out = self.step_with(engine, &mut cache, at_us);
+        self.cache = cache;
+        out
     }
 }
 

@@ -20,7 +20,7 @@
 //! `d = 1, 3, 5, …` up to `d_max`, reusing the initiator's object cache
 //! across shells, until `N` matches are known.
 
-use crate::engine::SimilarityEngine;
+use crate::engine::{finalize_stats, ExecStep, SimilarityEngine, StepOutcome};
 use crate::ranking::Rank;
 use crate::similar::Strategy;
 use crate::stats::QueryStats;
@@ -260,47 +260,141 @@ impl SimilarityEngine {
         from: PeerId,
         strategy: Strategy,
     ) -> TopNResult {
+        let mut task = TopNTask::nearest(attr, n, target, d_max, from, strategy);
+        let stats = self.run_task(&mut task);
+        TopNResult { items: task.take_items(), stats }
+    }
+}
+
+/// String top-N as a resumable task: each expanding distance shell is a
+/// child [`SimilarTask`] (all shells share the initiator's object cache),
+/// stepped one event at a time.
+pub struct TopNTask {
+    attr: Option<String>,
+    n: usize,
+    target: String,
+    d_max: usize,
+    from: PeerId,
+    strategy: Strategy,
+    state: NState,
+    stats: QueryStats,
+    cache: FxHashMap<String, Object>,
+    best: FxHashMap<(String, String, String), (usize, Object)>,
+    rounds: usize,
+    items: Vec<TopNItem>,
+}
+
+enum NState {
+    Init,
+    Shell { d: usize, child: Box<crate::similar::SimilarTask>, resume_at: u64 },
+    Finished,
+}
+
+impl TopNTask {
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn nearest(
+        attr: Option<&str>,
+        n: usize,
+        target: &str,
+        d_max: usize,
+        from: PeerId,
+        strategy: Strategy,
+    ) -> Self {
         assert!(n >= 1, "top-0 is trivial");
-        let mut object_cache: FxHashMap<String, Object> = FxHashMap::default();
-        let mut stats = QueryStats::default();
-        let mut best: FxHashMap<(String, String, String), (usize, Object)> = FxHashMap::default();
-        let mut rounds = 0;
-
-        let mut d = 1usize.min(d_max);
-        loop {
-            rounds += 1;
-            let res = self.similar_cached(target, attr, d, from, strategy, &mut object_cache);
-            stats.absorb(&res.stats);
-            for m in res.matches {
-                best.entry((m.oid, m.attr.as_str().to_string(), m.matched))
-                    .or_insert((m.distance, m.object));
-            }
-            if best.len() >= n || d >= d_max {
-                break;
-            }
-            d = (d + 2).min(d_max);
+        Self {
+            attr: attr.map(str::to_string),
+            n,
+            target: target.to_string(),
+            d_max,
+            from,
+            strategy,
+            state: NState::Init,
+            stats: QueryStats::default(),
+            cache: FxHashMap::default(),
+            best: FxHashMap::default(),
+            rounds: 0,
+            items: Vec::new(),
         }
+    }
 
-        let mut ranked: Vec<TopNItem> = best
-            .into_iter()
-            .map(|((oid, _attr, matched), (dist, object))| TopNItem {
-                oid,
-                value: Value::Str(matched),
-                score: dist as f64,
-                object,
-            })
-            .collect();
-        ranked.sort_by(|a, b| {
-            a.score
-                .total_cmp(&b.score)
-                .then_with(|| a.value.as_str().cmp(&b.value.as_str()))
-                .then_with(|| a.oid.cmp(&b.oid))
-        });
-        ranked.truncate(n);
+    /// The ranked items, once the task is done.
+    pub fn take_items(&mut self) -> Vec<TopNItem> {
+        std::mem::take(&mut self.items)
+    }
 
-        stats.rounds = rounds;
-        stats.matches = ranked.len();
-        TopNResult { items: ranked, stats }
+    fn shell(&self, d: usize) -> Box<crate::similar::SimilarTask> {
+        Box::new(crate::similar::SimilarTask::new(
+            &self.target,
+            self.attr.as_deref(),
+            d,
+            self.from,
+            self.strategy,
+        ))
+    }
+}
+
+impl ExecStep for TopNTask {
+    fn step(&mut self, engine: &mut SimilarityEngine, at_us: u64) -> StepOutcome {
+        loop {
+            match std::mem::replace(&mut self.state, NState::Finished) {
+                NState::Init => {
+                    let d = 1usize.min(self.d_max);
+                    let child = self.shell(d);
+                    self.state = NState::Shell { d, child, resume_at: at_us };
+                    continue;
+                }
+
+                NState::Shell { d, mut child, resume_at } => {
+                    match child.step_with(engine, &mut self.cache, resume_at) {
+                        StepOutcome::Yield { at_us } => {
+                            self.state = NState::Shell { d, child, resume_at: at_us };
+                            return StepOutcome::Yield { at_us };
+                        }
+                        StepOutcome::Done(child_stats) => {
+                            self.rounds += 1;
+                            self.stats.absorb(&child_stats);
+                            let end = child_stats.sim.map(|s| s.end_us).unwrap_or(resume_at);
+                            for m in child.take_matches() {
+                                self.best
+                                    .entry((m.oid, m.attr.as_str().to_string(), m.matched))
+                                    .or_insert((m.distance, m.object));
+                            }
+                            if self.best.len() >= self.n || d >= self.d_max {
+                                let mut ranked: Vec<TopNItem> = std::mem::take(&mut self.best)
+                                    .into_iter()
+                                    .map(|((oid, _attr, matched), (dist, object))| TopNItem {
+                                        oid,
+                                        value: Value::Str(matched),
+                                        score: dist as f64,
+                                        object,
+                                    })
+                                    .collect();
+                                ranked.sort_by(|a, b| {
+                                    a.score
+                                        .total_cmp(&b.score)
+                                        .then_with(|| a.value.as_str().cmp(&b.value.as_str()))
+                                        .then_with(|| a.oid.cmp(&b.oid))
+                                });
+                                ranked.truncate(self.n);
+                                self.stats.rounds = self.rounds;
+                                self.stats.matches = ranked.len();
+                                finalize_stats(&mut self.stats);
+                                self.items = ranked;
+                                self.state = NState::Finished;
+                                return StepOutcome::Done(self.stats);
+                            }
+                            let next_d = (d + 2).min(self.d_max);
+                            let child = self.shell(next_d);
+                            self.state = NState::Shell { d: next_d, child, resume_at: end };
+                            return StepOutcome::Yield { at_us: end };
+                        }
+                    }
+                }
+
+                NState::Finished => return StepOutcome::Done(self.stats),
+            }
+        }
     }
 }
 

@@ -125,7 +125,8 @@ pub fn run_workload(
         }
         for &d in &spec.join_distances {
             let from = engine.random_peer();
-            let opts = JoinOptions { strategy, left_limit: spec.join_left_limit };
+            let opts =
+                JoinOptions { strategy, left_limit: spec.join_left_limit, ..Default::default() };
             let res = engine.sim_join(attr, Some(attr), d, from, &opts);
             report.total.absorb(&res.stats);
             report.join_stats.absorb(&res.stats);

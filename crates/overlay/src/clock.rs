@@ -138,6 +138,15 @@ pub trait EventSink {
     /// workload; may rewind relative to a previously simulated query, which
     /// is how concurrent queries overlap).
     fn reset_to_us(&mut self, t_us: u64);
+
+    /// Receiver-side backlog of `peer`: the virtual time until which its
+    /// serial service queue is occupied by already-charged messages. The
+    /// overlay consults this for load-aware replica/reference selection
+    /// (shortest-backlog routing). Sinks without per-peer queues report 0,
+    /// which degrades the selection to uniform random.
+    fn busy_until_us(&self, _peer: PeerId) -> u64 {
+        0
+    }
 }
 
 #[cfg(test)]

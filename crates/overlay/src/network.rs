@@ -36,11 +36,26 @@ pub struct NetworkConfig {
     pub msg_header_bytes: usize,
     /// RNG seed for deterministic simulation.
     pub seed: u64,
+    /// A/B switch for load-aware selection: when `true`, routing always
+    /// picks uniformly at random among equivalent references/replicas (the
+    /// paper's behavior). When `false` (the default) **and** a virtual-time
+    /// sink is installed, routing prefers the candidate with the smallest
+    /// service backlog ([`crate::clock::EventSink::busy_until_us`]), which
+    /// flattens tail latency under concurrent load. Without a sink there is
+    /// no backlog signal and selection stays uniform either way.
+    pub uniform_refs: bool,
 }
 
 impl Default for NetworkConfig {
     fn default() -> Self {
-        Self { peers: 64, replication: 1, refs_per_level: 2, msg_header_bytes: 48, seed: 42 }
+        Self {
+            peers: 64,
+            replication: 1,
+            refs_per_level: 2,
+            msg_header_bytes: 48,
+            seed: 42,
+            uniform_refs: false,
+        }
     }
 }
 
@@ -486,12 +501,60 @@ impl<T: Item> Network<T> {
         unreachable!("routing must converge within the trie depth");
     }
 
-    /// Randomly select an alive reference of `peer` at level `l`, falling
-    /// back to alive structural replicas of the referenced partitions.
+    /// True when routing should consult the sink's per-peer backlog when
+    /// choosing among equivalent peers (load-aware reference selection).
+    fn load_aware(&self) -> bool {
+        !self.cfg.uniform_refs && self.sink.is_some()
+    }
+
+    /// Choose among equally-good candidates: smallest service backlog when
+    /// load-aware selection is active (random among ties), uniform random
+    /// otherwise.
+    fn pick_among(&mut self, cands: &[PeerId]) -> PeerId {
+        debug_assert!(!cands.is_empty());
+        if !self.load_aware() {
+            return cands[self.rng.gen_range(0..cands.len())];
+        }
+        let sink = self.sink.as_ref().expect("load_aware implies a sink");
+        let backlogs: SmallVec<[u64; 8]> = cands.iter().map(|p| sink.busy_until_us(*p)).collect();
+        let min = *backlogs.iter().min().expect("non-empty");
+        let tied: SmallVec<[PeerId; 8]> =
+            cands.iter().zip(&backlogs).filter(|(_, b)| **b == min).map(|(p, _)| *p).collect();
+        tied[self.rng.gen_range(0..tied.len())]
+    }
+
+    /// Select an alive reference of `peer` at level `l`, falling back to
+    /// alive structural replicas of the referenced partitions. Uniform
+    /// random by default; shortest-backlog when load-aware selection is
+    /// active (see [`NetworkConfig::uniform_refs`]).
     fn pick_alive_ref(&mut self, peer: PeerId, l: usize) -> Option<PeerId> {
         let refs = self.peers[peer.index()].routing[l].clone();
         if refs.is_empty() {
             return None;
+        }
+        if self.load_aware() {
+            // All alive references — and, for dead ones, the alive
+            // structural replicas that make identical routing progress —
+            // are equivalent next hops; prefer the least-loaded.
+            let mut cands: SmallVec<[PeerId; 8]> = SmallVec::new();
+            for &cand in &refs {
+                if self.peers[cand.index()].alive {
+                    if !cands.contains(&cand) {
+                        cands.push(cand);
+                    }
+                    continue;
+                }
+                let part = self.peers[cand.index()].partition as usize;
+                for &rep in &self.part_peers[part] {
+                    if self.peers[rep.index()].alive && !cands.contains(&rep) {
+                        cands.push(rep);
+                    }
+                }
+            }
+            if cands.is_empty() {
+                return None;
+            }
+            return Some(self.pick_among(&cands));
         }
         let start = self.rng.gen_range(0..refs.len());
         for i in 0..refs.len() {
@@ -509,7 +572,8 @@ impl<T: Item> Network<T> {
         None
     }
 
-    /// Some alive peer of partition `part`, chosen at random.
+    /// Some alive peer of partition `part` — uniform random, or the one
+    /// with the shortest backlog when load-aware selection is active.
     fn alive_member(&mut self, part: usize) -> Option<PeerId> {
         let members = &self.part_peers[part];
         let alive: SmallVec<[PeerId; 4]> =
@@ -517,8 +581,14 @@ impl<T: Item> Network<T> {
         if alive.is_empty() {
             None
         } else {
-            Some(alive[self.rng.gen_range(0..alive.len())])
+            Some(self.pick_among(&alive))
         }
+    }
+
+    /// Service backlog of `peer` as reported by the installed sink
+    /// (`None` without a sink).
+    pub fn peer_backlog_us(&self, peer: PeerId) -> Option<u64> {
+        self.sink.as_ref().map(|s| s.busy_until_us(peer))
     }
 
     /// Index of the partition responsible for `key`.

@@ -3,20 +3,25 @@
 //! latency model, arrival process and churn schedule — and reports
 //! throughput plus p50/p95/p99 latency per operator.
 //!
-//! Each query still *executes* atomically (the overlay is a shared-memory
-//! simulator), but its **virtual start time** is its arrival time, and the
-//! per-peer serial service queues of [`NetSim`](crate::NetSim) persist
-//! across queries: two queries whose virtual windows overlap contend for
-//! the peers they share, which is exactly how concurrency inflates tail
-//! latency. Earlier-simulated queries do not see later arrivals (a
-//! one-sided approximation, documented here so nobody mistakes it for a
-//! full process-interleaving simulation); contention is still conservative
-//! enough to reproduce the serial-vs-concurrent p99 gap.
+//! Queries execute as **interleaved steps on the event queue**: every query
+//! is a resumable [`ExecStep`] task (`sqo-core`'s stepped operators), and
+//! the driver pops task steps, arrivals and churn events off one
+//! [`EventQueue`] in global virtual-time order. A step is one bounded chunk
+//! of operator work — typically a single routed sub-request (a probe
+//! branch, an object-fetch branch, one hop sequence) — charged against the
+//! shared per-peer service queues of [`NetSim`](crate::NetSim). Because
+//! steps execute in time order across *all* in-flight queries, contention
+//! is symmetric: an early-arriving long query queues behind the traffic of
+//! queries that arrive while it is still in flight, and vice versa. (The
+//! pre-refactor driver executed each query atomically, so earlier-simulated
+//! queries could not see later arrivals; that one-sided approximation is
+//! gone.)
 //!
 //! Everything is deterministic: the driver installs a fresh `NetSim`, seeds
-//! every stream from [`DriverConfig::seed`], and drives arrivals and churn
-//! from one [`EventQueue`] with FIFO tie-breaking. Two runs with the same
-//! inputs produce byte-identical reports.
+//! every stream from [`DriverConfig::seed`], and schedules all events on
+//! one [`EventQueue`] with FIFO tie-breaking (a task re-enqueueing a step
+//! at the current timestamp goes behind already-queued same-time events).
+//! Two runs with the same inputs produce byte-identical reports.
 
 use crate::events::EventQueue;
 use crate::netsim::{install, SimConfig};
@@ -24,11 +29,15 @@ use crate::report::{LatencySummary, OperatorLatency};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
-use sqo_core::{JoinOptions, QueryStats, SimilarityEngine, Strategy};
+use sqo_core::{
+    ExecStep, JoinOptions, JoinTask, QueryStats, QueryTask, SimilarTask, SimilarityEngine,
+    StepOutcome, Strategy, TopNTask,
+};
+use sqo_overlay::SimLatency;
 use std::collections::BTreeMap;
 
 /// How clients space their queries.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Arrival {
     /// Open loop: every client issues queries at Poisson arrivals with the
     /// given mean interarrival time, regardless of completions — the
@@ -38,6 +47,11 @@ pub enum Arrival {
     /// previous one completes. `Closed { 0 }` with one client is the serial
     /// baseline every concurrency comparison starts from.
     Closed { think_us: u64 },
+    /// Explicit first arrivals: client `c` starts at `offsets_us[c % len]`;
+    /// its subsequent queries follow closed-loop with zero think time.
+    /// This is how the symmetry tests control exactly which queries
+    /// overlap.
+    Explicit { offsets_us: Vec<u64> },
 }
 
 /// A scheduled churn step: at `at_us`, kill `fail_fraction` of all peers.
@@ -54,8 +68,10 @@ pub enum QueryKind {
     Similar { d: usize },
     /// String top-N (`N` nearest neighbors up to `d_max`).
     TopN { n: usize, d_max: usize },
-    /// Similarity self-join over the workload attribute.
-    SimJoin { d: usize, left_limit: Option<usize> },
+    /// Similarity self-join over the workload attribute, with a bounded
+    /// outstanding-request window (`window` per-left selections pipelined
+    /// from the initiator; 1 = the paper's serial loop).
+    SimJoin { d: usize, left_limit: Option<usize>, window: usize },
     /// A VQL `dist()` filter query over the workload attribute.
     Vql { d: usize },
 }
@@ -98,7 +114,7 @@ impl Default for DriverConfig {
             mix: vec![
                 QueryKind::Similar { d: 1 },
                 QueryKind::TopN { n: 5, d_max: 3 },
-                QueryKind::SimJoin { d: 1, left_limit: Some(8) },
+                QueryKind::SimJoin { d: 1, left_limit: Some(8), window: 1 },
             ],
             strategy: Strategy::QGrams,
             sim: SimConfig::default(),
@@ -125,8 +141,24 @@ pub struct DriverReport {
 }
 
 enum Ev {
-    Arrive { client: usize },
-    Churn { idx: usize },
+    Arrive {
+        client: usize,
+    },
+    /// Resume the in-flight task in `slot`.
+    Step {
+        slot: usize,
+    },
+    Churn {
+        idx: usize,
+    },
+}
+
+/// One in-flight query: a resumable operator task plus its bookkeeping.
+struct InFlight {
+    task: Box<dyn ExecStep>,
+    label: &'static str,
+    client: usize,
+    arrival_us: u64,
 }
 
 /// Run the driven workload. Installs a fresh [`NetSim`] (replacing any
@@ -143,6 +175,9 @@ pub fn run_driver(
     assert!(!strings.is_empty(), "driver needs a non-empty string pool");
     assert!(cfg.clients >= 1 && cfg.queries_per_client >= 1, "empty workload");
     assert!(!cfg.mix.is_empty(), "empty query mix");
+    if let Arrival::Explicit { offsets_us } = &cfg.arrival {
+        assert!(!offsets_us.is_empty(), "explicit arrivals need at least one offset");
+    }
     install(engine, cfg.sim);
 
     // Per-client deterministic streams: query arguments and arrival jitter.
@@ -157,13 +192,18 @@ pub fn run_driver(
     }
     // First arrivals.
     for (c, rng) in client_rngs.iter_mut().enumerate() {
-        let t = match cfg.arrival {
-            Arrival::Poisson { mean_interarrival_us } => exp_sample(rng, mean_interarrival_us),
+        let t = match &cfg.arrival {
+            Arrival::Poisson { mean_interarrival_us } => exp_sample(rng, *mean_interarrival_us),
             Arrival::Closed { .. } => 0,
+            Arrival::Explicit { offsets_us } => offsets_us[c % offsets_us.len()],
         };
         q.push(t, Ev::Arrive { client: c });
     }
 
+    let mut flights: Vec<Option<InFlight>> = Vec::new();
+    // Finished slots are recycled so memory stays O(max in-flight), not
+    // O(total queries).
+    let mut free_slots: Vec<usize> = Vec::new();
     let mut by_operator: BTreeMap<&'static str, Vec<u64>> = BTreeMap::new();
     let mut all_latencies: Vec<u64> = Vec::new();
     let mut total = QueryStats::default();
@@ -177,43 +217,76 @@ pub fn run_driver(
                 engine.network_mut().fail_random_fraction(cfg.churn[idx].fail_fraction);
             }
             Ev::Arrive { client } => {
-                let kind = &cfg.mix[(issued[client] + client) % cfg.mix.len()];
+                let kind = cfg.mix[(issued[client] + client) % cfg.mix.len()].clone();
                 issued[client] += 1;
-
-                // The query's control starts at its arrival time, even if a
-                // previously simulated query is still in flight.
-                engine.network_mut().sim_reset_to_us(t);
                 let s = {
                     let rng = &mut client_rngs[client];
                     strings[rng.gen_range(0..strings.len())].clone()
                 };
                 let from = engine.random_peer();
-                let stats = run_one(engine, attr, &s, from, kind, cfg.strategy);
+                let flight = InFlight {
+                    task: build_task(attr, &s, from, &kind, cfg.strategy),
+                    label: kind.label(),
+                    client,
+                    arrival_us: t,
+                };
+                let slot = match free_slots.pop() {
+                    Some(slot) => {
+                        flights[slot] = Some(flight);
+                        slot
+                    }
+                    None => {
+                        flights.push(Some(flight));
+                        flights.len() - 1
+                    }
+                };
+                // The task's first step runs at the arrival time; steps of
+                // other in-flight queries interleave with it from then on.
+                q.push(t, Ev::Step { slot });
 
-                // A query that produced no sim profile (an operator error
-                // path) must not poison the span accounting with start=0:
-                // pin its empty window to the arrival time.
-                let sim = stats.sim.unwrap_or(sqo_overlay::SimLatency {
-                    start_us: t,
-                    end_us: t,
-                    ..Default::default()
-                });
-                by_operator.entry(kind.label()).or_default().push(sim.elapsed_us);
-                all_latencies.push(sim.elapsed_us);
-                total.absorb(&stats);
-                queries_run += 1;
-                first_start = first_start.min(sim.start_us);
-                last_end = last_end.max(sim.end_us);
+                // Open-loop arrivals are independent of completions.
+                if let Arrival::Poisson { mean_interarrival_us } = &cfg.arrival {
+                    if issued[client] < cfg.queries_per_client {
+                        let next = t + exp_sample(&mut client_rngs[client], *mean_interarrival_us);
+                        q.push(next, Ev::Arrive { client });
+                    }
+                }
+            }
+            Ev::Step { slot } => {
+                let flight = flights[slot].as_mut().expect("step for a finished task");
+                match flight.task.step(engine, t) {
+                    StepOutcome::Yield { at_us } => q.push(at_us, Ev::Step { slot }),
+                    StepOutcome::Done(stats) => {
+                        let flight = flights[slot].take().expect("checked above");
+                        free_slots.push(slot);
+                        // A query that produced no sim profile (an operator
+                        // error path, or a run without timing events) must
+                        // not poison the span accounting with start=0: pin
+                        // its empty window to the arrival time.
+                        let sim = stats.sim.unwrap_or(SimLatency {
+                            start_us: flight.arrival_us,
+                            end_us: flight.arrival_us,
+                            ..Default::default()
+                        });
+                        by_operator.entry(flight.label).or_default().push(sim.elapsed_us);
+                        all_latencies.push(sim.elapsed_us);
+                        total.absorb(&stats);
+                        queries_run += 1;
+                        first_start = first_start.min(sim.start_us);
+                        last_end = last_end.max(sim.end_us);
 
-                // Schedule the client's next query.
-                if issued[client] < cfg.queries_per_client {
-                    let next = match cfg.arrival {
-                        Arrival::Poisson { mean_interarrival_us } => {
-                            t + exp_sample(&mut client_rngs[client], mean_interarrival_us)
+                        // Closed-loop clients think, then re-arrive.
+                        let think = match &cfg.arrival {
+                            Arrival::Closed { think_us } => Some(*think_us),
+                            Arrival::Explicit { .. } => Some(0),
+                            Arrival::Poisson { .. } => None,
+                        };
+                        if let Some(think_us) = think {
+                            if issued[flight.client] < cfg.queries_per_client {
+                                q.push(sim.end_us + think_us, Ev::Arrive { client: flight.client });
+                            }
                         }
-                        Arrival::Closed { think_us } => sim.end_us + think_us,
-                    };
-                    q.push(next, Ev::Arrive { client });
+                    }
                 }
             }
         }
@@ -244,22 +317,24 @@ fn exp_sample(rng: &mut StdRng, mean_us: u64) -> u64 {
     x.clamp(0.0, 1e12) as u64
 }
 
-fn run_one(
-    engine: &mut SimilarityEngine,
+/// Construct the resumable task for one query of the mix.
+fn build_task(
     attr: &str,
     s: &str,
     from: sqo_overlay::PeerId,
     kind: &QueryKind,
     strategy: Strategy,
-) -> QueryStats {
+) -> Box<dyn ExecStep> {
     match kind {
-        QueryKind::Similar { d } => engine.similar(s, Some(attr), *d, from, strategy).stats,
-        QueryKind::TopN { n, d_max } => {
-            engine.top_n_similar(Some(attr), *n, s, *d_max, from, strategy).stats
+        QueryKind::Similar { d } => {
+            Box::new(QueryTask::Similar(SimilarTask::new(s, Some(attr), *d, from, strategy)))
         }
-        QueryKind::SimJoin { d, left_limit } => {
-            let opts = JoinOptions { strategy, left_limit: *left_limit };
-            engine.sim_join(attr, Some(attr), *d, from, &opts).stats
+        QueryKind::TopN { n, d_max } => {
+            Box::new(QueryTask::TopN(TopNTask::nearest(Some(attr), *n, s, *d_max, from, strategy)))
+        }
+        QueryKind::SimJoin { d, left_limit, window } => {
+            let opts = JoinOptions { strategy, left_limit: *left_limit, window: *window };
+            Box::new(QueryTask::Join(JoinTask::new(attr, Some(attr), *d, from, &opts)))
         }
         QueryKind::Vql { d } => {
             // The search string lands inside a single-quoted VQL literal;
@@ -268,10 +343,23 @@ fn run_one(
             let s = s.replace('\'', " ");
             let query =
                 format!("SELECT ?o WHERE {{ (?o,{attr},?v) FILTER (dist(?v,'{s}') < {}) }}", d + 1);
-            match sqo_vql::run(engine, from, &query, &sqo_vql::ExecOptions::default()) {
-                Ok(out) => out.stats,
-                Err(_) => QueryStats::default(),
+            let opts = sqo_vql::ExecOptions { strategy };
+            match sqo_vql::VqlTask::prepare(&query, from, &opts) {
+                Ok(task) => Box::new(task),
+                // A parse/plan error costs nothing on the wire: an
+                // immediately-done task with empty stats.
+                Err(_) => Box::new(NullTask),
             }
         }
+    }
+}
+
+/// A task that completes instantly with empty stats (failed query
+/// construction).
+struct NullTask;
+
+impl ExecStep for NullTask {
+    fn step(&mut self, _engine: &mut SimilarityEngine, _at_us: u64) -> StepOutcome {
+        StepOutcome::Done(QueryStats::default())
     }
 }

@@ -101,6 +101,31 @@ mod tests {
         assert_eq!(order, vec!["a1", "a2", "b", "c"]);
     }
 
+    /// A task re-enqueueing a step at the current timestamp must go
+    /// *behind* already-queued same-time events: the sequence counter is
+    /// global and monotone, so one query scheduling several same-time
+    /// steps cannot starve or overtake its peers. (This is the FIFO
+    /// guarantee the interleaving driver's fairness rests on.)
+    #[test]
+    fn reenqueued_same_time_steps_queue_behind_waiting_events() {
+        let mut q = EventQueue::new();
+        q.push(10, "a1");
+        q.push(10, "b");
+        assert_eq!(q.pop(), Some((10, "a1")));
+        // "a" immediately re-enqueues at the same timestamp (a fan-out
+        // branch at its fork point): it must pop after the waiting "b".
+        q.push(10, "a2");
+        q.push(10, "a3");
+        assert_eq!(q.pop(), Some((10, "b")));
+        assert_eq!(q.pop(), Some((10, "a2")));
+        assert_eq!(q.pop(), Some((10, "a3")));
+        // Clamped past-pushes obey the same order among themselves.
+        q.push(5, "c1");
+        q.push(5, "c2");
+        assert_eq!(q.pop(), Some((10, "c1")));
+        assert_eq!(q.pop(), Some((10, "c2")));
+    }
+
     #[test]
     fn clock_is_monotone_and_past_pushes_clamp() {
         let mut q = EventQueue::new();

@@ -15,8 +15,11 @@
 //! * [`netsim`] — [`NetSim`], the [`sqo_overlay::clock::EventSink`]
 //!   implementation: critical-path fork/join accounting and per-peer serial
 //!   queues.
-//! * [`driver`] — the concurrent-workload driver: N clients, Poisson or
-//!   closed-loop arrivals, churn schedules, per-operator p50/p95/p99.
+//! * [`driver`] — the concurrent-workload driver: N clients, Poisson /
+//!   closed-loop / explicit arrivals, churn schedules, per-operator
+//!   p50/p95/p99. Queries run as **interleaved steps on the event queue**
+//!   (`sqo-core`'s resumable operator tasks), so contention between
+//!   in-flight queries is symmetric at step granularity.
 //! * [`report`] — latency summaries.
 //!
 //! ## Quickstart

@@ -218,6 +218,10 @@ impl EventSink for NetSim {
         self.frontier_us = t_us;
         self.clock_us = self.clock_us.max(t_us);
     }
+
+    fn busy_until_us(&self, peer: PeerId) -> u64 {
+        self.busy_until_us[peer.index()]
+    }
 }
 
 /// Install a fresh [`NetSim`] with `cfg` on the engine's network. Replaces

@@ -12,7 +12,10 @@ use crate::ast::{CmpOp, Filter, Operand, OrderBy, Query, Term};
 use crate::error::{Result, VqlError};
 use crate::plan::{plan, AccessPath, Plan, SubjectPlan};
 use rustc_hash::FxHashMap;
-use sqo_core::{QueryStats, SimilarityEngine, Strategy};
+use sqo_core::{
+    finalize_stats, ExecStep, QueryStats, SelectTask, SimilarTask, SimilarityEngine, StepOutcome,
+    Strategy,
+};
 use sqo_overlay::peer::PeerId;
 use sqo_storage::posting::Object;
 use sqo_storage::triple::Value;
@@ -60,138 +63,273 @@ pub fn execute(
     query: &Query,
     opts: &ExecOptions,
 ) -> Result<QueryOutput> {
-    let plan = plan(query)?;
-    let mut stats = QueryStats::default();
-
-    // ---- Materialize every subject -----------------------------------
-    let mut sides: Vec<(Vec<Row>, &SubjectPlan)> = Vec::with_capacity(plan.subjects.len());
-    for sp in &plan.subjects {
-        let rows = materialize(engine, from, sp, opts, &mut stats)?;
-        sides.push((rows, sp));
-    }
-
-    // ---- Join ---------------------------------------------------------
-    // Join the smaller sides first to keep intermediate results small.
-    sides.sort_by_key(|(rows, _)| rows.len());
-    let mut acc: Vec<Row> = Vec::new();
-    let mut acc_vars: Vec<String> = Vec::new();
-    for (i, (rows, sp)) in sides.into_iter().enumerate() {
-        if i == 0 {
-            acc = rows;
-            acc_vars = sp.vars.iter().cloned().collect();
-            continue;
-        }
-        let shared: Vec<String> =
-            sp.vars.iter().filter(|v| acc_vars.contains(v)).cloned().collect();
-        acc = hash_join(acc, rows, &shared);
-        let new_vars: Vec<String> =
-            sp.vars.iter().filter(|v| !acc_vars.contains(v)).cloned().collect();
-        acc_vars.extend(new_vars);
-        // Apply any cross filter whose variables are now all bound.
-        acc.retain(|row| {
-            plan.cross_filters
-                .iter()
-                .filter(|f| filter_ready(f, &acc_vars))
-                .all(|f| eval_filter(f, row, &mut stats).unwrap_or(false))
-        });
-    }
-
-    // ---- Residual + remaining cross filters ---------------------------
-    acc.retain(|row| {
-        plan.residual
-            .iter()
-            .chain(plan.cross_filters.iter())
-            .all(|f| eval_filter(f, row, &mut stats).unwrap_or(false))
-    });
-
-    // ---- Order / offset / limit ---------------------------------------
-    order_rows(&mut acc, &plan, &mut stats)?;
-    let offset = plan.offset.unwrap_or(0);
-    if offset > 0 {
-        acc = acc.into_iter().skip(offset).collect();
-    }
-    if let Some(limit) = plan.limit {
-        acc.truncate(limit);
-    }
-
-    // ---- Project -------------------------------------------------------
-    let mut rows = Vec::with_capacity(acc.len());
-    for r in &acc {
-        let mut out = Vec::with_capacity(plan.select.len());
-        for col in &plan.select {
-            let Some(v) = r.get(col) else {
-                return Err(VqlError::Semantic(format!("?{col} unbound in a result row")));
-            };
-            out.push(v.clone());
-        }
-        rows.push(out);
-    }
-    stats.matches = rows.len();
-    Ok(QueryOutput { columns: plan.select.clone(), rows, stats })
+    let mut task = VqlTask::from_query(query, from, opts)?;
+    engine.run_task(&mut task);
+    task.take_output().expect("completed task has an output")
 }
 
-/// Materialize one subject's binding rows via its access path.
-fn materialize(
-    engine: &mut SimilarityEngine,
+/// A VQL query as a resumable task ([`ExecStep`]): each subject plan
+/// materializes through a child operator task (selection or similarity),
+/// one overlay sub-request per step; the final local join / filter /
+/// order / project phase runs at the initiator when the last subject
+/// returns. This is what lets a workload driver interleave VQL queries
+/// with every other in-flight operator on one event queue.
+pub struct VqlTask {
+    plan: Plan,
     from: PeerId,
-    sp: &SubjectPlan,
-    opts: &ExecOptions,
-    stats: &mut QueryStats,
-) -> Result<Vec<Row>> {
-    // (object, schema-matched attribute name) pairs.
-    let mut sources: Vec<(Object, Option<String>)> = Vec::new();
-    match &sp.path {
-        AccessPath::ByOid { oid } => {
-            let (obj, s) = engine.lookup_object(from, oid);
-            stats.absorb(&s);
-            if let Some(o) = obj {
-                sources.push((o, None));
+    strategy: Strategy,
+    state: VState,
+    stats: QueryStats,
+    /// Materialized binding rows per subject (subject index kept so the
+    /// join can consult the subject's variable set after size-sorting).
+    sides: Vec<(Vec<Row>, usize)>,
+    output: Option<Result<QueryOutput>>,
+}
+
+enum VState {
+    /// Start (or continue) materializing subject `idx`.
+    Subject {
+        idx: usize,
+        child: Option<SubjectChild>,
+        resume_at: Option<u64>,
+    },
+    Finish,
+    Finished,
+}
+
+enum SubjectChild {
+    Similar { task: Box<SimilarTask>, schema: bool },
+    Select(Box<SelectTask>),
+}
+
+impl VqlTask {
+    /// Parse and plan `text` into a runnable task.
+    pub fn prepare(text: &str, from: PeerId, opts: &ExecOptions) -> Result<VqlTask> {
+        let query = crate::parser::parse(text)?;
+        Self::from_query(&query, from, opts)
+    }
+
+    /// Plan a parsed query into a runnable task.
+    pub fn from_query(query: &Query, from: PeerId, opts: &ExecOptions) -> Result<VqlTask> {
+        Ok(VqlTask {
+            plan: plan(query)?,
+            from,
+            strategy: opts.strategy,
+            state: VState::Subject { idx: 0, child: None, resume_at: None },
+            stats: QueryStats::default(),
+            sides: Vec::new(),
+            output: None,
+        })
+    }
+
+    /// The result table (or execution error), once the task is done.
+    pub fn take_output(&mut self) -> Option<Result<QueryOutput>> {
+        self.output.take()
+    }
+
+    fn child_for(&self, idx: usize) -> Option<SubjectChild> {
+        match &self.plan.subjects[idx].path {
+            AccessPath::ByOid { .. } => None, // handled as a direct lookup
+            AccessPath::Exact { attr, value } => Some(SubjectChild::Select(Box::new(
+                SelectTask::exact(attr, value.clone(), self.from),
+            ))),
+            AccessPath::Range { attr, lo, hi } => {
+                let (lo, hi) = open_range_bounds(lo.clone(), hi.clone());
+                Some(SubjectChild::Select(Box::new(SelectTask::range(attr, lo, hi, self.from))))
             }
-        }
-        AccessPath::Exact { attr, value } => {
-            let res = engine.select_exact(attr, value, from);
-            stats.absorb(&res.stats);
-            dedup_objects(res.hits.into_iter().map(|h| h.object), &mut sources);
-        }
-        AccessPath::Range { attr, lo, hi } => {
-            let (lo, hi) = open_range_bounds(lo.clone(), hi.clone());
-            let res = engine.select_range(attr, &lo, &hi, from);
-            stats.absorb(&res.stats);
-            dedup_objects(res.hits.into_iter().map(|h| h.object), &mut sources);
-        }
-        AccessPath::NumericSimilar { attr, center, eps } => {
-            let res = engine.select_numeric_similar(attr, center, *eps, from);
-            stats.absorb(&res.stats);
-            dedup_objects(res.hits.into_iter().map(|h| h.object), &mut sources);
-        }
-        AccessPath::StringSimilar { attr, query, d } => {
-            let res = engine.similar(query, Some(attr), *d, from, opts.strategy);
-            stats.absorb(&res.stats);
-            dedup_objects(res.matches.into_iter().map(|m| m.object), &mut sources);
-        }
-        AccessPath::SchemaSimilar { query, d } => {
-            let res = engine.similar(query, None, *d, from, opts.strategy);
-            stats.absorb(&res.stats);
-            // Keep the matched attribute: it binds the pattern's attr var.
-            let mut seen = rustc_hash::FxHashSet::default();
-            for m in res.matches {
-                if seen.insert((m.oid.clone(), m.attr.as_str().to_string())) {
-                    sources.push((m.object, Some(m.attr.as_str().to_string())));
-                }
+            AccessPath::NumericSimilar { attr, center, eps } => Some(SubjectChild::Select(
+                Box::new(SelectTask::numeric_similar(attr, center.clone(), *eps, self.from)),
+            )),
+            AccessPath::StringSimilar { attr, query, d } => Some(SubjectChild::Similar {
+                task: Box::new(SimilarTask::new(query, Some(attr), *d, self.from, self.strategy)),
+                schema: false,
+            }),
+            AccessPath::SchemaSimilar { query, d } => Some(SubjectChild::Similar {
+                task: Box::new(SimilarTask::new(query, None, *d, self.from, self.strategy)),
+                schema: true,
+            }),
+            AccessPath::FullScan { attr } => {
+                Some(SubjectChild::Select(Box::new(SelectTask::full_scan(attr, self.from))))
             }
-        }
-        AccessPath::FullScan { attr } => {
-            let res = engine.select_all(attr, from);
-            stats.absorb(&res.stats);
-            dedup_objects(res.hits.into_iter().map(|h| h.object), &mut sources);
         }
     }
 
-    let mut rows = Vec::new();
-    for (obj, schema_attr) in &sources {
-        rows.extend(bind_object(sp, obj, schema_attr.as_deref()));
+    /// Bind a finished subject's sources into rows and store them.
+    fn bind_side(&mut self, idx: usize, sources: Vec<(Object, Option<String>)>) {
+        let sp = &self.plan.subjects[idx];
+        let mut rows = Vec::new();
+        for (obj, schema_attr) in &sources {
+            rows.extend(bind_object(sp, obj, schema_attr.as_deref()));
+        }
+        self.sides.push((rows, idx));
     }
-    Ok(rows)
+
+    /// The local join / filter / order / project phase (initiator CPU;
+    /// free of messages, `dist()` evaluations counted on the stats).
+    fn finish(&mut self) -> Result<QueryOutput> {
+        let plan = &self.plan;
+        let stats = &mut self.stats;
+        let mut sides = std::mem::take(&mut self.sides);
+        // Join the smaller sides first to keep intermediate results small.
+        sides.sort_by_key(|(rows, _)| rows.len());
+        let mut acc: Vec<Row> = Vec::new();
+        let mut acc_vars: Vec<String> = Vec::new();
+        for (i, (rows, sp_idx)) in sides.into_iter().enumerate() {
+            let sp = &plan.subjects[sp_idx];
+            if i == 0 {
+                acc = rows;
+                acc_vars = sp.vars.iter().cloned().collect();
+                continue;
+            }
+            let shared: Vec<String> =
+                sp.vars.iter().filter(|v| acc_vars.contains(v)).cloned().collect();
+            acc = hash_join(acc, rows, &shared);
+            let new_vars: Vec<String> =
+                sp.vars.iter().filter(|v| !acc_vars.contains(v)).cloned().collect();
+            acc_vars.extend(new_vars);
+            // Apply any cross filter whose variables are now all bound.
+            acc.retain(|row| {
+                plan.cross_filters
+                    .iter()
+                    .filter(|f| filter_ready(f, &acc_vars))
+                    .all(|f| eval_filter(f, row, stats).unwrap_or(false))
+            });
+        }
+
+        // ---- Residual + remaining cross filters ------------------------
+        acc.retain(|row| {
+            plan.residual
+                .iter()
+                .chain(plan.cross_filters.iter())
+                .all(|f| eval_filter(f, row, stats).unwrap_or(false))
+        });
+
+        // ---- Order / offset / limit ------------------------------------
+        order_rows(&mut acc, plan, stats)?;
+        let offset = plan.offset.unwrap_or(0);
+        if offset > 0 {
+            acc = acc.into_iter().skip(offset).collect();
+        }
+        if let Some(limit) = plan.limit {
+            acc.truncate(limit);
+        }
+
+        // ---- Project ----------------------------------------------------
+        let mut rows = Vec::with_capacity(acc.len());
+        for r in &acc {
+            let mut out = Vec::with_capacity(plan.select.len());
+            for col in &plan.select {
+                let Some(v) = r.get(col) else {
+                    return Err(VqlError::Semantic(format!("?{col} unbound in a result row")));
+                };
+                out.push(v.clone());
+            }
+            rows.push(out);
+        }
+        stats.matches = rows.len();
+        finalize_stats(stats);
+        Ok(QueryOutput { columns: plan.select.clone(), rows, stats: *stats })
+    }
+}
+
+impl ExecStep for VqlTask {
+    fn step(&mut self, engine: &mut SimilarityEngine, at_us: u64) -> StepOutcome {
+        loop {
+            match std::mem::replace(&mut self.state, VState::Finished) {
+                VState::Subject { idx, child: None, resume_at } => {
+                    let at = resume_at.unwrap_or(at_us);
+                    if idx >= self.plan.subjects.len() {
+                        self.state = VState::Finish;
+                        continue;
+                    }
+                    if let AccessPath::ByOid { oid } = &self.plan.subjects[idx].path {
+                        // A direct oid lookup is a single routed fetch:
+                        // one monolithic charged chunk.
+                        let (oid, from) = (oid.clone(), self.from);
+                        let mut acc = self.stats;
+                        let ((obj, _inner), end) =
+                            engine.charged(&mut acc, at, |e| e.lookup_object(from, &oid));
+                        self.stats = acc;
+                        let mut sources = Vec::new();
+                        if let Some(o) = obj {
+                            sources.push((o, None));
+                        }
+                        self.bind_side(idx, sources);
+                        self.state =
+                            VState::Subject { idx: idx + 1, child: None, resume_at: Some(end) };
+                        return StepOutcome::Yield { at_us: end };
+                    }
+                    let child = self.child_for(idx);
+                    self.state = VState::Subject { idx, child, resume_at: Some(at) };
+                    continue;
+                }
+
+                VState::Subject { idx, child: Some(mut child), resume_at } => {
+                    let at = resume_at.unwrap_or(at_us);
+                    let outcome = match &mut child {
+                        SubjectChild::Similar { task, .. } => task.step(engine, at),
+                        SubjectChild::Select(task) => task.step(engine, at),
+                    };
+                    match outcome {
+                        StepOutcome::Yield { at_us } => {
+                            self.state =
+                                VState::Subject { idx, child: Some(child), resume_at: Some(at_us) };
+                            return StepOutcome::Yield { at_us };
+                        }
+                        StepOutcome::Done(child_stats) => {
+                            self.stats.absorb(&child_stats);
+                            let end = child_stats.sim.map(|s| s.end_us).unwrap_or(at);
+                            let mut sources: Vec<(Object, Option<String>)> = Vec::new();
+                            match child {
+                                SubjectChild::Similar { mut task, schema: true } => {
+                                    // Keep the matched attribute: it binds
+                                    // the pattern's attr var.
+                                    let mut seen = rustc_hash::FxHashSet::default();
+                                    for m in task.take_matches() {
+                                        if seen.insert((m.oid.clone(), m.attr.as_str().to_string()))
+                                        {
+                                            sources.push((
+                                                m.object,
+                                                Some(m.attr.as_str().to_string()),
+                                            ));
+                                        }
+                                    }
+                                }
+                                SubjectChild::Similar { mut task, schema: false } => {
+                                    dedup_objects(
+                                        task.take_matches().into_iter().map(|m| m.object),
+                                        &mut sources,
+                                    );
+                                }
+                                SubjectChild::Select(mut task) => {
+                                    dedup_objects(
+                                        task.take_hits().into_iter().map(|h| h.object),
+                                        &mut sources,
+                                    );
+                                }
+                            }
+                            self.bind_side(idx, sources);
+                            self.state =
+                                VState::Subject { idx: idx + 1, child: None, resume_at: Some(end) };
+                            return StepOutcome::Yield { at_us: end };
+                        }
+                    }
+                }
+
+                VState::Finish => {
+                    let out = self.finish();
+                    // finish() finalizes on success; a failing query must
+                    // still report the envelope latency, not summed steps.
+                    finalize_stats(&mut self.stats);
+                    self.state = VState::Finished;
+                    self.output = Some(out);
+                    return StepOutcome::Done(self.stats);
+                }
+
+                VState::Finished => return StepOutcome::Done(self.stats),
+            }
+        }
+    }
 }
 
 fn dedup_objects(objs: impl Iterator<Item = Object>, out: &mut Vec<(Object, Option<String>)>) {

@@ -42,6 +42,6 @@ pub mod plan;
 
 pub use ast::{CmpOp, Filter, Operand, OrderBy, Query, Term, TriplePattern};
 pub use error::{Result, VqlError};
-pub use exec::{execute, run, ExecOptions, QueryOutput};
+pub use exec::{execute, run, ExecOptions, QueryOutput, VqlTask};
 pub use parser::parse;
 pub use plan::{plan, AccessPath, Plan, SubjectPlan};

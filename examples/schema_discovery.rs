@@ -75,7 +75,7 @@ fn main() {
         None, // schema level
         3,
         from,
-        &JoinOptions { strategy: Strategy::QGrams, left_limit: None },
+        &JoinOptions { strategy: Strategy::QGrams, left_limit: None, ..Default::default() },
     );
     println!("\nschema join 'wanted' ~ attribute names (d<=3):");
     let mut seen = std::collections::BTreeSet::new();

@@ -143,7 +143,7 @@ proptest! {
             Some("word"),
             d,
             from,
-            &JoinOptions { strategy: Strategy::Naive, left_limit: None },
+            &JoinOptions { strategy: Strategy::Naive, left_limit: None, ..Default::default() },
         );
         let mut got: Vec<(String, String)> = res
             .pairs

@@ -31,7 +31,7 @@ fn per_operator_percentiles_under_three_models() {
                 queries_per_client: 3,
                 mix: vec![
                     QueryKind::Similar { d: 1 },
-                    QueryKind::SimJoin { d: 1, left_limit: Some(6) },
+                    QueryKind::SimJoin { d: 1, left_limit: Some(6), window: 1 },
                     QueryKind::TopN { n: 5, d_max: 3 },
                 ],
                 sim: SimConfig { latency: model, ..SimConfig::default() },
@@ -64,10 +64,12 @@ fn per_operator_percentiles_under_three_models() {
 
 /// Ten clients whose queries overlap in virtual time see a higher p99 than
 /// the *same* queries executed without overlap, under the same latency
-/// model — contention at the per-peer serial queues is the only
-/// difference. (Poisson arrival sampling consumes the same RNG draws
-/// regardless of the mean, so both runs issue the identical query
-/// sequence; only the spacing differs.)
+/// model — contention at the per-peer serial queues is the difference.
+/// (Poisson arrival sampling scales the same RNG draws by the mean, so both
+/// runs issue the identical query multiset at the identical arrival order;
+/// only the spacing differs. Step interleaving makes the *routing* RNG
+/// consumption order differ between the runs, so wire time is close but
+/// not bit-equal — the answers, however, must be identical.)
 #[test]
 fn concurrent_workload_inflates_p99_over_serial() {
     let words = bible_words(600, 29);
@@ -80,7 +82,7 @@ fn concurrent_workload_inflates_p99_over_serial() {
             mix: vec![
                 QueryKind::Similar { d: 1 },
                 QueryKind::TopN { n: 5, d_max: 3 },
-                QueryKind::SimJoin { d: 1, left_limit: Some(6) },
+                QueryKind::SimJoin { d: 1, left_limit: Some(6), window: 1 },
             ],
             sim: SimConfig {
                 latency: LatencyModel::Constant { us: 1_000 },
@@ -106,11 +108,9 @@ fn concurrent_workload_inflates_p99_over_serial() {
     let cq = concurrent.total.sim.unwrap().queue_us;
     let sq = serial.total.sim.unwrap().queue_us;
     assert!(cq > sq, "contention must show up as queue time: {cq} vs {sq}");
-    assert_eq!(
-        concurrent.total.sim.unwrap().net_us,
-        serial.total.sim.unwrap().net_us,
-        "same trace, same wire time"
-    );
+    // Same trace, same answers: overlap changes when results arrive, never
+    // what they are.
+    assert_eq!(concurrent.total.matches, serial.total.matches, "same trace, same answers");
 }
 
 /// A closed-loop single client is the degenerate no-contention case: its
