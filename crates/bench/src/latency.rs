@@ -1,12 +1,16 @@
 //! The latency/throughput trajectory bench: the §6 query mix driven as a
 //! concurrent workload under every latency model, at increasing client
-//! counts. Emits one JSON point per (model × operator × clients) so future
-//! optimizations (batching, caching, adaptive routing) have a baseline
-//! trajectory to beat — the `BENCH_latency.json` at the repository root is
-//! a committed run of the default configuration.
+//! counts — and, since the `sqo-cache` subsystem landed, with the hot-path
+//! services swept **off and on** over a Zipf-skewed workload. Emits one
+//! JSON point per (model × clients × cache mode × operator), with the
+//! per-operator overlay message counts next to the percentiles so the
+//! "messages saved" by caching/batching is visible in the artifact. The
+//! `BENCH_latency.json` at the repository root is a committed run of the
+//! default configuration; the cache-off points are the trajectory future
+//! optimizations measure against.
 
 use serde::Serialize;
-use sqo_core::{EngineBuilder, SimilarityEngine, Strategy};
+use sqo_core::{BrokerConfig, EngineBuilder, SimilarityEngine, Strategy};
 use sqo_datasets::{bible_words, string_rows};
 use sqo_sim::{
     run_driver, Arrival, DriverConfig, DriverReport, LatencyModel, QueryKind, SimConfig,
@@ -22,6 +26,13 @@ pub struct LatencyBenchConfig {
     pub queries_per_client: usize,
     pub mean_interarrival_us: u64,
     pub models: Vec<LatencyModel>,
+    /// Hot-path service modes to sweep (label, configuration).
+    pub cache_modes: Vec<(&'static str, BrokerConfig)>,
+    /// Query-string skew exponent (0 = uniform). The default workload is
+    /// Zipf-skewed: popular strings dominate, the regime caching exists for.
+    pub zipf_s: f64,
+    /// Pin each client to one initiator peer (its access point).
+    pub sticky_initiators: bool,
     pub strategy: Strategy,
     pub seed: u64,
 }
@@ -40,6 +51,9 @@ impl Default for LatencyBenchConfig {
                 LatencyModel::LogNormal { median_us: 1_500.0, sigma: 0.8 },
                 LatencyModel::PerLink { min_us: 300, max_us: 12_000, salt: 17 },
             ],
+            cache_modes: vec![("off", BrokerConfig::default()), ("on", BrokerConfig::enabled())],
+            zipf_s: 1.1,
+            sticky_initiators: true,
             strategy: Strategy::QGrams,
             seed: 73,
         }
@@ -63,11 +77,13 @@ impl LatencyBenchConfig {
     }
 }
 
-/// One (model, clients, operator) measurement.
+/// One (model, clients, cache mode, operator) measurement.
 #[derive(Debug, Clone, Serialize)]
 pub struct LatencyPoint {
     pub model: String,
     pub clients: usize,
+    /// Hot-path service mode label ("off" / "on").
+    pub cache: String,
     pub operator: String,
     pub count: usize,
     pub mean_us: u64,
@@ -75,10 +91,20 @@ pub struct LatencyPoint {
     pub p95_us: u64,
     pub p99_us: u64,
     pub max_us: u64,
+    /// Overlay messages attributed to this operator in the run.
+    pub messages: u64,
+    /// Probe keys this operator served from the posting cache.
+    pub cache_hits: u64,
+    /// Probe keys that rode a coalesced multi-key exchange.
+    pub probes_coalesced: u64,
     /// Workload-wide throughput of the run this point came from.
     pub throughput_qps: f64,
     /// Workload-wide queue time — the contention signal.
     pub queue_us_total: u64,
+    /// Workload-wide posting-cache hit rate of the run.
+    pub cache_hit_rate: f64,
+    /// Workload-wide overlay messages the coalesced flushes avoided.
+    pub messages_saved: u64,
 }
 
 fn fresh_engine(cfg: &LatencyBenchConfig, words: &[String]) -> SimilarityEngine {
@@ -86,7 +112,12 @@ fn fresh_engine(cfg: &LatencyBenchConfig, words: &[String]) -> SimilarityEngine 
     EngineBuilder::new().peers(cfg.peers).q(2).seed(cfg.seed).build_with_rows(&rows)
 }
 
-fn points_of(report: &DriverReport, model: &LatencyModel, clients: usize) -> Vec<LatencyPoint> {
+fn points_of(
+    report: &DriverReport,
+    model: &LatencyModel,
+    clients: usize,
+    cache: &str,
+) -> Vec<LatencyPoint> {
     let queue_us_total = report.total.sim.map(|s| s.queue_us).unwrap_or(0);
     report
         .per_operator
@@ -94,6 +125,7 @@ fn points_of(report: &DriverReport, model: &LatencyModel, clients: usize) -> Vec
         .map(|op| LatencyPoint {
             model: model.label().to_string(),
             clients,
+            cache: cache.to_string(),
             operator: op.operator.clone(),
             count: op.summary.count,
             mean_us: op.summary.mean_us,
@@ -101,8 +133,13 @@ fn points_of(report: &DriverReport, model: &LatencyModel, clients: usize) -> Vec
             p95_us: op.summary.p95_us,
             p99_us: op.summary.p99_us,
             max_us: op.summary.max_us,
+            messages: op.messages,
+            cache_hits: op.cache_hits,
+            probes_coalesced: op.probes_coalesced,
             throughput_qps: report.throughput_qps,
             queue_us_total,
+            cache_hit_rate: report.cache.hit_rate,
+            messages_saved: report.cache.messages_saved,
         })
         .collect()
 }
@@ -113,24 +150,29 @@ pub fn run_latency_bench(cfg: &LatencyBenchConfig) -> Vec<LatencyPoint> {
     let mut out = Vec::new();
     for model in &cfg.models {
         for &clients in &cfg.client_counts {
-            let mut engine = fresh_engine(cfg, &words);
-            let driver_cfg = DriverConfig {
-                clients,
-                queries_per_client: cfg.queries_per_client,
-                arrival: Arrival::Poisson { mean_interarrival_us: cfg.mean_interarrival_us },
-                mix: vec![
-                    QueryKind::Similar { d: 1 },
-                    QueryKind::SimJoin { d: 1, left_limit: Some(8), window: 1 },
-                    QueryKind::TopN { n: 5, d_max: 3 },
-                    QueryKind::Vql { d: 1 },
-                ],
-                strategy: cfg.strategy,
-                sim: SimConfig { latency: *model, ..SimConfig::default() },
-                churn: Vec::new(),
-                seed: cfg.seed,
-            };
-            let report = run_driver(&mut engine, "word", &words, &driver_cfg);
-            out.extend(points_of(&report, model, clients));
+            for (label, cache) in &cfg.cache_modes {
+                let mut engine = fresh_engine(cfg, &words);
+                let driver_cfg = DriverConfig {
+                    clients,
+                    queries_per_client: cfg.queries_per_client,
+                    arrival: Arrival::Poisson { mean_interarrival_us: cfg.mean_interarrival_us },
+                    mix: vec![
+                        QueryKind::Similar { d: 1 },
+                        QueryKind::SimJoin { d: 1, left_limit: Some(8), window: 1 },
+                        QueryKind::TopN { n: 5, d_max: 3 },
+                        QueryKind::Vql { d: 1 },
+                    ],
+                    strategy: cfg.strategy,
+                    sim: SimConfig { latency: *model, ..SimConfig::default() },
+                    churn: Vec::new(),
+                    cache: *cache,
+                    zipf_s: cfg.zipf_s,
+                    sticky_initiators: cfg.sticky_initiators,
+                    seed: cfg.seed,
+                };
+                let report = run_driver(&mut engine, "word", &words, &driver_cfg);
+                out.extend(points_of(&report, model, clients, label));
+            }
         }
     }
     out
@@ -138,19 +180,22 @@ pub fn run_latency_bench(cfg: &LatencyBenchConfig) -> Vec<LatencyPoint> {
 
 /// Human-readable table of a sweep.
 pub fn render(points: &[LatencyPoint]) -> String {
-    let mut s =
-        String::from("model      clients operator  count   p50(ms)   p95(ms)   p99(ms)  qps\n");
+    let mut s = String::from(
+        "model      clients cache operator  count   p50(ms)   p95(ms)   p99(ms)   msgs  hit%\n",
+    );
     for p in points {
         s.push_str(&format!(
-            "{:<10} {:>7} {:<9} {:>5} {:>9.2} {:>9.2} {:>9.2} {:>5.1}\n",
+            "{:<10} {:>7} {:<5} {:<9} {:>5} {:>9.2} {:>9.2} {:>9.2} {:>6} {:>5.1}\n",
             p.model,
             p.clients,
+            p.cache,
             p.operator,
             p.count,
             p.p50_us as f64 / 1e3,
             p.p95_us as f64 / 1e3,
             p.p99_us as f64 / 1e3,
-            p.throughput_qps,
+            p.messages,
+            p.cache_hit_rate * 100.0,
         ));
     }
     s
@@ -176,12 +221,19 @@ mod tests {
             ..LatencyBenchConfig::default()
         };
         let a = run_latency_bench(&cfg);
-        // 2 models x 1 client count x 4 operators.
-        assert_eq!(a.len(), 8);
+        // 2 models x 1 client count x 2 cache modes x 4 operators.
+        assert_eq!(a.len(), 16);
         for p in &a {
             assert!(p.count > 0);
             assert!(p.p50_us <= p.p99_us);
+            if p.cache == "off" {
+                assert_eq!(p.cache_hits, 0, "cache-off points must not hit");
+            }
         }
+        assert!(
+            a.iter().any(|p| p.cache == "on" && p.cache_hits > 0),
+            "cache-on sweep must produce hits"
+        );
         let b = run_latency_bench(&cfg);
         assert_eq!(
             serde_json::to_string(&a).unwrap(),

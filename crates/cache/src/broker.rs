@@ -1,0 +1,234 @@
+//! The combined cache + batcher façade the engine's probe pipeline talks
+//! to (via `sqo-core`'s `ProbeBroker` trait).
+
+use crate::batch::{ChannelPool, PartitionChannel};
+use crate::lru::LruCache;
+use serde::Serialize;
+use sqo_overlay::key::Key;
+use sqo_overlay::peer::PeerId;
+use sqo_storage::posting::Posting;
+
+/// Everything configurable about the hot-path services. Both services
+/// default to **off** — the engine then behaves exactly as without a
+/// broker, which is what the equivalence tests pin.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BrokerConfig {
+    /// Enable the initiator-side posting cache.
+    pub cache: bool,
+    /// Cached (initiator, gram-key) entries kept before LRU eviction.
+    pub cache_capacity: usize,
+    /// Virtual-time TTL of a cached posting list, microseconds.
+    pub cache_ttl_us: u64,
+    /// Enable cross-query probe coalescing (partition channels).
+    pub batch: bool,
+    /// Coalescing window: after a probe routes to a partition, the
+    /// exchange stays open this long (virtual time) and probes arriving
+    /// within it ride the channel instead of routing again.
+    pub batch_window_us: u64,
+}
+
+impl Default for BrokerConfig {
+    fn default() -> Self {
+        Self {
+            cache: false,
+            cache_capacity: 4096,
+            cache_ttl_us: 2_000_000, // 2 virtual seconds
+            batch: false,
+            batch_window_us: 4_000,
+        }
+    }
+}
+
+impl BrokerConfig {
+    /// Both services on, default sizing.
+    pub fn enabled() -> Self {
+        Self { cache: true, batch: true, ..Self::default() }
+    }
+
+    /// Cache only (no added probe latency from the batch window).
+    pub fn cache_only() -> Self {
+        Self { cache: true, ..Self::default() }
+    }
+
+    /// Batching only (A/B isolation of the coalescing win).
+    pub fn batch_only() -> Self {
+        Self { batch: true, ..Self::default() }
+    }
+
+    pub fn any_enabled(&self) -> bool {
+        self.cache || self.batch
+    }
+}
+
+/// Lifetime service counters (the bench's hit-rate and messages-saved
+/// lines come from here; per-query attribution lives in `QueryStats`).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct BrokerCounters {
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    /// Probe submissions that rode a channel another probe's route opened.
+    pub probes_coalesced: u64,
+    /// Routed exchanges that opened a partition channel.
+    pub channels_opened: u64,
+    /// Overlay messages the coalesced probes avoided: the route hops a
+    /// rider would have paid, minus the single direct request it sent
+    /// instead.
+    pub messages_saved: u64,
+}
+
+impl BrokerCounters {
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// The combined service: an initiator-keyed posting LRU plus the
+/// per-partition channel pool. Pure bookkeeping — see the crate docs.
+pub struct CacheBatchBroker {
+    cfg: BrokerConfig,
+    cache: LruCache<(PeerId, Key), Vec<Posting>>,
+    channels: ChannelPool,
+    counters: BrokerCounters,
+}
+
+impl CacheBatchBroker {
+    pub fn new(cfg: BrokerConfig) -> Self {
+        Self {
+            cfg,
+            cache: LruCache::new(cfg.cache_capacity.max(1), cfg.cache_ttl_us),
+            channels: ChannelPool::new(cfg.batch_window_us),
+            counters: BrokerCounters::default(),
+        }
+    }
+
+    pub fn config(&self) -> &BrokerConfig {
+        &self.cfg
+    }
+
+    pub fn counters(&self) -> BrokerCounters {
+        let mut c = self.counters;
+        c.channels_opened = self.channels.opened;
+        c
+    }
+
+    pub fn cache_enabled(&self) -> bool {
+        self.cfg.cache
+    }
+
+    pub fn batch_enabled(&self) -> bool {
+        self.cfg.batch
+    }
+
+    /// Cache lookup for `from`'s copy of `key`'s posting list.
+    pub fn cache_get(
+        &mut self,
+        from: PeerId,
+        key: &Key,
+        now_us: u64,
+        epoch: u64,
+    ) -> Option<Vec<Posting>> {
+        debug_assert!(self.cfg.cache);
+        match self.cache.get(&(from, key.clone()), now_us, epoch) {
+            Some(list) => {
+                self.counters.cache_hits += 1;
+                Some(list.clone())
+            }
+            None => {
+                self.counters.cache_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Fill `from`'s cache with the full list fetched for `key`.
+    pub fn cache_put(
+        &mut self,
+        from: PeerId,
+        key: &Key,
+        list: Vec<Posting>,
+        now_us: u64,
+        epoch: u64,
+    ) {
+        if self.cfg.cache {
+            self.cache.put((from, key.clone()), list, now_us, epoch);
+        }
+    }
+
+    /// The open channel for `part`, if any. `n_keys` is the number of probe
+    /// keys that will ride it on success — `probes_coalesced` counts keys,
+    /// matching the per-query `QueryStats` attribution.
+    pub fn channel_lookup(
+        &mut self,
+        part: usize,
+        now_us: u64,
+        epoch: u64,
+        n_keys: u64,
+    ) -> Option<PartitionChannel> {
+        debug_assert!(self.cfg.batch);
+        let c = self.channels.lookup(part, now_us, epoch)?;
+        self.counters.probes_coalesced += n_keys;
+        Some(c)
+    }
+
+    /// Record a freshly routed exchange as `part`'s open channel.
+    pub fn channel_record(
+        &mut self,
+        part: usize,
+        owner: PeerId,
+        route_hops: u64,
+        now_us: u64,
+        epoch: u64,
+    ) {
+        if self.cfg.batch {
+            self.channels.record(part, owner, route_hops, now_us, epoch);
+        }
+    }
+
+    /// Record overlay messages a coalesced probe avoided (counted by the
+    /// engine, which knows what the routed exchange would have cost).
+    pub fn count_messages_saved(&mut self, n: u64) {
+        self.counters.messages_saved += n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_track_hits_and_misses() {
+        let mut b = CacheBatchBroker::new(BrokerConfig::cache_only());
+        let k = Key::from_bytes(b"k");
+        assert!(b.cache_get(PeerId(1), &k, 0, 0).is_none());
+        b.cache_put(PeerId(1), &k, Vec::new(), 0, 0);
+        assert!(b.cache_get(PeerId(1), &k, 10, 0).is_some());
+        assert!(b.cache_get(PeerId(2), &k, 10, 0).is_none(), "caches are per initiator");
+        let c = b.counters();
+        assert_eq!(c.cache_hits, 1);
+        assert_eq!(c.cache_misses, 2);
+        assert!((c.hit_rate() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disabled_cache_never_stores() {
+        let mut b = CacheBatchBroker::new(BrokerConfig::batch_only());
+        let k = Key::from_bytes(b"k");
+        b.cache_put(PeerId(1), &k, Vec::new(), 0, 0);
+        assert!(!b.cache_enabled());
+        assert!(b.batch_enabled());
+    }
+
+    #[test]
+    fn epoch_bump_is_a_miss() {
+        let mut b = CacheBatchBroker::new(BrokerConfig::cache_only());
+        let k = Key::from_bytes(b"k");
+        b.cache_put(PeerId(1), &k, Vec::new(), 0, 3);
+        assert!(b.cache_get(PeerId(1), &k, 1, 3).is_some());
+        assert!(b.cache_get(PeerId(1), &k, 2, 4).is_none(), "churn epoch invalidates");
+    }
+}

@@ -1,0 +1,149 @@
+//! A bounded LRU map with virtual-time TTL and epoch invalidation.
+//!
+//! Deliberately simple: a hash map plus a monotone use-tick, with
+//! eviction scanning for the least-recently-used entry. Capacities on the
+//! hot path are a few thousand entries, and the scan only runs when the
+//! cache is full — profile before reaching for an intrusive list.
+
+use rustc_hash::FxHashMap;
+use std::hash::Hash;
+
+struct Entry<V> {
+    value: V,
+    /// Churn epoch the value was fetched under; a bumped epoch kills it.
+    epoch: u64,
+    /// Virtual time the value was inserted (TTL anchor).
+    inserted_us: u64,
+    /// Monotone use-tick for LRU ordering.
+    last_used: u64,
+}
+
+/// Bounded LRU with TTL + epoch validity. `get` misses (and evicts) expired
+/// and stale-epoch entries, so callers never see invalid data.
+pub struct LruCache<K, V> {
+    map: FxHashMap<K, Entry<V>>,
+    capacity: usize,
+    ttl_us: u64,
+    tick: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// # Panics
+    /// Panics if `capacity == 0` (use an `Option` instead of an empty cache).
+    pub fn new(capacity: usize, ttl_us: u64) -> Self {
+        assert!(capacity > 0, "zero-capacity cache");
+        Self { map: FxHashMap::default(), capacity, ttl_us, tick: 0 }
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    fn valid(&self, e: &Entry<V>, now_us: u64, epoch: u64) -> bool {
+        e.epoch == epoch && now_us.saturating_sub(e.inserted_us) <= self.ttl_us
+    }
+
+    /// Look up `key` at virtual time `now_us` under churn epoch `epoch`.
+    /// Expired or stale entries are evicted and reported as a miss.
+    pub fn get(&mut self, key: &K, now_us: u64, epoch: u64) -> Option<&V> {
+        match self.map.get(key) {
+            Some(e) if self.valid(e, now_us, epoch) => {}
+            Some(_) => {
+                self.map.remove(key);
+                return None;
+            }
+            None => return None,
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        let e = self.map.get_mut(key).expect("checked above");
+        e.last_used = tick;
+        Some(&e.value)
+    }
+
+    /// Insert (or refresh) `key`, evicting the least-recently-used entry
+    /// when the cache is full.
+    pub fn put(&mut self, key: K, value: V, now_us: u64, epoch: u64) {
+        self.tick += 1;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            // Prefer evicting an invalid entry; otherwise the LRU one.
+            let victim = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| (self.valid(e, now_us, epoch), e.last_used))
+                .map(|(k, _)| k.clone());
+            if let Some(v) = victim {
+                self.map.remove(&v);
+            }
+        }
+        self.map.insert(key, Entry { value, epoch, inserted_us: now_us, last_used: self.tick });
+    }
+
+    /// Drop every entry (tests and explicit resets).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_put_and_lru_eviction() {
+        let mut c: LruCache<u32, &str> = LruCache::new(2, 1_000);
+        c.put(1, "a", 0, 0);
+        c.put(2, "b", 0, 0);
+        assert_eq!(c.get(&1, 10, 0), Some(&"a")); // 1 is now most recent
+        c.put(3, "c", 20, 0); // evicts 2
+        assert_eq!(c.get(&2, 30, 0), None);
+        assert_eq!(c.get(&1, 30, 0), Some(&"a"));
+        assert_eq!(c.get(&3, 30, 0), Some(&"c"));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn ttl_expires_entries() {
+        let mut c: LruCache<u32, u32> = LruCache::new(4, 100);
+        c.put(1, 11, 0, 0);
+        assert_eq!(c.get(&1, 100, 0), Some(&11), "at the TTL boundary, still valid");
+        assert_eq!(c.get(&1, 101, 0), None, "past the TTL, expired");
+        assert!(c.is_empty(), "expired entries are evicted on lookup");
+    }
+
+    #[test]
+    fn epoch_bump_invalidates_everything_older() {
+        let mut c: LruCache<u32, u32> = LruCache::new(4, 1_000_000);
+        c.put(1, 11, 0, 0);
+        c.put(2, 22, 0, 0);
+        assert_eq!(c.get(&1, 10, 1), None, "entry from epoch 0 is dead in epoch 1");
+        c.put(3, 33, 10, 1);
+        assert_eq!(c.get(&3, 20, 1), Some(&33));
+        assert_eq!(c.get(&2, 20, 1), None);
+    }
+
+    #[test]
+    fn full_cache_prefers_evicting_invalid_entries() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2, 50);
+        c.put(1, 11, 0, 0); // will be expired by t=100
+        c.put(2, 22, 90, 0); // still fresh at t=100
+        c.put(3, 33, 100, 0); // must evict 1 (expired), not 2 (LRU but valid)
+        assert_eq!(c.get(&2, 100, 0), Some(&22));
+        assert_eq!(c.get(&3, 100, 0), Some(&33));
+    }
+
+    #[test]
+    fn refresh_updates_in_place_without_eviction() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2, 1_000);
+        c.put(1, 11, 0, 0);
+        c.put(2, 22, 0, 0);
+        c.put(1, 111, 5, 0); // refresh, not insert: nothing evicted
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&1, 10, 0), Some(&111));
+        assert_eq!(c.get(&2, 10, 0), Some(&22));
+    }
+}

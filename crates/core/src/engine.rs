@@ -2,8 +2,10 @@
 //! postings, plus the shared machinery (batched probes, object fetches) the
 //! physical operators are built on.
 
+use crate::broker::{ProbeBroker, ProbeFilter};
 use crate::stats::QueryStats;
 use rustc_hash::{FxHashMap, FxHashSet};
+use sqo_cache::{BrokerConfig, BrokerCounters, CacheBatchBroker};
 use sqo_overlay::key::Key;
 use sqo_overlay::network::{Network, NetworkConfig};
 use sqo_overlay::peer::{Item, PeerId};
@@ -23,6 +25,10 @@ pub struct EngineConfig {
     pub delegation: bool,
     /// Candidate pruning filters (count / length / position).
     pub filters: FilterConfig,
+    /// Hot-path services: initiator-side posting cache + cross-query probe
+    /// batching (`sqo-cache`). Both default to off, which keeps the engine
+    /// byte-identical to the broker-less pipeline.
+    pub cache: BrokerConfig,
 }
 
 impl Default for EngineConfig {
@@ -32,6 +38,7 @@ impl Default for EngineConfig {
             publish: PublishConfig::default(),
             delegation: true,
             filters: FilterConfig::default(),
+            cache: BrokerConfig::default(),
         }
     }
 }
@@ -103,11 +110,24 @@ impl EngineBuilder {
         self
     }
 
+    /// Hot-path service configuration (posting cache + probe batching).
+    /// When any service is enabled, the built engine carries a
+    /// [`CacheBatchBroker`] and probe branches flow through it.
+    pub fn cache_config(mut self, c: BrokerConfig) -> Self {
+        self.cfg.cache = c;
+        self
+    }
+
     /// Build the network and publish `rows` into it.
     pub fn build_with_rows(self, rows: &[Row]) -> SimilarityEngine {
         let (postings, publish_stats) = postings_for_rows(rows, &self.cfg.publish);
         let net = Network::build(self.cfg.network.clone(), postings);
-        SimilarityEngine { net, cfg: self.cfg, publish_stats, edit_comparisons: 0 }
+        let broker: Option<Box<dyn ProbeBroker>> = self
+            .cfg
+            .cache
+            .any_enabled()
+            .then(|| Box::new(CacheBatchBroker::new(self.cfg.cache)) as Box<dyn ProbeBroker>);
+        SimilarityEngine { net, cfg: self.cfg, publish_stats, edit_comparisons: 0, broker }
     }
 }
 
@@ -120,6 +140,9 @@ pub struct SimilarityEngine {
     /// it and report the delta ([`QueryStats::edit_comparisons`]), so steps
     /// of interleaved queries never steal each other's comparisons.
     pub(crate) edit_comparisons: u64,
+    /// Hot-path services (posting cache + probe batcher); `None` keeps the
+    /// probe pipeline on the broker-less delegated path.
+    broker: Option<Box<dyn ProbeBroker>>,
 }
 
 /// Counter snapshot opening a stats window (see
@@ -156,6 +179,28 @@ impl SimilarityEngine {
     /// A random alive peer, for choosing workload initiators.
     pub fn random_peer(&mut self) -> PeerId {
         self.net.random_peer()
+    }
+
+    /// Install (or replace) the hot-path probe broker. Workload drivers use
+    /// this to own a fresh broker per run.
+    pub fn set_broker(&mut self, broker: Box<dyn ProbeBroker>) {
+        self.broker = Some(broker);
+    }
+
+    /// Remove the broker, returning the probe pipeline to the broker-less
+    /// delegated path.
+    pub fn clear_broker(&mut self) -> Option<Box<dyn ProbeBroker>> {
+        self.broker.take()
+    }
+
+    pub fn has_broker(&self) -> bool {
+        self.broker.is_some()
+    }
+
+    /// Lifetime service counters of the installed broker (hit rate,
+    /// coalesced probes, messages saved), if any.
+    pub fn broker_counters(&self) -> Option<BrokerCounters> {
+        self.broker.as_ref().map(|b| b.counters())
     }
 
     /// Publish additional rows into the running network (schema evolution:
@@ -266,13 +311,13 @@ impl SimilarityEngine {
     // Batched index probes & object fetches (the §4 optimizations)
     // ------------------------------------------------------------------
 
-    /// Group probe keys into fan-out branches: one branch per responsible
-    /// partition with delegation on (contact-once batching), one branch per
-    /// key with delegation off. Branch order is deterministic (partition
-    /// index / input order).
-    pub(crate) fn plan_probe_branches(&self, keys: &[Key]) -> Vec<Vec<Key>> {
+    /// Group probe keys into fan-out branches tagged with their destination
+    /// partition: one branch per responsible partition with delegation on
+    /// (contact-once batching), one branch per key with delegation off.
+    /// Branch order is deterministic (partition index / input order).
+    pub(crate) fn plan_probe_parts(&self, keys: &[Key]) -> Vec<(usize, Vec<Key>)> {
         if !self.cfg.delegation {
-            return keys.iter().map(|k| vec![k.clone()]).collect();
+            return keys.iter().map(|k| (self.net.partition_of(k), vec![k.clone()])).collect();
         }
         let mut by_part: FxHashMap<usize, Vec<Key>> = FxHashMap::default();
         for k in keys {
@@ -280,7 +325,12 @@ impl SimilarityEngine {
         }
         let mut parts: Vec<(usize, Vec<Key>)> = by_part.into_iter().collect();
         parts.sort_by_key(|(p, _)| *p); // determinism
-        parts.into_iter().map(|(_, ks)| ks).collect()
+        parts
+    }
+
+    /// [`Self::plan_probe_parts`] without the partition tags.
+    pub(crate) fn plan_probe_branches(&self, keys: &[Key]) -> Vec<Vec<Key>> {
+        self.plan_probe_parts(keys).into_iter().map(|(_, ks)| ks).collect()
     }
 
     /// One probe branch (see [`Self::probe_keys`] for the cost model): with
@@ -355,6 +405,208 @@ impl SimilarityEngine {
         }
         self.net.sim_join();
         out
+    }
+
+    // ------------------------------------------------------------------
+    // Brokered probes (the sqo-cache hot path; see crate::broker)
+    // ------------------------------------------------------------------
+
+    /// Issue one probe branch through the broker at virtual time `at_us`,
+    /// returning the filtered postings and the completion time.
+    ///
+    /// Without a broker this is exactly the legacy delegated branch (filter
+    /// at the owner, survivors travel), charged to `acc`. With one, probe
+    /// keys consult the initiator's posting cache first (hits are free and
+    /// filtered locally); the misses then either **ride** the destination
+    /// partition's open coalescing channel (another probe routed there
+    /// within the window — one direct request instead of a routed chain,
+    /// the route charged once per window) or route normally and open the
+    /// channel for the probes behind them.
+    pub(crate) fn probe_issue(
+        &mut self,
+        acc: &mut QueryStats,
+        from: PeerId,
+        part: usize,
+        keys: &[Key],
+        filter: &ProbeFilter<'_>,
+        at_us: u64,
+    ) -> (Vec<Posting>, u64) {
+        // The broker rides on the §4 delegated pipeline; with delegation
+        // off every probe is an independent full-list retrieve (the A/B
+        // baseline), and the hot-path services must not quietly re-enable
+        // the optimization they are being compared against.
+        let (cache_on, batch_on) = match (&self.broker, self.cfg.delegation) {
+            (Some(b), true) => (b.cache_enabled(), b.batch_enabled()),
+            _ => (false, false),
+        };
+        if !cache_on && !batch_on {
+            return self
+                .charged(acc, at_us, |e| e.probe_branch(from, keys, &|p| filter.matches(p)));
+        }
+
+        let epoch = self.net.cache_epoch();
+        let mut postings: Vec<Posting> = Vec::new();
+        let mut missing: Vec<Key> = Vec::new();
+        if cache_on {
+            let broker = self.broker.as_mut().expect("cache_on implies a broker");
+            for k in keys {
+                match broker.cache_get(from, k, at_us, epoch) {
+                    Some(list) => {
+                        acc.cache_hits += 1;
+                        postings.extend(list.into_iter().filter(|p| filter.matches(p)));
+                    }
+                    None => {
+                        acc.cache_misses += 1;
+                        missing.push(k.clone());
+                    }
+                }
+            }
+        } else {
+            missing.extend(keys.iter().cloned());
+        }
+        if missing.is_empty() {
+            // Every key served from the cache: no wire activity at all.
+            return (postings, at_us);
+        }
+
+        let channel = if batch_on {
+            let n_keys = missing.len() as u64;
+            let c = self.broker.as_mut().and_then(|b| b.channel_lookup(part, at_us, epoch, n_keys));
+            // A channel whose owner has since died is useless; the epoch
+            // check already closes it (churn bumps the epoch), this is
+            // belt-and-braces for direct `fail_peer` surgery mid-window.
+            c.filter(|c| self.net.peer(c.owner).alive)
+        } else {
+            None
+        };
+
+        match channel {
+            Some(c) => {
+                // Ride the open exchange: one direct request to the known
+                // owner (no routed chain), scans there, one reply.
+                acc.probes_coalesced += missing.len() as u64;
+                let broker = self.broker.as_mut().expect("channel came from the broker");
+                broker.count_messages_saved(c.route_hops.saturating_sub(1));
+                let owner = c.owner;
+                let (lists, end) = self.charged(acc, at_us, |e| {
+                    if owner != from {
+                        e.net.send_direct(from, owner, 0);
+                    }
+                    Self::scan_and_reply(e, owner, from, &missing, cache_on, filter)
+                });
+                self.absorb_probe_lists(acc, from, filter, lists, end, epoch, &mut postings);
+                (postings, end)
+            }
+            None => {
+                let ((got, hops), end) = self.charged(acc, at_us, |e| {
+                    let hops_before = e.net.metrics().route_hops;
+                    // Full lists wanted (cache fill): this is exactly the
+                    // overlay's multi-key retrieve. Without the cache, the
+                    // owner filters and only survivors travel (the legacy
+                    // delegated payload). A routing failure (churn) yields
+                    // the same empty outcome an unreachable probe produces.
+                    let got = if cache_on {
+                        e.net.retrieve_multi(from, &missing).ok()
+                    } else {
+                        e.net.route(from, &missing[0]).ok().map(|owner| {
+                            (owner, Self::scan_and_reply(e, owner, from, &missing, false, filter))
+                        })
+                    };
+                    let hops = e.net.metrics().route_hops - hops_before;
+                    (got, hops)
+                });
+                if let Some((owner, lists)) = got {
+                    if batch_on {
+                        let broker = self.broker.as_mut().expect("batch_on implies a broker");
+                        broker.channel_record(part, owner, hops, end, epoch);
+                    }
+                    self.absorb_probe_lists(acc, from, filter, lists, end, epoch, &mut postings);
+                }
+                (postings, end)
+            }
+        }
+    }
+
+    /// The owner-side half of a brokered probe: prefix-scan every key at
+    /// `owner` and send one combined reply to `from`. With the cache on,
+    /// the reply carries the **full** per-key lists (so the initiator can
+    /// filter locally and fill its cache — the price of making every later
+    /// probe of these keys free); with it off, the owner applies the
+    /// query's filter and only survivors travel, byte-for-byte the legacy
+    /// delegated payload.
+    fn scan_and_reply(
+        e: &mut Self,
+        owner: PeerId,
+        from: PeerId,
+        keys: &[Key],
+        full_lists: bool,
+        filter: &ProbeFilter<'_>,
+    ) -> Vec<(Key, Vec<Posting>)> {
+        let mut lists: Vec<(Key, Vec<Posting>)> = Vec::with_capacity(keys.len());
+        let mut payload = 0usize;
+        for k in keys {
+            let mut list = e.net.local_prefix_scan(owner, k);
+            if !full_lists {
+                list.retain(|p| filter.matches(p));
+            }
+            payload += list.iter().map(Item::size_bytes).sum::<usize>();
+            lists.push((k.clone(), list));
+        }
+        if owner != from {
+            e.net.send_direct(owner, from, payload);
+        }
+        lists
+    }
+
+    /// Fold a brokered probe's reply into the caller: filter every list
+    /// into `postings` and fill the initiator's cache (full lists only —
+    /// with the cache off the lists are already owner-filtered survivors,
+    /// and re-filtering them is a no-op).
+    #[allow(clippy::too_many_arguments)]
+    fn absorb_probe_lists(
+        &mut self,
+        _acc: &mut QueryStats,
+        from: PeerId,
+        filter: &ProbeFilter<'_>,
+        lists: Vec<(Key, Vec<Posting>)>,
+        now_us: u64,
+        epoch: u64,
+        postings: &mut Vec<Posting>,
+    ) {
+        let cache_on = self.broker.as_ref().is_some_and(|b| b.cache_enabled());
+        for (k, list) in lists {
+            postings.extend(list.iter().filter(|p| filter.matches(p)).cloned());
+            if cache_on {
+                let broker = self.broker.as_mut().expect("cache_on implies a broker");
+                broker.cache_put(from, &k, list, now_us, epoch);
+            }
+        }
+    }
+
+    /// A single-key retrieve answered from the initiator's posting cache
+    /// when possible (exact-match and keyword selections). Returns the
+    /// postings plus the (hits, misses) counter delta — the caller runs
+    /// inside a charged window and folds them into its stats afterwards.
+    pub(crate) fn cached_retrieve(&mut self, from: PeerId, key: &Key) -> (Vec<Posting>, u64, u64) {
+        let cache_on = self.broker.as_ref().is_some_and(|b| b.cache_enabled());
+        if !cache_on {
+            return (self.net.retrieve(from, key).unwrap_or_default(), 0, 0);
+        }
+        let epoch = self.net.cache_epoch();
+        let now_us = self.net.sim_now_us().unwrap_or(0);
+        let broker = self.broker.as_mut().expect("cache_on implies a broker");
+        if let Some(list) = broker.cache_get(from, key, now_us, epoch) {
+            return (list, 1, 0);
+        }
+        // A routing failure (churn) is transient — the next draw may pick a
+        // live replica — so it must not be negative-cached as an empty list.
+        let Ok(list) = self.net.retrieve(from, key) else {
+            return (Vec::new(), 0, 1);
+        };
+        let now_us = self.net.sim_now_us().unwrap_or(0);
+        let broker = self.broker.as_mut().expect("cache_on implies a broker");
+        broker.cache_put(from, key, list.clone(), now_us, epoch);
+        (list, 0, 1)
     }
 
     /// Group object fetches into fan-out branches (per owning partition
@@ -506,8 +758,11 @@ pub fn finalize_stats(stats: &mut QueryStats) {
     }
 }
 
-/// Outcome of advancing a stepped task.
+/// Outcome of advancing a stepped task. (`Done` carries the full stats
+/// block inline — tasks are few and the enum is immediately destructured,
+/// so boxing would only add an allocation per query.)
 #[derive(Debug, Clone, Copy)]
+#[allow(clippy::large_enum_variant)]
 pub enum StepOutcome {
     /// More work remains; resume the task at virtual time `at_us` (a
     /// fan-out branch may resume *before* the scheduler's current time —

@@ -13,8 +13,12 @@
 //! * [`select`] — exact, range, keyword and numeric-similarity selections;
 //! * [`engine`] — the façade owning the network, with the §4 delegation and
 //!   batched-retrieval optimizations;
+//! * [`broker`] — the hot-path seam: probe branches flow through a
+//!   [`ProbeBroker`] (initiator-side posting cache + cross-query probe
+//!   batching, implemented by `sqo-cache`) when one is installed;
 //! * [`stats`] — per-query message/bandwidth/work accounting.
 
+pub mod broker;
 pub mod engine;
 pub mod multi;
 pub mod naive;
@@ -25,6 +29,7 @@ pub mod simjoin;
 pub mod stats;
 pub mod topn;
 
+pub use broker::{ProbeBroker, ProbeFilter};
 pub use engine::{
     finalize_stats, EngineBuilder, EngineConfig, ExecStep, QueryTask, SimilarityEngine, StepOutcome,
 };
@@ -33,5 +38,6 @@ pub use ranking::Rank;
 pub use select::{SelectHit, SelectResult, SelectTask};
 pub use similar::{SimilarMatch, SimilarResult, SimilarTask, Strategy};
 pub use simjoin::{JoinOptions, JoinPair, JoinResult, JoinTask};
+pub use sqo_cache::{BrokerConfig, BrokerCounters, CacheBatchBroker};
 pub use stats::QueryStats;
 pub use topn::{TopNItem, TopNResult, TopNTask};

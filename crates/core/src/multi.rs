@@ -21,7 +21,10 @@
 //! The metamorphic test pins the optimization contract: identical results,
 //! pipelined never costs more messages. (VQL's executor follows the
 //! pipelined shape: one access path per subject, residual predicates
-//! verified on bindings.)
+//! verified on bindings.) Each per-predicate sub-query is a child
+//! [`SimilarTask`], so its gram probes flow through the engine's probe
+//! broker when one is installed (see [`crate::broker`]) — `Intersect`'s
+//! repeated sub-queries benefit most from the shared posting cache.
 
 use crate::engine::{finalize_stats, ExecStep, SimilarityEngine, StepOutcome};
 use crate::similar::{SimilarTask, Strategy};

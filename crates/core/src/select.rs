@@ -138,11 +138,23 @@ impl SelectTask {
     }
 
     /// The index scan of the selection, executed as one charged chunk.
-    fn scan(kind: &SelectKind, from: PeerId, e: &mut SimilarityEngine) -> Vec<(String, Value)> {
-        match kind {
+    /// Exact-match and keyword scans are single-key retrieves and consult
+    /// the initiator's posting cache (when a broker is installed) — the
+    /// returned `(hits, misses)` delta is folded into the task's stats by
+    /// the caller. Range scans always hit the overlay: their key windows
+    /// rarely repeat exactly, so caching them would only churn the LRU.
+    fn scan(
+        kind: &SelectKind,
+        from: PeerId,
+        e: &mut SimilarityEngine,
+    ) -> (Vec<(String, Value)>, u64, u64) {
+        let mut hits = 0;
+        let mut misses = 0;
+        let matched = match kind {
             SelectKind::Exact { attr, v } => {
                 let key = keys::attr_value_key(attr, v);
-                let postings = e.net.retrieve(from, &key).unwrap_or_default();
+                let (postings, h, m) = e.cached_retrieve(from, &key);
+                (hits, misses) = (h, m);
                 postings
                     .iter()
                     .filter_map(Posting::as_base)
@@ -163,7 +175,8 @@ impl SelectTask {
             }
             SelectKind::Keyword { v } => {
                 let key = keys::value_key(v);
-                let postings = e.net.retrieve(from, &key).unwrap_or_default();
+                let (postings, h, m) = e.cached_retrieve(from, &key);
+                (hits, misses) = (h, m);
                 postings
                     .iter()
                     .filter_map(Posting::as_base)
@@ -187,7 +200,8 @@ impl SelectTask {
                 }
                 matched
             }
-        }
+        };
+        (matched, hits, misses)
     }
 
     fn range_scan(
@@ -229,8 +243,10 @@ impl ExecStep for SelectTask {
                 SelState::Scan => {
                     let (kind, from) = (&self.kind, self.from);
                     let mut acc = self.stats;
-                    let (mut matched, end) =
+                    let ((mut matched, hits, misses), end) =
                         engine.charged(&mut acc, at_us, |e| Self::scan(kind, from, e));
+                    acc.cache_hits += hits;
+                    acc.cache_misses += misses;
                     self.stats = acc;
                     matched.sort_by(|a, b| (&a.0, format_val(&a.1)).cmp(&(&b.0, format_val(&b.1))));
                     matched.dedup_by(|a, b| a.0 == b.0 && a.1 == b.1);

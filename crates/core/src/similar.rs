@@ -28,6 +28,7 @@
 //! the guaranteed regime and report recall in the lossy regime; the bench
 //! harness records achieved recall per run.
 
+use crate::broker::ProbeFilter;
 use crate::engine::{finalize_stats, ExecStep, FanOut, SimilarityEngine, StepOutcome};
 use crate::stats::QueryStats;
 use rustc_hash::FxHashMap;
@@ -37,7 +38,7 @@ use sqo_storage::keys;
 use sqo_storage::posting::{Object, Posting};
 use sqo_storage::triple::AttrName;
 use sqo_strsim::edit::levenshtein_bounded;
-use sqo_strsim::filters::{count_filter_threshold, length_filter, position_filter};
+use sqo_strsim::filters::{count_filter_threshold, length_filter};
 use sqo_strsim::qgram::{qgrams, PositionalQGram};
 use sqo_strsim::qsample::qsamples;
 
@@ -163,9 +164,12 @@ pub struct SimilarTask {
 enum SimState {
     /// Plan the probes (first step; needs the engine for partition lookup).
     Init,
-    /// One gram-probe branch per step (stage 1).
+    /// One gram-probe branch per step (stage 1). Branches flow through the
+    /// engine's probe broker when one is installed: cache hits resolve
+    /// locally for free, misses ride the partition's open coalescing
+    /// channel or route normally (see `crate::broker`).
     Probe {
-        fan: FanOut<Vec<Key>>,
+        fan: FanOut<(usize, Vec<Key>)>,
     },
     /// Naive path: route into the subtree of `prefixes[idx]`.
     NaiveRoute {
@@ -273,54 +277,39 @@ impl SimilarTask {
                         .collect();
                     probe_keys.sort_unstable(); // determinism of batching
                     self.stats.probes = probe_keys.len();
-                    let branches = engine.plan_probe_branches(&probe_keys);
+                    let branches = engine.plan_probe_parts(&probe_keys);
                     self.state = SimState::Probe { fan: FanOut::new(branches, at_us) };
                     continue;
                 }
 
                 SimState::Probe { mut fan } => {
-                    let Some(branch_keys) = fan.pop() else {
+                    let Some((part, branch_keys)) = fan.pop() else {
                         self.state = SimState::Aggregate { at_us: fan.max_end_us };
                         continue;
                     };
                     // The length/position filters run *where the postings
                     // live*: the delegated query carries (s, a, d), so the
                     // gram-owning peer prunes locally and only survivors
-                    // travel (§4's delegation optimization; with delegation
-                    // off the same filter runs at the initiator after the
-                    // full lists were charged to the wire).
-                    let filters = engine.config().filters;
-                    let (s_len, d, from) = (self.s_len, self.d, self.from);
-                    let gram_positions = &self.gram_positions;
-                    let attr = &self.attr;
+                    // travel (§4's delegation optimization); cache hits and
+                    // cache-filling replies carry the full lists and the
+                    // same filter runs at the initiator instead — identical
+                    // results either way (see crate::broker).
+                    let filter = ProbeFilter {
+                        attr: self.attr.as_deref(),
+                        gram_positions: &self.gram_positions,
+                        s_len: self.s_len,
+                        d: self.d,
+                        filters: engine.config().filters,
+                    };
                     let mut acc = self.stats;
-                    let (got, end) = engine.charged(&mut acc, fan.fork_us, |e| {
-                        let local_filter = |p: &Posting| -> bool {
-                            let (gram, pos, len) = match (attr, p) {
-                                (Some(a), Posting::InstanceGram { triple, gram, pos, .. }) => {
-                                    if triple.attr.as_str() != a.as_str() {
-                                        return false; // the "a == ξ(t′, 2)" guard of Alg. 2
-                                    }
-                                    let Some(text) = triple.value.as_str() else { return false };
-                                    (gram, *pos, text.chars().count())
-                                }
-                                (None, Posting::SchemaGram { triple, gram, pos }) => {
-                                    (gram, *pos, triple.attr.as_str().chars().count())
-                                }
-                                _ => return false,
-                            };
-                            let Some(q_positions) = gram_positions.get(gram.as_str()) else {
-                                return false; // not a probed gram (shouldn't happen: exact keys)
-                            };
-                            if filters.position
-                                && !q_positions.iter().any(|&qp| position_filter(pos, qp, d))
-                            {
-                                return false;
-                            }
-                            !filters.length || length_filter(len, s_len, d)
-                        };
-                        e.probe_branch(from, &branch_keys, &local_filter)
-                    });
+                    let (got, end) = engine.probe_issue(
+                        &mut acc,
+                        self.from,
+                        part,
+                        &branch_keys,
+                        &filter,
+                        fan.fork_us,
+                    );
                     self.stats = acc;
                     self.postings.extend(got);
                     fan.record_end(end);

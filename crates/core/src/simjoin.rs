@@ -15,6 +15,13 @@
 //! selections concurrently from the initiator (window = 1 reproduces the
 //! paper's serial loop; the probing traffic is per-left either way).
 //!
+//! With a probe broker installed (`sqo-cache`), the per-left child
+//! selections share the initiator's posting cache *across* left values —
+//! overlapping grams of different left strings are fetched once — and
+//! children whose probe windows overlap coalesce their same-partition
+//! probes into one routed multi-key exchange (see [`crate::broker`]). Both
+//! are pure traffic savings: join results are byte-identical either way.
+//!
 //! `left_limit` bounds the left side (deterministic stratified sample).
 //! The §6 workload joins *self-join columns over the full dataset*; at
 //! simulation scale a full 10⁵×10⁵ self-join is neither feasible nor what

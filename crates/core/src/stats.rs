@@ -32,6 +32,16 @@ pub struct QueryStats {
     pub matches: usize,
     /// Range-enlargement / distance-shell iterations (top-N).
     pub rounds: usize,
+    /// Probe keys answered from the initiator-side posting cache
+    /// (`sqo-cache`) without touching the overlay.
+    pub cache_hits: u64,
+    /// Probe keys that missed the cache (or ran with it disabled — the
+    /// counter stays 0 without a broker, so `hits + misses > 0` implies
+    /// the cache was consulted).
+    pub cache_misses: u64,
+    /// Probe keys that rode a coalesced multi-key message another task's
+    /// batch window opened (the shared route was charged once).
+    pub probes_coalesced: u64,
 }
 
 impl QueryStats {
@@ -48,6 +58,9 @@ impl QueryStats {
         self.edit_comparisons += other.edit_comparisons;
         self.matches += other.matches;
         self.rounds += other.rounds;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.probes_coalesced += other.probes_coalesced;
     }
 }
 
@@ -64,6 +77,9 @@ mod tests {
             matches: 2,
             edit_comparisons: 9,
             rounds: 1,
+            cache_hits: 4,
+            cache_misses: 2,
+            probes_coalesced: 1,
             ..Default::default()
         };
         a.absorb(&b);
@@ -72,5 +88,8 @@ mod tests {
         assert_eq!(a.matches, 3);
         assert_eq!(a.edit_comparisons, 9);
         assert_eq!(a.rounds, 1);
+        assert_eq!(a.cache_hits, 4);
+        assert_eq!(a.cache_misses, 2);
+        assert_eq!(a.probes_coalesced, 1);
     }
 }

@@ -18,7 +18,10 @@
 //! strings we have to handle concrete distances instead of interval start
 //! and end points") run `Similar` over expanding edit-distance shells
 //! `d = 1, 3, 5, …` up to `d_max`, reusing the initiator's object cache
-//! across shells, until `N` matches are known.
+//! across shells, until `N` matches are known. Successive shells probe the
+//! *same* gram keys (the search string never changes — only `d` grows), so
+//! with a probe broker installed (see [`crate::broker`]) every shell after
+//! the first is served almost entirely from the initiator's posting cache.
 
 use crate::engine::{finalize_stats, ExecStep, SimilarityEngine, StepOutcome};
 use crate::ranking::Rank;

@@ -82,6 +82,9 @@ impl std::fmt::Display for RouteError {
 
 impl std::error::Error for RouteError {}
 
+/// Per-key item lists, as returned by [`Network::retrieve_multi`].
+pub type KeyedItems<T> = Vec<(Key, Vec<T>)>;
+
 /// The simulated P-Grid network holding items of type `T`.
 pub struct Network<T> {
     cfg: NetworkConfig,
@@ -97,6 +100,13 @@ pub struct Network<T> {
     /// into it (see [`crate::clock`]). `None` keeps the network a pure
     /// message counter with zero behavior change.
     sink: Option<Box<dyn EventSink>>,
+    /// Monotone invalidation counter: bumped by every event that can make
+    /// remotely cached data stale — churn ([`Self::fail_peer`],
+    /// [`Self::revive_peer`], [`Self::fail_random_fraction`]) *and* data
+    /// insertion ([`Self::insert_item`], i.e. publications). Caches layered
+    /// above the overlay key their entries by this epoch so nothing fetched
+    /// before such an event is ever served after it.
+    cache_epoch: u64,
     rng: StdRng,
 }
 
@@ -195,6 +205,7 @@ impl<T: Item> Network<T> {
             metrics: Metrics::default(),
             peer_load: vec![PeerLoad::default(); n_peers],
             sink: None,
+            cache_epoch: 0,
             rng: StdRng::seed_from_u64(0), // replaced below, after cfg move
         };
         net.rng = StdRng::seed_from_u64(net.cfg.seed);
@@ -248,7 +259,10 @@ impl<T: Item> Network<T> {
     /// Insert an item, replicating it into every partition its key covers
     /// (one partition in the common case; several only when the key is
     /// shorter than the local trie depth) and onto every structural replica.
+    /// Bumps the cache epoch: posting lists fetched before the insert no
+    /// longer reflect the stored data.
     pub fn insert_item(&mut self, key: Key, item: T) {
+        self.cache_epoch += 1;
         let (s, e) = subtree_range(&self.paths, &key);
         debug_assert!(e > s, "complete cover guarantees an owner for every key");
         for part in s..e {
@@ -439,12 +453,19 @@ impl<T: Item> Network<T> {
     // Churn
     // ------------------------------------------------------------------
 
+    /// Current cache-invalidation epoch; see the `cache_epoch` field docs.
+    pub fn cache_epoch(&self) -> u64 {
+        self.cache_epoch
+    }
+
     pub fn fail_peer(&mut self, id: PeerId) {
         self.peers[id.index()].alive = false;
+        self.cache_epoch += 1;
     }
 
     pub fn revive_peer(&mut self, id: PeerId) {
         self.peers[id.index()].alive = true;
+        self.cache_epoch += 1;
     }
 
     /// Kill a random `fraction` of all peers. Returns the victims.
@@ -458,6 +479,10 @@ impl<T: Item> Network<T> {
         let alive = self.peers.iter().filter(|p| p.alive).count();
         let n =
             (((self.peers.len() as f64) * fraction).round() as usize).min(alive.saturating_sub(1));
+        // Even a zero-victim wave is a membership event: caches must not
+        // outlive the *schedule point*, or two runs differing only in the
+        // wave size would invalidate at different times.
+        self.cache_epoch += 1;
         let mut victims = Vec::with_capacity(n);
         while victims.len() < n {
             let id = PeerId(self.rng.gen_range(0..self.peers.len()) as u32);
@@ -719,6 +744,41 @@ impl<T: Item> Network<T> {
         self.charge_result(from, to, payload_bytes);
     }
 
+    /// Multi-key retrieve: one routed query chain carrying several exact
+    /// keys that all map to the **same partition**, answered by one
+    /// combined reply with the per-key item lists (prefix-extension
+    /// semantics per key, matching [`Self::retrieve`]). This is the wire
+    /// primitive behind cross-query probe coalescing: `n` probes to the
+    /// same partition cost one route and one reply instead of `n` of each.
+    /// Returns the answering peer so callers can fan the payload onward.
+    ///
+    /// # Panics
+    /// Debug-asserts that every key lands in the partition of `keys[0]`.
+    pub fn retrieve_multi(
+        &mut self,
+        from: PeerId,
+        keys: &[Key],
+    ) -> Result<(PeerId, KeyedItems<T>), RouteError> {
+        assert!(!keys.is_empty(), "multi-key retrieve needs at least one key");
+        debug_assert!(
+            keys.iter().all(|k| self.partition_of(k) == self.partition_of(&keys[0])),
+            "multi-key retrieve keys must share a partition"
+        );
+        let owner = self.route(from, &keys[0])?;
+        let mut out = Vec::with_capacity(keys.len());
+        let mut payload = 0usize;
+        for key in keys {
+            let (items, touched) = self.peers[owner.index()].scan_prefix(key);
+            self.charge_scan(owner, touched);
+            payload += items.iter().map(Item::size_bytes).sum::<usize>();
+            out.push((key.clone(), items));
+        }
+        if owner != from {
+            self.charge_result(owner, from, payload);
+        }
+        Ok((owner, out))
+    }
+
     /// Local prefix scan at `peer` — free of messages, but accounted as
     /// local work (and as CPU occupancy on the virtual clock).
     pub fn local_prefix_scan(&mut self, peer: PeerId, key: &Key) -> Vec<T> {
@@ -978,6 +1038,66 @@ mod tests {
         // counters cannot show).
         let loaded = net.peer_loads().iter().filter(|l| l.msgs_total() > 0).count();
         assert!(loaded > 1, "traffic concentrated on {loaded} peer(s)");
+    }
+
+    #[test]
+    fn churn_and_inserts_bump_the_epoch() {
+        let (mut net, _) = word_net(16, 50);
+        let e0 = net.cache_epoch();
+        net.fail_peer(PeerId(3));
+        assert_eq!(net.cache_epoch(), e0 + 1);
+        net.revive_peer(PeerId(3));
+        assert_eq!(net.cache_epoch(), e0 + 2);
+        net.fail_random_fraction(0.1);
+        assert_eq!(net.cache_epoch(), e0 + 3);
+        // A zero-victim wave is still a membership event.
+        net.fail_random_fraction(0.0);
+        assert_eq!(net.cache_epoch(), e0 + 4);
+        // Publication invalidates too: cached lists no longer reflect the
+        // stored data.
+        net.insert_item(hash_str("fresh"), W("fresh".into()));
+        assert_eq!(net.cache_epoch(), e0 + 5);
+    }
+
+    #[test]
+    fn retrieve_multi_matches_per_key_retrieves_with_fewer_messages() {
+        let (mut net, words) = word_net(64, 300);
+        // Pick a partition with several keys in it.
+        let part = net.partition_of(&hash_str(&words[0]));
+        let keys: Vec<Key> = words
+            .iter()
+            .filter(|w| net.partition_of(&hash_str(w)) == part)
+            .take(4)
+            .map(|w| hash_str(w))
+            .collect();
+        assert!(keys.len() >= 2, "need a shared partition to test coalescing");
+        // Initiator outside the partition, so messages actually flow.
+        let from = (0..net.peer_count() as u32)
+            .map(PeerId)
+            .find(|p| net.peer(*p).partition as usize != part)
+            .unwrap();
+
+        net.reset_metrics();
+        let (_owner, multi) = net.retrieve_multi(from, &keys).expect("route");
+        let multi_msgs = net.metrics().messages;
+
+        net.reset_metrics();
+        let mut singles = Vec::new();
+        for k in &keys {
+            singles.push((k.clone(), net.retrieve(from, k).expect("route")));
+        }
+        let single_msgs = net.metrics().messages;
+
+        for ((mk, mv), (sk, sv)) in multi.iter().zip(&singles) {
+            assert_eq!(mk, sk);
+            assert_eq!(mv, sv, "multi-key retrieve must return per-key lists verbatim");
+        }
+        assert!(
+            multi_msgs < single_msgs,
+            "one routed chain + one reply must beat {} separate retrieves \
+             ({multi_msgs} vs {single_msgs})",
+            keys.len()
+        );
     }
 
     #[test]

@@ -30,10 +30,11 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
 use sqo_core::{
-    ExecStep, JoinOptions, JoinTask, QueryStats, QueryTask, SimilarTask, SimilarityEngine,
-    StepOutcome, Strategy, TopNTask,
+    BrokerConfig, BrokerCounters, CacheBatchBroker, ExecStep, JoinOptions, JoinTask, QueryStats,
+    QueryTask, SimilarTask, SimilarityEngine, StepOutcome, Strategy, TopNTask,
 };
-use sqo_overlay::SimLatency;
+use sqo_datasets::ZipfSampler;
+use sqo_overlay::{PeerId, SimLatency};
 use std::collections::BTreeMap;
 
 /// How clients space their queries.
@@ -102,6 +103,20 @@ pub struct DriverConfig {
     /// Churn schedule (peers die mid-workload; queries must still
     /// terminate).
     pub churn: Vec<ChurnEvent>,
+    /// Hot-path services for the run: when any is enabled the driver
+    /// installs a fresh [`CacheBatchBroker`] on the engine (and removes any
+    /// stale one otherwise), so every run owns its own cache state.
+    pub cache: BrokerConfig,
+    /// Query-string skew: `0.0` picks uniformly from the pool (the PR 2
+    /// baseline behavior); `> 0.0` draws string ranks from a Zipf
+    /// distribution with this exponent — the production-shaped workload
+    /// where popular strings (and their gram partitions) dominate.
+    pub zipf_s: f64,
+    /// `true` pins each client to one initiator peer for the whole run (a
+    /// client keeps its access point, which is what makes initiator-side
+    /// caches meaningful); `false` draws a fresh random initiator per
+    /// query (the PR 2 baseline behavior).
+    pub sticky_initiators: bool,
     pub seed: u64,
 }
 
@@ -119,7 +134,39 @@ impl Default for DriverConfig {
             strategy: Strategy::QGrams,
             sim: SimConfig::default(),
             churn: Vec::new(),
+            cache: BrokerConfig::default(),
+            zipf_s: 0.0,
+            sticky_initiators: false,
             seed: 7,
+        }
+    }
+}
+
+/// Hot-path service usage over one driven run (all zeros without a broker).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize)]
+pub struct CacheReport {
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    /// `hits / (hits + misses)`, 0 when the cache was never consulted.
+    pub hit_rate: f64,
+    /// Probe submissions that rode a coalescing channel another probe's
+    /// route opened.
+    pub probes_coalesced: u64,
+    /// Routed exchanges that opened a coalescing channel.
+    pub channels_opened: u64,
+    /// Overlay messages the coalesced probes avoided.
+    pub messages_saved: u64,
+}
+
+impl From<BrokerCounters> for CacheReport {
+    fn from(c: BrokerCounters) -> Self {
+        Self {
+            cache_hits: c.cache_hits,
+            cache_misses: c.cache_misses,
+            hit_rate: c.hit_rate(),
+            probes_coalesced: c.probes_coalesced,
+            channels_opened: c.channels_opened,
+            messages_saved: c.messages_saved,
         }
     }
 }
@@ -133,6 +180,8 @@ pub struct DriverReport {
     pub overall: LatencySummary,
     /// Aggregated operator stats (traffic, probes, simulated latency).
     pub total: QueryStats,
+    /// Hot-path service usage (hit rate, coalesced probes, messages saved).
+    pub cache: CacheReport,
     pub queries_run: usize,
     /// Virtual time from first arrival to last completion.
     pub virtual_span_us: u64,
@@ -179,12 +228,24 @@ pub fn run_driver(
         assert!(!offsets_us.is_empty(), "explicit arrivals need at least one offset");
     }
     install(engine, cfg.sim);
+    // The driver owns the run's broker: fresh state per run, stale brokers
+    // from a previous run removed.
+    if cfg.cache.any_enabled() {
+        engine.set_broker(Box::new(CacheBatchBroker::new(cfg.cache)));
+    } else {
+        engine.clear_broker();
+    }
+    let zipf = (cfg.zipf_s > 0.0).then(|| ZipfSampler::new(strings.len(), cfg.zipf_s));
 
     // Per-client deterministic streams: query arguments and arrival jitter.
     let mut client_rngs: Vec<StdRng> = (0..cfg.clients)
         .map(|c| StdRng::seed_from_u64(cfg.seed ^ (0x00C1_1E47 + c as u64).wrapping_mul(0x9E37)))
         .collect();
     let mut issued = vec![0usize; cfg.clients];
+    // Sticky access points: each client keeps one initiator peer, which is
+    // what gives its posting cache a working set to accumulate.
+    let initiators: Option<Vec<PeerId>> =
+        cfg.sticky_initiators.then(|| (0..cfg.clients).map(|_| engine.random_peer()).collect());
 
     let mut q: EventQueue<Ev> = EventQueue::new();
     for (idx, ev) in cfg.churn.iter().enumerate() {
@@ -204,7 +265,7 @@ pub fn run_driver(
     // Finished slots are recycled so memory stays O(max in-flight), not
     // O(total queries).
     let mut free_slots: Vec<usize> = Vec::new();
-    let mut by_operator: BTreeMap<&'static str, Vec<u64>> = BTreeMap::new();
+    let mut by_operator: BTreeMap<&'static str, (Vec<u64>, QueryStats)> = BTreeMap::new();
     let mut all_latencies: Vec<u64> = Vec::new();
     let mut total = QueryStats::default();
     let mut queries_run = 0usize;
@@ -221,9 +282,16 @@ pub fn run_driver(
                 issued[client] += 1;
                 let s = {
                     let rng = &mut client_rngs[client];
-                    strings[rng.gen_range(0..strings.len())].clone()
+                    let idx = match &zipf {
+                        Some(z) => z.sample(rng),
+                        None => rng.gen_range(0..strings.len()),
+                    };
+                    strings[idx].clone()
                 };
-                let from = engine.random_peer();
+                let from = match &initiators {
+                    Some(per_client) => per_client[client],
+                    None => engine.random_peer(),
+                };
                 let flight = InFlight {
                     task: build_task(attr, &s, from, &kind, cfg.strategy),
                     label: kind.label(),
@@ -268,7 +336,9 @@ pub fn run_driver(
                             end_us: flight.arrival_us,
                             ..Default::default()
                         });
-                        by_operator.entry(flight.label).or_default().push(sim.elapsed_us);
+                        let (lats, op_stats) = by_operator.entry(flight.label).or_default();
+                        lats.push(sim.elapsed_us);
+                        op_stats.absorb(&stats);
                         all_latencies.push(sim.elapsed_us);
                         total.absorb(&stats);
                         queries_run += 1;
@@ -294,9 +364,12 @@ pub fn run_driver(
 
     let per_operator: Vec<OperatorLatency> = by_operator
         .into_iter()
-        .map(|(op, lats)| OperatorLatency {
+        .map(|(op, (lats, op_stats))| OperatorLatency {
             operator: op.to_string(),
             summary: LatencySummary::of(&lats),
+            messages: op_stats.traffic.messages,
+            cache_hits: op_stats.cache_hits,
+            probes_coalesced: op_stats.probes_coalesced,
         })
         .collect();
     let virtual_span_us = last_end.saturating_sub(first_start.min(last_end));
@@ -306,8 +379,17 @@ pub fn run_driver(
         0.0
     };
     let overall = LatencySummary::of(&all_latencies);
+    let cache = engine.broker_counters().map(CacheReport::from).unwrap_or_default();
 
-    DriverReport { per_operator, overall, total, queries_run, virtual_span_us, throughput_qps }
+    DriverReport {
+        per_operator,
+        overall,
+        total,
+        cache,
+        queries_run,
+        virtual_span_us,
+        throughput_qps,
+    }
 }
 
 /// Exponential interarrival sample with the given mean (microseconds).

@@ -72,7 +72,9 @@ pub mod latency;
 pub mod netsim;
 pub mod report;
 
-pub use driver::{run_driver, Arrival, ChurnEvent, DriverConfig, DriverReport, QueryKind};
+pub use driver::{
+    run_driver, Arrival, CacheReport, ChurnEvent, DriverConfig, DriverReport, QueryKind,
+};
 pub use events::EventQueue;
 pub use latency::{LatencyModel, LossModel};
 pub use netsim::{install, NetSim, SimConfig};

@@ -43,11 +43,20 @@ impl LatencySummary {
     }
 }
 
-/// One operator's latency profile within a driven workload.
+/// One operator's latency profile within a driven workload, with its
+/// overlay traffic next to the percentiles — optimizations that trade
+/// messages for latency (caching, batching) are visible per operator in
+/// the bench artifact, not only in the workload totals.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct OperatorLatency {
     pub operator: String,
     pub summary: LatencySummary,
+    /// Overlay messages attributed to this operator's queries.
+    pub messages: u64,
+    /// Probe keys this operator's queries served from the posting cache.
+    pub cache_hits: u64,
+    /// Probe keys that rode a coalesced multi-key exchange.
+    pub probes_coalesced: u64,
 }
 
 #[cfg(test)]

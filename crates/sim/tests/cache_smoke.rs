@@ -1,0 +1,84 @@
+//! The CI `cache-smoke` guard: on a repeated-key workload the hot-path
+//! services must actually fire (hit rate > 0, probes coalesced) and must
+//! not make the workload slower (p50 no worse than cache-off), while
+//! returning the same answers. Small enough to run on every PR.
+
+use sqo_core::{BrokerConfig, EngineBuilder, SimilarityEngine};
+use sqo_datasets::{bible_words, string_rows};
+use sqo_sim::{
+    run_driver, Arrival, DriverConfig, DriverReport, LatencyModel, QueryKind, SimConfig,
+};
+
+fn engine(words: &[String]) -> SimilarityEngine {
+    let rows = string_rows("word", words, "w");
+    EngineBuilder::new().peers(64).q(2).seed(5).build_with_rows(&rows)
+}
+
+fn drive(words: &[String], pool: &[String], cache: BrokerConfig) -> DriverReport {
+    let mut e = engine(words);
+    let cfg = DriverConfig {
+        clients: 8,
+        queries_per_client: 5,
+        arrival: Arrival::Poisson { mean_interarrival_us: 4_000 },
+        mix: vec![
+            QueryKind::Similar { d: 1 },
+            QueryKind::SimJoin { d: 1, left_limit: Some(8), window: 4 },
+            QueryKind::TopN { n: 5, d_max: 3 },
+        ],
+        sim: SimConfig { latency: LatencyModel::Constant { us: 1_000 }, ..SimConfig::default() },
+        cache,
+        // Heavy skew + pinned access points: the repeated-key regime the
+        // cache exists for.
+        zipf_s: 1.2,
+        sticky_initiators: true,
+        ..DriverConfig::default()
+    };
+    run_driver(&mut e, "word", pool, &cfg)
+}
+
+#[test]
+fn cache_smoke() {
+    let words = bible_words(400, 11);
+    // A deliberately small query pool: every client repeats hot strings.
+    let pool: Vec<String> = words.iter().take(12).cloned().collect();
+
+    let off = drive(&words, &pool, BrokerConfig::default());
+    let on = drive(&words, &pool, BrokerConfig::enabled());
+
+    assert_eq!(off.queries_run, on.queries_run);
+    assert_eq!(
+        off.total.matches, on.total.matches,
+        "the hot-path services must not change any answer"
+    );
+
+    assert!(on.cache.hit_rate > 0.0, "repeated keys must hit the cache: {:?}", on.cache);
+    assert!(on.cache.cache_hits > 0);
+    assert_eq!(off.cache.cache_hits, 0, "cache-off run must not consult a cache");
+
+    assert!(
+        on.total.traffic.messages < off.total.traffic.messages,
+        "caching+batching must cut overlay traffic ({} vs {})",
+        on.total.traffic.messages,
+        off.total.traffic.messages
+    );
+    assert!(
+        on.overall.p50_us <= off.overall.p50_us,
+        "cache-on p50 must be no worse on a repeated-key workload ({} vs {})",
+        on.overall.p50_us,
+        off.overall.p50_us
+    );
+
+    // Per-operator message counts are in the report (the bench artifact
+    // surfaces them next to the percentiles).
+    for op in &off.per_operator {
+        assert!(op.messages > 0, "cache-off {op:?} must show its traffic");
+        let on_op = on.per_operator.iter().find(|o| o.operator == op.operator).unwrap();
+        assert!(
+            on_op.messages <= op.messages,
+            "{}: cache-on must not cost more messages ({} vs {})",
+            op.operator,
+            on_op.messages,
+            op.messages
+        );
+    }
+}

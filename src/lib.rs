@@ -10,6 +10,8 @@
 //!   index postings,
 //! * [`strsim`] — edit distance, positional q-grams, q-samples and pruning
 //!   filters,
+//! * [`cache`] — hot-path services: initiator-side posting caches with
+//!   churn-epoch invalidation and cross-query probe coalescing,
 //! * [`core`] — the physical similarity operators (`Similar`, `SimJoin`,
 //!   `TopN`, naive baseline),
 //! * [`vql`] — the Vertical Query Language: parser, planner, executor,
@@ -35,6 +37,7 @@
 //! assert_eq!(res.matches.len(), 2);
 //! ```
 
+pub use sqo_cache as cache;
 pub use sqo_core as core;
 pub use sqo_datasets as datasets;
 pub use sqo_overlay as overlay;
