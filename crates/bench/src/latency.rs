@@ -13,7 +13,7 @@ use serde::Serialize;
 use sqo_core::{BrokerConfig, EngineBuilder, SimilarityEngine, Strategy};
 use sqo_datasets::{bible_words, string_rows};
 use sqo_sim::{
-    run_driver, Arrival, DriverConfig, DriverReport, LatencyModel, QueryKind, SimConfig,
+    run_driver, ApiMode, Arrival, DriverConfig, DriverReport, LatencyModel, QueryKind, SimConfig,
 };
 
 /// Sweep configuration.
@@ -28,6 +28,9 @@ pub struct LatencyBenchConfig {
     pub models: Vec<LatencyModel>,
     /// Hot-path service modes to sweep (label, configuration).
     pub cache_modes: Vec<(&'static str, BrokerConfig)>,
+    /// Query surfaces to sweep (label, dispatch mode): the legacy-shim
+    /// column is the baseline that pins the plan path's overhead at noise.
+    pub api_modes: Vec<(&'static str, ApiMode)>,
     /// Query-string skew exponent (0 = uniform). The default workload is
     /// Zipf-skewed: popular strings dominate, the regime caching exists for.
     pub zipf_s: f64,
@@ -52,6 +55,7 @@ impl Default for LatencyBenchConfig {
                 LatencyModel::PerLink { min_us: 300, max_us: 12_000, salt: 17 },
             ],
             cache_modes: vec![("off", BrokerConfig::default()), ("on", BrokerConfig::enabled())],
+            api_modes: vec![("legacy", ApiMode::Legacy), ("plan", ApiMode::Plan)],
             zipf_s: 1.1,
             sticky_initiators: true,
             strategy: Strategy::QGrams,
@@ -84,6 +88,9 @@ pub struct LatencyPoint {
     pub clients: usize,
     /// Hot-path service mode label ("off" / "on").
     pub cache: String,
+    /// Query-surface label ("legacy" = direct task construction, "plan" =
+    /// dispatch through prepared logical plans).
+    pub api: String,
     pub operator: String,
     pub count: usize,
     pub mean_us: u64,
@@ -117,6 +124,7 @@ fn points_of(
     model: &LatencyModel,
     clients: usize,
     cache: &str,
+    api: &str,
 ) -> Vec<LatencyPoint> {
     let queue_us_total = report.total.sim.map(|s| s.queue_us).unwrap_or(0);
     report
@@ -126,6 +134,7 @@ fn points_of(
             model: model.label().to_string(),
             clients,
             cache: cache.to_string(),
+            api: api.to_string(),
             operator: op.operator.clone(),
             count: op.summary.count,
             mean_us: op.summary.mean_us,
@@ -151,27 +160,32 @@ pub fn run_latency_bench(cfg: &LatencyBenchConfig) -> Vec<LatencyPoint> {
     for model in &cfg.models {
         for &clients in &cfg.client_counts {
             for (label, cache) in &cfg.cache_modes {
-                let mut engine = fresh_engine(cfg, &words);
-                let driver_cfg = DriverConfig {
-                    clients,
-                    queries_per_client: cfg.queries_per_client,
-                    arrival: Arrival::Poisson { mean_interarrival_us: cfg.mean_interarrival_us },
-                    mix: vec![
-                        QueryKind::Similar { d: 1 },
-                        QueryKind::SimJoin { d: 1, left_limit: Some(8), window: 1 },
-                        QueryKind::TopN { n: 5, d_max: 3 },
-                        QueryKind::Vql { d: 1 },
-                    ],
-                    strategy: cfg.strategy,
-                    sim: SimConfig { latency: *model, ..SimConfig::default() },
-                    churn: Vec::new(),
-                    cache: *cache,
-                    zipf_s: cfg.zipf_s,
-                    sticky_initiators: cfg.sticky_initiators,
-                    seed: cfg.seed,
-                };
-                let report = run_driver(&mut engine, "word", &words, &driver_cfg);
-                out.extend(points_of(&report, model, clients, label));
+                for (api_label, api) in &cfg.api_modes {
+                    let mut engine = fresh_engine(cfg, &words);
+                    let driver_cfg = DriverConfig {
+                        clients,
+                        queries_per_client: cfg.queries_per_client,
+                        arrival: Arrival::Poisson {
+                            mean_interarrival_us: cfg.mean_interarrival_us,
+                        },
+                        mix: vec![
+                            QueryKind::Similar { d: 1 },
+                            QueryKind::SimJoin { d: 1, left_limit: Some(8), window: 1 },
+                            QueryKind::TopN { n: 5, d_max: 3 },
+                            QueryKind::Vql { d: 1 },
+                        ],
+                        strategy: cfg.strategy,
+                        sim: SimConfig { latency: *model, ..SimConfig::default() },
+                        churn: Vec::new(),
+                        cache: *cache,
+                        zipf_s: cfg.zipf_s,
+                        sticky_initiators: cfg.sticky_initiators,
+                        api: *api,
+                        seed: cfg.seed,
+                    };
+                    let report = run_driver(&mut engine, "word", &words, &driver_cfg);
+                    out.extend(points_of(&report, model, clients, label, api_label));
+                }
             }
         }
     }
@@ -181,14 +195,16 @@ pub fn run_latency_bench(cfg: &LatencyBenchConfig) -> Vec<LatencyPoint> {
 /// Human-readable table of a sweep.
 pub fn render(points: &[LatencyPoint]) -> String {
     let mut s = String::from(
-        "model      clients cache operator  count   p50(ms)   p95(ms)   p99(ms)   msgs  hit%\n",
+        "model      clients cache api    operator  count   p50(ms)   p95(ms)   p99(ms)   msgs  \
+         hit%\n",
     );
     for p in points {
         s.push_str(&format!(
-            "{:<10} {:>7} {:<5} {:<9} {:>5} {:>9.2} {:>9.2} {:>9.2} {:>6} {:>5.1}\n",
+            "{:<10} {:>7} {:<5} {:<6} {:<9} {:>5} {:>9.2} {:>9.2} {:>9.2} {:>6} {:>5.1}\n",
             p.model,
             p.clients,
             p.cache,
+            p.api,
             p.operator,
             p.count,
             p.p50_us as f64 / 1e3,
@@ -221,8 +237,9 @@ mod tests {
             ..LatencyBenchConfig::default()
         };
         let a = run_latency_bench(&cfg);
-        // 2 models x 1 client count x 2 cache modes x 4 operators.
-        assert_eq!(a.len(), 16);
+        // 2 models x 1 client count x 2 cache modes x 2 api modes x 4
+        // operators.
+        assert_eq!(a.len(), 32);
         for p in &a {
             assert!(p.count > 0);
             assert!(p.p50_us <= p.p99_us);
@@ -234,6 +251,31 @@ mod tests {
             a.iter().any(|p| p.cache == "on" && p.cache_hits > 0),
             "cache-on sweep must produce hits"
         );
+        // The plan column must sit on top of the legacy-shim column:
+        // dispatching through prepared plans adds no virtual-time overhead
+        // (the <2% p50 budget is pinned at 0 by construction — both
+        // surfaces drive identical stepped tasks).
+        for p in a.iter().filter(|p| p.api == "plan") {
+            let legacy = a
+                .iter()
+                .find(|l| {
+                    l.api == "legacy"
+                        && l.model == p.model
+                        && l.clients == p.clients
+                        && l.cache == p.cache
+                        && l.operator == p.operator
+                })
+                .expect("matching legacy point");
+            let tolerance = (legacy.p50_us as f64 * 0.02).max(1.0);
+            assert!(
+                (p.p50_us as f64 - legacy.p50_us as f64).abs() <= tolerance,
+                "plan p50 {} vs legacy p50 {} for {}/{}",
+                p.p50_us,
+                legacy.p50_us,
+                p.model,
+                p.operator
+            );
+        }
         let b = run_latency_bench(&cfg);
         assert_eq!(
             serde_json::to_string(&a).unwrap(),

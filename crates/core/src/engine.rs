@@ -15,32 +15,65 @@ use sqo_storage::publish::{postings_for_rows, PublishConfig, PublishStats};
 use sqo_storage::triple::Row;
 use sqo_strsim::filters::FilterConfig;
 
-/// Everything configurable about an engine.
+/// Per-query execution defaults, grouped so higher layers (the `sqo-plan`
+/// planner, workload drivers) inherit one coherent block instead of poking
+/// individual engine knobs. A logical plan starts from the engine's
+/// defaults and may override the per-query members (strategy, join window,
+/// join left limit) per plan node; the engine-state-coupled members
+/// (delegation, filters, cache services) apply to every query the engine
+/// runs.
 #[derive(Debug, Clone)]
-pub struct EngineConfig {
-    pub network: NetworkConfig,
-    pub publish: PublishConfig,
+pub struct QueryDefaults {
     /// Enable the two §4 optimizations: query delegation and batching of
     /// `Retrieve` calls per target peer (shower-style contact-once).
     pub delegation: bool,
     /// Candidate pruning filters (count / length / position).
     pub filters: FilterConfig,
+    /// Default string-similarity strategy for queries that don't pick one.
+    pub strategy: crate::similar::Strategy,
+    /// Default similarity-join pipelining window ([`JoinOptions::window`]):
+    /// how many per-left selections the initiator keeps in flight.
+    pub join_window: usize,
+    /// Default cap on a join's left side (`None` joins everything).
+    pub join_left_limit: Option<usize>,
     /// Hot-path services: initiator-side posting cache + cross-query probe
     /// batching (`sqo-cache`). Both default to off, which keeps the engine
     /// byte-identical to the broker-less pipeline.
     pub cache: BrokerConfig,
 }
 
-impl Default for EngineConfig {
+impl Default for QueryDefaults {
     fn default() -> Self {
         Self {
-            network: NetworkConfig::default(),
-            publish: PublishConfig::default(),
             delegation: true,
             filters: FilterConfig::default(),
+            strategy: crate::similar::Strategy::QGrams,
+            join_window: 1,
+            join_left_limit: None,
             cache: BrokerConfig::default(),
         }
     }
+}
+
+impl QueryDefaults {
+    /// The [`JoinOptions`] these defaults imply.
+    pub fn join_options(&self) -> crate::simjoin::JoinOptions {
+        crate::simjoin::JoinOptions {
+            strategy: self.strategy,
+            left_limit: self.join_left_limit,
+            window: self.join_window,
+        }
+    }
+}
+
+/// Everything configurable about an engine.
+#[derive(Debug, Clone, Default)]
+pub struct EngineConfig {
+    pub network: NetworkConfig,
+    pub publish: PublishConfig,
+    /// Per-query execution defaults (delegation, filters, strategy, join
+    /// window, cache services) that plans inherit.
+    pub query: QueryDefaults,
 }
 
 /// Fluent constructor for [`SimilarityEngine`].
@@ -94,13 +127,32 @@ impl EngineBuilder {
 
     /// Toggle the §4 delegation/batching optimizations.
     pub fn delegation(mut self, on: bool) -> Self {
-        self.cfg.delegation = on;
+        self.cfg.query.delegation = on;
         self
     }
 
     /// Candidate filter configuration.
     pub fn filters(mut self, f: FilterConfig) -> Self {
-        self.cfg.filters = f;
+        self.cfg.query.filters = f;
+        self
+    }
+
+    /// Default similarity-join pipelining window (see
+    /// [`QueryDefaults::join_window`]).
+    pub fn join_window(mut self, w: usize) -> Self {
+        self.cfg.query.join_window = w.max(1);
+        self
+    }
+
+    /// Default string-similarity strategy for queries that don't pick one.
+    pub fn default_strategy(mut self, s: crate::similar::Strategy) -> Self {
+        self.cfg.query.strategy = s;
+        self
+    }
+
+    /// Replace the whole per-query defaults block at once.
+    pub fn query_defaults(mut self, q: QueryDefaults) -> Self {
+        self.cfg.query = q;
         self
     }
 
@@ -114,7 +166,7 @@ impl EngineBuilder {
     /// When any service is enabled, the built engine carries a
     /// [`CacheBatchBroker`] and probe branches flow through it.
     pub fn cache_config(mut self, c: BrokerConfig) -> Self {
-        self.cfg.cache = c;
+        self.cfg.query.cache = c;
         self
     }
 
@@ -122,11 +174,10 @@ impl EngineBuilder {
     pub fn build_with_rows(self, rows: &[Row]) -> SimilarityEngine {
         let (postings, publish_stats) = postings_for_rows(rows, &self.cfg.publish);
         let net = Network::build(self.cfg.network.clone(), postings);
-        let broker: Option<Box<dyn ProbeBroker>> = self
-            .cfg
-            .cache
-            .any_enabled()
-            .then(|| Box::new(CacheBatchBroker::new(self.cfg.cache)) as Box<dyn ProbeBroker>);
+        let broker: Option<Box<dyn ProbeBroker>> =
+            self.cfg.query.cache.any_enabled().then(|| {
+                Box::new(CacheBatchBroker::new(self.cfg.query.cache)) as Box<dyn ProbeBroker>
+            });
         SimilarityEngine { net, cfg: self.cfg, publish_stats, edit_comparisons: 0, broker }
     }
 }
@@ -160,6 +211,11 @@ impl SimilarityEngine {
 
     pub fn config(&self) -> &EngineConfig {
         &self.cfg
+    }
+
+    /// The per-query execution defaults plans inherit (and may override).
+    pub fn defaults(&self) -> &QueryDefaults {
+        &self.cfg.query
     }
 
     /// Storage-overhead accounting of the initial publication.
@@ -197,6 +253,18 @@ impl SimilarityEngine {
         self.broker.is_some()
     }
 
+    /// True when an installed broker serves the initiator-side posting
+    /// cache — the signal cache-aware planning keys off (with delegation
+    /// on; the broker never overrides a delegation-off A/B baseline).
+    pub fn cache_active(&self) -> bool {
+        self.cfg.query.delegation && self.broker.as_ref().is_some_and(|b| b.cache_enabled())
+    }
+
+    /// True when an installed broker coalesces cross-query probes.
+    pub fn batching_active(&self) -> bool {
+        self.cfg.query.delegation && self.broker.as_ref().is_some_and(|b| b.batch_enabled())
+    }
+
     /// Lifetime service counters of the installed broker (hit rate,
     /// coalesced probes, messages saved), if any.
     pub fn broker_counters(&self) -> Option<BrokerCounters> {
@@ -226,7 +294,7 @@ impl SimilarityEngine {
         let snap = self.begin_query();
         let (postings, stats) = postings_for_rows(rows, &self.cfg.publish);
         self.absorb_publish_stats(&stats);
-        if self.cfg.delegation {
+        if self.cfg.query.delegation {
             // Group by destination partition (determinism via sort).
             let mut by_part: FxHashMap<usize, Vec<(Key, Posting)>> = FxHashMap::default();
             for (key, posting) in postings {
@@ -316,7 +384,7 @@ impl SimilarityEngine {
     /// (contact-once batching), one branch per key with delegation off.
     /// Branch order is deterministic (partition index / input order).
     pub(crate) fn plan_probe_parts(&self, keys: &[Key]) -> Vec<(usize, Vec<Key>)> {
-        if !self.cfg.delegation {
+        if !self.cfg.query.delegation {
             return keys.iter().map(|k| (self.net.partition_of(k), vec![k.clone()])).collect();
         }
         let mut by_part: FxHashMap<usize, Vec<Key>> = FxHashMap::default();
@@ -344,7 +412,7 @@ impl SimilarityEngine {
         keys: &[Key],
         local_filter: &dyn Fn(&Posting) -> bool,
     ) -> Vec<Posting> {
-        if !self.cfg.delegation {
+        if !self.cfg.query.delegation {
             let mut out = Vec::new();
             for k in keys {
                 if let Ok(items) = self.net.retrieve(from, k) {
@@ -435,7 +503,7 @@ impl SimilarityEngine {
         // off every probe is an independent full-list retrieve (the A/B
         // baseline), and the hot-path services must not quietly re-enable
         // the optimization they are being compared against.
-        let (cache_on, batch_on) = match (&self.broker, self.cfg.delegation) {
+        let (cache_on, batch_on) = match (&self.broker, self.cfg.query.delegation) {
             (Some(b), true) => (b.cache_enabled(), b.batch_enabled()),
             _ => (false, false),
         };
@@ -613,7 +681,7 @@ impl SimilarityEngine {
     /// with delegation, per oid without). `oids` must be sorted for
     /// determinism.
     pub(crate) fn plan_fetch_branches(&self, oids: &[String]) -> Vec<Vec<String>> {
-        if !self.cfg.delegation {
+        if !self.cfg.query.delegation {
             return oids.iter().map(|o| vec![o.clone()]).collect();
         }
         let mut by_part: FxHashMap<usize, Vec<String>> = FxHashMap::default();
@@ -630,7 +698,7 @@ impl SimilarityEngine {
     /// objects from the postings stored there, one reply with the payload.
     pub(crate) fn fetch_branch(&mut self, from: PeerId, oids: &[String]) -> Vec<(String, Object)> {
         let mut out = Vec::with_capacity(oids.len());
-        if !self.cfg.delegation {
+        if !self.cfg.query.delegation {
             for oid in oids {
                 let key = sqo_storage::keys::oid_key(oid);
                 if let Ok(postings) = self.net.retrieve(from, &key) {

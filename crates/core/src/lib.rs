@@ -31,7 +31,8 @@ pub mod topn;
 
 pub use broker::{ProbeBroker, ProbeFilter};
 pub use engine::{
-    finalize_stats, EngineBuilder, EngineConfig, ExecStep, QueryTask, SimilarityEngine, StepOutcome,
+    finalize_stats, EngineBuilder, EngineConfig, ExecStep, QueryDefaults, QueryTask,
+    SimilarityEngine, StepOutcome,
 };
 pub use multi::{AttrPredicate, MultiMatch, MultiResult, MultiStrategy, MultiTask};
 pub use ranking::Rank;

@@ -35,7 +35,7 @@ use sqo_storage::posting::Object;
 use sqo_strsim::edit::levenshtein_bounded;
 
 /// One per-attribute similarity predicate: `dist(attr, query) <= d`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AttrPredicate {
     pub attr: String,
     pub query: String,

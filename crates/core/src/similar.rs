@@ -299,7 +299,7 @@ impl SimilarTask {
                         gram_positions: &self.gram_positions,
                         s_len: self.s_len,
                         d: self.d,
-                        filters: engine.config().filters,
+                        filters: engine.config().query.filters,
                     };
                     let mut acc = self.stats;
                     let (got, end) = engine.probe_issue(
@@ -391,7 +391,7 @@ impl SimilarTask {
                 SimState::Aggregate { at_us: at } => {
                     let postings = std::mem::take(&mut self.postings);
                     let q = engine.q();
-                    let filters = engine.config().filters;
+                    let filters = engine.config().query.filters;
                     let grams_carry =
                         engine.config().publish.grams_carry_value && self.attr.is_some();
                     let (s, attr, s_len, d, strategy, from) =

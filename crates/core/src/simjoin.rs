@@ -126,6 +126,9 @@ struct JoinChild {
 
 enum JState {
     ScanLeft,
+    /// Left side provided by the caller ([`JoinTask::with_left`]): skip the
+    /// scan, spawn the first window of children at the first step's time.
+    Seeded,
     Running,
     Finished,
 }
@@ -149,6 +152,35 @@ impl JoinTask {
             children: Vec::new(),
             pairs: Vec::new(),
         }
+    }
+
+    /// A join whose left side is supplied by the caller (an upstream
+    /// operator's output) instead of scanned from attribute `ln`: line 1 of
+    /// Algorithm 3 is skipped, everything else — per-left similarity
+    /// selections, windowing, the shared object cache — is identical. This
+    /// is how a plan pipeline composes `select → sim_join`: the selection's
+    /// rows become the join's left pairs without a second scan.
+    ///
+    /// `pairs` are `(left oid, left value)`; they are sorted, deduped and
+    /// `left_limit`-sampled exactly like a scanned left side.
+    pub fn with_left(
+        pairs: Vec<(String, String)>,
+        rn: Option<&str>,
+        d: usize,
+        from: PeerId,
+        opts: &JoinOptions,
+    ) -> Self {
+        let mut task = Self::new("", rn, d, from, opts);
+        let mut left = pairs;
+        left.sort_unstable();
+        left.dedup();
+        if let Some(limit) = task.left_limit {
+            left = stratified_sample(left, limit);
+        }
+        task.left_size = left.len();
+        task.left = left;
+        task.state = JState::Seeded;
+        task
     }
 
     /// The joined pairs, once the task is done.
@@ -217,6 +249,14 @@ impl ExecStep for JoinTask {
                         continue; // empty left side: fall through to finish
                     }
                     return StepOutcome::Yield { at_us: end };
+                }
+
+                JState::Seeded => {
+                    while self.next_left < self.left.len() && self.children.len() < self.window {
+                        self.spawn_child(at_us);
+                    }
+                    self.state = JState::Running;
+                    continue;
                 }
 
                 JState::Running => {

@@ -665,16 +665,41 @@ impl<T: Item> Network<T> {
                     }
                 }
             };
-            let (items, touched) = self.peers[responder.index()].scan_prefix(key);
-            self.charge_scan(responder, touched);
-            let payload: usize = items.iter().map(Item::size_bytes).sum();
-            if responder != from {
-                self.charge_result(responder, from, payload);
+            for (_key, items) in
+                self.scan_keys_and_reply(responder, from, std::slice::from_ref(key))
+            {
+                out.extend(items);
             }
-            out.extend(items);
         }
         self.sim_join();
         Ok(out)
+    }
+
+    /// The owner-side half of every multi-key retrieve shape: prefix-scan
+    /// each key at `responder` (charging local work per key), then send the
+    /// combined per-key lists to `from` as **one** reply message carrying
+    /// the summed payload. [`Self::retrieve`]'s shower branches call it
+    /// with a single key per responder; [`Self::retrieve_multi`] with the
+    /// whole coalesced batch at one owner — the two paths had drifted into
+    /// duplicated scan-and-reply logic, this is the shared form.
+    fn scan_keys_and_reply(
+        &mut self,
+        responder: PeerId,
+        from: PeerId,
+        keys: &[Key],
+    ) -> KeyedItems<T> {
+        let mut out = Vec::with_capacity(keys.len());
+        let mut payload = 0usize;
+        for key in keys {
+            let (items, touched) = self.peers[responder.index()].scan_prefix(key);
+            self.charge_scan(responder, touched);
+            payload += items.iter().map(Item::size_bytes).sum::<usize>();
+            out.push((key.clone(), items));
+        }
+        if responder != from {
+            self.charge_result(responder, from, payload);
+        }
+        out
     }
 
     /// Range query over `[lo, hi]` (both inclusive), shower-style: route to
@@ -765,17 +790,7 @@ impl<T: Item> Network<T> {
             "multi-key retrieve keys must share a partition"
         );
         let owner = self.route(from, &keys[0])?;
-        let mut out = Vec::with_capacity(keys.len());
-        let mut payload = 0usize;
-        for key in keys {
-            let (items, touched) = self.peers[owner.index()].scan_prefix(key);
-            self.charge_scan(owner, touched);
-            payload += items.iter().map(Item::size_bytes).sum::<usize>();
-            out.push((key.clone(), items));
-        }
-        if owner != from {
-            self.charge_result(owner, from, payload);
-        }
+        let out = self.scan_keys_and_reply(owner, from, keys);
         Ok((owner, out))
     }
 

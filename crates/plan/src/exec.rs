@@ -1,0 +1,497 @@
+//! The physical plan executor: a resolved [`PlanNode`] tree compiled into
+//! **one** composite [`ExecStep`] task, so arbitrary operator pipelines run
+//! interleaved with every other in-flight query on the event queue.
+//!
+//! Compilation flattens the (linear) tree into a stage list, input first.
+//! Leaf stages construct the corresponding stepped `sqo-core` operator task
+//! and multiplex its steps through the plan task's queue slot — a
+//! single-leaf plan therefore executes the *identical* step sequence (and
+//! produces byte-identical results and charges) as the legacy entry point
+//! it shims. Composite stages are local row transforms evaluated between
+//! leaf completions: a pipeline `SimJoin` seeds
+//! [`sqo_core::simjoin::JoinTask::with_left`] from the upstream rows,
+//! `TopN`/`Filter`/`Limit` are pure initiator-side post-processing (free of
+//! messages, like every operator's own merge phase).
+
+use crate::ir::{
+    CmpOp, JoinSpec, MultiSpec, PlanNode, RankBy, RowPredicate, SelectSpec, SimilarSpec,
+    TopNNumericSpec, TopNSpec, TopNStringSpec,
+};
+use sqo_core::{
+    finalize_stats, ExecStep, JoinTask, MultiTask, QueryStats, SelectTask, SimilarTask,
+    SimilarityEngine, StepOutcome, TopNTask,
+};
+use sqo_overlay::peer::PeerId;
+use sqo_storage::posting::Object;
+use sqo_storage::triple::Value;
+
+/// One result row of a plan execution — the uniform shape every operator's
+/// output maps into so that composites can consume any input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanRow {
+    /// Object id.
+    pub oid: String,
+    /// The attribute the producing operator matched on (`None` for keyword
+    /// selections and conjunctions).
+    pub attr: Option<String>,
+    /// The matched / selected value. For `Multi` rows (which bind several
+    /// attributes) this is the oid; see `bindings`.
+    pub value: Value,
+    /// Operator score, smaller is better: the edit distance for similarity
+    /// and join rows, the ranking score for top-N rows, `None` for plain
+    /// selections.
+    pub score: Option<f64>,
+    /// The complete reassembled object.
+    pub object: Object,
+    /// Join provenance: `(left oid, left value)` for rows produced by a
+    /// `SimJoin`.
+    pub left: Option<(String, String)>,
+    /// Per-predicate `(attr, matched value, distance)` bindings of a
+    /// `Multi` conjunction row.
+    pub bindings: Vec<(String, String, usize)>,
+}
+
+/// Result of running a prepared plan: the rows plus the usual per-query
+/// cost accounting (the stage tasks' charges absorbed into one window).
+#[derive(Debug, Clone)]
+pub struct PlanResult {
+    /// The output rows, in deterministic operator order.
+    pub rows: Vec<PlanRow>,
+    /// Aggregated cost profile of the whole pipeline.
+    pub stats: QueryStats,
+}
+
+/// A compiled pipeline stage. Leaf stages carry the resolved spec and
+/// construct their physical task lazily (at first step, when the engine is
+/// available); transform stages run inline between leaf completions.
+#[derive(Debug, Clone)]
+pub(crate) enum Stage {
+    /// Direct oid lookup leaf → one monolithic charged fetch
+    /// ([`SimilarityEngine::lookup_object`]).
+    Lookup(String),
+    /// `Similar` leaf → [`SimilarTask`].
+    Similar(SimilarSpec),
+    /// `Select` leaf → [`SelectTask`].
+    Select(SelectSpec),
+    /// Numeric top-N leaf → one monolithic charged chunk
+    /// ([`SimilarityEngine::top_n_numeric`] has no stepped form; it is a
+    /// bounded number of range rounds).
+    TopNNumeric(TopNNumericSpec),
+    /// String top-N leaf → [`TopNTask`].
+    TopNString(TopNStringSpec),
+    /// Conjunction leaf → [`MultiTask`].
+    Multi(MultiSpec),
+    /// Scan-left join leaf → [`JoinTask::new`].
+    JoinScan(JoinSpec),
+    /// Pipeline join → [`JoinTask::with_left`] seeded from the input rows.
+    JoinOver(JoinSpec),
+    /// Local ranking + truncation.
+    TopN(TopNSpec),
+    /// Local row predicate.
+    Filter(RowPredicate),
+    /// Local truncation.
+    Limit(usize),
+}
+
+/// Flatten a resolved plan tree into its stage list, input first.
+pub(crate) fn compile(node: &PlanNode, out: &mut Vec<Stage>) {
+    match node {
+        PlanNode::Lookup { oid } => out.push(Stage::Lookup(oid.clone())),
+        PlanNode::Select(spec) => out.push(Stage::Select(spec.clone())),
+        PlanNode::Similar(spec) => out.push(Stage::Similar(spec.clone())),
+        PlanNode::TopNNumeric(spec) => out.push(Stage::TopNNumeric(spec.clone())),
+        PlanNode::TopNString(spec) => out.push(Stage::TopNString(spec.clone())),
+        PlanNode::Multi(spec) => out.push(Stage::Multi(spec.clone())),
+        PlanNode::SimJoin { input, spec } => match input {
+            Some(input) => {
+                compile(input, out);
+                out.push(Stage::JoinOver(spec.clone()));
+            }
+            None => out.push(Stage::JoinScan(spec.clone())),
+        },
+        PlanNode::TopN { input, spec } => {
+            compile(input, out);
+            out.push(Stage::TopN(spec.clone()));
+        }
+        PlanNode::Filter { input, pred } => {
+            compile(input, out);
+            out.push(Stage::Filter(pred.clone()));
+        }
+        PlanNode::Limit { input, n } => {
+            compile(input, out);
+            out.push(Stage::Limit(*n));
+        }
+    }
+}
+
+/// The in-flight physical task of one leaf stage.
+enum Active {
+    Similar(Box<SimilarTask>),
+    Select(Box<SelectTask>),
+    Join(Box<JoinTask>),
+    Multi(Box<MultiTask>),
+    TopNString(Box<TopNTask>),
+}
+
+/// A prepared plan as one resumable task (see the [module docs](self)).
+/// Construction is pure; schedule it on an event queue like any other
+/// [`ExecStep`], or drive it synchronously with
+/// [`SimilarityEngine::run_task`] and collect the rows via
+/// [`Self::take_rows`].
+pub struct PlanTask {
+    stages: Vec<Stage>,
+    idx: usize,
+    active: Option<Active>,
+    from: PeerId,
+    rows: Vec<PlanRow>,
+    stats: QueryStats,
+    done: bool,
+}
+
+impl PlanTask {
+    pub(crate) fn new(stages: Vec<Stage>, from: PeerId) -> Self {
+        Self {
+            stages,
+            idx: 0,
+            active: None,
+            from,
+            rows: Vec::new(),
+            stats: QueryStats::default(),
+            done: false,
+        }
+    }
+
+    /// The pipeline's output rows, once the task is done.
+    pub fn take_rows(&mut self) -> Vec<PlanRow> {
+        std::mem::take(&mut self.rows)
+    }
+
+    /// Start the physical task of the leaf stage at `idx` (transform
+    /// stages return `None`; they are evaluated inline by `step`).
+    fn start_stage(&mut self, idx: usize) -> Option<Active> {
+        let from = self.from;
+        match &self.stages[idx] {
+            Stage::Similar(s) => Some(Active::Similar(Box::new(SimilarTask::new(
+                &s.s,
+                s.attr.as_deref(),
+                s.d,
+                from,
+                s.strategy.expect("resolved plan"),
+            )))),
+            Stage::Select(s) => Some(Active::Select(Box::new(select_task(s, from)))),
+            Stage::TopNString(s) => Some(Active::TopNString(Box::new(TopNTask::nearest(
+                s.attr.as_deref(),
+                s.n,
+                &s.target,
+                s.d_max,
+                from,
+                s.strategy.expect("resolved plan"),
+            )))),
+            Stage::Multi(s) => Some(Active::Multi(Box::new(MultiTask::new(
+                s.preds.clone(),
+                from,
+                s.strategy.expect("resolved plan"),
+                s.multi.expect("resolved plan"),
+            )))),
+            Stage::JoinScan(s) => Some(Active::Join(Box::new(JoinTask::new(
+                &s.ln,
+                s.rn.as_deref(),
+                s.d,
+                from,
+                &join_options(s),
+            )))),
+            Stage::JoinOver(s) => {
+                // The upstream rows' objects provide the left pairs: every
+                // string value of attribute `ln` on a materialized object.
+                let mut pairs: Vec<(String, String)> = Vec::new();
+                for row in &self.rows {
+                    for (attr, value) in &row.object.fields {
+                        if attr.as_str() == s.ln {
+                            if let Some(v) = value.as_str() {
+                                pairs.push((row.oid.clone(), v.to_string()));
+                            }
+                        }
+                    }
+                }
+                Some(Active::Join(Box::new(JoinTask::with_left(
+                    pairs,
+                    s.rn.as_deref(),
+                    s.d,
+                    from,
+                    &join_options(s),
+                ))))
+            }
+            Stage::Lookup(_)
+            | Stage::TopNNumeric(_)
+            | Stage::TopN(_)
+            | Stage::Filter(_)
+            | Stage::Limit(_) => None,
+        }
+    }
+}
+
+fn select_task(spec: &SelectSpec, from: PeerId) -> SelectTask {
+    match spec {
+        SelectSpec::Exact { attr, value } => SelectTask::exact(attr, value.clone(), from),
+        SelectSpec::Range { attr, lo, hi } => SelectTask::range(attr, lo.clone(), hi.clone(), from),
+        SelectSpec::NumericSimilar { attr, center, eps } => {
+            SelectTask::numeric_similar(attr, center.clone(), *eps, from)
+        }
+        SelectSpec::Keyword { value } => SelectTask::keyword(value.clone(), from),
+        SelectSpec::All { attr } => SelectTask::full_scan(attr, from),
+    }
+}
+
+fn join_options(s: &JoinSpec) -> sqo_core::JoinOptions {
+    sqo_core::JoinOptions {
+        strategy: s.strategy.expect("resolved plan"),
+        left_limit: s.left_limit.expect("resolved plan"),
+        window: s.window.expect("resolved plan"),
+    }
+}
+
+impl ExecStep for PlanTask {
+    fn step(&mut self, engine: &mut SimilarityEngine, at_us: u64) -> StepOutcome {
+        let mut at = at_us;
+        loop {
+            if self.done {
+                return StepOutcome::Done(self.stats);
+            }
+            if self.idx >= self.stages.len() {
+                self.stats.matches = self.rows.len();
+                finalize_stats(&mut self.stats);
+                self.done = true;
+                return StepOutcome::Done(self.stats);
+            }
+
+            // ---- An in-flight leaf task: forward the step ----------------
+            if let Some(active) = &mut self.active {
+                let outcome = match active {
+                    Active::Similar(t) => t.step(engine, at),
+                    Active::Select(t) => t.step(engine, at),
+                    Active::Join(t) => t.step(engine, at),
+                    Active::Multi(t) => t.step(engine, at),
+                    Active::TopNString(t) => t.step(engine, at),
+                };
+                match outcome {
+                    StepOutcome::Yield { at_us } => return StepOutcome::Yield { at_us },
+                    StepOutcome::Done(child_stats) => {
+                        self.stats.absorb(&child_stats);
+                        at = child_stats.sim.map(|s| s.end_us).unwrap_or(at);
+                        let spec_attr = match &self.stages[self.idx] {
+                            Stage::Select(s) => s.attr().map(str::to_string),
+                            _ => None,
+                        };
+                        self.rows = match self.active.take().expect("checked above") {
+                            Active::Similar(mut t) => rows_from_similar(t.take_matches()),
+                            Active::Select(mut t) => t
+                                .take_hits()
+                                .into_iter()
+                                .map(|h| PlanRow {
+                                    oid: h.oid,
+                                    attr: spec_attr.clone(),
+                                    value: h.value,
+                                    score: None,
+                                    object: h.object,
+                                    left: None,
+                                    bindings: Vec::new(),
+                                })
+                                .collect(),
+                            Active::Join(mut t) => t
+                                .take_pairs()
+                                .into_iter()
+                                .map(|p| {
+                                    let mut row = row_from_match(p.right);
+                                    row.left = Some((p.left_oid, p.left_value));
+                                    row
+                                })
+                                .collect(),
+                            Active::Multi(mut t) => t
+                                .take_matches()
+                                .into_iter()
+                                .map(|m| PlanRow {
+                                    value: Value::Str(m.oid.clone()),
+                                    oid: m.oid,
+                                    attr: None,
+                                    score: None,
+                                    object: m.object,
+                                    left: None,
+                                    bindings: m.bindings,
+                                })
+                                .collect(),
+                            Active::TopNString(mut t) => rows_from_items(t.take_items()),
+                        };
+                        self.idx += 1;
+                        continue;
+                    }
+                }
+            }
+
+            // ---- Start the next stage -----------------------------------
+            match &self.stages[self.idx] {
+                Stage::Lookup(oid) => {
+                    // One routed fetch, one charged chunk (mirrors the VQL
+                    // executor's constant-subject path).
+                    let oid = oid.clone();
+                    let from = self.from;
+                    let mut acc = self.stats;
+                    let ((obj, _inner), end) =
+                        engine.charged(&mut acc, at, |e| e.lookup_object(from, &oid));
+                    self.stats = acc;
+                    self.rows = obj
+                        .map(|object| {
+                            vec![PlanRow {
+                                oid: oid.clone(),
+                                attr: None,
+                                value: Value::Str(oid.clone()),
+                                score: None,
+                                object,
+                                left: None,
+                                bindings: Vec::new(),
+                            }]
+                        })
+                        .unwrap_or_default();
+                    self.idx += 1;
+                    at = end;
+                    continue;
+                }
+                Stage::TopNNumeric(spec) => {
+                    // Monolithic charged chunk (a bounded number of range
+                    // rounds); matches/rounds come from the inner window.
+                    let spec = spec.clone();
+                    let from = self.from;
+                    let mut acc = self.stats;
+                    let (res, end) = engine.charged(&mut acc, at, |e| {
+                        e.top_n_numeric(&spec.attr, spec.n, spec.rank.clone(), from)
+                    });
+                    self.stats = acc;
+                    self.stats.rounds += res.stats.rounds;
+                    self.rows = rows_from_items(res.items);
+                    self.idx += 1;
+                    at = end;
+                    continue;
+                }
+                Stage::TopN(spec) => {
+                    rank_rows(&mut self.rows, spec.by);
+                    self.rows.truncate(spec.n);
+                    self.idx += 1;
+                    continue;
+                }
+                Stage::Filter(pred) => {
+                    let pred = pred.clone();
+                    self.rows.retain(|r| eval_predicate(&pred, r));
+                    self.idx += 1;
+                    continue;
+                }
+                Stage::Limit(n) => {
+                    self.rows.truncate(*n);
+                    self.idx += 1;
+                    continue;
+                }
+                _ => {
+                    self.active = self.start_stage(self.idx);
+                    debug_assert!(self.active.is_some(), "leaf stages start a task");
+                    continue;
+                }
+            }
+        }
+    }
+}
+
+fn rows_from_similar(matches: Vec<sqo_core::SimilarMatch>) -> Vec<PlanRow> {
+    matches.into_iter().map(row_from_match).collect()
+}
+
+fn row_from_match(m: sqo_core::SimilarMatch) -> PlanRow {
+    PlanRow {
+        oid: m.oid,
+        attr: Some(m.attr.as_str().to_string()),
+        value: Value::Str(m.matched),
+        score: Some(m.distance as f64),
+        object: m.object,
+        left: None,
+        bindings: Vec::new(),
+    }
+}
+
+fn rows_from_items(items: Vec<sqo_core::TopNItem>) -> Vec<PlanRow> {
+    items
+        .into_iter()
+        .map(|i| PlanRow {
+            oid: i.oid,
+            attr: None,
+            value: i.value,
+            score: Some(i.score),
+            object: i.object,
+            left: None,
+            bindings: Vec::new(),
+        })
+        .collect()
+}
+
+/// Deterministic local ranking: primary key per [`RankBy`], ties broken by
+/// the row's value rendering and oid (the same tiebreak the string top-N
+/// operator uses).
+fn rank_rows(rows: &mut [PlanRow], by: RankBy) {
+    match by {
+        RankBy::Score => rows.sort_by(|a, b| {
+            let sa = a.score.unwrap_or(f64::INFINITY);
+            let sb = b.score.unwrap_or(f64::INFINITY);
+            sa.total_cmp(&sb)
+                .then_with(|| a.value.to_string().cmp(&b.value.to_string()))
+                .then_with(|| a.oid.cmp(&b.oid))
+        }),
+        RankBy::ValueAsc | RankBy::ValueDesc => rows.sort_by(|a, b| {
+            let ord = cmp_values(&a.value, &b.value);
+            let ord = if by == RankBy::ValueDesc { ord.reverse() } else { ord };
+            ord.then_with(|| a.oid.cmp(&b.oid))
+        }),
+    }
+}
+
+fn cmp_values(a: &Value, b: &Value) -> std::cmp::Ordering {
+    match (a.as_float(), b.as_float()) {
+        (Some(x), Some(y)) => x.total_cmp(&y),
+        _ => a.to_string().cmp(&b.to_string()),
+    }
+}
+
+/// Evaluate a [`RowPredicate`] on one row. `ValueCmp` tests the row's own
+/// value when the row was produced under the same attribute, otherwise any
+/// value of that attribute on the row's object (a row without the
+/// attribute fails) — which is what makes pushing an equality/range
+/// predicate into the access path row-equivalent, not only object-
+/// equivalent.
+fn eval_predicate(pred: &RowPredicate, row: &PlanRow) -> bool {
+    match pred {
+        RowPredicate::ScoreLe(bound) => row.score.is_some_and(|s| s <= *bound),
+        RowPredicate::ValueCmp { attr, op, value } => {
+            if row.attr.as_deref() == Some(attr.as_str()) {
+                return cmp_holds(&row.value, *op, value);
+            }
+            row.object
+                .fields
+                .iter()
+                .any(|(a, v)| a.as_str() == attr.as_str() && cmp_holds(v, *op, value))
+        }
+    }
+}
+
+fn cmp_holds(v: &Value, op: CmpOp, lit: &Value) -> bool {
+    let ord = match (v.as_float(), lit.as_float()) {
+        (Some(x), Some(y)) => x.partial_cmp(&y),
+        _ => match (v, lit) {
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            _ => None,
+        },
+    };
+    let Some(ord) = ord else { return false };
+    match op {
+        CmpOp::Lt => ord == std::cmp::Ordering::Less,
+        CmpOp::Le => ord != std::cmp::Ordering::Greater,
+        CmpOp::Gt => ord == std::cmp::Ordering::Greater,
+        CmpOp::Ge => ord != std::cmp::Ordering::Less,
+        CmpOp::Eq => ord == std::cmp::Ordering::Equal,
+        CmpOp::Ne => ord != std::cmp::Ordering::Equal,
+    }
+}

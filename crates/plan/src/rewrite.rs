@@ -1,0 +1,277 @@
+//! The planner: validation, default inheritance and rewrite passes that
+//! turn a builder/VQL tree into a fully resolved physical plan.
+//!
+//! Passes, in order:
+//!
+//! 1. **Resolve** — every `None` option inherits the engine's
+//!    [`QueryDefaults`]; `Multi` conjunctions without a pinned strategy get
+//!    a **broker-aware** choice (Intersect when the posting cache is
+//!    active — its repeated sub-queries share cached gram lists — else
+//!    Pipelined, the single-network-pass shape). Shapes that the physical
+//!    operators would panic on are rejected here as [`PlanError`]s.
+//! 2. **Predicate pushdown** — a `Filter` directly over a full attribute
+//!    scan is absorbed into the access path (`=` → exact key lookup, `<=` /
+//!    `<` / `>=` / `>` → order-preserving range). The filter node is kept
+//!    as a residual re-check, so absorption is free to be approximate
+//!    (inclusive range under a strict bound) without false positives.
+//! 3. **Limit fusion** — a `Limit` directly over a top-N (post-operator or
+//!    distributed leaf) tightens the top-N's `n` and disappears.
+
+use crate::ir::{CmpOp, PlanError, PlanNode, RowPredicate, SelectSpec};
+use sqo_core::{MultiStrategy, QueryDefaults, Rank};
+use sqo_storage::triple::Value;
+
+/// What the planner knows about the engine at prepare time.
+#[derive(Debug, Clone)]
+pub struct PlannerEnv {
+    /// The engine's per-query defaults, inherited by unresolved options.
+    pub defaults: QueryDefaults,
+    /// True when the engine's probe broker serves the posting cache (the
+    /// cache-aware access-path signal).
+    pub cache_active: bool,
+    /// True when the §4 delegation/batching optimizations are on.
+    pub delegation: bool,
+}
+
+impl PlannerEnv {
+    /// Snapshot the planner-relevant engine state.
+    pub fn of(engine: &sqo_core::SimilarityEngine) -> Self {
+        Self {
+            defaults: engine.defaults().clone(),
+            cache_active: engine.cache_active(),
+            delegation: engine.defaults().delegation,
+        }
+    }
+}
+
+/// Run all passes; returns the resolved tree plus human-readable planner
+/// notes (surfaced by `explain()`).
+pub(crate) fn resolve(
+    node: PlanNode,
+    env: &PlannerEnv,
+    notes: &mut Vec<String>,
+) -> Result<PlanNode, PlanError> {
+    let node = fill_defaults(node, env, notes)?;
+    let node = pushdown_filters(node, env, notes);
+    let node = fuse_limits(node, notes);
+    Ok(node)
+}
+
+fn fill_defaults(
+    node: PlanNode,
+    env: &PlannerEnv,
+    notes: &mut Vec<String>,
+) -> Result<PlanNode, PlanError> {
+    let d = &env.defaults;
+    Ok(match node {
+        PlanNode::Lookup { oid } => PlanNode::Lookup { oid },
+        PlanNode::Similar(mut spec) => {
+            spec.strategy.get_or_insert(d.strategy);
+            PlanNode::Similar(spec)
+        }
+        PlanNode::Select(spec) => {
+            if let SelectSpec::NumericSimilar { center, .. } = &spec {
+                if center.as_float().is_none() {
+                    return Err(PlanError::Invalid(
+                        "numeric similarity requires a numeric center value".into(),
+                    ));
+                }
+            }
+            PlanNode::Select(spec)
+        }
+        PlanNode::TopNNumeric(spec) => {
+            if spec.n == 0 {
+                return Err(PlanError::Invalid("top-0 is trivial".into()));
+            }
+            if let Rank::Nn(target) = &spec.rank {
+                if target.as_float().is_none() {
+                    return Err(PlanError::Invalid(
+                        "numeric top-N requires a numeric NN target".into(),
+                    ));
+                }
+            }
+            PlanNode::TopNNumeric(spec)
+        }
+        PlanNode::TopNString(mut spec) => {
+            if spec.n == 0 {
+                return Err(PlanError::Invalid("top-0 is trivial".into()));
+            }
+            spec.strategy.get_or_insert(d.strategy);
+            PlanNode::TopNString(spec)
+        }
+        PlanNode::Multi(mut spec) => {
+            if spec.preds.is_empty() {
+                return Err(PlanError::Invalid("conjunction needs at least one predicate".into()));
+            }
+            spec.strategy.get_or_insert(d.strategy);
+            if spec.multi.is_none() {
+                let choice = if env.cache_active {
+                    notes.push(
+                        "multi: chose Intersect (posting cache active; repeated sub-queries \
+                         share cached gram lists)"
+                            .into(),
+                    );
+                    MultiStrategy::Intersect
+                } else {
+                    notes.push(
+                        "multi: chose Pipelined (one network pass, residual predicates verified \
+                         locally)"
+                            .into(),
+                    );
+                    MultiStrategy::Pipelined
+                };
+                spec.multi = Some(choice);
+            }
+            PlanNode::Multi(spec)
+        }
+        PlanNode::SimJoin { input, mut spec } => {
+            spec.strategy.get_or_insert(d.strategy);
+            spec.window.get_or_insert(d.join_window.max(1));
+            spec.left_limit.get_or_insert(d.join_left_limit);
+            let input = match input {
+                Some(i) => Some(Box::new(fill_defaults(*i, env, notes)?)),
+                None => None,
+            };
+            PlanNode::SimJoin { input, spec }
+        }
+        PlanNode::TopN { input, spec } => {
+            if spec.n == 0 {
+                return Err(PlanError::Invalid("top-0 is trivial".into()));
+            }
+            PlanNode::TopN { input: Box::new(fill_defaults(*input, env, notes)?), spec }
+        }
+        PlanNode::Filter { input, pred } => {
+            PlanNode::Filter { input: Box::new(fill_defaults(*input, env, notes)?), pred }
+        }
+        PlanNode::Limit { input, n } => {
+            PlanNode::Limit { input: Box::new(fill_defaults(*input, env, notes)?), n }
+        }
+    })
+}
+
+/// Domain sentinels for the half-open ranges produced by pushdown and by
+/// VQL's half-open `Range` access paths; the residual filter restores exact
+/// strictness.
+pub fn open_range_bounds(lo: Option<Value>, hi: Option<Value>) -> (Value, Value) {
+    let kind = lo.as_ref().or(hi.as_ref()).cloned();
+    let (dlo, dhi) = match kind {
+        Some(Value::Float(_)) => (Value::Float(f64::MIN), Value::Float(f64::MAX)),
+        Some(Value::Str(_)) => (Value::Str(String::new()), Value::Str("\u{10FFFF}".repeat(8))),
+        _ => (Value::Int(i64::MIN), Value::Int(i64::MAX)),
+    };
+    (lo.unwrap_or(dlo), hi.unwrap_or(dhi))
+}
+
+fn pushdown_filters(node: PlanNode, env: &PlannerEnv, notes: &mut Vec<String>) -> PlanNode {
+    match node {
+        PlanNode::Filter { input, pred } => {
+            let input = pushdown_filters(*input, env, notes);
+            // Absorbable only when the filter sits directly on a full scan
+            // of the same attribute AND the literal is a string. Strings
+            // are safe because `cmp_holds` compares them type-strictly, so
+            // the Str-keyed access path covers every row the filter could
+            // accept. Numeric literals must NOT be absorbed: the filter
+            // coerces across Int/Float (190 matches 190.0) but the index
+            // keys live in disjoint per-type families (`VT_INT` vs
+            // `VT_FLOAT`), so a typed exact/range probe would silently
+            // drop rows stored under the other numeric type — an unsound
+            // rewrite no residual re-check can repair.
+            let absorbed = match (&input, &pred) {
+                (
+                    PlanNode::Select(SelectSpec::All { attr }),
+                    RowPredicate::ValueCmp { attr: fattr, op, value: value @ Value::Str(_) },
+                ) if attr == fattr => match op {
+                    CmpOp::Eq => {
+                        notes.push(format!(
+                            "pushdown: σ({attr} = {value}) absorbed into an exact key lookup{}",
+                            if env.cache_active {
+                                " (served from the posting cache when hot)"
+                            } else {
+                                ""
+                            }
+                        ));
+                        Some(SelectSpec::Exact { attr: attr.clone(), value: value.clone() })
+                    }
+                    CmpOp::Lt | CmpOp::Le => {
+                        let (lo, _) = open_range_bounds(None, Some(value.clone()));
+                        notes.push(format!(
+                            "pushdown: σ({attr} {} {value}) absorbed into a range access path",
+                            op.symbol()
+                        ));
+                        Some(SelectSpec::Range { attr: attr.clone(), lo, hi: value.clone() })
+                    }
+                    CmpOp::Gt | CmpOp::Ge => {
+                        let (_, hi) = open_range_bounds(Some(value.clone()), None);
+                        notes.push(format!(
+                            "pushdown: σ({attr} {} {value}) absorbed into a range access path",
+                            op.symbol()
+                        ));
+                        Some(SelectSpec::Range { attr: attr.clone(), lo: value.clone(), hi })
+                    }
+                    CmpOp::Ne => None,
+                },
+                _ => None,
+            };
+            match absorbed {
+                Some(spec) => PlanNode::Filter {
+                    input: Box::new(PlanNode::Select(spec)),
+                    pred, // residual re-check keeps strict bounds exact
+                },
+                None => PlanNode::Filter { input: Box::new(input), pred },
+            }
+        }
+        PlanNode::SimJoin { input, spec } => PlanNode::SimJoin {
+            input: input.map(|i| Box::new(pushdown_filters(*i, env, notes))),
+            spec,
+        },
+        PlanNode::TopN { input, spec } => {
+            PlanNode::TopN { input: Box::new(pushdown_filters(*input, env, notes)), spec }
+        }
+        PlanNode::Limit { input, n } => {
+            PlanNode::Limit { input: Box::new(pushdown_filters(*input, env, notes)), n }
+        }
+        leaf => leaf,
+    }
+}
+
+fn fuse_limits(node: PlanNode, notes: &mut Vec<String>) -> PlanNode {
+    match node {
+        PlanNode::Limit { input, n } => {
+            let input = fuse_limits(*input, notes);
+            match input {
+                PlanNode::TopN { input, mut spec } => {
+                    spec.n = spec.n.min(n);
+                    notes.push(format!("limit fusion: LIMIT {n} tightened top-N to n={}", spec.n));
+                    PlanNode::TopN { input, spec }
+                }
+                PlanNode::TopNString(mut spec) => {
+                    spec.n = spec.n.min(n);
+                    notes.push(format!(
+                        "limit fusion: LIMIT {n} tightened string top-N to n={}",
+                        spec.n
+                    ));
+                    PlanNode::TopNString(spec)
+                }
+                PlanNode::TopNNumeric(mut spec) => {
+                    spec.n = spec.n.min(n);
+                    notes.push(format!(
+                        "limit fusion: LIMIT {n} tightened numeric top-N to n={}",
+                        spec.n
+                    ));
+                    PlanNode::TopNNumeric(spec)
+                }
+                other => PlanNode::Limit { input: Box::new(other), n },
+            }
+        }
+        PlanNode::SimJoin { input, spec } => {
+            PlanNode::SimJoin { input: input.map(|i| Box::new(fuse_limits(*i, notes))), spec }
+        }
+        PlanNode::TopN { input, spec } => {
+            PlanNode::TopN { input: Box::new(fuse_limits(*input, notes)), spec }
+        }
+        PlanNode::Filter { input, pred } => {
+            PlanNode::Filter { input: Box::new(fuse_limits(*input, notes)), pred }
+        }
+        leaf => leaf,
+    }
+}

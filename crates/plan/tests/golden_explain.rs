@@ -1,0 +1,150 @@
+//! Golden `explain()` snapshots for representative plans.
+//!
+//! These pin the exact rendering — parameter resolution (defaults
+//! inheritance), rewrite notes (pushdown, limit fusion, broker-aware
+//! strategy choice) and the tree shape — so any planner change that moves
+//! an access path or annotation shows up as a reviewable diff here.
+
+use sqo_core::{AttrPredicate, QueryDefaults};
+use sqo_overlay::PeerId;
+use sqo_plan::{CmpOp, PlannerEnv, PreparedQuery, Query};
+use sqo_storage::Value;
+
+fn env_plain() -> PlannerEnv {
+    PlannerEnv { defaults: QueryDefaults::default(), cache_active: false, delegation: true }
+}
+
+fn env_cached_w8() -> PlannerEnv {
+    PlannerEnv {
+        defaults: QueryDefaults { join_window: 8, ..QueryDefaults::default() },
+        cache_active: true,
+        delegation: true,
+    }
+}
+
+fn explain(q: &Query, env: &PlannerEnv) -> String {
+    PreparedQuery::with_env(q, env, PeerId(0)).expect("plannable").explain()
+}
+
+#[test]
+fn pipeline_select_join_topn() {
+    let q = Query::select_range("price", Value::Int(0), Value::Int(50_000))
+        .sim_join("dealer", Some("dlrname"), 1)
+        .top_n(5);
+    assert_eq!(
+        explain(&q, &env_plain()),
+        "TopN n=5 by=score [local rank + truncate]\n\
+         └─ SimJoin ln=dealer rn=dlrname d=1 window=1 left_limit=∞ strategy=qgrams \
+         [left from input rows, per-left Similar]\n\
+         \x20  └─ SelectRange attr=price lo=0 hi=50000 [order-preserving shower scan]"
+    );
+}
+
+#[test]
+fn pipeline_inherits_join_window_default() {
+    let q = Query::select_range("price", Value::Int(0), Value::Int(50_000))
+        .sim_join("dealer", Some("dlrname"), 1)
+        .top_n(5);
+    assert_eq!(
+        explain(&q, &env_cached_w8()),
+        "TopN n=5 by=score [local rank + truncate]\n\
+         └─ SimJoin ln=dealer rn=dlrname d=1 window=8 left_limit=∞ strategy=qgrams \
+         [left from input rows, per-left Similar]\n\
+         \x20  └─ SelectRange attr=price lo=0 hi=50000 [order-preserving shower scan]"
+    );
+}
+
+#[test]
+fn equality_pushdown_into_exact_key() {
+    let q =
+        Query::select_all("color").filter_value("color", CmpOp::Eq, Value::from("blue")).limit(3);
+    assert_eq!(
+        explain(&q, &env_cached_w8()),
+        "Limit n=3\n\
+         └─ Filter color = blue [local residual]\n\
+         \x20  └─ SelectExact attr=color value=blue [exact index key, cached single-key \
+         retrieve]\n\
+         --\n\
+         note: pushdown: σ(color = blue) absorbed into an exact key lookup (served from the \
+         posting cache when hot)"
+    );
+}
+
+#[test]
+fn range_pushdown_keeps_residual_filter() {
+    let q = Query::select_all("name").filter_value("name", CmpOp::Lt, Value::from("model05"));
+    let rendered = explain(&q, &env_plain());
+    assert!(rendered.contains("SelectRange attr=name"), "{rendered}");
+    assert!(rendered.contains("Filter name < model05 [local residual]"), "{rendered}");
+    assert!(rendered.contains("note: pushdown: σ(name < model05) absorbed into a range access"));
+}
+
+#[test]
+fn numeric_literals_are_never_pushed_down() {
+    // The filter coerces across Int/Float (190 matches 190.0) but the
+    // index keys live in disjoint per-type families, so absorbing a
+    // numeric literal into a typed access path would silently drop rows
+    // stored under the other numeric type. The scan must survive.
+    for lit in [Value::Int(190), Value::Float(190.0)] {
+        for op in [CmpOp::Eq, CmpOp::Lt, CmpOp::Ge] {
+            let q = Query::select_all("hp").filter_value("hp", op, lit.clone());
+            let rendered = explain(&q, &env_cached_w8());
+            assert!(rendered.contains("SelectAll attr=hp"), "scan must remain: {rendered}");
+            assert!(!rendered.contains("note: pushdown"), "no pushdown note: {rendered}");
+        }
+    }
+}
+
+#[test]
+fn schema_level_similar() {
+    let q = Query::similar("dlrid", None, 1);
+    assert_eq!(
+        explain(&q, &env_plain()),
+        "Similar s=\"dlrid\" attr=<schema> d=1 strategy=qgrams [schema level, delegated gram \
+         probes]"
+    );
+}
+
+#[test]
+fn limit_fuses_into_string_topn() {
+    let q = Query::top_n_similar(Some("word"), 5, "house", 3).limit(2);
+    assert_eq!(
+        explain(&q, &env_plain()),
+        "TopNString target=\"house\" attr=word n=2 d_max=3 strategy=qgrams [expanding distance \
+         shells]\n\
+         --\n\
+         note: limit fusion: LIMIT 2 tightened string top-N to n=2"
+    );
+}
+
+#[test]
+fn multi_strategy_is_broker_aware() {
+    let preds =
+        vec![AttrPredicate::new("first", "johann", 1), AttrPredicate::new("last", "mueller", 1)];
+    let q = Query::similar_multi(preds, None);
+    assert_eq!(
+        explain(&q, &env_plain()),
+        "Multi preds=[dist(first, \"johann\") <= 1 AND dist(last, \"mueller\") <= 1] \
+         strategy=qgrams [pipelined: lead sub-query + local residual]\n\
+         --\n\
+         note: multi: chose Pipelined (one network pass, residual predicates verified locally)"
+    );
+    assert_eq!(
+        explain(&q, &env_cached_w8()),
+        "Multi preds=[dist(first, \"johann\") <= 1 AND dist(last, \"mueller\") <= 1] \
+         strategy=qgrams [intersect sub-queries]\n\
+         --\n\
+         note: multi: chose Intersect (posting cache active; repeated sub-queries share cached \
+         gram lists)"
+    );
+}
+
+#[test]
+fn invalid_plans_are_rejected_not_panicked() {
+    let zero = Query::top_n_similar(Some("w"), 0, "x", 2);
+    assert!(PreparedQuery::with_env(&zero, &env_plain(), PeerId(0)).is_err());
+    let empty = Query::similar_multi(Vec::new(), None);
+    assert!(PreparedQuery::with_env(&empty, &env_plain(), PeerId(0)).is_err());
+    let bad_nn = Query::top_n_numeric("hp", 3, sqo_core::Rank::Nn(Value::from("not-a-number")));
+    assert!(PreparedQuery::with_env(&bad_nn, &env_plain(), PeerId(0)).is_err());
+}

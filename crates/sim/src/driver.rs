@@ -35,6 +35,8 @@ use sqo_core::{
 };
 use sqo_datasets::ZipfSampler;
 use sqo_overlay::{PeerId, SimLatency};
+use sqo_plan::{PlannerEnv, PreparedQuery};
+use sqo_storage::Value;
 use std::collections::BTreeMap;
 
 /// How clients space their queries.
@@ -75,6 +77,12 @@ pub enum QueryKind {
     SimJoin { d: usize, left_limit: Option<usize>, window: usize },
     /// A VQL `dist()` filter query over the workload attribute.
     Vql { d: usize },
+    /// A multi-operator plan pipeline — prefix-range select over the
+    /// workload attribute (the drawn string's first two characters), its
+    /// rows joined against the attribute at distance `d`, best `n` pairs
+    /// kept. Expressible only through the plan API, so it always compiles
+    /// through `sqo-plan` regardless of [`ApiMode`].
+    Pipeline { d: usize, n: usize, left_limit: Option<usize>, window: usize },
 }
 
 impl QueryKind {
@@ -85,8 +93,26 @@ impl QueryKind {
             QueryKind::TopN { .. } => "topn",
             QueryKind::SimJoin { .. } => "simjoin",
             QueryKind::Vql { .. } => "vql",
+            QueryKind::Pipeline { .. } => "pipeline",
         }
     }
+}
+
+/// Which surface the driver dispatches [`QueryKind`]s through.
+///
+/// `Plan` (the default) compiles every template into a `sqo-plan` logical
+/// plan prepared against the engine's planner environment — the driver's
+/// dispatch is a thin shim over the unified IR. `Legacy` constructs the
+/// per-operator core tasks directly, exactly as the pre-IR driver did; it
+/// exists as the A/B baseline the latency bench uses to pin that the plan
+/// path adds no overhead. Both modes execute the identical stepped tasks,
+/// so reports are byte-identical for plan-expressible mixes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApiMode {
+    /// Dispatch through prepared logical plans (`sqo-plan`).
+    Plan,
+    /// Construct the legacy per-operator tasks directly.
+    Legacy,
 }
 
 /// Workload-driver configuration.
@@ -117,6 +143,9 @@ pub struct DriverConfig {
     /// caches meaningful); `false` draws a fresh random initiator per
     /// query (the PR 2 baseline behavior).
     pub sticky_initiators: bool,
+    /// Which query surface dispatches the mix (plan shims vs direct legacy
+    /// task construction — the bench's A/B axis).
+    pub api: ApiMode,
     pub seed: u64,
 }
 
@@ -137,6 +166,7 @@ impl Default for DriverConfig {
             cache: BrokerConfig::default(),
             zipf_s: 0.0,
             sticky_initiators: false,
+            api: ApiMode::Plan,
             seed: 7,
         }
     }
@@ -235,6 +265,10 @@ pub fn run_driver(
     } else {
         engine.clear_broker();
     }
+    // The planner environment is invariant for the run (defaults and
+    // broker services are fixed above): snapshot it once instead of
+    // per-dispatch.
+    let planner_env = PlannerEnv::of(engine);
     let zipf = (cfg.zipf_s > 0.0).then(|| ZipfSampler::new(strings.len(), cfg.zipf_s));
 
     // Per-client deterministic streams: query arguments and arrival jitter.
@@ -293,7 +327,7 @@ pub fn run_driver(
                     None => engine.random_peer(),
                 };
                 let flight = InFlight {
-                    task: build_task(attr, &s, from, &kind, cfg.strategy),
+                    task: build_task(&planner_env, attr, &s, from, &kind, cfg.strategy, cfg.api),
                     label: kind.label(),
                     client,
                     arrival_us: t,
@@ -400,39 +434,88 @@ fn exp_sample(rng: &mut StdRng, mean_us: u64) -> u64 {
 }
 
 /// Construct the resumable task for one query of the mix.
+///
+/// With [`ApiMode::Plan`] every template becomes a `sqo-plan` [`Query`]
+/// prepared against the engine's planner environment — the legacy
+/// `QueryKind` dispatch is a thin shim over the unified IR. With
+/// [`ApiMode::Legacy`] the per-operator core tasks are constructed
+/// directly (the A/B baseline); `Pipeline` templates and VQL go through
+/// their own planners in both modes, being expressible only there.
 fn build_task(
+    env: &PlannerEnv,
     attr: &str,
     s: &str,
     from: sqo_overlay::PeerId,
     kind: &QueryKind,
     strategy: Strategy,
+    api: ApiMode,
 ) -> Box<dyn ExecStep> {
-    match kind {
-        QueryKind::Similar { d } => {
-            Box::new(QueryTask::Similar(SimilarTask::new(s, Some(attr), *d, from, strategy)))
-        }
-        QueryKind::TopN { n, d_max } => {
-            Box::new(QueryTask::TopN(TopNTask::nearest(Some(attr), *n, s, *d_max, from, strategy)))
-        }
-        QueryKind::SimJoin { d, left_limit, window } => {
-            let opts = JoinOptions { strategy, left_limit: *left_limit, window: *window };
-            Box::new(QueryTask::Join(JoinTask::new(attr, Some(attr), *d, from, &opts)))
-        }
-        QueryKind::Vql { d } => {
-            // The search string lands inside a single-quoted VQL literal;
-            // neutralize quotes so a stray apostrophe in the pool cannot
-            // turn every Vql query into a silent parse error.
-            let s = s.replace('\'', " ");
-            let query =
-                format!("SELECT ?o WHERE {{ (?o,{attr},?v) FILTER (dist(?v,'{s}') < {}) }}", d + 1);
-            let opts = sqo_vql::ExecOptions { strategy };
-            match sqo_vql::VqlTask::prepare(&query, from, &opts) {
-                Ok(task) => Box::new(task),
-                // A parse/plan error costs nothing on the wire: an
-                // immediately-done task with empty stats.
-                Err(_) => Box::new(NullTask),
+    use sqo_plan::Query;
+
+    if let QueryKind::Vql { d } = kind {
+        // The search string lands inside a single-quoted VQL literal;
+        // neutralize quotes so a stray apostrophe in the pool cannot
+        // turn every Vql query into a silent parse error.
+        let s = s.replace('\'', " ");
+        let query =
+            format!("SELECT ?o WHERE {{ (?o,{attr},?v) FILTER (dist(?v,'{s}') < {}) }}", d + 1);
+        let opts = sqo_vql::ExecOptions { strategy };
+        return match sqo_vql::VqlTask::prepare(&query, from, &opts) {
+            Ok(task) => Box::new(task),
+            // A parse/plan error costs nothing on the wire: an
+            // immediately-done task with empty stats.
+            Err(_) => Box::new(NullTask),
+        };
+    }
+
+    if api == ApiMode::Legacy {
+        return match kind {
+            QueryKind::Similar { d } => {
+                Box::new(QueryTask::Similar(SimilarTask::new(s, Some(attr), *d, from, strategy)))
             }
+            QueryKind::TopN { n, d_max } => Box::new(QueryTask::TopN(TopNTask::nearest(
+                Some(attr),
+                *n,
+                s,
+                *d_max,
+                from,
+                strategy,
+            ))),
+            QueryKind::SimJoin { d, left_limit, window } => {
+                let opts = JoinOptions { strategy, left_limit: *left_limit, window: *window };
+                Box::new(QueryTask::Join(JoinTask::new(attr, Some(attr), *d, from, &opts)))
+            }
+            // Pipelines have no legacy construction; fall through to the
+            // plan path below.
+            QueryKind::Pipeline { .. } => {
+                build_task(env, attr, s, from, kind, strategy, ApiMode::Plan)
+            }
+            QueryKind::Vql { .. } => unreachable!("handled above"),
+        };
+    }
+
+    let q = match kind {
+        QueryKind::Similar { d } => Query::similar(s, Some(attr), *d),
+        QueryKind::TopN { n, d_max } => Query::top_n_similar(Some(attr), *n, s, *d_max),
+        QueryKind::SimJoin { d, left_limit, window } => {
+            Query::join_scan(attr, Some(attr), *d).left_limit(*left_limit).window(*window)
         }
+        QueryKind::Pipeline { d, n, left_limit, window } => {
+            // Prefix-range select: every word sharing the drawn string's
+            // first two characters feeds the join's left side.
+            let prefix: String = s.chars().take(2).collect();
+            let hi = format!("{prefix}\u{10FFFF}");
+            Query::select_range(attr, Value::from(prefix), Value::from(hi))
+                .sim_join(attr, Some(attr), *d)
+                .top_n(*n)
+                .left_limit(*left_limit)
+                .window(*window)
+        }
+        QueryKind::Vql { .. } => unreachable!("handled above"),
+    };
+    match PreparedQuery::with_env(&q.strategy(strategy), env, from) {
+        Ok(prepared) => Box::new(prepared.task()),
+        Err(_) => Box::new(NullTask),
     }
 }
 

@@ -73,7 +73,7 @@ pub mod netsim;
 pub mod report;
 
 pub use driver::{
-    run_driver, Arrival, CacheReport, ChurnEvent, DriverConfig, DriverReport, QueryKind,
+    run_driver, ApiMode, Arrival, CacheReport, ChurnEvent, DriverConfig, DriverReport, QueryKind,
 };
 pub use events::EventQueue;
 pub use latency::{LatencyModel, LossModel};

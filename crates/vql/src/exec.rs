@@ -1,22 +1,23 @@
 //! VQL execution over the similarity engine.
 //!
 //! Execution is materialize-then-join at the initiating peer: every subject
-//! plan fetches its candidate objects through the physical operators of
-//! `sqo-core` (each call paying its overlay messages), the resulting
-//! binding sets are hash-joined locally on shared variables, join-spanning
-//! `dist` predicates and residual filters run on the joined rows, and
-//! ORDER BY / LIMIT / OFFSET shape the output — the "separate sub-queries
-//! and intersecting the results" strategy of §4.
+//! plan is **lowered onto the shared logical-plan IR** ([`crate::lower`])
+//! and materialized through the `sqo-plan` physical compiler — the same
+//! planner and stepped tasks the builder API runs on — each sub-plan
+//! paying its overlay messages; the resulting binding sets are hash-joined
+//! locally on shared variables, join-spanning `dist` predicates and
+//! residual filters run on the joined rows, and ORDER BY / LIMIT / OFFSET
+//! shape the output — the "separate sub-queries and intersecting the
+//! results" strategy of §4.
 
 use crate::ast::{CmpOp, Filter, Operand, OrderBy, Query, Term};
 use crate::error::{Result, VqlError};
-use crate::plan::{plan, AccessPath, Plan, SubjectPlan};
+use crate::lower::{binds_matched_attr, lower_access_path};
+use crate::plan::{plan, Plan, SubjectPlan};
 use rustc_hash::FxHashMap;
-use sqo_core::{
-    finalize_stats, ExecStep, QueryStats, SelectTask, SimilarTask, SimilarityEngine, StepOutcome,
-    Strategy,
-};
+use sqo_core::{finalize_stats, ExecStep, QueryStats, SimilarityEngine, StepOutcome, Strategy};
 use sqo_overlay::peer::PeerId;
+use sqo_plan::{PlanTask, PlannerEnv, PreparedQuery};
 use sqo_storage::posting::Object;
 use sqo_storage::triple::Value;
 use sqo_strsim::edit::levenshtein;
@@ -78,6 +79,10 @@ pub struct VqlTask {
     plan: Plan,
     from: PeerId,
     strategy: Strategy,
+    /// Planner environment, snapshotted from the engine at the first
+    /// subject and reused for the rest (it is invariant while the task
+    /// runs).
+    env: Option<PlannerEnv>,
     state: VState,
     stats: QueryStats,
     /// Materialized binding rows per subject (subject index kept so the
@@ -97,9 +102,12 @@ enum VState {
     Finished,
 }
 
-enum SubjectChild {
-    Similar { task: Box<SimilarTask>, schema: bool },
-    Select(Box<SelectTask>),
+/// One subject's materialization: its access path lowered onto the shared
+/// plan IR and compiled into a stepped plan task.
+struct SubjectChild {
+    task: Box<PlanTask>,
+    /// The lowered path binds the matched attribute (schema level).
+    schema: bool,
 }
 
 impl VqlTask {
@@ -115,6 +123,7 @@ impl VqlTask {
             plan: plan(query)?,
             from,
             strategy: opts.strategy,
+            env: None,
             state: VState::Subject { idx: 0, child: None, resume_at: None },
             stats: QueryStats::default(),
             sides: Vec::new(),
@@ -127,31 +136,20 @@ impl VqlTask {
         self.output.take()
     }
 
-    fn child_for(&self, idx: usize) -> Option<SubjectChild> {
-        match &self.plan.subjects[idx].path {
-            AccessPath::ByOid { .. } => None, // handled as a direct lookup
-            AccessPath::Exact { attr, value } => Some(SubjectChild::Select(Box::new(
-                SelectTask::exact(attr, value.clone(), self.from),
-            ))),
-            AccessPath::Range { attr, lo, hi } => {
-                let (lo, hi) = open_range_bounds(lo.clone(), hi.clone());
-                Some(SubjectChild::Select(Box::new(SelectTask::range(attr, lo, hi, self.from))))
-            }
-            AccessPath::NumericSimilar { attr, center, eps } => Some(SubjectChild::Select(
-                Box::new(SelectTask::numeric_similar(attr, center.clone(), *eps, self.from)),
-            )),
-            AccessPath::StringSimilar { attr, query, d } => Some(SubjectChild::Similar {
-                task: Box::new(SimilarTask::new(query, Some(attr), *d, self.from, self.strategy)),
-                schema: false,
-            }),
-            AccessPath::SchemaSimilar { query, d } => Some(SubjectChild::Similar {
-                task: Box::new(SimilarTask::new(query, None, *d, self.from, self.strategy)),
-                schema: true,
-            }),
-            AccessPath::FullScan { attr } => {
-                Some(SubjectChild::Select(Box::new(SelectTask::full_scan(attr, self.from))))
-            }
+    /// Lower subject `idx`'s access path onto the shared plan IR and
+    /// compile it against the engine's planner environment. The VQL-level
+    /// gram strategy (from [`ExecOptions`]) is pinned on every
+    /// similarity-bearing node, exactly as the pre-IR executor did.
+    fn child_for(&mut self, idx: usize, engine: &SimilarityEngine) -> Result<SubjectChild> {
+        if self.env.is_none() {
+            self.env = Some(PlannerEnv::of(engine));
         }
+        let env = self.env.as_ref().expect("filled above");
+        let path = &self.plan.subjects[idx].path;
+        let q = sqo_plan::Query::from_plan(lower_access_path(path)).strategy(self.strategy);
+        let prepared = PreparedQuery::with_env(&q, env, self.from)
+            .map_err(|e| VqlError::Semantic(e.to_string()))?;
+        Ok(SubjectChild { task: Box::new(prepared.task()), schema: binds_matched_attr(path) })
     }
 
     /// Bind a finished subject's sources into rows and store them.
@@ -242,35 +240,24 @@ impl ExecStep for VqlTask {
                         self.state = VState::Finish;
                         continue;
                     }
-                    if let AccessPath::ByOid { oid } = &self.plan.subjects[idx].path {
-                        // A direct oid lookup is a single routed fetch:
-                        // one monolithic charged chunk.
-                        let (oid, from) = (oid.clone(), self.from);
-                        let mut acc = self.stats;
-                        let ((obj, _inner), end) =
-                            engine.charged(&mut acc, at, |e| e.lookup_object(from, &oid));
-                        self.stats = acc;
-                        let mut sources = Vec::new();
-                        if let Some(o) = obj {
-                            sources.push((o, None));
+                    match self.child_for(idx, engine) {
+                        Ok(child) => {
+                            self.state =
+                                VState::Subject { idx, child: Some(child), resume_at: Some(at) };
+                            continue;
                         }
-                        self.bind_side(idx, sources);
-                        self.state =
-                            VState::Subject { idx: idx + 1, child: None, resume_at: Some(end) };
-                        return StepOutcome::Yield { at_us: end };
+                        Err(e) => {
+                            finalize_stats(&mut self.stats);
+                            self.output = Some(Err(e));
+                            self.state = VState::Finished;
+                            return StepOutcome::Done(self.stats);
+                        }
                     }
-                    let child = self.child_for(idx);
-                    self.state = VState::Subject { idx, child, resume_at: Some(at) };
-                    continue;
                 }
 
                 VState::Subject { idx, child: Some(mut child), resume_at } => {
                     let at = resume_at.unwrap_or(at_us);
-                    let outcome = match &mut child {
-                        SubjectChild::Similar { task, .. } => task.step(engine, at),
-                        SubjectChild::Select(task) => task.step(engine, at),
-                    };
-                    match outcome {
+                    match child.task.step(engine, at) {
                         StepOutcome::Yield { at_us } => {
                             self.state =
                                 VState::Subject { idx, child: Some(child), resume_at: Some(at_us) };
@@ -280,32 +267,17 @@ impl ExecStep for VqlTask {
                             self.stats.absorb(&child_stats);
                             let end = child_stats.sim.map(|s| s.end_us).unwrap_or(at);
                             let mut sources: Vec<(Object, Option<String>)> = Vec::new();
-                            match child {
-                                SubjectChild::Similar { mut task, schema: true } => {
+                            let mut seen = rustc_hash::FxHashSet::default();
+                            for row in child.task.take_rows() {
+                                if child.schema {
                                     // Keep the matched attribute: it binds
                                     // the pattern's attr var.
-                                    let mut seen = rustc_hash::FxHashSet::default();
-                                    for m in task.take_matches() {
-                                        if seen.insert((m.oid.clone(), m.attr.as_str().to_string()))
-                                        {
-                                            sources.push((
-                                                m.object,
-                                                Some(m.attr.as_str().to_string()),
-                                            ));
-                                        }
+                                    let attr = row.attr.clone().unwrap_or_default();
+                                    if seen.insert((row.oid.clone(), attr.clone())) {
+                                        sources.push((row.object, Some(attr)));
                                     }
-                                }
-                                SubjectChild::Similar { mut task, schema: false } => {
-                                    dedup_objects(
-                                        task.take_matches().into_iter().map(|m| m.object),
-                                        &mut sources,
-                                    );
-                                }
-                                SubjectChild::Select(mut task) => {
-                                    dedup_objects(
-                                        task.take_hits().into_iter().map(|h| h.object),
-                                        &mut sources,
-                                    );
+                                } else if seen.insert((row.oid.clone(), String::new())) {
+                                    sources.push((row.object, None));
                                 }
                             }
                             self.bind_side(idx, sources);
@@ -330,27 +302,6 @@ impl ExecStep for VqlTask {
             }
         }
     }
-}
-
-fn dedup_objects(objs: impl Iterator<Item = Object>, out: &mut Vec<(Object, Option<String>)>) {
-    let mut seen = rustc_hash::FxHashSet::default();
-    for o in objs {
-        if seen.insert(o.oid.clone()) {
-            out.push((o, None));
-        }
-    }
-}
-
-fn open_range_bounds(lo: Option<Value>, hi: Option<Value>) -> (Value, Value) {
-    // Domain sentinels for half-open ranges; the residual filter restores
-    // exact strictness.
-    let kind = lo.as_ref().or(hi.as_ref()).cloned();
-    let (dlo, dhi) = match kind {
-        Some(Value::Float(_)) => (Value::Float(f64::MIN), Value::Float(f64::MAX)),
-        Some(Value::Str(_)) => (Value::Str(String::new()), Value::Str("\u{10FFFF}".repeat(8))),
-        _ => (Value::Int(i64::MIN), Value::Int(i64::MAX)),
-    };
-    (lo.unwrap_or(dlo), hi.unwrap_or(dhi))
 }
 
 /// Expand an object into binding rows satisfying all patterns of the

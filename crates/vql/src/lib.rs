@@ -37,11 +37,13 @@ pub mod ast;
 pub mod error;
 pub mod exec;
 pub mod lexer;
+pub mod lower;
 pub mod parser;
 pub mod plan;
 
 pub use ast::{CmpOp, Filter, Operand, OrderBy, Query, Term, TriplePattern};
 pub use error::{Result, VqlError};
 pub use exec::{execute, run, ExecOptions, QueryOutput, VqlTask};
+pub use lower::{binds_matched_attr, lower_access_path};
 pub use parser::parse;
 pub use plan::{plan, AccessPath, Plan, SubjectPlan};

@@ -14,7 +14,11 @@
 //!   churn-epoch invalidation and cross-query probe coalescing,
 //! * [`core`] — the physical similarity operators (`Similar`, `SimJoin`,
 //!   `TopN`, naive baseline),
-//! * [`vql`] — the Vertical Query Language: parser, planner, executor,
+//! * [`plan`] — the unified logical-plan layer: the typed `Query` builder,
+//!   one operator-tree IR every query surface compiles into, planner
+//!   rewrites, `explain()`, and the `Session`/`PreparedQuery` lifecycle,
+//! * [`vql`] — the Vertical Query Language: parser, planner, executor
+//!   (lowered onto the shared plan IR),
 //! * [`datasets`] — synthetic datasets and the paper's evaluation workload,
 //! * [`sim`] — the discrete-event network simulator: virtual time, latency
 //!   models, loss/retry, and concurrent-query workload driving with
@@ -41,6 +45,7 @@ pub use sqo_cache as cache;
 pub use sqo_core as core;
 pub use sqo_datasets as datasets;
 pub use sqo_overlay as overlay;
+pub use sqo_plan as plan;
 pub use sqo_sim as sim;
 pub use sqo_storage as storage;
 pub use sqo_strsim as strsim;
