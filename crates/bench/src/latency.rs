@@ -1,20 +1,49 @@
 //! The latency/throughput trajectory bench: the §6 query mix driven as a
 //! concurrent workload under every latency model, at increasing client
-//! counts — and, since the `sqo-cache` subsystem landed, with the hot-path
-//! services swept **off and on** over a Zipf-skewed workload. Emits one
-//! JSON point per (model × clients × cache mode × operator), with the
-//! per-operator overlay message counts next to the percentiles so the
-//! "messages saved" by caching/batching is visible in the artifact. The
+//! counts — swept over the hot-path services (`sqo-cache` off/on, Zipf-
+//! skewed workload), the query surface (legacy task construction vs the
+//! `sqo-plan` shim), and since the adaptive-execution work the **join
+//! window** (static 1 and 8 vs AIMD `auto`). Emits one JSON point per
+//! (model × clients × combo × operator), with per-operator overlay
+//! messages **and per-operator queue time** next to the percentiles, so
+//! both the "messages saved" by caching and the congestion response of
+//! the adaptive window are visible in the artifact. The
 //! `BENCH_latency.json` at the repository root is a committed run of the
-//! default configuration; the cache-off points are the trajectory future
-//! optimizations measure against.
+//! default configuration; the acceptance tests pin its claims.
 
 use serde::Serialize;
-use sqo_core::{BrokerConfig, EngineBuilder, SimilarityEngine, Strategy};
+use sqo_core::{BrokerConfig, EngineBuilder, JoinWindow, SimilarityEngine, Strategy};
 use sqo_datasets::{bible_words, string_rows};
 use sqo_sim::{
     run_driver, ApiMode, Arrival, DriverConfig, DriverReport, LatencyModel, QueryKind, SimConfig,
 };
+
+/// One sweep cell: service configuration × query surface × join window.
+#[derive(Debug, Clone)]
+pub struct SweepCombo {
+    /// Hot-path service mode label ("off" / "on").
+    pub cache_label: &'static str,
+    /// Hot-path service configuration.
+    pub cache: BrokerConfig,
+    /// Query-surface label ("legacy" / "plan").
+    pub api_label: &'static str,
+    /// Query-surface dispatch mode.
+    pub api: ApiMode,
+    /// Join-window label ("w1" / "w8" / "auto").
+    pub window_label: &'static str,
+    /// Join-window mode the mix's simjoin template runs with.
+    pub window: JoinWindow,
+}
+
+impl SweepCombo {
+    fn new(
+        (cache_label, cache): (&'static str, BrokerConfig),
+        (api_label, api): (&'static str, ApiMode),
+        (window_label, window): (&'static str, JoinWindow),
+    ) -> Self {
+        Self { cache_label, cache, api_label, api, window_label, window }
+    }
+}
 
 /// Sweep configuration.
 #[derive(Debug, Clone)]
@@ -26,18 +55,35 @@ pub struct LatencyBenchConfig {
     pub queries_per_client: usize,
     pub mean_interarrival_us: u64,
     pub models: Vec<LatencyModel>,
-    /// Hot-path service modes to sweep (label, configuration).
-    pub cache_modes: Vec<(&'static str, BrokerConfig)>,
-    /// Query surfaces to sweep (label, dispatch mode): the legacy-shim
-    /// column is the baseline that pins the plan path's overhead at noise.
-    pub api_modes: Vec<(&'static str, ApiMode)>,
-    /// Query-string skew exponent (0 = uniform). The default workload is
-    /// Zipf-skewed: popular strings dominate, the regime caching exists for.
+    /// The (cache, api, window) cells swept per model × client count.
+    pub combos: Vec<SweepCombo>,
+    /// Query-string skew: `0.0` picks uniformly from the pool; `> 0.0`
+    /// draws string ranks from a Zipf distribution with this exponent —
+    /// the production-shaped workload where popular strings (and their
+    /// gram partitions) dominate.
     pub zipf_s: f64,
     /// Pin each client to one initiator peer (its access point).
     pub sticky_initiators: bool,
     pub strategy: Strategy,
     pub seed: u64,
+}
+
+/// The default sweep cells: the legacy-vs-plan A/B at the w1 baseline
+/// (pinning the plan shim's zero overhead), plus the window sweep
+/// (w1 / w8 / auto) on the plan surface — each crossed with cache off/on.
+fn default_combos() -> Vec<SweepCombo> {
+    let caches = [("off", BrokerConfig::default()), ("on", BrokerConfig::enabled())];
+    let w1 = ("w1", JoinWindow::Fixed(1));
+    let w8 = ("w8", JoinWindow::Fixed(8));
+    let auto = ("auto", JoinWindow::auto());
+    let mut combos = Vec::new();
+    for cache in caches {
+        combos.push(SweepCombo::new(cache, ("legacy", ApiMode::Legacy), w1));
+        for window in [w1, w8, auto] {
+            combos.push(SweepCombo::new(cache, ("plan", ApiMode::Plan), window));
+        }
+    }
+    combos
 }
 
 impl Default for LatencyBenchConfig {
@@ -54,8 +100,7 @@ impl Default for LatencyBenchConfig {
                 LatencyModel::LogNormal { median_us: 1_500.0, sigma: 0.8 },
                 LatencyModel::PerLink { min_us: 300, max_us: 12_000, salt: 17 },
             ],
-            cache_modes: vec![("off", BrokerConfig::default()), ("on", BrokerConfig::enabled())],
-            api_modes: vec![("legacy", ApiMode::Legacy), ("plan", ApiMode::Plan)],
+            combos: default_combos(),
             zipf_s: 1.1,
             sticky_initiators: true,
             strategy: Strategy::QGrams,
@@ -81,7 +126,7 @@ impl LatencyBenchConfig {
     }
 }
 
-/// One (model, clients, cache mode, operator) measurement.
+/// One (model, clients, combo, operator) measurement.
 #[derive(Debug, Clone, Serialize)]
 pub struct LatencyPoint {
     pub model: String,
@@ -91,6 +136,8 @@ pub struct LatencyPoint {
     /// Query-surface label ("legacy" = direct task construction, "plan" =
     /// dispatch through prepared logical plans).
     pub api: String,
+    /// Join-window label ("w1" / "w8" = static, "auto" = AIMD).
+    pub window: String,
     pub operator: String,
     pub count: usize,
     pub mean_us: u64,
@@ -100,14 +147,20 @@ pub struct LatencyPoint {
     pub max_us: u64,
     /// Overlay messages attributed to this operator in the run.
     pub messages: u64,
+    /// Queue time attributed to **this operator's** queries (virtual µs
+    /// its messages spent behind busy receivers) — the per-op congestion
+    /// signal the adaptive window reacts to.
+    pub queue_us: u64,
     /// Probe keys this operator served from the posting cache.
     pub cache_hits: u64,
     /// Probe keys that rode a coalesced multi-key exchange.
     pub probes_coalesced: u64,
+    /// Largest adaptive join window this operator reached (0 = fixed).
+    pub window_peak: usize,
+    /// Adaptive-window congestion back-offs this operator performed.
+    pub window_shrinks: u64,
     /// Workload-wide throughput of the run this point came from.
     pub throughput_qps: f64,
-    /// Workload-wide queue time — the contention signal.
-    pub queue_us_total: u64,
     /// Workload-wide posting-cache hit rate of the run.
     pub cache_hit_rate: f64,
     /// Workload-wide overlay messages the coalesced flushes avoided.
@@ -123,18 +176,17 @@ fn points_of(
     report: &DriverReport,
     model: &LatencyModel,
     clients: usize,
-    cache: &str,
-    api: &str,
+    combo: &SweepCombo,
 ) -> Vec<LatencyPoint> {
-    let queue_us_total = report.total.sim.map(|s| s.queue_us).unwrap_or(0);
     report
         .per_operator
         .iter()
         .map(|op| LatencyPoint {
             model: model.label().to_string(),
             clients,
-            cache: cache.to_string(),
-            api: api.to_string(),
+            cache: combo.cache_label.to_string(),
+            api: combo.api_label.to_string(),
+            window: combo.window_label.to_string(),
             operator: op.operator.clone(),
             count: op.summary.count,
             mean_us: op.summary.mean_us,
@@ -143,10 +195,12 @@ fn points_of(
             p99_us: op.summary.p99_us,
             max_us: op.summary.max_us,
             messages: op.messages,
+            queue_us: op.queue_us,
             cache_hits: op.cache_hits,
             probes_coalesced: op.probes_coalesced,
+            window_peak: op.window_peak,
+            window_shrinks: op.window_shrinks,
             throughput_qps: report.throughput_qps,
-            queue_us_total,
             cache_hit_rate: report.cache.hit_rate,
             messages_saved: report.cache.messages_saved,
         })
@@ -159,33 +213,29 @@ pub fn run_latency_bench(cfg: &LatencyBenchConfig) -> Vec<LatencyPoint> {
     let mut out = Vec::new();
     for model in &cfg.models {
         for &clients in &cfg.client_counts {
-            for (label, cache) in &cfg.cache_modes {
-                for (api_label, api) in &cfg.api_modes {
-                    let mut engine = fresh_engine(cfg, &words);
-                    let driver_cfg = DriverConfig {
-                        clients,
-                        queries_per_client: cfg.queries_per_client,
-                        arrival: Arrival::Poisson {
-                            mean_interarrival_us: cfg.mean_interarrival_us,
-                        },
-                        mix: vec![
-                            QueryKind::Similar { d: 1 },
-                            QueryKind::SimJoin { d: 1, left_limit: Some(8), window: 1 },
-                            QueryKind::TopN { n: 5, d_max: 3 },
-                            QueryKind::Vql { d: 1 },
-                        ],
-                        strategy: cfg.strategy,
-                        sim: SimConfig { latency: *model, ..SimConfig::default() },
-                        churn: Vec::new(),
-                        cache: *cache,
-                        zipf_s: cfg.zipf_s,
-                        sticky_initiators: cfg.sticky_initiators,
-                        api: *api,
-                        seed: cfg.seed,
-                    };
-                    let report = run_driver(&mut engine, "word", &words, &driver_cfg);
-                    out.extend(points_of(&report, model, clients, label, api_label));
-                }
+            for combo in &cfg.combos {
+                let mut engine = fresh_engine(cfg, &words);
+                let driver_cfg = DriverConfig {
+                    clients,
+                    queries_per_client: cfg.queries_per_client,
+                    arrival: Arrival::Poisson { mean_interarrival_us: cfg.mean_interarrival_us },
+                    mix: vec![
+                        QueryKind::Similar { d: 1 },
+                        QueryKind::SimJoin { d: 1, left_limit: Some(8), window: combo.window },
+                        QueryKind::TopN { n: 5, d_max: 3 },
+                        QueryKind::Vql { d: 1 },
+                    ],
+                    strategy: cfg.strategy,
+                    sim: SimConfig { latency: *model, ..SimConfig::default() },
+                    churn: Vec::new(),
+                    cache: combo.cache,
+                    zipf_s: cfg.zipf_s,
+                    sticky_initiators: cfg.sticky_initiators,
+                    api: combo.api,
+                    seed: cfg.seed,
+                };
+                let report = run_driver(&mut engine, "word", &words, &driver_cfg);
+                out.extend(points_of(&report, model, clients, combo));
             }
         }
     }
@@ -195,22 +245,25 @@ pub fn run_latency_bench(cfg: &LatencyBenchConfig) -> Vec<LatencyPoint> {
 /// Human-readable table of a sweep.
 pub fn render(points: &[LatencyPoint]) -> String {
     let mut s = String::from(
-        "model      clients cache api    operator  count   p50(ms)   p95(ms)   p99(ms)   msgs  \
-         hit%\n",
+        "model      clients cache api    window operator  count   p50(ms)   p95(ms)   p99(ms)   \
+         msgs  queue(ms)  hit%\n",
     );
     for p in points {
         s.push_str(&format!(
-            "{:<10} {:>7} {:<5} {:<6} {:<9} {:>5} {:>9.2} {:>9.2} {:>9.2} {:>6} {:>5.1}\n",
+            "{:<10} {:>7} {:<5} {:<6} {:<6} {:<9} {:>5} {:>9.2} {:>9.2} {:>9.2} {:>6} {:>10.1} \
+             {:>5.1}\n",
             p.model,
             p.clients,
             p.cache,
             p.api,
+            p.window,
             p.operator,
             p.count,
             p.p50_us as f64 / 1e3,
             p.p95_us as f64 / 1e3,
             p.p99_us as f64 / 1e3,
             p.messages,
+            p.queue_us as f64 / 1e3,
             p.cache_hit_rate * 100.0,
         ));
     }
@@ -237,29 +290,44 @@ mod tests {
             ..LatencyBenchConfig::default()
         };
         let a = run_latency_bench(&cfg);
-        // 2 models x 1 client count x 2 cache modes x 2 api modes x 4
-        // operators.
-        assert_eq!(a.len(), 32);
+        // 2 models x 1 client count x 8 combos x 4 operators.
+        assert_eq!(a.len(), 64);
         for p in &a {
             assert!(p.count > 0);
             assert!(p.p50_us <= p.p99_us);
             if p.cache == "off" {
                 assert_eq!(p.cache_hits, 0, "cache-off points must not hit");
             }
+            if p.window != "auto" || p.operator != "simjoin" {
+                assert_eq!(p.window_peak, 0, "only auto simjoins report a window peak");
+            }
         }
         assert!(
             a.iter().any(|p| p.cache == "on" && p.cache_hits > 0),
             "cache-on sweep must produce hits"
         );
-        // The plan column must sit on top of the legacy-shim column:
-        // dispatching through prepared plans adds no virtual-time overhead
-        // (the <2% p50 budget is pinned at 0 by construction — both
+        assert!(
+            a.iter().any(|p| p.window == "auto" && p.operator == "simjoin" && p.window_peak > 1),
+            "auto windows must actually adapt"
+        );
+        // Queue time is per-operator now: rows of one run must not all
+        // carry the same figure (the old run-wide duplication).
+        let c = |p: &&LatencyPoint| p.model == "constant" && p.cache == "off" && p.api == "plan";
+        let queue: Vec<u64> = a.iter().filter(c).map(|p| p.queue_us).collect();
+        assert!(
+            queue.iter().any(|q| q != &queue[0]),
+            "per-operator queue attribution must differ across operators: {queue:?}"
+        );
+        // The plan column must sit on top of the legacy-shim column at the
+        // shared w1 baseline: dispatching through prepared plans adds no
+        // virtual-time overhead (pinned at 0 by construction — both
         // surfaces drive identical stepped tasks).
-        for p in a.iter().filter(|p| p.api == "plan") {
+        for p in a.iter().filter(|p| p.api == "plan" && p.window == "w1") {
             let legacy = a
                 .iter()
                 .find(|l| {
                     l.api == "legacy"
+                        && l.window == "w1"
                         && l.model == p.model
                         && l.clients == p.clients
                         && l.cache == p.cache

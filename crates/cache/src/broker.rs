@@ -19,6 +19,11 @@ pub struct BrokerConfig {
     pub cache_capacity: usize,
     /// Virtual-time TTL of a cached posting list, microseconds.
     pub cache_ttl_us: u64,
+    /// TinyLFU admission gate on the posting cache: when full, a new list
+    /// displaces a still-valid entry only if a frequency sketch estimates
+    /// its key hotter — one-hit wonders stop washing out the hot set. Off
+    /// by default (unconditional admission, the pre-gate behavior).
+    pub admission: bool,
     /// Enable cross-query probe coalescing (partition channels).
     pub batch: bool,
     /// Coalescing window: after a probe routes to a partition, the
@@ -33,6 +38,7 @@ impl Default for BrokerConfig {
             cache: false,
             cache_capacity: 4096,
             cache_ttl_us: 2_000_000, // 2 virtual seconds
+            admission: false,
             batch: false,
             batch_window_us: 4_000,
         }
@@ -48,6 +54,12 @@ impl BrokerConfig {
     /// Cache only (no added probe latency from the batch window).
     pub fn cache_only() -> Self {
         Self { cache: true, ..Self::default() }
+    }
+
+    /// Cache with the TinyLFU admission gate (the A/B counterpart of
+    /// [`BrokerConfig::cache_only`]).
+    pub fn cache_with_admission() -> Self {
+        Self { cache: true, admission: true, ..Self::default() }
     }
 
     /// Batching only (A/B isolation of the coalescing win).
@@ -70,6 +82,9 @@ pub struct BrokerCounters {
     pub probes_coalesced: u64,
     /// Routed exchanges that opened a partition channel.
     pub channels_opened: u64,
+    /// Cache inserts the TinyLFU admission gate turned away (0 with the
+    /// gate off).
+    pub admission_rejects: u64,
     /// Overlay messages the coalesced probes avoided: the route hops a
     /// rider would have paid, minus the single direct request it sent
     /// instead.
@@ -98,9 +113,14 @@ pub struct CacheBatchBroker {
 
 impl CacheBatchBroker {
     pub fn new(cfg: BrokerConfig) -> Self {
+        let (capacity, ttl) = (cfg.cache_capacity.max(1), cfg.cache_ttl_us);
         Self {
             cfg,
-            cache: LruCache::new(cfg.cache_capacity.max(1), cfg.cache_ttl_us),
+            cache: if cfg.admission {
+                LruCache::with_admission(capacity, ttl)
+            } else {
+                LruCache::new(capacity, ttl)
+            },
             channels: ChannelPool::new(cfg.batch_window_us),
             counters: BrokerCounters::default(),
         }
@@ -113,6 +133,7 @@ impl CacheBatchBroker {
     pub fn counters(&self) -> BrokerCounters {
         let mut c = self.counters;
         c.channels_opened = self.channels.opened;
+        c.admission_rejects = self.cache.admission_rejects();
         c
     }
 
@@ -145,7 +166,8 @@ impl CacheBatchBroker {
         }
     }
 
-    /// Fill `from`'s cache with the full list fetched for `key`.
+    /// Fill `from`'s cache with the full list fetched for `key` (subject
+    /// to the admission gate when enabled).
     pub fn cache_put(
         &mut self,
         from: PeerId,
@@ -157,6 +179,22 @@ impl CacheBatchBroker {
         if self.cfg.cache {
             self.cache.put((from, key.clone()), list, now_us, epoch);
         }
+    }
+
+    /// Size of `from`'s valid cached copy of `key`'s list, side-effect
+    /// free (no counters, no LRU touch) — the cost model's exact-size
+    /// source for lists the initiator already fetched.
+    pub fn cache_peek_len(
+        &self,
+        from: PeerId,
+        key: &Key,
+        now_us: u64,
+        epoch: u64,
+    ) -> Option<usize> {
+        if !self.cfg.cache {
+            return None;
+        }
+        self.cache.peek(&(from, key.clone()), now_us, epoch).map(Vec::len)
     }
 
     /// The open channel for `part`, if any. `n_keys` is the number of probe

@@ -32,7 +32,9 @@
 pub mod batch;
 pub mod broker;
 pub mod lru;
+pub mod sketch;
 
 pub use batch::{ChannelPool, PartitionChannel};
 pub use broker::{BrokerConfig, BrokerCounters, CacheBatchBroker};
 pub use lru::LruCache;
+pub use sketch::FrequencySketch;

@@ -1,12 +1,20 @@
-//! A bounded LRU map with virtual-time TTL and epoch invalidation.
+//! A bounded LRU map with virtual-time TTL, epoch invalidation, and an
+//! optional TinyLFU admission gate.
 //!
 //! Deliberately simple: a hash map plus a monotone use-tick, with
 //! eviction scanning for the least-recently-used entry. Capacities on the
 //! hot path are a few thousand entries, and the scan only runs when the
 //! cache is full — profile before reaching for an intrusive list.
+//!
+//! With admission enabled ([`LruCache::with_admission`]) every access is
+//! recorded in a [`FrequencySketch`], and a new key may displace a still-
+//! valid victim only if its estimated access frequency is higher — the
+//! classic TinyLFU gate that keeps one-hit wonders from washing hot
+//! entries out of a small cache.
 
+use crate::sketch::FrequencySketch;
 use rustc_hash::FxHashMap;
-use std::hash::Hash;
+use std::hash::{Hash, Hasher};
 
 struct Entry<V> {
     value: V,
@@ -25,6 +33,16 @@ pub struct LruCache<K, V> {
     capacity: usize,
     ttl_us: u64,
     tick: u64,
+    /// TinyLFU admission gate; `None` admits unconditionally.
+    sketch: Option<FrequencySketch>,
+    /// Inserts the admission gate turned away.
+    rejected: u64,
+}
+
+fn key_hash<K: Hash>(key: &K) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    h.finish()
 }
 
 impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
@@ -32,7 +50,17 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     /// Panics if `capacity == 0` (use an `Option` instead of an empty cache).
     pub fn new(capacity: usize, ttl_us: u64) -> Self {
         assert!(capacity > 0, "zero-capacity cache");
-        Self { map: FxHashMap::default(), capacity, ttl_us, tick: 0 }
+        Self { map: FxHashMap::default(), capacity, ttl_us, tick: 0, sketch: None, rejected: 0 }
+    }
+
+    /// Like [`LruCache::new`], with the TinyLFU admission gate enabled.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn with_admission(capacity: usize, ttl_us: u64) -> Self {
+        let mut c = Self::new(capacity, ttl_us);
+        c.sketch = Some(FrequencySketch::for_capacity(capacity));
+        c
     }
 
     pub fn len(&self) -> usize {
@@ -43,6 +71,11 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         self.map.is_empty()
     }
 
+    /// Inserts the admission gate rejected (0 without admission).
+    pub fn admission_rejects(&self) -> u64 {
+        self.rejected
+    }
+
     fn valid(&self, e: &Entry<V>, now_us: u64, epoch: u64) -> bool {
         e.epoch == epoch && now_us.saturating_sub(e.inserted_us) <= self.ttl_us
     }
@@ -50,6 +83,9 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     /// Look up `key` at virtual time `now_us` under churn epoch `epoch`.
     /// Expired or stale entries are evicted and reported as a miss.
     pub fn get(&mut self, key: &K, now_us: u64, epoch: u64) -> Option<&V> {
+        if let Some(s) = &mut self.sketch {
+            s.record(key_hash(key));
+        }
         match self.map.get(key) {
             Some(e) if self.valid(e, now_us, epoch) => {}
             Some(_) => {
@@ -65,9 +101,27 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         Some(&e.value)
     }
 
+    /// Validity check without side effects: no LRU touch, no frequency
+    /// record, no eviction. The cost model peeks cached list sizes here.
+    pub fn peek(&self, key: &K, now_us: u64, epoch: u64) -> Option<&V> {
+        match self.map.get(key) {
+            Some(e) if self.valid(e, now_us, epoch) => Some(&e.value),
+            _ => None,
+        }
+    }
+
     /// Insert (or refresh) `key`, evicting the least-recently-used entry
-    /// when the cache is full.
-    pub fn put(&mut self, key: K, value: V, now_us: u64, epoch: u64) {
+    /// when the cache is full. With admission enabled, a new key displaces
+    /// a still-valid victim only if the sketch estimates it hotter; the
+    /// insert is otherwise rejected. Returns whether the value was stored.
+    pub fn put(&mut self, key: K, value: V, now_us: u64, epoch: u64) -> bool {
+        // Writes are accesses too (canonical TinyLFU records every
+        // reference): a key that is repeatedly written but never looked
+        // up still accumulates frequency, so it can eventually displace a
+        // colder resident instead of being rejected forever.
+        if let Some(s) = &mut self.sketch {
+            s.record(key_hash(&key));
+        }
         self.tick += 1;
         if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
             // Prefer evicting an invalid entry; otherwise the LRU one.
@@ -75,12 +129,23 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
                 .map
                 .iter()
                 .min_by_key(|(_, e)| (self.valid(e, now_us, epoch), e.last_used))
-                .map(|(k, _)| k.clone());
-            if let Some(v) = victim {
-                self.map.remove(&v);
+                .map(|(k, e)| (k.clone(), self.valid(e, now_us, epoch)));
+            if let Some((vk, victim_valid)) = victim {
+                if victim_valid {
+                    if let Some(s) = &self.sketch {
+                        // The TinyLFU gate: keep the established entry
+                        // unless the newcomer is estimated strictly hotter.
+                        if s.estimate(key_hash(&key)) <= s.estimate(key_hash(&vk)) {
+                            self.rejected += 1;
+                            return false;
+                        }
+                    }
+                }
+                self.map.remove(&vk);
             }
         }
         self.map.insert(key, Entry { value, epoch, inserted_us: now_us, last_used: self.tick });
+        true
     }
 
     /// Drop every entry (tests and explicit resets).
@@ -145,5 +210,67 @@ mod tests {
         assert_eq!(c.len(), 2);
         assert_eq!(c.get(&1, 10, 0), Some(&111));
         assert_eq!(c.get(&2, 10, 0), Some(&22));
+    }
+
+    #[test]
+    fn peek_has_no_side_effects() {
+        let mut c: LruCache<u32, &str> = LruCache::new(2, 1_000);
+        c.put(1, "a", 0, 0);
+        c.put(2, "b", 0, 0);
+        assert_eq!(c.peek(&1, 10, 0), Some(&"a"));
+        assert_eq!(c.peek(&1, 2_000, 0), None, "expired entries peek as absent...");
+        assert_eq!(c.len(), 2, "...but are not evicted by the peek");
+        // Peeking must not refresh LRU order: 1 stays the older entry.
+        c.peek(&1, 10, 0);
+        c.get(&2, 20, 0);
+        c.put(3, "c", 30, 0);
+        assert_eq!(c.get(&1, 40, 0), None, "1 was evicted despite being peeked last");
+    }
+
+    #[test]
+    fn admission_gate_rejects_one_hit_wonders() {
+        let mut c: LruCache<u32, u32> = LruCache::with_admission(4, 1_000_000);
+        // Establish 4 hot keys with repeated accesses.
+        for k in 0..4u32 {
+            c.put(k, k, 0, 0);
+        }
+        for _ in 0..8 {
+            for k in 0..4u32 {
+                c.get(&k, 1, 0);
+            }
+        }
+        // A stream of one-hit wonders must not displace them.
+        for w in 100..200u32 {
+            c.put(w, w, 2, 0);
+        }
+        for k in 0..4u32 {
+            assert_eq!(c.get(&k, 3, 0), Some(&k), "hot key {k} survived the wonder stream");
+        }
+        assert!(c.admission_rejects() > 0, "the gate actually fired");
+    }
+
+    #[test]
+    fn admission_gate_admits_keys_that_became_hot() {
+        let mut c: LruCache<u32, u32> = LruCache::with_admission(2, 1_000_000);
+        c.put(1, 11, 0, 0);
+        c.put(2, 22, 0, 0);
+        // Key 3 gets accessed (missing) repeatedly — its sketch frequency
+        // rises above the never-again-touched residents'.
+        for _ in 0..6 {
+            c.get(&3, 1, 0);
+        }
+        assert!(c.put(3, 33, 2, 0), "a genuinely hot newcomer is admitted");
+        assert_eq!(c.get(&3, 3, 0), Some(&33));
+    }
+
+    #[test]
+    fn admission_never_blocks_invalid_victims() {
+        let mut c: LruCache<u32, u32> = LruCache::with_admission(2, 10);
+        c.put(1, 11, 0, 0);
+        c.put(2, 22, 0, 0);
+        // Both residents expired: a cold newcomer still gets in.
+        assert!(c.put(9, 99, 1_000, 0));
+        assert_eq!(c.get(&9, 1_001, 0), Some(&99));
+        assert_eq!(c.admission_rejects(), 0);
     }
 }

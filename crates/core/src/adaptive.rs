@@ -1,0 +1,333 @@
+//! Congestion-controlled join windows: AIMD sizing of the similarity
+//! join's outstanding-selection window from observed simulator feedback.
+//!
+//! `JoinOptions::window` bounds how many per-left similarity selections a
+//! [`JoinTask`](crate::simjoin::JoinTask) keeps in flight. A static window
+//! is always wrong somewhere: `1` serializes an idle network, a large one
+//! keeps flooding selections into a network that is already queueing them.
+//! The [`JoinWindow::Auto`] mode sizes the window the way TCP sizes its
+//! congestion window, in two phases:
+//!
+//! * **Slow start** (until the first per-left selection completes): the
+//!   window grows by one on every child step. Steps of an in-flight
+//!   fan-out resume at their fork frontier, so this ramp costs **zero
+//!   virtual time** — an auto join spawns its whole left side at the same
+//!   instant a well-chosen static window would, and a short join (left
+//!   side within the ceiling) is indistinguishable from the best static
+//!   window.
+//! * **Congestion avoidance** (every completion after the first): each
+//!   completed child reports its critical path and the queue time inside
+//!   it (accumulated against the per-peer serial service queues —
+//!   [`EventSink::busy_until_us`](sqo_overlay::clock::EventSink::busy_until_us)
+//!   is the backlog those charges grow). `elapsed - queue` estimates the
+//!   selection's *uncongested* cost, and the maximum over completed
+//!   children — the costliest selection the join has actually seen run
+//!   unqueued — is the reference scale. A completion whose latency stays
+//!   within [`HOLD_FACTOR`]× that reference **grows** the window by one
+//!   (additive increase); one that is queue-dominated (queue ≥ half its
+//!   critical path) *and* blown past [`SHRINK_FACTOR`]× the reference
+//!   **halves** it (multiplicative decrease); anything in between holds.
+//!
+//! The asymmetric thresholds are deliberate. Measured on this simulator,
+//! a join's *own* overlap produces single-digit-percent queue shares and
+//! latency within ~2× the uncongested cost even at window 8, and moderate
+//! cross-query load inflates completions 2–4× — regimes where more
+//! overlap still strictly wins (the serial alternative waits on the same
+//! FIFO service queues, just one at a time). Only when selections come
+//! back an order of magnitude over their uncongested cost *because of
+//! queueing* is the join amplifying a genuine overload, and that is the
+//! only regime that should pay the halving.
+//!
+//! The controller is windowed per *task*: a join learns the congestion
+//! regime it actually runs in, and two joins interleaved on one event
+//! queue can settle on different windows.
+
+/// How a similarity join sizes its outstanding-selection window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinWindow {
+    /// A static window: exactly `n` per-left selections in flight
+    /// (clamped to at least 1). `Fixed(1)` is the paper's serial loop.
+    Fixed(usize),
+    /// Congestion-controlled (AIMD) window, never exceeding `max`.
+    Auto {
+        /// Hard ceiling on the window (clamped to at least 1).
+        max: usize,
+    },
+}
+
+impl JoinWindow {
+    /// Default ceiling of [`JoinWindow::auto`].
+    pub const DEFAULT_AUTO_MAX: usize = 16;
+
+    /// The auto mode with the default ceiling.
+    pub fn auto() -> Self {
+        JoinWindow::Auto { max: Self::DEFAULT_AUTO_MAX }
+    }
+
+    /// True for the congestion-controlled mode.
+    pub fn is_auto(&self) -> bool {
+        matches!(self, JoinWindow::Auto { .. })
+    }
+}
+
+impl Default for JoinWindow {
+    fn default() -> Self {
+        JoinWindow::Fixed(1)
+    }
+}
+
+impl From<usize> for JoinWindow {
+    fn from(n: usize) -> Self {
+        JoinWindow::Fixed(n.max(1))
+    }
+}
+
+impl std::fmt::Display for JoinWindow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JoinWindow::Fixed(n) => write!(f, "{}", (*n).max(1)),
+            JoinWindow::Auto { max } => write!(f, "auto(max={})", (*max).max(1)),
+        }
+    }
+}
+
+/// A completion within this multiple of the costliest uncongested
+/// selection grows the window; beyond it, growth stalls.
+pub const HOLD_FACTOR: u64 = 4;
+/// A queue-dominated completion beyond this multiple of the costliest
+/// uncongested selection halves the window.
+pub const SHRINK_FACTOR: u64 = 8;
+
+/// The AIMD window controller of one join task (see the [module
+/// docs](self) for the phases and thresholds).
+#[derive(Debug, Clone)]
+pub struct AimdWindow {
+    cur: usize,
+    max: usize,
+    /// Maximum observed `elapsed - queue` over completed children: the
+    /// costliest selection the join has seen run uncongested — the
+    /// reference scale congestion is judged against. `None` during slow
+    /// start.
+    uncongested_max_us: Option<u64>,
+    shrinks: u64,
+    peak: usize,
+    trace: Vec<usize>,
+}
+
+impl AimdWindow {
+    /// A fresh controller starting at window 1 with ceiling `max`.
+    pub fn new(max: usize) -> Self {
+        let max = max.max(1);
+        Self { cur: 1, max, uncongested_max_us: None, shrinks: 0, peak: 1, trace: vec![1] }
+    }
+
+    /// The current window.
+    pub fn window(&self) -> usize {
+        self.cur
+    }
+
+    /// The configured ceiling.
+    pub fn max(&self) -> usize {
+        self.max
+    }
+
+    /// Largest window reached so far.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Number of multiplicative decreases so far.
+    pub fn shrinks(&self) -> u64 {
+        self.shrinks
+    }
+
+    /// Every window value the controller has taken, in order (the first
+    /// entry is the initial window).
+    pub fn trace(&self) -> &[usize] {
+        &self.trace
+    }
+
+    /// The costliest uncongested selection observed, once a child has
+    /// completed (the congestion reference scale).
+    pub fn uncongested_max_us(&self) -> Option<u64> {
+        self.uncongested_max_us
+    }
+
+    /// True while no child has completed (the slow-start phase).
+    pub fn in_slow_start(&self) -> bool {
+        self.uncongested_max_us.is_none()
+    }
+
+    /// Observe one child step. During slow start every step grows the
+    /// window (the zero-virtual-time ramp); afterwards the window moves
+    /// only on completions.
+    pub fn observe_step(&mut self) {
+        if self.in_slow_start() {
+            self.grow();
+        }
+    }
+
+    /// Observe a completed child selection: its critical path and the
+    /// queue time inside it.
+    pub fn observe_completion(&mut self, elapsed_us: u64, queue_us: u64) {
+        let uncongested = elapsed_us.saturating_sub(queue_us).max(1);
+        let queue_dominated = queue_us.saturating_mul(2) >= elapsed_us && elapsed_us > 0;
+        // The reference only rises on completions whose `elapsed - queue`
+        // actually approximates an uncongested run — a queue-dominated
+        // child's figure is distorted (summed message queueing vs a
+        // critical-path elapsed) and must not raise the bar congestion is
+        // judged against. The very first completion seeds it regardless,
+        // so the controller always has a scale.
+        let reference = match self.uncongested_max_us {
+            Some(prev) => {
+                let r = if queue_dominated { prev } else { prev.max(uncongested) };
+                self.uncongested_max_us = Some(r);
+                r
+            }
+            None => {
+                self.uncongested_max_us = Some(uncongested);
+                uncongested
+            }
+        };
+        if queue_dominated && elapsed_us >= reference.saturating_mul(SHRINK_FACTOR) {
+            self.shrink();
+        } else if elapsed_us <= reference.saturating_mul(HOLD_FACTOR) {
+            self.grow();
+        }
+        // Between HOLD_FACTOR and SHRINK_FACTOR (or inflated without
+        // queueing): hold.
+    }
+
+    fn grow(&mut self) {
+        if self.cur < self.max {
+            self.cur += 1;
+            self.peak = self.peak.max(self.cur);
+            self.trace.push(self.cur);
+        }
+    }
+
+    fn shrink(&mut self) {
+        let next = (self.cur / 2).max(1);
+        if next < self.cur {
+            self.cur = next;
+            self.shrinks += 1;
+            self.trace.push(self.cur);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_window_defaults_and_labels() {
+        assert_eq!(JoinWindow::default(), JoinWindow::Fixed(1));
+        assert_eq!(JoinWindow::from(0), JoinWindow::Fixed(1), "clamped");
+        assert_eq!(JoinWindow::Fixed(8).to_string(), "8");
+        assert_eq!(JoinWindow::auto().to_string(), "auto(max=16)");
+        assert!(JoinWindow::auto().is_auto());
+        assert!(!JoinWindow::Fixed(4).is_auto());
+    }
+
+    #[test]
+    fn slow_start_grows_per_step_up_to_the_ceiling() {
+        let mut a = AimdWindow::new(8);
+        assert!(a.in_slow_start());
+        for _ in 0..20 {
+            a.observe_step();
+        }
+        assert_eq!(a.window(), 8, "growth is clamped at the ceiling");
+        assert_eq!(a.peak(), 8);
+        assert_eq!(a.shrinks(), 0);
+        assert!(a.trace().windows(2).all(|w| w[1] >= w[0]), "slow-start trace is monotone");
+    }
+
+    #[test]
+    fn steps_stop_growing_after_the_first_completion() {
+        let mut a = AimdWindow::new(16);
+        a.observe_step();
+        a.observe_completion(10_000, 200);
+        assert!(!a.in_slow_start());
+        let w = a.window();
+        a.observe_step();
+        a.observe_step();
+        assert_eq!(a.window(), w, "congestion avoidance is completion-clocked");
+    }
+
+    #[test]
+    fn healthy_completions_grow_additively() {
+        let mut a = AimdWindow::new(8);
+        a.observe_completion(10_000, 200); // reference 9800
+        assert_eq!(a.uncongested_max_us(), Some(9_800));
+        let w = a.window();
+        a.observe_completion(12_000, 1_000); // within HOLD_FACTOR x reference
+        assert_eq!(a.window(), w + 1);
+    }
+
+    #[test]
+    fn queue_dominated_blowups_halve() {
+        let mut a = AimdWindow::new(16);
+        for _ in 0..20 {
+            a.observe_step();
+        }
+        assert_eq!(a.window(), 16);
+        a.observe_completion(10_000, 500); // reference 9500
+                                           // 10x the reference, 90% queued: genuine overload.
+        a.observe_completion(95_000, 90_000);
+        assert_eq!(a.window(), 8);
+        a.observe_completion(95_000, 90_000);
+        assert_eq!(a.window(), 4);
+        assert_eq!(a.shrinks(), 2);
+    }
+
+    #[test]
+    fn floor_is_one() {
+        let mut a = AimdWindow::new(4);
+        a.observe_completion(1_000, 100); // reference 900
+        for _ in 0..10 {
+            a.observe_completion(50_000, 49_000);
+        }
+        assert_eq!(a.window(), 1, "never below the serial loop");
+    }
+
+    #[test]
+    fn moderate_contention_holds_instead_of_shrinking() {
+        let mut a = AimdWindow::new(8);
+        a.observe_completion(10_000, 500); // reference 9500
+        let w = a.window();
+        // 5x the reference with heavy queueing: past the growth band,
+        // short of the shrink band -> hold; and a queue-dominated child
+        // must not raise the reference.
+        a.observe_completion(50_000, 35_000);
+        assert_eq!(a.window(), w);
+        assert_eq!(a.uncongested_max_us(), Some(9_500));
+        assert_eq!(a.shrinks(), 0);
+    }
+
+    #[test]
+    fn expensive_but_unqueued_children_raise_the_reference_not_the_alarm() {
+        let mut a = AimdWindow::new(8);
+        a.observe_completion(10_000, 500); // reference 9500
+        let w = a.window();
+        // 10x the reference with almost no queueing: a genuinely costly
+        // selection (a slow link, a fat candidate set) — it raises the
+        // scale and grows, never shrinks.
+        a.observe_completion(100_000, 3_000);
+        assert_eq!(a.uncongested_max_us(), Some(97_000));
+        assert_eq!(a.window(), w + 1);
+        assert_eq!(a.shrinks(), 0);
+    }
+
+    #[test]
+    fn reference_is_the_costliest_uncongested_selection() {
+        let mut a = AimdWindow::new(8);
+        a.observe_completion(2_000, 0);
+        a.observe_completion(30_000, 1_000); // pricier child raises the bar
+        assert_eq!(a.uncongested_max_us(), Some(29_000));
+        // 2.5x the cheap child but within the costliest: still healthy.
+        let w = a.window();
+        a.observe_completion(5_000, 100);
+        assert_eq!(a.window(), w + 1);
+    }
+}

@@ -97,6 +97,20 @@ pub trait ProbeBroker {
     /// Fill `from`'s cache (no-op when the cache is disabled).
     fn cache_put(&mut self, from: PeerId, key: &Key, list: Vec<Posting>, now_us: u64, epoch: u64);
 
+    /// Size of `from`'s cached copy of `key`'s posting list, if a valid
+    /// one is held — a side-effect-free peek (no hit/miss counting, no LRU
+    /// touch) used by cost-based planning for exact cardinalities the
+    /// initiator already paid for. Default: unknown.
+    fn cache_peek_len(
+        &self,
+        _from: PeerId,
+        _key: &Key,
+        _now_us: u64,
+        _epoch: u64,
+    ) -> Option<usize> {
+        None
+    }
+
     /// The open coalescing channel for `part`, if one was routed within
     /// the window. `n_keys` probe keys will ride it on success (the
     /// broker's `probes_coalesced` counter is key-granular, matching the
@@ -147,6 +161,10 @@ impl ProbeBroker for CacheBatchBroker {
 
     fn cache_put(&mut self, from: PeerId, key: &Key, list: Vec<Posting>, now_us: u64, epoch: u64) {
         CacheBatchBroker::cache_put(self, from, key, list, now_us, epoch)
+    }
+
+    fn cache_peek_len(&self, from: PeerId, key: &Key, now_us: u64, epoch: u64) -> Option<usize> {
+        CacheBatchBroker::cache_peek_len(self, from, key, now_us, epoch)
     }
 
     fn channel_lookup(

@@ -2,6 +2,7 @@
 //! postings, plus the shared machinery (batched probes, object fetches) the
 //! physical operators are built on.
 
+use crate::adaptive::JoinWindow;
 use crate::broker::{ProbeBroker, ProbeFilter};
 use crate::stats::QueryStats;
 use rustc_hash::{FxHashMap, FxHashSet};
@@ -31,11 +32,17 @@ pub struct QueryDefaults {
     pub filters: FilterConfig,
     /// Default string-similarity strategy for queries that don't pick one.
     pub strategy: crate::similar::Strategy,
-    /// Default similarity-join pipelining window ([`JoinOptions::window`]):
-    /// how many per-left selections the initiator keeps in flight.
-    pub join_window: usize,
+    /// Default similarity-join pipelining window ([`JoinOptions::window`](crate::simjoin::JoinOptions::window)):
+    /// how many per-left selections the initiator keeps in flight —
+    /// static, or AIMD congestion-controlled ([`JoinWindow::Auto`]).
+    pub join_window: JoinWindow,
     /// Default cap on a join's left side (`None` joins everything).
     pub join_left_limit: Option<usize>,
+    /// Let the planner (`sqo-plan`) apply cost-based rewrites — cheapest-
+    /// first conjunction ordering, join build-side selection — where the
+    /// decision is the planner's to make. Off restores pure author order
+    /// (the A/B baseline cost-rewrite tests measure against).
+    pub cost_rewrites: bool,
     /// Hot-path services: initiator-side posting cache + cross-query probe
     /// batching (`sqo-cache`). Both default to off, which keeps the engine
     /// byte-identical to the broker-less pipeline.
@@ -48,15 +55,16 @@ impl Default for QueryDefaults {
             delegation: true,
             filters: FilterConfig::default(),
             strategy: crate::similar::Strategy::QGrams,
-            join_window: 1,
+            join_window: JoinWindow::Fixed(1),
             join_left_limit: None,
+            cost_rewrites: true,
             cache: BrokerConfig::default(),
         }
     }
 }
 
 impl QueryDefaults {
-    /// The [`JoinOptions`] these defaults imply.
+    /// The [`JoinOptions`](crate::simjoin::JoinOptions) these defaults imply.
     pub fn join_options(&self) -> crate::simjoin::JoinOptions {
         crate::simjoin::JoinOptions {
             strategy: self.strategy,
@@ -138,9 +146,17 @@ impl EngineBuilder {
     }
 
     /// Default similarity-join pipelining window (see
-    /// [`QueryDefaults::join_window`]).
-    pub fn join_window(mut self, w: usize) -> Self {
-        self.cfg.query.join_window = w.max(1);
+    /// [`QueryDefaults::join_window`]). Accepts a plain `usize` (a fixed
+    /// window) or a [`JoinWindow`].
+    pub fn join_window(mut self, w: impl Into<JoinWindow>) -> Self {
+        self.cfg.query.join_window = w.into();
+        self
+    }
+
+    /// Toggle the planner's cost-based rewrites (see
+    /// [`QueryDefaults::cost_rewrites`]).
+    pub fn cost_rewrites(mut self, on: bool) -> Self {
+        self.cfg.query.cost_rewrites = on;
         self
     }
 
@@ -201,6 +217,51 @@ pub struct SimilarityEngine {
 pub(crate) struct StatsSnap {
     traffic: Metrics,
     comparisons: u64,
+}
+
+/// How a [`CardEstimate`] was obtained, from most to least reliable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CardSource {
+    /// Counted on the initiator's own partition(s) — measured data.
+    LocalExact,
+    /// Length of a valid cached posting list the initiator holds.
+    CachedList,
+    /// Structural heuristic from trie depth and total stored volume.
+    TrieDepth,
+}
+
+impl CardSource {
+    /// Short provenance label used by `explain()` cost notes.
+    pub fn label(self) -> &'static str {
+        match self {
+            CardSource::LocalExact => "local",
+            CardSource::CachedList => "cached",
+            CardSource::TrieDepth => "trie",
+        }
+    }
+}
+
+/// A zero-message posting-count estimate (see
+/// [`SimilarityEngine::estimate_key_cardinality`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CardEstimate {
+    /// Estimated number of postings.
+    pub rows: u64,
+    /// Where the number came from.
+    pub source: CardSource,
+}
+
+impl CardEstimate {
+    /// Combine two estimates of disjoint key sets: rows add, provenance
+    /// follows the dominant contributor (the weaker source on a tie).
+    pub fn merge(self, other: CardEstimate) -> CardEstimate {
+        let source = match self.rows.cmp(&other.rows) {
+            std::cmp::Ordering::Greater => self.source,
+            std::cmp::Ordering::Less => other.source,
+            std::cmp::Ordering::Equal => self.source.max(other.source),
+        };
+        CardEstimate { rows: self.rows.saturating_add(other.rows), source }
+    }
 }
 
 impl SimilarityEngine {
@@ -269,6 +330,61 @@ impl SimilarityEngine {
     /// coalesced probes, messages saved), if any.
     pub fn broker_counters(&self) -> Option<BrokerCounters> {
         self.broker.as_ref().map(|b| b.counters())
+    }
+
+    // ------------------------------------------------------------------
+    // Cardinality estimation (cost-based planning, `sqo-plan::cost`)
+    // ------------------------------------------------------------------
+
+    /// Estimate how many postings the overlay stores under `key` (prefix
+    /// semantics, matching `Retrieve`), **without touching the wire**.
+    /// Cheapest applicable source wins:
+    ///
+    /// 1. [`CardSource::LocalExact`] — the initiator stores (a partition
+    ///    of) the key's subtree: count its own postings exactly. For a
+    ///    multi-partition subtree the non-owned partitions are estimated
+    ///    structurally and added — the initiator's (possibly empty) slice
+    ///    is never extrapolated over partitions it cannot see.
+    /// 2. [`CardSource::CachedList`] — the initiator's posting cache holds
+    ///    a valid copy of the (single-partition) key's list: its exact
+    ///    length, already paid for.
+    /// 3. [`CardSource::TrieDepth`] — the structural fallback: a partition
+    ///    at trie depth `d` covers a `2^-d` share of the key space, so its
+    ///    expected load is `total / (replication · 2^d)`, summed over the
+    ///    subtree.
+    pub fn estimate_key_cardinality(&self, from: PeerId, key: &Key) -> CardEstimate {
+        let (ps, pe) = self.net.subtree_of(key);
+        let me = self.net.peer(from);
+        let own = me.partition as usize;
+        let total =
+            self.net.total_stored_items() as u64 / self.cfg.network.replication.max(1) as u64;
+        let structural = |p: usize| total >> (self.net.partition_depth(p).min(63) as u32);
+        if (ps..pe).contains(&own) {
+            let local =
+                CardEstimate { rows: me.count_prefix(key) as u64, source: CardSource::LocalExact };
+            // Sibling partitions of the subtree are invisible locally:
+            // estimate them structurally instead of extrapolating the
+            // initiator's slice across data it cannot see.
+            let siblings = (ps..pe)
+                .filter(|p| *p != own)
+                .map(|p| CardEstimate { rows: structural(p), source: CardSource::TrieDepth })
+                .fold(
+                    CardEstimate { rows: 0, source: CardSource::LocalExact },
+                    CardEstimate::merge,
+                );
+            return local.merge(siblings);
+        }
+        if pe.saturating_sub(ps) <= 1 {
+            let now_us = self.net.sim_now_us().unwrap_or(0);
+            let epoch = self.net.cache_epoch();
+            if let Some(n) =
+                self.broker.as_ref().and_then(|b| b.cache_peek_len(from, key, now_us, epoch))
+            {
+                return CardEstimate { rows: n as u64, source: CardSource::CachedList };
+            }
+        }
+        let rows = (ps..pe).map(structural).sum();
+        CardEstimate { rows, source: CardSource::TrieDepth }
     }
 
     /// Publish additional rows into the running network (schema evolution:
@@ -728,8 +844,10 @@ impl SimilarityEngine {
     /// Fetch the complete objects for a set of oids (Algorithm 2's
     /// "build complete object o from T′" step), batched per partition when
     /// delegation is on. Returns oid → assembled object. Synchronous form
-    /// of the same branches the stepped operators schedule one at a time.
-    pub(crate) fn fetch_objects(
+    /// of the same branches the stepped operators schedule one at a time
+    /// (the plan executor uses it to materialize the scanned side of a
+    /// build-side-swapped join).
+    pub fn fetch_objects(
         &mut self,
         from: PeerId,
         oids: &FxHashSet<String>,

@@ -18,6 +18,7 @@
 //!   batching, implemented by `sqo-cache`) when one is installed;
 //! * [`stats`] — per-query message/bandwidth/work accounting.
 
+pub mod adaptive;
 pub mod broker;
 pub mod engine;
 pub mod multi;
@@ -29,10 +30,11 @@ pub mod simjoin;
 pub mod stats;
 pub mod topn;
 
+pub use adaptive::{AimdWindow, JoinWindow};
 pub use broker::{ProbeBroker, ProbeFilter};
 pub use engine::{
-    finalize_stats, EngineBuilder, EngineConfig, ExecStep, QueryDefaults, QueryTask,
-    SimilarityEngine, StepOutcome,
+    finalize_stats, CardEstimate, CardSource, EngineBuilder, EngineConfig, ExecStep, QueryDefaults,
+    QueryTask, SimilarityEngine, StepOutcome,
 };
 pub use multi::{AttrPredicate, MultiMatch, MultiResult, MultiStrategy, MultiTask};
 pub use ranking::Rank;

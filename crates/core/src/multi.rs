@@ -109,6 +109,9 @@ pub struct MultiTask {
     state: MState,
     stats: QueryStats,
     lead_idx: usize,
+    /// Lead predicate pinned by the caller (cost-based planning), which
+    /// overrides the built-in string-length selectivity heuristic.
+    pinned_lead: Option<usize>,
     alive: Option<Alive>,
     matches: Vec<MultiMatch>,
 }
@@ -139,9 +142,25 @@ impl MultiTask {
             state: MState::Init,
             stats: QueryStats::default(),
             lead_idx: 0,
+            pinned_lead: None,
             alive: None,
             matches: Vec::new(),
         }
+    }
+
+    /// Pin the `Pipelined` lead sub-query to predicate `idx`, overriding
+    /// the built-in length heuristic — how the cost-based planner makes
+    /// its cheapest-first ordering effective (it orders `preds` by
+    /// estimated candidate volume and pins the lead to 0). Out-of-range
+    /// indices are ignored. `Intersect` already runs predicates in order.
+    ///
+    /// # Panics
+    /// Never; invalid indices fall back to the heuristic.
+    pub fn with_pinned_lead(mut self, idx: usize) -> Self {
+        if idx < self.preds.len() {
+            self.pinned_lead = Some(idx);
+        }
+        self
     }
 
     /// The conjunction's matches, once the task is done.
@@ -160,12 +179,13 @@ impl ExecStep for MultiTask {
         loop {
             match std::mem::replace(&mut self.state, MState::Finished) {
                 MState::Init => {
-                    self.lead_idx = match self.multi {
-                        MultiStrategy::Intersect => 0,
+                    self.lead_idx = match (self.multi, self.pinned_lead) {
+                        (MultiStrategy::Intersect, _) => 0,
+                        (MultiStrategy::Pipelined, Some(idx)) => idx,
                         // Selectivity heuristic: longer query strings and
                         // smaller distances produce fewer candidates (more
                         // grams to match, tighter filters).
-                        MultiStrategy::Pipelined => (0..self.preds.len())
+                        (MultiStrategy::Pipelined, None) => (0..self.preds.len())
                             .max_by_key(|&i| {
                                 let p = &self.preds[i];
                                 (p.query.chars().count() as i64) - 3 * (p.d as i64)

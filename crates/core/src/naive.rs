@@ -10,7 +10,7 @@
 //! contacted (the `key(A # *)` subtree plus the short-value side family);
 //! schema level: every partition holding *any* attribute-value posting.
 //! Contacted peers run the edit-distance verification locally — free of
-//! messages but charged to [`QueryStats::edit_comparisons`], the "enormous
+//! messages but charged to [`QueryStats::edit_comparisons`](crate::stats::QueryStats::edit_comparisons), the "enormous
 //! effort incurred by comparing the strings at the peers locally" the paper
 //! remarks on. Only matching triples travel back.
 

@@ -11,9 +11,12 @@
 //! variants" — this implementation does that per-left probing faithfully,
 //! with two initiator-local optimizations on top: the object cache is
 //! shared across the per-left `Similar` calls (stage-2 fetches are not
-//! repeated), and [`JoinOptions::window`] pipelines up to `window` per-left
-//! selections concurrently from the initiator (window = 1 reproduces the
-//! paper's serial loop; the probing traffic is per-left either way).
+//! repeated), and [`JoinOptions::window`] pipelines per-left selections
+//! concurrently from the initiator (`Fixed(1)` reproduces the paper's
+//! serial loop; the probing traffic is per-left either way). With
+//! [`JoinWindow::Auto`] the window is congestion-controlled: it grows
+//! additively while observed queue time stays low and halves when child
+//! selections inflate with queueing — see [`crate::adaptive`].
 //!
 //! With a probe broker installed (`sqo-cache`), the per-left child
 //! selections share the initiator's posting cache *across* left values —
@@ -28,6 +31,7 @@
 //! the paper's message counts (≈10³–10⁴ total for a 240-query mix) imply
 //! they ran — see EXPERIMENTS.md for the calibration discussion.
 
+use crate::adaptive::{AimdWindow, JoinWindow};
 use crate::engine::{finalize_stats, ExecStep, SimilarityEngine, StepOutcome};
 use crate::similar::{SimilarMatch, SimilarTask, Strategy};
 use crate::stats::QueryStats;
@@ -61,18 +65,19 @@ pub struct JoinOptions {
     /// sample over the key-ordered left side); `None` joins everything.
     pub left_limit: Option<usize>,
     /// Client-side pipelining: how many per-left similarity selections the
-    /// initiator keeps in flight concurrently. `1` is the paper's serial
-    /// initiator ("processes separate similarity selections for each
-    /// object from the left side"); larger windows overlap the selections
-    /// and cut the join's critical path — the "should be optimized in
-    /// future variants" the paper anticipates. Values are clamped to at
-    /// least 1.
-    pub window: usize,
+    /// initiator keeps in flight concurrently. `Fixed(1)` is the paper's
+    /// serial initiator ("processes separate similarity selections for
+    /// each object from the left side"); larger windows overlap the
+    /// selections and cut the join's critical path — the "should be
+    /// optimized in future variants" the paper anticipates.
+    /// [`JoinWindow::Auto`] sizes the window by AIMD congestion control
+    /// from observed queue time (see [`crate::adaptive`]).
+    pub window: JoinWindow,
 }
 
 impl Default for JoinOptions {
     fn default() -> Self {
-        Self { strategy: Strategy::QGrams, left_limit: None, window: 1 }
+        Self { strategy: Strategy::QGrams, left_limit: None, window: JoinWindow::Fixed(1) }
     }
 }
 
@@ -107,6 +112,9 @@ pub struct JoinTask {
     strategy: Strategy,
     left_limit: Option<usize>,
     window: usize,
+    /// AIMD controller when the window mode is [`JoinWindow::Auto`];
+    /// `None` keeps `window` static.
+    aimd: Option<AimdWindow>,
     state: JState,
     stats: QueryStats,
     cache: FxHashMap<String, Object>,
@@ -135,6 +143,10 @@ enum JState {
 
 impl JoinTask {
     pub fn new(ln: &str, rn: Option<&str>, d: usize, from: PeerId, opts: &JoinOptions) -> Self {
+        let (window, aimd) = match opts.window {
+            JoinWindow::Fixed(n) => (n.max(1), None),
+            JoinWindow::Auto { max } => (1, Some(AimdWindow::new(max))),
+        };
         Self {
             ln: ln.to_string(),
             rn: rn.map(str::to_string),
@@ -142,7 +154,8 @@ impl JoinTask {
             from,
             strategy: opts.strategy,
             left_limit: opts.left_limit,
-            window: opts.window.max(1),
+            window,
+            aimd,
             state: JState::ScanLeft,
             stats: QueryStats::default(),
             cache: FxHashMap::default(),
@@ -193,6 +206,25 @@ impl JoinTask {
         self.left_size
     }
 
+    /// The adaptive window trajectory — every value the AIMD controller
+    /// has taken so far, in order. `None` for fixed windows.
+    pub fn window_trace(&self) -> Option<&[usize]> {
+        self.aimd.as_ref().map(AimdWindow::trace)
+    }
+
+    /// The window currently in force (AIMD-controlled or fixed).
+    fn cur_window(&self) -> usize {
+        self.aimd.as_ref().map(AimdWindow::window).unwrap_or(self.window)
+    }
+
+    /// Fill every free window slot with a new per-left child starting at
+    /// `at_us`.
+    fn fill_window(&mut self, at_us: u64) {
+        while self.next_left < self.left.len() && self.children.len() < self.cur_window() {
+            self.spawn_child(at_us);
+        }
+    }
+
     fn spawn_child(&mut self, at_us: u64) {
         let (left_oid, left_value) = self.left[self.next_left].clone();
         self.next_left += 1;
@@ -241,9 +273,7 @@ impl ExecStep for JoinTask {
                     self.left = left;
                     // Lines 3–6: per-left similarity selections, up to
                     // `window` in flight from the moment the scan returns.
-                    while self.next_left < self.left.len() && self.children.len() < self.window {
-                        self.spawn_child(end);
-                    }
+                    self.fill_window(end);
                     self.state = JState::Running;
                     if self.children.is_empty() {
                         continue; // empty left side: fall through to finish
@@ -252,9 +282,7 @@ impl ExecStep for JoinTask {
                 }
 
                 JState::Seeded => {
-                    while self.next_left < self.left.len() && self.children.len() < self.window {
-                        self.spawn_child(at_us);
-                    }
+                    self.fill_window(at_us);
                     self.state = JState::Running;
                     continue;
                 }
@@ -262,6 +290,10 @@ impl ExecStep for JoinTask {
                 JState::Running => {
                     if self.children.is_empty() {
                         self.stats.matches = self.pairs.len();
+                        if let Some(a) = &self.aimd {
+                            self.stats.join_window_peak = a.peak();
+                            self.stats.join_window_shrinks = a.shrinks();
+                        }
                         finalize_stats(&mut self.stats);
                         self.state = JState::Finished;
                         return StepOutcome::Done(self.stats);
@@ -279,7 +311,18 @@ impl ExecStep for JoinTask {
                     let outcome =
                         self.children[idx].task.step_with(engine, &mut self.cache, resume_at);
                     match outcome {
-                        StepOutcome::Yield { at_us } => self.children[idx].resume_at = at_us,
+                        StepOutcome::Yield { at_us: resume } => {
+                            // AIMD slow start: every step grows the window
+                            // until the first completion, and the grown
+                            // slots are filled *now* — fan-out steps resume
+                            // at their fork frontier, so the ramp costs no
+                            // virtual time.
+                            if let Some(a) = &mut self.aimd {
+                                a.observe_step();
+                            }
+                            self.children[idx].resume_at = resume;
+                            self.fill_window(at_us);
+                        }
                         StepOutcome::Done(child_stats) => {
                             let mut child = self.children.remove(idx);
                             // Fold the child's costs into the join: counters
@@ -294,12 +337,20 @@ impl ExecStep for JoinTask {
                                     right: m,
                                 });
                             }
-                            // The freed window slot starts the next left
-                            // item at the finished child's completion time.
-                            let end = child_stats.sim.map(|s| s.end_us).unwrap_or(resume_at);
-                            if self.next_left < self.left.len() {
-                                self.spawn_child(end);
+                            // AIMD: a completed selection reports its
+                            // critical path and the queue time inside it.
+                            if let Some(a) = &mut self.aimd {
+                                let (elapsed, queue) = child_stats
+                                    .sim
+                                    .map(|s| (s.elapsed_us, s.queue_us))
+                                    .unwrap_or((0, 0));
+                                a.observe_completion(elapsed, queue);
                             }
+                            // Freed (and newly grown) window slots start the
+                            // next left items at the finished child's
+                            // completion time.
+                            let end = child_stats.sim.map(|s| s.end_us).unwrap_or(resume_at);
+                            self.fill_window(end);
                         }
                     }
                     if self.children.is_empty() {

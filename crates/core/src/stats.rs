@@ -42,6 +42,13 @@ pub struct QueryStats {
     /// Probe keys that rode a coalesced multi-key message another task's
     /// batch window opened (the shared route was charged once).
     pub probes_coalesced: u64,
+    /// Largest outstanding-selection window an adaptive
+    /// ([`JoinWindow::Auto`](crate::adaptive::JoinWindow)) join reached;
+    /// 0 for fixed windows and non-join queries. Aggregates as the max.
+    pub join_window_peak: usize,
+    /// Multiplicative window decreases adaptive joins performed (the
+    /// congestion back-off count). Aggregates as the sum.
+    pub join_window_shrinks: u64,
 }
 
 impl QueryStats {
@@ -61,6 +68,8 @@ impl QueryStats {
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.probes_coalesced += other.probes_coalesced;
+        self.join_window_peak = self.join_window_peak.max(other.join_window_peak);
+        self.join_window_shrinks += other.join_window_shrinks;
     }
 }
 
@@ -70,7 +79,14 @@ mod tests {
 
     #[test]
     fn absorb_sums_fields() {
-        let mut a = QueryStats { probes: 2, candidates: 5, matches: 1, ..Default::default() };
+        let mut a = QueryStats {
+            probes: 2,
+            candidates: 5,
+            matches: 1,
+            join_window_peak: 6,
+            join_window_shrinks: 1,
+            ..Default::default()
+        };
         let b = QueryStats {
             probes: 3,
             candidates: 7,
@@ -80,6 +96,8 @@ mod tests {
             cache_hits: 4,
             cache_misses: 2,
             probes_coalesced: 1,
+            join_window_peak: 4,
+            join_window_shrinks: 2,
             ..Default::default()
         };
         a.absorb(&b);
@@ -91,5 +109,7 @@ mod tests {
         assert_eq!(a.cache_hits, 4);
         assert_eq!(a.cache_misses, 2);
         assert_eq!(a.probes_coalesced, 1);
+        assert_eq!(a.join_window_peak, 6, "peak aggregates as the max");
+        assert_eq!(a.join_window_shrinks, 3, "shrinks aggregate as the sum");
     }
 }

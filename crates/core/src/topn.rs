@@ -270,7 +270,7 @@ impl SimilarityEngine {
 }
 
 /// String top-N as a resumable task: each expanding distance shell is a
-/// child [`SimilarTask`] (all shells share the initiator's object cache),
+/// child [`SimilarTask`](crate::similar::SimilarTask) (all shells share the initiator's object cache),
 /// stepped one event at a time.
 pub struct TopNTask {
     attr: Option<String>,

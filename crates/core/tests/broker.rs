@@ -2,7 +2,7 @@
 //! engine): identical results with every service combination, traffic
 //! savings on repeats, and churn-epoch invalidation.
 
-use sqo_core::{BrokerConfig, EngineBuilder, SimilarityEngine, Strategy};
+use sqo_core::{BrokerConfig, EngineBuilder, JoinWindow, SimilarityEngine, Strategy};
 use sqo_storage::triple::{Row, Value};
 
 fn word_rows(n: usize) -> Vec<Row> {
@@ -196,8 +196,11 @@ fn batch_window_coalesces_a_joins_probes() {
     let run = |cfg: BrokerConfig| {
         let mut e = engine(cfg, 23);
         let from = sqo_overlay::PeerId(7);
-        let opts =
-            sqo_core::JoinOptions { strategy: Strategy::QGrams, left_limit: Some(8), window: 8 };
+        let opts = sqo_core::JoinOptions {
+            strategy: Strategy::QGrams,
+            left_limit: Some(8),
+            window: JoinWindow::Fixed(8),
+        };
         let res = e.sim_join("word", Some("word"), 1, from, &opts);
         let mut pairs: Vec<(String, String)> =
             res.pairs.into_iter().map(|p| (p.left_value, p.right.matched)).collect();

@@ -626,6 +626,13 @@ impl<T: Item> Network<T> {
         subtree_range(&self.paths, key)
     }
 
+    /// Trie depth (path bit length) of partition `part` — the granularity
+    /// signal cardinality heuristics key off: a partition at depth `d`
+    /// covers a `2^-d` share of the key space.
+    pub fn partition_depth(&self, part: usize) -> usize {
+        self.paths[part].len()
+    }
+
     // ------------------------------------------------------------------
     // Retrieval (Algorithm 1 + shower fan-out)
     // ------------------------------------------------------------------

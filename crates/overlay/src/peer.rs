@@ -85,6 +85,19 @@ impl<T: Item> Peer<T> {
         (out, touched)
     }
 
+    /// Number of items whose key has `key` as a prefix, without cloning
+    /// them — free local introspection for cardinality estimation.
+    pub fn count_prefix(&self, key: &Key) -> usize {
+        let mut n = 0;
+        for (k, items) in self.store.range(key.clone()..) {
+            if !key.is_prefix_of(k) {
+                break;
+            }
+            n += items.len();
+        }
+        n
+    }
+
     /// All items with `lo <= key <= hi`.
     pub fn scan_range(&self, lo: &Key, hi: &Key) -> (Vec<T>, u64) {
         let mut out = Vec::new();

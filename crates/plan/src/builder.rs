@@ -16,7 +16,7 @@ use crate::ir::{
     CmpOp, JoinSpec, MultiSpec, PlanNode, RankBy, RowPredicate, SelectSpec, SimilarSpec,
     TopNNumericSpec, TopNSpec, TopNStringSpec,
 };
-use sqo_core::{AttrPredicate, MultiStrategy, Rank, Strategy};
+use sqo_core::{AttrPredicate, JoinWindow, MultiStrategy, Rank, Strategy};
 use sqo_storage::triple::Value;
 
 /// A logical query under construction: a [`PlanNode`] tree plus the
@@ -111,7 +111,9 @@ impl Query {
     /// `multi = None` to let the planner choose the conjunction strategy
     /// (a broker-aware decision).
     pub fn similar_multi(preds: Vec<AttrPredicate>, multi: Option<MultiStrategy>) -> Self {
-        Self { root: PlanNode::Multi(MultiSpec { preds, multi, strategy: None }) }
+        Self {
+            root: PlanNode::Multi(MultiSpec { preds, multi, strategy: None, cost_ordered: false }),
+        }
     }
 
     /// `SimJoin(ln, rn, d)` with the left side **scanned** from attribute
@@ -127,6 +129,7 @@ impl Query {
                     strategy: None,
                     left_limit: None,
                     window: None,
+                    swapped: false,
                 },
             },
         }
@@ -150,6 +153,7 @@ impl Query {
                     strategy: None,
                     left_limit: None,
                     window: None,
+                    swapped: false,
                 },
             },
         }
@@ -220,9 +224,21 @@ impl Query {
         self
     }
 
-    /// Override the pipelining window of every join in the tree.
-    pub fn window(mut self, w: usize) -> Self {
-        for_each_join(&mut self.root, &mut |spec| spec.window = Some(w.max(1)));
+    /// Override the pipelining window of every join in the tree with a
+    /// fixed size.
+    pub fn window(self, w: usize) -> Self {
+        self.window_mode(JoinWindow::Fixed(w.max(1)))
+    }
+
+    /// Congestion-controlled (AIMD) windows for every join in the tree,
+    /// with the default ceiling — see [`sqo_core::adaptive`].
+    pub fn window_auto(self) -> Self {
+        self.window_mode(JoinWindow::auto())
+    }
+
+    /// Override the window mode of every join in the tree.
+    pub fn window_mode(mut self, w: JoinWindow) -> Self {
+        for_each_join(&mut self.root, &mut |spec| spec.window = Some(w));
         self
     }
 
@@ -292,6 +308,13 @@ mod tests {
     fn window_override_clamps() {
         let q = Query::join_scan("w", Some("w"), 1).window(0);
         let PlanNode::SimJoin { spec, .. } = q.plan() else { panic!() };
-        assert_eq!(spec.window, Some(1));
+        assert_eq!(spec.window, Some(JoinWindow::Fixed(1)));
+    }
+
+    #[test]
+    fn window_auto_marks_every_join() {
+        let q = Query::similar("abc", Some("w"), 1).sim_join("w", Some("w"), 1).window_auto();
+        let PlanNode::SimJoin { spec, .. } = q.plan() else { panic!() };
+        assert_eq!(spec.window, Some(JoinWindow::auto()));
     }
 }

@@ -187,12 +187,18 @@ impl PlanTask {
                 from,
                 s.strategy.expect("resolved plan"),
             )))),
-            Stage::Multi(s) => Some(Active::Multi(Box::new(MultiTask::new(
-                s.preds.clone(),
-                from,
-                s.strategy.expect("resolved plan"),
-                s.multi.expect("resolved plan"),
-            )))),
+            Stage::Multi(s) => {
+                let task = MultiTask::new(
+                    s.preds.clone(),
+                    from,
+                    s.strategy.expect("resolved plan"),
+                    s.multi.expect("resolved plan"),
+                );
+                // Cost-ordered conjunctions pin the pipelined lead to the
+                // cheapest leg (index 0 after the planner's ordering).
+                let task = if s.cost_ordered { task.with_pinned_lead(0) } else { task };
+                Some(Active::Multi(Box::new(task)))
+            }
             Stage::JoinScan(s) => Some(Active::Join(Box::new(JoinTask::new(
                 &s.ln,
                 s.rn.as_deref(),
@@ -250,6 +256,55 @@ fn join_options(s: &JoinSpec) -> sqo_core::JoinOptions {
     }
 }
 
+/// Turn the pairs of a build-side-**swapped** scan join back into
+/// author-orientation rows. The executed join scanned the authored right
+/// attribute (`spec.ln` post-swap) and probed the authored left
+/// (`spec.rn`), so each pair's per-left match *is* the authored left side
+/// — complete with object — while the authored right side is the scanned
+/// `(oid, value)` pair, whose objects were never materialized. One charged
+/// per-partition fetch assembles exactly the matched scanned-side objects
+/// (edit distance is symmetric, so the pair set itself is orientation-
+/// invariant); rows whose object vanished under churn are dropped, like
+/// any unfetchable candidate. Rows come out deterministically sorted.
+fn transpose_swapped_join(
+    engine: &mut SimilarityEngine,
+    from: PeerId,
+    spec: &JoinSpec,
+    pairs: Vec<sqo_core::JoinPair>,
+    at: u64,
+    stats: &mut QueryStats,
+) -> (Vec<PlanRow>, u64) {
+    let mut end = at;
+    let mut objects: rustc_hash::FxHashMap<String, sqo_storage::posting::Object> =
+        rustc_hash::FxHashMap::default();
+    let oids: rustc_hash::FxHashSet<String> = pairs.iter().map(|p| p.left_oid.clone()).collect();
+    if !oids.is_empty() {
+        let mut acc = *stats;
+        let (got, fetch_end) = engine.charged(&mut acc, at, |e| e.fetch_objects(from, &oids));
+        *stats = acc;
+        objects = got;
+        end = fetch_end;
+    }
+    let scanned_attr = spec.ln.clone();
+    let mut rows: Vec<PlanRow> = pairs
+        .into_iter()
+        .filter_map(|p| {
+            let object = objects.get(&p.left_oid).filter(|o| !o.fields.is_empty())?.clone();
+            Some(PlanRow {
+                oid: p.left_oid,
+                attr: Some(scanned_attr.clone()),
+                value: Value::Str(p.left_value),
+                score: Some(p.right.distance as f64),
+                object,
+                left: Some((p.right.oid, p.right.matched)),
+                bindings: Vec::new(),
+            })
+        })
+        .collect();
+    rows.sort_by_cached_key(|r| (r.left.clone(), r.oid.clone(), r.value.to_string()));
+    (rows, end)
+}
+
 impl ExecStep for PlanTask {
     fn step(&mut self, engine: &mut SimilarityEngine, at_us: u64) -> StepOutcome {
         let mut at = at_us;
@@ -297,15 +352,31 @@ impl ExecStep for PlanTask {
                                     bindings: Vec::new(),
                                 })
                                 .collect(),
-                            Active::Join(mut t) => t
-                                .take_pairs()
-                                .into_iter()
-                                .map(|p| {
-                                    let mut row = row_from_match(p.right);
-                                    row.left = Some((p.left_oid, p.left_value));
-                                    row
-                                })
-                                .collect(),
+                            Active::Join(mut t) => {
+                                let pairs = t.take_pairs();
+                                match &self.stages[self.idx] {
+                                    Stage::JoinScan(s) if s.swapped => {
+                                        let (rows, end) = transpose_swapped_join(
+                                            engine,
+                                            self.from,
+                                            s,
+                                            pairs,
+                                            at,
+                                            &mut self.stats,
+                                        );
+                                        at = end;
+                                        rows
+                                    }
+                                    _ => pairs
+                                        .into_iter()
+                                        .map(|p| {
+                                            let mut row = row_from_match(p.right);
+                                            row.left = Some((p.left_oid, p.left_value));
+                                            row
+                                        })
+                                        .collect(),
+                                }
+                            }
                             Active::Multi(mut t) => t
                                 .take_matches()
                                 .into_iter()

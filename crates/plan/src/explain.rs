@@ -95,6 +95,8 @@ fn node_line(node: &PlanNode, env: &PlannerEnv) -> String {
         PlanNode::SimJoin { input, spec } => {
             let left = if input.is_some() {
                 "left from input rows".to_string()
+            } else if spec.swapped {
+                format!("build side swapped: scanning attr={}, pairs transposed back", spec.ln)
             } else {
                 format!("left scanned from attr={}", spec.ln)
             };

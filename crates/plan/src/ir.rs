@@ -16,7 +16,7 @@
 //! [`crate::session::Session::prepare`], so a [`crate::PreparedQuery`]'s
 //! tree is fully resolved.
 
-use sqo_core::{AttrPredicate, MultiStrategy, Rank, Strategy};
+use sqo_core::{AttrPredicate, JoinWindow, MultiStrategy, Rank, Strategy};
 use sqo_storage::triple::Value;
 
 /// A node of the logical plan tree. See the [module docs](self) for the
@@ -187,6 +187,10 @@ pub struct MultiSpec {
     pub multi: Option<MultiStrategy>,
     /// Gram strategy; `None` inherits the engine default.
     pub strategy: Option<Strategy>,
+    /// True once the cost model has ordered `preds` cheapest-first: the
+    /// executor then pins the pipelined lead to predicate 0 instead of
+    /// the built-in length heuristic. Set only by the planner.
+    pub cost_ordered: bool,
 }
 
 /// Parameters of a [`PlanNode::SimJoin`] node.
@@ -205,9 +209,13 @@ pub struct JoinSpec {
     pub strategy: Option<Strategy>,
     /// Left-side cap; `None` inherits the engine default.
     pub left_limit: Option<Option<usize>>,
-    /// Pipelining window (per-left selections in flight); `None` inherits
-    /// the engine default.
-    pub window: Option<usize>,
+    /// Pipelining window (per-left selections in flight, fixed or AIMD
+    /// [`JoinWindow::Auto`]); `None` inherits the engine default.
+    pub window: Option<JoinWindow>,
+    /// True when the cost model exchanged `ln`/`rn` (scanning the smaller
+    /// side): the executor runs the swapped join and transposes the pairs
+    /// back to author orientation. Set only by the planner.
+    pub swapped: bool,
 }
 
 /// Parameters of a [`PlanNode::TopN`] post-operator.

@@ -3,10 +3,11 @@
 //! Every query surface of the system — the fluent [`Query`] builder, the
 //! legacy `SimilarityEngine` operator entry points, parsed VQL — compiles
 //! into one composable operator-tree IR ([`PlanNode`]), planned by one
-//! planner (default inheritance from [`sqo_core::QueryDefaults`], predicate
-//! pushdown, limit fusion, broker-aware strategy choices) and executed by
-//! one physical compiler ([`PlanTask`]) that turns any tree into a single
-//! resumable task on the event-driven execution queue.
+//! planner (default inheritance from [`sqo_core::QueryDefaults`], cost-based
+//! rewrites fed by zero-message cardinality estimates ([`CostModel`]),
+//! predicate pushdown, limit fusion, broker-aware strategy choices) and
+//! executed by one physical compiler ([`PlanTask`]) that turns any tree
+//! into a single resumable task on the event-driven execution queue.
 //!
 //! The payoff is composability: pipelines like `select → sim_join → top_n`
 //! — inexpressible through the per-operator legacy entry points — are one
@@ -50,6 +51,7 @@
 //! ```
 
 pub mod builder;
+pub mod cost;
 pub mod exec;
 pub mod explain;
 pub mod ir;
@@ -57,6 +59,7 @@ pub mod rewrite;
 pub mod session;
 
 pub use builder::Query;
+pub use cost::CostModel;
 pub use exec::{PlanResult, PlanRow, PlanTask};
 pub use ir::{
     CmpOp, JoinSpec, MultiSpec, PlanError, PlanNode, RankBy, RowPredicate, SelectSpec, SimilarSpec,

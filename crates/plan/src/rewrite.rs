@@ -3,20 +3,29 @@
 //!
 //! Passes, in order:
 //!
-//! 1. **Resolve** — every `None` option inherits the engine's
+//! 1. **Cost-based rewrites** (when a [`CostModel`] is supplied and
+//!    [`QueryDefaults::cost_rewrites`] is on) — conjunction legs of
+//!    planner-owned `Multi` nodes are ordered cheapest-first by estimated
+//!    stage-1 candidate volume (and the pipelined lead pinned to the
+//!    cheapest), and a scan-side `SimJoin` whose right attribute is
+//!    estimated markedly smaller swaps its build side (the executor
+//!    transposes the pairs back). Every estimate lands in the `explain()`
+//!    notes.
+//! 2. **Resolve** — every `None` option inherits the engine's
 //!    [`QueryDefaults`]; `Multi` conjunctions without a pinned strategy get
 //!    a **broker-aware** choice (Intersect when the posting cache is
 //!    active — its repeated sub-queries share cached gram lists — else
 //!    Pipelined, the single-network-pass shape). Shapes that the physical
 //!    operators would panic on are rejected here as [`PlanError`]s.
-//! 2. **Predicate pushdown** — a `Filter` directly over a full attribute
+//! 3. **Predicate pushdown** — a `Filter` directly over a full attribute
 //!    scan is absorbed into the access path (`=` → exact key lookup, `<=` /
 //!    `<` / `>=` / `>` → order-preserving range). The filter node is kept
 //!    as a residual re-check, so absorption is free to be approximate
 //!    (inclusive range under a strict bound) without false positives.
-//! 3. **Limit fusion** — a `Limit` directly over a top-N (post-operator or
+//! 4. **Limit fusion** — a `Limit` directly over a top-N (post-operator or
 //!    distributed leaf) tightens the top-N's `n` and disappears.
 
+use crate::cost::CostModel;
 use crate::ir::{CmpOp, PlanError, PlanNode, RowPredicate, SelectSpec};
 use sqo_core::{MultiStrategy, QueryDefaults, Rank};
 use sqo_storage::triple::Value;
@@ -45,16 +54,133 @@ impl PlannerEnv {
 }
 
 /// Run all passes; returns the resolved tree plus human-readable planner
-/// notes (surfaced by `explain()`).
+/// notes (surfaced by `explain()`). `cost` enables the cost-based pass —
+/// callers without an engine at hand (snapshot planning, the driver's
+/// per-run environment) pass `None` and get pure rule-based planning.
 pub(crate) fn resolve(
     node: PlanNode,
     env: &PlannerEnv,
+    cost: Option<&CostModel<'_>>,
     notes: &mut Vec<String>,
 ) -> Result<PlanNode, PlanError> {
+    let node = match cost {
+        Some(cm) if env.defaults.cost_rewrites => cost_rewrites(node, cm, env, notes),
+        _ => node,
+    };
     let node = fill_defaults(node, env, notes)?;
     let node = pushdown_filters(node, env, notes);
     let node = fuse_limits(node, notes);
     Ok(node)
+}
+
+/// The cost-based pass (see the [module docs](self), pass 1). Runs before
+/// default inheritance, so "planner-owned" decisions are recognizable as
+/// still-unset options; effective values fall back to the defaults the
+/// resolve pass would fill in.
+fn cost_rewrites(
+    node: PlanNode,
+    cm: &CostModel<'_>,
+    env: &PlannerEnv,
+    notes: &mut Vec<String>,
+) -> PlanNode {
+    let d = &env.defaults;
+    match node {
+        PlanNode::Multi(mut spec) if spec.multi.is_none() && spec.preds.len() > 1 => {
+            // Order the conjunction legs cheapest-first by estimated
+            // stage-1 candidate volume; the executor pins the pipelined
+            // lead to leg 0 and Intersect's early-out fires soonest.
+            let strategy = spec.strategy.unwrap_or(d.strategy);
+            let mut costed: Vec<(sqo_core::CardEstimate, sqo_core::AttrPredicate)> = spec
+                .preds
+                .drain(..)
+                .map(|p| (cm.predicate_cost(&p.attr, &p.query, p.d, strategy), p))
+                .collect();
+            let rendered: Vec<String> = costed
+                .iter()
+                .map(|(est, p)| format!("{}≈{} ({})", p.attr, est.rows, est.source.label()))
+                .collect();
+            let min = costed.iter().map(|(e, _)| e.rows).min().unwrap_or(0);
+            let max = costed.iter().map(|(e, _)| e.rows).max().unwrap_or(0);
+            // Within-noise estimates (under a 2x spread — e.g. every leg on
+            // the structural fallback) don't justify overriding the author
+            // order or the executor's own lead heuristic.
+            if max >= min.saturating_mul(2) && max > min {
+                costed.sort_by_key(|(est, _)| est.rows); // stable: ties keep author order
+                notes.push(format!(
+                    "cost: conjunction legs ordered cheapest-first [{}]",
+                    rendered.join(", ")
+                ));
+                spec.cost_ordered = true;
+            } else {
+                notes.push(format!(
+                    "cost: conjunction legs kept in author order (estimates within noise) [{}]",
+                    rendered.join(", ")
+                ));
+            }
+            spec.preds = costed.into_iter().map(|(_, p)| p).collect();
+            PlanNode::Multi(spec)
+        }
+        PlanNode::SimJoin { input: None, mut spec } => {
+            let left = cm.attr_cardinality(&spec.ln);
+            let swappable = spec.rn.as_deref().is_some_and(|rn| {
+                rn != spec.ln && spec.left_limit.unwrap_or(d.join_left_limit).is_none()
+            });
+            if swappable {
+                let rn = spec.rn.clone().expect("swappable implies rn");
+                let right = cm.attr_cardinality(&rn);
+                // Scan the markedly smaller side (2x margin against
+                // estimate noise; strictly smaller, so all-zero estimates
+                // — e.g. an empty or unindexed attribute pair — never
+                // trigger a swap); the executor transposes pairs back.
+                if right.rows < left.rows && right.rows.saturating_mul(2) <= left.rows {
+                    notes.push(format!(
+                        "cost: simjoin build side swapped — |{}|≈{} ({}) vs |{}|≈{} ({}): \
+                         scanning {}",
+                        spec.ln,
+                        left.rows,
+                        left.source.label(),
+                        rn,
+                        right.rows,
+                        right.source.label(),
+                        rn
+                    ));
+                    spec.rn = Some(std::mem::replace(&mut spec.ln, rn));
+                    spec.swapped = true;
+                } else {
+                    notes.push(format!(
+                        "cost: simjoin build side kept — |{}|≈{} ({}) vs |{}|≈{} ({})",
+                        spec.ln,
+                        left.rows,
+                        left.source.label(),
+                        rn,
+                        right.rows,
+                        right.source.label(),
+                    ));
+                }
+            } else {
+                notes.push(format!(
+                    "cost: simjoin left |{}|≈{} ({})",
+                    spec.ln,
+                    left.rows,
+                    left.source.label()
+                ));
+            }
+            PlanNode::SimJoin { input: None, spec }
+        }
+        PlanNode::SimJoin { input: Some(i), spec } => {
+            PlanNode::SimJoin { input: Some(Box::new(cost_rewrites(*i, cm, env, notes))), spec }
+        }
+        PlanNode::TopN { input, spec } => {
+            PlanNode::TopN { input: Box::new(cost_rewrites(*input, cm, env, notes)), spec }
+        }
+        PlanNode::Filter { input, pred } => {
+            PlanNode::Filter { input: Box::new(cost_rewrites(*input, cm, env, notes)), pred }
+        }
+        PlanNode::Limit { input, n } => {
+            PlanNode::Limit { input: Box::new(cost_rewrites(*input, cm, env, notes)), n }
+        }
+        leaf => leaf,
+    }
 }
 
 fn fill_defaults(
@@ -126,7 +252,7 @@ fn fill_defaults(
         }
         PlanNode::SimJoin { input, mut spec } => {
             spec.strategy.get_or_insert(d.strategy);
-            spec.window.get_or_insert(d.join_window.max(1));
+            spec.window.get_or_insert(d.join_window);
             spec.left_limit.get_or_insert(d.join_left_limit);
             let input = match input {
                 Some(i) => Some(Box::new(fill_defaults(*i, env, notes)?)),

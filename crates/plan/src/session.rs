@@ -22,6 +22,7 @@
 //! ```
 
 use crate::builder::Query;
+use crate::cost::CostModel;
 use crate::exec::{compile, PlanResult, PlanTask, Stage};
 use crate::ir::{PlanError, PlanNode};
 use crate::rewrite::{resolve, PlannerEnv};
@@ -52,12 +53,14 @@ impl<'e> Session<'e> {
     }
 
     /// Plan a query: inherit the engine's [`sqo_core::QueryDefaults`], run
-    /// the rewrite passes, validate. The result is immutable and reusable —
-    /// prepare once, run many times (also from other sessions on the same
-    /// engine configuration).
+    /// the rewrite passes — including the cost-based pass, fed by the
+    /// engine's zero-message cardinality estimates — and validate. The
+    /// result is immutable and reusable — prepare once, run many times
+    /// (also from other sessions on the same engine configuration).
     pub fn prepare(&self, q: &Query) -> Result<PreparedQuery, PlanError> {
         let env = PlannerEnv::of(self.engine);
-        PreparedQuery::with_env(q, &env, self.from)
+        let cost = CostModel::new(self.engine, self.from);
+        PreparedQuery::with_cost(q, &env, Some(&cost), self.from)
     }
 
     /// Convenience: prepare and run in one call.
@@ -92,10 +95,23 @@ pub struct PreparedQuery {
 
 impl PreparedQuery {
     /// Plan against an explicit [`PlannerEnv`] (no engine needed — used by
-    /// drivers that snapshot the env once, and by planning tests).
+    /// drivers that snapshot the env once, and by planning tests). Without
+    /// an engine there is no cardinality source, so the cost-based pass is
+    /// skipped — use [`PreparedQuery::with_cost`] for costed planning.
     pub fn with_env(q: &Query, env: &PlannerEnv, from: PeerId) -> Result<PreparedQuery, PlanError> {
+        Self::with_cost(q, env, None, from)
+    }
+
+    /// Plan with an optional [`CostModel`] feeding the cost-based rewrite
+    /// pass (estimates and decisions are recorded in the notes).
+    pub fn with_cost(
+        q: &Query,
+        env: &PlannerEnv,
+        cost: Option<&CostModel<'_>>,
+        from: PeerId,
+    ) -> Result<PreparedQuery, PlanError> {
         let mut notes = Vec::new();
-        let root = resolve(q.plan().clone(), env, &mut notes)?;
+        let root = resolve(q.plan().clone(), env, cost, &mut notes)?;
         Ok(PreparedQuery { root, env: env.clone(), notes, from })
     }
 

@@ -183,7 +183,7 @@ proptest! {
             .window(window)
             .left_limit(left_limit);
         assert_equivalent(&mut le, &mut pe, &q, |e, from| {
-            let opts = JoinOptions { strategy: Strategy::QGrams, left_limit, window };
+            let opts = JoinOptions { strategy: Strategy::QGrams, left_limit, window: sqo_core::JoinWindow::Fixed(window) };
             let r = e.sim_join("word", Some("word"), d, from, &opts);
             let rows = r.pairs.into_iter().map(|p| {
                 let mut row = rows_from_similar(vec![p.right]).pop().expect("one");

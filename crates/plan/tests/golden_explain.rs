@@ -5,7 +5,7 @@
 //! strategy choice) and the tree shape — so any planner change that moves
 //! an access path or annotation shows up as a reviewable diff here.
 
-use sqo_core::{AttrPredicate, QueryDefaults};
+use sqo_core::{AttrPredicate, JoinWindow, QueryDefaults};
 use sqo_overlay::PeerId;
 use sqo_plan::{CmpOp, PlannerEnv, PreparedQuery, Query};
 use sqo_storage::Value;
@@ -16,7 +16,7 @@ fn env_plain() -> PlannerEnv {
 
 fn env_cached_w8() -> PlannerEnv {
     PlannerEnv {
-        defaults: QueryDefaults { join_window: 8, ..QueryDefaults::default() },
+        defaults: QueryDefaults { join_window: JoinWindow::Fixed(8), ..QueryDefaults::default() },
         cache_active: true,
         delegation: true,
     }
@@ -136,6 +136,41 @@ fn multi_strategy_is_broker_aware() {
          --\n\
          note: multi: chose Intersect (posting cache active; repeated sub-queries share cached \
          gram lists)"
+    );
+}
+
+/// Costed planning golden: estimates and the build-side decision are
+/// pinned with their concrete numbers (engine-backed, fully
+/// deterministic — a planner or estimator change shows up as a diff
+/// here).
+#[test]
+fn costed_join_swap_golden() {
+    use sqo_core::EngineBuilder;
+    use sqo_plan::Session;
+    use sqo_storage::Row;
+
+    let mut rows = Vec::new();
+    for i in 0..60 {
+        rows.push(Row::new(format!("c:{i}"), [("name", Value::from(format!("carname{i:03}")))]));
+    }
+    for i in 0..3 {
+        rows.push(Row::new(format!("d:{i}"), [("dlrname", Value::from(format!("dealer{i}")))]));
+    }
+    let mut engine = EngineBuilder::new().peers(64).q(2).seed(41).build_with_rows(&rows);
+    // The initiator owns the popular attribute's partition: its side
+    // estimate is an exact local count, the rare side falls to the
+    // trie-depth heuristic.
+    let part = engine.network().partition_of(&sqo_storage::keys::attr_scan_prefix("name"));
+    let from = engine.network_mut().partition_member(part).expect("alive member");
+    let session = Session::new(&mut engine, from);
+    let q = Query::join_scan("name", Some("dlrname"), 1);
+    assert_eq!(
+        session.explain(&q).expect("plannable"),
+        "SimJoin ln=dlrname rn=name d=1 window=1 left_limit=∞ strategy=qgrams [build side \
+         swapped: scanning attr=dlrname, pairs transposed back, per-left Similar]\n\
+         --\n\
+         note: cost: simjoin build side swapped — |name|≈67 (local) vs |dlrname|≈10 (trie): \
+         scanning dlrname"
     );
 }
 

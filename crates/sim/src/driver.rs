@@ -30,8 +30,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
 use sqo_core::{
-    BrokerConfig, BrokerCounters, CacheBatchBroker, ExecStep, JoinOptions, JoinTask, QueryStats,
-    QueryTask, SimilarTask, SimilarityEngine, StepOutcome, Strategy, TopNTask,
+    BrokerConfig, BrokerCounters, CacheBatchBroker, ExecStep, JoinOptions, JoinTask, JoinWindow,
+    QueryStats, QueryTask, SimilarTask, SimilarityEngine, StepOutcome, Strategy, TopNTask,
 };
 use sqo_datasets::ZipfSampler;
 use sqo_overlay::{PeerId, SimLatency};
@@ -73,8 +73,9 @@ pub enum QueryKind {
     TopN { n: usize, d_max: usize },
     /// Similarity self-join over the workload attribute, with a bounded
     /// outstanding-request window (`window` per-left selections pipelined
-    /// from the initiator; 1 = the paper's serial loop).
-    SimJoin { d: usize, left_limit: Option<usize>, window: usize },
+    /// from the initiator; `Fixed(1)` = the paper's serial loop,
+    /// [`JoinWindow::Auto`] = AIMD congestion control).
+    SimJoin { d: usize, left_limit: Option<usize>, window: JoinWindow },
     /// A VQL `dist()` filter query over the workload attribute.
     Vql { d: usize },
     /// A multi-operator plan pipeline — prefix-range select over the
@@ -82,7 +83,7 @@ pub enum QueryKind {
     /// rows joined against the attribute at distance `d`, best `n` pairs
     /// kept. Expressible only through the plan API, so it always compiles
     /// through `sqo-plan` regardless of [`ApiMode`].
-    Pipeline { d: usize, n: usize, left_limit: Option<usize>, window: usize },
+    Pipeline { d: usize, n: usize, left_limit: Option<usize>, window: JoinWindow },
 }
 
 impl QueryKind {
@@ -158,7 +159,7 @@ impl Default for DriverConfig {
             mix: vec![
                 QueryKind::Similar { d: 1 },
                 QueryKind::TopN { n: 5, d_max: 3 },
-                QueryKind::SimJoin { d: 1, left_limit: Some(8), window: 1 },
+                QueryKind::SimJoin { d: 1, left_limit: Some(8), window: JoinWindow::Fixed(1) },
             ],
             strategy: Strategy::QGrams,
             sim: SimConfig::default(),
@@ -186,6 +187,9 @@ pub struct CacheReport {
     pub channels_opened: u64,
     /// Overlay messages the coalesced probes avoided.
     pub messages_saved: u64,
+    /// Cache inserts the TinyLFU admission gate turned away (0 with the
+    /// gate off).
+    pub admission_rejects: u64,
 }
 
 impl From<BrokerCounters> for CacheReport {
@@ -197,6 +201,7 @@ impl From<BrokerCounters> for CacheReport {
             probes_coalesced: c.probes_coalesced,
             channels_opened: c.channels_opened,
             messages_saved: c.messages_saved,
+            admission_rejects: c.admission_rejects,
         }
     }
 }
@@ -402,8 +407,14 @@ pub fn run_driver(
             operator: op.to_string(),
             summary: LatencySummary::of(&lats),
             messages: op_stats.traffic.messages,
+            // Queue time is attributed per operator from its own queries'
+            // absorbed stats — not the run-wide total duplicated into
+            // every row — so window adaptation shows up per op.
+            queue_us: op_stats.sim.map(|s| s.queue_us).unwrap_or(0),
             cache_hits: op_stats.cache_hits,
             probes_coalesced: op_stats.probes_coalesced,
+            window_peak: op_stats.join_window_peak,
+            window_shrinks: op_stats.join_window_shrinks,
         })
         .collect();
     let virtual_span_us = last_end.saturating_sub(first_start.min(last_end));
@@ -498,7 +509,7 @@ fn build_task(
         QueryKind::Similar { d } => Query::similar(s, Some(attr), *d),
         QueryKind::TopN { n, d_max } => Query::top_n_similar(Some(attr), *n, s, *d_max),
         QueryKind::SimJoin { d, left_limit, window } => {
-            Query::join_scan(attr, Some(attr), *d).left_limit(*left_limit).window(*window)
+            Query::join_scan(attr, Some(attr), *d).left_limit(*left_limit).window_mode(*window)
         }
         QueryKind::Pipeline { d, n, left_limit, window } => {
             // Prefix-range select: every word sharing the drawn string's
@@ -509,7 +520,7 @@ fn build_task(
                 .sim_join(attr, Some(attr), *d)
                 .top_n(*n)
                 .left_limit(*left_limit)
-                .window(*window)
+                .window_mode(*window)
         }
         QueryKind::Vql { .. } => unreachable!("handled above"),
     };

@@ -53,10 +53,21 @@ pub struct OperatorLatency {
     pub summary: LatencySummary,
     /// Overlay messages attributed to this operator's queries.
     pub messages: u64,
+    /// Virtual time this operator's messages spent queued behind busy
+    /// receivers — attributed **per operator** (summed over its queries),
+    /// so congestion effects (and the adaptive join window's response to
+    /// them) are visible where they happen, not only in workload totals.
+    pub queue_us: u64,
     /// Probe keys this operator's queries served from the posting cache.
     pub cache_hits: u64,
     /// Probe keys that rode a coalesced multi-key exchange.
     pub probes_coalesced: u64,
+    /// Largest adaptive join window this operator's queries reached (0
+    /// for fixed windows and non-join operators).
+    pub window_peak: usize,
+    /// Adaptive-window congestion back-offs this operator's queries
+    /// performed.
+    pub window_shrinks: u64,
 }
 
 #[cfg(test)]

@@ -12,7 +12,9 @@
 //! change here, which is exactly the regime the epoch rule makes exact.
 
 use proptest::prelude::*;
-use sqo_core::{BrokerConfig, EngineBuilder, JoinOptions, Rank, SimilarityEngine, Strategy};
+use sqo_core::{
+    BrokerConfig, EngineBuilder, JoinOptions, JoinWindow, Rank, SimilarityEngine, Strategy,
+};
 use sqo_datasets::{bible_words, string_rows};
 use sqo_overlay::PeerId;
 use sqo_sim::{install, SimConfig};
@@ -46,7 +48,7 @@ fn battery(e: &mut SimilarityEngine, words: &[String], strategy: Strategy, from:
         m.sort();
         out.push_str(&format!("similar {s}: {m:?}\n"));
     }
-    let opts = JoinOptions { strategy, left_limit: Some(6), window: 4 };
+    let opts = JoinOptions { strategy, left_limit: Some(6), window: JoinWindow::Fixed(4) };
     let mut pairs: Vec<(String, String)> = e
         .sim_join("word", Some("word"), 1, from, &opts)
         .pairs

@@ -3,7 +3,7 @@
 //! not make the workload slower (p50 no worse than cache-off), while
 //! returning the same answers. Small enough to run on every PR.
 
-use sqo_core::{BrokerConfig, EngineBuilder, SimilarityEngine};
+use sqo_core::{BrokerConfig, EngineBuilder, JoinWindow, SimilarityEngine};
 use sqo_datasets::{bible_words, string_rows};
 use sqo_sim::{
     run_driver, Arrival, DriverConfig, DriverReport, LatencyModel, QueryKind, SimConfig,
@@ -22,7 +22,7 @@ fn drive(words: &[String], pool: &[String], cache: BrokerConfig) -> DriverReport
         arrival: Arrival::Poisson { mean_interarrival_us: 4_000 },
         mix: vec![
             QueryKind::Similar { d: 1 },
-            QueryKind::SimJoin { d: 1, left_limit: Some(8), window: 4 },
+            QueryKind::SimJoin { d: 1, left_limit: Some(8), window: JoinWindow::Fixed(4) },
             QueryKind::TopN { n: 5, d_max: 3 },
         ],
         sim: SimConfig { latency: LatencyModel::Constant { us: 1_000 }, ..SimConfig::default() },
@@ -81,4 +81,56 @@ fn cache_smoke() {
             op.messages
         );
     }
+}
+
+/// The TinyLFU admission gate A/B: under a thrashing regime — a cache far
+/// smaller than the key universe, hot strings plus a long one-hit-wonder
+/// tail — rejecting cold inserts must preserve the hot set and improve
+/// the hit rate; and it must never change answers.
+#[test]
+fn tinylfu_admission_gate_ab() {
+    let words = bible_words(600, 11);
+    // Hot head + long tail: Zipf draws over the whole 600-word pool.
+    let drive_with = |admission: bool| {
+        let mut e = engine(&words);
+        let cfg = DriverConfig {
+            clients: 2,
+            queries_per_client: 40,
+            arrival: Arrival::Closed { think_us: 1_000 },
+            mix: vec![QueryKind::Similar { d: 1 }],
+            sim: SimConfig {
+                latency: LatencyModel::Constant { us: 1_000 },
+                ..SimConfig::default()
+            },
+            cache: BrokerConfig {
+                // Far below the working set: unconditional admission
+                // thrashes, the gate protects the hot entries.
+                cache_capacity: 48,
+                ..if admission {
+                    BrokerConfig::cache_with_admission()
+                } else {
+                    BrokerConfig::cache_only()
+                }
+            },
+            zipf_s: 1.1,
+            sticky_initiators: true,
+            ..DriverConfig::default()
+        };
+        run_driver(&mut e, "word", &words, &cfg)
+    };
+    let plain = drive_with(false);
+    let gated = drive_with(true);
+    assert_eq!(
+        plain.total.matches, gated.total.matches,
+        "the admission gate must not change any answer"
+    );
+    assert!(gated.cache.admission_rejects > 0, "the gate must actually fire: {:?}", gated.cache);
+    assert_eq!(plain.cache.admission_rejects, 0, "no gate, no rejects");
+    assert!(
+        gated.cache.hit_rate >= plain.cache.hit_rate,
+        "rejecting one-hit wonders must not hurt the hit rate \
+         (gated {:.3} vs plain {:.3})",
+        gated.cache.hit_rate,
+        plain.cache.hit_rate
+    );
 }

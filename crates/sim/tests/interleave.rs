@@ -3,7 +3,7 @@
 //! joins (bounded outstanding-request window), deterministic interleaving,
 //! and load-aware reference selection.
 
-use sqo_core::{EngineBuilder, JoinOptions, SimilarityEngine};
+use sqo_core::{EngineBuilder, JoinOptions, JoinWindow, SimilarityEngine};
 use sqo_datasets::{bible_words, string_rows};
 use sqo_sim::{
     install, run_driver, Arrival, DriverConfig, DriverReport, LatencyModel, QueryKind, SimConfig,
@@ -47,7 +47,7 @@ fn early_query_sees_later_arrivals() {
             // kind index is (issued + client) % len: client 0 runs the
             // join, clients 1..4 run similar queries.
             mix: vec![
-                QueryKind::SimJoin { d: 1, left_limit: Some(8), window: 1 },
+                QueryKind::SimJoin { d: 1, left_limit: Some(8), window: JoinWindow::Fixed(1) },
                 QueryKind::Similar { d: 1 },
                 QueryKind::Similar { d: 1 },
                 QueryKind::Similar { d: 1 },
@@ -109,7 +109,7 @@ fn permuting_arrival_offsets_preserves_the_report() {
 fn join_window_reduces_p50_without_changing_pairs() {
     let words = bible_words(500, 11);
     // Result equality, directly on the engine with a sink installed.
-    let join = |window: usize| {
+    let join = |window: JoinWindow| {
         let mut e = engine(&words, 48, 1);
         install(&mut e, sim_cfg());
         let from = e.random_peer();
@@ -120,8 +120,8 @@ fn join_window_reduces_p50_without_changing_pairs() {
         pairs.sort_unstable();
         (pairs, res.stats.sim.expect("sink installed"))
     };
-    let (pairs1, sim1) = join(1);
-    let (pairs8, sim8) = join(8);
+    let (pairs1, sim1) = join(JoinWindow::Fixed(1));
+    let (pairs8, sim8) = join(JoinWindow::Fixed(8));
     assert_eq!(pairs1, pairs8, "the window must never change join results");
     assert!(!pairs1.is_empty(), "self-join must produce pairs");
     assert!(
@@ -132,7 +132,7 @@ fn join_window_reduces_p50_without_changing_pairs() {
     );
 
     // And through the driver: p50 over several joins drops strictly.
-    let drive = |window: usize| {
+    let drive = |window: JoinWindow| {
         let mut e = engine(&words, 48, 1);
         let cfg = DriverConfig {
             clients: 1,
@@ -145,8 +145,8 @@ fn join_window_reduces_p50_without_changing_pairs() {
         let report = run_driver(&mut e, "word", &words, &cfg);
         report.per_operator.iter().find(|o| o.operator == "simjoin").expect("joins ran").summary
     };
-    let serial = drive(1);
-    let pipelined = drive(8);
+    let serial = drive(JoinWindow::Fixed(1));
+    let pipelined = drive(JoinWindow::Fixed(8));
     assert_eq!(serial.count, 4);
     assert_eq!(pipelined.count, 4);
     assert!(
@@ -171,7 +171,7 @@ fn interleaved_execution_is_deterministic() {
             arrival: Arrival::Explicit { offsets_us: vec![0, 1_500, 3_000, 4_500, 6_000, 7_500] },
             mix: vec![
                 QueryKind::Similar { d: 1 },
-                QueryKind::SimJoin { d: 1, left_limit: Some(6), window: 4 },
+                QueryKind::SimJoin { d: 1, left_limit: Some(6), window: JoinWindow::Fixed(4) },
                 QueryKind::TopN { n: 5, d_max: 3 },
                 QueryKind::Vql { d: 1 },
             ],

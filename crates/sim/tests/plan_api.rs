@@ -4,7 +4,7 @@
 //! adds zero virtual-time overhead — and plan-only pipelines run
 //! end-to-end interleaved with everything else on the event queue.
 
-use sqo_core::EngineBuilder;
+use sqo_core::{EngineBuilder, JoinWindow};
 use sqo_datasets::{bible_words, string_rows};
 use sqo_sim::{
     run_driver, ApiMode, Arrival, DriverConfig, DriverReport, LatencyModel, QueryKind, SimConfig,
@@ -34,7 +34,7 @@ fn plan_dispatch_matches_legacy_dispatch_byte_identically() {
     let words = bible_words(300, 5);
     let mix = vec![
         QueryKind::Similar { d: 1 },
-        QueryKind::SimJoin { d: 1, left_limit: Some(6), window: 2 },
+        QueryKind::SimJoin { d: 1, left_limit: Some(6), window: JoinWindow::Fixed(2) },
         QueryKind::TopN { n: 4, d_max: 3 },
         QueryKind::Vql { d: 1 },
     ];
@@ -52,7 +52,7 @@ fn plan_dispatch_matches_legacy_dispatch_byte_identically() {
 fn pipeline_kind_runs_interleaved_on_the_event_queue() {
     let words = bible_words(250, 9);
     let mix = vec![
-        QueryKind::Pipeline { d: 1, n: 5, left_limit: Some(6), window: 2 },
+        QueryKind::Pipeline { d: 1, n: 5, left_limit: Some(6), window: JoinWindow::Fixed(2) },
         QueryKind::Similar { d: 1 },
     ];
     let report = run(&words, ApiMode::Plan, mix);

@@ -3,7 +3,7 @@
 //! against an oracle, and interleaved on the event-driven simulator — and
 //! `explain()` prints its plan.
 
-use sqo::core::EngineBuilder;
+use sqo::core::{EngineBuilder, JoinWindow};
 use sqo::plan::{Query, RankBy, Session};
 use sqo::sim::{run_driver, ApiMode, Arrival, DriverConfig, LatencyModel, QueryKind, SimConfig};
 use sqo::storage::{Row, Value};
@@ -109,7 +109,7 @@ fn pipeline_runs_on_the_event_driven_simulator() {
         queries_per_client: 3,
         arrival: Arrival::Poisson { mean_interarrival_us: 5_000 },
         mix: vec![
-            QueryKind::Pipeline { d: 1, n: 5, left_limit: Some(5), window: 2 },
+            QueryKind::Pipeline { d: 1, n: 5, left_limit: Some(5), window: JoinWindow::Fixed(2) },
             QueryKind::Similar { d: 1 },
         ],
         sim: SimConfig { latency: LatencyModel::Constant { us: 700 }, ..SimConfig::default() },

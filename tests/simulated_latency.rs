@@ -4,7 +4,7 @@
 //! push the tail up relative to a serialized execution of the *same*
 //! queries.
 
-use sqo::core::EngineBuilder;
+use sqo::core::{EngineBuilder, JoinWindow};
 use sqo::datasets::{bible_words, string_rows};
 use sqo::sim::{run_driver, Arrival, DriverConfig, LatencyModel, QueryKind, SimConfig};
 
@@ -31,7 +31,7 @@ fn per_operator_percentiles_under_three_models() {
                 queries_per_client: 3,
                 mix: vec![
                     QueryKind::Similar { d: 1 },
-                    QueryKind::SimJoin { d: 1, left_limit: Some(6), window: 1 },
+                    QueryKind::SimJoin { d: 1, left_limit: Some(6), window: JoinWindow::Fixed(1) },
                     QueryKind::TopN { n: 5, d_max: 3 },
                 ],
                 sim: SimConfig { latency: model, ..SimConfig::default() },
@@ -82,7 +82,7 @@ fn concurrent_workload_inflates_p99_over_serial() {
             mix: vec![
                 QueryKind::Similar { d: 1 },
                 QueryKind::TopN { n: 5, d_max: 3 },
-                QueryKind::SimJoin { d: 1, left_limit: Some(6), window: 1 },
+                QueryKind::SimJoin { d: 1, left_limit: Some(6), window: JoinWindow::Fixed(1) },
             ],
             sim: SimConfig {
                 latency: LatencyModel::Constant { us: 1_000 },
