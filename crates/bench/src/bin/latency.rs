@@ -1,20 +1,29 @@
 //! CLI wrapper for the latency/throughput trajectory bench.
 //!
 //! ```text
-//! latency [--smoke] [--out PATH]
+//! latency [--smoke] [--out PATH] [--metrics PATH]
 //! ```
 //!
 //! Writes the JSON point list (one point per latency model × operator ×
 //! client count) to `PATH` (default `BENCH_latency.json`) and prints a
 //! table to stdout. The committed `BENCH_latency.json` at the repository
 //! root is the default-configuration baseline future PRs measure against.
+//! `--metrics PATH` additionally dumps the sweep-wide
+//! [`sqo_obs::MetricsRegistry`] (counters, gauges, latency histograms
+//! merged over every driven workload) as JSON.
 
-use sqo_bench::latency::{render, run_latency_bench, LatencyBenchConfig};
+use sqo_bench::latency::{render, run_latency_sweep, LatencyBenchConfig};
+
+fn usage() -> ! {
+    eprintln!("usage: latency [--smoke] [--out PATH] [--metrics PATH]");
+    std::process::exit(2);
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cfg = LatencyBenchConfig::default();
     let mut out = String::from("BENCH_latency.json");
+    let mut metrics_out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -25,23 +34,35 @@ fn main() {
                     Some(path) => out = path.clone(),
                     None => {
                         eprintln!("--out needs a path");
-                        eprintln!("usage: latency [--smoke] [--out PATH]");
-                        std::process::exit(2);
+                        usage();
+                    }
+                }
+            }
+            "--metrics" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => metrics_out = Some(path.clone()),
+                    None => {
+                        eprintln!("--metrics needs a path");
+                        usage();
                     }
                 }
             }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: latency [--smoke] [--out PATH]");
-                std::process::exit(2);
+                usage();
             }
         }
         i += 1;
     }
 
-    let points = run_latency_bench(&cfg);
-    print!("{}", render(&points));
-    std::fs::write(&out, serde_json::to_string_pretty(&points).expect("serialize"))
+    let sweep = run_latency_sweep(&cfg);
+    print!("{}", render(&sweep.points));
+    std::fs::write(&out, serde_json::to_string_pretty(&sweep.points).expect("serialize"))
         .expect("write output");
-    eprintln!("wrote {} points to {out}", points.len());
+    eprintln!("wrote {} points to {out}", sweep.points.len());
+    if let Some(path) = metrics_out {
+        std::fs::write(&path, sweep.metrics.to_json()).expect("write metrics");
+        eprintln!("wrote metrics registry to {path}");
+    }
 }

@@ -14,6 +14,7 @@
 use serde::Serialize;
 use sqo_core::{BrokerConfig, EngineBuilder, JoinWindow, SimilarityEngine, Strategy};
 use sqo_datasets::{bible_words, string_rows};
+use sqo_obs::MetricsRegistry;
 use sqo_sim::{
     run_driver, ApiMode, Arrival, DriverConfig, DriverReport, LatencyModel, QueryKind, SimConfig,
 };
@@ -207,10 +208,21 @@ fn points_of(
         .collect()
 }
 
+/// A full sweep run: the per-(model × clients × combo × operator) point
+/// list plus the [`MetricsRegistry`] merged over every driven workload —
+/// the whole sweep's counters and latency histograms under one named
+/// schema (`sqo_obs::metrics` documents the names).
+#[derive(Debug)]
+pub struct LatencySweep {
+    pub points: Vec<LatencyPoint>,
+    pub metrics: MetricsRegistry,
+}
+
 /// Run the sweep. Deterministic for a given configuration.
-pub fn run_latency_bench(cfg: &LatencyBenchConfig) -> Vec<LatencyPoint> {
+pub fn run_latency_sweep(cfg: &LatencyBenchConfig) -> LatencySweep {
     let words = bible_words(cfg.words, 23);
     let mut out = Vec::new();
+    let mut metrics = MetricsRegistry::new();
     for model in &cfg.models {
         for &clients in &cfg.client_counts {
             for combo in &cfg.combos {
@@ -235,11 +247,19 @@ pub fn run_latency_bench(cfg: &LatencyBenchConfig) -> Vec<LatencyPoint> {
                     seed: cfg.seed,
                 };
                 let report = run_driver(&mut engine, "word", &words, &driver_cfg);
+                metrics.merge(&report.metrics);
                 out.extend(points_of(&report, model, clients, combo));
             }
         }
     }
-    out
+    LatencySweep { points: out, metrics }
+}
+
+/// Run the sweep and keep only the point list (the committed
+/// `BENCH_latency.json` shape; see [`run_latency_sweep`] for the
+/// registry too).
+pub fn run_latency_bench(cfg: &LatencyBenchConfig) -> Vec<LatencyPoint> {
+    run_latency_sweep(cfg).points
 }
 
 /// Human-readable table of a sweep.

@@ -10,7 +10,7 @@ use sqo_cache::{BrokerConfig, BrokerCounters, CacheBatchBroker};
 use sqo_overlay::key::Key;
 use sqo_overlay::network::{Network, NetworkConfig};
 use sqo_overlay::peer::{Item, PeerId};
-use sqo_overlay::Metrics;
+use sqo_overlay::{Metrics, TraceEvent, TraceTrack};
 use sqo_storage::posting::{Object, Posting};
 use sqo_storage::publish::{postings_for_rows, PublishConfig, PublishStats};
 use sqo_storage::triple::Row;
@@ -907,6 +907,21 @@ impl SimilarityEngine {
         let r = f(self);
         let step = self.finish_query(&snap);
         let end = self.net.sim_now_us().unwrap_or(at_us);
+        if self.net.has_trace_sink() {
+            if let Some(q) = self.net.trace_query() {
+                self.net.trace_with(|| {
+                    TraceEvent::span(
+                        at_us,
+                        end.saturating_sub(at_us),
+                        TraceTrack::Query(q),
+                        "step",
+                        "exec",
+                    )
+                    .arg("messages", step.traffic.messages)
+                    .arg("comparisons", step.edit_comparisons)
+                });
+            }
+        }
         acc.traffic.add(&step.traffic);
         acc.edit_comparisons += step.edit_comparisons;
         if let Some(s) = step.sim {
@@ -924,13 +939,55 @@ impl SimilarityEngine {
     /// bookkeeping still applies critical-path timing), so a standalone
     /// query costs exactly what its interleaved steps would.
     pub fn run_task(&mut self, task: &mut dyn ExecStep) -> QueryStats {
-        let mut at = self.net.sim_now_us().unwrap_or(0);
-        loop {
+        let trace_q = self.trace_query_begin();
+        let start = self.net.sim_now_us().unwrap_or(0);
+        let mut at = start;
+        let stats = loop {
             match task.step(self, at) {
                 StepOutcome::Yield { at_us } => at = at_us,
-                StepOutcome::Done(stats) => return stats,
+                StepOutcome::Done(stats) => break stats,
             }
+        };
+        self.trace_query_end(trace_q, &stats, start);
+        stats
+    }
+
+    /// Open a query trace track for a synchronous run: allocates a track id
+    /// and attributes subsequent charges to it — unless no trace sink is
+    /// installed, or a driver already attributed this task (an outer run
+    /// keeps ownership). Pair with [`Self::trace_query_end`].
+    pub fn trace_query_begin(&mut self) -> Option<u64> {
+        if self.net.has_trace_sink() && self.net.trace_query().is_none() {
+            let id = self.net.next_trace_query_id();
+            self.net.set_trace_query(Some(id));
+            Some(id)
+        } else {
+            None
         }
+    }
+
+    /// Close a track opened by [`Self::trace_query_begin`]: emit the
+    /// whole-query span (the stats' latency envelope, or a zero-length span
+    /// at `fallback_start_us` without an event sink) and clear the
+    /// attribution. No-op when `trace_q` is `None`.
+    pub fn trace_query_end(
+        &mut self,
+        trace_q: Option<u64>,
+        stats: &QueryStats,
+        fallback_start_us: u64,
+    ) {
+        let Some(q) = trace_q else { return };
+        let (ts, dur) = match &stats.sim {
+            Some(s) => (s.start_us, s.elapsed_us),
+            None => (fallback_start_us, 0),
+        };
+        self.net.trace_with(|| {
+            TraceEvent::span(ts, dur, TraceTrack::Query(q), "query", "query")
+                .arg("probes", stats.probes)
+                .arg("matches", stats.matches)
+                .arg("messages", stats.traffic.messages)
+        });
+        self.net.set_trace_query(None);
     }
 }
 

@@ -121,13 +121,16 @@ impl SimilarityEngine {
         object_cache: &mut FxHashMap<String, Object>,
     ) -> SimilarResult {
         let mut task = SimilarTask::new(s, attr, d, from, strategy);
-        let mut at = self.net.sim_now_us().unwrap_or(0);
+        let trace_q = self.trace_query_begin();
+        let start = self.net.sim_now_us().unwrap_or(0);
+        let mut at = start;
         let stats = loop {
             match task.step_with(self, object_cache, at) {
                 StepOutcome::Yield { at_us } => at = at_us,
                 StepOutcome::Done(stats) => break stats,
             }
         };
+        self.trace_query_end(trace_q, &stats, start);
         SimilarResult { matches: task.take_matches(), stats }
     }
 }

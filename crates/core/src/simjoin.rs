@@ -318,7 +318,9 @@ impl ExecStep for JoinTask {
                             // at their fork frontier, so the ramp costs no
                             // virtual time.
                             if let Some(a) = &mut self.aimd {
+                                let before = a.window();
                                 a.observe_step();
+                                trace_window_change(engine, at_us, before, a.window());
                             }
                             self.children[idx].resume_at = resume;
                             self.fill_window(at_us);
@@ -339,17 +341,19 @@ impl ExecStep for JoinTask {
                             }
                             // AIMD: a completed selection reports its
                             // critical path and the queue time inside it.
+                            let end = child_stats.sim.map(|s| s.end_us).unwrap_or(resume_at);
                             if let Some(a) = &mut self.aimd {
                                 let (elapsed, queue) = child_stats
                                     .sim
                                     .map(|s| (s.elapsed_us, s.queue_us))
                                     .unwrap_or((0, 0));
+                                let before = a.window();
                                 a.observe_completion(elapsed, queue);
+                                trace_window_change(engine, end, before, a.window());
                             }
                             // Freed (and newly grown) window slots start the
                             // next left items at the finished child's
                             // completion time.
-                            let end = child_stats.sim.map(|s| s.end_us).unwrap_or(resume_at);
                             self.fill_window(end);
                         }
                     }
@@ -363,6 +367,25 @@ impl ExecStep for JoinTask {
                 JState::Finished => return StepOutcome::Done(self.stats),
             }
         }
+    }
+}
+
+/// Emit a `join_window` counter sample when the AIMD controller moves the
+/// window — the trajectory renders as a stepped counter lane on the query's
+/// trace track. No-op without a trace sink or outside a traced query.
+fn trace_window_change(engine: &SimilarityEngine, at_us: u64, before: usize, after: usize) {
+    if before == after || !engine.network().has_trace_sink() {
+        return;
+    }
+    if let Some(q) = engine.network().trace_query() {
+        engine.network().trace_with(|| {
+            sqo_overlay::TraceEvent::counter(
+                at_us,
+                sqo_overlay::TraceTrack::Query(q),
+                "join_window",
+                after as u64,
+            )
+        });
     }
 }
 

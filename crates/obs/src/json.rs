@@ -1,0 +1,191 @@
+//! A minimal JSON validator.
+//!
+//! The vendored `serde_json` stand-in is serialize-only, so tests that
+//! assert the exporters emit *well-formed* JSON need a checker. This is a
+//! strict recursive-descent validator over RFC 8259 — it accepts exactly
+//! valid JSON texts and reports the byte offset of the first violation.
+
+/// Validate that `s` is one complete JSON value. Returns the byte offset
+/// and a description of the first error.
+pub fn validate_json(s: &str) -> Result<(), String> {
+    let b = s.as_bytes();
+    let mut pos = skip_ws(b, 0);
+    pos = value(b, pos)?;
+    pos = skip_ws(b, pos);
+    if pos != b.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn err(pos: usize, what: &str) -> String {
+    format!("{what} at byte {pos}")
+}
+
+fn skip_ws(b: &[u8], mut pos: usize) -> usize {
+    while pos < b.len() && matches!(b[pos], b' ' | b'\t' | b'\n' | b'\r') {
+        pos += 1;
+    }
+    pos
+}
+
+fn value(b: &[u8], pos: usize) -> Result<usize, String> {
+    match b.get(pos) {
+        Some(b'{') => object(b, pos),
+        Some(b'[') => array(b, pos),
+        Some(b'"') => string(b, pos),
+        Some(b't') => literal(b, pos, b"true"),
+        Some(b'f') => literal(b, pos, b"false"),
+        Some(b'n') => literal(b, pos, b"null"),
+        Some(c) if *c == b'-' || c.is_ascii_digit() => number(b, pos),
+        Some(_) => Err(err(pos, "unexpected character")),
+        None => Err(err(pos, "unexpected end of input")),
+    }
+}
+
+fn literal(b: &[u8], pos: usize, lit: &[u8]) -> Result<usize, String> {
+    if b.len() >= pos + lit.len() && &b[pos..pos + lit.len()] == lit {
+        Ok(pos + lit.len())
+    } else {
+        Err(err(pos, "invalid literal"))
+    }
+}
+
+fn object(b: &[u8], mut pos: usize) -> Result<usize, String> {
+    pos = skip_ws(b, pos + 1); // past '{'
+    if b.get(pos) == Some(&b'}') {
+        return Ok(pos + 1);
+    }
+    loop {
+        if b.get(pos) != Some(&b'"') {
+            return Err(err(pos, "expected object key"));
+        }
+        pos = string(b, pos)?;
+        pos = skip_ws(b, pos);
+        if b.get(pos) != Some(&b':') {
+            return Err(err(pos, "expected ':'"));
+        }
+        pos = skip_ws(b, pos + 1);
+        pos = value(b, pos)?;
+        pos = skip_ws(b, pos);
+        match b.get(pos) {
+            Some(b',') => pos = skip_ws(b, pos + 1),
+            Some(b'}') => return Ok(pos + 1),
+            _ => return Err(err(pos, "expected ',' or '}'")),
+        }
+    }
+}
+
+fn array(b: &[u8], mut pos: usize) -> Result<usize, String> {
+    pos = skip_ws(b, pos + 1); // past '['
+    if b.get(pos) == Some(&b']') {
+        return Ok(pos + 1);
+    }
+    loop {
+        pos = value(b, pos)?;
+        pos = skip_ws(b, pos);
+        match b.get(pos) {
+            Some(b',') => pos = skip_ws(b, pos + 1),
+            Some(b']') => return Ok(pos + 1),
+            _ => return Err(err(pos, "expected ',' or ']'")),
+        }
+    }
+}
+
+fn string(b: &[u8], mut pos: usize) -> Result<usize, String> {
+    pos += 1; // past opening quote
+    while let Some(&c) = b.get(pos) {
+        match c {
+            b'"' => return Ok(pos + 1),
+            b'\\' => match b.get(pos + 1) {
+                Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => pos += 2,
+                Some(b'u') => {
+                    if b.len() < pos + 6 || !b[pos + 2..pos + 6].iter().all(u8::is_ascii_hexdigit) {
+                        return Err(err(pos, "invalid \\u escape"));
+                    }
+                    pos += 6;
+                }
+                _ => return Err(err(pos, "invalid escape")),
+            },
+            0x00..=0x1f => return Err(err(pos, "unescaped control character")),
+            _ => pos += 1,
+        }
+    }
+    Err(err(pos, "unterminated string"))
+}
+
+fn number(b: &[u8], mut pos: usize) -> Result<usize, String> {
+    let start = pos;
+    if b.get(pos) == Some(&b'-') {
+        pos += 1;
+    }
+    match b.get(pos) {
+        Some(b'0') => pos += 1,
+        Some(c) if c.is_ascii_digit() => {
+            while b.get(pos).is_some_and(u8::is_ascii_digit) {
+                pos += 1;
+            }
+        }
+        _ => return Err(err(start, "invalid number")),
+    }
+    if b.get(pos) == Some(&b'.') {
+        pos += 1;
+        if !b.get(pos).is_some_and(u8::is_ascii_digit) {
+            return Err(err(pos, "digits required after '.'"));
+        }
+        while b.get(pos).is_some_and(u8::is_ascii_digit) {
+            pos += 1;
+        }
+    }
+    if matches!(b.get(pos), Some(b'e' | b'E')) {
+        pos += 1;
+        if matches!(b.get(pos), Some(b'+' | b'-')) {
+            pos += 1;
+        }
+        if !b.get(pos).is_some_and(u8::is_ascii_digit) {
+            return Err(err(pos, "digits required in exponent"));
+        }
+        while b.get(pos).is_some_and(u8::is_ascii_digit) {
+            pos += 1;
+        }
+    }
+    Ok(pos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_valid_json() {
+        for s in [
+            "{}",
+            "[]",
+            "null",
+            "-12.5e3",
+            "\"a \\\"quoted\\\" string\"",
+            "{\"a\":[1,2,{\"b\":null}],\"c\":true}",
+            " { \"x\" : [ 1 , 2 ] } ",
+        ] {
+            validate_json(s).unwrap_or_else(|e| panic!("{s}: {e}"));
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_json() {
+        for s in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "01",
+            "1.",
+            "\"unterminated",
+            "{} trailing",
+            "{'single':1}",
+        ] {
+            assert!(validate_json(s).is_err(), "accepted: {s}");
+        }
+    }
+}

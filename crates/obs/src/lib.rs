@@ -1,0 +1,58 @@
+//! # sqo-obs — observability: virtual-time tracing, metrics, exporters
+//!
+//! The paper's evaluation attributes cost (messages, bandwidth, hops); the
+//! simulator adds *when*. This crate makes both inspectable:
+//!
+//! * [`TraceCollector`] — the canonical [`sqo_overlay::TraceSink`]: records
+//!   the structured span/instant/counter stream the overlay, simulator and
+//!   operator tasks emit on the virtual-time axis (per-peer queue
+//!   occupancy, per-query steps and messages, AIMD window samples).
+//! * Exporters — deterministic JSONL ([`TraceCollector::to_jsonl`]), Chrome
+//!   `trace_event` JSON loadable in Perfetto / `chrome://tracing`
+//!   ([`TraceCollector::to_chrome_trace`]), and a per-query text flame view
+//!   ([`TraceCollector::flame`]).
+//! * [`MetricsRegistry`] — counters, gauges and log-bucketed histograms
+//!   behind one dotted-name schema, absorbing the scattered counter structs
+//!   (`QueryStats`, `BrokerCounters`, overlay `Metrics`).
+//! * [`LogHistogram`] — the streaming HDR-style histogram backing the
+//!   registry and the workload driver's percentiles.
+//! * [`validate_json`] — a strict JSON checker (the vendored `serde_json`
+//!   is serialize-only), used by the export tests.
+//!
+//! Install a collector on an engine's network and every subsequent traced
+//! query streams into it:
+//!
+//! ```
+//! use sqo_core::{EngineBuilder, Strategy};
+//! use sqo_datasets::{bible_words, string_rows};
+//! use sqo_obs::TraceCollector;
+//!
+//! let words = bible_words(120, 3);
+//! let rows = string_rows("word", &words, "w");
+//! let mut engine = EngineBuilder::new().peers(16).seed(3).build_with_rows(&rows);
+//! let collector = TraceCollector::shared();
+//! engine.network_mut().set_trace_sink(TraceCollector::as_sink(&collector));
+//!
+//! let from = engine.random_peer();
+//! engine.similar(&words[0], Some("word"), 1, from, Strategy::QGrams);
+//! assert!(!collector.borrow().is_empty(), "the query produced trace events");
+//! let jsonl = collector.borrow().to_jsonl();
+//! assert!(jsonl.contains("\"cat\":\"query\""));
+//! ```
+//!
+//! `sqo-datasets` above is a dev-dependency of this crate only; in an
+//! application any engine works the same way. Tracing is strictly
+//! observational: with no sink installed every emission site is a single
+//! branch, and installing one never changes results or counters (pinned
+//! byte-identical by the `obs_smoke` tests in `sqo-sim`).
+
+pub mod hist;
+pub mod json;
+pub mod metrics;
+pub mod trace;
+
+pub use hist::LogHistogram;
+pub use json::validate_json;
+pub use metrics::MetricsRegistry;
+pub use sqo_overlay::{SharedTraceSink, TraceEvent, TraceSink, TraceTrack, TraceValue};
+pub use trace::TraceCollector;

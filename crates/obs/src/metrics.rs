@@ -1,0 +1,233 @@
+//! `MetricsRegistry` — one named-metric schema for the whole workspace.
+//!
+//! Five PRs grew five counter surfaces: `QueryStats`, overlay
+//! [`Metrics`]/`PeerLoad`, `BrokerCounters`, the AIMD `window_trace()`, and
+//! the driver's ad-hoc latency vectors. The registry absorbs them all
+//! behind three primitive kinds — **counters** (monotone sums), **gauges**
+//! (last-written values), and **histograms** ([`LogHistogram`]) — keyed by
+//! dotted names (`traffic.messages`, `cache.hits`, `latency.query_us`), so
+//! the driver and the bench serialize one uniform schema. The original
+//! structs stay as typed views; the registry is built *from* them, never
+//! replaces them.
+//!
+//! ## Schema
+//!
+//! | prefix | source | examples |
+//! |--------|--------|----------|
+//! | `traffic.*` | [`Metrics`] via [`QueryStats`] | `traffic.messages`, `traffic.bytes`, `traffic.route_hops` |
+//! | `query.*` | [`QueryStats`] | `query.probes`, `query.cache_hits`, `query.rounds` |
+//! | `sim.*` | `QueryStats::sim` | `sim.queue_us`, `sim.service_us`, `sim.retransmissions` |
+//! | `join.*` | AIMD fields of [`QueryStats`] | `join.window_shrinks`, gauge `join.window_peak` |
+//! | `cache.*` | [`BrokerCounters`] (broker lifetime) | `cache.hits`, `cache.messages_saved`, gauge `cache.hit_rate` |
+//! | `latency.*` | driver histograms | `latency.query_us`, `latency.simjoin_us` |
+//! | `run.*` | the workload driver | `run.queries`, gauge `run.throughput_qps` |
+//!
+//! `query.cache_*` (per-query sums) and `cache.*` (broker lifetime) are
+//! deliberately distinct names: they coincide on a fresh broker but diverge
+//! once a broker outlives a report window.
+//!
+//! [`Metrics`]: sqo_overlay::Metrics
+
+use crate::hist::LogHistogram;
+use serde::Serialize;
+use sqo_core::{BrokerCounters, QueryStats};
+use std::collections::BTreeMap;
+
+/// A named bag of counters, gauges and histograms.
+///
+/// Serializes (via the workspace `serde` stand-in) as three name-sorted
+/// JSON maps — deterministic for a deterministic run.
+///
+/// ```
+/// use sqo_obs::MetricsRegistry;
+///
+/// let mut m = MetricsRegistry::new();
+/// m.counter_add("traffic.messages", 42);
+/// m.counter_add("traffic.messages", 8);
+/// m.gauge_set("cache.hit_rate", 0.75);
+/// m.record("latency.query_us", 1_200);
+/// assert_eq!(m.counter("traffic.messages"), 50);
+/// assert_eq!(m.gauge("cache.hit_rate"), Some(0.75));
+/// assert_eq!(m.histogram("latency.query_us").unwrap().count(), 1);
+/// let json = m.to_json();
+/// assert!(json.contains("\"traffic.messages\":50"));
+/// ```
+#[derive(Debug, Default, Clone, Serialize)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, LogHistogram>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add to a monotone counter (created at 0 on first touch).
+    pub fn counter_add(&mut self, name: impl Into<String>, n: u64) {
+        *self.counters.entry(name.into()).or_insert(0) += n;
+    }
+
+    /// Current counter value (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Set a gauge to its latest observed value.
+    pub fn gauge_set(&mut self, name: impl Into<String>, value: f64) {
+        self.gauges.insert(name.into(), value);
+    }
+
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Record one sample into a named histogram (created empty on first
+    /// touch).
+    pub fn record(&mut self, name: impl Into<String>, value: u64) {
+        self.histograms.entry(name.into()).or_default().record(value);
+    }
+
+    /// Insert (or merge into) a named histogram wholesale.
+    pub fn histogram_merge(&mut self, name: impl Into<String>, h: &LogHistogram) {
+        self.histograms.entry(name.into()).or_default().merge(h);
+    }
+
+    pub fn histogram(&self, name: &str) -> Option<&LogHistogram> {
+        self.histograms.get(name)
+    }
+
+    /// Name-sorted counter iteration.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Name-sorted gauge iteration.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Name-sorted histogram iteration.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &LogHistogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Fold another registry into this one: counters add, gauges take the
+    /// other's value, histograms merge.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, &v) in &other.counters {
+            self.counter_add(k.clone(), v);
+        }
+        for (k, &v) in &other.gauges {
+            self.gauges.insert(k.clone(), v);
+        }
+        for (k, h) in &other.histograms {
+            self.histogram_merge(k.clone(), h);
+        }
+    }
+
+    /// Absorb a [`QueryStats`] (typically a workload total) under the
+    /// `traffic.*` / `query.*` / `sim.*` / `join.*` schema. The stats
+    /// struct itself is untouched — it remains the typed view.
+    pub fn absorb_query_stats(&mut self, s: &QueryStats) {
+        self.counter_add("traffic.messages", s.traffic.messages);
+        self.counter_add("traffic.bytes", s.traffic.bytes);
+        self.counter_add("traffic.route_hops", s.traffic.route_hops);
+        self.counter_add("traffic.forward_msgs", s.traffic.forward_msgs);
+        self.counter_add("traffic.result_msgs", s.traffic.result_msgs);
+        self.counter_add("traffic.result_bytes", s.traffic.result_bytes);
+        self.counter_add("traffic.failed_routes", s.traffic.failed_routes);
+        self.counter_add("traffic.local_items_scanned", s.traffic.local_items_scanned);
+        self.counter_add("query.probes", s.probes as u64);
+        self.counter_add("query.candidates", s.candidates as u64);
+        self.counter_add("query.edit_comparisons", s.edit_comparisons);
+        self.counter_add("query.matches", s.matches as u64);
+        self.counter_add("query.rounds", s.rounds as u64);
+        self.counter_add("query.cache_hits", s.cache_hits);
+        self.counter_add("query.cache_misses", s.cache_misses);
+        self.counter_add("query.probes_coalesced", s.probes_coalesced);
+        self.counter_add("join.window_shrinks", s.join_window_shrinks);
+        if s.join_window_peak > 0 {
+            let peak = self.gauge("join.window_peak").unwrap_or(0.0);
+            self.gauge_set("join.window_peak", peak.max(s.join_window_peak as f64));
+        }
+        if let Some(sim) = &s.sim {
+            self.counter_add("sim.net_us", sim.net_us);
+            self.counter_add("sim.queue_us", sim.queue_us);
+            self.counter_add("sim.service_us", sim.service_us);
+            self.counter_add("sim.timed_messages", sim.timed_messages);
+            self.counter_add("sim.retransmissions", sim.retransmissions);
+        }
+    }
+
+    /// Absorb broker-lifetime [`BrokerCounters`] under the `cache.*`
+    /// schema.
+    pub fn absorb_broker_counters(&mut self, c: &BrokerCounters) {
+        self.counter_add("cache.hits", c.cache_hits);
+        self.counter_add("cache.misses", c.cache_misses);
+        self.counter_add("cache.probes_coalesced", c.probes_coalesced);
+        self.counter_add("cache.channels_opened", c.channels_opened);
+        self.counter_add("cache.admission_rejects", c.admission_rejects);
+        self.counter_add("cache.messages_saved", c.messages_saved);
+        self.gauge_set("cache.hit_rate", c.hit_rate());
+    }
+
+    /// Compact JSON rendering (the schema the driver and bench emit).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.serialize_json(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorbing_stats_and_counters_builds_the_schema() {
+        let mut s = QueryStats::default();
+        s.traffic.messages = 12;
+        s.traffic.bytes = 480;
+        s.probes = 3;
+        s.cache_hits = 2;
+        s.join_window_peak = 8;
+        let c = BrokerCounters { cache_hits: 2, cache_misses: 2, ..Default::default() };
+        let mut m = MetricsRegistry::new();
+        m.absorb_query_stats(&s);
+        m.absorb_broker_counters(&c);
+        assert_eq!(m.counter("traffic.messages"), 12);
+        assert_eq!(m.counter("query.probes"), 3);
+        assert_eq!(m.counter("query.cache_hits"), 2);
+        assert_eq!(m.counter("cache.hits"), 2);
+        assert_eq!(m.gauge("cache.hit_rate"), Some(0.5));
+        assert_eq!(m.gauge("join.window_peak"), Some(8.0));
+    }
+
+    #[test]
+    fn merge_adds_counters_and_merges_histograms() {
+        let mut a = MetricsRegistry::new();
+        a.counter_add("x", 1);
+        a.record("h", 100);
+        let mut b = MetricsRegistry::new();
+        b.counter_add("x", 2);
+        b.record("h", 300);
+        b.gauge_set("g", 1.5);
+        a.merge(&b);
+        assert_eq!(a.counter("x"), 3);
+        assert_eq!(a.gauge("g"), Some(1.5));
+        assert_eq!(a.histogram("h").unwrap().count(), 2);
+        assert_eq!(a.histogram("h").unwrap().max(), 300);
+    }
+
+    #[test]
+    fn json_is_deterministic_and_name_sorted() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("b.second", 2);
+        m.counter_add("a.first", 1);
+        let json = m.to_json();
+        assert!(json.find("a.first").unwrap() < json.find("b.second").unwrap());
+        assert_eq!(json, m.clone().to_json());
+    }
+}

@@ -37,6 +37,17 @@ pub enum MsgKind {
     Result,
 }
 
+impl MsgKind {
+    /// Stable lower-case label, used as the trace-event name of the message.
+    pub fn label(self) -> &'static str {
+        match self {
+            MsgKind::Route => "route",
+            MsgKind::Forward => "forward",
+            MsgKind::Result => "result",
+        }
+    }
+}
+
 /// Simulated-latency profile of one query (or an aggregate of queries).
 ///
 /// All fields are microseconds of virtual time except the two counters.
@@ -148,6 +159,134 @@ pub trait EventSink {
         0
     }
 }
+
+/// Which timeline track a trace event renders on.
+///
+/// The exporters map tracks to Chrome `trace_event` threads: every peer is
+/// one row (so `busy_until` occupancy and queueing render as per-peer
+/// timelines), every in-flight query is one row (its operator/step spans and
+/// message instants), and run-level events (churn waves) share one control
+/// row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TraceTrack {
+    /// A peer's serial service queue.
+    Peer(PeerId),
+    /// One query, keyed by the network-issued trace id (see
+    /// [`Network::next_trace_query_id`](crate::network::Network::next_trace_query_id)).
+    Query(u64),
+    /// Run-level events not tied to a peer or query.
+    Control,
+}
+
+/// A structured argument attached to a [`TraceEvent`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceValue {
+    U64(u64),
+    Str(String),
+}
+
+impl From<u64> for TraceValue {
+    fn from(v: u64) -> Self {
+        TraceValue::U64(v)
+    }
+}
+
+impl From<usize> for TraceValue {
+    fn from(v: usize) -> Self {
+        TraceValue::U64(v as u64)
+    }
+}
+
+impl From<&str> for TraceValue {
+    fn from(v: &str) -> Self {
+        TraceValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for TraceValue {
+    fn from(v: String) -> Self {
+        TraceValue::Str(v)
+    }
+}
+
+/// One structured trace record stamped with virtual time.
+///
+/// `dur_us == Some(d)` is a completed span covering `[ts_us, ts_us + d]`;
+/// `None` is an instant. Events are emitted at *completion* time (spans are
+/// only known once their end is), so emission order is deterministic for a
+/// seeded run — the exporters rely on that for byte-identical output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Virtual-time start, microseconds.
+    pub ts_us: u64,
+    /// Span duration; `None` for instants.
+    pub dur_us: Option<u64>,
+    pub track: TraceTrack,
+    pub name: &'static str,
+    /// Coarse category: `"net"` (peer-queue occupancy), `"msg"` (per-message
+    /// instants), `"exec"` (charged `ExecStep` chunks), `"stage"` (plan
+    /// nodes), `"query"` (whole queries), `"counter"` (sampled values, e.g.
+    /// the AIMD join window), `"run"` (churn and other control events).
+    pub cat: &'static str,
+    pub args: Vec<(&'static str, TraceValue)>,
+}
+
+impl TraceEvent {
+    /// A span `[ts_us, ts_us + dur_us]`.
+    pub fn span(
+        ts_us: u64,
+        dur_us: u64,
+        track: TraceTrack,
+        name: &'static str,
+        cat: &'static str,
+    ) -> Self {
+        Self { ts_us, dur_us: Some(dur_us), track, name, cat, args: Vec::new() }
+    }
+
+    /// An instant at `ts_us`.
+    pub fn instant(ts_us: u64, track: TraceTrack, name: &'static str, cat: &'static str) -> Self {
+        Self { ts_us, dur_us: None, track, name, cat, args: Vec::new() }
+    }
+
+    /// A sampled counter value at `ts_us` (category `"counter"`; exporters
+    /// render these as Chrome `"C"` events).
+    pub fn counter(ts_us: u64, track: TraceTrack, name: &'static str, value: u64) -> Self {
+        Self {
+            ts_us,
+            dur_us: None,
+            track,
+            name,
+            cat: "counter",
+            args: vec![("value", TraceValue::U64(value))],
+        }
+    }
+
+    /// Append an argument (builder-style).
+    pub fn arg(mut self, key: &'static str, value: impl Into<TraceValue>) -> Self {
+        self.args.push((key, value.into()));
+        self
+    }
+}
+
+/// Receiver of structured [`TraceEvent`]s — the tracing seam threaded
+/// alongside [`EventSink`]. Where the event sink *prices* wire interactions
+/// (advancing virtual time), a trace sink *records* them: per-peer queue and
+/// service spans, per-query operator/step spans, message instants, counter
+/// samples. The canonical implementation is `sqo_obs::TraceCollector`.
+///
+/// Installed via
+/// [`Network::set_trace_sink`](crate::network::Network::set_trace_sink) as a
+/// shared handle ([`SharedTraceSink`]) so the network and the event sink can
+/// both emit into one stream. Tracing is zero-cost when no sink is
+/// installed: emission sites are a single `Option` check and never construct
+/// events, and no emission site mutates query-visible state.
+pub trait TraceSink {
+    fn record(&mut self, ev: TraceEvent);
+}
+
+/// Shared handle to a trace sink. The workspace is single-threaded, so a
+/// plain `Rc<RefCell<..>>` suffices.
+pub type SharedTraceSink = std::rc::Rc<std::cell::RefCell<dyn TraceSink>>;
 
 #[cfg(test)]
 mod tests {

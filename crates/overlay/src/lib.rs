@@ -32,7 +32,9 @@ pub mod peer;
 pub mod trie;
 
 pub use bootstrap::{bootstrap, BootstrapConfig, BootstrapOutcome};
-pub use clock::{EventSink, MsgKind, SimLatency};
+pub use clock::{
+    EventSink, MsgKind, SharedTraceSink, SimLatency, TraceEvent, TraceSink, TraceTrack, TraceValue,
+};
 pub use key::Key;
 pub use metrics::{Metrics, PeerLoad};
 pub use network::{Network, NetworkConfig, RouteError};

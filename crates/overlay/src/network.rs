@@ -11,7 +11,7 @@
 //! selection, peer assignment and initiator choice all draw from one seeded
 //! RNG.
 
-use crate::clock::{EventSink, MsgKind, SimLatency};
+use crate::clock::{EventSink, MsgKind, SharedTraceSink, SimLatency, TraceEvent, TraceTrack};
 use crate::key::Key;
 use crate::metrics::{Metrics, PeerLoad};
 use crate::peer::{Item, Peer, PeerId};
@@ -100,6 +100,17 @@ pub struct Network<T> {
     /// into it (see [`crate::clock`]). `None` keeps the network a pure
     /// message counter with zero behavior change.
     sink: Option<Box<dyn EventSink>>,
+    /// Optional structured-trace recorder, threaded alongside the event
+    /// sink (see [`crate::clock::TraceSink`]). Shared so the event sink can
+    /// hold a clone and emit per-peer occupancy spans into the same stream.
+    /// `None` keeps every emission site a single branch with zero behavior
+    /// change.
+    tracer: Option<SharedTraceSink>,
+    /// The query track currently attributed on message instants; set by the
+    /// executor around each charged step of a traced query.
+    trace_query: Option<u64>,
+    /// Monotone allocator backing [`Self::next_trace_query_id`].
+    next_trace_query: u64,
     /// Monotone invalidation counter: bumped by every event that can make
     /// remotely cached data stale — churn ([`Self::fail_peer`],
     /// [`Self::revive_peer`], [`Self::fail_random_fraction`]) *and* data
@@ -205,6 +216,9 @@ impl<T: Item> Network<T> {
             metrics: Metrics::default(),
             peer_load: vec![PeerLoad::default(); n_peers],
             sink: None,
+            tracer: None,
+            trace_query: None,
+            next_trace_query: 0,
             cache_epoch: 0,
             rng: StdRng::seed_from_u64(0), // replaced below, after cfg move
         };
@@ -385,6 +399,59 @@ impl<T: Item> Network<T> {
     }
 
     // ------------------------------------------------------------------
+    // Structured-trace hook (see crate::clock::TraceSink)
+    // ------------------------------------------------------------------
+
+    /// Install a trace sink; subsequent wire interactions of traced queries
+    /// emit structured events into it. Replaces any previous sink. Sinks
+    /// only *observe* — installing one never changes query results or
+    /// counters.
+    pub fn set_trace_sink(&mut self, tracer: SharedTraceSink) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Remove and return the installed trace sink, if any.
+    pub fn take_trace_sink(&mut self) -> Option<SharedTraceSink> {
+        self.tracer.take()
+    }
+
+    /// A clone of the installed trace-sink handle, if any.
+    pub fn trace_sink(&self) -> Option<SharedTraceSink> {
+        self.tracer.clone()
+    }
+
+    pub fn has_trace_sink(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// Allocate the next per-query trace id (the key of that query's
+    /// [`TraceTrack::Query`] track). Monotone from 1.
+    pub fn next_trace_query_id(&mut self) -> u64 {
+        self.next_trace_query += 1;
+        self.next_trace_query
+    }
+
+    /// Set (or clear) the query track attributed on subsequently charged
+    /// messages. The executor brackets each step of a traced query with
+    /// this.
+    pub fn set_trace_query(&mut self, query: Option<u64>) {
+        self.trace_query = query;
+    }
+
+    /// The query track currently attributed, if any.
+    pub fn trace_query(&self) -> Option<u64> {
+        self.trace_query
+    }
+
+    /// Emit a trace event, building it lazily — without a sink the closure
+    /// never runs, keeping tracing zero-cost when disabled.
+    pub fn trace_with(&self, f: impl FnOnce() -> TraceEvent) {
+        if let Some(t) = &self.tracer {
+            t.borrow_mut().record(f());
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Charge helpers: metrics + per-peer load + virtual time, together
     // ------------------------------------------------------------------
 
@@ -403,6 +470,20 @@ impl<T: Item> Network<T> {
         self.peer_load[to.index()].count_recv(bytes as u64);
         if let Some(s) = &mut self.sink {
             s.deliver(from, to, bytes, kind);
+        }
+        if self.tracer.is_some() {
+            if let Some(q) = self.trace_query {
+                // Stamp the instant at the message's completion time (the
+                // frontier the sink just advanced to); without an event sink
+                // there is no clock, so the instant sits at 0.
+                let ts = self.sink.as_ref().map(|s| s.now_us()).unwrap_or(0);
+                self.trace_with(|| {
+                    TraceEvent::instant(ts, TraceTrack::Query(q), kind.label(), "msg")
+                        .arg("from", from.index())
+                        .arg("to", to.index())
+                        .arg("bytes", bytes)
+                });
+            }
         }
     }
 

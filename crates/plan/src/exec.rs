@@ -22,6 +22,7 @@ use sqo_core::{
     SimilarityEngine, StepOutcome, TopNTask,
 };
 use sqo_overlay::peer::PeerId;
+use sqo_overlay::{TraceEvent, TraceTrack};
 use sqo_storage::posting::Object;
 use sqo_storage::triple::Value;
 
@@ -93,6 +94,25 @@ pub(crate) enum Stage {
     Limit(usize),
 }
 
+impl Stage {
+    /// Stable lower-case label of the stage (trace-span and observation
+    /// naming).
+    pub(crate) fn label(&self) -> &'static str {
+        match self {
+            Stage::Lookup(_) => "lookup",
+            Stage::Similar(_) => "similar",
+            Stage::Select(_) => "select",
+            Stage::TopNNumeric(_) => "topn_numeric",
+            Stage::TopNString(_) => "topn_string",
+            Stage::Multi(_) => "multi",
+            Stage::JoinScan(_) | Stage::JoinOver(_) => "sim_join",
+            Stage::TopN(_) => "top_n",
+            Stage::Filter(_) => "filter",
+            Stage::Limit(_) => "limit",
+        }
+    }
+}
+
 /// Flatten a resolved plan tree into its stage list, input first.
 pub(crate) fn compile(node: &PlanNode, out: &mut Vec<Stage>) {
     match node {
@@ -124,6 +144,87 @@ pub(crate) fn compile(node: &PlanNode, out: &mut Vec<Stage>) {
     }
 }
 
+/// Observed execution profile of **one plan stage**, recorded by
+/// [`PlanTask`] as the stage closes. Collected unconditionally (one
+/// snapshot copy per stage — charging is unaffected), so
+/// `explain_analyze` works with or without a trace sink installed.
+///
+/// Entries follow **stage order** (input first); the renderer maps them
+/// back onto the top-down plan tree.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NodeObs {
+    /// Stable stage label (`"similar"`, `"sim_join"`, `"filter"`, …).
+    pub label: &'static str,
+    /// Rows the stage handed to its consumer.
+    pub rows_out: usize,
+    /// Virtual time the stage began (0 without a sink).
+    pub start_us: u64,
+    /// Virtual time from stage start to its last charge (0 for free local
+    /// transforms and when no sink is installed).
+    pub elapsed_us: u64,
+    /// Overlay messages charged while this stage ran.
+    pub messages: u64,
+    /// Overlay bytes charged while this stage ran.
+    pub bytes: u64,
+    /// Index probes issued by this stage.
+    pub probes: usize,
+    /// Probe keys served from the posting cache.
+    pub cache_hits: u64,
+    /// Probe keys that went to the overlay.
+    pub cache_misses: u64,
+    /// Probe keys that rode a coalesced multi-key exchange.
+    pub probes_coalesced: u64,
+    /// Edit-distance candidate verifications.
+    pub edit_comparisons: u64,
+    /// Protocol rounds consumed.
+    pub rounds: usize,
+    /// Virtual time this stage's messages spent queued behind busy
+    /// receivers.
+    pub queue_us: u64,
+    /// Receiver CPU occupancy charged to this stage.
+    pub service_us: u64,
+    /// Adaptive join window trajectory (joins with an adaptive window
+    /// only): the window size after each AIMD adjustment.
+    pub window_trace: Option<Vec<usize>>,
+}
+
+/// Counter snapshot taken when a stage begins; the closing [`NodeObs`] is
+/// the delta against it.
+#[derive(Debug, Clone, Copy)]
+struct StageOpen {
+    start_us: u64,
+    messages: u64,
+    bytes: u64,
+    probes: usize,
+    cache_hits: u64,
+    cache_misses: u64,
+    probes_coalesced: u64,
+    edit_comparisons: u64,
+    rounds: usize,
+    queue_us: u64,
+    service_us: u64,
+}
+
+impl StageOpen {
+    fn of(stats: &QueryStats, at_us: u64) -> Self {
+        let (queue_us, service_us) =
+            stats.sim.map(|s| (s.queue_us, s.service_us)).unwrap_or((0, 0));
+        Self {
+            start_us: at_us,
+            messages: stats.traffic.messages,
+            bytes: stats.traffic.bytes,
+            probes: stats.probes,
+            cache_hits: stats.cache_hits,
+            cache_misses: stats.cache_misses,
+            probes_coalesced: stats.probes_coalesced,
+            edit_comparisons: stats.edit_comparisons,
+            rounds: stats.rounds,
+            queue_us,
+            service_us,
+        }
+    }
+}
+
 /// The in-flight physical task of one leaf stage.
 enum Active {
     Similar(Box<SimilarTask>),
@@ -145,6 +246,8 @@ pub struct PlanTask {
     from: PeerId,
     rows: Vec<PlanRow>,
     stats: QueryStats,
+    obs: Vec<NodeObs>,
+    open: Option<StageOpen>,
     done: bool,
 }
 
@@ -157,6 +260,8 @@ impl PlanTask {
             from,
             rows: Vec::new(),
             stats: QueryStats::default(),
+            obs: Vec::new(),
+            open: None,
             done: false,
         }
     }
@@ -164,6 +269,60 @@ impl PlanTask {
     /// The pipeline's output rows, once the task is done.
     pub fn take_rows(&mut self) -> Vec<PlanRow> {
         std::mem::take(&mut self.rows)
+    }
+
+    /// Per-stage observed profiles, in stage order (input first); complete
+    /// once the task is done. `Session::explain_analyze` maps these back
+    /// onto the rendered plan tree.
+    pub fn observations(&self) -> &[NodeObs] {
+        &self.obs
+    }
+
+    /// Close the stage at `self.idx`: record its [`NodeObs`] delta and —
+    /// when a trace sink is attributed to this query — emit the stage span.
+    fn close_stage(
+        &mut self,
+        engine: &SimilarityEngine,
+        end_us: u64,
+        window_trace: Option<Vec<usize>>,
+    ) {
+        let Some(open) = self.open.take() else { return };
+        let (queue_us, service_us) =
+            self.stats.sim.map(|s| (s.queue_us, s.service_us)).unwrap_or((0, 0));
+        let o = NodeObs {
+            label: self.stages[self.idx].label(),
+            rows_out: self.rows.len(),
+            start_us: open.start_us,
+            elapsed_us: end_us.saturating_sub(open.start_us),
+            messages: self.stats.traffic.messages - open.messages,
+            bytes: self.stats.traffic.bytes - open.bytes,
+            probes: self.stats.probes - open.probes,
+            cache_hits: self.stats.cache_hits - open.cache_hits,
+            cache_misses: self.stats.cache_misses - open.cache_misses,
+            probes_coalesced: self.stats.probes_coalesced - open.probes_coalesced,
+            edit_comparisons: self.stats.edit_comparisons - open.edit_comparisons,
+            rounds: self.stats.rounds - open.rounds,
+            queue_us: queue_us - open.queue_us,
+            service_us: service_us - open.service_us,
+            window_trace,
+        };
+        if engine.network().has_trace_sink() {
+            if let Some(q) = engine.network().trace_query() {
+                engine.network().trace_with(|| {
+                    TraceEvent::span(
+                        o.start_us,
+                        o.elapsed_us,
+                        TraceTrack::Query(q),
+                        o.label,
+                        "stage",
+                    )
+                    .arg("rows_out", o.rows_out)
+                    .arg("messages", o.messages)
+                    .arg("probes", o.probes)
+                });
+            }
+        }
+        self.obs.push(o);
     }
 
     /// Start the physical task of the leaf stage at `idx` (transform
@@ -333,6 +492,10 @@ impl ExecStep for PlanTask {
                     StepOutcome::Done(child_stats) => {
                         self.stats.absorb(&child_stats);
                         at = child_stats.sim.map(|s| s.end_us).unwrap_or(at);
+                        let window_trace = match &self.active {
+                            Some(Active::Join(t)) => t.window_trace().map(<[usize]>::to_vec),
+                            _ => None,
+                        };
                         let spec_attr = match &self.stages[self.idx] {
                             Stage::Select(s) => s.attr().map(str::to_string),
                             _ => None,
@@ -392,6 +555,7 @@ impl ExecStep for PlanTask {
                                 .collect(),
                             Active::TopNString(mut t) => rows_from_items(t.take_items()),
                         };
+                        self.close_stage(engine, at, window_trace);
                         self.idx += 1;
                         continue;
                     }
@@ -403,6 +567,7 @@ impl ExecStep for PlanTask {
                 Stage::Lookup(oid) => {
                     // One routed fetch, one charged chunk (mirrors the VQL
                     // executor's constant-subject path).
+                    self.open = Some(StageOpen::of(&self.stats, at));
                     let oid = oid.clone();
                     let from = self.from;
                     let mut acc = self.stats;
@@ -422,13 +587,15 @@ impl ExecStep for PlanTask {
                             }]
                         })
                         .unwrap_or_default();
-                    self.idx += 1;
                     at = end;
+                    self.close_stage(engine, at, None);
+                    self.idx += 1;
                     continue;
                 }
                 Stage::TopNNumeric(spec) => {
                     // Monolithic charged chunk (a bounded number of range
                     // rounds); matches/rounds come from the inner window.
+                    self.open = Some(StageOpen::of(&self.stats, at));
                     let spec = spec.clone();
                     let from = self.from;
                     let mut acc = self.stats;
@@ -438,28 +605,36 @@ impl ExecStep for PlanTask {
                     self.stats = acc;
                     self.stats.rounds += res.stats.rounds;
                     self.rows = rows_from_items(res.items);
-                    self.idx += 1;
                     at = end;
+                    self.close_stage(engine, at, None);
+                    self.idx += 1;
                     continue;
                 }
                 Stage::TopN(spec) => {
+                    self.open = Some(StageOpen::of(&self.stats, at));
                     rank_rows(&mut self.rows, spec.by);
                     self.rows.truncate(spec.n);
+                    self.close_stage(engine, at, None);
                     self.idx += 1;
                     continue;
                 }
                 Stage::Filter(pred) => {
+                    self.open = Some(StageOpen::of(&self.stats, at));
                     let pred = pred.clone();
                     self.rows.retain(|r| eval_predicate(&pred, r));
+                    self.close_stage(engine, at, None);
                     self.idx += 1;
                     continue;
                 }
                 Stage::Limit(n) => {
+                    self.open = Some(StageOpen::of(&self.stats, at));
                     self.rows.truncate(*n);
+                    self.close_stage(engine, at, None);
                     self.idx += 1;
                     continue;
                 }
                 _ => {
+                    self.open = Some(StageOpen::of(&self.stats, at));
                     self.active = self.start_stage(self.idx);
                     debug_assert!(self.active.is_some(), "leaf stages start a task");
                     continue;

@@ -3,9 +3,10 @@
 //! resolved parameters and the access-path/service annotations, followed
 //! by the planner's rewrite notes.
 
+use crate::exec::NodeObs;
 use crate::ir::{PlanNode, RowPredicate, SelectSpec};
 use crate::rewrite::PlannerEnv;
-use sqo_core::{MultiStrategy, Strategy};
+use sqo_core::{MultiStrategy, QueryStats, Strategy};
 
 fn strategy_label(s: Option<Strategy>) -> &'static str {
     match s {
@@ -147,6 +148,85 @@ pub(crate) fn render(root: &PlanNode, env: &PlannerEnv, notes: &[String]) -> Str
         node = n.input();
         depth += 1;
     }
+    if !notes.is_empty() {
+        out.push_str("\n--");
+        for note in notes {
+            out.push_str(&format!("\nnote: {note}"));
+        }
+    }
+    out
+}
+
+/// One observed-execution annotation line (under its node in
+/// `explain_analyze` output). Always shows rows/time/traffic/probes;
+/// optional counters appear only when nonzero, the adaptive-window
+/// trajectory only when the stage had one.
+fn obs_line(o: &NodeObs) -> String {
+    let mut s = format!(
+        "~ rows={} time={}us msgs={} bytes={} probes={}",
+        o.rows_out, o.elapsed_us, o.messages, o.bytes, o.probes
+    );
+    if o.cache_hits + o.cache_misses > 0 {
+        s.push_str(&format!(" cache_hits={}/{}", o.cache_hits, o.cache_hits + o.cache_misses));
+    }
+    if o.probes_coalesced > 0 {
+        s.push_str(&format!(" coalesced={}", o.probes_coalesced));
+    }
+    if o.edit_comparisons > 0 {
+        s.push_str(&format!(" cmp={}", o.edit_comparisons));
+    }
+    if o.rounds > 0 {
+        s.push_str(&format!(" rounds={}", o.rounds));
+    }
+    if o.queue_us + o.service_us > 0 {
+        s.push_str(&format!(" queue={}us service={}us", o.queue_us, o.service_us));
+    }
+    if let Some(w) = &o.window_trace {
+        let path: Vec<String> = w.iter().map(|x| x.to_string()).collect();
+        s.push_str(&format!(" window={}", path.join("->")));
+    }
+    s
+}
+
+/// `explain_analyze` rendering: the [`render`] tree with an observation
+/// line under every node, then an observed-total line, then the planner
+/// notes. Node at render depth `d` (root = 0) maps to
+/// `obs[obs.len() - 1 - d]` — compilation is input-first, rendering is
+/// top-down.
+pub(crate) fn render_analyze(
+    root: &PlanNode,
+    env: &PlannerEnv,
+    notes: &[String],
+    obs: &[NodeObs],
+    total: &QueryStats,
+) -> String {
+    let mut out = String::new();
+    let mut node = Some(root);
+    let mut depth = 0usize;
+    while let Some(n) = node {
+        if depth == 0 {
+            out.push_str(&node_line(n, env));
+        } else {
+            out.push_str(&format!(
+                "\n{}└─ {}",
+                "   ".repeat(depth.saturating_sub(1)),
+                node_line(n, env)
+            ));
+        }
+        if let Some(o) = obs.len().checked_sub(1 + depth).and_then(|i| obs.get(i)) {
+            out.push_str(&format!("\n{}{}", "   ".repeat(depth), obs_line(o)));
+        }
+        node = n.input();
+        depth += 1;
+    }
+    out.push_str(&format!(
+        "\n-- observed: rows={} msgs={} bytes={} probes={} time={}us",
+        total.matches,
+        total.traffic.messages,
+        total.traffic.bytes,
+        total.probes,
+        total.sim.map(|s| s.elapsed_us).unwrap_or(0)
+    ));
     if !notes.is_empty() {
         out.push_str("\n--");
         for note in notes {

@@ -24,6 +24,7 @@
 //! | build | [`Query`] | typed fluent builder → [`PlanNode`] tree |
 //! | plan  | [`Session::prepare`] | defaults + rewrites → [`PreparedQuery`] |
 //! | inspect | [`PreparedQuery::explain`] | deterministic plan rendering |
+//! | analyze | [`Session::explain_analyze`] | run once, re-render the tree with observed per-node counters |
 //! | run   | [`Session::run`] / [`PreparedQuery::task`] | sync, or as an [`sqo_core::ExecStep`] on an event queue |
 //!
 //! ```
@@ -60,7 +61,7 @@ pub mod session;
 
 pub use builder::Query;
 pub use cost::CostModel;
-pub use exec::{PlanResult, PlanRow, PlanTask};
+pub use exec::{NodeObs, PlanResult, PlanRow, PlanTask};
 pub use ir::{
     CmpOp, JoinSpec, MultiSpec, PlanError, PlanNode, RankBy, RowPredicate, SelectSpec, SimilarSpec,
     TopNNumericSpec, TopNSpec, TopNStringSpec,

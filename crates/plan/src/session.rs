@@ -82,6 +82,37 @@ impl<'e> Session<'e> {
     pub fn explain(&self, q: &Query) -> Result<String, PlanError> {
         Ok(self.prepare(q)?.explain())
     }
+
+    /// Prepare **and execute** the query, then render the [`explain`]
+    /// tree annotated with the observed per-node execution profile: rows
+    /// out, virtual time, messages/bytes, probes, cache hits, queue vs
+    /// service time, and the adaptive join window's AIMD trajectory.
+    ///
+    /// The query really runs (once), so charges land on the engine like
+    /// any other execution; with a trace sink installed the run also emits
+    /// per-stage spans. Use [`Self::explain_analyze_prepared`] to keep the
+    /// rows as well.
+    ///
+    /// [`explain`]: Self::explain
+    pub fn explain_analyze(&mut self, q: &Query) -> Result<String, PlanError> {
+        let prepared = self.prepare(q)?;
+        Ok(self.explain_analyze_prepared(&prepared).1)
+    }
+
+    /// Execute a prepared plan and return both the result and the
+    /// annotated rendering (see [`Self::explain_analyze`]).
+    pub fn explain_analyze_prepared(&mut self, prepared: &PreparedQuery) -> (PlanResult, String) {
+        let mut task = prepared.task();
+        let stats = self.engine.run_task(&mut task);
+        let rendered = crate::explain::render_analyze(
+            &prepared.root,
+            &prepared.env,
+            &prepared.notes,
+            task.observations(),
+            &stats,
+        );
+        (PlanResult { rows: task.take_rows(), stats }, rendered)
+    }
 }
 
 /// A resolved, validated plan: every inherited option filled in, rewrites

@@ -34,7 +34,8 @@ use sqo_core::{
     QueryStats, QueryTask, SimilarTask, SimilarityEngine, StepOutcome, Strategy, TopNTask,
 };
 use sqo_datasets::ZipfSampler;
-use sqo_overlay::{PeerId, SimLatency};
+use sqo_obs::{LogHistogram, MetricsRegistry};
+use sqo_overlay::{PeerId, SimLatency, TraceEvent, TraceTrack};
 use sqo_plan::{PlannerEnv, PreparedQuery};
 use sqo_storage::Value;
 use std::collections::BTreeMap;
@@ -207,6 +208,12 @@ impl From<BrokerCounters> for CacheReport {
 }
 
 /// Outcome of a driven workload.
+///
+/// The typed fields (`total`, `cache`, `per_operator`) remain the
+/// first-class views; [`DriverReport::metrics`] re-expresses the same run
+/// under the unified dotted-name schema (`traffic.*`, `cache.*`,
+/// `latency.*` — see [`MetricsRegistry`]) so every serializer emits one
+/// shape.
 #[derive(Debug, Clone, Serialize)]
 pub struct DriverReport {
     /// Per-operator-family latency summaries, sorted by operator name.
@@ -217,6 +224,10 @@ pub struct DriverReport {
     pub total: QueryStats,
     /// Hot-path service usage (hit rate, coalesced probes, messages saved).
     pub cache: CacheReport,
+    /// The run under the unified metric schema: counters/gauges folded
+    /// from `total` and `cache`, plus the overall and per-operator latency
+    /// histograms (`latency.query_us`, `latency.<op>_us`).
+    pub metrics: MetricsRegistry,
     pub queries_run: usize,
     /// Virtual time from first arrival to last completion.
     pub virtual_span_us: u64,
@@ -243,6 +254,9 @@ struct InFlight {
     label: &'static str,
     client: usize,
     arrival_us: u64,
+    /// Query trace track, allocated at arrival when a trace sink is
+    /// installed; the driver attributes each of this task's steps to it.
+    trace: Option<u64>,
 }
 
 /// Run the driven workload. Installs a fresh [`NetSim`] (replacing any
@@ -304,8 +318,11 @@ pub fn run_driver(
     // Finished slots are recycled so memory stays O(max in-flight), not
     // O(total queries).
     let mut free_slots: Vec<usize> = Vec::new();
-    let mut by_operator: BTreeMap<&'static str, (Vec<u64>, QueryStats)> = BTreeMap::new();
-    let mut all_latencies: Vec<u64> = Vec::new();
+    // Streaming histograms, not sorted sample vectors: memory is bounded
+    // by occupied buckets, which is what keeps very large peer-count
+    // sweeps (10⁵–10⁶ queries) flat.
+    let mut by_operator: BTreeMap<&'static str, (LogHistogram, QueryStats)> = BTreeMap::new();
+    let mut all_latencies = LogHistogram::new();
     let mut total = QueryStats::default();
     let mut queries_run = 0usize;
     let mut first_start = u64::MAX;
@@ -315,6 +332,11 @@ pub fn run_driver(
         match ev {
             Ev::Churn { idx } => {
                 engine.network_mut().fail_random_fraction(cfg.churn[idx].fail_fraction);
+                let fail_permille = (cfg.churn[idx].fail_fraction * 1000.0) as u64;
+                engine.network().trace_with(|| {
+                    TraceEvent::instant(t, TraceTrack::Control, "churn", "run")
+                        .arg("fail_permille", fail_permille)
+                });
             }
             Ev::Arrive { client } => {
                 let kind = cfg.mix[(issued[client] + client) % cfg.mix.len()].clone();
@@ -331,11 +353,16 @@ pub fn run_driver(
                     Some(per_client) => per_client[client],
                     None => engine.random_peer(),
                 };
+                let trace = engine
+                    .network()
+                    .has_trace_sink()
+                    .then(|| engine.network_mut().next_trace_query_id());
                 let flight = InFlight {
                     task: build_task(&planner_env, attr, &s, from, &kind, cfg.strategy, cfg.api),
                     label: kind.label(),
                     client,
                     arrival_us: t,
+                    trace,
                 };
                 let slot = match free_slots.pop() {
                     Some(slot) => {
@@ -361,7 +388,17 @@ pub fn run_driver(
             }
             Ev::Step { slot } => {
                 let flight = flights[slot].as_mut().expect("step for a finished task");
-                match flight.task.step(engine, t) {
+                // Attribute this step's charges (message instants, step
+                // spans) to the flight's query track.
+                let trace = flight.trace;
+                if trace.is_some() {
+                    engine.network_mut().set_trace_query(trace);
+                }
+                let outcome = flight.task.step(engine, t);
+                if trace.is_some() {
+                    engine.network_mut().set_trace_query(None);
+                }
+                match outcome {
                     StepOutcome::Yield { at_us } => q.push(at_us, Ev::Step { slot }),
                     StepOutcome::Done(stats) => {
                         let flight = flights[slot].take().expect("checked above");
@@ -375,10 +412,24 @@ pub fn run_driver(
                             end_us: flight.arrival_us,
                             ..Default::default()
                         });
+                        if let Some(qid) = trace {
+                            let (client, label) = (flight.client, flight.label);
+                            engine.network().trace_with(|| {
+                                TraceEvent::span(
+                                    sim.start_us,
+                                    sim.elapsed_us,
+                                    TraceTrack::Query(qid),
+                                    label,
+                                    "query",
+                                )
+                                .arg("client", client)
+                                .arg("messages", stats.traffic.messages)
+                            });
+                        }
                         let (lats, op_stats) = by_operator.entry(flight.label).or_default();
-                        lats.push(sim.elapsed_us);
+                        lats.record(sim.elapsed_us);
                         op_stats.absorb(&stats);
-                        all_latencies.push(sim.elapsed_us);
+                        all_latencies.record(sim.elapsed_us);
                         total.absorb(&stats);
                         queries_run += 1;
                         first_start = first_start.min(sim.start_us);
@@ -401,11 +452,21 @@ pub fn run_driver(
         }
     }
 
+    // The unified metric schema: counters and gauges folded from the run
+    // totals, the latency distributions as histograms. The typed report
+    // fields below stay as views over the same numbers.
+    let mut metrics = MetricsRegistry::new();
+    metrics.absorb_query_stats(&total);
+    metrics.histogram_merge("latency.query_us", &all_latencies);
+    for (op, (lats, _)) in &by_operator {
+        metrics.histogram_merge(format!("latency.{op}_us"), lats);
+    }
+
     let per_operator: Vec<OperatorLatency> = by_operator
         .into_iter()
         .map(|(op, (lats, op_stats))| OperatorLatency {
             operator: op.to_string(),
-            summary: LatencySummary::of(&lats),
+            summary: LatencySummary::of_histogram(&lats),
             messages: op_stats.traffic.messages,
             // Queue time is attributed per operator from its own queries'
             // absorbed stats — not the run-wide total duplicated into
@@ -423,14 +484,20 @@ pub fn run_driver(
     } else {
         0.0
     };
-    let overall = LatencySummary::of(&all_latencies);
+    let overall = LatencySummary::of_histogram(&all_latencies);
     let cache = engine.broker_counters().map(CacheReport::from).unwrap_or_default();
+    if let Some(c) = engine.broker_counters() {
+        metrics.absorb_broker_counters(&c);
+    }
+    metrics.counter_add("run.queries", queries_run as u64);
+    metrics.gauge_set("run.throughput_qps", throughput_qps);
 
     DriverReport {
         per_operator,
         overall,
         total,
         cache,
+        metrics,
         queries_run,
         virtual_span_us,
         throughput_qps,

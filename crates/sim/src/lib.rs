@@ -79,4 +79,5 @@ pub use events::EventQueue;
 pub use latency::{LatencyModel, LossModel};
 pub use netsim::{install, NetSim, SimConfig};
 pub use report::{percentile_us, LatencySummary, OperatorLatency};
+pub use sqo_obs::{LogHistogram, MetricsRegistry, TraceCollector};
 pub use sqo_overlay::SimLatency;

@@ -26,7 +26,7 @@
 use crate::latency::{LatencyModel, LossModel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sqo_overlay::clock::{EventSink, MsgKind, SimLatency};
+use sqo_overlay::clock::{EventSink, MsgKind, SharedTraceSink, SimLatency, TraceEvent, TraceTrack};
 use sqo_overlay::PeerId;
 
 /// Everything configurable about the virtual-time model.
@@ -81,6 +81,10 @@ pub struct NetSim {
     windows: Vec<(SimLatency, usize)>,
     /// Lifetime totals across all top-level queries (never reset).
     totals: SimLatency,
+    /// Optional structured-trace recorder (a clone of the network's):
+    /// per-peer `wait`/service/`scan` spans render each peer's serial
+    /// queue as a timeline. `None` costs one branch per event.
+    tracer: Option<SharedTraceSink>,
 }
 
 impl NetSim {
@@ -95,7 +99,15 @@ impl NetSim {
             forks: Vec::new(),
             windows: Vec::new(),
             totals: SimLatency::default(),
+            tracer: None,
         }
+    }
+
+    /// Attach a trace sink; subsequent deliveries and local scans emit
+    /// per-peer occupancy spans into it. [`install`] wires the network's
+    /// sink automatically.
+    pub fn set_trace_sink(&mut self, tracer: SharedTraceSink) {
+        self.tracer = Some(tracer);
     }
 
     /// Monotone high-water virtual time.
@@ -161,6 +173,22 @@ impl EventSink for NetSim {
         self.frontier_us = done;
         self.clock_us = self.clock_us.max(done);
 
+        if let Some(t) = &self.tracer {
+            let mut tr = t.borrow_mut();
+            if start > arrive {
+                // Queueing behind the receiver's serial service queue.
+                tr.record(
+                    TraceEvent::span(arrive, start - arrive, TraceTrack::Peer(to), "wait", "net")
+                        .arg("from", from.index()),
+                );
+            }
+            tr.record(
+                TraceEvent::span(start, service, TraceTrack::Peer(to), kind.label(), "net")
+                    .arg("from", from.index())
+                    .arg("bytes", bytes),
+            );
+        }
+
         if let Some((cur, _)) = self.windows.last_mut() {
             cur.net_us += loss_us + link;
             cur.queue_us += start - arrive;
@@ -183,6 +211,12 @@ impl EventSink for NetSim {
         }
         let start = self.frontier_us.max(self.busy_until_us[peer.index()]);
         let done = start + cost;
+        if let Some(t) = &self.tracer {
+            t.borrow_mut().record(
+                TraceEvent::span(start, cost, TraceTrack::Peer(peer), "scan", "net")
+                    .arg("items", items),
+            );
+        }
         if let Some((cur, _)) = self.windows.last_mut() {
             cur.queue_us += start - self.frontier_us;
             cur.service_us += cost;
@@ -229,7 +263,11 @@ impl EventSink for NetSim {
 /// `QueryStats::sim`.
 pub fn install(engine: &mut sqo_core::SimilarityEngine, cfg: SimConfig) {
     let n = engine.network().peer_count();
-    engine.network_mut().set_event_sink(Box::new(NetSim::new(cfg, n)));
+    let mut sim = NetSim::new(cfg, n);
+    if let Some(t) = engine.network().trace_sink() {
+        sim.set_trace_sink(t);
+    }
+    engine.network_mut().set_event_sink(Box::new(sim));
 }
 
 #[cfg(test)]

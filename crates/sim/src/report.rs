@@ -1,6 +1,7 @@
 //! Latency summaries: percentiles, per-operator breakdowns, JSON-ready.
 
 use serde::Serialize;
+use sqo_obs::LogHistogram;
 
 /// Nearest-rank percentile of a **sorted** slice of microsecond latencies.
 /// `p` in `(0, 100]`; an empty slice yields 0.
@@ -39,6 +40,27 @@ impl LatencySummary {
             p95_us: percentile_us(&xs, 95.0),
             p99_us: percentile_us(&xs, 99.0),
             max_us: *xs.last().unwrap(),
+        }
+    }
+
+    /// Summarize a streaming [`LogHistogram`] — what the driver uses, so
+    /// memory stays bounded by occupied buckets rather than sample count.
+    ///
+    /// The histogram's nearest-rank quantiles match [`Self::of`] exactly
+    /// for small samples (rank 1 / rank `count` are the tracked min/max —
+    /// the small-sample bias fix) and are within one bucket width
+    /// (relative `2^-11`) elsewhere.
+    pub fn of_histogram(h: &LogHistogram) -> Self {
+        if h.is_empty() {
+            return Self::default();
+        }
+        Self {
+            count: h.count() as usize,
+            mean_us: h.mean(),
+            p50_us: h.quantile(50.0),
+            p95_us: h.quantile(95.0),
+            p99_us: h.quantile(99.0),
+            max_us: h.max(),
         }
     }
 }
@@ -83,6 +105,43 @@ mod tests {
         assert_eq!(percentile_us(&xs, 100.0), 100);
         assert_eq!(percentile_us(&[7], 99.0), 7);
         assert_eq!(percentile_us(&[], 99.0), 0);
+    }
+
+    #[test]
+    fn histogram_summary_matches_exact_sort_for_small_samples() {
+        // The small-sample bias pin: for n = 1..=5 the histogram-backed
+        // summary equals the sorted-vec nearest-rank summary field for
+        // field.
+        let samples: &[&[u64]] =
+            &[&[7], &[1200, 90], &[3, 3, 3], &[10, 2000, 5, 40], &[1, 2, 3, 1000, 100]];
+        for xs in samples {
+            let mut h = LogHistogram::new();
+            for &v in *xs {
+                h.record(v);
+            }
+            assert_eq!(LatencySummary::of_histogram(&h), LatencySummary::of(xs), "{xs:?}");
+        }
+    }
+
+    #[test]
+    fn histogram_summary_quantile_error_is_bounded() {
+        let xs: Vec<u64> = (0..2000).map(|i| 50_000 + i * 331).collect();
+        let mut h = LogHistogram::new();
+        for &v in &xs {
+            h.record(v);
+        }
+        let exact = LatencySummary::of(&xs);
+        let approx = LatencySummary::of_histogram(&h);
+        let bound = LogHistogram::relative_error_bound();
+        for (a, e) in [
+            (approx.p50_us, exact.p50_us),
+            (approx.p95_us, exact.p95_us),
+            (approx.p99_us, exact.p99_us),
+        ] {
+            assert!((a.abs_diff(e) as f64) <= (e as f64) * bound + 1.0, "approx={a} exact={e}");
+        }
+        assert_eq!(approx.max_us, exact.max_us, "max is exact");
+        assert_eq!(approx.mean_us, exact.mean_us, "mean sums exactly");
     }
 
     #[test]

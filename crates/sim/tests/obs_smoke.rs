@@ -1,0 +1,123 @@
+//! Observability acceptance: trace exports are deterministic for seeded
+//! runs, valid JSON, carry the per-peer / per-query track structure — and
+//! tracing is **zero-cost for results**: the driver report of a traced run
+//! is byte-identical to the untraced one.
+
+use sqo_core::{BrokerConfig, EngineBuilder, SimilarityEngine};
+use sqo_datasets::{bible_words, string_rows};
+use sqo_obs::{validate_json, TraceCollector};
+use sqo_sim::{
+    run_driver, Arrival, DriverConfig, DriverReport, LatencyModel, QueryKind, SimConfig,
+};
+
+fn engine(words: &[String]) -> SimilarityEngine {
+    let rows = string_rows("word", words, "w");
+    EngineBuilder::new().peers(32).q(2).seed(11).build_with_rows(&rows)
+}
+
+fn cfg() -> DriverConfig {
+    DriverConfig {
+        clients: 3,
+        queries_per_client: 4,
+        arrival: Arrival::Poisson { mean_interarrival_us: 4_000 },
+        mix: vec![
+            QueryKind::Similar { d: 1 },
+            QueryKind::SimJoin { d: 1, left_limit: Some(4), window: sqo_core::JoinWindow::auto() },
+            QueryKind::TopN { n: 3, d_max: 2 },
+        ],
+        sim: SimConfig {
+            latency: LatencyModel::Uniform { min_us: 300, max_us: 2_500 },
+            ..SimConfig::default()
+        },
+        cache: BrokerConfig::enabled(),
+        seed: 41,
+        ..DriverConfig::default()
+    }
+}
+
+/// One traced run: the report plus both export renderings.
+fn traced_run(words: &[String]) -> (DriverReport, String, String) {
+    let mut engine = engine(words);
+    let collector = TraceCollector::shared();
+    engine.network_mut().set_trace_sink(TraceCollector::as_sink(&collector));
+    let report = run_driver(&mut engine, "word", words, &cfg());
+    let c = collector.borrow();
+    (report, c.to_jsonl(), c.to_chrome_trace())
+}
+
+#[test]
+fn trace_exports_are_deterministic_and_valid() {
+    let words = bible_words(250, 5);
+    let (_, jsonl_a, chrome_a) = traced_run(&words);
+    let (_, jsonl_b, chrome_b) = traced_run(&words);
+    assert_eq!(jsonl_a, jsonl_b, "JSONL export must be byte-identical across seeded runs");
+    assert_eq!(chrome_a, chrome_b, "Chrome export must be byte-identical across seeded runs");
+
+    assert!(!jsonl_a.is_empty());
+    for line in jsonl_a.lines() {
+        validate_json(line).unwrap_or_else(|e| panic!("invalid JSONL line {line}: {e}"));
+    }
+    validate_json(&chrome_a).expect("Chrome trace_event export must be valid JSON");
+
+    // Track structure: per-peer occupancy tracks and per-query spans.
+    assert!(chrome_a.contains("\"thread_name\""), "thread metadata present");
+    assert!(chrome_a.contains("\"name\":\"peer "), "per-peer tracks present");
+    assert!(chrome_a.contains("\"name\":\"query "), "per-query tracks present");
+    assert!(jsonl_a.contains("\"cat\":\"query\""), "per-query spans present");
+    assert!(jsonl_a.contains("\"cat\":\"net\""), "per-peer service spans present");
+    assert!(jsonl_a.contains("\"cat\":\"exec\""), "charged-step spans present");
+}
+
+#[test]
+fn tracing_leaves_the_driver_report_byte_identical() {
+    let words = bible_words(250, 5);
+    let (traced, _, _) = traced_run(&words);
+    let mut plain_engine = engine(&words);
+    let plain = run_driver(&mut plain_engine, "word", &words, &cfg());
+    assert_eq!(
+        serde_json::to_string(&traced).unwrap(),
+        serde_json::to_string(&plain).unwrap(),
+        "a trace sink must not perturb results, stats, or metrics"
+    );
+}
+
+#[test]
+fn registry_reflects_the_workload() {
+    let words = bible_words(250, 5);
+    let mut e = engine(&words);
+    let report = run_driver(&mut e, "word", &words, &cfg());
+    let m = &report.metrics;
+    assert_eq!(m.counter("run.queries") as usize, report.queries_run);
+    assert_eq!(m.counter("traffic.messages"), report.total.traffic.messages);
+    let h = m.histogram("latency.query_us").expect("query latency histogram");
+    assert_eq!(h.count() as usize, report.queries_run);
+    assert_eq!(
+        m.gauge("run.throughput_qps"),
+        Some(report.throughput_qps),
+        "gauges mirror the report fields"
+    );
+    // Cache-on workload: the broker's lifetime counters land under cache.*.
+    assert!(m.counter("cache.hits") + m.counter("cache.misses") > 0);
+    // Per-operator latency histograms exist for every mixed-in operator.
+    for op in &report.per_operator {
+        let name = format!("latency.{}_us", op.operator);
+        let oh = m.histogram(&name).unwrap_or_else(|| panic!("missing {name}"));
+        assert_eq!(oh.count() as usize, op.summary.count);
+    }
+    // The registry's JSON rendering is valid JSON.
+    sqo_obs::validate_json(&m.to_json()).expect("registry JSON");
+}
+
+#[test]
+fn flame_view_renders_per_query() {
+    let words = bible_words(200, 5);
+    let mut e = engine(&words);
+    let collector = TraceCollector::shared();
+    e.network_mut().set_trace_sink(TraceCollector::as_sink(&collector));
+    let _ = run_driver(&mut e, "word", &words, &cfg());
+    let c = collector.borrow();
+    let qids = c.query_ids();
+    assert!(!qids.is_empty(), "driver attributes trace queries");
+    let flame = c.flame(qids[0]);
+    assert!(flame.contains("query"), "flame view roots at the query span:\n{flame}");
+}

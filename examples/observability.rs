@@ -1,0 +1,84 @@
+//! Observability end-to-end: trace a driven workload in virtual time,
+//! export the trace (JSONL + Chrome `trace_event` JSON loadable in
+//! Perfetto / `chrome://tracing`), print one query's flame view, dump the
+//! unified metrics registry, and run `explain_analyze()` on a pipeline.
+//!
+//! ```sh
+//! cargo run --release --example observability
+//! ```
+//!
+//! Writes `trace.json` and `trace.jsonl` into the current directory.
+
+use sqo::core::EngineBuilder;
+use sqo::datasets::{bible_words, string_rows};
+use sqo::obs::TraceCollector;
+use sqo::overlay::peer::PeerId;
+use sqo::plan::{Query, Session};
+use sqo::sim::{run_driver, Arrival, DriverConfig, LatencyModel, SimConfig};
+use sqo::storage::Value;
+
+fn main() {
+    let words = bible_words(600, 9);
+    let rows = string_rows("word", &words, "w");
+    let mut engine = EngineBuilder::new().peers(64).q(2).seed(1).build_with_rows(&rows);
+
+    // 1. Attach a trace sink, then drive a concurrent workload: every
+    //    message, charged step, per-peer queue wait, and query span lands
+    //    in the collector stamped with virtual-time microseconds.
+    let collector = TraceCollector::shared();
+    engine.network_mut().set_trace_sink(TraceCollector::as_sink(&collector));
+    let cfg = DriverConfig {
+        clients: 4,
+        queries_per_client: 4,
+        arrival: Arrival::Poisson { mean_interarrival_us: 4_000 },
+        sim: SimConfig {
+            latency: LatencyModel::Uniform { min_us: 300, max_us: 3_000 },
+            ..SimConfig::default()
+        },
+        ..DriverConfig::default()
+    };
+    let report = run_driver(&mut engine, "word", &words, &cfg);
+
+    let c = collector.borrow();
+    std::fs::write("trace.json", c.to_chrome_trace()).expect("write trace.json");
+    std::fs::write("trace.jsonl", c.to_jsonl()).expect("write trace.jsonl");
+    println!(
+        "traced {} events across {} queries → trace.json (open in Perfetto), trace.jsonl",
+        c.len(),
+        c.query_ids().len()
+    );
+
+    // 2. A per-query flame view on the virtual-time axis.
+    if let Some(&q) = c.query_ids().first() {
+        println!("\n{}", c.flame(q));
+    }
+    drop(c);
+
+    // 3. The unified metrics registry the driver merged over the run.
+    println!("metrics registry:");
+    for (name, v) in report.metrics.counters() {
+        println!("  {name} = {v}");
+    }
+    if let Some(h) = report.metrics.histogram("latency.query_us") {
+        println!(
+            "  latency.query_us: n={} p50={}us p99={}us max={}us",
+            h.count(),
+            h.quantile(50.0),
+            h.quantile(99.0),
+            h.max()
+        );
+    }
+
+    // 4. explain_analyze: run a pipeline once and re-render its plan with
+    //    the observed per-node counters.
+    let mut engine = EngineBuilder::new().peers(64).q(2).seed(1).build_with_rows(&rows);
+    sqo::sim::install(&mut engine, SimConfig::default());
+    let mut session = Session::new(&mut engine, PeerId(0));
+    let q = Query::similar(&words[0], Some("word"), 1)
+        .filter_value("word", sqo::plan::CmpOp::Ne, Value::from(words[0].as_str()))
+        .top_n(5);
+    match session.explain_analyze(&q) {
+        Ok(rendered) => println!("\nexplain_analyze:\n{rendered}"),
+        Err(e) => println!("\nplan error: {e:?}"),
+    }
+}

@@ -20,6 +20,9 @@
 //! * [`vql`] — the Vertical Query Language: parser, planner, executor
 //!   (lowered onto the shared plan IR),
 //! * [`datasets`] — synthetic datasets and the paper's evaluation workload,
+//! * [`obs`] — observability: virtual-time tracing (JSONL + Chrome
+//!   `trace_event` exports), log-bucketed latency histograms, and the
+//!   unified metrics registry,
 //! * [`sim`] — the discrete-event network simulator: virtual time, latency
 //!   models, loss/retry, and concurrent-query workload driving with
 //!   per-operator latency percentiles.
@@ -44,6 +47,7 @@
 pub use sqo_cache as cache;
 pub use sqo_core as core;
 pub use sqo_datasets as datasets;
+pub use sqo_obs as obs;
 pub use sqo_overlay as overlay;
 pub use sqo_plan as plan;
 pub use sqo_sim as sim;

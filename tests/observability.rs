@@ -1,0 +1,133 @@
+//! Observability acceptance: `explain_analyze()` renders the plan tree
+//! with observed per-node counters (pinned by a golden snapshot on a
+//! constant-latency simulation), and a traced driver run exports valid
+//! Chrome `trace_event` JSON with per-peer tracks and per-query spans.
+
+use sqo::core::{EngineBuilder, SimilarityEngine};
+use sqo::obs::{validate_json, TraceCollector};
+use sqo::overlay::peer::PeerId;
+use sqo::plan::{Query, Session};
+use sqo::sim::{install, run_driver, Arrival, DriverConfig, LatencyModel, QueryKind, SimConfig};
+use sqo::storage::{Row, Value};
+
+fn market_rows() -> Vec<Row> {
+    let cars: &[(&str, i64, &str)] = &[
+        ("car:1", 30_000, "mueller"),
+        ("car:2", 70_000, "mueller"),
+        ("car:3", 45_000, "schmidt"),
+        ("car:4", 20_000, "wagner"),
+        ("car:5", 48_000, "becker"),
+    ];
+    let dealers: &[(&str, &str)] =
+        &[("dlr:1", "mueler"), ("dlr:2", "schmidt"), ("dlr:3", "wagners"), ("dlr:4", "unrelated")];
+    let mut rows: Vec<Row> = cars
+        .iter()
+        .map(|(oid, price, dealer)| {
+            Row::new(
+                *oid,
+                [
+                    ("price".to_string(), Value::from(*price)),
+                    ("dealer".to_string(), Value::from(*dealer)),
+                ],
+            )
+        })
+        .collect();
+    rows.extend(
+        dealers
+            .iter()
+            .map(|(oid, name)| Row::new(*oid, [("name".to_string(), Value::from(*name))])),
+    );
+    rows
+}
+
+fn market_engine() -> SimilarityEngine {
+    EngineBuilder::new().peers(16).q(2).seed(5).build_with_rows(&market_rows())
+}
+
+#[test]
+fn explain_analyze_annotates_every_plan_node() {
+    let mut engine = market_engine();
+    install(
+        &mut engine,
+        SimConfig { latency: LatencyModel::Constant { us: 1_000 }, ..SimConfig::default() },
+    );
+    let from = PeerId(0);
+    let mut session = Session::new(&mut engine, from);
+    let q = Query::select_range("price", Value::Int(0), Value::Int(50_000))
+        .sim_join("dealer", Some("name"), 1)
+        .top_n(3);
+    let rendered = session.explain_analyze(&q).expect("plans");
+    // Every node carries an observation line, and the observed totals
+    // follow the tree.
+    let obs_lines = rendered.lines().filter(|l| l.trim_start().starts_with("~ rows=")).count();
+    assert_eq!(obs_lines, 3, "one observation per plan node:\n{rendered}");
+    assert!(rendered.contains("\n-- observed:"), "{rendered}");
+    println!("{rendered}");
+}
+
+#[test]
+fn explain_analyze_golden_snapshot() {
+    let mut engine = market_engine();
+    install(
+        &mut engine,
+        SimConfig { latency: LatencyModel::Constant { us: 1_000 }, ..SimConfig::default() },
+    );
+    let from = PeerId(0);
+    let mut session = Session::new(&mut engine, from);
+    let q = Query::select_range("price", Value::Int(0), Value::Int(50_000))
+        .sim_join("dealer", Some("name"), 1)
+        .top_n(3);
+    let rendered = session.explain_analyze(&q).expect("plans");
+    let expected = "TopN n=3 by=score [local rank + truncate]
+~ rows=3 time=0us msgs=0 bytes=0 probes=0
+└─ SimJoin ln=dealer rn=name d=1 window=1 left_limit=∞ strategy=qgrams [left from input rows, per-left Similar]
+   ~ rows=3 time=23140us msgs=22 bytes=1596 probes=22 cmp=3 queue=0us service=1140us
+   └─ SelectRange attr=price lo=0 hi=50000 [order-preserving shower scan]
+      ~ rows=4 time=16us msgs=0 bytes=0 probes=0 queue=0us service=16us
+-- observed: rows=3 msgs=22 bytes=1596 probes=22 time=23156us";
+    assert_eq!(rendered, expected);
+}
+
+#[test]
+fn traced_driver_run_exports_loadable_chrome_trace() {
+    let words: Vec<String> =
+        ["mueller", "mueler", "schmidt", "schmitt", "wagner", "wagners", "becker", "beckers"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    let rows: Vec<Row> = words
+        .iter()
+        .enumerate()
+        .map(|(i, w)| Row::new(format!("w:{i}"), [("word".to_string(), Value::from(w.as_str()))]))
+        .collect();
+    let mut engine = EngineBuilder::new().peers(16).q(2).seed(9).build_with_rows(&rows);
+    let collector = TraceCollector::shared();
+    engine.network_mut().set_trace_sink(TraceCollector::as_sink(&collector));
+    let cfg = DriverConfig {
+        clients: 2,
+        queries_per_client: 3,
+        arrival: Arrival::Poisson { mean_interarrival_us: 3_000 },
+        mix: vec![QueryKind::Similar { d: 1 }, QueryKind::TopN { n: 2, d_max: 2 }],
+        sim: SimConfig {
+            latency: LatencyModel::Uniform { min_us: 200, max_us: 1_500 },
+            ..SimConfig::default()
+        },
+        seed: 3,
+        ..DriverConfig::default()
+    };
+    let report = run_driver(&mut engine, "word", &words, &cfg);
+    assert_eq!(report.queries_run, 6);
+
+    let c = collector.borrow();
+    let chrome = c.to_chrome_trace();
+    validate_json(&chrome).expect("Chrome trace_event JSON must be valid");
+    assert!(chrome.contains("\"name\":\"peer "), "per-peer tracks");
+    assert!(chrome.contains("\"name\":\"query "), "per-query tracks");
+    assert!(chrome.contains("\"ph\":\"X\""), "complete spans");
+    // The per-query flame view renders for every attributed query.
+    for q in c.query_ids() {
+        let flame = c.flame(q);
+        assert!(flame.starts_with(&format!("flame: query {q}")), "{flame}");
+        assert!(flame.lines().count() > 1, "flame has spans for query {q}:\n{flame}");
+    }
+}
