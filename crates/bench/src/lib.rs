@@ -14,6 +14,7 @@ pub mod ablation;
 pub mod figure1;
 pub mod latency;
 pub mod routing;
+pub mod simscale;
 pub mod storage_overhead;
 
 pub use figure1::{run_figure1, Dataset, Figure1Config, SeriesPoint};

@@ -6,7 +6,9 @@ use crate::lru::LruCache;
 use serde::Serialize;
 use sqo_overlay::key::Key;
 use sqo_overlay::peer::PeerId;
+use sqo_overlay::PostingList;
 use sqo_storage::posting::Posting;
+use std::sync::Arc;
 
 /// Everything configurable about the hot-path services. Both services
 /// default to **off** — the engine then behaves exactly as without a
@@ -106,7 +108,7 @@ impl BrokerCounters {
 /// per-partition channel pool. Pure bookkeeping — see the crate docs.
 pub struct CacheBatchBroker {
     cfg: BrokerConfig,
-    cache: LruCache<(PeerId, Key), Vec<Posting>>,
+    cache: LruCache<(PeerId, Key), PostingList<Posting>>,
     channels: ChannelPool,
     counters: BrokerCounters,
 }
@@ -145,19 +147,21 @@ impl CacheBatchBroker {
         self.cfg.batch
     }
 
-    /// Cache lookup for `from`'s copy of `key`'s posting list.
+    /// Cache lookup for `from`'s copy of `key`'s posting list. Hits hand
+    /// back a shared handle onto the cached allocation (`Arc` clone) —
+    /// no posting is copied on the cache fast path.
     pub fn cache_get(
         &mut self,
         from: PeerId,
         key: &Key,
         now_us: u64,
         epoch: u64,
-    ) -> Option<Vec<Posting>> {
+    ) -> Option<PostingList<Posting>> {
         debug_assert!(self.cfg.cache);
         match self.cache.get(&(from, key.clone()), now_us, epoch) {
             Some(list) => {
                 self.counters.cache_hits += 1;
-                Some(list.clone())
+                Some(Arc::clone(list))
             }
             None => {
                 self.counters.cache_misses += 1;
@@ -167,12 +171,14 @@ impl CacheBatchBroker {
     }
 
     /// Fill `from`'s cache with the full list fetched for `key` (subject
-    /// to the admission gate when enabled).
+    /// to the admission gate when enabled). The handle is stored as-is:
+    /// cache entry, overlay store and in-flight replies all share one
+    /// allocation.
     pub fn cache_put(
         &mut self,
         from: PeerId,
         key: &Key,
-        list: Vec<Posting>,
+        list: PostingList<Posting>,
         now_us: u64,
         epoch: u64,
     ) {
@@ -194,7 +200,7 @@ impl CacheBatchBroker {
         if !self.cfg.cache {
             return None;
         }
-        self.cache.peek(&(from, key.clone()), now_us, epoch).map(Vec::len)
+        self.cache.peek(&(from, key.clone()), now_us, epoch).map(|l| l.len())
     }
 
     /// The open channel for `part`, if any. `n_keys` is the number of probe
@@ -243,7 +249,7 @@ mod tests {
         let mut b = CacheBatchBroker::new(BrokerConfig::cache_only());
         let k = Key::from_bytes(b"k");
         assert!(b.cache_get(PeerId(1), &k, 0, 0).is_none());
-        b.cache_put(PeerId(1), &k, Vec::new(), 0, 0);
+        b.cache_put(PeerId(1), &k, PostingList::default(), 0, 0);
         assert!(b.cache_get(PeerId(1), &k, 10, 0).is_some());
         assert!(b.cache_get(PeerId(2), &k, 10, 0).is_none(), "caches are per initiator");
         let c = b.counters();
@@ -256,7 +262,7 @@ mod tests {
     fn disabled_cache_never_stores() {
         let mut b = CacheBatchBroker::new(BrokerConfig::batch_only());
         let k = Key::from_bytes(b"k");
-        b.cache_put(PeerId(1), &k, Vec::new(), 0, 0);
+        b.cache_put(PeerId(1), &k, PostingList::default(), 0, 0);
         assert!(!b.cache_enabled());
         assert!(b.batch_enabled());
     }
@@ -265,7 +271,7 @@ mod tests {
     fn epoch_bump_is_a_miss() {
         let mut b = CacheBatchBroker::new(BrokerConfig::cache_only());
         let k = Key::from_bytes(b"k");
-        b.cache_put(PeerId(1), &k, Vec::new(), 0, 3);
+        b.cache_put(PeerId(1), &k, PostingList::default(), 0, 3);
         assert!(b.cache_get(PeerId(1), &k, 1, 3).is_some());
         assert!(b.cache_get(PeerId(1), &k, 2, 4).is_none(), "churn epoch invalidates");
     }

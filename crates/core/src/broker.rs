@@ -29,6 +29,7 @@ use rustc_hash::FxHashMap;
 use sqo_cache::{BrokerCounters, CacheBatchBroker, PartitionChannel};
 use sqo_overlay::key::Key;
 use sqo_overlay::peer::PeerId;
+use sqo_overlay::PostingList;
 use sqo_storage::posting::Posting;
 use sqo_strsim::filters::{length_filter, position_filter, FilterConfig};
 
@@ -85,17 +86,27 @@ pub trait ProbeBroker {
     fn cache_enabled(&self) -> bool;
     fn batch_enabled(&self) -> bool;
 
-    /// Cache lookup of `from`'s copy of `key`'s full posting list.
+    /// Cache lookup of `from`'s copy of `key`'s full posting list. The
+    /// returned list is a shared handle (an `Arc` clone of the cached
+    /// entry), so hits copy no postings.
     fn cache_get(
         &mut self,
         from: PeerId,
         key: &Key,
         now_us: u64,
         epoch: u64,
-    ) -> Option<Vec<Posting>>;
+    ) -> Option<PostingList<Posting>>;
 
-    /// Fill `from`'s cache (no-op when the cache is disabled).
-    fn cache_put(&mut self, from: PeerId, key: &Key, list: Vec<Posting>, now_us: u64, epoch: u64);
+    /// Fill `from`'s cache (no-op when the cache is disabled). The broker
+    /// stores the handle as-is — caller and cache share one allocation.
+    fn cache_put(
+        &mut self,
+        from: PeerId,
+        key: &Key,
+        list: PostingList<Posting>,
+        now_us: u64,
+        epoch: u64,
+    );
 
     /// Size of `from`'s cached copy of `key`'s posting list, if a valid
     /// one is held — a side-effect-free peek (no hit/miss counting, no LRU
@@ -155,11 +166,18 @@ impl ProbeBroker for CacheBatchBroker {
         key: &Key,
         now_us: u64,
         epoch: u64,
-    ) -> Option<Vec<Posting>> {
+    ) -> Option<PostingList<Posting>> {
         CacheBatchBroker::cache_get(self, from, key, now_us, epoch)
     }
 
-    fn cache_put(&mut self, from: PeerId, key: &Key, list: Vec<Posting>, now_us: u64, epoch: u64) {
+    fn cache_put(
+        &mut self,
+        from: PeerId,
+        key: &Key,
+        list: PostingList<Posting>,
+        now_us: u64,
+        epoch: u64,
+    ) {
         CacheBatchBroker::cache_put(self, from, key, list, now_us, epoch)
     }
 

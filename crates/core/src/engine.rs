@@ -8,13 +8,14 @@ use crate::stats::QueryStats;
 use rustc_hash::{FxHashMap, FxHashSet};
 use sqo_cache::{BrokerConfig, BrokerCounters, CacheBatchBroker};
 use sqo_overlay::key::Key;
-use sqo_overlay::network::{Network, NetworkConfig};
+use sqo_overlay::network::{KeyedLists, Network, NetworkConfig};
 use sqo_overlay::peer::{Item, PeerId};
-use sqo_overlay::{Metrics, TraceEvent, TraceTrack};
+use sqo_overlay::{Metrics, PostingList, TraceEvent, TraceTrack};
 use sqo_storage::posting::{Object, Posting};
 use sqo_storage::publish::{postings_for_rows, PublishConfig, PublishStats};
 use sqo_storage::triple::Row;
 use sqo_strsim::filters::FilterConfig;
+use std::sync::Arc;
 
 /// Per-query execution defaults, grouped so higher layers (the `sqo-plan`
 /// planner, workload drivers) inherit one coherent block instead of poking
@@ -531,8 +532,10 @@ impl SimilarityEngine {
         if !self.cfg.query.delegation {
             let mut out = Vec::new();
             for k in keys {
-                if let Ok(items) = self.net.retrieve(from, k) {
-                    out.extend(items.into_iter().filter(|p| local_filter(p)));
+                if let Ok(lists) = self.net.retrieve_lists(from, k) {
+                    for list in lists {
+                        out.extend(list.iter().filter(|p| local_filter(p)).cloned());
+                    }
                 }
             }
             return out;
@@ -637,7 +640,7 @@ impl SimilarityEngine {
                 match broker.cache_get(from, k, at_us, epoch) {
                     Some(list) => {
                         acc.cache_hits += 1;
-                        postings.extend(list.into_iter().filter(|p| filter.matches(p)));
+                        postings.extend(list.iter().filter(|p| filter.matches(p)).cloned());
                     }
                     None => {
                         acc.cache_misses += 1;
@@ -690,7 +693,7 @@ impl SimilarityEngine {
                     // delegated payload). A routing failure (churn) yields
                     // the same empty outcome an unreachable probe produces.
                     let got = if cache_on {
-                        e.net.retrieve_multi(from, &missing).ok()
+                        e.net.retrieve_multi_lists(from, &missing).ok()
                     } else {
                         e.net.route(from, &missing[0]).ok().map(|owner| {
                             (owner, Self::scan_and_reply(e, owner, from, &missing, false, filter))
@@ -715,9 +718,9 @@ impl SimilarityEngine {
     /// `owner` and send one combined reply to `from`. With the cache on,
     /// the reply carries the **full** per-key lists (so the initiator can
     /// filter locally and fill its cache — the price of making every later
-    /// probe of these keys free); with it off, the owner applies the
-    /// query's filter and only survivors travel, byte-for-byte the legacy
-    /// delegated payload.
+    /// probe of these keys free) as shared handles onto the stored runs —
+    /// zero copies; with it off, the owner applies the query's filter and
+    /// only survivors travel, byte-for-byte the legacy delegated payload.
     fn scan_and_reply(
         e: &mut Self,
         owner: PeerId,
@@ -725,13 +728,13 @@ impl SimilarityEngine {
         keys: &[Key],
         full_lists: bool,
         filter: &ProbeFilter<'_>,
-    ) -> Vec<(Key, Vec<Posting>)> {
-        let mut lists: Vec<(Key, Vec<Posting>)> = Vec::with_capacity(keys.len());
+    ) -> KeyedLists<Posting> {
+        let mut lists: KeyedLists<Posting> = Vec::with_capacity(keys.len());
         let mut payload = 0usize;
         for k in keys {
-            let mut list = e.net.local_prefix_scan(owner, k);
+            let mut list = e.net.local_prefix_list(owner, k);
             if !full_lists {
-                list.retain(|p| filter.matches(p));
+                list = Arc::new(list.iter().filter(|p| filter.matches(p)).cloned().collect());
             }
             payload += list.iter().map(Item::size_bytes).sum::<usize>();
             lists.push((k.clone(), list));
@@ -745,14 +748,15 @@ impl SimilarityEngine {
     /// Fold a brokered probe's reply into the caller: filter every list
     /// into `postings` and fill the initiator's cache (full lists only —
     /// with the cache off the lists are already owner-filtered survivors,
-    /// and re-filtering them is a no-op).
+    /// and re-filtering them is a no-op). The cache fill moves the shared
+    /// handle: the cache entry *is* the stored run, not a copy of it.
     #[allow(clippy::too_many_arguments)]
     fn absorb_probe_lists(
         &mut self,
         _acc: &mut QueryStats,
         from: PeerId,
         filter: &ProbeFilter<'_>,
-        lists: Vec<(Key, Vec<Posting>)>,
+        lists: KeyedLists<Posting>,
         now_us: u64,
         epoch: u64,
         postings: &mut Vec<Posting>,
@@ -768,13 +772,19 @@ impl SimilarityEngine {
     }
 
     /// A single-key retrieve answered from the initiator's posting cache
-    /// when possible (exact-match and keyword selections). Returns the
-    /// postings plus the (hits, misses) counter delta — the caller runs
-    /// inside a charged window and folds them into its stats afterwards.
-    pub(crate) fn cached_retrieve(&mut self, from: PeerId, key: &Key) -> (Vec<Posting>, u64, u64) {
+    /// when possible (exact-match and keyword selections). Returns a
+    /// shared posting list (hit: the cached handle; miss: the stored run
+    /// itself — the cache fill is an `Arc` clone, never a deep copy) plus
+    /// the (hits, misses) counter delta — the caller runs inside a charged
+    /// window and folds them into its stats afterwards.
+    pub(crate) fn cached_retrieve(
+        &mut self,
+        from: PeerId,
+        key: &Key,
+    ) -> (PostingList<Posting>, u64, u64) {
         let cache_on = self.broker.as_ref().is_some_and(|b| b.cache_enabled());
         if !cache_on {
-            return (self.net.retrieve(from, key).unwrap_or_default(), 0, 0);
+            return (self.net.retrieve_list(from, key).unwrap_or_default(), 0, 0);
         }
         let epoch = self.net.cache_epoch();
         let now_us = self.net.sim_now_us().unwrap_or(0);
@@ -784,12 +794,12 @@ impl SimilarityEngine {
         }
         // A routing failure (churn) is transient — the next draw may pick a
         // live replica — so it must not be negative-cached as an empty list.
-        let Ok(list) = self.net.retrieve(from, key) else {
-            return (Vec::new(), 0, 1);
+        let Ok(list) = self.net.retrieve_list(from, key) else {
+            return (PostingList::default(), 0, 1);
         };
         let now_us = self.net.sim_now_us().unwrap_or(0);
         let broker = self.broker.as_mut().expect("cache_on implies a broker");
-        broker.cache_put(from, key, list.clone(), now_us, epoch);
+        broker.cache_put(from, key, Arc::clone(&list), now_us, epoch);
         (list, 0, 1)
     }
 
@@ -817,7 +827,7 @@ impl SimilarityEngine {
         if !self.cfg.query.delegation {
             for oid in oids {
                 let key = sqo_storage::keys::oid_key(oid);
-                if let Ok(postings) = self.net.retrieve(from, &key) {
+                if let Ok(postings) = self.net.retrieve_list(from, &key) {
                     out.push((oid.clone(), Object::from_postings(oid, &postings)));
                 }
             }
@@ -830,7 +840,7 @@ impl SimilarityEngine {
         let mut payload = 0usize;
         for oid in oids {
             let key = sqo_storage::keys::oid_key(oid);
-            let postings = self.net.local_prefix_scan(owner, &key);
+            let postings = self.net.local_prefix_list(owner, &key);
             let obj = Object::from_postings(oid, &postings);
             payload += obj.repr_len();
             out.push((oid.clone(), obj));

@@ -13,10 +13,13 @@
 //! * [`key`] — arbitrary-length binary keys with the prefix algebra.
 //! * [`hash`] — order- and prefix-preserving hashing of strings and numbers.
 //! * [`trie`] — construction of a load-balanced partition cover.
-//! * [`peer`] — per-peer state: path π(p), routing table ρ(p,l), replicas
-//!   σ(p), local store δ(p).
-//! * [`network`] — the simulator: routing, retrieval, range queries,
-//!   delegation primitives, churn.
+//! * [`peer`] — compact per-peer state (id, partition, shared store
+//!   handle); the paper's π(p)/ρ(p,l)/σ(p) live in network-level tables.
+//! * [`store`] — structurally-shared partition stores: sorted runs of
+//!   `Arc`-shared posting lists, plus the key interner.
+//! * [`network`] — the simulator: routing (with the flattened
+//!   [`network::RoutingArena`]), retrieval, range queries, delegation
+//!   primitives, churn.
 //! * [`metrics`] — message/bandwidth accounting.
 //! * [`clock`] — the virtual-time hook: an [`EventSink`] installed on the
 //!   network turns hop counts into simulated latency (implemented by
@@ -29,6 +32,7 @@ pub mod key;
 pub mod metrics;
 pub mod network;
 pub mod peer;
+pub mod store;
 pub mod trie;
 
 pub use bootstrap::{bootstrap, BootstrapConfig, BootstrapOutcome};
@@ -37,5 +41,6 @@ pub use clock::{
 };
 pub use key::Key;
 pub use metrics::{Metrics, PeerLoad};
-pub use network::{Network, NetworkConfig, RouteError};
+pub use network::{Network, NetworkConfig, RouteError, RoutingArena};
 pub use peer::{Item, Peer, PeerId};
+pub use store::{KeyTable, PartitionStore, PostingList, SharedKey, SortedStore};

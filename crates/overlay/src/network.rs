@@ -15,10 +15,12 @@ use crate::clock::{EventSink, MsgKind, SharedTraceSink, SimLatency, TraceEvent, 
 use crate::key::Key;
 use crate::metrics::{Metrics, PeerLoad};
 use crate::peer::{Item, Peer, PeerId};
+use crate::store::{KeyTable, PartitionStore, PostingList, SortedStore};
 use crate::trie::{build_partitions, find_partition, subtree_range};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use smallvec::SmallVec;
+use std::sync::Arc;
 
 /// Static parameters of a simulated network.
 #[derive(Debug, Clone)]
@@ -85,6 +87,60 @@ impl std::error::Error for RouteError {}
 /// Per-key item lists, as returned by [`Network::retrieve_multi`].
 pub type KeyedItems<T> = Vec<(Key, Vec<T>)>;
 
+/// Per-key *shared* posting lists, as returned by the zero-copy retrieval
+/// surface ([`Network::retrieve_multi_lists`]). A reply references the
+/// stored lists instead of copying them; inserts and churn never mutate a
+/// published list (copy-on-write, see [`crate::store`]).
+pub type KeyedLists<T> = Vec<(Key, PostingList<T>)>;
+
+/// Flattened routing tables of the whole network: ρ(p, l) for every peer
+/// and level as slices of one arena, replacing the seed's per-peer
+/// `Vec<SmallVec<PeerId>>` (two heap blocks per peer) with three flat
+/// vectors for the entire network.
+///
+/// Layout: `refs` concatenates every level's references in (peer, level)
+/// order. `slice_off[peer_first_level(p) + l]` is the start of ρ(p, l) in
+/// `refs` (with a trailing sentinel), and `peer_off[p]` is peer `p`'s
+/// first level index, so a peer at trie depth `d` contributes `d`
+/// consecutive level slices.
+#[derive(Debug, Clone, Default)]
+pub struct RoutingArena {
+    refs: Vec<PeerId>,
+    slice_off: Vec<u32>,
+    peer_off: Vec<u32>,
+}
+
+impl RoutingArena {
+    /// Number of routing levels (trie depth) of peer `p`.
+    pub fn levels(&self, p: PeerId) -> usize {
+        (self.peer_off[p.index() + 1] - self.peer_off[p.index()]) as usize
+    }
+
+    /// ρ(p, l): the reference slice of peer `p` at level `l`.
+    pub fn refs(&self, p: PeerId, l: usize) -> &[PeerId] {
+        let base = self.peer_off[p.index()] as usize + l;
+        &self.refs[self.slice_off[base] as usize..self.slice_off[base + 1] as usize]
+    }
+
+    /// Number of references of peer `p` at level `l`.
+    pub fn level_len(&self, p: PeerId, l: usize) -> usize {
+        let base = self.peer_off[p.index()] as usize + l;
+        (self.slice_off[base + 1] - self.slice_off[base]) as usize
+    }
+
+    /// The `i`-th reference of peer `p` at level `l` (no slice borrow, so
+    /// callers can interleave lookups with RNG draws on the same struct).
+    pub fn get(&self, p: PeerId, l: usize, i: usize) -> PeerId {
+        let base = self.peer_off[p.index()] as usize + l;
+        self.refs[self.slice_off[base] as usize + i]
+    }
+
+    /// Total references stored (diagnostics / memory accounting).
+    pub fn total_refs(&self) -> usize {
+        self.refs.len()
+    }
+}
+
 /// The simulated P-Grid network holding items of type `T`.
 pub struct Network<T> {
     cfg: NetworkConfig,
@@ -93,6 +149,11 @@ pub struct Network<T> {
     /// Peers per partition (structural replicas).
     part_peers: Vec<SmallVec<[PeerId; 4]>>,
     peers: Vec<Peer<T>>,
+    /// Flattened ρ(p, l) for every peer (see [`RoutingArena`]).
+    routing: RoutingArena,
+    /// Interned published keys: equal keys share one allocation across
+    /// partitions, replicas, replies and caches.
+    interner: KeyTable,
     metrics: Metrics,
     /// Per-peer sent/received traffic (reset together with `metrics`).
     peer_load: Vec<PeerLoad>,
@@ -133,7 +194,7 @@ impl<T: Item> Network<T> {
     }
 
     /// Construct a network whose trie emerged from the decentralized
-    /// construction protocol ([`crate::bootstrap`]) instead of the
+    /// construction protocol ([`mod@crate::bootstrap`]) instead of the
     /// centralized splitter.
     pub fn build_bootstrapped(
         cfg: NetworkConfig,
@@ -204,7 +265,7 @@ impl<T: Item> Network<T> {
         for (i, &part) in assignment.iter().enumerate() {
             let id = PeerId(i as u32);
             part_peers[part].push(id);
-            peers.push(Peer::new(id, part as u32, paths[part].clone()));
+            peers.push(Peer::new(id, part as u32));
         }
 
         let n_peers = peers.len();
@@ -213,6 +274,8 @@ impl<T: Item> Network<T> {
             paths,
             part_peers,
             peers,
+            routing: RoutingArena::default(),
+            interner: KeyTable::new(),
             metrics: Metrics::default(),
             peer_load: vec![PeerLoad::default(); n_peers],
             sink: None,
@@ -223,36 +286,28 @@ impl<T: Item> Network<T> {
             rng: StdRng::seed_from_u64(0), // replaced below, after cfg move
         };
         net.rng = StdRng::seed_from_u64(net.cfg.seed);
-        net.wire_replicas();
         net.wire_routing_tables();
-        for (key, item) in data {
-            net.insert_item(key, item);
-        }
+        net.bulk_load(data);
         net
     }
 
-    fn wire_replicas(&mut self) {
-        for part in 0..self.paths.len() {
-            let members = self.part_peers[part].clone();
-            for &p in &members {
-                self.peers[p.index()].replicas =
-                    members.iter().copied().filter(|&q| q != p).collect();
-            }
-        }
-    }
-
     fn wire_routing_tables(&mut self) {
-        let refs = self.cfg.refs_per_level;
+        let refs_per_level = self.cfg.refs_per_level;
+        let mut arena = RoutingArena {
+            refs: Vec::new(),
+            slice_off: vec![0],
+            peer_off: Vec::with_capacity(self.peers.len() + 1),
+        };
         for pid in 0..self.peers.len() {
-            let path = self.peers[pid].path.clone();
-            let mut table = Vec::with_capacity(path.len());
+            arena.peer_off.push((arena.slice_off.len() - 1) as u32);
+            let path = &self.paths[self.peers[pid].partition as usize];
             for l in 0..path.len() {
                 let comp = path.complement_at(l);
                 let (s, e) = subtree_range(&self.paths, &comp);
                 debug_assert!(e > s, "complete cover guarantees a complementary subtree");
                 let mut level_refs: SmallVec<[PeerId; 4]> = SmallVec::new();
                 let mut guard = 0;
-                while level_refs.len() < refs && guard < refs * 8 {
+                while level_refs.len() < refs_per_level && guard < refs_per_level * 8 {
                     guard += 1;
                     let part = self.rng.gen_range(s..e);
                     let members = &self.part_peers[part];
@@ -264,9 +319,49 @@ impl<T: Item> Network<T> {
                         level_refs.push(peer);
                     }
                 }
-                table.push(level_refs);
+                arena.refs.extend_from_slice(&level_refs);
+                arena.slice_off.push(arena.refs.len() as u32);
             }
-            self.peers[pid].routing = table;
+        }
+        arena.peer_off.push((arena.slice_off.len() - 1) as u32);
+        self.routing = arena;
+    }
+
+    /// Load the full publication batch: sort once, intern each distinct
+    /// key, build one shared [`SortedStore`] run per partition and hand
+    /// every structural replica a handle onto it. Equivalent to
+    /// [`Self::insert_item`] per element (same stores, same per-key item
+    /// order, same total epoch advance) at a fraction of the cost: the
+    /// seed's per-item path re-cloned every key and list once per replica.
+    fn bulk_load(&mut self, mut data: Vec<(Key, T)>) {
+        // Epoch parity with the per-item path: one bump per publication.
+        self.cache_epoch += data.len() as u64;
+        // Stable sort: items under the same key keep publication order.
+        data.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut runs: Vec<SortedStore<T>> =
+            std::iter::repeat_with(SortedStore::new).take(self.paths.len()).collect();
+        let mut iter = data.into_iter().peekable();
+        while let Some((key, item)) = iter.next() {
+            let mut items = vec![item];
+            while let Some((k, _)) = iter.peek() {
+                if *k != key {
+                    break;
+                }
+                items.push(iter.next().expect("peeked").1);
+            }
+            let (s, e) = subtree_range(&self.paths, &key);
+            debug_assert!(e > s, "complete cover guarantees an owner for every key");
+            let shared_key = self.interner.intern_owned(key);
+            let list: PostingList<T> = Arc::new(items);
+            for run in &mut runs[s..e] {
+                run.push_sorted(Arc::clone(&shared_key), Arc::clone(&list));
+            }
+        }
+        for (part, run) in runs.into_iter().enumerate() {
+            let store = PartitionStore::from_store(run);
+            for &p in &self.part_peers[part] {
+                self.peers[p.index()].store = store.share();
+            }
         }
     }
 
@@ -275,13 +370,28 @@ impl<T: Item> Network<T> {
     /// shorter than the local trie depth) and onto every structural replica.
     /// Bumps the cache epoch: posting lists fetched before the insert no
     /// longer reflect the stored data.
+    ///
+    /// Replicas share one store: the insert briefly detaches the sibling
+    /// handles so the copy-on-write edit lands in place, then re-shares —
+    /// `k`-fold replication costs one list edit, not `k` item copies.
+    /// Posting lists already handed out to readers are never mutated.
     pub fn insert_item(&mut self, key: Key, item: T) {
         self.cache_epoch += 1;
         let (s, e) = subtree_range(&self.paths, &key);
         debug_assert!(e > s, "complete cover guarantees an owner for every key");
+        let shared_key = self.interner.intern_owned(key);
         for part in s..e {
-            for &p in &self.part_peers[part].clone() {
-                self.peers[p.index()].insert(key.clone(), item.clone());
+            if self.part_peers[part].is_empty() {
+                continue; // peerless gap partition (bootstrap tries)
+            }
+            let members = &self.part_peers[part];
+            let mut store = self.peers[members[0].index()].store.share();
+            for &p in members {
+                self.peers[p.index()].store = PartitionStore::default();
+            }
+            store.insert(Arc::clone(&shared_key), item.clone());
+            for &p in members {
+                self.peers[p.index()].store = store.share();
             }
         }
     }
@@ -302,13 +412,26 @@ impl<T: Item> Network<T> {
         self.paths.len()
     }
 
-    /// Sorted partition paths (the global trie's leaves).
+    /// Sorted partition paths (the global trie's leaves). Peer `p`'s path
+    /// π(p) is `paths()[peer(p).partition]` — paths live once per
+    /// partition, not once per peer.
     pub fn paths(&self) -> &[Key] {
         &self.paths
     }
 
     pub fn peer(&self, id: PeerId) -> &Peer<T> {
         &self.peers[id.index()]
+    }
+
+    /// The flattened routing tables (snapshot surface for external
+    /// simulators).
+    pub fn routing_arena(&self) -> &RoutingArena {
+        &self.routing
+    }
+
+    /// The structural replicas of partition `part`.
+    pub fn partition_members(&self, part: usize) -> &[PeerId] {
+        &self.part_peers[part]
     }
 
     pub fn metrics(&self) -> &Metrics {
@@ -591,12 +714,15 @@ impl<T: Item> Network<T> {
         // bug, not a simulation condition.
         let max_hops = 2 * crate::trie::MAX_PATH_BITS + 2;
         for _ in 0..max_hops {
-            let peer = &self.peers[cur.index()];
-            if peer.path.is_prefix_of(key) || key.is_prefix_of(&peer.path) {
-                return Ok(cur);
-            }
-            let l = peer.path.common_prefix_len(key);
-            debug_assert!(l < peer.path.len());
+            let l = {
+                let path = &self.paths[self.peers[cur.index()].partition as usize];
+                if path.is_prefix_of(key) || key.is_prefix_of(path) {
+                    return Ok(cur);
+                }
+                let l = path.common_prefix_len(key);
+                debug_assert!(l < path.len());
+                l
+            };
             let Some(next) = self.pick_alive_ref(cur, l) else {
                 self.metrics.failed_routes += 1;
                 return Err(RouteError::NoAliveReference);
@@ -634,8 +760,10 @@ impl<T: Item> Network<T> {
     /// random by default; shortest-backlog when load-aware selection is
     /// active (see [`NetworkConfig::uniform_refs`]).
     fn pick_alive_ref(&mut self, peer: PeerId, l: usize) -> Option<PeerId> {
-        let refs = self.peers[peer.index()].routing[l].clone();
-        if refs.is_empty() {
+        // Arena lookups are by (peer, level, index) — no slice borrow held
+        // across the RNG draws, so nothing needs cloning.
+        let n = self.routing.level_len(peer, l);
+        if n == 0 {
             return None;
         }
         if self.load_aware() {
@@ -643,7 +771,8 @@ impl<T: Item> Network<T> {
             // structural replicas that make identical routing progress —
             // are equivalent next hops; prefer the least-loaded.
             let mut cands: SmallVec<[PeerId; 8]> = SmallVec::new();
-            for &cand in &refs {
+            for i in 0..n {
+                let cand = self.routing.get(peer, l, i);
                 if self.peers[cand.index()].alive {
                     if !cands.contains(&cand) {
                         cands.push(cand);
@@ -662,9 +791,9 @@ impl<T: Item> Network<T> {
             }
             return Some(self.pick_among(&cands));
         }
-        let start = self.rng.gen_range(0..refs.len());
-        for i in 0..refs.len() {
-            let cand = refs[(start + i) % refs.len()];
+        let start = self.rng.gen_range(0..n);
+        for i in 0..n {
+            let cand = self.routing.get(peer, l, (start + i) % n);
             if self.peers[cand.index()].alive {
                 return Some(cand);
             }
@@ -728,6 +857,32 @@ impl<T: Item> Network<T> {
     /// returned once per covering partition; callers that care deduplicate
     /// by object identity.
     pub fn retrieve(&mut self, from: PeerId, key: &Key) -> Result<Vec<T>, RouteError> {
+        let lists = self.retrieve_lists(from, key)?;
+        Ok(lists.iter().flat_map(|l| l.iter().cloned()).collect())
+    }
+
+    /// [`Self::retrieve_lists`] flattened into **one** shared list. A
+    /// single-partition answer (the common case: exact gram/attribute
+    /// keys) is returned as-is — an `Arc` clone of the stored run, no item
+    /// copies; only multi-partition showers concatenate into a fresh list.
+    pub fn retrieve_list(&mut self, from: PeerId, key: &Key) -> Result<PostingList<T>, RouteError> {
+        let mut lists = self.retrieve_lists(from, key)?;
+        Ok(match lists.len() {
+            0 => PostingList::default(),
+            1 => lists.pop().expect("len checked"),
+            _ => Arc::new(lists.iter().flat_map(|l| l.iter().cloned()).collect()),
+        })
+    }
+
+    /// Zero-copy form of [`Self::retrieve`]: one shared posting list per
+    /// answering partition, referencing the stored lists instead of
+    /// cloning items (identical messages, payload accounting and item
+    /// order — [`Self::retrieve`] is now a flattening wrapper over this).
+    pub fn retrieve_lists(
+        &mut self,
+        from: PeerId,
+        key: &Key,
+    ) -> Result<Vec<PostingList<T>>, RouteError> {
         let entry = self.route(from, key)?;
         let (s, e) = subtree_range(&self.paths, key);
         let entry_part = self.peers[entry.index()].partition as usize;
@@ -753,36 +908,52 @@ impl<T: Item> Network<T> {
                     }
                 }
             };
-            for (_key, items) in
-                self.scan_keys_and_reply(responder, from, std::slice::from_ref(key))
+            for (_key, list) in
+                self.scan_keys_and_reply_lists(responder, from, std::slice::from_ref(key))
             {
-                out.extend(items);
+                out.push(list);
             }
         }
         self.sim_join();
         Ok(out)
     }
 
+    /// Prefix-scan one key at `responder`, returning a shared list. When
+    /// the prefix matches exactly one stored run entry (the common case:
+    /// probes use exact gram/attribute keys) the reply *is* the stored
+    /// list — an `Arc` clone, no item copies; only multi-entry prefix hits
+    /// flatten into a fresh list.
+    fn scan_prefix_list(&mut self, responder: PeerId, key: &Key) -> PostingList<T> {
+        let run = self.peers[responder.index()].store.prefix_entries(key);
+        let touched = run.len() as u64;
+        let list = match run {
+            [] => PostingList::default(),
+            [(_, only)] => Arc::clone(only),
+            many => Arc::new(many.iter().flat_map(|(_, l)| l.iter().cloned()).collect()),
+        };
+        self.charge_scan(responder, touched);
+        list
+    }
+
     /// The owner-side half of every multi-key retrieve shape: prefix-scan
     /// each key at `responder` (charging local work per key), then send the
     /// combined per-key lists to `from` as **one** reply message carrying
-    /// the summed payload. [`Self::retrieve`]'s shower branches call it
-    /// with a single key per responder; [`Self::retrieve_multi`] with the
-    /// whole coalesced batch at one owner — the two paths had drifted into
-    /// duplicated scan-and-reply logic, this is the shared form.
-    fn scan_keys_and_reply(
+    /// the summed payload. [`Self::retrieve_lists`]'s shower branches call
+    /// it with a single key per responder; [`Self::retrieve_multi_lists`]
+    /// with the whole coalesced batch at one owner. Replies share the
+    /// stored lists (zero-copy; see [`Self::scan_prefix_list`]).
+    fn scan_keys_and_reply_lists(
         &mut self,
         responder: PeerId,
         from: PeerId,
         keys: &[Key],
-    ) -> KeyedItems<T> {
+    ) -> KeyedLists<T> {
         let mut out = Vec::with_capacity(keys.len());
         let mut payload = 0usize;
         for key in keys {
-            let (items, touched) = self.peers[responder.index()].scan_prefix(key);
-            self.charge_scan(responder, touched);
-            payload += items.iter().map(Item::size_bytes).sum::<usize>();
-            out.push((key.clone(), items));
+            let list = self.scan_prefix_list(responder, key);
+            payload += list.iter().map(Item::size_bytes).sum::<usize>();
+            out.push((key.clone(), list));
         }
         if responder != from {
             self.charge_result(responder, from, payload);
@@ -872,13 +1043,25 @@ impl<T: Item> Network<T> {
         from: PeerId,
         keys: &[Key],
     ) -> Result<(PeerId, KeyedItems<T>), RouteError> {
+        let (owner, lists) = self.retrieve_multi_lists(from, keys)?;
+        Ok((owner, lists.into_iter().map(|(k, l)| (k, l.as_slice().to_vec())).collect()))
+    }
+
+    /// Zero-copy form of [`Self::retrieve_multi`]: the per-key lists are
+    /// shared references to the stored runs ([`Self::retrieve_multi`] is a
+    /// copying wrapper for callers that need owned vectors).
+    pub fn retrieve_multi_lists(
+        &mut self,
+        from: PeerId,
+        keys: &[Key],
+    ) -> Result<(PeerId, KeyedLists<T>), RouteError> {
         assert!(!keys.is_empty(), "multi-key retrieve needs at least one key");
         debug_assert!(
             keys.iter().all(|k| self.partition_of(k) == self.partition_of(&keys[0])),
             "multi-key retrieve keys must share a partition"
         );
         let owner = self.route(from, &keys[0])?;
-        let out = self.scan_keys_and_reply(owner, from, keys);
+        let out = self.scan_keys_and_reply_lists(owner, from, keys);
         Ok((owner, out))
     }
 
@@ -888,6 +1071,12 @@ impl<T: Item> Network<T> {
         let (items, touched) = self.peers[peer.index()].scan_prefix(key);
         self.charge_scan(peer, touched);
         items
+    }
+
+    /// Zero-copy local prefix scan: the shared list under `key` at `peer`
+    /// (same accounting as [`Self::local_prefix_scan`]).
+    pub fn local_prefix_list(&mut self, peer: PeerId, key: &Key) -> PostingList<T> {
+        self.scan_prefix_list(peer, key)
     }
 
     /// Local range scan at `peer`.

@@ -1,8 +1,25 @@
-//! Peer state: path, routing table, replica links, local store.
+//! Peer state: a dense id, a partition index, and a shared store handle.
+//!
+//! The seed kept the full P-Grid state — path π(p), routing table ρ(p, l),
+//! replica set σ(p), store δ(p) — as owned fields of every peer, which at
+//! replication `k` materialized every partition's data and path `k` times.
+//! The compact layout moves everything shareable out of the peer:
+//!
+//! * π(p) lives once per *partition* in the network's sorted path table
+//!   (`Network::paths`) — a peer's path is `paths[partition]`.
+//! * ρ(p, l) lives in the network's [`RoutingArena`](crate::network::RoutingArena)
+//!   as flat slices indexed by peer id.
+//! * σ(p) is implicit: the members of `part_peers[partition]` other than
+//!   the peer itself.
+//! * δ(p) is a [`PartitionStore`] — an `Arc` handle onto the partition's
+//!   sorted run, shared by all structural replicas (see [`crate::store`]).
+//!
+//! What remains per peer is a few machine words, so 10⁶ peers cost
+//! megabytes, not gigabytes.
 
 use crate::key::Key;
-use smallvec::SmallVec;
-use std::collections::BTreeMap;
+use crate::store::{PartitionStore, PostingList, SharedKey};
+use std::sync::Arc;
 
 /// Dense peer identifier (index into the network's peer table).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -28,103 +45,79 @@ pub trait Item: Clone {
     fn size_bytes(&self) -> usize;
 }
 
-/// A peer of the overlay network.
-///
-/// Field names follow the paper's notation: `path` is π(p), `routing[l]` is
-/// ρ(p, l) — references to peers in the complementary subtrie at level `l` —
-/// `replicas` is σ(p), and `store` is δ(p).
+/// A peer of the overlay network (compact form — see the module docs for
+/// where the rest of the paper's per-peer state lives).
 #[derive(Debug, Clone)]
 pub struct Peer<T> {
     pub id: PeerId,
-    /// Index of the peer's key-space partition.
+    /// Index of the peer's key-space partition (π(p) is
+    /// `network.paths()[partition]`).
     pub partition: u32,
-    /// π(p): the binary path identifying the partition.
-    pub path: Key,
-    /// ρ(p, l): for each prefix length `l < path.len()`, peers whose path
-    /// agrees on the first `l` bits and differs at bit `l`.
-    pub routing: Vec<SmallVec<[PeerId; 4]>>,
-    /// σ(p): peers with the same path (structural replicas).
-    pub replicas: SmallVec<[PeerId; 4]>,
-    /// δ(p): locally stored items, ordered by key for prefix/range scans.
-    pub store: BTreeMap<Key, SmallVec<[T; 2]>>,
+    /// δ(p): handle onto the partition's shared sorted run.
+    pub store: PartitionStore<T>,
     /// Churn flag; dead peers neither answer nor forward.
     pub alive: bool,
 }
 
 impl<T: Item> Peer<T> {
-    pub fn new(id: PeerId, partition: u32, path: Key) -> Self {
-        Self {
-            id,
-            partition,
-            path,
-            routing: Vec::new(),
-            replicas: SmallVec::new(),
-            store: BTreeMap::new(),
-            alive: true,
-        }
+    pub fn new(id: PeerId, partition: u32) -> Self {
+        Self { id, partition, store: PartitionStore::default(), alive: true }
     }
 
-    /// Insert an item under `key` into δ(p).
+    /// Insert an item under `key` into δ(p) (copy-on-write; the network
+    /// re-shares the handle across replicas afterwards).
     pub fn insert(&mut self, key: Key, item: T) {
-        self.store.entry(key).or_default().push(item);
+        self.store.insert(Arc::new(key), item);
+    }
+
+    /// Insert under an already-interned key.
+    pub fn insert_shared(&mut self, key: SharedKey, item: T) {
+        self.store.insert(key, item);
     }
 
     /// All items whose key has `key` as a prefix (the `key(d) ⊇ key` match
-    /// of Algorithm 1, line 2). Returns the number of map entries touched
+    /// of Algorithm 1, line 2). Returns the number of store entries touched
     /// alongside the items, for local-scan accounting.
     pub fn scan_prefix(&self, key: &Key) -> (Vec<T>, u64) {
-        let mut out = Vec::new();
-        let mut touched = 0;
-        for (k, items) in self.store.range(key.clone()..) {
-            if !key.is_prefix_of(k) {
-                break;
-            }
-            touched += 1;
-            out.extend(items.iter().cloned());
-        }
-        (out, touched)
+        let run = self.store.prefix_entries(key);
+        let out = run.iter().flat_map(|(_, l)| l.iter().cloned()).collect();
+        (out, run.len() as u64)
+    }
+
+    /// Zero-copy prefix scan: the matching sub-run of `(key, list)` pairs.
+    pub fn prefix_entries(&self, key: &Key) -> &[(SharedKey, PostingList<T>)] {
+        self.store.prefix_entries(key)
     }
 
     /// Number of items whose key has `key` as a prefix, without cloning
     /// them — free local introspection for cardinality estimation.
     pub fn count_prefix(&self, key: &Key) -> usize {
-        let mut n = 0;
-        for (k, items) in self.store.range(key.clone()..) {
-            if !key.is_prefix_of(k) {
-                break;
-            }
-            n += items.len();
-        }
-        n
+        self.store.prefix_entries(key).iter().map(|(_, l)| l.len()).sum()
     }
 
     /// All items with `lo <= key <= hi`.
     pub fn scan_range(&self, lo: &Key, hi: &Key) -> (Vec<T>, u64) {
-        let mut out = Vec::new();
-        let mut touched = 0;
-        for (_k, items) in self.store.range(lo.clone()..=hi.clone()) {
-            touched += 1;
-            out.extend(items.iter().cloned());
-        }
-        (out, touched)
+        let run = self.store.range_entries(lo, hi);
+        let out = run.iter().flat_map(|(_, l)| l.iter().cloned()).collect();
+        (out, run.len() as u64)
     }
 
     /// Exact-key items.
     pub fn scan_exact(&self, key: &Key) -> (Vec<T>, u64) {
-        match self.store.get(key) {
-            Some(items) => (items.iter().cloned().collect(), 1),
+        match self.store.exact_entry(key) {
+            Some(list) => (list.as_slice().to_vec(), 1),
             None => (Vec::new(), 0),
         }
     }
 
     /// Number of stored (key, item) pairs.
     pub fn item_count(&self) -> usize {
-        self.store.values().map(SmallVec::len).sum()
+        self.store.item_count()
     }
 
     /// Total payload bytes stored, for storage-overhead accounting.
     pub fn stored_bytes(&self) -> u64 {
-        self.store.values().flat_map(|v| v.iter()).map(|i| i.size_bytes() as u64).sum()
+        self.store.stored_bytes()
     }
 }
 
@@ -142,7 +135,7 @@ mod tests {
     }
 
     fn peer() -> Peer<S> {
-        let mut p = Peer::new(PeerId(0), 0, Key::empty());
+        let mut p = Peer::new(PeerId(0), 0);
         for w in ["alpha", "alpine", "beta", "alp", "gamma"] {
             p.insert(hash_str(w), S(Box::leak(w.to_string().into_boxed_str())));
         }

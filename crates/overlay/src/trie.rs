@@ -183,10 +183,15 @@ pub fn find_partition(paths: &[Key], key: &Key) -> usize {
 /// range into the sorted `paths`.
 pub fn subtree_range(paths: &[Key], key: &Key) -> (usize, usize) {
     let start = paths.partition_point(|p| p.cmp_extended(true, key) == std::cmp::Ordering::Less);
-    let mut end = start;
-    while end < paths.len() && (key.is_prefix_of(&paths[end]) || paths[end].is_prefix_of(key)) {
-        end += 1;
-    }
+    // The prefix-related block is contiguous: it is either the run of
+    // paths extending `key`, or (when `key` is deeper than the trie) the
+    // single path that is a prefix of `key` — prefix-freeness rules out a
+    // mix. Binary-search its end instead of walking it: routing-table
+    // construction calls this once per (peer, level), and at shallow
+    // levels the complementary subtree spans a large fraction of all
+    // partitions, which made a linear walk quadratic in network size.
+    let end =
+        start + paths[start..].partition_point(|p| key.is_prefix_of(p) || p.is_prefix_of(key));
     (start, end)
 }
 

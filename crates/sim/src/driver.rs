@@ -6,7 +6,7 @@
 //! Queries execute as **interleaved steps on the event queue**: every query
 //! is a resumable [`ExecStep`] task (`sqo-core`'s stepped operators), and
 //! the driver pops task steps, arrivals and churn events off one
-//! [`EventQueue`] in global virtual-time order. A step is one bounded chunk
+//! [`ShardedQueue`] in global virtual-time order. A step is one bounded chunk
 //! of operator work — typically a single routed sub-request (a probe
 //! branch, an object-fetch branch, one hop sequence) — charged against the
 //! shared per-peer service queues of [`NetSim`](crate::NetSim). Because
@@ -19,13 +19,13 @@
 //!
 //! Everything is deterministic: the driver installs a fresh `NetSim`, seeds
 //! every stream from [`DriverConfig::seed`], and schedules all events on
-//! one [`EventQueue`] with FIFO tie-breaking (a task re-enqueueing a step
+//! one [`ShardedQueue`] with FIFO tie-breaking (a task re-enqueueing a step
 //! at the current timestamp goes behind already-queued same-time events).
 //! Two runs with the same inputs produce byte-identical reports.
 
-use crate::events::EventQueue;
 use crate::netsim::{install, SimConfig};
 use crate::report::{LatencySummary, OperatorLatency};
+use crate::shard::ShardedQueue;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
@@ -148,6 +148,13 @@ pub struct DriverConfig {
     /// Which query surface dispatches the mix (plan shims vs direct legacy
     /// task construction — the bench's A/B axis).
     pub api: ApiMode,
+    /// Event-queue lanes ([`ShardedQueue`]): each client's arrivals and
+    /// task steps live on one of `shards` per-lane heaps, popped globally
+    /// in `(time, push-sequence)` order. Every setting produces a
+    /// byte-identical report (the sequence counter is global — pinned by a
+    /// property test); larger values bound per-lane heap depth under very
+    /// wide client counts. `0` is treated as `1`.
+    pub shards: usize,
     pub seed: u64,
 }
 
@@ -169,6 +176,7 @@ impl Default for DriverConfig {
             zipf_s: 0.0,
             sticky_initiators: false,
             api: ApiMode::Plan,
+            shards: 1,
             seed: 7,
         }
     }
@@ -259,7 +267,7 @@ struct InFlight {
     trace: Option<u64>,
 }
 
-/// Run the driven workload. Installs a fresh [`NetSim`] (replacing any
+/// Run the driven workload. Installs a fresh [`NetSim`](crate::NetSim) (replacing any
 /// sink already on the network). Two identical invocations on **freshly
 /// built engines** yield identical reports; re-driving the *same* engine
 /// is not a reproduction — the first run advances the network's RNG and,
@@ -300,9 +308,12 @@ pub fn run_driver(
     let initiators: Option<Vec<PeerId>> =
         cfg.sticky_initiators.then(|| (0..cfg.clients).map(|_| engine.random_peer()).collect());
 
-    let mut q: EventQueue<Ev> = EventQueue::new();
+    // Client `c`'s arrivals and steps live on lane `c % shards`; pops are
+    // in global `(time, push-sequence)` order, so the report is invariant
+    // in the lane count.
+    let mut q: ShardedQueue<Ev> = ShardedQueue::new(cfg.shards.max(1));
     for (idx, ev) in cfg.churn.iter().enumerate() {
-        q.push(ev.at_us, Ev::Churn { idx });
+        q.push(ev.at_us, 0, Ev::Churn { idx });
     }
     // First arrivals.
     for (c, rng) in client_rngs.iter_mut().enumerate() {
@@ -311,7 +322,7 @@ pub fn run_driver(
             Arrival::Closed { .. } => 0,
             Arrival::Explicit { offsets_us } => offsets_us[c % offsets_us.len()],
         };
-        q.push(t, Ev::Arrive { client: c });
+        q.push(t, c, Ev::Arrive { client: c });
     }
 
     let mut flights: Vec<Option<InFlight>> = Vec::new();
@@ -376,13 +387,13 @@ pub fn run_driver(
                 };
                 // The task's first step runs at the arrival time; steps of
                 // other in-flight queries interleave with it from then on.
-                q.push(t, Ev::Step { slot });
+                q.push(t, client, Ev::Step { slot });
 
                 // Open-loop arrivals are independent of completions.
                 if let Arrival::Poisson { mean_interarrival_us } = &cfg.arrival {
                     if issued[client] < cfg.queries_per_client {
                         let next = t + exp_sample(&mut client_rngs[client], *mean_interarrival_us);
-                        q.push(next, Ev::Arrive { client });
+                        q.push(next, client, Ev::Arrive { client });
                     }
                 }
             }
@@ -399,7 +410,10 @@ pub fn run_driver(
                     engine.network_mut().set_trace_query(None);
                 }
                 match outcome {
-                    StepOutcome::Yield { at_us } => q.push(at_us, Ev::Step { slot }),
+                    StepOutcome::Yield { at_us } => {
+                        let client = flights[slot].as_ref().expect("still in flight").client;
+                        q.push(at_us, client, Ev::Step { slot });
+                    }
                     StepOutcome::Done(stats) => {
                         let flight = flights[slot].take().expect("checked above");
                         free_slots.push(slot);
@@ -443,7 +457,11 @@ pub fn run_driver(
                         };
                         if let Some(think_us) = think {
                             if issued[flight.client] < cfg.queries_per_client {
-                                q.push(sim.end_us + think_us, Ev::Arrive { client: flight.client });
+                                q.push(
+                                    sim.end_us + think_us,
+                                    flight.client,
+                                    Ev::Arrive { client: flight.client },
+                                );
                             }
                         }
                     }

@@ -15,11 +15,19 @@
 //! * [`netsim`] — [`NetSim`], the [`sqo_overlay::clock::EventSink`]
 //!   implementation: critical-path fork/join accounting and per-peer serial
 //!   queues.
+//! * [`shard`] — [`ShardedQueue`]: the driver's event queue split over
+//!   per-client lanes with a global tie-breaking sequence, so any shard
+//!   count pops — and reports — identically.
 //! * [`driver`] — the concurrent-workload driver: N clients, Poisson /
 //!   closed-loop / explicit arrivals, churn schedules, per-operator
 //!   p50/p95/p99. Queries run as **interleaved steps on the event queue**
 //!   (`sqo-core`'s resumable operator tasks), so contention between
 //!   in-flight queries is symmetric at step granularity.
+//! * [`scale`] — `ScaleSim`, the sharded parallel event core: retrieval
+//!   decomposed into true per-message events against a read-only
+//!   [`Topology`] snapshot, executed in conservative lookahead windows
+//!   (width = minimum link latency) per peer shard — deterministic for
+//!   every shard count, threaded or not, and sized for 10⁵–10⁶ peers.
 //! * [`report`] — latency summaries.
 //!
 //! ## Quickstart
@@ -71,6 +79,8 @@ pub mod events;
 pub mod latency;
 pub mod netsim;
 pub mod report;
+pub mod scale;
+pub mod shard;
 
 pub use driver::{
     run_driver, ApiMode, Arrival, CacheReport, ChurnEvent, DriverConfig, DriverReport, QueryKind,
@@ -79,5 +89,10 @@ pub use events::EventQueue;
 pub use latency::{LatencyModel, LossModel};
 pub use netsim::{install, NetSim, SimConfig};
 pub use report::{percentile_us, LatencySummary, OperatorLatency};
+pub use scale::{
+    rss_now_bytes, rss_peak_bytes, run_serial, run_sharded, ScaleConfig, ScaleOutcome, ScaleRun,
+    Topology,
+};
+pub use shard::ShardedQueue;
 pub use sqo_obs::{LogHistogram, MetricsRegistry, TraceCollector};
 pub use sqo_overlay::SimLatency;

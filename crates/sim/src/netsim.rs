@@ -22,6 +22,20 @@
 //! fan-out. The per-peer queues are shared by *all* queries, which is where
 //! cross-query contention (and the concurrent-workload p99 inflation the
 //! driver measures) comes from.
+//!
+//! ## Relation to the sharded core's lookahead invariant
+//!
+//! `NetSim` is the *analytic* model: a whole overlay call folds its hops
+//! into the clock at once, so it has no notion of events in flight and no
+//! parallelism to exploit. The sharded core ([`crate::scale`]) is the
+//! *message-level* model; its correctness rests on a property the latency
+//! models here must uphold: **every link traversal takes at least the
+//! model's minimum latency**. That minimum is the conservative lookahead
+//! window — events within one window cannot affect each other across
+//! peers, because any influence needs a message and every message takes
+//! ≥ one window to arrive. A latency model offering zero-cost links would
+//! shrink the safety window to nothing and serialize the sharded core;
+//! keep configured minima ≥ 1 µs.
 
 use crate::latency::{LatencyModel, LossModel};
 use rand::rngs::StdRng;
@@ -63,7 +77,7 @@ struct Fork {
 }
 
 /// The event-charging engine. Install on a network with
-/// [`install`](crate::install) or `Network::set_event_sink`.
+/// [`install`] or `Network::set_event_sink`.
 pub struct NetSim {
     cfg: SimConfig,
     rng: StdRng,

@@ -1,0 +1,973 @@
+//! `ScaleSim` — the sharded parallel event core for very large overlays.
+//!
+//! [`NetSim`](crate::NetSim) charges virtual time *analytically*: a whole
+//! `Retrieve` (route chain, shower fan-out, replies) is folded into the
+//! clock inside one engine call. That is exact for latency accounting but
+//! serializes everything through one event loop and one mutable network.
+//! `ScaleSim` decomposes retrieval into **true per-message events** — every
+//! route hop, shower forward and result reply is its own event against a
+//! read-only [`Topology`] snapshot — and executes them on a
+//! **conservatively windowed, sharded core** that scales to 10⁵–10⁶ peers.
+//!
+//! ## The lookahead invariant
+//!
+//! Peers are partitioned into shards (`peer % shards`). Each shard keeps
+//! its pending events in a calendar ring of windowed buckets of width
+//! `W ≤ service_us + link_min_us` — the **lower bound on how far ahead
+//! any event can schedule another** (a receiver serves for `service_us`,
+//! then the follow-up message travels at least `link_min_us`; `W` is the
+//! largest power of two under that bound, so window arithmetic is a
+//! shift). The core advances window by window: within window `k`
+//! (`[kW, (k+1)W)`) every shard processes its own bucket independently —
+//! no locks, no cross-shard reads — because any message emitted by an
+//! event at time `t ∈ [kW, (k+1)W)` arrives at
+//!
+//! ```text
+//! arrival = service_completion + link_latency ≥ t + service + link_min ≥ (k+1)W
+//! ```
+//!
+//! i.e. strictly after the current window. In threaded execution,
+//! emissions cross shards through per-destination mailboxes exchanged at
+//! the window barrier; single-threaded, they insert directly into the
+//! destination ring (legal for the same reason: they can only land in
+//! windows not yet swept). This is the classic conservative
+//! (Chandy–Misra-style) lookahead argument with the minimum
+//! service-plus-link time as the safety window; a `debug_assert` enforces
+//! it on every emission.
+//!
+//! ## Determinism
+//!
+//! Within a window each shard sorts its bucket by the global event key
+//! `(at_us, qid, step)` — `(qid, step)` is unique per message, so the key
+//! is total; every per-decision random draw is a **stateless hash** of
+//! `(seed, qid, step)` rather than a shared RNG stream. A peer's event sequence — and therefore its `busy_until`
+//! evolution — is thus identical for *any* shard count and for threaded
+//! or single-threaded execution, and the run's [`ScaleOutcome`] (event
+//! count, completion times, checksum) is bit-identical across all of them
+//! (pinned by the `scale_smoke` tests). The serial baseline
+//! ([`run_serial`]) executes the same events on one global binary heap
+//! ordered by the same key, so it produces the same outcome by
+//! construction — what differs is wall-clock: windowed bucket sorting
+//! beats per-event heap churn even on one core, and threads parallelize
+//! shards on many.
+
+use serde::Serialize;
+use sqo_obs::MetricsRegistry;
+use sqo_overlay::peer::Item;
+use sqo_overlay::{Key, Network, PeerId};
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::{Barrier, Mutex};
+use std::time::Instant;
+
+// ----------------------------------------------------------------------
+// Topology: the read-only overlay snapshot
+// ----------------------------------------------------------------------
+
+/// An immutable snapshot of an overlay network's structure: partition
+/// paths, peer→partition assignment, the flattened routing arena and the
+/// per-partition member lists — everything message-level simulation needs,
+/// nothing it can mutate. Snapshotting decouples the event core from the
+/// network's interior mutability (metrics, RNG), which is what lets shards
+/// share one topology across threads without locks.
+pub struct Topology {
+    paths: Vec<Key>,
+    /// Peer → partition index.
+    part_of: Vec<u32>,
+    /// Flattened routing tables, the same three-vector layout as
+    /// [`RoutingArena`](sqo_overlay::RoutingArena).
+    refs: Vec<u32>,
+    slice_off: Vec<u32>,
+    peer_off: Vec<u32>,
+    /// Flattened partition member lists.
+    members: Vec<u32>,
+    member_off: Vec<u32>,
+    /// Stored (key, item) pairs per partition — the local-scan cost input.
+    items_per_part: Vec<u32>,
+}
+
+impl Topology {
+    /// Snapshot `net`'s structure.
+    pub fn of_network<T: Item>(net: &Network<T>) -> Self {
+        let peers = net.peer_count();
+        let parts = net.partition_count();
+        let arena = net.routing_arena();
+
+        let mut part_of = vec![0u32; peers];
+        let mut members = Vec::with_capacity(peers);
+        let mut member_off = Vec::with_capacity(parts + 1);
+        let mut items_per_part = Vec::with_capacity(parts);
+        member_off.push(0u32);
+        for part in 0..parts {
+            let ms = net.partition_members(part);
+            for &m in ms {
+                part_of[m.index()] = part as u32;
+                members.push(m.0);
+            }
+            member_off.push(members.len() as u32);
+            items_per_part.push(ms.first().map(|&m| net.peer(m).item_count() as u32).unwrap_or(0));
+        }
+
+        let mut refs = Vec::with_capacity(arena.total_refs());
+        let mut slice_off = vec![0u32];
+        let mut peer_off = vec![0u32];
+        for p in 0..peers {
+            let pid = PeerId(p as u32);
+            for l in 0..arena.levels(pid) {
+                refs.extend(arena.refs(pid, l).iter().map(|r| r.0));
+                slice_off.push(refs.len() as u32);
+            }
+            peer_off.push(slice_off.len() as u32 - 1);
+        }
+
+        Self {
+            paths: net.paths().to_vec(),
+            part_of,
+            refs,
+            slice_off,
+            peer_off,
+            members,
+            member_off,
+            items_per_part,
+        }
+    }
+
+    pub fn peer_count(&self) -> usize {
+        self.part_of.len()
+    }
+
+    pub fn partition_count(&self) -> usize {
+        self.paths.len()
+    }
+
+    fn level_refs(&self, p: u32, l: usize) -> &[u32] {
+        let base = self.peer_off[p as usize] as usize + l;
+        if base >= self.peer_off[p as usize + 1] as usize {
+            return &[];
+        }
+        &self.refs[self.slice_off[base] as usize..self.slice_off[base + 1] as usize]
+    }
+
+    fn part_members(&self, part: u32) -> &[u32] {
+        &self.members
+            [self.member_off[part as usize] as usize..self.member_off[part as usize + 1] as usize]
+    }
+
+    /// Contiguous partition range `[s, e)` whose paths `key` covers.
+    fn subtree_of(&self, key: &Key) -> (u32, u32) {
+        let (s, e) = sqo_overlay::trie::subtree_range(&self.paths, key);
+        (s as u32, e as u32)
+    }
+}
+
+// ----------------------------------------------------------------------
+// Configuration and events
+// ----------------------------------------------------------------------
+
+/// Workload + timing model of a `ScaleSim` run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ScaleConfig {
+    /// Number of retrieve queries to drive (the simulated client load).
+    pub queries: usize,
+    /// Shard count of the windowed core ([`run_sharded`]); clamped to ≥ 1.
+    pub shards: usize,
+    /// Execute shards on OS threads (one per shard, barrier-synchronized).
+    /// The outcome is identical either way; wall-clock gains require
+    /// multiple cores.
+    pub threads: bool,
+    /// Stateless-randomness seed (initiators, targets, jitter draws).
+    pub seed: u64,
+    /// Minimum link latency — together with `service_us` it bounds the
+    /// conservative window width from above.
+    pub link_min_us: u64,
+    /// Uniform jitter added on top of the minimum, per message.
+    pub link_jitter_us: u64,
+    /// Receiver service cost per message.
+    pub service_us: u64,
+    /// Local-scan cost per stored entry at the responding partition.
+    pub scan_us_per_item: u64,
+    /// Query arrivals are spread uniformly over `[0, arrival_spread_us)`.
+    pub arrival_spread_us: u64,
+    /// Up to this many trailing bits are trimmed from a query's target
+    /// path (draw-dependent), turning the exact-key lookup into a shallow
+    /// prefix query that showers over the covered subtree.
+    pub shower_trim_bits: u32,
+}
+
+impl Default for ScaleConfig {
+    fn default() -> Self {
+        Self {
+            queries: 1_000,
+            shards: 2,
+            threads: false,
+            seed: 7,
+            link_min_us: 500,
+            link_jitter_us: 1_500,
+            service_us: 50,
+            scan_us_per_item: 2,
+            arrival_spread_us: 100_000,
+            shower_trim_bits: 2,
+        }
+    }
+}
+
+/// One in-flight message. The event key `(at_us, qid, step, peer)` is the
+/// global deterministic order; `step` is unique per message within a query
+/// by construction (route hops count up; a shower's forwards take the
+/// `fanout` steps after the owner's, forward replies shift past both).
+#[derive(Debug, Clone, Copy)]
+struct Ev {
+    at_us: u64,
+    qid: u32,
+    step: u32,
+    peer: u32,
+    kind: EvKind,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum EvKind {
+    /// A routed query message arriving at a peer.
+    Query,
+    /// A shower forward into a sibling partition; the receiver scans
+    /// locally and replies to the initiator.
+    Forward,
+    /// A partial result arriving at the initiator. The owner's own reply
+    /// announces the expected total (`of = fanout`); sibling replies carry
+    /// `of = 0` — the initiator reconciles both arrival orders.
+    Result { of: u32 },
+}
+
+impl Ev {
+    #[inline]
+    fn key(&self) -> (u64, u32, u32, u32) {
+        (self.at_us, self.qid, self.step, self.peer)
+    }
+
+    /// [`Ev::key`] packed into one `u128`. `(qid, step)` is unique per
+    /// message, so dropping `peer` loses nothing and the window sort
+    /// compares branchlessly. Orders identically to [`Ev::key`] — the
+    /// serial heap and the windowed core must agree on event order.
+    #[inline]
+    fn key128(&self) -> u128 {
+        ((self.at_us as u128) << 64) | ((self.qid as u128) << 32) | self.step as u128
+    }
+}
+
+/// Shift separating forward-reply steps from forward steps (bounds shower
+/// fan-out; asserted at emission).
+const REPLY_STEP_SHIFT: u32 = 1 << 20;
+
+/// Read-only per-query plan, fixed at arrival time.
+struct QInfo {
+    initiator: u32,
+    key: Key,
+}
+
+/// Mutable per-query progress, owned by the initiator's shard.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct QState {
+    /// Expected result count, 0 until the owner's reply announces it.
+    expected: u32,
+    /// Results received so far.
+    got: u32,
+    /// Virtual completion time (0 = not complete).
+    done_us: u64,
+}
+
+/// SplitMix64-style stateless draw from `(seed, qid, step, salt)` —
+/// identical for every shard count and execution order by construction.
+#[inline]
+fn mix(seed: u64, qid: u32, step: u32, salt: u64) -> u64 {
+    let mut z = seed
+        ^ (qid as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (step as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9)
+        ^ salt.wrapping_mul(0x94D0_49BB_1331_11EB);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+// ----------------------------------------------------------------------
+// The event handler (identical for every execution engine)
+// ----------------------------------------------------------------------
+
+/// Mutable simulation state as seen by the handler. The serial engine
+/// backs it with whole-network vectors; a shard backs it with its own
+/// stride-indexed slices — the handler cannot tell the difference, which
+/// is precisely the determinism argument.
+trait SimState {
+    fn busy_mut(&mut self, peer: u32) -> &mut u64;
+    fn qstate_mut(&mut self, qid: u32) -> &mut QState;
+}
+
+/// Shared, read-only inputs of a run.
+struct RunCtx<'a> {
+    topo: &'a Topology,
+    cfg: &'a ScaleConfig,
+    qinfo: Vec<QInfo>,
+}
+
+impl RunCtx<'_> {
+    /// Per-message link latency: the configured minimum (clamped to ≥ 1 —
+    /// the windowed core's safety width must be positive) plus a stateless
+    /// uniform jitter draw.
+    #[inline]
+    fn latency(&self, qid: u32, step: u32) -> u64 {
+        self.cfg.link_min_us.max(1)
+            + mix(self.cfg.seed, qid, step, 0xA11C).wrapping_rem(self.cfg.link_jitter_us + 1)
+    }
+
+    /// Process one message arrival: serial service at the receiving peer,
+    /// then emission of the follow-up messages (each ≥ `link_min_us`
+    /// ahead — the lookahead invariant).
+    fn handle<S: SimState>(&self, ev: Ev, st: &mut S, emit: &mut impl FnMut(Ev)) {
+        let cfg = self.cfg;
+        let topo = self.topo;
+        let q = &self.qinfo[ev.qid as usize];
+        // One borrow of the peer's slot for the whole event: the sharded
+        // state's stride indexing is paid once, not per touch.
+        let busy = st.busy_mut(ev.peer);
+        let start = ev.at_us.max(*busy);
+        match ev.kind {
+            EvKind::Query => {
+                let done = start + cfg.service_us;
+                *busy = done;
+                let path = &topo.paths[topo.part_of[ev.peer as usize] as usize];
+                if path.is_prefix_of(&q.key) || q.key.is_prefix_of(path) {
+                    // Owner: shower over the covered subtree. The own
+                    // partition scans inline; every sibling partition gets
+                    // one forward.
+                    let (s, e) = topo.subtree_of(&q.key);
+                    let own = topo.part_of[ev.peer as usize];
+                    let fanout = e - s;
+                    debug_assert!(
+                        (s..e).contains(&own),
+                        "owner's partition lies in its own subtree"
+                    );
+                    debug_assert!(fanout < REPLY_STEP_SHIFT, "shower fan-out exceeds step space");
+                    let mut j = 0u32;
+                    let mut scan_done = done;
+                    for part in s..e {
+                        if part == own {
+                            scan_done +=
+                                cfg.scan_us_per_item * topo.items_per_part[part as usize] as u64;
+                            continue;
+                        }
+                        let fstep = ev.step + 1 + j;
+                        j += 1;
+                        let ms = topo.part_members(part);
+                        let responder = ms[mix(cfg.seed, ev.qid, fstep, 0xF0) as usize % ms.len()];
+                        emit(Ev {
+                            at_us: done + self.latency(ev.qid, fstep),
+                            qid: ev.qid,
+                            step: fstep,
+                            peer: responder,
+                            kind: EvKind::Forward,
+                        });
+                    }
+                    // The owner's local scan occupies it beyond the plain
+                    // message service before its own reply departs.
+                    *busy = scan_done;
+                    let rstep = ev.step + 1 + fanout;
+                    emit(Ev {
+                        at_us: scan_done + self.latency(ev.qid, rstep),
+                        qid: ev.qid,
+                        step: rstep,
+                        peer: q.initiator,
+                        kind: EvKind::Result { of: fanout },
+                    });
+                } else {
+                    // Route hop: the first differing level picks the next
+                    // reference (Algorithm 1, stateless draw).
+                    let l = path.common_prefix_len(&q.key);
+                    let refs = topo.level_refs(ev.peer, l);
+                    debug_assert!(!refs.is_empty(), "complete cover wires every level");
+                    let next = refs[mix(cfg.seed, ev.qid, ev.step, 0x11) as usize % refs.len()];
+                    emit(Ev {
+                        at_us: done + self.latency(ev.qid, ev.step + 1),
+                        qid: ev.qid,
+                        step: ev.step + 1,
+                        peer: next,
+                        kind: EvKind::Query,
+                    });
+                }
+            }
+            EvKind::Forward => {
+                let part = topo.part_of[ev.peer as usize];
+                let done = start
+                    + cfg.service_us
+                    + cfg.scan_us_per_item * topo.items_per_part[part as usize] as u64;
+                *busy = done;
+                let rstep = ev.step + REPLY_STEP_SHIFT;
+                emit(Ev {
+                    at_us: done + self.latency(ev.qid, rstep),
+                    qid: ev.qid,
+                    step: rstep,
+                    peer: q.initiator,
+                    kind: EvKind::Result { of: 0 },
+                });
+            }
+            EvKind::Result { of } => {
+                let done = start + cfg.service_us;
+                *busy = done;
+                let qs = st.qstate_mut(ev.qid);
+                qs.got += 1;
+                if of > 0 {
+                    debug_assert_eq!(qs.expected, 0, "only the owner announces the fan-out");
+                    qs.expected = of;
+                }
+                if qs.expected > 0 && qs.got == qs.expected && qs.done_us == 0 {
+                    qs.done_us = done;
+                }
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Outcomes
+// ----------------------------------------------------------------------
+
+/// The deterministic half of a run: bit-identical for the serial baseline
+/// and every sharded/threaded configuration — the invariant the
+/// determinism tests pin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct ScaleOutcome {
+    /// Queries that saw all their expected results.
+    pub queries_done: u64,
+    /// Total message events processed.
+    pub events: u64,
+    /// Latest completion (virtual µs).
+    pub max_done_us: u64,
+    /// Sum of completion times (virtual µs, wrapping).
+    pub sum_done_us: u64,
+    /// FNV-1a over `(qid, done_us)` of all completed queries.
+    pub checksum: u64,
+}
+
+/// The performance half: wall-clock measurements of one engine run.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScaleRun {
+    /// `"serial"` (global binary heap) or `"sharded"` (windowed core).
+    pub mode: String,
+    pub shards: usize,
+    pub threads: bool,
+    pub events: u64,
+    pub elapsed_ms: f64,
+    pub events_per_sec: f64,
+}
+
+impl ScaleRun {
+    /// Fold this run into a metrics registry under the `sim.*` schema.
+    pub fn export_metrics(&self, m: &mut MetricsRegistry) {
+        m.gauge_set("sim.events_per_sec", self.events_per_sec);
+        if let Some(rss) = rss_peak_bytes() {
+            m.gauge_set("sim.rss_peak_bytes", rss as f64);
+        }
+    }
+}
+
+fn build_ctx<'a>(topo: &'a Topology, cfg: &'a ScaleConfig) -> RunCtx<'a> {
+    let peers = topo.peer_count() as u64;
+    let parts = topo.partition_count() as u64;
+    let qinfo = (0..cfg.queries as u32)
+        .map(|qid| {
+            let initiator = mix(cfg.seed, qid, 0, 0x1111).wrapping_rem(peers) as u32;
+            let part = mix(cfg.seed, qid, 0, 0x2222).wrapping_rem(parts) as usize;
+            let path = &topo.paths[part];
+            let trim = (mix(cfg.seed, qid, 0, 0x3333).wrapping_rem(cfg.shower_trim_bits as u64 + 1))
+                as usize;
+            let key = path.prefix(path.len().saturating_sub(trim).max(1));
+            QInfo { initiator, key }
+        })
+        .collect();
+    RunCtx { topo, cfg, qinfo }
+}
+
+fn initial_events(ctx: &RunCtx<'_>) -> Vec<Ev> {
+    let cfg = ctx.cfg;
+    (0..cfg.queries as u32)
+        .map(|qid| Ev {
+            at_us: mix(cfg.seed, qid, 0, 0x57A7).wrapping_rem(cfg.arrival_spread_us.max(1)),
+            qid,
+            step: 0,
+            peer: ctx.qinfo[qid as usize].initiator,
+            kind: EvKind::Query,
+        })
+        .collect()
+}
+
+fn finish(ctx: &RunCtx<'_>, qstate: &[QState], events: u64) -> ScaleOutcome {
+    let mut queries_done = 0u64;
+    let mut max_done = 0u64;
+    let mut sum_done = 0u64;
+    let mut checksum = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
+    for (qid, qs) in qstate.iter().enumerate().take(ctx.cfg.queries) {
+        if qs.done_us > 0 {
+            queries_done += 1;
+            max_done = max_done.max(qs.done_us);
+            sum_done = sum_done.wrapping_add(qs.done_us);
+            for w in [qid as u64, qs.done_us] {
+                checksum ^= w;
+                checksum = checksum.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+    }
+    ScaleOutcome { queries_done, events, max_done_us: max_done, sum_done_us: sum_done, checksum }
+}
+
+// ----------------------------------------------------------------------
+// Serial baseline: one global binary heap
+// ----------------------------------------------------------------------
+
+/// Heap entry ordered by the global event key, reversed for a min-heap.
+struct HeapEv(Ev);
+
+impl PartialEq for HeapEv {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.key() == other.0.key()
+    }
+}
+impl Eq for HeapEv {}
+impl PartialOrd for HeapEv {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEv {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.0.key().cmp(&self.0.key())
+    }
+}
+
+/// Whole-network state for the serial engine.
+struct GlobalState {
+    busy: Vec<u64>,
+    qstate: Vec<QState>,
+}
+
+impl SimState for GlobalState {
+    #[inline]
+    fn busy_mut(&mut self, peer: u32) -> &mut u64 {
+        &mut self.busy[peer as usize]
+    }
+    #[inline]
+    fn qstate_mut(&mut self, qid: u32) -> &mut QState {
+        &mut self.qstate[qid as usize]
+    }
+}
+
+/// The serial baseline: every event on **one global binary heap** ordered
+/// by the event key — the direct analogue of the classic single event
+/// loop. Same [`ScaleOutcome`] as the sharded core by construction;
+/// measured for the wall-clock comparison.
+pub fn run_serial(topo: &Topology, cfg: &ScaleConfig) -> (ScaleOutcome, ScaleRun) {
+    let ctx = build_ctx(topo, cfg);
+    let mut st = GlobalState {
+        busy: vec![0u64; topo.peer_count()],
+        qstate: vec![QState::default(); cfg.queries],
+    };
+    let mut events = 0u64;
+
+    let t0 = Instant::now();
+    let mut heap: std::collections::BinaryHeap<HeapEv> =
+        initial_events(&ctx).into_iter().map(HeapEv).collect();
+    let mut emitted: Vec<Ev> = Vec::new();
+    while let Some(HeapEv(ev)) = heap.pop() {
+        events += 1;
+        ctx.handle(ev, &mut st, &mut |e| emitted.push(e));
+        heap.extend(emitted.drain(..).map(HeapEv));
+    }
+    let elapsed = t0.elapsed();
+    let outcome = finish(&ctx, &st.qstate, events);
+    let run = ScaleRun {
+        mode: "serial".into(),
+        shards: 1,
+        threads: false,
+        events,
+        elapsed_ms: elapsed.as_secs_f64() * 1e3,
+        events_per_sec: events as f64 / elapsed.as_secs_f64().max(1e-9),
+    };
+    (outcome, run)
+}
+
+// ----------------------------------------------------------------------
+// The sharded windowed core
+// ----------------------------------------------------------------------
+
+/// One shard's mutable state: the `busy_until` slots of the peers
+/// `p ≡ id (mod shards)`, the progress of queries initiated by them, and
+/// its processed-event count. Pending events live in the shard's [`Ring`].
+struct Shard {
+    id: usize,
+    shards: usize,
+    /// `busy_until` of peer `p`, at local index `p / shards`.
+    busy: Vec<u64>,
+    /// Dense by qid; only queries whose initiator lives here are touched.
+    qstate: Vec<QState>,
+    events: u64,
+}
+
+/// One shard's **calendar ring** of pending events: slot `w & mask`
+/// holds window `w`'s bucket. Insertion is a shift, a mask and a push —
+/// no ordered-map node, no per-event allocation (slot vectors keep their
+/// capacity across laps) — which is where the windowed core's wall-clock
+/// edge over per-event heap churn comes from. The ring is sized at
+/// start-up so every event a handler can emit (bounded by the arrival
+/// spread and by `service + max_scan + link_min + jitter`) lands within
+/// `mask + 1` windows of the cursor; `insert` asserts it.
+///
+/// Kept apart from [`Shard`] so the single-threaded loop can borrow one
+/// shard's state mutably while inserting emissions into **any** shard's
+/// ring — the lookahead invariant makes that safe (every emission lands
+/// in a later window).
+struct Ring {
+    /// Window width as a shift: `window_us = 1 << shift`, so the hot
+    /// per-insert window computation is `at_us >> shift`, not a division.
+    shift: u32,
+    /// Slot `w & mask` holds the events of window `w`.
+    slots: Vec<Vec<Ev>>,
+    mask: usize,
+    /// Lowest window a pending event may still occupy (cursor + 1 after
+    /// each taken window) — the ring-horizon assertion's floor.
+    floor: u64,
+    /// Events inserted but not yet taken.
+    pending: usize,
+}
+
+impl Ring {
+    #[inline]
+    fn insert(&mut self, ev: Ev) {
+        let w = ev.at_us >> self.shift;
+        debug_assert!(w >= self.floor, "event for an already-processed window");
+        debug_assert!((w - self.floor) as usize <= self.mask, "ring horizon exceeded");
+        self.slots[w as usize & self.mask].push(ev);
+        self.pending += 1;
+    }
+
+    /// Remove and return window `w`'s bucket (possibly empty), advancing
+    /// the floor past it.
+    #[inline]
+    fn take(&mut self, w: u64) -> Vec<Ev> {
+        self.floor = w + 1;
+        let evs = std::mem::take(&mut self.slots[w as usize & self.mask]);
+        self.pending -= evs.len();
+        evs
+    }
+
+    /// Hand a drained bucket vector back to its slot so the next lap of
+    /// the ring reuses its capacity instead of reallocating.
+    #[inline]
+    fn put_back(&mut self, w: u64, mut evs: Vec<Ev>) {
+        evs.clear();
+        self.slots[w as usize & self.mask] = evs;
+    }
+}
+
+/// The shard's mutable state viewed through [`SimState`] (stride-indexed
+/// peer slots).
+struct ShardState<'a> {
+    busy: &'a mut [u64],
+    qstate: &'a mut [QState],
+    shards: usize,
+}
+
+impl SimState for ShardState<'_> {
+    #[inline]
+    fn busy_mut(&mut self, peer: u32) -> &mut u64 {
+        &mut self.busy[peer as usize / self.shards]
+    }
+    #[inline]
+    fn qstate_mut(&mut self, qid: u32) -> &mut QState {
+        &mut self.qstate[qid as usize]
+    }
+}
+
+impl Shard {
+    /// Process one sorted window bucket. Safe to run concurrently with
+    /// other shards' buckets of the same window: the lookahead invariant
+    /// guarantees no emission lands inside it.
+    fn run_evs(&mut self, evs: &[Ev], ctx: &RunCtx<'_>, emit: &mut impl FnMut(Ev)) {
+        self.events += evs.len() as u64;
+        let mut st =
+            ShardState { busy: &mut self.busy, qstate: &mut self.qstate, shards: self.shards };
+        for &ev in evs {
+            debug_assert_eq!(ev.peer as usize % self.shards, self.id, "event on wrong shard");
+            ctx.handle(ev, &mut st, emit);
+        }
+    }
+}
+
+/// The sharded windowed core. `cfg.threads` selects barrier-synchronized
+/// OS threads (one per shard) over the single-threaded shard loop; the
+/// [`ScaleOutcome`] is identical either way.
+pub fn run_sharded(topo: &Topology, cfg: &ScaleConfig) -> (ScaleOutcome, ScaleRun) {
+    let shards_n = cfg.shards.max(1);
+    // The safety window can be as wide as the true lookahead bound: an
+    // event at `t` emits at `done + latency` with `done ≥ t + service_us`,
+    // so any width ≤ `service_us + link_min_us` is conservative. Take the
+    // largest power of two under the bound — window arithmetic in the
+    // insert hot path becomes a shift, and wider windows mean fewer
+    // sweeps and barriers for the same guarantee.
+    let bound_us = cfg.service_us + cfg.link_min_us.max(1);
+    let shift = bound_us.ilog2();
+    let window_us = 1u64 << shift;
+    let ctx = build_ctx(topo, cfg);
+    // Ring horizon: no pending event is ever further ahead of the cursor
+    // than the initial arrival spread or one maximal handler emission
+    // (service + longest local scan + max link latency).
+    let max_scan_us =
+        topo.items_per_part.iter().copied().max().unwrap_or(0) as u64 * cfg.scan_us_per_item;
+    let max_delta_us = cfg.service_us + max_scan_us + cfg.link_min_us.max(1) + cfg.link_jitter_us;
+    let horizon = (cfg.arrival_spread_us / window_us).max(max_delta_us / window_us) + 2;
+    let ring_len = (horizon as usize).next_power_of_two();
+    let mut shards: Vec<Shard> = (0..shards_n)
+        .map(|id| Shard {
+            id,
+            shards: shards_n,
+            busy: vec![0u64; topo.peer_count().div_ceil(shards_n)],
+            qstate: vec![QState::default(); cfg.queries],
+            events: 0,
+        })
+        .collect();
+    let mut rings: Vec<Ring> = (0..shards_n)
+        .map(|_| Ring {
+            shift,
+            slots: vec![Vec::new(); ring_len],
+            mask: ring_len - 1,
+            floor: 0,
+            pending: 0,
+        })
+        .collect();
+    for ev in initial_events(&ctx) {
+        rings[ev.peer as usize % shards_n].insert(ev);
+    }
+
+    let t0 = Instant::now();
+    if cfg.threads && shards_n > 1 {
+        run_windows_threaded(&ctx, &mut shards, &mut rings);
+    } else {
+        run_windows_serial(&ctx, &mut shards, &mut rings);
+    }
+    let elapsed = t0.elapsed();
+
+    // Each query's progress lives on its initiator's shard; collect from
+    // there.
+    let mut events = 0u64;
+    for sh in &shards {
+        events += sh.events;
+    }
+    let qstate: Vec<QState> = (0..cfg.queries)
+        .map(|q| shards[ctx.qinfo[q].initiator as usize % shards_n].qstate[q])
+        .collect();
+    let outcome = finish(&ctx, &qstate, events);
+    let run = ScaleRun {
+        mode: "sharded".into(),
+        shards: shards_n,
+        threads: cfg.threads && shards_n > 1,
+        events,
+        elapsed_ms: elapsed.as_secs_f64() * 1e3,
+        events_per_sec: events as f64 / elapsed.as_secs_f64().max(1e-9),
+    };
+    (outcome, run)
+}
+
+/// Single-threaded window loop: sweep the calendars window by window
+/// (empty slots cost one `take` of an empty vector), stop when no ring
+/// has pending events. Emissions insert **directly** into the destination
+/// shard's ring — no outbox, no second pass — which is legal mid-window
+/// because the lookahead invariant puts every emission in a later window
+/// than any bucket still to be processed this sweep.
+fn run_windows_serial(ctx: &RunCtx<'_>, shards: &mut [Shard], rings: &mut [Ring]) {
+    let n = shards.len();
+    let shift = rings[0].shift;
+    let mut w = 0u64;
+    while rings.iter().any(|r| r.pending > 0) {
+        for i in 0..n {
+            let mut evs = rings[i].take(w);
+            if evs.is_empty() {
+                continue;
+            }
+            evs.sort_unstable_by_key(Ev::key128);
+            let (sh, rings) = (&mut shards[i], &mut *rings);
+            sh.run_evs(&evs, ctx, &mut |e| {
+                debug_assert!(
+                    e.at_us >> shift > w,
+                    "lookahead violation: emission into the current window"
+                );
+                rings[e.peer as usize % n].insert(e);
+            });
+            rings[i].put_back(w, evs);
+        }
+        w += 1;
+    }
+}
+
+/// Threaded window loop: one OS thread per shard, barrier-synchronized.
+/// Mailbox `m[i][j]` carries shard `i`'s emissions for shard `j`; writers
+/// fill between the first and second barrier, owners drain between the
+/// second and third — no mailbox is read while written.
+fn run_windows_threaded(ctx: &RunCtx<'_>, shards: &mut [Shard], rings: &mut [Ring]) {
+    let n = shards.len();
+    let barrier = Barrier::new(n);
+    let pendings: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    let mailboxes: Vec<Vec<Mutex<Vec<Ev>>>> =
+        (0..n).map(|_| (0..n).map(|_| Mutex::new(Vec::new())).collect()).collect();
+
+    std::thread::scope(|scope| {
+        for (sh, ring) in shards.iter_mut().zip(rings.iter_mut()) {
+            let (barrier, pendings, mailboxes) = (&barrier, &pendings, &mailboxes);
+            scope.spawn(move || {
+                let id = sh.id;
+                let shift = ring.shift;
+                let mut out: Vec<Vec<Ev>> = vec![Vec::new(); n];
+                let mut w = 0u64;
+                loop {
+                    pendings[id].store(ring.pending as u64, AtomicOrdering::Relaxed);
+                    barrier.wait();
+                    // Every thread computes the same sum, so all break on
+                    // the same window.
+                    let total: u64 = pendings.iter().map(|p| p.load(AtomicOrdering::Relaxed)).sum();
+                    if total == 0 {
+                        break;
+                    }
+                    let mut evs = ring.take(w);
+                    if !evs.is_empty() {
+                        evs.sort_unstable_by_key(Ev::key128);
+                        sh.run_evs(&evs, ctx, &mut |e| {
+                            debug_assert!(
+                                e.at_us >> shift > w,
+                                "lookahead violation: emission into the current window"
+                            );
+                            let dest = e.peer as usize % n;
+                            // Own-shard emissions skip the mailbox.
+                            if dest == id {
+                                ring.insert(e);
+                            } else {
+                                out[dest].push(e);
+                            }
+                        });
+                        ring.put_back(w, evs);
+                    }
+                    for (dest, lane) in out.iter_mut().enumerate() {
+                        if !lane.is_empty() {
+                            mailboxes[id][dest].lock().expect("mailbox").append(lane);
+                        }
+                    }
+                    barrier.wait();
+                    for row in mailboxes {
+                        let mut lane = row[id].lock().expect("mailbox");
+                        for ev in lane.drain(..) {
+                            ring.insert(ev);
+                        }
+                    }
+                    barrier.wait();
+                    w += 1;
+                }
+            });
+        }
+    });
+}
+
+// ----------------------------------------------------------------------
+// RSS helpers (Linux, dependency-free)
+// ----------------------------------------------------------------------
+
+/// Peak resident set size of this process (`VmHWM` from
+/// `/proc/self/status`); `None` off Linux.
+pub fn rss_peak_bytes() -> Option<u64> {
+    proc_status_kib("VmHWM:").map(|k| k * 1024)
+}
+
+/// Current resident set size (`VmRSS`); `None` off Linux.
+pub fn rss_now_bytes() -> Option<u64> {
+    proc_status_kib("VmRSS:").map(|k| k * 1024)
+}
+
+fn proc_status_kib(label: &str) -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with(label))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqo_overlay::hash::hash_str;
+    use sqo_overlay::network::NetworkConfig;
+
+    #[derive(Debug, Clone)]
+    struct W(String);
+    impl Item for W {
+        fn size_bytes(&self) -> usize {
+            self.0.len()
+        }
+    }
+
+    fn small_net() -> Network<W> {
+        let data: Vec<(Key, W)> =
+            (0..400).map(|i| (hash_str(&format!("w{i:04}")), W(format!("w{i:04}")))).collect();
+        Network::build(
+            NetworkConfig { peers: 96, replication: 3, seed: 11, ..NetworkConfig::default() },
+            data,
+        )
+    }
+
+    #[test]
+    fn serial_and_sharded_agree_bit_for_bit() {
+        let net = small_net();
+        let topo = Topology::of_network(&net);
+        let cfg = ScaleConfig { queries: 64, arrival_spread_us: 5_000, ..Default::default() };
+        let (serial, _) = run_serial(&topo, &cfg);
+        assert_eq!(serial.queries_done, 64, "all queries complete: {serial:?}");
+        for shards in [1usize, 2, 3, 4] {
+            for threads in [false, true] {
+                let c = ScaleConfig { shards, threads, ..cfg };
+                let (out, run) = run_sharded(&topo, &c);
+                assert_eq!(out, serial, "shards={shards} threads={threads} diverged");
+                assert_eq!(run.shards, shards);
+            }
+        }
+    }
+
+    #[test]
+    fn showers_fan_out_and_still_complete() {
+        let net = small_net();
+        let topo = Topology::of_network(&net);
+        let cfg = ScaleConfig {
+            queries: 32,
+            shower_trim_bits: 3,
+            arrival_spread_us: 2_000,
+            ..Default::default()
+        };
+        let (showered, _) = run_serial(&topo, &cfg);
+        assert_eq!(showered.queries_done, 32);
+        // Shallow prefixes shower: strictly more events than exact-path
+        // lookups of the same workload.
+        let exact = ScaleConfig { shower_trim_bits: 0, ..cfg };
+        let (exact_out, _) = run_serial(&topo, &exact);
+        assert!(showered.events > exact_out.events, "{} vs {}", showered.events, exact_out.events);
+    }
+
+    #[test]
+    fn topology_subtree_matches_network() {
+        let net = small_net();
+        let topo = Topology::of_network(&net);
+        for part in 0..topo.partition_count() {
+            let key = topo.paths[part].clone();
+            let (s, e) = topo.subtree_of(&key);
+            assert_eq!((s as usize, e as usize), net.subtree_of(&key));
+            if key.len() > 1 {
+                let shallow = key.prefix(key.len() - 1);
+                let (s, e) = topo.subtree_of(&shallow);
+                assert_eq!((s as usize, e as usize), net.subtree_of(&shallow));
+            }
+        }
+    }
+
+    #[test]
+    fn rss_helpers_report_on_linux() {
+        if let (Some(now), Some(peak)) = (rss_now_bytes(), rss_peak_bytes()) {
+            assert!(now > 0 && peak >= now / 2, "peak {peak} vs now {now}");
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Scale smoke tests for the sharded parallel event core:
+//!
+//! * a 10⁵-peer overlay snapshot drives a full `ScaleSim` workload inside
+//!   the RSS-per-peer and wall-clock budgets,
+//! * the sharded windowed core is **bit-identical** to the serial heap
+//!   baseline at integration scale and under a property sweep of seeds,
+//! * the driver's [`ShardedQueue`](sqo_sim::ShardedQueue) lane count
+//!   never changes a [`DriverReport`] — serialized reports are
+//!   byte-for-byte equal for every `shards` setting.
+
+use proptest::prelude::*;
+use sqo_core::EngineBuilder;
+use sqo_datasets::{bible_words, string_rows};
+use sqo_overlay::hash::hash_str;
+use sqo_overlay::key::Key;
+use sqo_overlay::network::{Network, NetworkConfig};
+use sqo_overlay::peer::Item;
+use sqo_sim::{
+    rss_now_bytes, run_driver, run_serial, run_sharded, DriverConfig, ScaleConfig, Topology,
+};
+use std::sync::OnceLock;
+
+#[derive(Debug, Clone)]
+struct W(String);
+
+impl Item for W {
+    fn size_bytes(&self) -> usize {
+        self.0.len()
+    }
+}
+
+fn corpus(n: usize) -> Vec<(Key, W)> {
+    (0..n).map(|i| (hash_str(&format!("w{i:07}")), W(format!("w{i:07}")))).collect()
+}
+
+/// The 10⁵-peer snapshot, built once and shared by the tests below (the
+/// build is the expensive part; `Topology` is read-only by design).
+fn big_topology() -> &'static (Topology, u64) {
+    static TOPO: OnceLock<(Topology, u64)> = OnceLock::new();
+    TOPO.get_or_init(|| {
+        let peers = 100_000;
+        let rss_before = rss_now_bytes().unwrap_or(0);
+        let t0 = std::time::Instant::now();
+        let net = Network::build(
+            NetworkConfig { peers, replication: 3, seed: 7, ..NetworkConfig::default() },
+            corpus(100_000),
+        );
+        let build = t0.elapsed();
+        let rss_after = rss_now_bytes().unwrap_or(0);
+        let per_peer = rss_after.saturating_sub(rss_before) / peers as u64;
+        assert!(build.as_secs() < 180, "10^5-peer build took {build:?}, over the smoke budget");
+        let topo = Topology::of_network(&net);
+        (topo, per_peer)
+    })
+}
+
+/// 10⁵ peers: the arena-backed overlay stays inside the RSS budget (the
+/// seed held 5 649 B/peer; the issue demands ≥ 3× less) and a full
+/// sharded workload completes every query.
+#[test]
+fn hundred_thousand_peers_fit_and_complete() {
+    let (topo, rss_per_peer) = big_topology();
+    assert_eq!(topo.peer_count(), 100_000);
+    if *rss_per_peer > 0 {
+        assert!(
+            *rss_per_peer <= 5_649 / 3,
+            "overlay RSS {rss_per_peer} B/peer exceeds a third of the 5 649 B/peer seed"
+        );
+    }
+
+    let cfg = ScaleConfig { queries: 300, arrival_spread_us: 20_000, ..ScaleConfig::default() };
+    let (out, run) = run_sharded(topo, &cfg);
+    assert_eq!(out.queries_done, 300, "every query completes: {out:?}");
+    assert!(out.events > 300, "multi-hop routing produces more events than queries");
+    assert_eq!(run.events, out.events);
+    assert!(out.max_done_us > 0 && out.checksum != 0);
+}
+
+/// At the same 10⁵-peer scale, every shard count and both execution modes
+/// reproduce the serial heap baseline bit for bit.
+#[test]
+fn sharded_is_bit_identical_to_serial_at_scale() {
+    let (topo, _) = big_topology();
+    let cfg = ScaleConfig { queries: 200, arrival_spread_us: 20_000, ..ScaleConfig::default() };
+    let (serial, _) = run_serial(topo, &cfg);
+    assert_eq!(serial.queries_done, 200);
+    for (shards, threads) in [(1, false), (2, false), (4, false), (4, true)] {
+        let c = ScaleConfig { shards, threads, ..cfg };
+        let (out, _) = run_sharded(topo, &c);
+        assert_eq!(out, serial, "shards={shards} threads={threads} diverged from serial");
+    }
+}
+
+/// Small-topology fixture for the property sweep.
+fn small_topology() -> &'static Topology {
+    static TOPO: OnceLock<Topology> = OnceLock::new();
+    TOPO.get_or_init(|| {
+        let net = Network::build(
+            NetworkConfig { peers: 120, replication: 3, seed: 13, ..NetworkConfig::default() },
+            corpus(500),
+        );
+        Topology::of_network(&net)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// For any seed, workload shape and shard count, the windowed core's
+    /// outcome equals the serial baseline's — the determinism invariant
+    /// the whole measurement methodology rests on.
+    #[test]
+    fn any_seed_any_shards_matches_serial(
+        seed in 0u64..1_000,
+        shards in 1usize..6,
+        threads in any::<bool>(),
+        queries in 8usize..48,
+        trim in 0u32..4,
+    ) {
+        let topo = small_topology();
+        let cfg = ScaleConfig {
+            queries,
+            seed,
+            shards,
+            threads,
+            shower_trim_bits: trim,
+            arrival_spread_us: 10_000,
+            ..ScaleConfig::default()
+        };
+        let (serial, _) = run_serial(topo, &cfg);
+        let (sharded, _) = run_sharded(topo, &cfg);
+        prop_assert_eq!(serial, sharded);
+        prop_assert_eq!(serial.queries_done, queries as u64);
+    }
+}
+
+/// The driver's event queue is sharded into per-client lanes; the global
+/// sequence counter makes pop order — and therefore the whole report —
+/// independent of the lane count. Serialized reports must be
+/// byte-identical for every `shards` setting.
+#[test]
+fn driver_report_is_byte_identical_for_any_shard_count() {
+    let words = bible_words(300, 9);
+    let rows = string_rows("word", &words, "w");
+    let report_for = |shards: usize| {
+        let mut engine = EngineBuilder::new().peers(48).q(2).seed(5).build_with_rows(&rows);
+        let cfg =
+            DriverConfig { clients: 4, queries_per_client: 3, shards, ..DriverConfig::default() };
+        let report = run_driver(&mut engine, "word", &words, &cfg);
+        serde_json::to_string(&report).expect("serialize report")
+    };
+    let baseline = report_for(1);
+    for shards in [2, 3, 8, 64] {
+        assert_eq!(report_for(shards), baseline, "DriverReport changed under shards={shards}");
+    }
+}

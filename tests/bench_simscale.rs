@@ -1,0 +1,161 @@
+//! Acceptance pins on the committed `BENCH_simscale.json`:
+//!
+//! * the build sweep reaches 10⁵ peers and the arena-backed overlay
+//!   stays under a third of the seed's 5 649 B/peer resident footprint,
+//! * the event-core sweep drives the 10³-query workload, and the sharded
+//!   windowed core (shards ≥ 2, single-threaded — the 1-core CI box)
+//!   beats the serial heap baseline by ≥ 1.5× events/sec,
+//! * every engine configuration produced the same `ScaleOutcome`
+//!   (`deterministic: true`, equal checksums),
+//! * the `sim.*` metric gauges are wired into the artifact.
+//!
+//! The committed file is a deterministic-workload run of
+//! `cargo run --release -p sqo-bench --bin simscale`; regenerate it
+//! whenever overlay state or event-core economics change.
+
+/// One `builds[]` entry.
+#[derive(Debug, Default, Clone)]
+struct Build {
+    peers: u64,
+    rss_per_peer_bytes: u64,
+}
+
+/// One `scale[]` entry.
+#[derive(Debug, Default, Clone)]
+struct Scale {
+    mode: String,
+    shards: u64,
+    threads: bool,
+    queries: u64,
+    queries_done: u64,
+    events_per_sec: f64,
+    checksum: String,
+}
+
+/// Top-level scalars plus the two point lists, extracted line-wise (the
+/// generated file keeps one scalar field per line, so a full JSON parser
+/// is unnecessary — the vendored serde_json stand-in is serialize-only).
+#[derive(Debug, Default)]
+struct Report {
+    seed_rss_per_peer_bytes: u64,
+    deterministic: bool,
+    builds: Vec<Build>,
+    scale: Vec<Scale>,
+    gauges: Vec<String>,
+}
+
+fn load_report() -> Report {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_simscale.json");
+    let text = std::fs::read_to_string(path).expect("committed BENCH_simscale.json");
+    let mut r = Report::default();
+    let mut depth = 0i32;
+    let mut build = Build::default();
+    let mut scale = Scale::default();
+    let mut is_scale = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.ends_with('{') {
+            depth += 1;
+            if depth == 2 {
+                build = Build::default();
+                scale = Scale::default();
+                is_scale = false;
+            }
+            continue;
+        }
+        if line.starts_with('}') || line.starts_with("},") {
+            if depth == 2 {
+                if is_scale {
+                    r.scale.push(scale.clone());
+                } else if build.peers > 0 {
+                    r.builds.push(build.clone());
+                }
+            }
+            depth -= 1;
+            continue;
+        }
+        let Some((key, value)) = line.split_once(':') else { continue };
+        let key = key.trim().trim_matches('"');
+        let value = value.trim().trim_end_matches(',');
+        let as_u64 = || value.parse::<f64>().unwrap_or(0.0) as u64;
+        match (depth, key) {
+            (1, "seed_rss_per_peer_bytes") => r.seed_rss_per_peer_bytes = as_u64(),
+            (1, "deterministic") => r.deterministic = value == "true",
+            (2, "peers") => build.peers = as_u64(),
+            (2, "rss_per_peer_bytes") => build.rss_per_peer_bytes = as_u64(),
+            (2, "mode") => {
+                scale.mode = value.trim_matches('"').to_string();
+                is_scale = true;
+            }
+            (2, "shards") => scale.shards = as_u64(),
+            (2, "threads") => scale.threads = value == "true",
+            (2, "queries") => scale.queries = as_u64(),
+            (2, "queries_done") => scale.queries_done = as_u64(),
+            (2, "events_per_sec") => scale.events_per_sec = value.parse().unwrap_or(0.0),
+            (2, "checksum") => scale.checksum = value.to_string(),
+            (3, _) if key.starts_with("sim.") => r.gauges.push(key.to_string()),
+            _ => {}
+        }
+    }
+    assert!(!r.builds.is_empty() && !r.scale.is_empty(), "no points parsed from {path}");
+    r
+}
+
+/// The headline RSS claim: 10⁵ peers on board, and the arena overlay
+/// holds at most a third of the seed's per-peer resident footprint.
+#[test]
+fn overlay_rss_per_peer_beats_seed_by_3x() {
+    let r = load_report();
+    let big = r.builds.iter().find(|b| b.peers >= 100_000).expect("a 10^5-peer build point");
+    assert_eq!(r.seed_rss_per_peer_bytes, 5_649, "seed baseline recorded in the artifact");
+    assert!(
+        big.rss_per_peer_bytes <= r.seed_rss_per_peer_bytes / 3,
+        "rss {} B/peer exceeds a third of the {} B/peer seed",
+        big.rss_per_peer_bytes,
+        r.seed_rss_per_peer_bytes
+    );
+}
+
+/// The headline throughput claim: on one core, the windowed sharded core
+/// beats the serial heap baseline by ≥ 1.5× events/sec at shards ≥ 2.
+#[test]
+fn sharded_core_beats_serial_by_1_5x() {
+    let r = load_report();
+    let serial = r.scale.iter().find(|s| s.mode == "serial").expect("a serial baseline point");
+    assert_eq!(serial.queries, 1_000, "the 10^3-query sweep");
+    assert!(serial.events_per_sec > 0.0);
+    let sharded: Vec<_> =
+        r.scale.iter().filter(|s| s.mode == "sharded" && s.shards >= 2 && !s.threads).collect();
+    assert!(sharded.len() >= 2, "sharded sweep covers at least two shard counts");
+    for s in &sharded {
+        assert!(
+            s.events_per_sec >= 1.5 * serial.events_per_sec,
+            "shards={} only reached {:.2}x serial",
+            s.shards,
+            s.events_per_sec / serial.events_per_sec
+        );
+    }
+}
+
+/// Determinism: the artifact's engines all agreed, every query completed,
+/// and all configurations carry the same outcome checksum.
+#[test]
+fn all_engines_agreed_and_completed() {
+    let r = load_report();
+    assert!(r.deterministic, "engines diverged in the committed run");
+    let first = &r.scale[0];
+    assert_eq!(first.queries_done, first.queries, "all queries completed");
+    for s in &r.scale {
+        assert_eq!(s.queries_done, first.queries_done);
+        assert_eq!(s.checksum, first.checksum, "outcome checksum differs for {s:?}");
+    }
+}
+
+/// The `sim.*` gauges are folded into the artifact's metrics registry.
+#[test]
+fn sim_metrics_are_exported() {
+    let r = load_report();
+    for g in ["sim.events_per_sec", "sim.rss_peak_bytes", "sim.rss_per_peer_bytes"] {
+        assert!(r.gauges.iter().any(|x| x == g), "gauge {g} missing from metrics");
+    }
+}
