@@ -1,0 +1,80 @@
+//! CLI for the perf-regression gate.
+//!
+//! ```text
+//! regress BASELINE CURRENT [--report-only]   diff two artifacts
+//! regress --selftest ARTIFACT...             prove the gate catches +10%
+//! ```
+//!
+//! Exit codes: `0` pass, `1` regression, `2` usage / unreadable artifact,
+//! `3` artifacts not comparable (schema version, seed or workload differ —
+//! regenerate the baseline). With `--report-only` the diff is printed but
+//! the exit code is always `0` (except for usage errors), for CI jobs
+//! that want visibility before they want enforcement.
+
+use sqo_bench::regress::{compare_artifacts, selftest, GateConfig, EXIT_USAGE};
+use sqo_obs::{parse_json, Json};
+
+fn usage() -> ! {
+    eprintln!("usage: regress BASELINE CURRENT [--report-only]");
+    eprintln!("       regress --selftest ARTIFACT...");
+    std::process::exit(EXIT_USAGE);
+}
+
+fn load(path: &str) -> Json {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(EXIT_USAGE);
+        }
+    };
+    match parse_json(&text) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("cannot parse {path}: {e}");
+            std::process::exit(EXIT_USAGE);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = GateConfig::default();
+
+    if args.first().map(String::as_str) == Some("--selftest") {
+        if args.len() < 2 {
+            usage();
+        }
+        let mut failed = false;
+        for path in &args[1..] {
+            let artifact = load(path);
+            let failures = selftest(&artifact, &cfg);
+            if failures.is_empty() {
+                println!("selftest {path}: PASS (gate catches +10%, refuses reseeded baseline)");
+            } else {
+                failed = true;
+                for f in &failures {
+                    println!("selftest {path}: FAIL — {f}");
+                }
+            }
+        }
+        std::process::exit(if failed { 1 } else { 0 });
+    }
+
+    let mut paths = Vec::new();
+    let mut report_only = false;
+    for a in &args {
+        match a.as_str() {
+            "--report-only" => report_only = true,
+            p if !p.starts_with('-') => paths.push(p.to_string()),
+            _ => usage(),
+        }
+    }
+    let [baseline, current] = paths.as_slice() else {
+        usage();
+    };
+
+    let rep = compare_artifacts(&load(baseline), &load(current), &cfg);
+    print!("{}", rep.render());
+    std::process::exit(if report_only { 0 } else { rep.exit_code() });
+}

@@ -13,6 +13,7 @@
 //! the repository root is the baseline the tier-1 acceptance test
 //! (`tests/bench_simscale.rs`) pins.
 
+use sqo_bench::meta::{GenMeta, SCHEMA_VERSION};
 use sqo_bench::simscale::{measure_build, measure_throughput, BuildPoint, ThroughputPoint};
 use sqo_obs::MetricsRegistry;
 use sqo_sim::{rss_peak_bytes, ScaleConfig, Topology};
@@ -27,6 +28,8 @@ const SEED_RSS_PER_PEER_BYTES: u64 = 5_649;
 
 #[derive(Serialize)]
 struct SimScaleReport {
+    schema_version: u32,
+    generated: GenMeta,
     seed_rss_per_peer_bytes: u64,
     rss_reduction_vs_seed: f64,
     builds: Vec<BuildPoint>,
@@ -107,7 +110,7 @@ fn main() {
     let topo = Topology::of_network(&net);
     drop(net);
     let cfg = ScaleConfig { queries, arrival_spread_us: 20_000, ..ScaleConfig::default() };
-    let (scale, deterministic) = measure_throughput(&topo, &cfg, &[2, 4], true, repeats);
+    let (scale, deterministic, best_run) = measure_throughput(&topo, &cfg, &[2, 4], true, repeats);
     for t in &scale {
         println!(
             "{:>8} shards={} threads={:<5} events={:>9} elapsed={:>8.1}ms  {:>12.0} ev/s  x{:.2}",
@@ -122,17 +125,22 @@ fn main() {
     }
     println!("deterministic across engines: {deterministic}");
 
+    // The fastest sharded run's export carries the per-shard telemetry
+    // (`sim.shard.*` occupancy, imbalance, window stalls, mailbox depths)
+    // into the artifact's registry next to the run-level gauges.
     let mut metrics = MetricsRegistry::default();
-    let best = scale
-        .iter()
-        .skip(1)
-        .max_by(|a, b| a.events_per_sec.total_cmp(&b.events_per_sec))
-        .unwrap_or(&scale[0]);
-    metrics.gauge_set("sim.events_per_sec", best.events_per_sec);
+    if let Some(run) = &best_run {
+        run.export_metrics(&mut metrics);
+    }
     metrics.gauge_set("sim.rss_peak_bytes", rss_peak_bytes().unwrap_or(0) as f64);
     metrics.gauge_set("sim.rss_per_peer_bytes", rss_per_peer as f64);
 
     let report = SimScaleReport {
+        schema_version: SCHEMA_VERSION,
+        generated: GenMeta::new(cfg.seed, peers, queries)
+            .workload("items", items as u64)
+            .workload("repeats", repeats as u64)
+            .workload("shards_max", 4),
         seed_rss_per_peer_bytes: SEED_RSS_PER_PEER_BYTES,
         rss_reduction_vs_seed: SEED_RSS_PER_PEER_BYTES as f64 / rss_per_peer.max(1) as f64,
         builds,

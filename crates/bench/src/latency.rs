@@ -67,6 +67,11 @@ pub struct LatencyBenchConfig {
     pub sticky_initiators: bool,
     pub strategy: Strategy,
     pub seed: u64,
+    /// Attach a [`sqo_obs::BlameProfiler`] to every driven workload and
+    /// keep the Chrome `trace_event` export of the slowest retained query
+    /// exemplar across the whole sweep ([`LatencySweep::slowest_trace`]).
+    /// Off by default: the sweep runs sink-free and pays nothing.
+    pub trace: bool,
 }
 
 /// The default sweep cells: the legacy-vs-plan A/B at the w1 baseline
@@ -106,6 +111,7 @@ impl Default for LatencyBenchConfig {
             sticky_initiators: true,
             strategy: Strategy::QGrams,
             seed: 73,
+            trace: false,
         }
     }
 }
@@ -216,6 +222,10 @@ fn points_of(
 pub struct LatencySweep {
     pub points: Vec<LatencyPoint>,
     pub metrics: MetricsRegistry,
+    /// Chrome `trace_event` export of the slowest retained query exemplar
+    /// across the sweep (`Some` only when
+    /// [`LatencyBenchConfig::trace`] is set and at least one query ran).
+    pub slowest_trace: Option<String>,
 }
 
 /// Run the sweep. Deterministic for a given configuration.
@@ -223,10 +233,15 @@ pub fn run_latency_sweep(cfg: &LatencyBenchConfig) -> LatencySweep {
     let words = bible_words(cfg.words, 23);
     let mut out = Vec::new();
     let mut metrics = MetricsRegistry::new();
+    let mut slowest: Option<(u64, String)> = None;
     for model in &cfg.models {
         for &clients in &cfg.client_counts {
             for combo in &cfg.combos {
                 let mut engine = fresh_engine(cfg, &words);
+                let profiler = cfg.trace.then(|| sqo_obs::BlameProfiler::shared(3));
+                if let Some(p) = &profiler {
+                    engine.network_mut().set_trace_sink(sqo_obs::BlameProfiler::as_sink(p));
+                }
                 let driver_cfg = DriverConfig {
                     clients,
                     queries_per_client: cfg.queries_per_client,
@@ -250,10 +265,21 @@ pub fn run_latency_sweep(cfg: &LatencyBenchConfig) -> LatencySweep {
                 let report = run_driver(&mut engine, "word", &words, &driver_cfg);
                 metrics.merge(&report.metrics);
                 out.extend(points_of(&report, model, clients, combo));
+                if let Some(p) = &profiler {
+                    let p = p.borrow();
+                    if let Some(ex) = p.slowest() {
+                        let elapsed = ex.blame.elapsed_us;
+                        if slowest.as_ref().is_none_or(|(best, _)| elapsed > *best) {
+                            if let Some(chrome) = p.slowest_exemplar_chrome() {
+                                slowest = Some((elapsed, chrome));
+                            }
+                        }
+                    }
+                }
             }
         }
     }
-    LatencySweep { points: out, metrics }
+    LatencySweep { points: out, metrics, slowest_trace: slowest.map(|(_, chrome)| chrome) }
 }
 
 /// Run the sweep and keep only the point list (the committed

@@ -13,6 +13,8 @@
 pub mod ablation;
 pub mod figure1;
 pub mod latency;
+pub mod meta;
+pub mod regress;
 pub mod routing;
 pub mod simscale;
 pub mod storage_overhead;

@@ -119,6 +119,16 @@ pub struct ThroughputPoint {
     pub speedup_vs_serial: f64,
     pub queries_done: u64,
     pub checksum: u64,
+    /// Busiest shard's event count (equals `events` for serial).
+    pub shard_events_max: u64,
+    /// Quietest shard's event count.
+    pub shard_events_min: u64,
+    /// Conservative windows swept, summed over shards (0 for serial).
+    pub windows_swept: u64,
+    /// Swept windows with an empty bucket — lookahead stalls.
+    pub empty_windows: u64,
+    /// Events exchanged through cross-shard mailboxes (threaded only).
+    pub mailbox_events: u64,
 }
 
 fn point_of(run: &ScaleRun, out: &sqo_sim::ScaleOutcome, cfg: &ScaleConfig) -> ThroughputPoint {
@@ -133,6 +143,11 @@ fn point_of(run: &ScaleRun, out: &sqo_sim::ScaleOutcome, cfg: &ScaleConfig) -> T
         speedup_vs_serial: 0.0,
         queries_done: out.queries_done,
         checksum: out.checksum,
+        shard_events_max: run.events_per_shard.iter().copied().max().unwrap_or(0),
+        shard_events_min: run.events_per_shard.iter().copied().min().unwrap_or(0),
+        windows_swept: run.windows_swept,
+        empty_windows: run.empty_windows,
+        mailbox_events: run.mailbox_events,
     }
 }
 
@@ -140,15 +155,17 @@ fn point_of(run: &ScaleRun, out: &sqo_sim::ScaleOutcome, cfg: &ScaleConfig) -> T
 /// windowed core at each of `shard_counts` (and, when `threaded`, a
 /// threaded run at the largest shard count). Each engine configuration is
 /// timed `repeats` times and the fastest run reported — one-core CI boxes
-/// are noisy. Returns the points (serial first) plus whether every
-/// engine produced the same [`ScaleOutcome`](sqo_sim::ScaleOutcome).
+/// are noisy. Returns the points (serial first), whether every engine
+/// produced the same [`ScaleOutcome`](sqo_sim::ScaleOutcome), and the
+/// fastest sharded [`ScaleRun`] (carrying the per-shard telemetry for
+/// [`ScaleRun::export_metrics`]).
 pub fn measure_throughput(
     topo: &Topology,
     base: &ScaleConfig,
     shard_counts: &[usize],
     threaded: bool,
     repeats: usize,
-) -> (Vec<ThroughputPoint>, bool) {
+) -> (Vec<ThroughputPoint>, bool, Option<ScaleRun>) {
     let repeats = repeats.max(1);
     let best = |cfg: &ScaleConfig, sharded: bool| {
         let mut best: Option<(sqo_sim::ScaleOutcome, ScaleRun)> = None;
@@ -168,11 +185,15 @@ pub fn measure_throughput(
     points[0].speedup_vs_serial = 1.0;
 
     let mut deterministic = true;
+    let mut best_sharded: Option<ScaleRun> = None;
     let mut sweep = |cfg: ScaleConfig| {
         let (out, run) = best(&cfg, true);
         deterministic &= out == serial_out;
         let mut p = point_of(&run, &out, &cfg);
         p.speedup_vs_serial = p.events_per_sec / serial_eps.max(1e-9);
+        if best_sharded.as_ref().is_none_or(|b| run.events_per_sec > b.events_per_sec) {
+            best_sharded = Some(run);
+        }
         p
     };
     for &s in shard_counts {
@@ -182,5 +203,5 @@ pub fn measure_throughput(
         let s = shard_counts.iter().copied().max().unwrap_or(2);
         points.push(sweep(ScaleConfig { shards: s, threads: true, ..*base }));
     }
-    (points, deterministic)
+    (points, deterministic, best_sharded)
 }

@@ -920,6 +920,7 @@ impl SimilarityEngine {
         if self.net.has_trace_sink() {
             if let Some(q) = self.net.trace_query() {
                 self.net.trace_with(|| {
+                    let b = step.sim.unwrap_or_default();
                     TraceEvent::span(
                         at_us,
                         end.saturating_sub(at_us),
@@ -929,6 +930,10 @@ impl SimilarityEngine {
                     )
                     .arg("messages", step.traffic.messages)
                     .arg("comparisons", step.edit_comparisons)
+                    .arg("net", b.crit_net_us)
+                    .arg("queue", b.crit_queue_us)
+                    .arg("service", b.crit_service_us)
+                    .arg("stall", b.crit_stall_us)
                 });
             }
         }

@@ -386,6 +386,21 @@ fn trace_window_change(engine: &SimilarityEngine, at_us: u64, before: usize, aft
                 after as u64,
             )
         });
+        if after < before {
+            // AIMD back-off: the join detected contention and stalled its
+            // pipeline — a cause-tagged instant for the blame profiler.
+            engine.network().trace_with(|| {
+                sqo_overlay::TraceEvent::instant(
+                    at_us,
+                    sqo_overlay::TraceTrack::Query(q),
+                    "join_shrink",
+                    "exec",
+                )
+                .arg("from", before)
+                .arg("to", after)
+                .arg("cause", "aimd-backoff")
+            });
+        }
     }
 }
 

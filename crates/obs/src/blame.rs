@@ -1,0 +1,427 @@
+//! `BlameProfiler` — causal latency attribution over the trace stream.
+//!
+//! The step spans the engine emits (`cat:"exec"`, name `"step"`) carry the
+//! critical-path blame decomposition of their charged window: `net` (link
+//! latency), `queue` (wait behind busy receivers), `service` (receiver CPU
+//! / local scans), `stall` (frontier jumps while the window was open). The
+//! profiler folds a query's steps onto its envelope span (`cat:"query"`)
+//! and produces an **exhaustive blame tree**: four shares that sum to the
+//! query's measured end-to-end virtual latency *exactly* — including the
+//! scheduling gaps between steps (attributed to `stall`) and excluding
+//! pipelined child steps whose time is shadowed by an overlapping sibling.
+//!
+//! Attach it like any trace sink (`Network::set_trace_sink`); compose with
+//! a [`TraceCollector`] via [`FanoutSink`](crate::trace::FanoutSink) when
+//! both the raw stream and the blame tree are wanted. Fed by hand:
+//!
+//! ```
+//! use sqo_obs::{BlameProfiler, TraceEvent, TraceSink, TraceTrack};
+//!
+//! let mut p = BlameProfiler::new(1);
+//! let q = TraceTrack::Query(7);
+//! p.record(
+//!     TraceEvent::span(0, 80, q, "step", "exec")
+//!         .arg("net", 50_u64).arg("queue", 10_u64)
+//!         .arg("service", 20_u64).arg("stall", 0_u64),
+//! );
+//! p.record(TraceEvent::span(0, 100, q, "similar", "query"));
+//! let b = &p.queries()[0];
+//! assert_eq!(b.net_us, 50);
+//! assert_eq!(b.stall_us, 20, "the uncovered 20us tail is stall");
+//! assert_eq!(b.net_us + b.queue_us + b.service_us + b.stall_us, b.elapsed_us);
+//! ```
+
+use crate::hist::LogHistogram;
+use crate::trace::TraceCollector;
+use sqo_overlay::{TraceEvent, TraceSink, TraceTrack, TraceValue};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// The blame decomposition of one traced query. The four `*_us` shares sum
+/// to `elapsed_us` exactly (pinned by `blame_sum` tests).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryBlame {
+    /// Network-issued trace query id.
+    pub qid: u64,
+    /// Operator label of the query envelope span (`"similar"`, `"simjoin"`,
+    /// `"query"` for untyped synchronous runs, …).
+    pub operator: &'static str,
+    /// Virtual-time start of the envelope.
+    pub start_us: u64,
+    /// End-to-end critical-path latency (the envelope duration).
+    pub elapsed_us: u64,
+    /// Share spent on link latency (loss timeouts included).
+    pub net_us: u64,
+    /// Share spent queued behind busy receivers.
+    pub queue_us: u64,
+    /// Share spent in receiver service and local scans.
+    pub service_us: u64,
+    /// Share where no message or scan advanced the query: scheduling gaps
+    /// between charged steps (await phases, join-window stalls) plus
+    /// frontier jumps inside a step.
+    pub stall_us: u64,
+    /// Overlay messages the query sent.
+    pub messages: u64,
+    /// Probe keys served from the posting cache.
+    pub cache_hits: u64,
+    /// Probe keys that had to go to the overlay (the cache-miss penalty
+    /// rides inside `net_us`/`queue_us`/`service_us`; the counts localize
+    /// it).
+    pub cache_misses: u64,
+    /// AIMD join-window back-offs observed on this query's track.
+    pub window_shrinks: u64,
+}
+
+/// Aggregated blame for one operator family.
+#[derive(Debug, Clone, Default)]
+pub struct OperatorBlame {
+    pub operator: String,
+    pub queries: u64,
+    pub elapsed_us: u64,
+    pub net_us: u64,
+    pub queue_us: u64,
+    pub service_us: u64,
+    pub stall_us: u64,
+    pub messages: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub window_shrinks: u64,
+    /// Per-query latency distribution (for p50/p99 in the rendering).
+    pub latency: LogHistogram,
+}
+
+/// One retained tail exemplar: the full query-track trace of one of the K
+/// slowest queries of its operator.
+#[derive(Debug, Clone)]
+pub struct Exemplar {
+    pub blame: QueryBlame,
+    /// The query's raw trace events (its own track only).
+    pub events: Vec<TraceEvent>,
+}
+
+/// A [`TraceSink`] that turns the span stream into per-query blame trees,
+/// per-operator aggregates, and K-slowest tail exemplars. See the
+/// [module docs](self).
+pub struct BlameProfiler {
+    /// Tail-exemplar retention per operator (0 keeps none).
+    k: usize,
+    /// In-flight per-query event buffers, finalized by the envelope span.
+    pending: BTreeMap<u64, Vec<TraceEvent>>,
+    queries: Vec<QueryBlame>,
+    per_operator: BTreeMap<&'static str, OperatorBlame>,
+    /// Slowest-first exemplars, at most `k` per operator.
+    exemplars: BTreeMap<&'static str, Vec<Exemplar>>,
+}
+
+fn arg_u64(ev: &TraceEvent, key: &str) -> u64 {
+    ev.args
+        .iter()
+        .find_map(|(k, v)| match v {
+            TraceValue::U64(n) if *k == key => Some(*n),
+            _ => None,
+        })
+        .unwrap_or(0)
+}
+
+impl BlameProfiler {
+    /// `k` = tail exemplars retained per operator.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            pending: BTreeMap::new(),
+            queries: Vec::new(),
+            per_operator: BTreeMap::new(),
+            exemplars: BTreeMap::new(),
+        }
+    }
+
+    /// A shareable profiler (single-threaded `Rc<RefCell<..>>`, like
+    /// [`TraceCollector::shared`]).
+    pub fn shared(k: usize) -> Rc<RefCell<BlameProfiler>> {
+        Rc::new(RefCell::new(Self::new(k)))
+    }
+
+    /// The handle to install via `Network::set_trace_sink`.
+    pub fn as_sink(me: &Rc<RefCell<BlameProfiler>>) -> sqo_overlay::SharedTraceSink {
+        me.clone() as sqo_overlay::SharedTraceSink
+    }
+
+    /// Finalized per-query blame, in completion order.
+    pub fn queries(&self) -> &[QueryBlame] {
+        &self.queries
+    }
+
+    /// Per-operator aggregates, name-sorted.
+    pub fn per_operator(&self) -> impl Iterator<Item = &OperatorBlame> {
+        self.per_operator.values()
+    }
+
+    /// Retained exemplars of `operator`, slowest first.
+    pub fn exemplars(&self, operator: &str) -> &[Exemplar] {
+        self.exemplars.get(operator).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// The single slowest retained query across all operators.
+    pub fn slowest(&self) -> Option<&Exemplar> {
+        self.exemplars.values().filter_map(|v| v.first()).max_by_key(|e| {
+            (e.blame.elapsed_us, u64::MAX - e.blame.qid) // deterministic: earliest qid wins ties
+        })
+    }
+
+    /// Chrome `trace_event` export of the slowest retained exemplar (its
+    /// query track), for "open the p99 outlier in Perfetto" workflows.
+    pub fn slowest_exemplar_chrome(&self) -> Option<String> {
+        let ex = self.slowest()?;
+        let mut c = TraceCollector::new();
+        for ev in &ex.events {
+            c.record(ev.clone());
+        }
+        Some(c.to_chrome_trace())
+    }
+
+    /// Fold a finished query's step spans onto its envelope. The walk keeps
+    /// a task frontier `f`: shadowed (fully overlapped) steps contribute
+    /// nothing, partially overlapped steps contribute their un-shadowed
+    /// suffix with proportionally scaled shares, and every gap the steps do
+    /// not cover becomes `stall` — so the four shares always total the
+    /// envelope duration exactly.
+    fn finalize(&mut self, qid: u64, envelope: &TraceEvent) {
+        let events = self.pending.remove(&qid).unwrap_or_default();
+        let start = envelope.ts_us;
+        let end = start + envelope.dur_us.unwrap_or(0);
+        let mut steps: Vec<&TraceEvent> = events
+            .iter()
+            .filter(|e| e.cat == "exec" && e.name == "step" && e.dur_us.is_some())
+            .collect();
+        steps.sort_by_key(|e| (e.ts_us, e.ts_us + e.dur_us.unwrap_or(0)));
+
+        let mut blame = QueryBlame {
+            qid,
+            operator: envelope.name,
+            start_us: start,
+            elapsed_us: end - start,
+            net_us: 0,
+            queue_us: 0,
+            service_us: 0,
+            stall_us: 0,
+            messages: arg_u64(envelope, "messages"),
+            cache_hits: arg_u64(envelope, "cache_hits"),
+            cache_misses: arg_u64(envelope, "cache_misses"),
+            window_shrinks: events.iter().filter(|e| e.name == "join_shrink").count() as u64,
+        };
+
+        let mut f = start;
+        for step in steps {
+            let s = step.ts_us.max(start);
+            let e = (step.ts_us + step.dur_us.unwrap_or(0)).min(end);
+            if e <= f {
+                continue; // fully shadowed by an overlapping sibling
+            }
+            if s > f {
+                blame.stall_us += s - f; // gap between steps: awaiting a turn
+                f = s;
+            }
+            let take = e - f; // un-shadowed suffix of this step
+            let parts = [
+                arg_u64(step, "net"),
+                arg_u64(step, "queue"),
+                arg_u64(step, "service"),
+                arg_u64(step, "stall"),
+            ];
+            let mut scaled = [0u64; 4];
+            match parts.iter().sum::<u64>() {
+                0 => scaled[3] = take, // a timed step with no profile: all stall
+                total => {
+                    let mut assigned = 0u64;
+                    for i in 0..4 {
+                        scaled[i] = parts[i] * take / total;
+                        assigned += scaled[i];
+                    }
+                    // Integer residue goes to the largest share — deterministic
+                    // and keeps the exact-sum invariant.
+                    let idx = (0..4).max_by_key(|&i| (parts[i], 3 - i)).unwrap_or(3);
+                    scaled[idx] += take - assigned;
+                }
+            }
+            blame.net_us += scaled[0];
+            blame.queue_us += scaled[1];
+            blame.service_us += scaled[2];
+            blame.stall_us += scaled[3];
+            f = e;
+        }
+        if end > f {
+            blame.stall_us += end - f; // trailing gap to the envelope end
+        }
+
+        let agg = self.per_operator.entry(blame.operator).or_insert_with(|| OperatorBlame {
+            operator: blame.operator.to_string(),
+            ..OperatorBlame::default()
+        });
+        agg.queries += 1;
+        agg.elapsed_us += blame.elapsed_us;
+        agg.net_us += blame.net_us;
+        agg.queue_us += blame.queue_us;
+        agg.service_us += blame.service_us;
+        agg.stall_us += blame.stall_us;
+        agg.messages += blame.messages;
+        agg.cache_hits += blame.cache_hits;
+        agg.cache_misses += blame.cache_misses;
+        agg.window_shrinks += blame.window_shrinks;
+        agg.latency.record(blame.elapsed_us);
+
+        if self.k > 0 {
+            let mut events = events;
+            events.push(envelope.clone());
+            let held = self.exemplars.entry(blame.operator).or_default();
+            held.push(Exemplar { blame: blame.clone(), events });
+            // Slowest first; ties keep the earlier query. Then trim to K.
+            held.sort_by_key(|e| (std::cmp::Reverse(e.blame.elapsed_us), e.blame.qid));
+            held.truncate(self.k);
+        }
+        self.queries.push(blame);
+    }
+
+    /// Text blame tree: per-operator totals with percentage shares, worst
+    /// retained exemplar underneath.
+    pub fn render(&self) -> String {
+        let mut out = String::from("blame tree (critical-path virtual time)\n");
+        for op in self.per_operator.values() {
+            let pct = |x: u64| {
+                if op.elapsed_us == 0 {
+                    0.0
+                } else {
+                    100.0 * x as f64 / op.elapsed_us as f64
+                }
+            };
+            out.push_str(&format!(
+                "├─ {} · {} queries · p50={}us p99={}us\n",
+                op.operator,
+                op.queries,
+                op.latency.quantile(50.0),
+                op.latency.quantile(99.0)
+            ));
+            out.push_str(&format!(
+                "│    link {:>6.1}% · queue {:>6.1}% · service {:>6.1}% · stall {:>6.1}%  (Σ {}us)\n",
+                pct(op.net_us),
+                pct(op.queue_us),
+                pct(op.service_us),
+                pct(op.stall_us),
+                op.elapsed_us
+            ));
+            if op.cache_hits + op.cache_misses > 0 || op.window_shrinks > 0 {
+                out.push_str(&format!(
+                    "│    cache {}/{} hit · {} window shrinks\n",
+                    op.cache_hits,
+                    op.cache_hits + op.cache_misses,
+                    op.window_shrinks
+                ));
+            }
+            if let Some(ex) = self.exemplars(&op.operator).first() {
+                let b = &ex.blame;
+                out.push_str(&format!(
+                    "│    worst: q{} {}us = link {}us + queue {}us + service {}us + stall {}us\n",
+                    b.qid, b.elapsed_us, b.net_us, b.queue_us, b.service_us, b.stall_us
+                ));
+            }
+        }
+        out
+    }
+}
+
+impl TraceSink for BlameProfiler {
+    fn record(&mut self, ev: TraceEvent) {
+        let TraceTrack::Query(qid) = ev.track else { return };
+        if ev.cat == "query" && ev.dur_us.is_some() {
+            self.finalize(qid, &ev);
+        } else {
+            self.pending.entry(qid).or_default().push(ev);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(ts: u64, dur: u64, net: u64, queue: u64, service: u64, stall: u64) -> TraceEvent {
+        TraceEvent::span(ts, dur, TraceTrack::Query(1), "step", "exec")
+            .arg("net", net)
+            .arg("queue", queue)
+            .arg("service", service)
+            .arg("stall", stall)
+    }
+
+    fn envelope(ts: u64, dur: u64) -> TraceEvent {
+        TraceEvent::span(ts, dur, TraceTrack::Query(1), "similar", "query").arg("messages", 4u64)
+    }
+
+    #[test]
+    fn contiguous_steps_pass_shares_through() {
+        let mut p = BlameProfiler::new(1);
+        p.record(step(100, 50, 30, 10, 10, 0));
+        p.record(step(150, 100, 60, 0, 40, 0));
+        p.record(envelope(100, 150));
+        let b = &p.queries()[0];
+        assert_eq!((b.net_us, b.queue_us, b.service_us, b.stall_us), (90, 10, 50, 0));
+        assert_eq!(b.net_us + b.queue_us + b.service_us + b.stall_us, b.elapsed_us);
+    }
+
+    #[test]
+    fn gaps_between_steps_become_stall() {
+        let mut p = BlameProfiler::new(0);
+        p.record(step(100, 50, 50, 0, 0, 0));
+        p.record(step(400, 100, 0, 0, 100, 0));
+        p.record(envelope(100, 400));
+        let b = &p.queries()[0];
+        assert_eq!(b.stall_us, 250, "the 250us wait between the two steps");
+        assert_eq!(b.net_us + b.queue_us + b.service_us + b.stall_us, b.elapsed_us);
+    }
+
+    #[test]
+    fn shadowed_pipelined_steps_do_not_double_count() {
+        let mut p = BlameProfiler::new(0);
+        // A long step fully covers a short sibling, and half-covers a third.
+        p.record(step(0, 200, 200, 0, 0, 0));
+        p.record(step(50, 100, 0, 100, 0, 0)); // fully shadowed
+        p.record(step(100, 200, 0, 0, 200, 0)); // second half survives
+        p.record(envelope(0, 300));
+        let b = &p.queries()[0];
+        assert_eq!(b.elapsed_us, 300);
+        assert_eq!(b.net_us + b.queue_us + b.service_us + b.stall_us, 300);
+        assert_eq!(b.queue_us, 0, "the shadowed step contributes nothing");
+        assert_eq!(b.service_us, 100, "the half-shadowed step contributes its suffix");
+    }
+
+    #[test]
+    fn exemplars_keep_the_k_slowest() {
+        let mut p = BlameProfiler::new(2);
+        for (qid, dur) in [(1u64, 100u64), (2, 900), (3, 400), (4, 50)] {
+            p.record(
+                TraceEvent::span(0, dur, TraceTrack::Query(qid), "step", "exec")
+                    .arg("net", dur)
+                    .arg("queue", 0u64)
+                    .arg("service", 0u64)
+                    .arg("stall", 0u64),
+            );
+            p.record(TraceEvent::span(0, dur, TraceTrack::Query(qid), "similar", "query"));
+        }
+        let ex = p.exemplars("similar");
+        assert_eq!(ex.len(), 2);
+        assert_eq!(ex[0].blame.qid, 2, "slowest first");
+        assert_eq!(ex[1].blame.qid, 3);
+        assert_eq!(p.slowest().unwrap().blame.qid, 2);
+        let chrome = p.slowest_exemplar_chrome().unwrap();
+        crate::validate_json(&chrome).expect("exemplar export is valid JSON");
+    }
+
+    #[test]
+    fn render_mentions_every_operator() {
+        let mut p = BlameProfiler::new(1);
+        p.record(step(0, 100, 100, 0, 0, 0));
+        p.record(envelope(0, 100));
+        let txt = p.render();
+        assert!(txt.contains("similar"), "{txt}");
+        assert!(txt.contains("link"), "{txt}");
+    }
+}

@@ -72,7 +72,9 @@ impl LogHistogram {
         self.record_n(value, 1);
     }
 
-    /// Record `n` samples of the same value.
+    /// Record `n` samples of the same value. `count` and `sum` saturate at
+    /// `u64::MAX` instead of wrapping, so a pegged histogram degrades to a
+    /// stuck-at-max mean rather than a silently tiny one.
     pub fn record_n(&mut self, value: u64, n: u64) {
         if n == 0 {
             return;
@@ -84,9 +86,10 @@ impl LogHistogram {
             self.min = self.min.min(value);
             self.max = self.max.max(value);
         }
-        self.count += n;
-        self.sum += value * n;
-        *self.buckets.entry(bucket_index(value)).or_insert(0) += n;
+        self.count = self.count.saturating_add(n);
+        self.sum = self.sum.saturating_add(value.saturating_mul(n));
+        let b = self.buckets.entry(bucket_index(value)).or_insert(0);
+        *b = b.saturating_add(n);
     }
 
     /// Fold another histogram into this one.
@@ -101,10 +104,11 @@ impl LogHistogram {
             self.min = self.min.min(other.min);
             self.max = self.max.max(other.max);
         }
-        self.count += other.count;
-        self.sum += other.sum;
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
         for (&idx, &n) in &other.buckets {
-            *self.buckets.entry(idx).or_insert(0) += n;
+            let b = self.buckets.entry(idx).or_insert(0);
+            *b = b.saturating_add(n);
         }
     }
 
@@ -313,6 +317,59 @@ mod tests {
         }
         a.merge(&b);
         assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn merge_empty_into_nonempty_and_back_is_identity() {
+        let mut h = LogHistogram::new();
+        for v in [3u64, 90, 4_000] {
+            h.record(v);
+        }
+        let before = h.clone();
+        h.merge(&LogHistogram::new());
+        assert_eq!(h, before, "merging an empty histogram must change nothing");
+        let mut empty = LogHistogram::new();
+        empty.merge(&before);
+        assert_eq!(empty, before, "merging into an empty histogram copies the other");
+    }
+
+    #[test]
+    fn merge_disjoint_bucket_ranges_keeps_both_tails() {
+        // One histogram entirely in the exact range, one entirely in the
+        // log range, no shared buckets.
+        let mut lo = LogHistogram::new();
+        for v in 1..=100u64 {
+            lo.record(v);
+        }
+        let mut hi = LogHistogram::new();
+        for v in (0..100u64).map(|i| 50_000_000 + i * 1_000) {
+            hi.record(v);
+        }
+        let occupied = lo.occupied_buckets() + hi.occupied_buckets();
+        lo.merge(&hi);
+        assert_eq!(lo.occupied_buckets(), occupied, "disjoint ranges: no bucket collisions");
+        assert_eq!(lo.count(), 200);
+        assert_eq!(lo.min(), 1);
+        assert_eq!(lo.quantile(100.0), 50_099_000);
+        assert!(lo.quantile(25.0) <= 100, "low tail survives the merge");
+        assert!(lo.quantile(75.0) >= 50_000_000, "high tail survives the merge");
+    }
+
+    #[test]
+    fn counts_and_sums_saturate_instead_of_wrapping() {
+        let mut h = LogHistogram::new();
+        h.record_n(u64::MAX, 3);
+        assert_eq!(h.sum(), u64::MAX, "sum saturates on value*n overflow");
+        assert_eq!(h.count(), 3);
+        h.record_n(1, u64::MAX);
+        assert_eq!(h.count(), u64::MAX, "count saturates");
+        let mut other = LogHistogram::new();
+        other.record_n(2, u64::MAX);
+        h.merge(&other);
+        assert_eq!(h.count(), u64::MAX, "merge saturates counts");
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.max(), u64::MAX, "extremes stay exact");
+        assert_eq!(h.quantile(100.0), u64::MAX);
     }
 
     #[test]

@@ -16,8 +16,21 @@
 //!   (`QueryStats`, `BrokerCounters`, overlay `Metrics`).
 //! * [`LogHistogram`] — the streaming HDR-style histogram backing the
 //!   registry and the workload driver's percentiles.
-//! * [`validate_json`] — a strict JSON checker (the vendored `serde_json`
-//!   is serialize-only), used by the export tests.
+//! * [`BlameProfiler`] — causal latency attribution: folds the cause-tagged
+//!   step stream into an exhaustive per-query blame tree (link / queue /
+//!   service / stall, summing to 100% of the critical path exactly), with
+//!   per-operator aggregates and K-slowest tail exemplars.
+//! * [`SloMonitor`] — a sliding virtual-time-window SLO watchdog:
+//!   declarative per-operator objectives ([`SloSpec`]), `slo_burn` instants
+//!   on every ok → violating edge, a rendered [`SloReport`] verdict.
+//! * [`FanoutSink`] — attach several sinks (collector + profiler +
+//!   watchdog) to one network.
+//! * [`validate_json`] / [`parse_json`] — a strict JSON checker and a small
+//!   DOM parser (the vendored `serde_json` is serialize-only), used by the
+//!   export tests and the bench regression gate.
+//!
+//! See `docs/TRACING.md` for the event schema, the cause-tag vocabulary,
+//! blame-tree semantics, and the SLO spec format.
 //!
 //! Install a collector on an engine's network and every subsequent traced
 //! query streams into it:
@@ -46,13 +59,17 @@
 //! branch, and installing one never changes results or counters (pinned
 //! byte-identical by the `obs_smoke` tests in `sqo-sim`).
 
+pub mod blame;
 pub mod hist;
 pub mod json;
 pub mod metrics;
+pub mod slo;
 pub mod trace;
 
+pub use blame::{BlameProfiler, Exemplar, OperatorBlame, QueryBlame};
 pub use hist::LogHistogram;
-pub use json::validate_json;
+pub use json::{parse_json, validate_json, Json};
 pub use metrics::MetricsRegistry;
+pub use slo::{SloMonitor, SloReport, SloSpec, SloVerdict};
 pub use sqo_overlay::{SharedTraceSink, TraceEvent, TraceSink, TraceTrack, TraceValue};
-pub use trace::TraceCollector;
+pub use trace::{FanoutSink, TraceCollector};

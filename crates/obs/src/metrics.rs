@@ -64,9 +64,12 @@ impl MetricsRegistry {
         Self::default()
     }
 
-    /// Add to a monotone counter (created at 0 on first touch).
+    /// Add to a monotone counter (created at 0 on first touch). Saturates
+    /// at `u64::MAX` instead of wrapping — a counter that pegs stays
+    /// pegged, it never silently restarts from a small value.
     pub fn counter_add(&mut self, name: impl Into<String>, n: u64) {
-        *self.counters.entry(name.into()).or_insert(0) += n;
+        let c = self.counters.entry(name.into()).or_insert(0);
+        *c = c.saturating_add(n);
     }
 
     /// Current counter value (0 if never touched).
@@ -158,6 +161,10 @@ impl MetricsRegistry {
             self.counter_add("sim.service_us", sim.service_us);
             self.counter_add("sim.timed_messages", sim.timed_messages);
             self.counter_add("sim.retransmissions", sim.retransmissions);
+            self.counter_add("sim.crit_net_us", sim.crit_net_us);
+            self.counter_add("sim.crit_queue_us", sim.crit_queue_us);
+            self.counter_add("sim.crit_service_us", sim.crit_service_us);
+            self.counter_add("sim.crit_stall_us", sim.crit_stall_us);
         }
     }
 
@@ -219,6 +226,44 @@ mod tests {
         assert_eq!(a.gauge("g"), Some(1.5));
         assert_eq!(a.histogram("h").unwrap().count(), 2);
         assert_eq!(a.histogram("h").unwrap().max(), 300);
+    }
+
+    #[test]
+    fn merge_empty_into_nonempty_is_identity_both_ways() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("c", 5);
+        m.gauge_set("g", 2.5);
+        m.record("h", 40);
+        let before = m.to_json();
+        m.merge(&MetricsRegistry::new());
+        assert_eq!(m.to_json(), before, "merging an empty registry changes nothing");
+        let mut empty = MetricsRegistry::new();
+        empty.merge(&m);
+        assert_eq!(empty.to_json(), before, "merging into an empty registry copies");
+    }
+
+    #[test]
+    fn merge_disjoint_names_union_and_counters_saturate() {
+        let mut a = MetricsRegistry::new();
+        a.counter_add("only.a", u64::MAX - 1);
+        a.record("hist.a", 10);
+        let mut b = MetricsRegistry::new();
+        b.counter_add("only.b", 7);
+        b.record("hist.b", 99_000_000);
+        a.merge(&b);
+        assert_eq!(a.counter("only.a"), u64::MAX - 1);
+        assert_eq!(a.counter("only.b"), 7);
+        assert!(a.histogram("hist.a").is_some() && a.histogram("hist.b").is_some());
+        // Counter overflow saturates rather than wraps — both via merge and
+        // via direct adds.
+        a.merge(&b); // only.b: 7 + 7
+        assert_eq!(a.counter("only.b"), 14);
+        a.counter_add("only.a", 100);
+        assert_eq!(a.counter("only.a"), u64::MAX, "pegged, not wrapped");
+        let mut c = MetricsRegistry::new();
+        c.counter_add("only.a", u64::MAX);
+        a.merge(&c);
+        assert_eq!(a.counter("only.a"), u64::MAX, "merge saturates too");
     }
 
     #[test]

@@ -1,0 +1,394 @@
+//! `SloMonitor` — a sliding virtual-time-window SLO watchdog over the
+//! trace stream.
+//!
+//! Declarative per-operator objectives ([`SloSpec`]): a p99 latency
+//! ceiling, a minimum cache hit rate, and a per-query message budget. The
+//! monitor is a [`TraceSink`]: every query envelope span updates the
+//! operator's sliding window (virtual microseconds, not wall time) and
+//! re-evaluates its spec. Transitions into violation emit `slo_burn`
+//! instants on the control track — forwarded to an optional inner sink so
+//! a [`TraceCollector`](crate::TraceCollector) records them inline with
+//! the stream that caused them — and the final [`SloReport`] renders a
+//! per-spec verdict.
+//!
+//! ```
+//! use sqo_obs::{SloMonitor, SloSpec, TraceEvent, TraceSink, TraceTrack};
+//!
+//! let mut m = SloMonitor::new(vec![SloSpec::operator("similar").p99_max_us(500)], 10_000);
+//! for i in 0..20_u64 {
+//!     let dur = if i < 19 { 100 } else { 9_000 }; // one outlier
+//!     m.record(TraceEvent::span(i * 200, dur, TraceTrack::Query(i), "similar", "query"));
+//! }
+//! let report = m.report();
+//! assert!(!report.verdicts[0].ok, "the outlier blows the p99 ceiling");
+//! assert!(m.burns() > 0, "a burn instant fired at the transition");
+//! ```
+
+use sqo_overlay::{SharedTraceSink, TraceEvent, TraceSink, TraceTrack};
+use std::collections::{BTreeMap, VecDeque};
+
+/// One declarative per-operator objective. Build with
+/// [`SloSpec::operator`] plus the builder methods; unset dimensions are
+/// not checked.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloSpec {
+    /// Operator label the spec applies to (the envelope span name).
+    pub operator: String,
+    /// p99 latency ceiling over the sliding window, microseconds.
+    pub p99_max_us: Option<u64>,
+    /// Minimum cache hit rate over the sliding window, in `[0, 1]`.
+    pub min_hit_rate: Option<f64>,
+    /// Per-query overlay message budget.
+    pub max_messages: Option<u64>,
+}
+
+impl SloSpec {
+    pub fn operator(name: impl Into<String>) -> Self {
+        Self { operator: name.into(), p99_max_us: None, min_hit_rate: None, max_messages: None }
+    }
+
+    pub fn p99_max_us(mut self, us: u64) -> Self {
+        self.p99_max_us = Some(us);
+        self
+    }
+
+    pub fn min_hit_rate(mut self, rate: f64) -> Self {
+        self.min_hit_rate = Some(rate);
+        self
+    }
+
+    pub fn max_messages(mut self, n: u64) -> Self {
+        self.max_messages = Some(n);
+        self
+    }
+}
+
+/// One finished-query sample inside an operator's sliding window.
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    end_us: u64,
+    elapsed_us: u64,
+    messages: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+/// Final pass/fail state of one spec.
+#[derive(Debug, Clone)]
+pub struct SloVerdict {
+    pub spec: SloSpec,
+    /// Queries evaluated against this spec.
+    pub evaluated: u64,
+    /// Evaluations that found the spec violated.
+    pub violations: u64,
+    /// Worst windowed p99 observed, microseconds.
+    pub worst_p99_us: u64,
+    /// Worst windowed hit rate observed (1.0 when the cache was idle).
+    pub worst_hit_rate: f64,
+    /// Largest single-query message count observed.
+    pub worst_messages: u64,
+    /// True when the spec was never violated.
+    pub ok: bool,
+}
+
+/// The monitor's summary: one verdict per spec, overall pass/fail.
+#[derive(Debug, Clone)]
+pub struct SloReport {
+    pub verdicts: Vec<SloVerdict>,
+}
+
+impl SloReport {
+    /// True when every spec held for the whole run.
+    pub fn ok(&self) -> bool {
+        self.verdicts.iter().all(|v| v.ok)
+    }
+
+    /// Text verdict, one line per spec.
+    pub fn render(&self) -> String {
+        let mut out = String::from("SLO verdict\n");
+        for v in &self.verdicts {
+            let mut dims = Vec::new();
+            if let Some(p) = v.spec.p99_max_us {
+                dims.push(format!("p99 {}us/{}us", v.worst_p99_us, p));
+            }
+            if let Some(r) = v.spec.min_hit_rate {
+                dims.push(format!("hit-rate {:.2}/{:.2}", v.worst_hit_rate, r));
+            }
+            if let Some(m) = v.spec.max_messages {
+                dims.push(format!("messages {}/{}", v.worst_messages, m));
+            }
+            out.push_str(&format!(
+                "  [{}] {} · {} queries · {} violations · {}\n",
+                if v.ok { "PASS" } else { "FAIL" },
+                v.spec.operator,
+                v.evaluated,
+                v.violations,
+                dims.join(" · ")
+            ));
+        }
+        out
+    }
+}
+
+/// The watchdog sink. See the [module docs](self).
+pub struct SloMonitor {
+    specs: Vec<SloSpec>,
+    /// Sliding-window width, virtual microseconds.
+    window_us: u64,
+    /// Per-operator windows (only operators some spec names).
+    windows: BTreeMap<String, VecDeque<Sample>>,
+    /// Running verdict state, index-aligned with `specs`.
+    state: Vec<SloVerdict>,
+    /// True while the spec at this index is in violation (burn instants
+    /// fire on the ok → violating edge, not on every sample).
+    violating: Vec<bool>,
+    burns: u64,
+    /// Optional downstream sink: receives every event unchanged plus the
+    /// monitor's `slo_burn` instants.
+    inner: Option<SharedTraceSink>,
+}
+
+impl SloMonitor {
+    /// `window_us` is the sliding evaluation window in virtual time.
+    pub fn new(specs: Vec<SloSpec>, window_us: u64) -> Self {
+        let state = specs
+            .iter()
+            .map(|s| SloVerdict {
+                spec: s.clone(),
+                evaluated: 0,
+                violations: 0,
+                worst_p99_us: 0,
+                worst_hit_rate: 1.0,
+                worst_messages: 0,
+                ok: true,
+            })
+            .collect();
+        let violating = vec![false; specs.len()];
+        Self { specs, window_us, windows: BTreeMap::new(), state, violating, burns: 0, inner: None }
+    }
+
+    /// Chain a downstream sink (typically a
+    /// [`TraceCollector`](crate::TraceCollector)): it receives the whole
+    /// stream plus the monitor's burn instants.
+    pub fn with_inner(mut self, inner: SharedTraceSink) -> Self {
+        self.inner = Some(inner);
+        self
+    }
+
+    /// A shareable monitor.
+    pub fn shared(
+        specs: Vec<SloSpec>,
+        window_us: u64,
+    ) -> std::rc::Rc<std::cell::RefCell<SloMonitor>> {
+        std::rc::Rc::new(std::cell::RefCell::new(Self::new(specs, window_us)))
+    }
+
+    /// The handle to install via `Network::set_trace_sink`.
+    pub fn as_sink(me: &std::rc::Rc<std::cell::RefCell<SloMonitor>>) -> SharedTraceSink {
+        me.clone() as SharedTraceSink
+    }
+
+    /// Burn instants emitted so far (ok → violating transitions).
+    pub fn burns(&self) -> u64 {
+        self.burns
+    }
+
+    /// The final per-spec verdicts.
+    pub fn report(&self) -> SloReport {
+        SloReport { verdicts: self.state.clone() }
+    }
+
+    fn arg(ev: &TraceEvent, key: &str) -> u64 {
+        ev.args
+            .iter()
+            .find_map(|(k, v)| match v {
+                sqo_overlay::TraceValue::U64(n) if *k == key => Some(*n),
+                _ => None,
+            })
+            .unwrap_or(0)
+    }
+
+    /// Nearest-rank p99 over the window (exact — windows are small).
+    fn window_p99(samples: &VecDeque<Sample>) -> u64 {
+        let mut lats: Vec<u64> = samples.iter().map(|s| s.elapsed_us).collect();
+        lats.sort_unstable();
+        let rank = ((0.99 * lats.len() as f64).ceil() as usize).clamp(1, lats.len());
+        lats[rank - 1]
+    }
+
+    fn evaluate(&mut self, operator: &str, now_us: u64, latest: Sample) {
+        let win = self.windows.entry(operator.to_string()).or_default();
+        win.push_back(latest);
+        let cutoff = now_us.saturating_sub(self.window_us);
+        while win.front().map(|s| s.end_us < cutoff).unwrap_or(false) {
+            win.pop_front();
+        }
+        let p99 = Self::window_p99(win);
+        let (hits, misses) =
+            win.iter().fold((0u64, 0u64), |(h, m), s| (h + s.cache_hits, m + s.cache_misses));
+        let hit_rate = if hits + misses == 0 { 1.0 } else { hits as f64 / (hits + misses) as f64 };
+
+        for i in 0..self.specs.len() {
+            if self.specs[i].operator != operator {
+                continue;
+            }
+            let spec = self.specs[i].clone();
+            let v = &mut self.state[i];
+            v.evaluated += 1;
+            v.worst_p99_us = v.worst_p99_us.max(p99);
+            if hits + misses > 0 {
+                v.worst_hit_rate = v.worst_hit_rate.min(hit_rate);
+            }
+            v.worst_messages = v.worst_messages.max(latest.messages);
+
+            let mut breached: Vec<(&'static str, u64, u64)> = Vec::new();
+            if let Some(max) = spec.p99_max_us {
+                if p99 > max {
+                    breached.push(("p99_us", p99, max));
+                }
+            }
+            if let Some(min) = spec.min_hit_rate {
+                if hits + misses > 0 && hit_rate < min {
+                    breached.push((
+                        "hit_rate_milli",
+                        (hit_rate * 1000.0) as u64,
+                        (min * 1000.0) as u64,
+                    ));
+                }
+            }
+            if let Some(max) = spec.max_messages {
+                if latest.messages > max {
+                    breached.push(("messages", latest.messages, max));
+                }
+            }
+
+            let now_violating = !breached.is_empty();
+            if now_violating {
+                v.violations += 1;
+                v.ok = false;
+            }
+            if now_violating && !self.violating[i] {
+                // Edge: the spec just started burning — one instant per
+                // breached dimension on the control track.
+                for (dim, value, limit) in &breached {
+                    self.burns += 1;
+                    if let Some(inner) = &self.inner {
+                        inner.borrow_mut().record(
+                            TraceEvent::instant(now_us, TraceTrack::Control, "slo_burn", "run")
+                                .arg("operator", spec.operator.clone())
+                                .arg("dimension", *dim)
+                                .arg("value", *value)
+                                .arg("limit", *limit),
+                        );
+                    }
+                }
+            }
+            self.violating[i] = now_violating;
+        }
+    }
+}
+
+impl TraceSink for SloMonitor {
+    fn record(&mut self, ev: TraceEvent) {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().record(ev.clone());
+        }
+        let (TraceTrack::Query(_), "query", Some(dur)) = (ev.track, ev.cat, ev.dur_us) else {
+            return;
+        };
+        let end_us = ev.ts_us + dur;
+        let sample = Sample {
+            end_us,
+            elapsed_us: dur,
+            messages: Self::arg(&ev, "messages"),
+            cache_hits: Self::arg(&ev, "cache_hits"),
+            cache_misses: Self::arg(&ev, "cache_misses"),
+        };
+        let name = ev.name;
+        if self.specs.iter().any(|s| s.operator == name) {
+            self.evaluate(name, end_us, sample);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceCollector;
+
+    fn q(qid: u64, ts: u64, dur: u64, msgs: u64, hits: u64, misses: u64) -> TraceEvent {
+        TraceEvent::span(ts, dur, TraceTrack::Query(qid), "similar", "query")
+            .arg("messages", msgs)
+            .arg("cache_hits", hits)
+            .arg("cache_misses", misses)
+    }
+
+    #[test]
+    fn passing_workload_passes_every_dimension() {
+        let spec =
+            SloSpec::operator("similar").p99_max_us(1_000).min_hit_rate(0.2).max_messages(50);
+        let mut m = SloMonitor::new(vec![spec], 100_000);
+        for i in 0..30 {
+            m.record(q(i, i * 500, 400, 10, 3, 1));
+        }
+        let r = m.report();
+        assert!(r.ok(), "{}", r.render());
+        assert_eq!(m.burns(), 0);
+        assert_eq!(r.verdicts[0].evaluated, 30);
+        assert!(r.render().contains("PASS"));
+    }
+
+    #[test]
+    fn burn_fires_once_per_transition_not_per_sample() {
+        let mut m = SloMonitor::new(vec![SloSpec::operator("similar").p99_max_us(500)], 5_000);
+        // 9 fast, then a burst of 3 slow ones inside one window: a single
+        // ok → violating edge.
+        for i in 0..9u64 {
+            m.record(q(i, i * 100, 100, 1, 0, 0));
+        }
+        for i in 9..12u64 {
+            m.record(q(i, i * 100, 4_000, 1, 0, 0));
+        }
+        assert_eq!(m.burns(), 1, "one edge, one burn instant");
+        assert!(!m.report().ok());
+        assert_eq!(m.report().verdicts[0].violations, 3);
+    }
+
+    #[test]
+    fn window_slides_in_virtual_time() {
+        let mut m = SloMonitor::new(vec![SloSpec::operator("similar").p99_max_us(500)], 1_000);
+        m.record(q(1, 0, 2_000, 1, 0, 0)); // violates
+        assert!(!m.report().ok());
+        // Much later: the slow sample has left the window; fresh fast
+        // traffic evaluates clean (the verdict stays failed — it is a
+        // whole-run record — but no new violations accrue).
+        let before = m.report().verdicts[0].violations;
+        for i in 0..5u64 {
+            m.record(q(10 + i, 1_000_000 + i * 100, 100, 1, 0, 0));
+        }
+        assert_eq!(m.report().verdicts[0].violations, before);
+    }
+
+    #[test]
+    fn burn_instants_land_on_the_inner_sinks_control_track() {
+        let collector = TraceCollector::shared();
+        let mut m = SloMonitor::new(vec![SloSpec::operator("similar").max_messages(5)], 10_000)
+            .with_inner(TraceCollector::as_sink(&collector));
+        m.record(q(1, 0, 100, 99, 0, 0));
+        let c = collector.borrow();
+        let burns: Vec<_> = c.events().iter().filter(|e| e.name == "slo_burn").collect();
+        assert_eq!(burns.len(), 1);
+        assert_eq!(burns[0].track, TraceTrack::Control);
+        assert_eq!(c.events().len(), 2, "the original event was forwarded too");
+    }
+
+    #[test]
+    fn hit_rate_dimension_uses_the_windowed_rate() {
+        let mut m = SloMonitor::new(vec![SloSpec::operator("similar").min_hit_rate(0.5)], 100_000);
+        m.record(q(1, 0, 100, 1, 9, 1)); // 0.9 — fine
+        assert!(m.report().ok());
+        m.record(q(2, 200, 100, 1, 0, 20)); // windowed rate collapses
+        assert!(!m.report().ok());
+        assert!(m.report().verdicts[0].worst_hit_rate < 0.5);
+    }
+}

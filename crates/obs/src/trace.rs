@@ -34,6 +34,33 @@ pub struct TraceCollector {
     events: Vec<TraceEvent>,
 }
 
+/// A sink that clones every event to several downstream sinks, in order —
+/// e.g. a [`TraceCollector`] (raw stream) plus a
+/// [`BlameProfiler`](crate::BlameProfiler) (attribution) on one network.
+#[derive(Default)]
+pub struct FanoutSink {
+    sinks: Vec<SharedTraceSink>,
+}
+
+impl FanoutSink {
+    pub fn new(sinks: Vec<SharedTraceSink>) -> Self {
+        Self { sinks }
+    }
+
+    /// A shared handle ready for `Network::set_trace_sink`.
+    pub fn shared(sinks: Vec<SharedTraceSink>) -> SharedTraceSink {
+        Rc::new(RefCell::new(Self::new(sinks)))
+    }
+}
+
+impl TraceSink for FanoutSink {
+    fn record(&mut self, ev: TraceEvent) {
+        for s in &self.sinks {
+            s.borrow_mut().record(ev.clone());
+        }
+    }
+}
+
 impl TraceSink for TraceCollector {
     fn record(&mut self, ev: TraceEvent) {
         self.events.push(ev);

@@ -79,6 +79,22 @@ pub struct SimLatency {
     pub timed_messages: u64,
     /// Retransmissions caused by simulated message loss.
     pub retransmissions: u64,
+    /// Critical-path share spent on link latency (blame decomposition).
+    ///
+    /// Unlike the summed `net_us`/`queue_us`/`service_us`, the four
+    /// `crit_*` fields decompose the **frontier advance itself**: on the
+    /// losing branches of a fan-out no frontier time accrues, so for a
+    /// window with no mid-window clock rewind
+    /// `crit_net + crit_queue + crit_service + crit_stall == elapsed_us`.
+    pub crit_net_us: u64,
+    /// Critical-path share spent queued behind busy receivers.
+    pub crit_queue_us: u64,
+    /// Critical-path share spent in receiver service / local scans.
+    pub crit_service_us: u64,
+    /// Critical-path share where the frontier was moved forward without a
+    /// message or scan — waiting on the driver clock (join-window stalls,
+    /// scheduling gaps between charged steps inside one window).
+    pub crit_stall_us: u64,
 }
 
 impl SimLatency {
@@ -109,6 +125,10 @@ impl SimLatency {
         self.result_us += other.result_us;
         self.timed_messages += other.timed_messages;
         self.retransmissions += other.retransmissions;
+        self.crit_net_us += other.crit_net_us;
+        self.crit_queue_us += other.crit_queue_us;
+        self.crit_service_us += other.crit_service_us;
+        self.crit_stall_us += other.crit_stall_us;
     }
 }
 

@@ -183,6 +183,19 @@ pub struct NodeObs {
     pub queue_us: u64,
     /// Receiver CPU occupancy charged to this stage.
     pub service_us: u64,
+    /// Critical-path blame: link latency on the frontier-advancing path
+    /// while this stage ran. Unlike `queue_us`/`service_us` (which sum
+    /// over *all* messages, including overlapped ones), the four `crit_*`
+    /// fields decompose the stage's wall advance itself — they sum to the
+    /// virtual time the clock moved.
+    pub crit_net_us: u64,
+    /// Critical-path blame: queue wait behind busy receivers.
+    pub crit_queue_us: u64,
+    /// Critical-path blame: receiver service / local scan time.
+    pub crit_service_us: u64,
+    /// Critical-path blame: externally imposed stalls (join-window holds,
+    /// forward clock repositioning).
+    pub crit_stall_us: u64,
     /// Adaptive join window trajectory (joins with an adaptive window
     /// only): the window size after each AIMD adjustment.
     pub window_trace: Option<Vec<usize>>,
@@ -203,6 +216,16 @@ struct StageOpen {
     rounds: usize,
     queue_us: u64,
     service_us: u64,
+    crit: [u64; 4],
+}
+
+/// The four critical-path blame counters of a stats snapshot, in
+/// net/queue/service/stall order.
+fn crit_of(stats: &QueryStats) -> [u64; 4] {
+    stats
+        .sim
+        .map(|s| [s.crit_net_us, s.crit_queue_us, s.crit_service_us, s.crit_stall_us])
+        .unwrap_or([0; 4])
 }
 
 impl StageOpen {
@@ -221,6 +244,7 @@ impl StageOpen {
             rounds: stats.rounds,
             queue_us,
             service_us,
+            crit: crit_of(stats),
         }
     }
 }
@@ -289,6 +313,7 @@ impl PlanTask {
         let Some(open) = self.open.take() else { return };
         let (queue_us, service_us) =
             self.stats.sim.map(|s| (s.queue_us, s.service_us)).unwrap_or((0, 0));
+        let crit = crit_of(&self.stats);
         let o = NodeObs {
             label: self.stages[self.idx].label(),
             rows_out: self.rows.len(),
@@ -304,6 +329,10 @@ impl PlanTask {
             rounds: self.stats.rounds - open.rounds,
             queue_us: queue_us - open.queue_us,
             service_us: service_us - open.service_us,
+            crit_net_us: crit[0] - open.crit[0],
+            crit_queue_us: crit[1] - open.crit[1],
+            crit_service_us: crit[2] - open.crit[2],
+            crit_stall_us: crit[3] - open.crit[3],
             window_trace,
         };
         if engine.network().has_trace_sink() {
@@ -319,6 +348,10 @@ impl PlanTask {
                     .arg("rows_out", o.rows_out)
                     .arg("messages", o.messages)
                     .arg("probes", o.probes)
+                    .arg("net", o.crit_net_us)
+                    .arg("queue", o.crit_queue_us)
+                    .arg("service", o.crit_service_us)
+                    .arg("stall", o.crit_stall_us)
                 });
             }
         }

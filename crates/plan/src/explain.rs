@@ -181,6 +181,13 @@ fn obs_line(o: &NodeObs) -> String {
     if o.queue_us + o.service_us > 0 {
         s.push_str(&format!(" queue={}us service={}us", o.queue_us, o.service_us));
     }
+    let crit = o.crit_net_us + o.crit_queue_us + o.crit_service_us + o.crit_stall_us;
+    if crit > 0 {
+        s.push_str(&format!(
+            " blame[link={}us queue={}us service={}us stall={}us]",
+            o.crit_net_us, o.crit_queue_us, o.crit_service_us, o.crit_stall_us
+        ));
+    }
     if let Some(w) = &o.window_trace {
         let path: Vec<String> = w.iter().map(|x| x.to_string()).collect();
         s.push_str(&format!(" window={}", path.join("->")));

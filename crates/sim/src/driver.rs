@@ -438,6 +438,8 @@ pub fn run_driver(
                                 )
                                 .arg("client", client)
                                 .arg("messages", stats.traffic.messages)
+                                .arg("cache_hits", stats.cache_hits)
+                                .arg("cache_misses", stats.cache_misses)
                             });
                         }
                         let (lats, op_stats) = by_operator.entry(flight.label).or_default();
@@ -509,6 +511,20 @@ pub fn run_driver(
     }
     metrics.counter_add("run.queries", queries_run as u64);
     metrics.gauge_set("run.throughput_qps", throughput_qps);
+    // Per-operator attribution under `op.<name>.*` — most notably the
+    // per-operator queue time, which used to live only in the typed
+    // `per_operator` rows and bypassed the registry.
+    for row in &per_operator {
+        let p = format!("op.{}", row.operator);
+        metrics.counter_add(format!("{p}.queue_us"), row.queue_us);
+        metrics.counter_add(format!("{p}.messages"), row.messages);
+        metrics.counter_add(format!("{p}.cache_hits"), row.cache_hits);
+        metrics.counter_add(format!("{p}.probes_coalesced"), row.probes_coalesced);
+        metrics.counter_add(format!("{p}.window_shrinks"), row.window_shrinks);
+        if row.window_peak > 0 {
+            metrics.gauge_set(format!("{p}.window_peak"), row.window_peak as f64);
+        }
+    }
 
     DriverReport {
         per_operator,

@@ -71,9 +71,25 @@ impl Default for SimConfig {
     }
 }
 
+/// Running decomposition of every frontier advance since the sink was
+/// created: each `deliver`/`local_work`/forward `reset_to_us` moves the
+/// frontier by exactly `net + queue + service + stall` microseconds, so a
+/// query window's critical-path blame is the delta of this accumulator
+/// across the window. Branch rewinds restore the fork-point value, which
+/// keeps the accumulator in lockstep with the frontier through fan-outs.
+#[derive(Debug, Default, Clone, Copy)]
+struct Blame {
+    net_us: u64,
+    queue_us: u64,
+    service_us: u64,
+    stall_us: u64,
+}
+
 struct Fork {
     start_us: u64,
     max_end_us: u64,
+    start_blame: Blame,
+    max_end_blame: Blame,
 }
 
 /// The event-charging engine. Install on a network with
@@ -91,8 +107,11 @@ pub struct NetSim {
     /// opens one, then its per-left-item selections open their own); an
     /// inner window closing folds its sums into the parent, so the
     /// outermost window sees the whole query — the same inclusion
-    /// semantics as the traffic-snapshot deltas.
-    windows: Vec<(SimLatency, usize)>,
+    /// semantics as the traffic-snapshot deltas. The [`Blame`] is the
+    /// accumulator snapshot at window open; closing takes the delta.
+    windows: Vec<(SimLatency, usize, Blame)>,
+    /// Critical-path blame accumulator (see [`Blame`]).
+    blame: Blame,
     /// Lifetime totals across all top-level queries (never reset).
     totals: SimLatency,
     /// Optional structured-trace recorder (a clone of the network's):
@@ -112,6 +131,7 @@ impl NetSim {
             busy_until_us: vec![0; n_peers],
             forks: Vec::new(),
             windows: Vec::new(),
+            blame: Blame::default(),
             totals: SimLatency::default(),
             tracer: None,
         }
@@ -144,11 +164,13 @@ impl EventSink for NetSim {
         self.windows.push((
             SimLatency { start_us: self.frontier_us, ..SimLatency::default() },
             self.forks.len(),
+            self.blame,
         ));
     }
 
     fn end_query(&mut self) -> SimLatency {
-        let (mut cur, fork_depth) = self.windows.pop().expect("end_query without begin_query");
+        let (mut cur, fork_depth, open_blame) =
+            self.windows.pop().expect("end_query without begin_query");
         debug_assert_eq!(self.forks.len(), fork_depth, "window closed inside an open fork");
         // Self-heal in release builds: a fork left open by an early return
         // inside the window must not let later queries rewind to a stale
@@ -157,10 +179,19 @@ impl EventSink for NetSim {
         self.forks.truncate(fork_depth);
         cur.end_us = self.frontier_us;
         cur.elapsed_us = cur.end_us.saturating_sub(cur.start_us);
+        // Critical-path blame: the accumulator delta across the window
+        // decomposes the frontier advance itself, so the four shares sum to
+        // `elapsed_us` exactly (losing fan-out branches contribute nothing).
+        cur.crit_net_us = self.blame.net_us.saturating_sub(open_blame.net_us);
+        cur.crit_queue_us = self.blame.queue_us.saturating_sub(open_blame.queue_us);
+        cur.crit_service_us = self.blame.service_us.saturating_sub(open_blame.service_us);
+        cur.crit_stall_us = self.blame.stall_us.saturating_sub(open_blame.stall_us);
         match self.windows.last_mut() {
             // Fold the inner window's sums (not its wall-clock span, which
             // the parent's own start/end already covers) into the parent.
-            Some((parent, _)) => {
+            // The `crit_*` deltas are not folded: the parent's own
+            // accumulator delta already includes the inner activity.
+            Some((parent, _, _)) => {
                 parent.net_us += cur.net_us;
                 parent.queue_us += cur.queue_us;
                 parent.service_us += cur.service_us;
@@ -187,13 +218,18 @@ impl EventSink for NetSim {
         self.frontier_us = done;
         self.clock_us = self.clock_us.max(done);
 
+        self.blame.net_us += loss_us + link;
+        self.blame.queue_us += start - arrive;
+        self.blame.service_us += service;
+
         if let Some(t) = &self.tracer {
             let mut tr = t.borrow_mut();
             if start > arrive {
                 // Queueing behind the receiver's serial service queue.
                 tr.record(
                     TraceEvent::span(arrive, start - arrive, TraceTrack::Peer(to), "wait", "net")
-                        .arg("from", from.index()),
+                        .arg("from", from.index())
+                        .arg("cause", "busy-receiver"),
                 );
             }
             tr.record(
@@ -203,7 +239,7 @@ impl EventSink for NetSim {
             );
         }
 
-        if let Some((cur, _)) = self.windows.last_mut() {
+        if let Some((cur, _, _)) = self.windows.last_mut() {
             cur.net_us += loss_us + link;
             cur.queue_us += start - arrive;
             cur.service_us += service;
@@ -225,13 +261,15 @@ impl EventSink for NetSim {
         }
         let start = self.frontier_us.max(self.busy_until_us[peer.index()]);
         let done = start + cost;
+        self.blame.queue_us += start - self.frontier_us;
+        self.blame.service_us += cost;
         if let Some(t) = &self.tracer {
             t.borrow_mut().record(
                 TraceEvent::span(start, cost, TraceTrack::Peer(peer), "scan", "net")
                     .arg("items", items),
             );
         }
-        if let Some((cur, _)) = self.windows.last_mut() {
+        if let Some((cur, _, _)) = self.windows.last_mut() {
             cur.queue_us += start - self.frontier_us;
             cur.service_us += cost;
         }
@@ -241,18 +279,32 @@ impl EventSink for NetSim {
     }
 
     fn fork(&mut self) {
-        self.forks.push(Fork { start_us: self.frontier_us, max_end_us: self.frontier_us });
+        self.forks.push(Fork {
+            start_us: self.frontier_us,
+            max_end_us: self.frontier_us,
+            start_blame: self.blame,
+            max_end_blame: self.blame,
+        });
     }
 
     fn branch(&mut self) {
         let f = self.forks.last_mut().expect("branch outside a fork");
-        f.max_end_us = f.max_end_us.max(self.frontier_us);
+        if self.frontier_us > f.max_end_us {
+            f.max_end_us = self.frontier_us;
+            f.max_end_blame = self.blame;
+        }
         self.frontier_us = f.start_us;
+        self.blame = f.start_blame;
     }
 
     fn join(&mut self) {
         let f = self.forks.pop().expect("join outside a fork");
-        self.frontier_us = self.frontier_us.max(f.max_end_us);
+        if f.max_end_us > self.frontier_us {
+            // A previous branch wins the critical path: its blame
+            // decomposition travels with its frontier.
+            self.frontier_us = f.max_end_us;
+            self.blame = f.max_end_blame;
+        }
     }
 
     fn now_us(&self) -> u64 {
@@ -262,7 +314,14 @@ impl EventSink for NetSim {
     fn reset_to_us(&mut self, t_us: u64) {
         // May rewind relative to a previously *simulated* query — that is
         // how overlapping arrivals are expressed — but never rewinds the
-        // global high-water clock.
+        // global high-water clock. A *forward* jump while a window is open
+        // is waiting on the driver clock (a scheduling gap inside the
+        // window): charge it to stall so the blame sum keeps covering the
+        // frontier advance. Backward jumps leave the accumulator alone —
+        // they only ever happen between windows.
+        if t_us > self.frontier_us && !self.windows.is_empty() {
+            self.blame.stall_us += t_us - self.frontier_us;
+        }
         self.frontier_us = t_us;
         self.clock_us = self.clock_us.max(t_us);
     }
@@ -375,6 +434,50 @@ mod tests {
         assert_eq!(outer.start_us, 0);
         // Lifetime totals count the top-level query once, not twice.
         assert_eq!(s.totals().timed_messages, 2);
+    }
+
+    #[test]
+    fn blame_decomposition_covers_the_critical_path() {
+        let mut s = sim(100);
+        // Warm up the queue on peer 5 so the second query sees queue wait.
+        s.begin_query();
+        s.deliver(PeerId(0), PeerId(5), 0, MsgKind::Route);
+        s.end_query();
+        s.reset_to_us(0);
+        s.begin_query();
+        s.deliver(PeerId(1), PeerId(5), 0, MsgKind::Route);
+        s.fork();
+        s.branch();
+        s.deliver(PeerId(5), PeerId(1), 0, MsgKind::Forward);
+        s.branch();
+        s.deliver(PeerId(5), PeerId(2), 0, MsgKind::Forward);
+        s.deliver(PeerId(2), PeerId(3), 0, MsgKind::Result);
+        s.join();
+        s.local_work(PeerId(3), 7);
+        let lat = s.end_query();
+        assert_eq!(
+            lat.crit_net_us + lat.crit_queue_us + lat.crit_service_us + lat.crit_stall_us,
+            lat.elapsed_us,
+            "blame shares must sum to the window's critical path: {lat:?}"
+        );
+        assert_eq!(lat.crit_queue_us, 10, "the 10us wait behind the warm-up query");
+        assert_eq!(lat.crit_net_us, 300, "three link hops on the winning branch");
+        assert_eq!(lat.crit_stall_us, 0);
+    }
+
+    #[test]
+    fn forward_reset_inside_a_window_counts_as_stall() {
+        let mut s = sim(100);
+        s.begin_query();
+        s.deliver(PeerId(0), PeerId(1), 0, MsgKind::Route);
+        s.reset_to_us(1_000); // driver jumps the clock mid-window
+        s.deliver(PeerId(1), PeerId(2), 0, MsgKind::Route);
+        let lat = s.end_query();
+        assert_eq!(lat.crit_stall_us, 1_000 - 110);
+        assert_eq!(
+            lat.crit_net_us + lat.crit_queue_us + lat.crit_service_us + lat.crit_stall_us,
+            lat.elapsed_us
+        );
     }
 
     #[test]

@@ -444,7 +444,11 @@ pub struct ScaleOutcome {
     pub checksum: u64,
 }
 
-/// The performance half: wall-clock measurements of one engine run.
+/// The performance half: wall-clock measurements of one engine run, plus
+/// the per-shard telemetry of the windowed core (how evenly the event
+/// load spread, how often the conservative lookahead swept an empty
+/// window, how much crossed shards through mailboxes). None of it feeds
+/// back into the simulation — [`ScaleOutcome`] stays bit-identical.
 #[derive(Debug, Clone, Serialize)]
 pub struct ScaleRun {
     /// `"serial"` (global binary heap) or `"sharded"` (windowed core).
@@ -454,14 +458,47 @@ pub struct ScaleRun {
     pub events: u64,
     pub elapsed_ms: f64,
     pub events_per_sec: f64,
+    /// Events processed by each shard (one entry per shard; the serial
+    /// engine reports a single entry).
+    pub events_per_shard: Vec<u64>,
+    /// Conservative windows swept, summed over shards (0 for serial).
+    pub windows_swept: u64,
+    /// Swept windows whose bucket was empty — the conservative lookahead's
+    /// stall counter: barriers crossed with nothing to do.
+    pub empty_windows: u64,
+    /// Events that crossed shards through mailboxes (threaded runs only;
+    /// the single-threaded core inserts directly into destination rings).
+    pub mailbox_events: u64,
+    /// Deepest single mailbox drain observed (threaded runs only).
+    pub mailbox_peak: u64,
 }
 
 impl ScaleRun {
-    /// Fold this run into a metrics registry under the `sim.*` schema.
+    /// Fold this run into a metrics registry under the `sim.*` schema:
+    /// throughput and RSS gauges, plus the `sim.shard.*` occupancy /
+    /// imbalance gauges, window-stall counters, mailbox depths and the
+    /// events-per-shard histogram.
     pub fn export_metrics(&self, m: &mut MetricsRegistry) {
         m.gauge_set("sim.events_per_sec", self.events_per_sec);
         if let Some(rss) = rss_peak_bytes() {
             m.gauge_set("sim.rss_peak_bytes", rss as f64);
+        }
+        if self.events_per_shard.is_empty() {
+            return;
+        }
+        let max = self.events_per_shard.iter().copied().max().unwrap_or(0);
+        let min = self.events_per_shard.iter().copied().min().unwrap_or(0);
+        let mean = self.events as f64 / self.events_per_shard.len() as f64;
+        m.gauge_set("sim.shard.count", self.events_per_shard.len() as f64);
+        m.gauge_set("sim.shard.events_max", max as f64);
+        m.gauge_set("sim.shard.events_min", min as f64);
+        m.gauge_set("sim.shard.imbalance", if mean > 0.0 { max as f64 / mean } else { 1.0 });
+        m.gauge_set("sim.shard.mailbox_peak", self.mailbox_peak as f64);
+        m.counter_add("sim.shard.windows_swept", self.windows_swept);
+        m.counter_add("sim.shard.empty_windows", self.empty_windows);
+        m.counter_add("sim.shard.mailbox_events", self.mailbox_events);
+        for &e in &self.events_per_shard {
+            m.record("sim.shard.events", e);
         }
     }
 }
@@ -586,6 +623,11 @@ pub fn run_serial(topo: &Topology, cfg: &ScaleConfig) -> (ScaleOutcome, ScaleRun
         events,
         elapsed_ms: elapsed.as_secs_f64() * 1e3,
         events_per_sec: events as f64 / elapsed.as_secs_f64().max(1e-9),
+        events_per_shard: vec![events],
+        windows_swept: 0,
+        empty_windows: 0,
+        mailbox_events: 0,
+        mailbox_peak: 0,
     };
     (outcome, run)
 }
@@ -605,6 +647,11 @@ struct Shard {
     /// Dense by qid; only queries whose initiator lives here are touched.
     qstate: Vec<QState>,
     events: u64,
+    /// Telemetry (never read by the handler — pure observation).
+    windows_swept: u64,
+    empty_windows: u64,
+    mailbox_events: u64,
+    mailbox_peak: u64,
 }
 
 /// One shard's **calendar ring** of pending events: slot `w & mask`
@@ -727,6 +774,10 @@ pub fn run_sharded(topo: &Topology, cfg: &ScaleConfig) -> (ScaleOutcome, ScaleRu
             busy: vec![0u64; topo.peer_count().div_ceil(shards_n)],
             qstate: vec![QState::default(); cfg.queries],
             events: 0,
+            windows_swept: 0,
+            empty_windows: 0,
+            mailbox_events: 0,
+            mailbox_peak: 0,
         })
         .collect();
     let mut rings: Vec<Ring> = (0..shards_n)
@@ -767,6 +818,11 @@ pub fn run_sharded(topo: &Topology, cfg: &ScaleConfig) -> (ScaleOutcome, ScaleRu
         events,
         elapsed_ms: elapsed.as_secs_f64() * 1e3,
         events_per_sec: events as f64 / elapsed.as_secs_f64().max(1e-9),
+        events_per_shard: shards.iter().map(|s| s.events).collect(),
+        windows_swept: shards.iter().map(|s| s.windows_swept).sum(),
+        empty_windows: shards.iter().map(|s| s.empty_windows).sum(),
+        mailbox_events: shards.iter().map(|s| s.mailbox_events).sum(),
+        mailbox_peak: shards.iter().map(|s| s.mailbox_peak).max().unwrap_or(0),
     };
     (outcome, run)
 }
@@ -784,7 +840,9 @@ fn run_windows_serial(ctx: &RunCtx<'_>, shards: &mut [Shard], rings: &mut [Ring]
     while rings.iter().any(|r| r.pending > 0) {
         for i in 0..n {
             let mut evs = rings[i].take(w);
+            shards[i].windows_swept += 1;
             if evs.is_empty() {
+                shards[i].empty_windows += 1;
                 continue;
             }
             evs.sort_unstable_by_key(Ev::key128);
@@ -831,6 +889,10 @@ fn run_windows_threaded(ctx: &RunCtx<'_>, shards: &mut [Shard], rings: &mut [Rin
                         break;
                     }
                     let mut evs = ring.take(w);
+                    sh.windows_swept += 1;
+                    if evs.is_empty() {
+                        sh.empty_windows += 1;
+                    }
                     if !evs.is_empty() {
                         evs.sort_unstable_by_key(Ev::key128);
                         sh.run_evs(&evs, ctx, &mut |e| {
@@ -856,6 +918,11 @@ fn run_windows_threaded(ctx: &RunCtx<'_>, shards: &mut [Shard], rings: &mut [Rin
                     barrier.wait();
                     for row in mailboxes {
                         let mut lane = row[id].lock().expect("mailbox");
+                        let depth = lane.len() as u64;
+                        if depth > 0 {
+                            sh.mailbox_events += depth;
+                            sh.mailbox_peak = sh.mailbox_peak.max(depth);
+                        }
                         for ev in lane.drain(..) {
                             ring.insert(ev);
                         }
@@ -962,6 +1029,42 @@ mod tests {
                 assert_eq!((s as usize, e as usize), net.subtree_of(&shallow));
             }
         }
+    }
+
+    #[test]
+    fn per_shard_telemetry_accounts_for_every_event() {
+        let net = small_net();
+        let topo = Topology::of_network(&net);
+        let cfg = ScaleConfig {
+            queries: 64,
+            shards: 4,
+            threads: true,
+            arrival_spread_us: 5_000,
+            ..Default::default()
+        };
+        let (out, run) = run_sharded(&topo, &cfg);
+        assert_eq!(run.events_per_shard.len(), 4);
+        assert_eq!(run.events_per_shard.iter().sum::<u64>(), run.events);
+        assert!(run.windows_swept > 0, "windows were swept");
+        assert!(run.windows_swept >= run.empty_windows);
+        assert!(run.mailbox_events > 0, "threaded run crossed shards through mailboxes");
+        assert!(run.mailbox_peak > 0 && run.mailbox_peak <= run.mailbox_events);
+
+        // The telemetry is observation only: the deterministic outcome
+        // still matches the serial baseline.
+        let (serial, serial_run) = run_serial(&topo, &cfg);
+        assert_eq!(out, serial);
+        assert_eq!(serial_run.events_per_shard, vec![serial_run.events]);
+        assert_eq!(serial_run.mailbox_events, 0);
+
+        let mut m = MetricsRegistry::default();
+        run.export_metrics(&mut m);
+        assert_eq!(m.gauge("sim.shard.count"), Some(4.0));
+        assert!(m.gauge("sim.shard.imbalance").unwrap() >= 1.0);
+        assert_eq!(m.counter("sim.shard.windows_swept"), run.windows_swept);
+        assert_eq!(m.counter("sim.shard.mailbox_events"), run.mailbox_events);
+        let h = m.histogram("sim.shard.events").expect("events-per-shard histogram");
+        assert_eq!(h.count(), 4);
     }
 
     #[test]

@@ -3,9 +3,9 @@
 //! tracing is **zero-cost for results**: the driver report of a traced run
 //! is byte-identical to the untraced one.
 
-use sqo_core::{BrokerConfig, EngineBuilder, SimilarityEngine};
+use sqo_core::{BrokerConfig, EngineBuilder, JoinWindow, SimilarityEngine};
 use sqo_datasets::{bible_words, string_rows};
-use sqo_obs::{validate_json, TraceCollector};
+use sqo_obs::{validate_json, BlameProfiler, FanoutSink, SloMonitor, SloSpec, TraceCollector};
 use sqo_sim::{
     run_driver, Arrival, DriverConfig, DriverReport, LatencyModel, QueryKind, SimConfig,
 };
@@ -79,6 +79,127 @@ fn tracing_leaves_the_driver_report_byte_identical() {
         serde_json::to_string(&plain).unwrap(),
         "a trace sink must not perturb results, stats, or metrics"
     );
+}
+
+/// A mix covering every operator kind the driver can issue.
+fn all_operators_cfg(clients: usize) -> DriverConfig {
+    DriverConfig {
+        clients,
+        queries_per_client: 5,
+        arrival: Arrival::Poisson { mean_interarrival_us: 4_000 },
+        mix: vec![
+            QueryKind::Similar { d: 1 },
+            QueryKind::SimJoin { d: 1, left_limit: Some(4), window: JoinWindow::auto() },
+            QueryKind::TopN { n: 3, d_max: 2 },
+            QueryKind::Vql { d: 1 },
+            QueryKind::Pipeline { d: 1, n: 3, left_limit: Some(4), window: JoinWindow::auto() },
+        ],
+        sim: SimConfig {
+            latency: LatencyModel::Uniform { min_us: 300, max_us: 2_500 },
+            ..SimConfig::default()
+        },
+        cache: BrokerConfig::enabled(),
+        seed: 41,
+        ..DriverConfig::default()
+    }
+}
+
+/// The acceptance pin: for **every operator**, at 1 and at 16 clients,
+/// the blame tree accounts for 100% of each query's measured critical
+/// path — `net + queue + service + stall == elapsed`, exactly, per query.
+#[test]
+fn blame_tree_accounts_for_the_full_critical_path() {
+    let words = bible_words(250, 5);
+    for clients in [1usize, 16] {
+        let mut e = engine(&words);
+        let profiler = BlameProfiler::shared(2);
+        e.network_mut().set_trace_sink(BlameProfiler::as_sink(&profiler));
+        let report = run_driver(&mut e, "word", &words, &all_operators_cfg(clients));
+        let p = profiler.borrow();
+        assert_eq!(p.queries().len(), report.queries_run, "every query profiled");
+        for q in p.queries() {
+            let sum = q.net_us + q.queue_us + q.service_us + q.stall_us;
+            assert_eq!(
+                sum, q.elapsed_us,
+                "clients={clients} qid={} op={}: blame parts {sum} != elapsed {}",
+                q.qid, q.operator, q.elapsed_us
+            );
+        }
+        let ops: Vec<&str> = p.per_operator().map(|o| o.operator.as_str()).collect();
+        for op in ["similar", "simjoin", "topn", "vql", "pipeline"] {
+            assert!(ops.contains(&op), "clients={clients}: operator {op} missing from {ops:?}");
+        }
+        // The decomposition is meaningful, not degenerate: network time
+        // dominates somewhere, and at 16 clients receivers queue.
+        let total_net: u64 = p.queries().iter().map(|q| q.net_us).sum();
+        assert!(total_net > 0, "clients={clients}: link latency must be blamed");
+        if clients == 16 {
+            let total_queue: u64 = p.queries().iter().map(|q| q.queue_us).sum();
+            assert!(total_queue > 0, "16 contending clients must produce queue blame");
+        }
+        assert!(!p.render().is_empty());
+    }
+}
+
+/// Zero-overhead pin for the new sinks: a run with a blame profiler AND
+/// an SLO monitor attached produces a byte-identical driver report.
+#[test]
+fn blame_and_slo_sinks_leave_the_driver_report_byte_identical() {
+    let words = bible_words(250, 5);
+    let mut plain_engine = engine(&words);
+    let plain = run_driver(&mut plain_engine, "word", &words, &cfg());
+
+    let mut e = engine(&words);
+    let profiler = BlameProfiler::shared(3);
+    let monitor = SloMonitor::shared(
+        vec![SloSpec::operator("similar").p99_max_us(50_000).min_hit_rate(0.01)],
+        100_000,
+    );
+    let fan =
+        FanoutSink::shared(vec![BlameProfiler::as_sink(&profiler), SloMonitor::as_sink(&monitor)]);
+    e.network_mut().set_trace_sink(fan);
+    let observed = run_driver(&mut e, "word", &words, &cfg());
+    assert_eq!(
+        serde_json::to_string(&observed).unwrap(),
+        serde_json::to_string(&plain).unwrap(),
+        "blame profiling and SLO monitoring must not perturb the report"
+    );
+    assert!(!profiler.borrow().queries().is_empty(), "the profiler saw the workload");
+    assert!(monitor.borrow().report().verdicts.iter().any(|v| v.evaluated > 0));
+}
+
+/// The SLO watchdog flags an impossible latency budget and emits burn
+/// instants into its inner sink on the ok→violating edge.
+#[test]
+fn slo_monitor_flags_violations_and_emits_burns() {
+    let words = bible_words(250, 5);
+    let mut e = engine(&words);
+    let collector = TraceCollector::shared();
+    let monitor = std::rc::Rc::new(std::cell::RefCell::new(
+        SloMonitor::new(
+            vec![
+                SloSpec::operator("similar").p99_max_us(1), // unmeetable
+                SloSpec::operator("topn").p99_max_us(60_000_000), // unmissable
+            ],
+            100_000,
+        )
+        .with_inner(TraceCollector::as_sink(&collector)),
+    ));
+    e.network_mut().set_trace_sink(SloMonitor::as_sink(&monitor));
+    let _ = run_driver(&mut e, "word", &words, &cfg());
+    let m = monitor.borrow();
+    assert!(m.burns() > 0, "an unmeetable p99 budget must burn");
+    let report = m.report();
+    let sim = report.verdicts.iter().find(|v| v.spec.operator == "similar").expect("similar");
+    assert!(!sim.ok, "1us p99 budget must be violated");
+    let topn = report.verdicts.iter().find(|v| v.spec.operator == "topn").expect("topn");
+    assert!(topn.ok, "lavish budget must pass: {topn:?}");
+    assert!(report.render().contains("[FAIL]") && report.render().contains("[PASS]"));
+    // Burn instants were forwarded into the inner collector on the
+    // control track, alongside the events the monitor passed through.
+    let c = collector.borrow();
+    assert!(c.events().iter().any(|ev| ev.name == "slo_burn"), "burn instants recorded");
+    assert!(c.events().iter().any(|ev| ev.cat == "query"), "stream forwarded to inner sink");
 }
 
 #[test]

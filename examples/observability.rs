@@ -1,7 +1,8 @@
 //! Observability end-to-end: trace a driven workload in virtual time,
 //! export the trace (JSONL + Chrome `trace_event` JSON loadable in
-//! Perfetto / `chrome://tracing`), print one query's flame view, dump the
-//! unified metrics registry, and run `explain_analyze()` on a pipeline.
+//! Perfetto / `chrome://tracing`), print one query's flame view, the
+//! causal latency blame tree, the SLO watchdog's verdicts, the unified
+//! metrics registry, and run `explain_analyze()` on a pipeline.
 //!
 //! ```sh
 //! cargo run --release --example observability
@@ -11,7 +12,7 @@
 
 use sqo::core::EngineBuilder;
 use sqo::datasets::{bible_words, string_rows};
-use sqo::obs::TraceCollector;
+use sqo::obs::{BlameProfiler, FanoutSink, SloMonitor, SloSpec, TraceCollector};
 use sqo::overlay::peer::PeerId;
 use sqo::plan::{Query, Session};
 use sqo::sim::{run_driver, Arrival, DriverConfig, LatencyModel, SimConfig};
@@ -22,11 +23,25 @@ fn main() {
     let rows = string_rows("word", &words, "w");
     let mut engine = EngineBuilder::new().peers(64).q(2).seed(1).build_with_rows(&rows);
 
-    // 1. Attach a trace sink, then drive a concurrent workload: every
+    // 1. Attach the sinks — a raw collector, the causal blame profiler,
+    //    and an SLO watchdog — then drive a concurrent workload: every
     //    message, charged step, per-peer queue wait, and query span lands
-    //    in the collector stamped with virtual-time microseconds.
+    //    in each sink stamped with virtual-time microseconds.
     let collector = TraceCollector::shared();
-    engine.network_mut().set_trace_sink(TraceCollector::as_sink(&collector));
+    let profiler = BlameProfiler::shared(3);
+    let monitor = SloMonitor::shared(
+        vec![
+            SloSpec::operator("similar").p99_max_us(40_000).min_hit_rate(0.05),
+            SloSpec::operator("simjoin").p99_max_us(120_000).max_messages(4_000),
+            SloSpec::operator("topn").p99_max_us(80_000),
+        ],
+        50_000, // sliding virtual-time window, us
+    );
+    engine.network_mut().set_trace_sink(FanoutSink::shared(vec![
+        TraceCollector::as_sink(&collector),
+        BlameProfiler::as_sink(&profiler),
+        SloMonitor::as_sink(&monitor),
+    ]));
     let cfg = DriverConfig {
         clients: 4,
         queries_per_client: 4,
@@ -54,7 +69,23 @@ fn main() {
     }
     drop(c);
 
-    // 3. The unified metrics registry the driver merged over the run.
+    // 3. The causal blame tree: each query's end-to-end virtual latency
+    //    decomposed into link / queue / service / stall shares that sum to
+    //    exactly 100% of the critical path, rolled up per operator with
+    //    the K slowest exemplars retained.
+    println!("latency blame:\n{}", profiler.borrow().render());
+    if let Some(ex) = profiler.borrow().slowest() {
+        let b = &ex.blame;
+        println!(
+            "slowest query: qid={} op={} {}us = link {}us + queue {}us + service {}us + stall {}us",
+            b.qid, b.operator, b.elapsed_us, b.net_us, b.queue_us, b.service_us, b.stall_us
+        );
+    }
+
+    // 4. The SLO watchdog's verdicts over its sliding window.
+    println!("\nslo verdicts:\n{}", monitor.borrow().report().render());
+
+    // 5. The unified metrics registry the driver merged over the run.
     println!("metrics registry:");
     for (name, v) in report.metrics.counters() {
         println!("  {name} = {v}");
@@ -69,8 +100,8 @@ fn main() {
         );
     }
 
-    // 4. explain_analyze: run a pipeline once and re-render its plan with
-    //    the observed per-node counters.
+    // 6. explain_analyze: run a pipeline once and re-render its plan with
+    //    the observed per-node counters and per-stage blame rollup.
     let mut engine = EngineBuilder::new().peers(64).q(2).seed(1).build_with_rows(&rows);
     sqo::sim::install(&mut engine, SimConfig::default());
     let mut session = Session::new(&mut engine, PeerId(0));

@@ -38,8 +38,28 @@ fn load_points() -> Vec<Point> {
     let mut points = Vec::new();
     let mut cur = Point::default();
     let mut in_obj = false;
+    // The artifact is an envelope since the regression-gate work:
+    // `{schema_version, generated: {...}, points: [...]}`. Only the
+    // objects inside the `points` array are bench rows — the `generated`
+    // block's nested closes must not push spurious points.
+    let mut in_points = false;
+    let mut schema_version = 0u64;
     for line in text.lines() {
         let line = line.trim();
+        if !in_points {
+            if let Some((key, value)) = line.split_once(':') {
+                if key.trim().trim_matches('"') == "schema_version" {
+                    schema_version = value.trim().trim_end_matches(',').parse().unwrap_or(0);
+                }
+            }
+            if line.starts_with("\"points\"") {
+                in_points = true;
+            }
+            continue;
+        }
+        if line.starts_with(']') {
+            break;
+        }
         if line.starts_with('{') {
             in_obj = true;
             cur = Point::default();
@@ -70,6 +90,7 @@ fn load_points() -> Vec<Point> {
             _ => {}
         }
     }
+    assert_eq!(schema_version, 1, "artifact must carry schema_version 1 (envelope shape)");
     assert!(!points.is_empty(), "no points parsed from {path}");
     points
 }

@@ -37,10 +37,13 @@ struct Scale {
 /// is unnecessary — the vendored serde_json stand-in is serialize-only).
 #[derive(Debug, Default)]
 struct Report {
+    schema_version: u64,
     seed_rss_per_peer_bytes: u64,
     deterministic: bool,
     builds: Vec<Build>,
     scale: Vec<Scale>,
+    /// Every `sim.*` metric name in the registry (gauges, counters and
+    /// histogram keys alike).
     gauges: Vec<String>,
 }
 
@@ -52,11 +55,25 @@ fn load_report() -> Report {
     let mut build = Build::default();
     let mut scale = Scale::default();
     let mut is_scale = false;
+    // The `generated` metadata block (regression-gate envelope) carries
+    // `peers`/`queries` keys of its own at object depth 2 — everything
+    // inside it must be skipped, or it would masquerade as a build point.
+    let mut skip_until: Option<i32> = None;
     for line in text.lines() {
         let line = line.trim();
         if line.ends_with('{') {
             depth += 1;
-            if depth == 2 {
+            if skip_until.is_none() && line.starts_with("\"generated\"") {
+                skip_until = Some(depth);
+            }
+            // Histogram entries open objects keyed by metric name.
+            if let Some((key, _)) = line.split_once(':') {
+                let key = key.trim().trim_matches('"');
+                if skip_until.is_none() && key.starts_with("sim.") {
+                    r.gauges.push(key.to_string());
+                }
+            }
+            if depth == 2 && skip_until.is_none() {
                 build = Build::default();
                 scale = Scale::default();
                 is_scale = false;
@@ -64,7 +81,11 @@ fn load_report() -> Report {
             continue;
         }
         if line.starts_with('}') || line.starts_with("},") {
-            if depth == 2 {
+            if let Some(d) = skip_until {
+                if depth == d {
+                    skip_until = None;
+                }
+            } else if depth == 2 {
                 if is_scale {
                     r.scale.push(scale.clone());
                 } else if build.peers > 0 {
@@ -74,11 +95,15 @@ fn load_report() -> Report {
             depth -= 1;
             continue;
         }
+        if skip_until.is_some() {
+            continue;
+        }
         let Some((key, value)) = line.split_once(':') else { continue };
         let key = key.trim().trim_matches('"');
         let value = value.trim().trim_end_matches(',');
         let as_u64 = || value.parse::<f64>().unwrap_or(0.0) as u64;
         match (depth, key) {
+            (1, "schema_version") => r.schema_version = as_u64(),
             (1, "seed_rss_per_peer_bytes") => r.seed_rss_per_peer_bytes = as_u64(),
             (1, "deterministic") => r.deterministic = value == "true",
             (2, "peers") => build.peers = as_u64(),
@@ -93,10 +118,11 @@ fn load_report() -> Report {
             (2, "queries_done") => scale.queries_done = as_u64(),
             (2, "events_per_sec") => scale.events_per_sec = value.parse().unwrap_or(0.0),
             (2, "checksum") => scale.checksum = value.to_string(),
-            (3, _) if key.starts_with("sim.") => r.gauges.push(key.to_string()),
+            (d, _) if d >= 3 && key.starts_with("sim.") => r.gauges.push(key.to_string()),
             _ => {}
         }
     }
+    assert_eq!(r.schema_version, 1, "artifact must carry schema_version 1 (envelope shape)");
     assert!(!r.builds.is_empty() && !r.scale.is_empty(), "no points parsed from {path}");
     r
 }
@@ -151,11 +177,27 @@ fn all_engines_agreed_and_completed() {
     }
 }
 
-/// The `sim.*` gauges are folded into the artifact's metrics registry.
+/// The `sim.*` gauges are folded into the artifact's metrics registry —
+/// including the per-shard telemetry of the windowed core (occupancy,
+/// imbalance, conservative-window stalls, mailbox depths, and the
+/// events-per-shard histogram).
 #[test]
 fn sim_metrics_are_exported() {
     let r = load_report();
-    for g in ["sim.events_per_sec", "sim.rss_peak_bytes", "sim.rss_per_peer_bytes"] {
-        assert!(r.gauges.iter().any(|x| x == g), "gauge {g} missing from metrics");
+    for g in [
+        "sim.events_per_sec",
+        "sim.rss_peak_bytes",
+        "sim.rss_per_peer_bytes",
+        "sim.shard.count",
+        "sim.shard.events_max",
+        "sim.shard.events_min",
+        "sim.shard.imbalance",
+        "sim.shard.mailbox_peak",
+        "sim.shard.windows_swept",
+        "sim.shard.empty_windows",
+        "sim.shard.mailbox_events",
+        "sim.shard.events",
+    ] {
+        assert!(r.gauges.iter().any(|x| x == g), "metric {g} missing from registry");
     }
 }
