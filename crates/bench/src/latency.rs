@@ -72,6 +72,14 @@ pub struct LatencyBenchConfig {
     /// exemplar across the whole sweep ([`LatencySweep::slowest_trace`]).
     /// Off by default: the sweep runs sink-free and pays nothing.
     pub trace: bool,
+    /// Build and publish the world **once**, freeze it with
+    /// [`sqo_snap::Snapshot::capture`], and fork every sweep cell's engine
+    /// off the warm checkpoint instead of rebuilding per cell. The sweep
+    /// artifact is byte-identical either way (a restored world continues
+    /// the build's RNG stream exactly — `sqo-snap`'s round-trip suite pins
+    /// it, and this module's tests pin the sweep equality); only the
+    /// wall-clock setup cost changes ([`LatencySweep::setup_wall_us`]).
+    pub warm_checkpoint: bool,
 }
 
 /// The default sweep cells: the legacy-vs-plan A/B at the w1 baseline
@@ -112,6 +120,7 @@ impl Default for LatencyBenchConfig {
             strategy: Strategy::QGrams,
             seed: 73,
             trace: false,
+            warm_checkpoint: false,
         }
     }
 }
@@ -226,6 +235,12 @@ pub struct LatencySweep {
     /// across the sweep (`Some` only when
     /// [`LatencyBenchConfig::trace`] is set and at least one query ran).
     pub slowest_trace: Option<String>,
+    /// Wall-clock µs spent acquiring engines across the sweep: per-cell
+    /// rebuilds in cold mode, or the one-time build + capture plus
+    /// per-cell restores in warm-checkpoint mode. The cold/warm delta is
+    /// what `--warm-checkpoint` buys (the driven workloads themselves are
+    /// identical byte for byte).
+    pub setup_wall_us: u64,
 }
 
 /// Run the sweep. Deterministic for a given configuration.
@@ -234,10 +249,26 @@ pub fn run_latency_sweep(cfg: &LatencyBenchConfig) -> LatencySweep {
     let mut out = Vec::new();
     let mut metrics = MetricsRegistry::new();
     let mut slowest: Option<(u64, String)> = None;
+    let mut setup_wall = std::time::Duration::ZERO;
+    // Warm-checkpoint mode: one build, one capture, then every cell is a
+    // fork of the frozen world instead of a from-scratch publication.
+    let template = cfg.warm_checkpoint.then(|| {
+        let t = std::time::Instant::now();
+        let engine = fresh_engine(cfg, &words);
+        let snap = sqo_snap::Snapshot::capture(&engine);
+        let engine_cfg = engine.config().clone();
+        setup_wall += t.elapsed();
+        (snap, engine_cfg)
+    });
     for model in &cfg.models {
         for &clients in &cfg.client_counts {
             for combo in &cfg.combos {
-                let mut engine = fresh_engine(cfg, &words);
+                let t = std::time::Instant::now();
+                let mut engine = match &template {
+                    Some((snap, engine_cfg)) => snap.restore_engine(engine_cfg),
+                    None => fresh_engine(cfg, &words),
+                };
+                setup_wall += t.elapsed();
                 let profiler = cfg.trace.then(|| sqo_obs::BlameProfiler::shared(3));
                 if let Some(p) = &profiler {
                     engine.network_mut().set_trace_sink(sqo_obs::BlameProfiler::as_sink(p));
@@ -279,7 +310,12 @@ pub fn run_latency_sweep(cfg: &LatencyBenchConfig) -> LatencySweep {
             }
         }
     }
-    LatencySweep { points: out, metrics, slowest_trace: slowest.map(|(_, chrome)| chrome) }
+    LatencySweep {
+        points: out,
+        metrics,
+        slowest_trace: slowest.map(|(_, chrome)| chrome),
+        setup_wall_us: setup_wall.as_micros() as u64,
+    }
 }
 
 /// Run the sweep and keep only the point list (the committed
@@ -398,5 +434,27 @@ mod tests {
             "bench sweep must be deterministic"
         );
         assert!(!render(&a).is_empty());
+    }
+
+    /// `--warm-checkpoint` is a pure wall-clock optimization: forking every
+    /// sweep cell off one frozen world must emit the byte-identical point
+    /// list of the cold rebuild-per-cell path.
+    #[test]
+    fn warm_checkpoint_sweep_is_byte_identical_to_cold() {
+        let cfg = LatencyBenchConfig {
+            words: 200,
+            peers: 24,
+            client_counts: vec![2],
+            queries_per_client: 4,
+            models: vec![LatencyModel::Uniform { min_us: 100, max_us: 2_000 }],
+            ..LatencyBenchConfig::default()
+        };
+        let cold = run_latency_bench(&cfg);
+        let warm = run_latency_bench(&LatencyBenchConfig { warm_checkpoint: true, ..cfg });
+        assert_eq!(
+            serde_json::to_string(&cold).unwrap(),
+            serde_json::to_string(&warm).unwrap(),
+            "forked cells must reproduce the cold sweep byte for byte"
+        );
     }
 }

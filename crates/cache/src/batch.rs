@@ -76,6 +76,40 @@ impl ChannelPool {
         self.channels
             .insert(part, PartitionChannel { owner, opened_us: now_us, route_hops, epoch });
     }
+
+    /// Walk the pool into an owned [`ChannelPoolState`]. Channels are
+    /// exported sorted by partition, so equal pools export equal state.
+    pub fn export_state(&self) -> ChannelPoolState {
+        let mut channels: Vec<(u64, PartitionChannel)> =
+            self.channels.iter().map(|(&p, &c)| (p as u64, c)).collect();
+        channels.sort_unstable_by_key(|&(p, _)| p);
+        ChannelPoolState {
+            window_us: self.window_us,
+            channels,
+            opened: self.opened,
+            rides: self.rides,
+        }
+    }
+
+    /// Rebuild a pool from an exported image.
+    pub fn from_state(state: ChannelPoolState) -> Self {
+        Self {
+            window_us: state.window_us,
+            channels: state.channels.into_iter().map(|(p, c)| (p as usize, c)).collect(),
+            opened: state.opened,
+            rides: state.rides,
+        }
+    }
+}
+
+/// The owned image of a [`ChannelPool`] (checkpointing).
+#[derive(Debug, Clone)]
+pub struct ChannelPoolState {
+    pub window_us: u64,
+    /// Open channels as `(partition, channel)`, sorted by partition.
+    pub channels: Vec<(u64, PartitionChannel)>,
+    pub opened: u64,
+    pub rides: u64,
 }
 
 #[cfg(test)]
@@ -110,6 +144,24 @@ mod tests {
         assert!(p.lookup(1, 150, 1).is_none(), "membership change closes the channel");
         p.record(1, PeerId(5), 5, 200, 1);
         assert_eq!(p.lookup(1, 250, 1).unwrap().owner, PeerId(5));
+    }
+
+    #[test]
+    fn state_round_trip_keeps_open_channels_and_counters() {
+        let mut p = ChannelPool::new(300);
+        p.record(7, PeerId(9), 4, 1_000, 2);
+        p.record(3, PeerId(1), 2, 1_100, 2);
+        p.lookup(7, 1_050, 2);
+        let state = p.export_state();
+        assert_eq!(state.channels.len(), 2);
+        assert!(state.channels[0].0 < state.channels[1].0, "sorted by partition");
+        let mut r = ChannelPool::from_state(state);
+        assert_eq!(r.window_us(), 300);
+        assert_eq!((r.opened, r.rides), (2, 1));
+        let c = r.lookup(7, 1_200, 2).expect("channel survived the round trip");
+        assert_eq!((c.owner, c.route_hops), (PeerId(9), 4));
+        assert!(r.lookup(3, 1_200, 2).is_some());
+        assert!(r.lookup(3, 1_200, 3).is_none(), "epoch fencing still applies after restore");
     }
 
     #[test]

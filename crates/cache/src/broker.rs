@@ -1,8 +1,8 @@
 //! The combined cache + batcher façade the engine's probe pipeline talks
 //! to (via `sqo-core`'s `ProbeBroker` trait).
 
-use crate::batch::{ChannelPool, PartitionChannel};
-use crate::lru::LruCache;
+use crate::batch::{ChannelPool, ChannelPoolState, PartitionChannel};
+use crate::lru::{LruCache, LruState};
 use serde::Serialize;
 use sqo_overlay::key::Key;
 use sqo_overlay::peer::PeerId;
@@ -238,6 +238,43 @@ impl CacheBatchBroker {
     pub fn count_messages_saved(&mut self, n: u64) {
         self.counters.messages_saved += n;
     }
+
+    /// Walk the broker into an owned [`BrokerState`]: config, raw
+    /// counters, the posting cache (with its admission sketch), and the
+    /// open channel pool. Cached posting lists are exported as shared
+    /// handles (`Arc` clones) — nothing is copied here.
+    pub fn export_state(&self) -> BrokerState {
+        BrokerState {
+            cfg: self.cfg,
+            counters: self.counters,
+            cache: self.cache.export_state(),
+            channels: self.channels.export_state(),
+        }
+    }
+
+    /// Rebuild a broker from an exported image. The restored broker makes
+    /// exactly the hit/miss/coalesce decisions the original would have
+    /// made next — including fencing entries whose churn epoch differs
+    /// from the lookup's (in either direction).
+    pub fn from_state(state: BrokerState) -> Self {
+        Self {
+            cfg: state.cfg,
+            cache: LruCache::from_state(state.cache),
+            channels: ChannelPool::from_state(state.channels),
+            counters: state.counters,
+        }
+    }
+}
+
+/// The owned image of a [`CacheBatchBroker`] (checkpointing).
+#[derive(Debug, Clone)]
+pub struct BrokerState {
+    pub cfg: BrokerConfig,
+    /// Raw lifetime counters (`channels_opened`/`admission_rejects` are
+    /// derived on read and live in the pool/cache states).
+    pub counters: BrokerCounters,
+    pub cache: LruState<(PeerId, Key), PostingList<Posting>>,
+    pub channels: ChannelPoolState,
 }
 
 #[cfg(test)]
@@ -265,6 +302,55 @@ mod tests {
         b.cache_put(PeerId(1), &k, PostingList::default(), 0, 0);
         assert!(!b.cache_enabled());
         assert!(b.batch_enabled());
+    }
+
+    #[test]
+    fn restored_epoch_fences_entries_cached_by_a_diverged_branch() {
+        // Checkpoint a broker under churn epoch 5 with one cached list.
+        let mut b = CacheBatchBroker::new(BrokerConfig::cache_only());
+        let k1 = Key::from_bytes(b"k1");
+        let k2 = Key::from_bytes(b"k2");
+        b.cache_put(PeerId(1), &k1, PostingList::default(), 0, 5);
+        let checkpoint = b.export_state();
+
+        // A diverged branch resumes from it, churns (epoch 5 -> 6), and
+        // caches a fresh entry under the new epoch.
+        let mut diverged = CacheBatchBroker::from_state(checkpoint.clone());
+        diverged.cache_put(PeerId(1), &k2, PostingList::default(), 10, 6);
+        assert!(diverged.cache_get(PeerId(1), &k2, 20, 6).is_some());
+
+        // Restoring that branch's state and looking up under the original
+        // checkpoint epoch (5): the post-divergence entry is invalid — the
+        // restored `Network::cache_epoch` fences it even though its epoch
+        // stamp is *newer* than the lookup's.
+        let mut restored = CacheBatchBroker::from_state(diverged.export_state());
+        assert!(
+            restored.cache_get(PeerId(1), &k2, 30, 5).is_none(),
+            "entry cached after the checkpoint must not be served at the restored epoch"
+        );
+        assert!(
+            restored.cache_get(PeerId(1), &k1, 30, 5).is_some(),
+            "the checkpoint-epoch entry is still valid"
+        );
+    }
+
+    #[test]
+    fn state_round_trip_keeps_counters_in_lockstep() {
+        let mut b = CacheBatchBroker::new(BrokerConfig::enabled());
+        let k = Key::from_bytes(b"k");
+        b.cache_get(PeerId(1), &k, 0, 0); // miss
+        b.cache_put(PeerId(1), &k, PostingList::default(), 0, 0);
+        b.channel_record(4, PeerId(7), 3, 5, 0);
+        b.channel_lookup(4, 10, 0, 2);
+        b.count_messages_saved(2);
+        let mut r = CacheBatchBroker::from_state(b.export_state());
+        assert_eq!(r.counters(), b.counters());
+        // Both continue identically.
+        assert!(b.cache_get(PeerId(1), &k, 20, 0).is_some());
+        assert!(r.cache_get(PeerId(1), &k, 20, 0).is_some());
+        assert!(b.channel_lookup(4, 20, 0, 1).is_some());
+        assert!(r.channel_lookup(4, 20, 0, 1).is_some());
+        assert_eq!(r.counters(), b.counters());
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub mod broker;
 pub mod lru;
 pub mod sketch;
 
-pub use batch::{ChannelPool, PartitionChannel};
-pub use broker::{BrokerConfig, BrokerCounters, CacheBatchBroker};
-pub use lru::LruCache;
-pub use sketch::FrequencySketch;
+pub use batch::{ChannelPool, ChannelPoolState, PartitionChannel};
+pub use broker::{BrokerConfig, BrokerCounters, BrokerState, CacheBatchBroker};
+pub use lru::{LruCache, LruEntryState, LruState};
+pub use sketch::{FrequencySketch, SketchState};

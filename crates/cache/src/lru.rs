@@ -12,7 +12,7 @@
 //! classic TinyLFU gate that keeps one-hit wonders from washing hot
 //! entries out of a small cache.
 
-use crate::sketch::FrequencySketch;
+use crate::sketch::{FrequencySketch, SketchState};
 use rustc_hash::FxHashMap;
 use std::hash::{Hash, Hasher};
 
@@ -152,6 +152,95 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     pub fn clear(&mut self) {
         self.map.clear();
     }
+
+    /// Rebuild a cache from an exported image.
+    ///
+    /// # Panics
+    /// Panics on internally inconsistent state (zero capacity, more
+    /// entries than capacity, an entry tick beyond the cache tick) — a
+    /// corrupt snapshot, not a runtime condition.
+    pub fn from_state(state: LruState<K, V>) -> Self {
+        assert!(state.capacity > 0, "zero-capacity cache");
+        let mut map = FxHashMap::default();
+        for e in state.entries {
+            assert!(e.last_used <= state.tick, "entry used after the cache's own tick");
+            map.insert(
+                e.key,
+                Entry {
+                    value: e.value,
+                    epoch: e.epoch,
+                    inserted_us: e.inserted_us,
+                    last_used: e.last_used,
+                },
+            );
+        }
+        assert!(map.len() <= state.capacity as usize, "more entries than capacity");
+        Self {
+            map,
+            capacity: state.capacity as usize,
+            ttl_us: state.ttl_us,
+            tick: state.tick,
+            sketch: state.sketch.map(FrequencySketch::from_state),
+            rejected: state.rejected,
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
+    /// Walk the cache into an owned [`LruState`]. Entries are exported
+    /// **sorted by `last_used`** — ticks are unique (every access bumps
+    /// the counter), so equal caches export equal state regardless of
+    /// hash-map iteration order.
+    pub fn export_state(&self) -> LruState<K, V> {
+        let mut entries: Vec<LruEntryState<K, V>> = self
+            .map
+            .iter()
+            .map(|(k, e)| LruEntryState {
+                key: k.clone(),
+                value: e.value.clone(),
+                epoch: e.epoch,
+                inserted_us: e.inserted_us,
+                last_used: e.last_used,
+            })
+            .collect();
+        entries.sort_by_key(|e| e.last_used);
+        LruState {
+            capacity: self.capacity as u64,
+            ttl_us: self.ttl_us,
+            tick: self.tick,
+            rejected: self.rejected,
+            entries,
+            sketch: self.sketch.as_ref().map(FrequencySketch::export_state),
+        }
+    }
+}
+
+/// One exported cache entry (see [`LruCache::export_state`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LruEntryState<K, V> {
+    pub key: K,
+    pub value: V,
+    /// Churn epoch the value was fetched under.
+    pub epoch: u64,
+    /// Virtual insert time (TTL anchor).
+    pub inserted_us: u64,
+    /// LRU use-tick (unique per entry).
+    pub last_used: u64,
+}
+
+/// The owned image of an [`LruCache`] (checkpointing). Restoring it
+/// reproduces the cache bit-for-bit: same residents, same LRU order,
+/// same admission-sketch contents, same tick — so a restored run makes
+/// exactly the hit/miss/evict decisions the original would have made.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LruState<K, V> {
+    pub capacity: u64,
+    pub ttl_us: u64,
+    pub tick: u64,
+    pub rejected: u64,
+    /// Entries sorted by `last_used`, oldest first.
+    pub entries: Vec<LruEntryState<K, V>>,
+    pub sketch: Option<SketchState>,
 }
 
 #[cfg(test)]
@@ -261,6 +350,58 @@ mod tests {
         }
         assert!(c.put(3, 33, 2, 0), "a genuinely hot newcomer is admitted");
         assert_eq!(c.get(&3, 3, 0), Some(&33));
+    }
+
+    #[test]
+    fn epoch_fencing_is_exact_not_monotone() {
+        // The validity check is `entry.epoch == lookup.epoch`, not `<=`:
+        // an entry stamped with a *later* epoch (cached by a diverged
+        // branch after a checkpoint) is just as dead under the restored
+        // epoch as a pre-churn entry is after the bump.
+        let mut c: LruCache<u32, u32> = LruCache::new(4, 1_000_000);
+        c.put(1, 11, 0, 7);
+        assert_eq!(c.get(&1, 1, 6), None, "future-epoch entry must be fenced");
+        c.put(2, 22, 2, 6);
+        assert_eq!(c.get(&2, 3, 6), Some(&22), "same-epoch entry is served");
+    }
+
+    #[test]
+    fn state_round_trip_preserves_lru_order_and_ticks() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2, 1_000_000);
+        c.put(1, 11, 0, 0);
+        c.put(2, 22, 0, 0);
+        c.get(&1, 5, 0); // 1 becomes most recent; 2 is now the LRU victim
+        let state = c.export_state();
+        assert_eq!(state.entries.len(), 2);
+        assert!(state.entries[0].last_used < state.entries[1].last_used, "sorted by use-tick");
+        let mut r = LruCache::from_state(state);
+        // Both caches evict the same victim on the next insert.
+        c.put(3, 33, 10, 0);
+        r.put(3, 33, 10, 0);
+        for cache in [&mut c, &mut r] {
+            assert_eq!(cache.get(&2, 11, 0), None, "2 was the LRU victim");
+            assert_eq!(cache.get(&1, 11, 0), Some(&11));
+            assert_eq!(cache.get(&3, 11, 0), Some(&33));
+        }
+        assert_eq!(c.export_state(), r.export_state());
+    }
+
+    #[test]
+    fn state_round_trip_carries_the_admission_sketch() {
+        let mut c: LruCache<u32, u32> = LruCache::with_admission(2, 1_000_000);
+        c.put(1, 11, 0, 0);
+        c.put(2, 22, 0, 0);
+        for _ in 0..8 {
+            c.get(&1, 1, 0);
+            c.get(&2, 1, 0);
+        }
+        let mut r = LruCache::from_state(c.export_state());
+        // A cold newcomer is rejected by both (the sketch survived), and
+        // the reject counters stay in lockstep.
+        assert!(!c.put(9, 99, 2, 0));
+        assert!(!r.put(9, 99, 2, 0));
+        assert_eq!(c.admission_rejects(), r.admission_rejects());
+        assert!(c.admission_rejects() > 0);
     }
 
     #[test]

@@ -134,6 +134,23 @@ pub mod rngs {
     }
 
     impl StdRng {
+        /// The raw xoshiro256++ state words, for checkpointing. Restoring
+        /// via [`StdRng::from_state_words`] resumes the stream exactly
+        /// where [`StdRng::state_words`] captured it.
+        pub fn state_words(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator from captured state words.
+        ///
+        /// # Panics
+        /// Panics on the all-zero state, which xoshiro cannot leave (and
+        /// which seeding through SplitMix64 can never produce).
+        pub fn from_state_words(s: [u64; 4]) -> Self {
+            assert!(s.iter().any(|&w| w != 0), "xoshiro state must be non-zero");
+            Self { s }
+        }
+
         fn from_state(mut state: u64) -> Self {
             // SplitMix64 expansion of the seed into the xoshiro state.
             let mut next = || {
@@ -204,6 +221,18 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
         assert!((2_500..3_500).contains(&hits), "p=0.3 gave {hits}/10000");
+    }
+
+    #[test]
+    fn state_words_round_trip_resumes_the_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        for _ in 0..17 {
+            a.gen::<u64>();
+        }
+        let mut b = StdRng::from_state_words(a.state_words());
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
     }
 
     #[test]

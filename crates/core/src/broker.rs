@@ -149,6 +149,14 @@ pub trait ProbeBroker {
 
     /// Lifetime service counters.
     fn counters(&self) -> BrokerCounters;
+
+    /// Owned checkpoint image of the broker, if the implementation
+    /// supports checkpointing. The canonical [`CacheBatchBroker`] does;
+    /// test stand-ins keep the default `None` (a checkpoint then simply
+    /// records "no broker state" and a restore builds a fresh one).
+    fn export_state(&self) -> Option<sqo_cache::BrokerState> {
+        None
+    }
 }
 
 impl ProbeBroker for CacheBatchBroker {
@@ -212,5 +220,9 @@ impl ProbeBroker for CacheBatchBroker {
 
     fn counters(&self) -> BrokerCounters {
         CacheBatchBroker::counters(self)
+    }
+
+    fn export_state(&self) -> Option<sqo_cache::BrokerState> {
+        Some(CacheBatchBroker::export_state(self))
     }
 }

@@ -334,6 +334,39 @@ impl SimilarityEngine {
     }
 
     // ------------------------------------------------------------------
+    // Checkpointing (`sqo-snap`)
+    // ------------------------------------------------------------------
+
+    /// Lifetime edit-distance comparison count (part of the checkpoint
+    /// image; stats windows report deltas against it).
+    pub fn edit_comparisons(&self) -> u64 {
+        self.edit_comparisons
+    }
+
+    /// The installed broker's checkpoint image, if a broker is installed
+    /// and it supports checkpointing (see [`ProbeBroker::export_state`]).
+    pub fn broker_state(&self) -> Option<sqo_cache::BrokerState> {
+        self.broker.as_ref().and_then(|b| b.export_state())
+    }
+
+    /// Reassemble an engine from checkpointed parts: a restored network
+    /// (see `sqo_overlay::Network::import_state`), the original config and
+    /// counters, and optionally a restored broker image. The engine
+    /// behaves identically to the one the parts were exported from —
+    /// `sqo-snap`'s round-trip suite pins report byte-identity on top.
+    pub fn from_parts(
+        cfg: EngineConfig,
+        net: Network<Posting>,
+        publish_stats: PublishStats,
+        edit_comparisons: u64,
+        broker: Option<sqo_cache::BrokerState>,
+    ) -> Self {
+        let broker: Option<Box<dyn ProbeBroker>> =
+            broker.map(|s| Box::new(CacheBatchBroker::from_state(s)) as Box<dyn ProbeBroker>);
+        SimilarityEngine { net, cfg, publish_stats, edit_comparisons, broker }
+    }
+
+    // ------------------------------------------------------------------
     // Cardinality estimation (cost-based planning, `sqo-plan::cost`)
     // ------------------------------------------------------------------
 

@@ -173,6 +173,25 @@ impl LogHistogram {
         self.buckets.len()
     }
 
+    /// The raw state `(count, sum, min, max, sorted (bucket, n) pairs)` —
+    /// the checkpoint image; rebuild with [`Self::from_parts`].
+    pub fn export_parts(&self) -> (u64, u64, u64, u64, Vec<(u32, u64)>) {
+        (
+            self.count,
+            self.sum,
+            self.min,
+            self.max,
+            self.buckets.iter().map(|(&i, &n)| (i, n)).collect(),
+        )
+    }
+
+    /// Rebuild a histogram from [`Self::export_parts`] output. The bucket
+    /// list need not be sorted (it re-enters a `BTreeMap`); consistency of
+    /// the aggregates with the buckets is the caller's responsibility.
+    pub fn from_parts(count: u64, sum: u64, min: u64, max: u64, buckets: Vec<(u32, u64)>) -> Self {
+        Self { count, sum, min, max, buckets: buckets.into_iter().collect() }
+    }
+
     /// Largest relative half-width of any bucket that interior quantiles
     /// can be off by: `2^-SUB_BITS`.
     pub fn relative_error_bound() -> f64 {

@@ -178,6 +178,15 @@ pub trait EventSink {
     fn busy_until_us(&self, _peer: PeerId) -> u64 {
         0
     }
+
+    /// Downcast hook for checkpointing: sinks whose internal state is
+    /// capturable return `Some(self)` so callers can recover the concrete
+    /// type (the simulator's `NetSim` does). The default `None` keeps
+    /// custom sinks opt-in — a snapshot of a network carrying an opaque
+    /// sink simply records no sink state.
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        None
+    }
 }
 
 /// Which timeline track a trace event renders on.

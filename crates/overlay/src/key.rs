@@ -45,6 +45,23 @@ impl Key {
         k
     }
 
+    /// Rebuild a key from its packed representation ([`Self::as_bytes`] +
+    /// [`Self::len`]) — the snapshot/restore constructor.
+    ///
+    /// # Panics
+    /// Panics when `bytes` is not exactly `len.div_ceil(8)` bytes or the
+    /// unused trailing bits of the last byte are nonzero (the invariant
+    /// `Ord` and `Hash` rely on).
+    pub fn from_raw_parts(bytes: Vec<u8>, len: usize) -> Self {
+        assert_eq!(bytes.len(), len.div_ceil(8), "byte count must match bit length");
+        if !len.is_multiple_of(8) {
+            let mask = 0xFFu8 << (8 - (len % 8));
+            let last = *bytes.last().expect("len > 0 here");
+            assert_eq!(last & !mask, 0, "unused trailing bits must be zero");
+        }
+        Self { bytes, len }
+    }
+
     /// Parse a `"0101"`-style string; useful in tests and Display-roundtrips.
     ///
     /// # Panics

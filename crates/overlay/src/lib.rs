@@ -32,6 +32,7 @@ pub mod key;
 pub mod metrics;
 pub mod network;
 pub mod peer;
+pub mod snapshot;
 pub mod store;
 pub mod trie;
 
@@ -43,4 +44,5 @@ pub use key::Key;
 pub use metrics::{Metrics, PeerLoad};
 pub use network::{Network, NetworkConfig, RouteError, RoutingArena};
 pub use peer::{Item, Peer, PeerId};
+pub use snapshot::NetworkState;
 pub use store::{KeyTable, PartitionStore, PostingList, SharedKey, SortedStore};

@@ -23,7 +23,7 @@ use smallvec::SmallVec;
 use std::sync::Arc;
 
 /// Static parameters of a simulated network.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NetworkConfig {
     /// Number of peers |P|.
     pub peers: usize,
@@ -105,9 +105,9 @@ pub type KeyedLists<T> = Vec<(Key, PostingList<T>)>;
 /// consecutive level slices.
 #[derive(Debug, Clone, Default)]
 pub struct RoutingArena {
-    refs: Vec<PeerId>,
-    slice_off: Vec<u32>,
-    peer_off: Vec<u32>,
+    pub(crate) refs: Vec<PeerId>,
+    pub(crate) slice_off: Vec<u32>,
+    pub(crate) peer_off: Vec<u32>,
 }
 
 impl RoutingArena {
@@ -143,43 +143,43 @@ impl RoutingArena {
 
 /// The simulated P-Grid network holding items of type `T`.
 pub struct Network<T> {
-    cfg: NetworkConfig,
+    pub(crate) cfg: NetworkConfig,
     /// Sorted, prefix-free, complete partition paths.
-    paths: Vec<Key>,
+    pub(crate) paths: Vec<Key>,
     /// Peers per partition (structural replicas).
-    part_peers: Vec<SmallVec<[PeerId; 4]>>,
-    peers: Vec<Peer<T>>,
+    pub(crate) part_peers: Vec<SmallVec<[PeerId; 4]>>,
+    pub(crate) peers: Vec<Peer<T>>,
     /// Flattened ρ(p, l) for every peer (see [`RoutingArena`]).
-    routing: RoutingArena,
+    pub(crate) routing: RoutingArena,
     /// Interned published keys: equal keys share one allocation across
     /// partitions, replicas, replies and caches.
-    interner: KeyTable,
-    metrics: Metrics,
+    pub(crate) interner: KeyTable,
+    pub(crate) metrics: Metrics,
     /// Per-peer sent/received traffic (reset together with `metrics`).
-    peer_load: Vec<PeerLoad>,
+    pub(crate) peer_load: Vec<PeerLoad>,
     /// Optional virtual-time charger; every wire interaction is mirrored
     /// into it (see [`crate::clock`]). `None` keeps the network a pure
     /// message counter with zero behavior change.
-    sink: Option<Box<dyn EventSink>>,
+    pub(crate) sink: Option<Box<dyn EventSink>>,
     /// Optional structured-trace recorder, threaded alongside the event
     /// sink (see [`crate::clock::TraceSink`]). Shared so the event sink can
     /// hold a clone and emit per-peer occupancy spans into the same stream.
     /// `None` keeps every emission site a single branch with zero behavior
     /// change.
-    tracer: Option<SharedTraceSink>,
+    pub(crate) tracer: Option<SharedTraceSink>,
     /// The query track currently attributed on message instants; set by the
     /// executor around each charged step of a traced query.
-    trace_query: Option<u64>,
+    pub(crate) trace_query: Option<u64>,
     /// Monotone allocator backing [`Self::next_trace_query_id`].
-    next_trace_query: u64,
+    pub(crate) next_trace_query: u64,
     /// Monotone invalidation counter: bumped by every event that can make
     /// remotely cached data stale — churn ([`Self::fail_peer`],
     /// [`Self::revive_peer`], [`Self::fail_random_fraction`]) *and* data
     /// insertion ([`Self::insert_item`], i.e. publications). Caches layered
     /// above the overlay key their entries by this epoch so nothing fetched
     /// before such an event is ever served after it.
-    cache_epoch: u64,
-    rng: StdRng,
+    pub(crate) cache_epoch: u64,
+    pub(crate) rng: StdRng,
 }
 
 impl<T: Item> Network<T> {
@@ -471,6 +471,13 @@ impl<T: Item> Network<T> {
 
     pub fn has_event_sink(&self) -> bool {
         self.sink.is_some()
+    }
+
+    /// Mutable access to the installed sink (checkpointing: callers
+    /// downcast via [`EventSink::as_any_mut`] to capture or restore the
+    /// concrete sink's state in place).
+    pub fn event_sink_mut(&mut self) -> Option<&mut Box<dyn EventSink>> {
+        self.sink.as_mut()
     }
 
     /// Open a virtual-time query window (no-op without a sink).

@@ -1,0 +1,297 @@
+//! Checkpointable overlay state: a flat, owned image of a [`Network`].
+//!
+//! [`Network::export_state`] walks the live structure into a
+//! [`NetworkState`] — plain vectors with the `Arc` sharing factored out
+//! into dedup tables — and [`Network::import_state`] rebuilds a network
+//! that behaves **identically**: same stores (replicas re-share one run
+//! per partition, posting lists keep their sharing structure), same
+//! routing arena, same traffic counters, same cache epoch, and the *same
+//! RNG stream position*, so a restored network makes exactly the draws
+//! the original would have made next.
+//!
+//! Import deliberately bypasses [`Network::build_with_paths`]: the build
+//! path re-seeds the RNG and consumes draws wiring routing tables, which
+//! would desynchronize every stream a checkpoint is supposed to freeze.
+//!
+//! Event and trace sinks are not part of the image — they are observers
+//! with their own capture surfaces (the simulator snapshots its `NetSim`
+//! separately and re-installs it after import).
+
+use crate::key::Key;
+use crate::metrics::{Metrics, PeerLoad};
+use crate::network::{Network, NetworkConfig, RoutingArena};
+use crate::peer::{Item, Peer, PeerId};
+use crate::store::{KeyTable, PartitionStore, PostingList, SharedKey, SortedStore};
+use rand::rngs::StdRng;
+use smallvec::SmallVec;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One store entry: indices into [`NetworkState::interned_keys`] and
+/// [`NetworkState::lists`].
+pub type StoreEntry = (u32, u32);
+
+/// The complete owned image of a [`Network`] (see the module docs).
+#[derive(Debug, Clone)]
+pub struct NetworkState<T> {
+    pub cfg: NetworkConfig,
+    /// Sorted partition paths (the trie leaves).
+    pub paths: Vec<Key>,
+    /// Structural replicas per partition.
+    pub part_peers: Vec<Vec<PeerId>>,
+    /// Per-peer partition index, by [`PeerId`] order.
+    pub peer_partition: Vec<u32>,
+    /// Per-peer churn flag, by [`PeerId`] order.
+    pub alive: Vec<bool>,
+    /// Flattened routing arena, verbatim.
+    pub routing_refs: Vec<PeerId>,
+    pub routing_slice_off: Vec<u32>,
+    pub routing_peer_off: Vec<u32>,
+    /// The interner's sorted distinct keys; store entries reference them
+    /// by index so equal keys re-share one allocation on import.
+    pub interned_keys: Vec<Key>,
+    /// Deduplicated posting lists: lists shared across partitions (keys
+    /// shorter than the trie depth replicate into sibling runs) appear
+    /// once and are referenced by index, preserving the sharing — and the
+    /// memory footprint — of the live network.
+    pub lists: Vec<Vec<T>>,
+    /// One sorted run per partition (entries of the members' shared
+    /// store; empty for peerless gap partitions).
+    pub stores: Vec<Vec<StoreEntry>>,
+    pub metrics: Metrics,
+    pub peer_load: Vec<PeerLoad>,
+    pub next_trace_query: u64,
+    pub cache_epoch: u64,
+    /// xoshiro256++ state words of the network RNG.
+    pub rng: [u64; 4],
+}
+
+impl<T: Item> Network<T> {
+    /// Walk the live network into an owned [`NetworkState`].
+    pub fn export_state(&self) -> NetworkState<T> {
+        let interned_keys: Vec<Key> = self.interner.export_keys();
+        let key_index = |k: &Key| -> u32 {
+            interned_keys.binary_search(k).expect("every stored key is interned by construction")
+                as u32
+        };
+        let mut lists: Vec<Vec<T>> = Vec::new();
+        let mut list_index: HashMap<*const Vec<T>, u32> = HashMap::new();
+        let mut stores: Vec<Vec<StoreEntry>> = Vec::with_capacity(self.paths.len());
+        for members in &self.part_peers {
+            let Some(&first) = members.first() else {
+                stores.push(Vec::new());
+                continue;
+            };
+            debug_assert!(
+                members.iter().all(|m| self.peers[m.index()]
+                    .store
+                    .shares_with(&self.peers[first.index()].store)),
+                "structural replicas must share one store"
+            );
+            let run = self.peers[first.index()].store.entries();
+            let mut entries = Vec::with_capacity(run.len());
+            for (key, list) in run {
+                let lid = *list_index.entry(Arc::as_ptr(list)).or_insert_with(|| {
+                    lists.push(list.as_slice().to_vec());
+                    (lists.len() - 1) as u32
+                });
+                entries.push((key_index(key), lid));
+            }
+            stores.push(entries);
+        }
+        NetworkState {
+            cfg: self.cfg.clone(),
+            paths: self.paths.clone(),
+            part_peers: self.part_peers.iter().map(|m| m.to_vec()).collect(),
+            peer_partition: self.peers.iter().map(|p| p.partition).collect(),
+            alive: self.peers.iter().map(|p| p.alive).collect(),
+            routing_refs: self.routing.refs.clone(),
+            routing_slice_off: self.routing.slice_off.clone(),
+            routing_peer_off: self.routing.peer_off.clone(),
+            interned_keys,
+            lists,
+            stores,
+            metrics: self.metrics,
+            peer_load: self.peer_load.clone(),
+            next_trace_query: self.next_trace_query,
+            cache_epoch: self.cache_epoch,
+            rng: self.rng.state_words(),
+        }
+    }
+
+    /// Rebuild a network from an exported image. No sinks are installed;
+    /// callers re-attach their event/trace sinks afterwards.
+    ///
+    /// # Panics
+    /// Panics on internally inconsistent state (out-of-range indices,
+    /// unsorted runs) — a corrupt or hand-edited snapshot, not a runtime
+    /// condition.
+    pub fn import_state(state: NetworkState<T>) -> Self {
+        let NetworkState {
+            cfg,
+            paths,
+            part_peers,
+            peer_partition,
+            alive,
+            routing_refs,
+            routing_slice_off,
+            routing_peer_off,
+            interned_keys,
+            lists,
+            stores,
+            metrics,
+            peer_load,
+            next_trace_query,
+            cache_epoch,
+            rng,
+        } = state;
+        assert_eq!(peer_partition.len(), alive.len(), "per-peer tables must align");
+        assert_eq!(stores.len(), paths.len(), "one store per partition");
+        let (interner, shared_keys) = KeyTable::from_sorted_keys(interned_keys);
+        let shared_lists: Vec<PostingList<T>> = lists.into_iter().map(Arc::new).collect();
+        let part_peers: Vec<SmallVec<[PeerId; 4]>> =
+            part_peers.into_iter().map(SmallVec::from_vec).collect();
+        let mut peers: Vec<Peer<T>> = peer_partition
+            .iter()
+            .zip(&alive)
+            .enumerate()
+            .map(|(i, (&partition, &alive))| Peer {
+                id: PeerId(i as u32),
+                partition,
+                store: PartitionStore::default(),
+                alive,
+            })
+            .collect();
+        for (part, entries) in stores.into_iter().enumerate() {
+            if part_peers[part].is_empty() {
+                continue;
+            }
+            let mut run = SortedStore::new();
+            for (kid, lid) in entries {
+                run.push_sorted(
+                    SharedKey::clone(&shared_keys[kid as usize]),
+                    PostingList::clone(&shared_lists[lid as usize]),
+                );
+            }
+            let store = PartitionStore::from_store(run);
+            for &p in &part_peers[part] {
+                peers[p.index()].store = store.share();
+            }
+        }
+        Network {
+            cfg,
+            paths,
+            part_peers,
+            peers,
+            routing: RoutingArena {
+                refs: routing_refs,
+                slice_off: routing_slice_off,
+                peer_off: routing_peer_off,
+            },
+            interner,
+            metrics,
+            peer_load,
+            sink: None,
+            tracer: None,
+            trace_query: None,
+            next_trace_query,
+            cache_epoch,
+            rng: StdRng::from_state_words(rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::hash_str;
+    use rand::{Rng, SeedableRng};
+
+    #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+    struct W(String);
+    impl Item for W {
+        fn size_bytes(&self) -> usize {
+            self.0.len()
+        }
+    }
+
+    fn word_net(n_peers: usize, n_words: usize, replication: usize) -> (Network<W>, Vec<String>) {
+        let words: Vec<String> = (0..n_words).map(|i| format!("word{i:05}")).collect();
+        let data: Vec<(Key, W)> = words.iter().map(|w| (hash_str(w), W(w.clone()))).collect();
+        let cfg = NetworkConfig { peers: n_peers, replication, seed: 11, ..Default::default() };
+        (Network::build(cfg, data), words)
+    }
+
+    #[test]
+    fn round_trip_preserves_structure_counters_and_rng_stream() {
+        let (mut net, words) = word_net(64, 300, 2);
+        // Advance past the pristine build state: traffic, churn, RNG draws.
+        for w in words.iter().step_by(13) {
+            let from = net.random_peer();
+            net.retrieve(from, &hash_str(w)).unwrap();
+        }
+        net.fail_random_fraction(0.1);
+
+        let mut restored = Network::import_state(net.export_state());
+        assert_eq!(restored.peer_count(), net.peer_count());
+        assert_eq!(restored.partition_count(), net.partition_count());
+        assert_eq!(restored.paths(), net.paths());
+        assert_eq!(restored.metrics(), net.metrics());
+        assert_eq!(restored.cache_epoch(), net.cache_epoch());
+        assert_eq!(restored.peer_loads(), net.peer_loads());
+        assert_eq!(restored.total_stored_items(), net.total_stored_items());
+        for p in 0..net.peer_count() as u32 {
+            let id = PeerId(p);
+            assert_eq!(restored.peer(id).alive, net.peer(id).alive);
+            assert_eq!(restored.peer(id).partition, net.peer(id).partition);
+        }
+        // Replicas still share one run per partition.
+        for part in 0..restored.partition_count() {
+            let members = restored.partition_members(part).to_vec();
+            if let Some((&first, rest)) = members.split_first() {
+                for &m in rest {
+                    assert!(restored.peer(m).store.shares_with(&restored.peer(first).store));
+                }
+            }
+        }
+        // The restored RNG continues the original's stream exactly: both
+        // networks now make identical draws and identical traffic.
+        for w in words.iter().step_by(7) {
+            let a = net.random_peer();
+            let b = restored.random_peer();
+            assert_eq!(a, b, "initiator draws must continue the stream");
+            assert_eq!(net.retrieve(a, &hash_str(w)), restored.retrieve(b, &hash_str(w)));
+        }
+        assert_eq!(net.metrics(), restored.metrics());
+    }
+
+    #[test]
+    fn import_bypasses_the_build_path_rng_reseed() {
+        // A freshly built network and an import of its pristine export
+        // must be in the same RNG position — but that position is *after*
+        // routing-table wiring, so a naive rebuild-through-build would
+        // only coincide by accident. Draw from both to check.
+        let (net, _) = word_net(32, 100, 1);
+        let mut a = net;
+        let mut b = Network::import_state(a.export_state());
+        let mut rng_probe = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let _ = rng_probe.gen_range(0..5usize); // unrelated stream, just churn the test
+            assert_eq!(a.random_peer(), b.random_peer());
+        }
+    }
+
+    #[test]
+    fn posting_list_sharing_survives_the_round_trip() {
+        // Keys shorter than the trie depth replicate one list into several
+        // sibling partitions; the export dedups those by pointer identity
+        // and the import re-shares them.
+        let (net, _) = word_net(64, 400, 1);
+        let state = net.export_state();
+        let total_entries: usize = state.stores.iter().map(Vec::len).sum();
+        assert!(state.lists.len() <= total_entries, "dedup table cannot exceed entry count");
+        let restored = Network::import_state(state);
+        assert_eq!(restored.total_stored_items(), net.total_stored_items());
+        assert_eq!(restored.total_stored_bytes(), net.total_stored_bytes());
+    }
+}

@@ -233,6 +233,24 @@ impl KeyTable {
             }
         }
     }
+
+    /// The interned keys as owned values, in sorted order (the snapshot
+    /// image; rebuild with [`Self::from_sorted_keys`]).
+    pub fn export_keys(&self) -> Vec<Key> {
+        self.keys.iter().map(|k| (**k).clone()).collect()
+    }
+
+    /// Rebuild a table from sorted distinct keys, returning the shared
+    /// handles aligned to the input order so callers can re-link stores
+    /// to the same allocations the table holds.
+    ///
+    /// # Panics
+    /// Panics when the keys are not strictly ascending.
+    pub fn from_sorted_keys(keys: Vec<Key>) -> (Self, Vec<SharedKey>) {
+        assert!(keys.windows(2).all(|w| w[0] < w[1]), "interned keys must be sorted and distinct");
+        let shared: Vec<SharedKey> = keys.into_iter().map(Arc::new).collect();
+        (Self { keys: shared.clone() }, shared)
+    }
 }
 
 #[cfg(test)]

@@ -25,6 +25,7 @@
 
 use crate::netsim::{install, SimConfig};
 use crate::report::{LatencySummary, OperatorLatency};
+use crate::seed;
 use crate::shard::ShardedQueue;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -243,6 +244,7 @@ pub struct DriverReport {
     pub throughput_qps: f64,
 }
 
+#[derive(Clone, Copy)]
 enum Ev {
     Arrive {
         client: usize,
@@ -267,6 +269,225 @@ struct InFlight {
     trace: Option<u64>,
 }
 
+/// The driver's mutable loop state, separated from the engine so a run can
+/// pause at a quiesce boundary, walk itself into a [`DriverCheckpoint`],
+/// and later be rebuilt to continue.
+struct LoopState {
+    client_rngs: Vec<StdRng>,
+    issued: Vec<usize>,
+    initiators: Option<Vec<PeerId>>,
+    q: ShardedQueue<Ev>,
+    flights: Vec<Option<InFlight>>,
+    free_slots: Vec<usize>,
+    by_operator: BTreeMap<&'static str, (LogHistogram, QueryStats)>,
+    all_latencies: LogHistogram,
+    total: QueryStats,
+    queries_run: usize,
+    first_start: u64,
+    last_end: u64,
+}
+
+impl LoopState {
+    fn fresh(engine: &mut SimilarityEngine, cfg: &DriverConfig) -> Self {
+        // Per-client deterministic streams: query arguments and arrival
+        // jitter. One documented derivation for every stream — see
+        // [`crate::seed`].
+        let mut client_rngs: Vec<StdRng> = (0..cfg.clients)
+            .map(|c| StdRng::seed_from_u64(seed::derive(cfg.seed, seed::CLIENT_STREAM, c as u64)))
+            .collect();
+        // Sticky access points: each client keeps one initiator peer, which
+        // is what gives its posting cache a working set to accumulate.
+        let initiators: Option<Vec<PeerId>> =
+            cfg.sticky_initiators.then(|| (0..cfg.clients).map(|_| engine.random_peer()).collect());
+
+        // Client `c`'s arrivals and steps live on lane `c % shards`; pops
+        // are in global `(time, push-sequence)` order, so the report is
+        // invariant in the lane count.
+        let mut q: ShardedQueue<Ev> = ShardedQueue::new(cfg.shards.max(1));
+        for (idx, ev) in cfg.churn.iter().enumerate() {
+            q.push(ev.at_us, 0, Ev::Churn { idx });
+        }
+        // First arrivals.
+        for (c, rng) in client_rngs.iter_mut().enumerate() {
+            let t = match &cfg.arrival {
+                Arrival::Poisson { mean_interarrival_us } => exp_sample(rng, *mean_interarrival_us),
+                Arrival::Closed { .. } => 0,
+                Arrival::Explicit { offsets_us } => offsets_us[c % offsets_us.len()],
+            };
+            q.push(t, c, Ev::Arrive { client: c });
+        }
+
+        Self {
+            client_rngs,
+            issued: vec![0usize; cfg.clients],
+            initiators,
+            q,
+            flights: Vec::new(),
+            free_slots: Vec::new(),
+            by_operator: BTreeMap::new(),
+            all_latencies: LogHistogram::new(),
+            total: QueryStats::default(),
+            queries_run: 0,
+            first_start: u64::MAX,
+            last_end: 0,
+        }
+    }
+
+    /// Rebuild the loop from a checkpoint image (see [`resume_driver`]).
+    fn restore(cfg: &DriverConfig, ckpt: DriverCheckpoint) -> Self {
+        assert_eq!(ckpt.client_rngs.len(), cfg.clients, "checkpoint has a different client count");
+        let entries = ckpt
+            .queue
+            .entries
+            .into_iter()
+            .map(|(at, seq, lane, ev)| {
+                let ev = match ev {
+                    EvSnap::Arrive { client } => Ev::Arrive { client: client as usize },
+                    EvSnap::Churn { idx } => Ev::Churn { idx: idx as usize },
+                };
+                (at, seq, lane, ev)
+            })
+            .collect();
+        let queue = crate::shard::QueueState {
+            lanes: ckpt.queue.lanes,
+            seq: ckpt.queue.seq,
+            now_us: ckpt.queue.now_us,
+            entries,
+        };
+        let by_operator = ckpt
+            .by_operator
+            .into_iter()
+            .map(|(op, (c, s, mn, mx, buckets), stats)| {
+                (static_label(&op), (LogHistogram::from_parts(c, s, mn, mx, buckets), stats))
+            })
+            .collect();
+        let (c, s, mn, mx, buckets) = ckpt.all_latencies;
+        Self {
+            client_rngs: ckpt.client_rngs.into_iter().map(StdRng::from_state_words).collect(),
+            issued: ckpt.issued.into_iter().map(|n| n as usize).collect(),
+            initiators: ckpt.initiators,
+            q: ShardedQueue::from_state(queue),
+            flights: Vec::new(),
+            free_slots: Vec::new(),
+            by_operator,
+            all_latencies: LogHistogram::from_parts(c, s, mn, mx, buckets),
+            total: ckpt.total,
+            queries_run: ckpt.queries_run as usize,
+            first_start: ckpt.first_start,
+            last_end: ckpt.last_end,
+        }
+    }
+
+    /// Walk the paused loop into an owned checkpoint. Only legal at a
+    /// quiesce boundary: every flight slot must be empty, so the queue
+    /// holds no `Step` events (the one variant that cannot be serialized —
+    /// it indexes a live `Box<dyn ExecStep>` state machine).
+    fn checkpoint(&self, engine: &mut SimilarityEngine) -> DriverCheckpoint {
+        assert!(
+            self.flights.iter().all(Option::is_none),
+            "checkpoint requires an empty in-flight table"
+        );
+        let qs = self.q.export_state();
+        let entries = qs
+            .entries
+            .into_iter()
+            .map(|(at, seq, lane, ev)| {
+                let ev = match ev {
+                    Ev::Arrive { client } => EvSnap::Arrive { client: client as u32 },
+                    Ev::Churn { idx } => EvSnap::Churn { idx: idx as u32 },
+                    Ev::Step { .. } => unreachable!("no steps pending at a quiesce boundary"),
+                };
+                (at, seq, lane, ev)
+            })
+            .collect();
+        DriverCheckpoint {
+            queue: crate::shard::QueueState {
+                lanes: qs.lanes,
+                seq: qs.seq,
+                now_us: qs.now_us,
+                entries,
+            },
+            issued: self.issued.iter().map(|&n| n as u64).collect(),
+            initiators: self.initiators.clone(),
+            client_rngs: self.client_rngs.iter().map(StdRng::state_words).collect(),
+            by_operator: self
+                .by_operator
+                .iter()
+                .map(|(&op, (lats, stats))| (op.to_string(), lats.export_parts(), *stats))
+                .collect(),
+            all_latencies: self.all_latencies.export_parts(),
+            total: self.total,
+            queries_run: self.queries_run as u64,
+            first_start: self.first_start,
+            last_end: self.last_end,
+            netsim: crate::netsim::export_installed(engine)
+                .expect("the driver installed a NetSim on this engine"),
+        }
+    }
+}
+
+/// Operator labels are `&'static str` inside the loop (they come from
+/// [`QueryKind::label`]); a restored checkpoint maps them back.
+fn static_label(op: &str) -> &'static str {
+    match op {
+        "similar" => "similar",
+        "topn" => "topn",
+        "simjoin" => "simjoin",
+        "vql" => "vql",
+        "pipeline" => "pipeline",
+        other => panic!("unknown operator label in checkpoint: {other}"),
+    }
+}
+
+/// A serializable pending driver event. `Step` has no image: checkpoints
+/// are taken only at quiesce boundaries, where no task is in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvSnap {
+    Arrive { client: u32 },
+    Churn { idx: u32 },
+}
+
+/// The owned image of a paused driver run: pending arrivals/churn with
+/// their queue positions, every per-client RNG stream, the accumulated
+/// histograms and stats, and the virtual-time charger's state. Static
+/// inputs (the [`DriverConfig`], attribute, string pool, and the engine's
+/// world state) are *not* carried here — [`resume_driver`] takes them
+/// again, and `sqo-snap`'s artifact bundles the world alongside.
+#[derive(Debug, Clone)]
+pub struct DriverCheckpoint {
+    pub queue: crate::shard::QueueState<EvSnap>,
+    /// Queries issued so far, per client.
+    pub issued: Vec<u64>,
+    /// Sticky initiator peers (when [`DriverConfig::sticky_initiators`]).
+    pub initiators: Option<Vec<PeerId>>,
+    /// xoshiro256++ state words of each client stream.
+    pub client_rngs: Vec<[u64; 4]>,
+    /// Per-operator accumulators: label, latency-histogram parts
+    /// ([`LogHistogram::export_parts`]), absorbed stats.
+    pub by_operator: Vec<(String, HistParts, QueryStats)>,
+    pub all_latencies: HistParts,
+    pub total: QueryStats,
+    pub queries_run: u64,
+    pub first_start: u64,
+    pub last_end: u64,
+    /// The installed [`NetSim`](crate::NetSim)'s image.
+    pub netsim: crate::netsim::NetSimState,
+}
+
+/// `(count, sum, min, max, buckets)` — see [`LogHistogram::export_parts`].
+pub type HistParts = (u64, u64, u64, u64, Vec<(u32, u64)>);
+
+/// Outcome of [`run_driver_until`]: either the workload drained before the
+/// stop bound mattered, or the run paused at the first quiesce boundary at
+/// or after it.
+// One value exists per run, immediately destructured — the variant size
+// gap is irrelevant.
+#[allow(clippy::large_enum_variant)]
+pub enum DriverPhase {
+    Done(DriverReport),
+    Paused(DriverCheckpoint),
+}
+
 /// Run the driven workload. Installs a fresh [`NetSim`](crate::NetSim) (replacing any
 /// sink already on the network). Two identical invocations on **freshly
 /// built engines** yield identical reports; re-driving the *same* engine
@@ -278,6 +499,67 @@ pub fn run_driver(
     strings: &[String],
     cfg: &DriverConfig,
 ) -> DriverReport {
+    match drive(engine, attr, strings, cfg, None) {
+        DriverPhase::Done(report) => report,
+        DriverPhase::Paused(_) => unreachable!("no stop bound was given"),
+    }
+}
+
+/// Run the driven workload at most to the first **quiesce boundary** at or
+/// after `stop_us`: the first moment in virtual time where no query is in
+/// flight and the next pending event is at `>= stop_us`. In-flight task
+/// state machines cannot be serialized, so a checkpoint waits for the
+/// event loop to drain them; under heavy overlap the boundary can land
+/// well after `stop_us`, and a workload whose queries never all drain
+/// simply runs to completion ([`DriverPhase::Done`]).
+///
+/// On [`DriverPhase::Paused`] the engine is left live at the boundary —
+/// network, broker and installed `NetSim` all reflect the paused run —
+/// ready for `sqo-snap` to walk into an artifact.
+pub fn run_driver_until(
+    engine: &mut SimilarityEngine,
+    attr: &str,
+    strings: &[String],
+    cfg: &DriverConfig,
+    stop_us: u64,
+) -> DriverPhase {
+    drive(engine, attr, strings, cfg, Some(stop_us))
+}
+
+/// Resume a paused run from its checkpoint image. `engine` must be the
+/// restored world the checkpoint was taken against (same peer count, same
+/// network RNG position, same broker state — `sqo-snap` rebuilds all of it);
+/// `cfg`, `attr` and `strings` must equal the original run's. The restored
+/// [`NetSim`](crate::NetSim) is installed from the image — unlike
+/// [`run_driver`], nothing is reset: the engine's broker is left exactly as
+/// restored.
+///
+/// Running the remainder produces a report byte-identical to the
+/// uninterrupted run's.
+pub fn resume_driver(
+    engine: &mut SimilarityEngine,
+    attr: &str,
+    strings: &[String],
+    cfg: &DriverConfig,
+    ckpt: DriverCheckpoint,
+) -> DriverReport {
+    assert!(!strings.is_empty(), "driver needs a non-empty string pool");
+    assert!(!cfg.mix.is_empty(), "empty query mix");
+    crate::netsim::install_restored(engine, cfg.sim, ckpt.netsim.clone());
+    let mut st = LoopState::restore(cfg, ckpt);
+    match run_loop(engine, attr, strings, cfg, &mut st, None) {
+        DriverPhase::Done(report) => report,
+        DriverPhase::Paused(_) => unreachable!("no stop bound was given"),
+    }
+}
+
+fn drive(
+    engine: &mut SimilarityEngine,
+    attr: &str,
+    strings: &[String],
+    cfg: &DriverConfig,
+    stop_us: Option<u64>,
+) -> DriverPhase {
     assert!(!strings.is_empty(), "driver needs a non-empty string pool");
     assert!(cfg.clients >= 1 && cfg.queries_per_client >= 1, "empty workload");
     assert!(!cfg.mix.is_empty(), "empty query mix");
@@ -292,54 +574,52 @@ pub fn run_driver(
     } else {
         engine.clear_broker();
     }
+    let mut st = LoopState::fresh(engine, cfg);
+    run_loop(engine, attr, strings, cfg, &mut st, stop_us)
+}
+
+/// The event loop plus report assembly: pops arrivals, task steps and
+/// churn in global virtual-time order until the queue drains (or, with a
+/// stop bound, until the first quiesce boundary at or after it).
+fn run_loop(
+    engine: &mut SimilarityEngine,
+    attr: &str,
+    strings: &[String],
+    cfg: &DriverConfig,
+    st: &mut LoopState,
+    stop_us: Option<u64>,
+) -> DriverPhase {
     // The planner environment is invariant for the run (defaults and
-    // broker services are fixed above): snapshot it once instead of
-    // per-dispatch.
+    // broker services are fixed before the loop starts): snapshot it once
+    // instead of per-dispatch.
     let planner_env = PlannerEnv::of(engine);
     let zipf = (cfg.zipf_s > 0.0).then(|| ZipfSampler::new(strings.len(), cfg.zipf_s));
 
-    // Per-client deterministic streams: query arguments and arrival jitter.
-    let mut client_rngs: Vec<StdRng> = (0..cfg.clients)
-        .map(|c| StdRng::seed_from_u64(cfg.seed ^ (0x00C1_1E47 + c as u64).wrapping_mul(0x9E37)))
-        .collect();
-    let mut issued = vec![0usize; cfg.clients];
-    // Sticky access points: each client keeps one initiator peer, which is
-    // what gives its posting cache a working set to accumulate.
-    let initiators: Option<Vec<PeerId>> =
-        cfg.sticky_initiators.then(|| (0..cfg.clients).map(|_| engine.random_peer()).collect());
+    let LoopState {
+        client_rngs,
+        issued,
+        initiators,
+        q,
+        flights,
+        free_slots,
+        by_operator,
+        all_latencies,
+        total,
+        queries_run,
+        first_start,
+        last_end,
+    } = st;
 
-    // Client `c`'s arrivals and steps live on lane `c % shards`; pops are
-    // in global `(time, push-sequence)` order, so the report is invariant
-    // in the lane count.
-    let mut q: ShardedQueue<Ev> = ShardedQueue::new(cfg.shards.max(1));
-    for (idx, ev) in cfg.churn.iter().enumerate() {
-        q.push(ev.at_us, 0, Ev::Churn { idx });
-    }
-    // First arrivals.
-    for (c, rng) in client_rngs.iter_mut().enumerate() {
-        let t = match &cfg.arrival {
-            Arrival::Poisson { mean_interarrival_us } => exp_sample(rng, *mean_interarrival_us),
-            Arrival::Closed { .. } => 0,
-            Arrival::Explicit { offsets_us } => offsets_us[c % offsets_us.len()],
-        };
-        q.push(t, c, Ev::Arrive { client: c });
-    }
-
-    let mut flights: Vec<Option<InFlight>> = Vec::new();
-    // Finished slots are recycled so memory stays O(max in-flight), not
-    // O(total queries).
-    let mut free_slots: Vec<usize> = Vec::new();
-    // Streaming histograms, not sorted sample vectors: memory is bounded
-    // by occupied buckets, which is what keeps very large peer-count
-    // sweeps (10⁵–10⁶ queries) flat.
-    let mut by_operator: BTreeMap<&'static str, (LogHistogram, QueryStats)> = BTreeMap::new();
-    let mut all_latencies = LogHistogram::new();
-    let mut total = QueryStats::default();
-    let mut queries_run = 0usize;
-    let mut first_start = u64::MAX;
-    let mut last_end = 0u64;
-
-    while let Some((t, ev)) = q.pop() {
+    let paused = loop {
+        // Quiesce check BEFORE popping: pausing must not consume an event.
+        if let Some(stop) = stop_us {
+            if flights.iter().all(Option::is_none)
+                && q.peek_next_us().is_some_and(|next| next >= stop)
+            {
+                break true;
+            }
+        }
+        let Some((t, ev)) = q.pop() else { break false };
         match ev {
             Ev::Churn { idx } => {
                 engine.network_mut().fail_random_fraction(cfg.churn[idx].fail_fraction);
@@ -447,9 +727,9 @@ pub fn run_driver(
                         op_stats.absorb(&stats);
                         all_latencies.record(sim.elapsed_us);
                         total.absorb(&stats);
-                        queries_run += 1;
-                        first_start = first_start.min(sim.start_us);
-                        last_end = last_end.max(sim.end_us);
+                        *queries_run += 1;
+                        *first_start = (*first_start).min(sim.start_us);
+                        *last_end = (*last_end).max(sim.end_us);
 
                         // Closed-loop clients think, then re-arrive.
                         let think = match &cfg.arrival {
@@ -470,19 +750,23 @@ pub fn run_driver(
                 }
             }
         }
+    };
+
+    if paused {
+        return DriverPhase::Paused(st.checkpoint(engine));
     }
 
     // The unified metric schema: counters and gauges folded from the run
     // totals, the latency distributions as histograms. The typed report
     // fields below stay as views over the same numbers.
     let mut metrics = MetricsRegistry::new();
-    metrics.absorb_query_stats(&total);
-    metrics.histogram_merge("latency.query_us", &all_latencies);
-    for (op, (lats, _)) in &by_operator {
+    metrics.absorb_query_stats(&st.total);
+    metrics.histogram_merge("latency.query_us", &st.all_latencies);
+    for (op, (lats, _)) in &st.by_operator {
         metrics.histogram_merge(format!("latency.{op}_us"), lats);
     }
 
-    let per_operator: Vec<OperatorLatency> = by_operator
+    let per_operator: Vec<OperatorLatency> = std::mem::take(&mut st.by_operator)
         .into_iter()
         .map(|(op, (lats, op_stats))| OperatorLatency {
             operator: op.to_string(),
@@ -498,18 +782,18 @@ pub fn run_driver(
             window_shrinks: op_stats.join_window_shrinks,
         })
         .collect();
-    let virtual_span_us = last_end.saturating_sub(first_start.min(last_end));
+    let virtual_span_us = st.last_end.saturating_sub(st.first_start.min(st.last_end));
     let throughput_qps = if virtual_span_us > 0 {
-        queries_run as f64 / (virtual_span_us as f64 / 1_000_000.0)
+        st.queries_run as f64 / (virtual_span_us as f64 / 1_000_000.0)
     } else {
         0.0
     };
-    let overall = LatencySummary::of_histogram(&all_latencies);
+    let overall = LatencySummary::of_histogram(&st.all_latencies);
     let cache = engine.broker_counters().map(CacheReport::from).unwrap_or_default();
     if let Some(c) = engine.broker_counters() {
         metrics.absorb_broker_counters(&c);
     }
-    metrics.counter_add("run.queries", queries_run as u64);
+    metrics.counter_add("run.queries", st.queries_run as u64);
     metrics.gauge_set("run.throughput_qps", throughput_qps);
     // Per-operator attribution under `op.<name>.*` — most notably the
     // per-operator queue time, which used to live only in the typed
@@ -526,16 +810,16 @@ pub fn run_driver(
         }
     }
 
-    DriverReport {
+    DriverPhase::Done(DriverReport {
         per_operator,
         overall,
-        total,
+        total: st.total,
         cache,
         metrics,
-        queries_run,
+        queries_run: st.queries_run,
         virtual_span_us,
         throughput_qps,
-    }
+    })
 }
 
 /// Exponential interarrival sample with the given mean (microseconds).

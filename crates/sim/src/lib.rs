@@ -80,19 +80,21 @@ pub mod latency;
 pub mod netsim;
 pub mod report;
 pub mod scale;
+pub mod seed;
 pub mod shard;
 
 pub use driver::{
-    run_driver, ApiMode, Arrival, CacheReport, ChurnEvent, DriverConfig, DriverReport, QueryKind,
+    resume_driver, run_driver, run_driver_until, ApiMode, Arrival, CacheReport, ChurnEvent,
+    DriverCheckpoint, DriverConfig, DriverPhase, DriverReport, QueryKind,
 };
 pub use events::EventQueue;
 pub use latency::{LatencyModel, LossModel};
-pub use netsim::{install, NetSim, SimConfig};
+pub use netsim::{install, install_restored, NetSim, NetSimState, SimConfig};
 pub use report::{percentile_us, LatencySummary, OperatorLatency};
 pub use scale::{
-    rss_now_bytes, rss_peak_bytes, run_serial, run_sharded, ScaleConfig, ScaleOutcome, ScaleRun,
-    Topology,
+    resume_serial, resume_sharded, rss_now_bytes, rss_peak_bytes, run_serial, run_serial_until,
+    run_sharded, ScaleCheckpoint, ScaleConfig, ScaleOutcome, ScalePhase, ScaleRun, Topology,
 };
-pub use shard::ShardedQueue;
+pub use shard::{QueueState, ShardedQueue};
 pub use sqo_obs::{LogHistogram, MetricsRegistry, TraceCollector};
 pub use sqo_overlay::SimLatency;

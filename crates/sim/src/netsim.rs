@@ -157,6 +157,70 @@ impl NetSim {
     fn service_us(&self, bytes: usize) -> u64 {
         self.cfg.service_us_per_msg + self.cfg.service_us_per_kib * (bytes as u64 / 1024)
     }
+
+    /// Walk the sink into an owned [`NetSimState`] (checkpointing).
+    ///
+    /// Only legal at a **quiesce boundary**: no open query window and no
+    /// open fork — the window stack holds borrow-like references into task
+    /// state machines that cannot be serialized. The driver guarantees this
+    /// by pausing only when every in-flight slot is empty.
+    pub fn export_state(&self) -> NetSimState {
+        assert!(self.windows.is_empty(), "cannot checkpoint inside an open query window");
+        assert!(self.forks.is_empty(), "cannot checkpoint inside an open fork");
+        NetSimState {
+            rng: self.rng.state_words(),
+            frontier_us: self.frontier_us,
+            clock_us: self.clock_us,
+            busy_until_us: self.busy_until_us.clone(),
+            blame: [
+                self.blame.net_us,
+                self.blame.queue_us,
+                self.blame.service_us,
+                self.blame.stall_us,
+            ],
+            totals: self.totals,
+        }
+    }
+
+    /// Rebuild a sink from an exported image. `cfg` is supplied by the
+    /// caller (the snapshot artifact carries dynamic state only; resuming
+    /// against a different latency model is a different experiment and
+    /// diverges by design).
+    pub fn from_state(cfg: SimConfig, state: NetSimState) -> Self {
+        Self {
+            rng: StdRng::from_state_words(state.rng),
+            cfg,
+            frontier_us: state.frontier_us,
+            clock_us: state.clock_us,
+            busy_until_us: state.busy_until_us,
+            forks: Vec::new(),
+            windows: Vec::new(),
+            blame: Blame {
+                net_us: state.blame[0],
+                queue_us: state.blame[1],
+                service_us: state.blame[2],
+                stall_us: state.blame[3],
+            },
+            totals: state.totals,
+            tracer: None,
+        }
+    }
+}
+
+/// The owned image of a [`NetSim`] at a quiesce boundary: the sampling
+/// stream's position, both clocks, every peer's serial-queue backlog, and
+/// the lifetime accumulators. Window/fork stacks are empty by construction
+/// (see [`NetSim::export_state`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetSimState {
+    /// xoshiro256++ state words of the jitter/loss stream.
+    pub rng: [u64; 4],
+    pub frontier_us: u64,
+    pub clock_us: u64,
+    pub busy_until_us: Vec<u64>,
+    /// Critical-path blame accumulator as `[net, queue, service, stall]`.
+    pub blame: [u64; 4],
+    pub totals: SimLatency,
 }
 
 impl EventSink for NetSim {
@@ -329,6 +393,13 @@ impl EventSink for NetSim {
     fn busy_until_us(&self, peer: PeerId) -> u64 {
         self.busy_until_us[peer.index()]
     }
+
+    /// Checkpointing downcast hook: lets the driver reach the concrete
+    /// `NetSim` behind the network's `Box<dyn EventSink>` to export its
+    /// state.
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
 }
 
 /// Install a fresh [`NetSim`] with `cfg` on the engine's network. Replaces
@@ -341,6 +412,35 @@ pub fn install(engine: &mut sqo_core::SimilarityEngine, cfg: SimConfig) {
         sim.set_trace_sink(t);
     }
     engine.network_mut().set_event_sink(Box::new(sim));
+}
+
+/// Install a [`NetSim`] restored from a checkpoint image on the engine's
+/// network — the resume-side counterpart of [`install`]. The restored sink
+/// continues the sampling stream, serial queues and clocks exactly where
+/// the exported one stopped.
+pub fn install_restored(
+    engine: &mut sqo_core::SimilarityEngine,
+    cfg: SimConfig,
+    state: NetSimState,
+) {
+    assert_eq!(
+        state.busy_until_us.len(),
+        engine.network().peer_count(),
+        "checkpoint was taken on a network with a different peer count"
+    );
+    let mut sim = NetSim::from_state(cfg, state);
+    if let Some(t) = engine.network().trace_sink() {
+        sim.set_trace_sink(t);
+    }
+    engine.network_mut().set_event_sink(Box::new(sim));
+}
+
+/// Export the state of the `NetSim` installed on the engine's network, if
+/// one is installed. Uses the [`EventSink::as_any_mut`] downcast hook.
+pub fn export_installed(engine: &mut sqo_core::SimilarityEngine) -> Option<NetSimState> {
+    let sink = engine.network_mut().event_sink_mut()?;
+    let sim = sink.as_any_mut()?.downcast_mut::<NetSim>()?;
+    Some(sim.export_state())
 }
 
 #[cfg(test)]
@@ -478,6 +578,58 @@ mod tests {
             lat.crit_net_us + lat.crit_queue_us + lat.crit_service_us + lat.crit_stall_us,
             lat.elapsed_us
         );
+    }
+
+    /// A restored sink must continue the jitter stream, serial queues and
+    /// clocks exactly — identical subsequent traffic charges identically.
+    #[test]
+    fn state_round_trip_continues_charging_identically() {
+        let cfg = SimConfig {
+            latency: LatencyModel::Uniform { min_us: 50, max_us: 250 },
+            ..SimConfig::default()
+        };
+        let mut a = NetSim::new(cfg, 8);
+        // Warm up: some queries, including queue contention and a rewind.
+        for i in 0..5u32 {
+            a.begin_query();
+            a.deliver(PeerId(0), PeerId(1 + (i % 3)), 256, MsgKind::Route);
+            a.deliver(PeerId(1), PeerId(5), 0, MsgKind::Forward);
+            a.local_work(PeerId(5), 20);
+            a.end_query();
+            a.reset_to_us(100 * u64::from(i));
+        }
+
+        let state = a.export_state();
+        let mut b = NetSim::from_state(cfg, state.clone());
+        assert_eq!(b.export_state(), state, "export/import/export must be a fixed point");
+
+        // Identical traffic on both sinks from here on.
+        let drive = |s: &mut NetSim| {
+            let mut lats = Vec::new();
+            for i in 0..4u32 {
+                s.begin_query();
+                s.deliver(PeerId(2), PeerId(6), 1024, MsgKind::Route);
+                s.fork();
+                s.branch();
+                s.deliver(PeerId(6), PeerId(7), 64, MsgKind::Forward);
+                s.branch();
+                s.deliver(PeerId(6), PeerId(3), 64, MsgKind::Forward);
+                s.join();
+                lats.push(s.end_query());
+                s.reset_to_us(50 * u64::from(i));
+            }
+            lats
+        };
+        assert_eq!(drive(&mut a), drive(&mut b), "restored sink diverged from the original");
+        assert_eq!(b.export_state(), a.export_state());
+    }
+
+    #[test]
+    #[should_panic(expected = "open query window")]
+    fn export_inside_a_window_is_refused() {
+        let mut s = sim(100);
+        s.begin_query();
+        let _ = s.export_state();
     }
 
     #[test]

@@ -273,18 +273,11 @@ struct QState {
     done_us: u64,
 }
 
-/// SplitMix64-style stateless draw from `(seed, qid, step, salt)` —
-/// identical for every shard count and execution order by construction.
-#[inline]
-fn mix(seed: u64, qid: u32, step: u32, salt: u64) -> u64 {
-    let mut z = seed
-        ^ (qid as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        ^ (step as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9)
-        ^ salt.wrapping_mul(0x94D0_49BB_1331_11EB);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+/// Stateless draw from `(seed, qid, step, salt)` — identical for every
+/// shard count and execution order by construction. Lives in the shared
+/// [`crate::seed`] module (its output is pinned by the `ScaleOutcome`
+/// checksum).
+use crate::seed::mix;
 
 // ----------------------------------------------------------------------
 // The event handler (identical for every execution engine)
@@ -633,6 +626,176 @@ pub fn run_serial(topo: &Topology, cfg: &ScaleConfig) -> (ScaleOutcome, ScaleRun
 }
 
 // ----------------------------------------------------------------------
+// Checkpoint / resume
+// ----------------------------------------------------------------------
+
+/// A pending scale event in serializable form. `kind`: 0 = `Query`,
+/// 1 = `Forward`, 2 = `Result` (with its `of` payload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScaleEv {
+    pub at_us: u64,
+    pub qid: u32,
+    pub step: u32,
+    pub peer: u32,
+    pub kind: u8,
+    pub of: u32,
+}
+
+impl From<Ev> for ScaleEv {
+    fn from(e: Ev) -> Self {
+        let (kind, of) = match e.kind {
+            EvKind::Query => (0, 0),
+            EvKind::Forward => (1, 0),
+            EvKind::Result { of } => (2, of),
+        };
+        Self { at_us: e.at_us, qid: e.qid, step: e.step, peer: e.peer, kind, of }
+    }
+}
+
+impl ScaleEv {
+    fn to_ev(self) -> Ev {
+        let kind = match self.kind {
+            0 => EvKind::Query,
+            1 => EvKind::Forward,
+            2 => EvKind::Result { of: self.of },
+            other => panic!("corrupt scale checkpoint: event kind {other}"),
+        };
+        Ev { at_us: self.at_us, qid: self.qid, step: self.step, peer: self.peer, kind }
+    }
+}
+
+/// The owned image of a paused scale run. The scale core has no in-flight
+/// task machinery — every event is a plain message — so any event boundary
+/// is a legal checkpoint: the image is just the pending event set, every
+/// peer's `busy_until`, per-query progress, and the processed-event count.
+/// Static inputs ([`Topology`], [`ScaleConfig`]) are supplied again at
+/// resume; randomness is stateless ([`crate::seed::mix`]), so there is no
+/// RNG stream to carry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScaleCheckpoint {
+    /// The stop bound the pause was requested at (informational).
+    pub stop_us: u64,
+    /// Pending events, sorted by the global event key.
+    pub pending: Vec<ScaleEv>,
+    /// `busy_until` per peer.
+    pub busy: Vec<u64>,
+    /// `(expected, got, done_us)` per query, dense by qid.
+    pub qstate: Vec<(u32, u32, u64)>,
+    /// Events processed before the pause.
+    pub events: u64,
+}
+
+/// Outcome of [`run_serial_until`].
+pub enum ScalePhase {
+    Done(ScaleOutcome, ScaleRun),
+    Paused(ScaleCheckpoint),
+}
+
+/// [`run_serial`], paused at the first event boundary at or after
+/// `stop_us`: events strictly before the bound are processed, everything
+/// still pending is walked into a [`ScaleCheckpoint`]. A workload that
+/// drains before the bound completes normally.
+///
+/// Resuming — serially ([`resume_serial`]) or on the windowed core
+/// ([`resume_sharded`], any shard count, threaded or not) — produces the
+/// uninterrupted run's [`ScaleOutcome`] bit for bit.
+pub fn run_serial_until(topo: &Topology, cfg: &ScaleConfig, stop_us: u64) -> ScalePhase {
+    let ctx = build_ctx(topo, cfg);
+    let mut st = GlobalState {
+        busy: vec![0u64; topo.peer_count()],
+        qstate: vec![QState::default(); cfg.queries],
+    };
+    let mut events = 0u64;
+
+    let t0 = Instant::now();
+    let mut heap: std::collections::BinaryHeap<HeapEv> =
+        initial_events(&ctx).into_iter().map(HeapEv).collect();
+    let mut emitted: Vec<Ev> = Vec::new();
+    loop {
+        // Pause check BEFORE popping: the boundary event itself belongs to
+        // the resumed half.
+        if heap.peek().is_some_and(|h| h.0.at_us >= stop_us) {
+            let mut pending: Vec<Ev> = heap.into_iter().map(|HeapEv(e)| e).collect();
+            pending.sort_unstable_by_key(Ev::key128);
+            return ScalePhase::Paused(ScaleCheckpoint {
+                stop_us,
+                pending: pending.into_iter().map(ScaleEv::from).collect(),
+                busy: st.busy,
+                qstate: st.qstate.iter().map(|q| (q.expected, q.got, q.done_us)).collect(),
+                events,
+            });
+        }
+        let Some(HeapEv(ev)) = heap.pop() else { break };
+        events += 1;
+        ctx.handle(ev, &mut st, &mut |e| emitted.push(e));
+        heap.extend(emitted.drain(..).map(HeapEv));
+    }
+    let elapsed = t0.elapsed();
+    let outcome = finish(&ctx, &st.qstate, events);
+    let run = ScaleRun {
+        mode: "serial".into(),
+        shards: 1,
+        threads: false,
+        events,
+        elapsed_ms: elapsed.as_secs_f64() * 1e3,
+        events_per_sec: events as f64 / elapsed.as_secs_f64().max(1e-9),
+        events_per_shard: vec![events],
+        windows_swept: 0,
+        empty_windows: 0,
+        mailbox_events: 0,
+        mailbox_peak: 0,
+    };
+    ScalePhase::Done(outcome, run)
+}
+
+/// Resume a paused run on the serial engine. `topo` and `cfg` must equal
+/// the original run's (the stateless draws replay from them).
+pub fn resume_serial(
+    topo: &Topology,
+    cfg: &ScaleConfig,
+    ckpt: &ScaleCheckpoint,
+) -> (ScaleOutcome, ScaleRun) {
+    assert_eq!(ckpt.busy.len(), topo.peer_count(), "checkpoint from a different topology");
+    assert_eq!(ckpt.qstate.len(), cfg.queries, "checkpoint from a different workload");
+    let ctx = build_ctx(topo, cfg);
+    let mut st = GlobalState {
+        busy: ckpt.busy.clone(),
+        qstate: ckpt
+            .qstate
+            .iter()
+            .map(|&(expected, got, done_us)| QState { expected, got, done_us })
+            .collect(),
+    };
+    let mut events = ckpt.events;
+
+    let t0 = Instant::now();
+    let mut heap: std::collections::BinaryHeap<HeapEv> =
+        ckpt.pending.iter().map(|&e| HeapEv(e.to_ev())).collect();
+    let mut emitted: Vec<Ev> = Vec::new();
+    while let Some(HeapEv(ev)) = heap.pop() {
+        events += 1;
+        ctx.handle(ev, &mut st, &mut |e| emitted.push(e));
+        heap.extend(emitted.drain(..).map(HeapEv));
+    }
+    let elapsed = t0.elapsed();
+    let outcome = finish(&ctx, &st.qstate, events);
+    let run = ScaleRun {
+        mode: "serial".into(),
+        shards: 1,
+        threads: false,
+        events,
+        elapsed_ms: elapsed.as_secs_f64() * 1e3,
+        events_per_sec: events as f64 / elapsed.as_secs_f64().max(1e-9),
+        events_per_shard: vec![events],
+        windows_swept: 0,
+        empty_windows: 0,
+        mailbox_events: 0,
+        mailbox_peak: 0,
+    };
+    (outcome, run)
+}
+
+// ----------------------------------------------------------------------
 // The sharded windowed core
 // ----------------------------------------------------------------------
 
@@ -686,9 +849,33 @@ impl Ring {
     fn insert(&mut self, ev: Ev) {
         let w = ev.at_us >> self.shift;
         debug_assert!(w >= self.floor, "event for an already-processed window");
-        debug_assert!((w - self.floor) as usize <= self.mask, "ring horizon exceeded");
+        if (w - self.floor) as usize > self.mask {
+            self.grow(w);
+        }
         self.slots[w as usize & self.mask].push(ev);
         self.pending += 1;
+    }
+
+    /// Widen the ring until window `w` fits above the floor. The initial
+    /// sizing covers the arrival spread plus the largest single hop, but a
+    /// resumed backlog (or a deep busy cascade onto one peer) can schedule
+    /// past it. Each occupied slot holds exactly one window's events —
+    /// the horizon invariant held before the grow — so re-bucketing whole
+    /// slots by their timestamps preserves per-window insertion order and
+    /// the simulation stays bit-identical.
+    #[cold]
+    fn grow(&mut self, w: u64) {
+        let need = ((w - self.floor) as usize + 1).next_power_of_two();
+        let new_len = need.max((self.mask + 1) * 2);
+        let mut slots: Vec<Vec<Ev>> = vec![Vec::new(); new_len];
+        for old in self.slots.drain(..) {
+            if let Some(first) = old.first() {
+                let idx = (first.at_us >> self.shift) as usize & (new_len - 1);
+                slots[idx] = old;
+            }
+        }
+        self.slots = slots;
+        self.mask = new_len - 1;
     }
 
     /// Remove and return window `w`'s bucket (possibly empty), advancing
@@ -702,11 +889,18 @@ impl Ring {
     }
 
     /// Hand a drained bucket vector back to its slot so the next lap of
-    /// the ring reuses its capacity instead of reallocating.
+    /// the ring reuses its capacity instead of reallocating. The slot may
+    /// have been refilled since `take`: an emission can land exactly one
+    /// ring-length ahead, and a mid-window `grow` remaps `w` to a slot
+    /// another live window now owns — in either case the capacity is
+    /// simply dropped instead of clobbering pending events.
     #[inline]
     fn put_back(&mut self, w: u64, mut evs: Vec<Ev>) {
-        evs.clear();
-        self.slots[w as usize & self.mask] = evs;
+        let slot = &mut self.slots[w as usize & self.mask];
+        if slot.is_empty() {
+            evs.clear();
+            *slot = evs;
+        }
     }
 }
 
@@ -748,6 +942,30 @@ impl Shard {
 /// OS threads (one per shard) over the single-threaded shard loop; the
 /// [`ScaleOutcome`] is identical either way.
 pub fn run_sharded(topo: &Topology, cfg: &ScaleConfig) -> (ScaleOutcome, ScaleRun) {
+    sharded_core(topo, cfg, None)
+}
+
+/// Resume a paused run ([`run_serial_until`]) on the windowed core — any
+/// shard count, threaded or not; the [`ScaleOutcome`] matches the
+/// uninterrupted serial run bit for bit. The checkpoint's global state is
+/// strided back onto the shards (`busy_until` of peer `p` to shard
+/// `p % shards`); per-query progress is replicated to every shard and
+/// collected, as always, from the initiator's.
+pub fn resume_sharded(
+    topo: &Topology,
+    cfg: &ScaleConfig,
+    ckpt: &ScaleCheckpoint,
+) -> (ScaleOutcome, ScaleRun) {
+    assert_eq!(ckpt.busy.len(), topo.peer_count(), "checkpoint from a different topology");
+    assert_eq!(ckpt.qstate.len(), cfg.queries, "checkpoint from a different workload");
+    sharded_core(topo, cfg, Some(ckpt))
+}
+
+fn sharded_core(
+    topo: &Topology,
+    cfg: &ScaleConfig,
+    resume: Option<&ScaleCheckpoint>,
+) -> (ScaleOutcome, ScaleRun) {
     let shards_n = cfg.shards.max(1);
     // The safety window can be as wide as the true lookahead bound: an
     // event at `t` emits at `done + latency` with `done ≥ t + service_us`,
@@ -765,14 +983,50 @@ pub fn run_sharded(topo: &Topology, cfg: &ScaleConfig) -> (ScaleOutcome, ScaleRu
     let max_scan_us =
         topo.items_per_part.iter().copied().max().unwrap_or(0) as u64 * cfg.scan_us_per_item;
     let max_delta_us = cfg.service_us + max_scan_us + cfg.link_min_us.max(1) + cfg.link_jitter_us;
-    let horizon = (cfg.arrival_spread_us / window_us).max(max_delta_us / window_us) + 2;
+    // Resuming: replay the pending event set instead of fresh arrivals,
+    // stride the checkpointed `busy_until` back onto the shards, replicate
+    // per-query progress (each query is only ever touched — and collected —
+    // on its initiator's shard, so replication is safe), and start the
+    // window sweep at the earliest pending window (the rings' floor must
+    // match, or the horizon assertion would reject far-future arrivals).
+    let pending: Vec<Ev> = match resume {
+        None => initial_events(&ctx),
+        Some(ck) => ck.pending.iter().map(|&e| e.to_ev()).collect(),
+    };
+    let w0 = match resume {
+        None => 0,
+        Some(_) => pending.iter().map(|e| e.at_us >> shift).min().unwrap_or(0),
+    };
+    // A fresh ring only has to absorb the arrival spread (and one maximal
+    // handler emission). A resumed one starts with a pending set — and
+    // per-peer service backlogs — that a mid-run cut can leave arbitrarily
+    // far above the earliest pending window, so the horizon additionally
+    // covers the checkpoint's own span above `w0`.
+    let resume_span_w = match resume {
+        None => 0,
+        Some(ck) => {
+            let max_pend_w = pending.iter().map(|e| e.at_us >> shift).max().unwrap_or(0);
+            let max_busy_w = ck.busy.iter().copied().max().unwrap_or(0) >> shift;
+            max_pend_w.max(max_busy_w).saturating_sub(w0)
+        }
+    };
+    let horizon =
+        (cfg.arrival_spread_us / window_us).max(max_delta_us / window_us) + 2 + resume_span_w;
     let ring_len = (horizon as usize).next_power_of_two();
+    let base_qstate: Vec<QState> = match resume {
+        None => vec![QState::default(); cfg.queries],
+        Some(ck) => ck
+            .qstate
+            .iter()
+            .map(|&(expected, got, done_us)| QState { expected, got, done_us })
+            .collect(),
+    };
     let mut shards: Vec<Shard> = (0..shards_n)
         .map(|id| Shard {
             id,
             shards: shards_n,
             busy: vec![0u64; topo.peer_count().div_ceil(shards_n)],
-            qstate: vec![QState::default(); cfg.queries],
+            qstate: base_qstate.clone(),
             events: 0,
             windows_swept: 0,
             empty_windows: 0,
@@ -780,30 +1034,35 @@ pub fn run_sharded(topo: &Topology, cfg: &ScaleConfig) -> (ScaleOutcome, ScaleRu
             mailbox_peak: 0,
         })
         .collect();
+    if let Some(ck) = resume {
+        for (p, &b) in ck.busy.iter().enumerate() {
+            shards[p % shards_n].busy[p / shards_n] = b;
+        }
+    }
     let mut rings: Vec<Ring> = (0..shards_n)
         .map(|_| Ring {
             shift,
             slots: vec![Vec::new(); ring_len],
             mask: ring_len - 1,
-            floor: 0,
+            floor: w0,
             pending: 0,
         })
         .collect();
-    for ev in initial_events(&ctx) {
+    for ev in pending {
         rings[ev.peer as usize % shards_n].insert(ev);
     }
 
     let t0 = Instant::now();
     if cfg.threads && shards_n > 1 {
-        run_windows_threaded(&ctx, &mut shards, &mut rings);
+        run_windows_threaded(&ctx, &mut shards, &mut rings, w0);
     } else {
-        run_windows_serial(&ctx, &mut shards, &mut rings);
+        run_windows_serial(&ctx, &mut shards, &mut rings, w0);
     }
     let elapsed = t0.elapsed();
 
     // Each query's progress lives on its initiator's shard; collect from
     // there.
-    let mut events = 0u64;
+    let mut events = resume.map_or(0, |ck| ck.events);
     for sh in &shards {
         events += sh.events;
     }
@@ -833,10 +1092,10 @@ pub fn run_sharded(topo: &Topology, cfg: &ScaleConfig) -> (ScaleOutcome, ScaleRu
 /// shard's ring — no outbox, no second pass — which is legal mid-window
 /// because the lookahead invariant puts every emission in a later window
 /// than any bucket still to be processed this sweep.
-fn run_windows_serial(ctx: &RunCtx<'_>, shards: &mut [Shard], rings: &mut [Ring]) {
+fn run_windows_serial(ctx: &RunCtx<'_>, shards: &mut [Shard], rings: &mut [Ring], w0: u64) {
     let n = shards.len();
     let shift = rings[0].shift;
-    let mut w = 0u64;
+    let mut w = w0;
     while rings.iter().any(|r| r.pending > 0) {
         for i in 0..n {
             let mut evs = rings[i].take(w);
@@ -864,7 +1123,7 @@ fn run_windows_serial(ctx: &RunCtx<'_>, shards: &mut [Shard], rings: &mut [Ring]
 /// Mailbox `m[i][j]` carries shard `i`'s emissions for shard `j`; writers
 /// fill between the first and second barrier, owners drain between the
 /// second and third — no mailbox is read while written.
-fn run_windows_threaded(ctx: &RunCtx<'_>, shards: &mut [Shard], rings: &mut [Ring]) {
+fn run_windows_threaded(ctx: &RunCtx<'_>, shards: &mut [Shard], rings: &mut [Ring], w0: u64) {
     let n = shards.len();
     let barrier = Barrier::new(n);
     let pendings: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
@@ -878,7 +1137,7 @@ fn run_windows_threaded(ctx: &RunCtx<'_>, shards: &mut [Shard], rings: &mut [Rin
                 let id = sh.id;
                 let shift = ring.shift;
                 let mut out: Vec<Vec<Ev>> = vec![Vec::new(); n];
-                let mut w = 0u64;
+                let mut w = w0;
                 loop {
                     pendings[id].store(ring.pending as u64, AtomicOrdering::Relaxed);
                     barrier.wait();
@@ -993,6 +1252,50 @@ mod tests {
                 assert_eq!(out, serial, "shards={shards} threads={threads} diverged");
                 assert_eq!(run.shards, shards);
             }
+        }
+    }
+
+    /// Pause a serial run mid-flight, then finish it with `resume_serial`
+    /// and `resume_sharded` at every shard count: every path must land on
+    /// the exact `ScaleOutcome` of the uninterrupted run.
+    #[test]
+    fn checkpoint_resume_matches_the_uninterrupted_run() {
+        let net = small_net();
+        let topo = Topology::of_network(&net);
+        let cfg = ScaleConfig { queries: 64, arrival_spread_us: 5_000, ..Default::default() };
+        let (full, _) = run_serial(&topo, &cfg);
+        assert_eq!(full.queries_done, 64);
+
+        let ckpt = match run_serial_until(&topo, &cfg, 2_500) {
+            ScalePhase::Paused(ck) => ck,
+            ScalePhase::Done(..) => panic!("2.5ms cut should land mid-run"),
+        };
+        assert!(!ckpt.pending.is_empty(), "mid-run checkpoint has pending events");
+        assert!(ckpt.events > 0 && ckpt.events < full.events);
+
+        let (resumed, _) = resume_serial(&topo, &cfg, &ckpt);
+        assert_eq!(resumed, full, "serial resume diverged");
+
+        for shards in [1usize, 2, 4] {
+            for threads in [false, true] {
+                let c = ScaleConfig { shards, threads, ..cfg };
+                let (out, run) = resume_sharded(&topo, &c, &ckpt);
+                assert_eq!(out, full, "shards={shards} threads={threads} resume diverged");
+                assert_eq!(run.events_per_shard.iter().sum::<u64>(), run.events - ckpt.events);
+            }
+        }
+    }
+
+    /// A cut past the last event is just the whole run.
+    #[test]
+    fn pause_after_the_horizon_completes() {
+        let net = small_net();
+        let topo = Topology::of_network(&net);
+        let cfg = ScaleConfig { queries: 16, arrival_spread_us: 1_000, ..Default::default() };
+        let (full, _) = run_serial(&topo, &cfg);
+        match run_serial_until(&topo, &cfg, u64::MAX) {
+            ScalePhase::Done(out, _) => assert_eq!(out, full),
+            ScalePhase::Paused(_) => panic!("nothing left to pause on"),
         }
     }
 

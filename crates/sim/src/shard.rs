@@ -101,6 +101,59 @@ impl<E> ShardedQueue<E> {
         self.now_us = e.at_us;
         Some((e.at_us, e.ev))
     }
+
+    /// Timestamp of the event [`pop`](Self::pop) would return next, without
+    /// popping it. Checkpointing peeks here to find a quiesce boundary (the
+    /// decision to pause must happen *before* an event is consumed).
+    pub fn peek_next_us(&self) -> Option<u64> {
+        self.lanes.iter().filter_map(|h| h.peek().map(|e| (e.at_us, e.seq))).min().map(|(at, _)| at)
+    }
+
+    /// Walk the queue into an owned [`QueueState`]: every pending entry
+    /// with its original `(at_us, seq, lane)`, sorted in pop order so equal
+    /// queues export equal state.
+    pub fn export_state(&self) -> QueueState<E>
+    where
+        E: Clone,
+    {
+        let mut entries: Vec<(u64, u64, u32, E)> = self
+            .lanes
+            .iter()
+            .enumerate()
+            .flat_map(|(lane, h)| {
+                h.iter().map(move |e| (e.at_us, e.seq, lane as u32, e.ev.clone()))
+            })
+            .collect();
+        entries.sort_unstable_by_key(|&(at, seq, _, _)| (at, seq));
+        QueueState { lanes: self.lanes.len() as u32, seq: self.seq, now_us: self.now_us, entries }
+    }
+
+    /// Rebuild a queue from an exported image. Entries keep their original
+    /// global sequence numbers, so the restored queue pops in exactly the
+    /// order the exported one would have — the lane-count invariance pin
+    /// holds across the round trip.
+    pub fn from_state(state: QueueState<E>) -> Self {
+        let mut lanes: Vec<BinaryHeap<Entry<E>>> =
+            (0..state.lanes.max(1)).map(|_| BinaryHeap::new()).collect();
+        let n = lanes.len();
+        for (at_us, seq, lane, ev) in state.entries {
+            assert!(seq < state.seq, "pending entry seq must precede the counter");
+            assert!(at_us >= state.now_us, "pending entry must not be in the past");
+            lanes[lane as usize % n].push(Entry { at_us, seq, ev });
+        }
+        Self { lanes, seq: state.seq, now_us: state.now_us }
+    }
+}
+
+/// The owned image of a [`ShardedQueue`] (checkpointing): pending entries
+/// as `(at_us, seq, lane, ev)` in pop order, plus the global sequence
+/// counter and the clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueueState<E> {
+    pub lanes: u32,
+    pub seq: u64,
+    pub now_us: u64,
+    pub entries: Vec<(u64, u64, u32, E)>,
 }
 
 #[cfg(test)]
@@ -130,6 +183,54 @@ mod tests {
             let got: Vec<(u64, u32)> = std::iter::from_fn(|| q.pop()).collect();
             assert_eq!(got, expected, "lane count {lanes} changed pop order");
         }
+    }
+
+    /// Snapshot/restore mid-stream must not perturb pop order, whatever the
+    /// lane count — the property the driver's byte-identical-report pin
+    /// rests on.
+    #[test]
+    fn state_round_trip_preserves_pop_order_for_any_lane_count() {
+        let pushes: Vec<(u64, u32)> =
+            (0..300u32).map(|i| (((i * 53) % 17) as u64 * 7, i)).collect();
+        for lanes in [1usize, 2, 8] {
+            // Reference: uninterrupted run.
+            let mut whole = ShardedQueue::new(lanes);
+            for &(t, v) in &pushes {
+                whole.push(t, (v as usize) * 13 % (lanes + 2), v);
+            }
+            let expected: Vec<(u64, u32)> = std::iter::from_fn(|| whole.pop()).collect();
+
+            // Interrupted run: pop 100, snapshot, restore, drain.
+            let mut q = ShardedQueue::new(lanes);
+            for &(t, v) in &pushes {
+                q.push(t, (v as usize) * 13 % (lanes + 2), v);
+            }
+            let mut got: Vec<(u64, u32)> = (0..100).map(|_| q.pop().unwrap()).collect();
+            let state = q.export_state();
+            assert_eq!(state.lanes as usize, lanes);
+            assert_eq!(state.entries.len(), pushes.len() - 100);
+            let mut restored = ShardedQueue::from_state(state.clone());
+            assert_eq!(restored.peek_next_us(), q.peek_next_us());
+            // Restored queue accepts fresh pushes with continued seqs.
+            got.extend(std::iter::from_fn(|| restored.pop()));
+            assert_eq!(got, expected, "lane count {lanes} diverged across the round trip");
+            // Export of the restored queue matches the original export.
+            let again = ShardedQueue::from_state(state.clone());
+            assert_eq!(again.export_state(), state);
+        }
+    }
+
+    /// A restored queue keeps allocating sequence numbers after the old
+    /// counter, so new events interleave exactly as they would have.
+    #[test]
+    fn restored_queue_continues_the_global_sequence() {
+        let mut q = ShardedQueue::new(3);
+        q.push(10, 0, 1u32);
+        q.push(10, 1, 2);
+        let mut r = ShardedQueue::from_state(q.export_state());
+        r.push(10, 2, 3);
+        let drained: Vec<u32> = std::iter::from_fn(|| r.pop()).map(|(_, v)| v).collect();
+        assert_eq!(drained, vec![1, 2, 3], "new push must sort after restored same-time events");
     }
 
     #[test]

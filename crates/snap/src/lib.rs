@@ -1,0 +1,272 @@
+//! # sqo-snap — checkpoint, fork, and deterministic replay
+//!
+//! Every layer of the workspace is deterministic: the overlay draws from
+//! a seeded xoshiro256++ stream, the event queues break ties with global
+//! sequence numbers, the latency models are seeded per run. `sqo-snap`
+//! turns that determinism into a facility: the **complete simulation
+//! state** — overlay stores, routing arenas, churn flags, traffic
+//! counters, every RNG stream position, broker caches mid-decay, the
+//! paused driver's event queue and histograms — freezes into one
+//! versioned binary artifact, and a restored run is **byte-identical** to
+//! the run that never stopped.
+//!
+//! Three workflows fall out:
+//!
+//! * **Checkpoint/resume** — pause a long workload at a quiesce boundary
+//!   ([`sqo_sim::run_driver_until`]), persist the [`Snapshot`], resume it
+//!   later (possibly in another process) with [`sqo_sim::resume_driver`];
+//!   the final [`DriverReport`](sqo_sim::DriverReport) matches the
+//!   uninterrupted run byte for byte.
+//! * **Fork** — build and warm one world, then [`Snapshot::fork`] N
+//!   engines off it. Same-config forks are mutually byte-identical;
+//!   diverging forks re-seed their workloads with
+//!   [`sqo_sim::seed::derive`]`(seed, `[`FORK_STREAM`](sqo_sim::seed::FORK_STREAM)`, i)`.
+//!   The `latency` bench's `--warm-checkpoint` mode sweeps a parameter
+//!   grid this way without rebuilding the network per cell.
+//! * **Replay** — the scale core's event-level image
+//!   ([`ScaleCheckpoint`]) rides along, so a
+//!   paused million-peer run resumes on *any* shard count or threading
+//!   mode and still lands on the uninterrupted
+//!   [`ScaleOutcome`](sqo_sim::ScaleOutcome).
+//!
+//! ## Artifact format
+//!
+//! A `b"SQSN"` magic, a little-endian `u32` [`SCHEMA_VERSION`], then the
+//! world/driver/scale sections in the explicit layout of [`wire`] (the
+//! vendored serde stand-in cannot deserialize, so the codec is
+//! hand-rolled — and therefore versionable byte by byte).
+//! [`Snapshot::from_bytes`] refuses anything else: wrong magic is
+//! [`SnapError::BadMagic`], a version skew is
+//! [`SnapError::SchemaMismatch`], and every decoder is bounds-checked so
+//! corrupt input fails with an error, never a panic or a huge
+//! allocation. [`SnapError::exit_code`] mirrors the bench regress gate's
+//! convention (schema/format mismatches exit 3, distinct from "the run
+//! diverged").
+//!
+//! What is **not** in the artifact: static configuration. The caller
+//! that restores a snapshot supplies the same [`EngineConfig`] (and
+//! `DriverConfig`/`ScaleConfig`) the original run used — configs are
+//! code-adjacent inputs, snapshots carry only the dynamic state derived
+//! from them. [`Snapshot::restore_engine`] cross-checks the network
+//! config embedded in the world image and panics on a mismatched world.
+//!
+//! ```
+//! use sqo_core::EngineBuilder;
+//! use sqo_datasets::{bible_words, string_rows};
+//! use sqo_sim::{run_driver, DriverConfig};
+//! use sqo_snap::Snapshot;
+//!
+//! let words = bible_words(120, 5);
+//! let rows = string_rows("word", &words, "w");
+//! let engine = EngineBuilder::new().peers(32).q(2).seed(9).build_with_rows(&rows);
+//!
+//! // Freeze the warm world once…
+//! let snap = Snapshot::capture(&engine);
+//! let bytes = snap.to_bytes();
+//!
+//! // …and fork two identical runs from it, no rebuild.
+//! let snap = Snapshot::from_bytes(&bytes).unwrap();
+//! let cfg = DriverConfig { clients: 2, queries_per_client: 2, ..Default::default() };
+//! let [mut a, mut b]: [_; 2] =
+//!     snap.fork(engine.config(), 2).try_into().ok().unwrap();
+//! let ra = run_driver(&mut a, "word", &words, &cfg);
+//! let rb = run_driver(&mut b, "word", &words, &cfg);
+//! assert_eq!(
+//!     serde_json::to_string(&ra).unwrap(),
+//!     serde_json::to_string(&rb).unwrap(),
+//!     "same-config forks are byte-identical"
+//! );
+//! ```
+
+pub mod wire;
+
+use sqo_cache::BrokerState;
+use sqo_core::{EngineConfig, SimilarityEngine};
+use sqo_overlay::{Network, NetworkState};
+use sqo_sim::driver::DriverCheckpoint;
+use sqo_sim::scale::ScaleCheckpoint;
+use sqo_storage::{Posting, PublishStats};
+use std::fmt;
+
+/// Version of the artifact layout. Bump on any wire-format change;
+/// [`Snapshot::from_bytes`] refuses other versions outright.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Artifact magic: "SQO SNapshot".
+pub const MAGIC: [u8; 4] = *b"SQSN";
+
+/// Decode failure. Restores either succeed completely or fail with one of
+/// these — a half-decoded snapshot is never handed back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapError {
+    /// The input does not start with [`MAGIC`] — not a snapshot at all.
+    BadMagic,
+    /// The artifact was written by a different wire-format version.
+    SchemaMismatch { found: u32, expected: u32 },
+    /// The input ended mid-field.
+    Truncated,
+    /// A tag, index, or length was out of range.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for SnapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapError::BadMagic => write!(f, "not a snapshot artifact (bad magic)"),
+            SnapError::SchemaMismatch { found, expected } => {
+                write!(f, "snapshot schema v{found}, this build reads v{expected}")
+            }
+            SnapError::Truncated => write!(f, "snapshot truncated mid-field"),
+            SnapError::Corrupt(what) => write!(f, "corrupt snapshot: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapError {}
+
+impl SnapError {
+    /// Process exit code for CLI consumers, aligned with the bench
+    /// regress gate's convention (`sqo_bench::regress::EXIT_MISMATCH`):
+    /// a schema/format mismatch exits `3` so CI can tell "incompatible
+    /// artifact" from "the run itself failed" (`2`).
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            SnapError::SchemaMismatch { .. } | SnapError::BadMagic => 3,
+            SnapError::Truncated | SnapError::Corrupt(_) => 2,
+        }
+    }
+}
+
+/// The engine-side world: everything [`SimilarityEngine`] owns that a
+/// query can observe. Captured by [`Snapshot::capture`].
+#[derive(Debug, Clone)]
+pub struct WorldState {
+    /// The overlay image (stores, routing, counters, churn flags, RNG).
+    pub net: NetworkState<Posting>,
+    /// Storage-overhead accounting of the initial publication.
+    pub publish: PublishStats,
+    /// Lifetime edit-distance comparison counter.
+    pub edit_comparisons: u64,
+    /// The installed probe broker's image (posting cache + channel
+    /// pool), when one is installed and checkpointable.
+    pub broker: Option<BrokerState>,
+}
+
+/// One frozen simulation: the world, plus whichever mid-run images apply.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    pub world: WorldState,
+    /// A paused concurrent-workload run ([`sqo_sim::run_driver_until`]).
+    pub driver: Option<DriverCheckpoint>,
+    /// A paused scale-core run ([`sqo_sim::run_serial_until`]).
+    pub scale: Option<ScaleCheckpoint>,
+}
+
+impl Snapshot {
+    /// Freeze the engine's world. Use after building (a warm template to
+    /// [`fork`](Snapshot::fork) from) or after a completed run.
+    pub fn capture(engine: &SimilarityEngine) -> Self {
+        Snapshot {
+            world: WorldState {
+                net: engine.network().export_state(),
+                publish: *engine.publish_stats(),
+                edit_comparisons: engine.edit_comparisons(),
+                broker: engine.broker_state(),
+            },
+            driver: None,
+            scale: None,
+        }
+    }
+
+    /// Freeze the world of a run paused by [`sqo_sim::run_driver_until`],
+    /// together with its driver checkpoint. The engine must be the one
+    /// the pause happened on — the checkpoint's virtual-time image and
+    /// the world's RNG/counter state form one consistent cut.
+    pub fn capture_paused(engine: &SimilarityEngine, ckpt: DriverCheckpoint) -> Self {
+        let mut s = Snapshot::capture(engine);
+        s.driver = Some(ckpt);
+        s
+    }
+
+    /// Attach a paused scale-core run to the snapshot (the topology is
+    /// re-derived from the restored network at resume time).
+    pub fn with_scale(mut self, ckpt: ScaleCheckpoint) -> Self {
+        self.scale = Some(ckpt);
+        self
+    }
+
+    /// Rebuild a live engine from the world image. `cfg` must be the
+    /// original build's config — the embedded network config is
+    /// cross-checked, and publish/query defaults come from the caller
+    /// (static configuration is not part of the artifact).
+    ///
+    /// # Panics
+    /// Panics if `cfg.network` differs from the network config the world
+    /// was captured under.
+    pub fn restore_engine(&self, cfg: &EngineConfig) -> SimilarityEngine {
+        assert_eq!(
+            cfg.network, self.world.net.cfg,
+            "restore config does not match the captured world"
+        );
+        SimilarityEngine::from_parts(
+            cfg.clone(),
+            Network::import_state(self.world.net.clone()),
+            self.world.publish,
+            self.world.edit_comparisons,
+            self.world.broker.clone(),
+        )
+    }
+
+    /// Branch `n` independent engines off one warm world. Each fork is a
+    /// full restore: same stores (sharing preserved), same RNG position,
+    /// same broker contents — so forks driven with the same workload
+    /// config produce byte-identical reports, and forks meant to diverge
+    /// re-seed their workloads with
+    /// [`sqo_sim::seed::derive`]`(seed, FORK_STREAM, i)`.
+    pub fn fork(&self, cfg: &EngineConfig, n: usize) -> Vec<SimilarityEngine> {
+        (0..n).map(|_| self.restore_engine(cfg)).collect()
+    }
+
+    /// Serialize to the versioned artifact format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut e = wire::Enc::new();
+        e.buf.extend_from_slice(&MAGIC);
+        e.u32(SCHEMA_VERSION);
+        // The triple intern table spans the whole artifact (network lists
+        // and broker-cached lists share allocations), so it is collected
+        // up front and written before anything that references it.
+        let mut triples = wire::TripleTable::new();
+        triples.collect(&self.world);
+        triples.encode(&mut e);
+        wire::network_state(&mut e, &mut triples, &self.world.net);
+        wire::publish_stats(&mut e, &self.world.publish);
+        e.u64(self.world.edit_comparisons);
+        e.opt(self.world.broker.as_ref(), |e, b| wire::broker_state(e, &mut triples, b));
+        e.opt(self.driver.as_ref(), wire::driver_checkpoint);
+        e.opt(self.scale.as_ref(), wire::scale_checkpoint);
+        e.buf
+    }
+
+    /// Decode an artifact, checking magic and schema version first.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapError> {
+        if bytes.len() < MAGIC.len() + 4 || bytes[..MAGIC.len()] != MAGIC {
+            return Err(SnapError::BadMagic);
+        }
+        let mut d = wire::Dec::new(&bytes[MAGIC.len()..]);
+        let found = d.u32()?;
+        if found != SCHEMA_VERSION {
+            return Err(SnapError::SchemaMismatch { found, expected: SCHEMA_VERSION });
+        }
+        let table = wire::decode_triple_table(&mut d)?;
+        let net = wire::de_network_state(&mut d, &table)?;
+        let publish = wire::de_publish_stats(&mut d)?;
+        let edit_comparisons = d.u64()?;
+        let broker = d.opt(|d| wire::de_broker_state(d, &table))?;
+        let driver = d.opt(wire::de_driver_checkpoint)?;
+        let scale = d.opt(wire::de_scale_checkpoint)?;
+        if !d.is_empty() {
+            return Err(SnapError::Corrupt("trailing bytes after snapshot"));
+        }
+        Ok(Snapshot { world: WorldState { net, publish, edit_comparisons, broker }, driver, scale })
+    }
+}

@@ -1,0 +1,846 @@
+//! The snapshot wire format: a hand-rolled little-endian binary codec.
+//!
+//! The workspace's vendored `serde` stand-in serializes but does not
+//! deserialize, so the snapshot artifact has its own explicit codec. That
+//! is a feature, not a workaround: every byte of the artifact is written
+//! by a function in this file, the layout is stable under refactors of
+//! the source structs, and the version envelope (`MAGIC` +
+//! [`SCHEMA_VERSION`](crate::SCHEMA_VERSION)) is checked before a single
+//! field is decoded.
+//!
+//! Layout conventions:
+//!
+//! * all integers little-endian; `usize` travels as `u64`,
+//! * `f64` travels as its IEEE-754 bit pattern (`to_bits`), so restored
+//!   floats are bit-identical,
+//! * sequences are a `u64` length followed by the elements,
+//! * options are a `u8` tag (0 = none, 1 = some),
+//! * enums are a `u8` discriminant followed by the variant's fields.
+//!
+//! Triples are interned: postings share `Arc<Triple>` allocations in the
+//! live engine (one triple backs its base posting and every gram posting
+//! cut from it), and the codec writes each distinct triple once, by
+//! pointer identity, into a table up front. Postings then reference the
+//! table by index, so a decoded world re-shares the allocations — the
+//! artifact stays near the *deduplicated* size of the store, and restored
+//! memory footprints match the original's.
+
+use crate::SnapError;
+use sqo_cache::{
+    BrokerConfig, BrokerCounters, BrokerState, ChannelPoolState, LruEntryState, LruState,
+    PartitionChannel, SketchState,
+};
+use sqo_overlay::{Key, Metrics, NetworkConfig, NetworkState, PeerId, PeerLoad, SimLatency};
+use sqo_sim::driver::{DriverCheckpoint, EvSnap, HistParts};
+use sqo_sim::scale::{ScaleCheckpoint, ScaleEv};
+use sqo_sim::{NetSimState, QueueState};
+use sqo_storage::{BaseKind, Posting, Triple, TripleRef, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use sqo_core::QueryStats;
+
+// ---------------------------------------------------------------------
+// Primitives
+// ---------------------------------------------------------------------
+
+/// Append-only encoder over a byte buffer.
+pub struct Enc {
+    pub buf: Vec<u8>,
+}
+
+impl Enc {
+    pub fn new() -> Self {
+        Enc { buf: Vec::new() }
+    }
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    pub fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.usize(v.len());
+        self.buf.extend_from_slice(v);
+    }
+    pub fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+    pub fn seq<T>(&mut self, items: &[T], mut f: impl FnMut(&mut Self, &T)) {
+        self.usize(items.len());
+        for it in items {
+            f(self, it);
+        }
+    }
+    pub fn opt<T>(&mut self, v: Option<&T>, f: impl FnOnce(&mut Self, &T)) {
+        match v {
+            None => self.u8(0),
+            Some(x) => {
+                self.u8(1);
+                f(self, x);
+            }
+        }
+    }
+}
+
+impl Default for Enc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Cursor-style decoder; every read is bounds-checked and returns a
+/// [`SnapError`] instead of panicking on truncated or corrupt input.
+pub struct Dec<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+type R<T> = Result<T, SnapError>;
+
+impl<'a> Dec<'a> {
+    pub fn new(b: &'a [u8]) -> Self {
+        Dec { b, pos: 0 }
+    }
+    pub fn remaining(&self) -> usize {
+        self.b.len() - self.pos
+    }
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+    fn take(&mut self, n: usize) -> R<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(SnapError::Truncated);
+        }
+        let s = &self.b[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    pub fn u8(&mut self) -> R<u8> {
+        Ok(self.take(1)?[0])
+    }
+    pub fn u32(&mut self) -> R<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+    pub fn u64(&mut self) -> R<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+    pub fn usize(&mut self) -> R<usize> {
+        usize::try_from(self.u64()?).map_err(|_| SnapError::Corrupt("usize overflow"))
+    }
+    pub fn i64(&mut self) -> R<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+    pub fn f64(&mut self) -> R<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+    pub fn bool(&mut self) -> R<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(SnapError::Corrupt("bool tag out of range")),
+        }
+    }
+    pub fn bytes(&mut self) -> R<&'a [u8]> {
+        let n = self.usize()?;
+        self.take(n)
+    }
+    pub fn string(&mut self) -> R<String> {
+        let b = self.bytes()?;
+        String::from_utf8(b.to_vec()).map_err(|_| SnapError::Corrupt("invalid utf-8"))
+    }
+    /// Sequence length with a sanity bound: a sequence of `len` elements
+    /// needs at least `len` bytes of input, so a corrupt length can never
+    /// trigger a huge allocation.
+    pub fn seq_len(&mut self) -> R<usize> {
+        let n = self.usize()?;
+        if n > self.remaining() {
+            return Err(SnapError::Corrupt("sequence length exceeds input"));
+        }
+        Ok(n)
+    }
+    pub fn seq<T>(&mut self, mut f: impl FnMut(&mut Self) -> R<T>) -> R<Vec<T>> {
+        let n = self.seq_len()?;
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(f(self)?);
+        }
+        Ok(v)
+    }
+    pub fn opt<T>(&mut self, f: impl FnOnce(&mut Self) -> R<T>) -> R<Option<T>> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(f(self)?)),
+            _ => Err(SnapError::Corrupt("option tag out of range")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Triple interning
+// ---------------------------------------------------------------------
+
+/// Encode-side triple intern table: distinct `Arc<Triple>` allocations in
+/// discovery order, deduplicated by pointer identity.
+pub struct TripleTable {
+    order: Vec<TripleRef>,
+    index: HashMap<*const Triple, u32>,
+}
+
+impl TripleTable {
+    pub fn new() -> Self {
+        TripleTable { order: Vec::new(), index: HashMap::new() }
+    }
+
+    fn intern(&mut self, t: &TripleRef) -> u32 {
+        *self.index.entry(Arc::as_ptr(t)).or_insert_with(|| {
+            self.order.push(TripleRef::clone(t));
+            (self.order.len() - 1) as u32
+        })
+    }
+
+    /// Walk every posting reachable from the world image (network lists
+    /// and broker-cached lists) so the table is complete before encoding.
+    pub fn collect(&mut self, world: &crate::WorldState) {
+        for list in &world.net.lists {
+            for p in list {
+                self.intern(p.triple());
+            }
+        }
+        if let Some(b) = &world.broker {
+            for e in &b.cache.entries {
+                for p in e.value.iter() {
+                    self.intern(p.triple());
+                }
+            }
+        }
+    }
+
+    pub fn encode(&self, e: &mut Enc) {
+        e.seq(&self.order, |e, t| triple(e, t));
+    }
+}
+
+impl Default for TripleTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+pub fn decode_triple_table(d: &mut Dec<'_>) -> R<Vec<TripleRef>> {
+    d.seq(|d| Ok(Arc::new(de_triple(d)?)))
+}
+
+fn triple(e: &mut Enc, t: &Triple) {
+    e.str(&t.oid);
+    e.str(t.attr.as_str());
+    match &t.value {
+        Value::Str(s) => {
+            e.u8(0);
+            e.str(s);
+        }
+        Value::Int(i) => {
+            e.u8(1);
+            e.i64(*i);
+        }
+        Value::Float(f) => {
+            e.u8(2);
+            e.f64(*f);
+        }
+    }
+}
+
+fn de_triple(d: &mut Dec<'_>) -> R<Triple> {
+    let oid = d.string()?;
+    let attr = d.string()?;
+    let value = match d.u8()? {
+        0 => Value::Str(d.string()?),
+        1 => Value::Int(d.i64()?),
+        2 => Value::Float(d.f64()?),
+        _ => return Err(SnapError::Corrupt("value tag out of range")),
+    };
+    Ok(Triple::new(oid, attr, value))
+}
+
+fn posting(e: &mut Enc, t: &mut TripleTable, p: &Posting) {
+    match p {
+        Posting::Base { kind, triple } => {
+            e.u8(0);
+            e.u32(t.intern(triple));
+            e.u8(match kind {
+                BaseKind::Oid => 0,
+                BaseKind::AttrValue => 1,
+                BaseKind::Value => 2,
+            });
+        }
+        Posting::InstanceGram { triple, gram, pos, carries_value } => {
+            e.u8(1);
+            e.u32(t.intern(triple));
+            e.str(gram);
+            e.u32(*pos);
+            e.bool(*carries_value);
+        }
+        Posting::SchemaGram { triple, gram, pos } => {
+            e.u8(2);
+            e.u32(t.intern(triple));
+            e.str(gram);
+            e.u32(*pos);
+        }
+        Posting::ShortValue { triple } => {
+            e.u8(3);
+            e.u32(t.intern(triple));
+        }
+        Posting::ShortAttr { triple } => {
+            e.u8(4);
+            e.u32(t.intern(triple));
+        }
+    }
+}
+
+fn de_posting(d: &mut Dec<'_>, table: &[TripleRef]) -> R<Posting> {
+    let tag = d.u8()?;
+    let idx = d.u32()? as usize;
+    let triple =
+        TripleRef::clone(table.get(idx).ok_or(SnapError::Corrupt("triple index out of range"))?);
+    Ok(match tag {
+        0 => Posting::Base {
+            kind: match d.u8()? {
+                0 => BaseKind::Oid,
+                1 => BaseKind::AttrValue,
+                2 => BaseKind::Value,
+                _ => return Err(SnapError::Corrupt("base-kind tag out of range")),
+            },
+            triple,
+        },
+        1 => Posting::InstanceGram {
+            triple,
+            gram: d.string()?,
+            pos: d.u32()?,
+            carries_value: d.bool()?,
+        },
+        2 => Posting::SchemaGram { triple, gram: d.string()?, pos: d.u32()? },
+        3 => Posting::ShortValue { triple },
+        4 => Posting::ShortAttr { triple },
+        _ => return Err(SnapError::Corrupt("posting tag out of range")),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Small overlay pieces
+// ---------------------------------------------------------------------
+
+fn key(e: &mut Enc, k: &Key) {
+    e.bytes(k.as_bytes());
+    e.usize(k.len());
+}
+
+fn de_key(d: &mut Dec<'_>) -> R<Key> {
+    let bytes = d.bytes()?.to_vec();
+    let len = d.usize()?;
+    if bytes.len() != len.div_ceil(8) {
+        return Err(SnapError::Corrupt("key byte count does not match bit length"));
+    }
+    Ok(Key::from_raw_parts(bytes, len))
+}
+
+fn metrics(e: &mut Enc, m: &Metrics) {
+    for v in [
+        m.messages,
+        m.bytes,
+        m.route_hops,
+        m.forward_msgs,
+        m.result_msgs,
+        m.result_bytes,
+        m.failed_routes,
+        m.local_items_scanned,
+    ] {
+        e.u64(v);
+    }
+}
+
+fn de_metrics(d: &mut Dec<'_>) -> R<Metrics> {
+    Ok(Metrics {
+        messages: d.u64()?,
+        bytes: d.u64()?,
+        route_hops: d.u64()?,
+        forward_msgs: d.u64()?,
+        result_msgs: d.u64()?,
+        result_bytes: d.u64()?,
+        failed_routes: d.u64()?,
+        local_items_scanned: d.u64()?,
+    })
+}
+
+fn sim_latency(e: &mut Enc, s: &SimLatency) {
+    for v in [
+        s.start_us,
+        s.end_us,
+        s.elapsed_us,
+        s.net_us,
+        s.queue_us,
+        s.service_us,
+        s.route_us,
+        s.forward_us,
+        s.result_us,
+        s.timed_messages,
+        s.retransmissions,
+        s.crit_net_us,
+        s.crit_queue_us,
+        s.crit_service_us,
+        s.crit_stall_us,
+    ] {
+        e.u64(v);
+    }
+}
+
+fn de_sim_latency(d: &mut Dec<'_>) -> R<SimLatency> {
+    Ok(SimLatency {
+        start_us: d.u64()?,
+        end_us: d.u64()?,
+        elapsed_us: d.u64()?,
+        net_us: d.u64()?,
+        queue_us: d.u64()?,
+        service_us: d.u64()?,
+        route_us: d.u64()?,
+        forward_us: d.u64()?,
+        result_us: d.u64()?,
+        timed_messages: d.u64()?,
+        retransmissions: d.u64()?,
+        crit_net_us: d.u64()?,
+        crit_queue_us: d.u64()?,
+        crit_service_us: d.u64()?,
+        crit_stall_us: d.u64()?,
+    })
+}
+
+fn rng_words(e: &mut Enc, w: &[u64; 4]) {
+    for v in w {
+        e.u64(*v);
+    }
+}
+
+fn de_rng_words(d: &mut Dec<'_>) -> R<[u64; 4]> {
+    Ok([d.u64()?, d.u64()?, d.u64()?, d.u64()?])
+}
+
+// ---------------------------------------------------------------------
+// Network image
+// ---------------------------------------------------------------------
+
+pub fn network_state(e: &mut Enc, t: &mut TripleTable, s: &NetworkState<Posting>) {
+    let c = &s.cfg;
+    e.usize(c.peers);
+    e.usize(c.replication);
+    e.usize(c.refs_per_level);
+    e.usize(c.msg_header_bytes);
+    e.u64(c.seed);
+    e.bool(c.uniform_refs);
+    e.seq(&s.paths, key);
+    e.seq(&s.part_peers, |e, ps| e.seq(ps, |e, p| e.u32(p.0)));
+    e.seq(&s.peer_partition, |e, v| e.u32(*v));
+    e.seq(&s.alive, |e, v| e.bool(*v));
+    e.seq(&s.routing_refs, |e, p| e.u32(p.0));
+    e.seq(&s.routing_slice_off, |e, v| e.u32(*v));
+    e.seq(&s.routing_peer_off, |e, v| e.u32(*v));
+    e.seq(&s.interned_keys, key);
+    e.usize(s.lists.len());
+    for list in &s.lists {
+        e.usize(list.len());
+        for p in list {
+            posting(e, t, p);
+        }
+    }
+    e.seq(&s.stores, |e, run| {
+        e.seq(run, |e, (k, l)| {
+            e.u32(*k);
+            e.u32(*l);
+        })
+    });
+    metrics(e, &s.metrics);
+    e.seq(&s.peer_load, |e, p| {
+        for v in [p.msgs_sent, p.msgs_recv, p.bytes_sent, p.bytes_recv] {
+            e.u64(v);
+        }
+    });
+    e.u64(s.next_trace_query);
+    e.u64(s.cache_epoch);
+    rng_words(e, &s.rng);
+}
+
+pub fn de_network_state(d: &mut Dec<'_>, table: &[TripleRef]) -> R<NetworkState<Posting>> {
+    let cfg = NetworkConfig {
+        peers: d.usize()?,
+        replication: d.usize()?,
+        refs_per_level: d.usize()?,
+        msg_header_bytes: d.usize()?,
+        seed: d.u64()?,
+        uniform_refs: d.bool()?,
+    };
+    Ok(NetworkState {
+        cfg,
+        paths: d.seq(de_key)?,
+        part_peers: d.seq(|d| d.seq(|d| Ok(PeerId(d.u32()?))))?,
+        peer_partition: d.seq(|d| d.u32())?,
+        alive: d.seq(|d| d.bool())?,
+        routing_refs: d.seq(|d| Ok(PeerId(d.u32()?)))?,
+        routing_slice_off: d.seq(|d| d.u32())?,
+        routing_peer_off: d.seq(|d| d.u32())?,
+        interned_keys: d.seq(de_key)?,
+        lists: d.seq(|d| d.seq(|d| de_posting(d, table)))?,
+        stores: d.seq(|d| d.seq(|d| Ok((d.u32()?, d.u32()?))))?,
+        metrics: de_metrics(d)?,
+        peer_load: d.seq(|d| {
+            Ok(PeerLoad {
+                msgs_sent: d.u64()?,
+                msgs_recv: d.u64()?,
+                bytes_sent: d.u64()?,
+                bytes_recv: d.u64()?,
+            })
+        })?,
+        next_trace_query: d.u64()?,
+        cache_epoch: d.u64()?,
+        rng: de_rng_words(d)?,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Broker image
+// ---------------------------------------------------------------------
+
+pub fn broker_state(e: &mut Enc, t: &mut TripleTable, b: &BrokerState) {
+    let c = &b.cfg;
+    e.bool(c.cache);
+    e.usize(c.cache_capacity);
+    e.u64(c.cache_ttl_us);
+    e.bool(c.admission);
+    e.bool(c.batch);
+    e.u64(c.batch_window_us);
+    let k = &b.counters;
+    for v in [
+        k.cache_hits,
+        k.cache_misses,
+        k.probes_coalesced,
+        k.channels_opened,
+        k.admission_rejects,
+        k.messages_saved,
+    ] {
+        e.u64(v);
+    }
+    let l = &b.cache;
+    e.u64(l.capacity);
+    e.u64(l.ttl_us);
+    e.u64(l.tick);
+    e.u64(l.rejected);
+    e.seq(&l.entries, |e, ent| {
+        e.u32(ent.key.0 .0);
+        key(e, &ent.key.1);
+        e.usize(ent.value.len());
+        for p in ent.value.iter() {
+            posting(e, t, p);
+        }
+        e.u64(ent.epoch);
+        e.u64(ent.inserted_us);
+        e.u64(ent.last_used);
+    });
+    e.opt(l.sketch.as_ref(), |e, s| {
+        e.bytes(&s.table);
+        e.u64(s.slots);
+        e.seq(&s.doorkeeper, |e, v| e.u64(*v));
+        e.u64(s.recorded);
+        e.u64(s.reset_at);
+    });
+    let ch = &b.channels;
+    e.u64(ch.window_us);
+    e.seq(&ch.channels, |e, (part, c)| {
+        e.u64(*part);
+        e.u32(c.owner.0);
+        e.u64(c.opened_us);
+        e.u64(c.route_hops);
+        e.u64(c.epoch);
+    });
+    e.u64(ch.opened);
+    e.u64(ch.rides);
+}
+
+pub fn de_broker_state(d: &mut Dec<'_>, table: &[TripleRef]) -> R<BrokerState> {
+    let cfg = BrokerConfig {
+        cache: d.bool()?,
+        cache_capacity: d.usize()?,
+        cache_ttl_us: d.u64()?,
+        admission: d.bool()?,
+        batch: d.bool()?,
+        batch_window_us: d.u64()?,
+    };
+    let counters = BrokerCounters {
+        cache_hits: d.u64()?,
+        cache_misses: d.u64()?,
+        probes_coalesced: d.u64()?,
+        channels_opened: d.u64()?,
+        admission_rejects: d.u64()?,
+        messages_saved: d.u64()?,
+    };
+    let capacity = d.u64()?;
+    let ttl_us = d.u64()?;
+    let tick = d.u64()?;
+    let rejected = d.u64()?;
+    let entries = d.seq(|d| {
+        Ok(LruEntryState {
+            key: (PeerId(d.u32()?), de_key(d)?),
+            value: Arc::new(d.seq(|d| de_posting(d, table))?),
+            epoch: d.u64()?,
+            inserted_us: d.u64()?,
+            last_used: d.u64()?,
+        })
+    })?;
+    let sketch = d.opt(|d| {
+        Ok(SketchState {
+            table: d.bytes()?.to_vec(),
+            slots: d.u64()?,
+            doorkeeper: d.seq(|d| d.u64())?,
+            recorded: d.u64()?,
+            reset_at: d.u64()?,
+        })
+    })?;
+    let cache = LruState { capacity, ttl_us, tick, rejected, entries, sketch };
+    let channels = ChannelPoolState {
+        window_us: d.u64()?,
+        channels: d.seq(|d| {
+            Ok((
+                d.u64()?,
+                PartitionChannel {
+                    owner: PeerId(d.u32()?),
+                    opened_us: d.u64()?,
+                    route_hops: d.u64()?,
+                    epoch: d.u64()?,
+                },
+            ))
+        })?,
+        opened: d.u64()?,
+        rides: d.u64()?,
+    };
+    Ok(BrokerState { cfg, counters, cache, channels })
+}
+
+// ---------------------------------------------------------------------
+// Driver checkpoint
+// ---------------------------------------------------------------------
+
+fn query_stats(e: &mut Enc, s: &QueryStats) {
+    metrics(e, &s.traffic);
+    e.opt(s.sim.as_ref(), sim_latency);
+    e.usize(s.probes);
+    e.usize(s.candidates);
+    e.u64(s.edit_comparisons);
+    e.usize(s.matches);
+    e.usize(s.rounds);
+    e.u64(s.cache_hits);
+    e.u64(s.cache_misses);
+    e.u64(s.probes_coalesced);
+    e.usize(s.join_window_peak);
+    e.u64(s.join_window_shrinks);
+}
+
+fn de_query_stats(d: &mut Dec<'_>) -> R<QueryStats> {
+    Ok(QueryStats {
+        traffic: de_metrics(d)?,
+        sim: d.opt(de_sim_latency)?,
+        probes: d.usize()?,
+        candidates: d.usize()?,
+        edit_comparisons: d.u64()?,
+        matches: d.usize()?,
+        rounds: d.usize()?,
+        cache_hits: d.u64()?,
+        cache_misses: d.u64()?,
+        probes_coalesced: d.u64()?,
+        join_window_peak: d.usize()?,
+        join_window_shrinks: d.u64()?,
+    })
+}
+
+fn hist(e: &mut Enc, h: &HistParts) {
+    let (count, sum, min, max, buckets) = h;
+    e.u64(*count);
+    e.u64(*sum);
+    e.u64(*min);
+    e.u64(*max);
+    e.seq(buckets, |e, (b, n)| {
+        e.u32(*b);
+        e.u64(*n);
+    });
+}
+
+fn de_hist(d: &mut Dec<'_>) -> R<HistParts> {
+    Ok((d.u64()?, d.u64()?, d.u64()?, d.u64()?, d.seq(|d| Ok((d.u32()?, d.u64()?)))?))
+}
+
+fn netsim_state(e: &mut Enc, s: &NetSimState) {
+    rng_words(e, &s.rng);
+    e.u64(s.frontier_us);
+    e.u64(s.clock_us);
+    e.seq(&s.busy_until_us, |e, v| e.u64(*v));
+    for v in s.blame {
+        e.u64(v);
+    }
+    sim_latency(e, &s.totals);
+}
+
+fn de_netsim_state(d: &mut Dec<'_>) -> R<NetSimState> {
+    Ok(NetSimState {
+        rng: de_rng_words(d)?,
+        frontier_us: d.u64()?,
+        clock_us: d.u64()?,
+        busy_until_us: d.seq(|d| d.u64())?,
+        blame: [d.u64()?, d.u64()?, d.u64()?, d.u64()?],
+        totals: de_sim_latency(d)?,
+    })
+}
+
+pub fn driver_checkpoint(e: &mut Enc, c: &DriverCheckpoint) {
+    let q = &c.queue;
+    e.u32(q.lanes);
+    e.u64(q.seq);
+    e.u64(q.now_us);
+    e.seq(&q.entries, |e, (at, seq, lane, ev)| {
+        e.u64(*at);
+        e.u64(*seq);
+        e.u32(*lane);
+        match ev {
+            EvSnap::Arrive { client } => {
+                e.u8(0);
+                e.u32(*client);
+            }
+            EvSnap::Churn { idx } => {
+                e.u8(1);
+                e.u32(*idx);
+            }
+        }
+    });
+    e.seq(&c.issued, |e, v| e.u64(*v));
+    e.opt(c.initiators.as_ref(), |e, ps| e.seq(ps, |e, p| e.u32(p.0)));
+    e.seq(&c.client_rngs, rng_words);
+    e.seq(&c.by_operator, |e, (label, h, s)| {
+        e.str(label);
+        hist(e, h);
+        query_stats(e, s);
+    });
+    hist(e, &c.all_latencies);
+    query_stats(e, &c.total);
+    e.u64(c.queries_run);
+    e.u64(c.first_start);
+    e.u64(c.last_end);
+    netsim_state(e, &c.netsim);
+}
+
+pub fn de_driver_checkpoint(d: &mut Dec<'_>) -> R<DriverCheckpoint> {
+    let lanes = d.u32()?;
+    let seq = d.u64()?;
+    let now_us = d.u64()?;
+    let entries = d.seq(|d| {
+        Ok((
+            d.u64()?,
+            d.u64()?,
+            d.u32()?,
+            match d.u8()? {
+                0 => EvSnap::Arrive { client: d.u32()? },
+                1 => EvSnap::Churn { idx: d.u32()? },
+                _ => return Err(SnapError::Corrupt("event tag out of range")),
+            },
+        ))
+    })?;
+    Ok(DriverCheckpoint {
+        queue: QueueState { lanes, seq, now_us, entries },
+        issued: d.seq(|d| d.u64())?,
+        initiators: d.opt(|d| d.seq(|d| Ok(PeerId(d.u32()?))))?,
+        client_rngs: d.seq(|d| de_rng_words(d))?,
+        by_operator: d.seq(|d| Ok((d.string()?, de_hist(d)?, de_query_stats(d)?)))?,
+        all_latencies: de_hist(d)?,
+        total: de_query_stats(d)?,
+        queries_run: d.u64()?,
+        first_start: d.u64()?,
+        last_end: d.u64()?,
+        netsim: de_netsim_state(d)?,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Scale checkpoint
+// ---------------------------------------------------------------------
+
+pub fn scale_checkpoint(e: &mut Enc, c: &ScaleCheckpoint) {
+    e.u64(c.stop_us);
+    e.seq(&c.pending, |e, ev| {
+        e.u64(ev.at_us);
+        e.u32(ev.qid);
+        e.u32(ev.step);
+        e.u32(ev.peer);
+        e.u8(ev.kind);
+        e.u32(ev.of);
+    });
+    e.seq(&c.busy, |e, v| e.u64(*v));
+    e.seq(&c.qstate, |e, (expected, got, done)| {
+        e.u32(*expected);
+        e.u32(*got);
+        e.u64(*done);
+    });
+    e.u64(c.events);
+}
+
+pub fn de_scale_checkpoint(d: &mut Dec<'_>) -> R<ScaleCheckpoint> {
+    Ok(ScaleCheckpoint {
+        stop_us: d.u64()?,
+        pending: d.seq(|d| {
+            Ok(ScaleEv {
+                at_us: d.u64()?,
+                qid: d.u32()?,
+                step: d.u32()?,
+                peer: d.u32()?,
+                kind: d.u8()?,
+                of: d.u32()?,
+            })
+        })?,
+        busy: d.seq(|d| d.u64())?,
+        qstate: d.seq(|d| Ok((d.u32()?, d.u32()?, d.u64()?)))?,
+        events: d.u64()?,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Publish stats
+// ---------------------------------------------------------------------
+
+pub fn publish_stats(e: &mut Enc, s: &sqo_storage::PublishStats) {
+    e.usize(s.rows);
+    e.usize(s.triples);
+    e.usize(s.base_postings);
+    e.usize(s.instance_gram_postings);
+    e.usize(s.schema_gram_postings);
+    e.usize(s.short_postings);
+    e.u64(s.total_bytes);
+}
+
+pub fn de_publish_stats(d: &mut Dec<'_>) -> R<sqo_storage::PublishStats> {
+    Ok(sqo_storage::PublishStats {
+        rows: d.usize()?,
+        triples: d.usize()?,
+        base_postings: d.usize()?,
+        instance_gram_postings: d.usize()?,
+        schema_gram_postings: d.usize()?,
+        short_postings: d.usize()?,
+        total_bytes: d.u64()?,
+    })
+}

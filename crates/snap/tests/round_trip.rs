@@ -1,0 +1,213 @@
+//! The correctness bar of `sqo-snap`: checkpoint → serialize → restore →
+//! run-to-end must be **byte-identical** to the run that never stopped —
+//! across operators, cache on/off, and queue shard counts — and forks of
+//! one warm world must be mutually byte-identical.
+
+use sqo_cache::BrokerConfig;
+use sqo_core::{EngineBuilder, SimilarityEngine};
+use sqo_datasets::{bible_words, string_rows};
+use sqo_sim::scale::{resume_serial, resume_sharded, run_serial, run_serial_until, ScalePhase};
+use sqo_sim::{
+    resume_driver, run_driver, run_driver_until, seed, Arrival, ChurnEvent, DriverConfig,
+    DriverPhase, DriverReport, LatencyModel, ScaleConfig, SimConfig, Topology,
+};
+use sqo_snap::{SnapError, Snapshot, SCHEMA_VERSION};
+
+fn words() -> Vec<String> {
+    bible_words(260, 7)
+}
+
+fn build(words: &[String]) -> SimilarityEngine {
+    let rows = string_rows("word", words, "w");
+    EngineBuilder::new().peers(64).q(2).seed(3).build_with_rows(&rows)
+}
+
+fn workload(cache: BrokerConfig, shards: usize) -> DriverConfig {
+    DriverConfig {
+        clients: 4,
+        queries_per_client: 3,
+        // Sparse arrivals (gaps ≫ even the slowest simjoin's ~136ms): the
+        // system drains between queries, so quiesce boundaries — the only
+        // points the driver can pause at — exist throughout the run, not
+        // just at the end. Virtual time is free.
+        arrival: Arrival::Poisson { mean_interarrival_us: 500_000 },
+        sim: SimConfig {
+            latency: LatencyModel::Uniform { min_us: 500, max_us: 2_000 },
+            ..SimConfig::default()
+        },
+        // One mid-workload churn wave (epochs and dead peers must survive
+        // the round trip) plus a far-future one: the latter keeps the
+        // queue non-empty until every query has completed, so a quiesce
+        // boundary at `stop_us` is guaranteed to exist.
+        churn: vec![
+            ChurnEvent { at_us: 150_000, fail_fraction: 0.05 },
+            ChurnEvent { at_us: 10_000_000, fail_fraction: 0.01 },
+        ],
+        cache,
+        sticky_initiators: true,
+        shards,
+        seed: 7,
+        ..DriverConfig::default()
+    }
+}
+
+fn json(r: &DriverReport) -> String {
+    serde_json::to_string(r).expect("report serializes")
+}
+
+/// The tentpole pin: pause at a quiesce boundary, freeze the whole world
+/// to bytes, thaw in a fresh engine, resume — the final report matches
+/// the uninterrupted run byte for byte. Pinned across the cache axis and
+/// every queue shard count (the default mix already spans `similar`,
+/// `topn`, and `simjoin`).
+#[test]
+fn paused_run_resumes_to_a_byte_identical_report() {
+    let words = words();
+    for cache in [BrokerConfig::default(), BrokerConfig::enabled()] {
+        for shards in [1usize, 2, 8] {
+            let cfg = workload(cache, shards);
+
+            let mut uninterrupted = build(&words);
+            let report = run_driver(&mut uninterrupted, "word", &words, &cfg);
+            // Cut a third of the way into the measured span: with sparse
+            // arrivals the driver quiesces between queries, so a boundary
+            // at/after any mid-run instant exists.
+            let stop = report.virtual_span_us / 3;
+            let baseline = json(&report);
+
+            let mut paused = build(&words);
+            let ckpt = match run_driver_until(&mut paused, "word", &words, &cfg, stop) {
+                DriverPhase::Paused(ck) => ck,
+                DriverPhase::Done(_) => panic!("a cut at span/3 must land mid-run"),
+            };
+            assert!(ckpt.queries_run < 12, "the pause split the workload");
+            assert!(ckpt.queries_run > 0, "some queries completed before the cut");
+
+            let bytes = Snapshot::capture_paused(&paused, ckpt).to_bytes();
+            let snap = Snapshot::from_bytes(&bytes).expect("artifact decodes");
+            let mut thawed = snap.restore_engine(paused.config());
+            let resumed = resume_driver(
+                &mut thawed,
+                "word",
+                &words,
+                &cfg,
+                snap.driver.clone().expect("driver image rides along"),
+            );
+            assert_eq!(
+                json(&resumed),
+                baseline,
+                "cache={:?} shards={shards}: resume diverged from the uninterrupted run",
+                cache.any_enabled()
+            );
+        }
+    }
+}
+
+/// Warm one world, fork N runs off it: same-config forks are mutually
+/// byte-identical, and forks re-seeded via the documented
+/// `seed::derive(seed, FORK_STREAM, i)` rule actually diverge.
+#[test]
+fn forks_of_one_warm_world_are_mutually_byte_identical() {
+    let words = words();
+    let mut template = build(&words);
+    // Warm it: a completed run advances the network RNG, counters, and
+    // leaves a populated broker installed.
+    let warm_cfg = workload(BrokerConfig::enabled(), 1);
+    run_driver(&mut template, "word", &words, &warm_cfg);
+
+    let bytes = Snapshot::capture(&template).to_bytes();
+    let snap = Snapshot::from_bytes(&bytes).expect("artifact decodes");
+    assert!(snap.world.broker.is_some(), "the warm broker is part of the world");
+
+    let cfg = workload(BrokerConfig::enabled(), 2);
+    let reports: Vec<String> = snap
+        .fork(template.config(), 3)
+        .iter_mut()
+        .map(|engine| json(&run_driver(engine, "word", &words, &cfg)))
+        .collect();
+    assert_eq!(reports[0], reports[1], "same-config forks must agree");
+    assert_eq!(reports[1], reports[2], "same-config forks must agree");
+
+    let mut diverged = snap.restore_engine(template.config());
+    let diverged_cfg = DriverConfig { seed: seed::derive(cfg.seed, seed::FORK_STREAM, 1), ..cfg };
+    let other = json(&run_driver(&mut diverged, "word", &words, &diverged_cfg));
+    assert_ne!(other, reports[0], "a re-seeded fork explores a different trajectory");
+}
+
+/// The scale core's image rides the same artifact: a paused serial run
+/// resumes — serial, sharded, or threaded — onto the exact outcome of
+/// the uninterrupted run, with the topology re-derived from the restored
+/// world.
+#[test]
+fn scale_checkpoint_rides_the_artifact_and_resumes_exactly() {
+    let words = words();
+    let engine = build(&words);
+    let topo = Topology::of_network(engine.network());
+    let cfg = ScaleConfig { queries: 48, arrival_spread_us: 4_000, ..Default::default() };
+    let (full, _) = run_serial(&topo, &cfg);
+
+    let ckpt = match run_serial_until(&topo, &cfg, 2_000) {
+        ScalePhase::Paused(ck) => ck,
+        ScalePhase::Done(..) => panic!("a 2ms cut must land mid-run"),
+    };
+    let bytes = Snapshot::capture(&engine).with_scale(ckpt).to_bytes();
+    let snap = Snapshot::from_bytes(&bytes).expect("artifact decodes");
+    let ckpt = snap.scale.as_ref().expect("scale image rides along");
+
+    let thawed = snap.restore_engine(engine.config());
+    let topo2 = Topology::of_network(thawed.network());
+    let (serial, _) = resume_serial(&topo2, &cfg, ckpt);
+    assert_eq!(serial, full, "serial resume diverged");
+    let sharded_cfg = ScaleConfig { shards: 2, threads: true, ..cfg };
+    let (sharded, _) = resume_sharded(&topo2, &sharded_cfg, ckpt);
+    assert_eq!(sharded, full, "threaded sharded resume diverged");
+}
+
+/// The artifact is a fixed point of decode→encode, and the envelope
+/// refuses foreign or damaged input without panicking.
+#[test]
+fn envelope_is_versioned_and_decode_is_total() {
+    let words = words();
+    let engine = build(&words);
+    let bytes = Snapshot::capture(&engine).to_bytes();
+
+    let reencoded = Snapshot::from_bytes(&bytes).expect("decodes").to_bytes();
+    assert_eq!(reencoded, bytes, "decode→encode is a fixed point");
+
+    assert_eq!(Snapshot::from_bytes(b"").unwrap_err(), SnapError::BadMagic);
+    assert_eq!(Snapshot::from_bytes(b"not a snapshot").unwrap_err(), SnapError::BadMagic);
+    assert_eq!(SnapError::BadMagic.exit_code(), 3);
+
+    let mut skewed = bytes.clone();
+    skewed[4..8].copy_from_slice(&(SCHEMA_VERSION + 1).to_le_bytes());
+    let err = Snapshot::from_bytes(&skewed).unwrap_err();
+    assert_eq!(
+        err,
+        SnapError::SchemaMismatch { found: SCHEMA_VERSION + 1, expected: SCHEMA_VERSION }
+    );
+    assert_eq!(err.exit_code(), 3, "parity with the bench regress gate's EXIT_MISMATCH");
+
+    // Truncations and trailing garbage fail with an error, never a panic.
+    for cut in [bytes.len() / 2, bytes.len() - 3] {
+        assert!(Snapshot::from_bytes(&bytes[..cut]).is_err(), "cut at {cut} must fail");
+    }
+    let mut trailing = bytes.clone();
+    trailing.push(0);
+    assert!(matches!(trailing, ref b if Snapshot::from_bytes(b).is_err()));
+}
+
+/// A restored world continues the original's RNG stream and counters: the
+/// next queries on both engines are identical, which is what makes warm
+/// templates equivalent to cold rebuilds.
+#[test]
+fn restored_world_continues_the_original_stream() {
+    let words = words();
+    let mut a = build(&words);
+    let snap = Snapshot::capture(&a);
+    let mut b = snap.restore_engine(a.config());
+
+    let cfg = workload(BrokerConfig::default(), 1);
+    let ra = json(&run_driver(&mut a, "word", &words, &cfg));
+    let rb = json(&run_driver(&mut b, "word", &words, &cfg));
+    assert_eq!(ra, rb, "capture is an observationally silent operation");
+}

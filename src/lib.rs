@@ -25,7 +25,11 @@
 //!   unified metrics registry,
 //! * [`sim`] — the discrete-event network simulator: virtual time, latency
 //!   models, loss/retry, and concurrent-query workload driving with
-//!   per-operator latency percentiles.
+//!   per-operator latency percentiles,
+//! * [`snap`] — checkpoint, fork, and deterministic replay: freeze the full
+//!   simulation world (overlay, virtual time, driver queue, caches, scale
+//!   core) into a versioned binary artifact, thaw it byte-identically, or
+//!   branch N runs off one warm checkpoint.
 //!
 //! ## Quickstart
 //!
@@ -51,6 +55,7 @@ pub use sqo_obs as obs;
 pub use sqo_overlay as overlay;
 pub use sqo_plan as plan;
 pub use sqo_sim as sim;
+pub use sqo_snap as snap;
 pub use sqo_storage as storage;
 pub use sqo_strsim as strsim;
 pub use sqo_vql as vql;
