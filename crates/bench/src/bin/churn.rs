@@ -1,0 +1,75 @@
+//! CLI wrapper for the replication-payoff churn study.
+//!
+//! ```text
+//! churn [--smoke] [--out PATH]
+//! ```
+//!
+//! Writes the artifact envelope (`schema_version`, `generated` metadata,
+//! one point per crash level × repair mode) to `PATH` (default
+//! `BENCH_churn.json`) and prints a table to stdout. The committed
+//! `BENCH_churn.json` at the repository root is the default-configuration
+//! baseline: `tests/bench_churn.rs` pins the repair payoff it shows and
+//! the regression gate (`regress`) diffs fresh runs against it.
+
+use sqo_bench::churn::{render, run_churn_bench, ChurnBenchConfig, ChurnPoint};
+use sqo_bench::meta::{GenMeta, SCHEMA_VERSION};
+
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct ChurnArtifact {
+    schema_version: u32,
+    generated: GenMeta,
+    churn_grid: Vec<ChurnPoint>,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: churn [--smoke] [--out PATH]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ChurnBenchConfig::default();
+    let mut out = String::from("BENCH_churn.json");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => cfg = ChurnBenchConfig::smoke(),
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(path) => out = path.clone(),
+                    None => {
+                        eprintln!("--out needs a path");
+                        usage();
+                    }
+                }
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+
+    let points = run_churn_bench(&cfg);
+    print!("{}", render(&points));
+
+    let total_queries = cfg.crash_permilles.len() * 2 * cfg.clients * cfg.queries_per_client;
+    let generated = GenMeta::new(cfg.seed, cfg.peers, total_queries)
+        .workload("words", cfg.words as u64)
+        .workload("replication", cfg.replication as u64)
+        .workload("clients", cfg.clients as u64)
+        .workload("queries_per_client", cfg.queries_per_client as u64)
+        .workload("crash_levels", cfg.crash_permilles.len() as u64)
+        .workload("period_us", cfg.period_us)
+        .workload("horizon_us", cfg.horizon_us)
+        .workload("min_alive", cfg.min_alive as u64);
+    let n_points = points.len();
+    let artifact = ChurnArtifact { schema_version: SCHEMA_VERSION, generated, churn_grid: points };
+    std::fs::write(&out, serde_json::to_string_pretty(&artifact).expect("serialize"))
+        .expect("write output");
+    eprintln!("wrote {n_points} points to {out}");
+}

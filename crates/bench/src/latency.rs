@@ -286,6 +286,8 @@ pub fn run_latency_sweep(cfg: &LatencyBenchConfig) -> LatencySweep {
                     strategy: cfg.strategy,
                     sim: SimConfig { latency: *model, ..SimConfig::default() },
                     churn: Vec::new(),
+                    faults: sqo_sim::FaultPlan::default(),
+                    repair: None,
                     cache: combo.cache,
                     zipf_s: cfg.zipf_s,
                     sticky_initiators: cfg.sticky_initiators,

@@ -11,6 +11,7 @@
 //! reproduced here; see DESIGN.md §4 for the experiment index.
 
 pub mod ablation;
+pub mod churn;
 pub mod figure1;
 pub mod latency;
 pub mod meta;
@@ -19,5 +20,6 @@ pub mod routing;
 pub mod simscale;
 pub mod storage_overhead;
 
+pub use churn::{run_churn_bench, ChurnBenchConfig, ChurnPoint};
 pub use figure1::{run_figure1, Dataset, Figure1Config, SeriesPoint};
 pub use latency::{run_latency_bench, LatencyBenchConfig, LatencyPoint};

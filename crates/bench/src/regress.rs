@@ -17,6 +17,12 @@
 //!   [`GateConfig::rel_rss`]; wall-clock throughput (`events_per_sec`,
 //!   `speedup_vs_serial`) is **report-only** — CI boxes are too noisy to
 //!   gate on.
+//! * **churn** (`{schema_version, generated, churn_grid: [...]}`) — the
+//!   replication-payoff study, keyed on `(churn_permille, repair, model)`;
+//!   `late_p50_us` / `late_p99_us` regress like latency points, and
+//!   `late_completeness_milli` regresses when it *drops* below the
+//!   baseline at all (completeness under a deterministic fault plan is
+//!   exact — any decay is a robustness regression, not noise).
 //!
 //! Before any diff the gate checks `schema_version` and the `generated`
 //! block: a different schema, seed or workload size is not a regression
@@ -213,6 +219,50 @@ fn gate_latency(base: &Json, cur: &Json, cfg: &GateConfig, rep: &mut GateReport)
     }
 }
 
+/// `(churn_permille, repair, model)` — the churn grid's point identity.
+fn churn_key(p: &Json) -> String {
+    format!(
+        "{}permille/repair={}/{}",
+        u64_of(p, "churn_permille"),
+        str_of(p, "repair"),
+        str_of(p, "model"),
+    )
+}
+
+fn gate_churn(base: &Json, cur: &Json, cfg: &GateConfig, rep: &mut GateReport) {
+    let empty: Vec<Json> = Vec::new();
+    let base_pts = base.get("churn_grid").and_then(Json::as_array).unwrap_or(&empty);
+    let cur_pts = cur.get("churn_grid").and_then(Json::as_array).unwrap_or(&empty);
+    let cur_by_key: std::collections::BTreeMap<String, &Json> =
+        cur_pts.iter().map(|p| (churn_key(p), p)).collect();
+    for bp in base_pts {
+        let key = churn_key(bp);
+        let Some(cp) = cur_by_key.get(&key) else {
+            rep.regressions.push(format!("{key}: point missing from current sweep"));
+            continue;
+        };
+        for metric in ["late_p50_us", "late_p99_us"] {
+            rep.checked += 1;
+            let (b, c) = (u64_of(bp, metric), u64_of(cp, metric));
+            let limit = (b as f64 * (1.0 + cfg.rel_latency)) + cfg.abs_floor_us as f64;
+            if c as f64 > limit {
+                rep.regressions.push(format!(
+                    "{key}: {metric} {b} -> {c} (+{:.1}%, limit {:.0})",
+                    (c as f64 / b.max(1) as f64 - 1.0) * 100.0,
+                    limit
+                ));
+            }
+        }
+        // Completeness is deterministic under the scripted fault plan:
+        // gate exactly, no noise headroom.
+        rep.checked += 1;
+        let (b, c) = (u64_of(bp, "late_completeness_milli"), u64_of(cp, "late_completeness_milli"));
+        if c < b {
+            rep.regressions.push(format!("{key}: late_completeness_milli {b} -> {c}"));
+        }
+    }
+}
+
 fn gate_simscale(base: &Json, cur: &Json, cfg: &GateConfig, rep: &mut GateReport) {
     rep.checked += 1;
     if cur.get("deterministic").and_then(Json::as_bool) != Some(true) {
@@ -255,6 +305,8 @@ pub fn compare_artifacts(base: &Json, cur: &Json, cfg: &GateConfig) -> GateRepor
     let kind_of = |j: &Json| {
         if j.get("points").is_some() {
             "latency"
+        } else if j.get("churn_grid").is_some() {
+            "churn"
         } else if j.get("scale").is_some() || j.get("builds").is_some() {
             "simscale"
         } else {
@@ -273,15 +325,16 @@ pub fn compare_artifacts(base: &Json, cur: &Json, cfg: &GateConfig) -> GateRepor
     }
     match bk {
         "latency" => gate_latency(base, cur, cfg, &mut rep),
+        "churn" => gate_churn(base, cur, cfg, &mut rep),
         _ => gate_simscale(base, cur, cfg, &mut rep),
     }
     rep
 }
 
 /// Return a copy of a latency artifact with every point's `p99_us`
-/// inflated by `factor` — the self-test's synthetic regression. For a
-/// simscale artifact the largest build's `rss_per_peer_bytes` is inflated
-/// instead.
+/// inflated by `factor` — the self-test's synthetic regression. A churn
+/// artifact gets `late_p99_us` inflated, a simscale artifact the largest
+/// build's `rss_per_peer_bytes`.
 pub fn inject_regression(artifact: &Json, factor: f64) -> Json {
     let mut j = artifact.clone();
     let scale_num = |v: &mut Json| {
@@ -294,6 +347,15 @@ pub fn inject_regression(artifact: &Json, factor: f64) -> Json {
             for p in points {
                 if let Json::Obj(po) = p {
                     if let Some(v) = po.get_mut("p99_us") {
+                        scale_num(v);
+                    }
+                }
+            }
+        }
+        if let Some(Json::Arr(points)) = o.get_mut("churn_grid") {
+            for p in points {
+                if let Json::Obj(po) = p {
+                    if let Some(v) = po.get_mut("late_p99_us") {
                         scale_num(v);
                     }
                 }
@@ -442,5 +504,66 @@ mod tests {
     fn selftest_passes_on_a_healthy_artifact() {
         let a = latency_artifact();
         assert!(selftest(&a, &GateConfig::default()).is_empty());
+    }
+
+    fn churn_artifact() -> Json {
+        parse_json(
+            r#"{
+              "schema_version": 1,
+              "generated": {"seed": 73, "peers": 128, "queries": 384,
+                            "toolchain": "rustc 1.0", "workload": {"min_alive": 2}},
+              "churn_grid": [
+                {"churn_permille": 0, "repair": "off", "model": "uniform",
+                 "late_p50_us": 33000, "late_p99_us": 180000,
+                 "late_completeness_milli": 1000},
+                {"churn_permille": 80, "repair": "on", "model": "uniform",
+                 "late_p50_us": 34000, "late_p99_us": 175000,
+                 "late_completeness_milli": 1000}
+              ]
+            }"#,
+        )
+        .expect("valid artifact")
+    }
+
+    #[test]
+    fn churn_artifact_passes_against_itself_and_fails_injected() {
+        let a = churn_artifact();
+        let rep = compare_artifacts(&a, &a, &GateConfig::default());
+        assert!(rep.ok(), "{}", rep.render());
+        assert_eq!(rep.kind, "churn");
+        assert_eq!(rep.checked, 6);
+        let hurt = inject_regression(&a, 1.10);
+        let rep = compare_artifacts(&a, &hurt, &GateConfig::default());
+        assert_eq!(rep.exit_code(), EXIT_REGRESSION, "{}", rep.render());
+        assert!(rep.regressions.iter().all(|r| r.contains("late_p99_us")), "{:?}", rep.regressions);
+    }
+
+    #[test]
+    fn any_completeness_decay_is_a_churn_regression() {
+        let a = churn_artifact();
+        // One permille of lost answers: under the absolute-exactness rule
+        // for deterministic completeness this must fail, even though the
+        // same relative drift on a latency metric would pass.
+        let mut hurt = a.clone();
+        if let Json::Obj(o) = &mut hurt {
+            if let Some(Json::Arr(p)) = o.get_mut("churn_grid") {
+                if let Json::Obj(po) = &mut p[1] {
+                    po.insert("late_completeness_milli".into(), Json::Num(999.0));
+                }
+            }
+        }
+        let rep = compare_artifacts(&a, &hurt, &GateConfig::default());
+        assert_eq!(rep.exit_code(), EXIT_REGRESSION, "{}", rep.render());
+        assert!(
+            rep.regressions.iter().all(|r| r.contains("late_completeness_milli")),
+            "{:?}",
+            rep.regressions
+        );
+    }
+
+    #[test]
+    fn churn_and_latency_kinds_do_not_mix() {
+        let rep = compare_artifacts(&churn_artifact(), &latency_artifact(), &GateConfig::default());
+        assert_eq!(rep.exit_code(), EXIT_MISMATCH, "{}", rep.render());
     }
 }

@@ -48,6 +48,11 @@ pub struct QueryDefaults {
     /// batching (`sqo-cache`). Both default to off, which keeps the engine
     /// byte-identical to the broker-less pipeline.
     pub cache: BrokerConfig,
+    /// Graceful-degradation policy under churn: per-leg route retries
+    /// against alternate replicas, and a per-query virtual-time deadline.
+    /// The default (no retries, no deadline) keeps the engine
+    /// byte-identical to the pre-degradation pipeline.
+    pub degrade: DegradePolicy,
 }
 
 impl Default for QueryDefaults {
@@ -60,7 +65,38 @@ impl Default for QueryDefaults {
             join_left_limit: None,
             cost_rewrites: true,
             cache: BrokerConfig::default(),
+            degrade: DegradePolicy::default(),
         }
+    }
+}
+
+/// How queries degrade instead of failing when the overlay is churning.
+///
+/// Retries re-attempt a failed remote leg (routing draws fresh replica
+/// choices, so a retry genuinely tries alternate alive replicas), each
+/// preceded by a linear virtual-time backoff charged as stall on the
+/// query's critical path. The deadline caps a similarity query's fan-out:
+/// once virtual time passes `arrival + deadline_us`, remaining branches
+/// are dropped, the answer is returned partial, and the query is marked
+/// `gave_up` (see [`QueryStats::completeness`]).
+///
+/// The all-zero default is behavior-neutral: no extra route attempts, no
+/// RNG draws, no deadline — required for zero-fault byte-equivalence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DegradePolicy {
+    /// Extra attempts per failed remote leg (0 disables retries).
+    pub retries: u32,
+    /// Backoff before the `i`-th retry: `i * backoff_us` of virtual time,
+    /// charged as stall inside the query's step window.
+    pub backoff_us: u64,
+    /// Per-query deadline in virtual µs (None: run to completion).
+    pub deadline_us: Option<u64>,
+}
+
+impl DegradePolicy {
+    /// True when any degradation mechanism is active.
+    pub fn is_active(&self) -> bool {
+        self.retries > 0 || self.deadline_us.is_some()
     }
 }
 
@@ -187,6 +223,12 @@ impl EngineBuilder {
         self
     }
 
+    /// Graceful-degradation policy (leg retries + query deadline).
+    pub fn degrade(mut self, d: DegradePolicy) -> Self {
+        self.cfg.query.degrade = d;
+        self
+    }
+
     /// Build the network and publish `rows` into it.
     pub fn build_with_rows(self, rows: &[Row]) -> SimilarityEngine {
         let (postings, publish_stats) = postings_for_rows(rows, &self.cfg.publish);
@@ -195,7 +237,16 @@ impl EngineBuilder {
             self.cfg.query.cache.any_enabled().then(|| {
                 Box::new(CacheBatchBroker::new(self.cfg.query.cache)) as Box<dyn ProbeBroker>
             });
-        SimilarityEngine { net, cfg: self.cfg, publish_stats, edit_comparisons: 0, broker }
+        SimilarityEngine {
+            net,
+            cfg: self.cfg,
+            publish_stats,
+            edit_comparisons: 0,
+            broker,
+            legs_addressed: 0,
+            legs_answered: 0,
+            leg_retries: 0,
+        }
     }
 }
 
@@ -211,6 +262,13 @@ pub struct SimilarityEngine {
     /// Hot-path services (posting cache + probe batcher); `None` keeps the
     /// probe pipeline on the broker-less delegated path.
     broker: Option<Box<dyn ProbeBroker>>,
+    /// Monotone remote-leg counters backing the degraded-answer signal
+    /// ([`QueryStats::completeness`]): legs addressed, legs that answered,
+    /// and retries spent. Snapshotted/delta'd per stats window exactly
+    /// like `edit_comparisons`.
+    pub(crate) legs_addressed: u64,
+    pub(crate) legs_answered: u64,
+    pub(crate) leg_retries: u64,
 }
 
 /// Counter snapshot opening a stats window (see
@@ -218,6 +276,9 @@ pub struct SimilarityEngine {
 pub(crate) struct StatsSnap {
     traffic: Metrics,
     comparisons: u64,
+    legs_addressed: u64,
+    legs_answered: u64,
+    leg_retries: u64,
 }
 
 /// How a [`CardEstimate`] was obtained, from most to least reliable.
@@ -295,8 +356,18 @@ impl SimilarityEngine {
     }
 
     /// A random alive peer, for choosing workload initiators.
+    ///
+    /// # Panics
+    /// Panics when every peer is dead; drivers that must survive total
+    /// extinction use [`Self::try_random_peer`].
     pub fn random_peer(&mut self) -> PeerId {
         self.net.random_peer()
+    }
+
+    /// A random alive peer, or `None` when every peer is dead (same RNG
+    /// draws as [`Self::random_peer`]).
+    pub fn try_random_peer(&mut self) -> Option<PeerId> {
+        self.net.random_alive_peer()
     }
 
     /// Install (or replace) the hot-path probe broker. Workload drivers use
@@ -363,7 +434,18 @@ impl SimilarityEngine {
     ) -> Self {
         let broker: Option<Box<dyn ProbeBroker>> =
             broker.map(|s| Box::new(CacheBatchBroker::from_state(s)) as Box<dyn ProbeBroker>);
-        SimilarityEngine { net, cfg, publish_stats, edit_comparisons, broker }
+        // Leg counters restart at zero: stats windows only ever read
+        // deltas, and checkpoints cut at quiesce (no open windows).
+        SimilarityEngine {
+            net,
+            cfg,
+            publish_stats,
+            edit_comparisons,
+            broker,
+            legs_addressed: 0,
+            legs_answered: 0,
+            leg_retries: 0,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -508,7 +590,13 @@ impl SimilarityEngine {
     /// charges fold into the enclosing one.
     pub(crate) fn begin_query(&mut self) -> StatsSnap {
         self.net.sim_begin_query();
-        StatsSnap { traffic: self.traffic_snapshot(), comparisons: self.edit_comparisons }
+        StatsSnap {
+            traffic: self.traffic_snapshot(),
+            comparisons: self.edit_comparisons,
+            legs_addressed: self.legs_addressed,
+            legs_answered: self.legs_answered,
+            leg_retries: self.leg_retries,
+        }
     }
 
     pub(crate) fn finish_query(&mut self, snap: &StatsSnap) -> QueryStats {
@@ -516,6 +604,9 @@ impl SimilarityEngine {
             traffic: self.net.metrics().delta(&snap.traffic),
             sim: self.net.sim_end_query(),
             edit_comparisons: self.edit_comparisons - snap.comparisons,
+            partitions_addressed: self.legs_addressed - snap.legs_addressed,
+            partitions_answered: self.legs_answered - snap.legs_answered,
+            retries: self.leg_retries - snap.leg_retries,
             ..Default::default()
         }
     }
@@ -523,6 +614,42 @@ impl SimilarityEngine {
     /// Count one edit-distance verification.
     pub(crate) fn count_comparison(&mut self) {
         self.edit_comparisons += 1;
+    }
+
+    /// Run a remote leg with the configured degradation policy: on a
+    /// transient routing failure, re-attempt up to `retries` times, each
+    /// preceded by a linear virtual-time backoff (charged as stall inside
+    /// the open step window). A dead initiator is not transient — no
+    /// replica can answer a peer that cannot ask — so it fails fast.
+    /// Routing draws fresh replica choices per attempt, which is what
+    /// makes a retry reach *alternate* alive replicas.
+    pub(crate) fn with_leg_retry<R>(
+        &mut self,
+        mut attempt: impl FnMut(&mut Self) -> Result<R, sqo_overlay::RouteError>,
+    ) -> Result<R, sqo_overlay::RouteError> {
+        use sqo_overlay::RouteError;
+        match attempt(self) {
+            Ok(r) => Ok(r),
+            Err(RouteError::InitiatorDead) => Err(RouteError::InitiatorDead),
+            Err(first) => {
+                let policy = self.cfg.query.degrade;
+                let mut last = first;
+                for i in 1..=policy.retries {
+                    self.leg_retries += 1;
+                    if policy.backoff_us > 0 {
+                        if let Some(now) = self.net.sim_now_us() {
+                            self.net.sim_reset_to_us(now + policy.backoff_us * i as u64);
+                        }
+                    }
+                    match attempt(self) {
+                        Ok(r) => return Ok(r),
+                        Err(RouteError::InitiatorDead) => return Err(RouteError::InitiatorDead),
+                        Err(e) => last = e,
+                    }
+                }
+                Err(last)
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -565,17 +692,32 @@ impl SimilarityEngine {
         if !self.cfg.query.delegation {
             let mut out = Vec::new();
             for k in keys {
-                if let Ok(lists) = self.net.retrieve_lists(from, k) {
-                    for list in lists {
-                        out.extend(list.iter().filter(|p| local_filter(p)).cloned());
+                // `failed0` is re-snapshotted per attempt, so the shower
+                // accounting below reflects only the attempt that answered.
+                let mut failed0 = 0u64;
+                let got = self.with_leg_retry(|e| {
+                    failed0 = e.net.metrics().failed_routes;
+                    e.net.retrieve_lists(from, k)
+                });
+                match got {
+                    Ok(lists) => {
+                        let failed = self.net.metrics().failed_routes - failed0;
+                        self.legs_addressed += lists.len() as u64 + failed;
+                        self.legs_answered += lists.len() as u64;
+                        for list in lists {
+                            out.extend(list.iter().filter(|p| local_filter(p)).cloned());
+                        }
                     }
+                    Err(_) => self.legs_addressed += 1,
                 }
             }
             return out;
         }
-        let Ok(owner) = self.net.route(from, &keys[0]) else {
+        self.legs_addressed += 1;
+        let Ok(owner) = self.with_leg_retry(|e| e.net.route(from, &keys[0])) else {
             return Vec::new();
         };
+        self.legs_answered += 1;
         let mut batch: Vec<Posting> = Vec::new();
         for k in keys {
             batch.extend(
@@ -709,6 +851,8 @@ impl SimilarityEngine {
                 broker.count_messages_saved(c.route_hops.saturating_sub(1));
                 let owner = c.owner;
                 let (lists, end) = self.charged(acc, at_us, |e| {
+                    e.legs_addressed += 1;
+                    e.legs_answered += 1;
                     if owner != from {
                         e.net.send_direct(from, owner, 0);
                     }
@@ -724,14 +868,20 @@ impl SimilarityEngine {
                     // overlay's multi-key retrieve. Without the cache, the
                     // owner filters and only survivors travel (the legacy
                     // delegated payload). A routing failure (churn) yields
-                    // the same empty outcome an unreachable probe produces.
+                    // the same empty outcome an unreachable probe produces
+                    // — after the degradation policy's retries, and counted
+                    // as an addressed-but-unanswered leg.
+                    e.legs_addressed += 1;
                     let got = if cache_on {
-                        e.net.retrieve_multi_lists(from, &missing).ok()
+                        e.with_leg_retry(|e| e.net.retrieve_multi_lists(from, &missing)).ok()
                     } else {
-                        e.net.route(from, &missing[0]).ok().map(|owner| {
+                        e.with_leg_retry(|e| e.net.route(from, &missing[0])).ok().map(|owner| {
                             (owner, Self::scan_and_reply(e, owner, from, &missing, false, filter))
                         })
                     };
+                    if got.is_some() {
+                        e.legs_answered += 1;
+                    }
                     let hops = e.net.metrics().route_hops - hops_before;
                     (got, hops)
                 });
@@ -817,7 +967,14 @@ impl SimilarityEngine {
     ) -> (PostingList<Posting>, u64, u64) {
         let cache_on = self.broker.as_ref().is_some_and(|b| b.cache_enabled());
         if !cache_on {
-            return (self.net.retrieve_list(from, key).unwrap_or_default(), 0, 0);
+            self.legs_addressed += 1;
+            return match self.with_leg_retry(|e| e.net.retrieve_list(from, key)) {
+                Ok(list) => {
+                    self.legs_answered += 1;
+                    (list, 0, 0)
+                }
+                Err(_) => (PostingList::default(), 0, 0),
+            };
         }
         let epoch = self.net.cache_epoch();
         let now_us = self.net.sim_now_us().unwrap_or(0);
@@ -827,9 +984,11 @@ impl SimilarityEngine {
         }
         // A routing failure (churn) is transient — the next draw may pick a
         // live replica — so it must not be negative-cached as an empty list.
-        let Ok(list) = self.net.retrieve_list(from, key) else {
+        self.legs_addressed += 1;
+        let Ok(list) = self.with_leg_retry(|e| e.net.retrieve_list(from, key)) else {
             return (PostingList::default(), 0, 1);
         };
+        self.legs_answered += 1;
         let now_us = self.net.sim_now_us().unwrap_or(0);
         let broker = self.broker.as_mut().expect("cache_on implies a broker");
         broker.cache_put(from, key, Arc::clone(&list), now_us, epoch);
@@ -860,16 +1019,20 @@ impl SimilarityEngine {
         if !self.cfg.query.delegation {
             for oid in oids {
                 let key = sqo_storage::keys::oid_key(oid);
-                if let Ok(postings) = self.net.retrieve_list(from, &key) {
+                self.legs_addressed += 1;
+                if let Ok(postings) = self.with_leg_retry(|e| e.net.retrieve_list(from, &key)) {
+                    self.legs_answered += 1;
                     out.push((oid.clone(), Object::from_postings(oid, &postings)));
                 }
             }
             return out;
         }
         let first_key = sqo_storage::keys::oid_key(&oids[0]);
-        let Ok(owner) = self.net.route(from, &first_key) else {
+        self.legs_addressed += 1;
+        let Ok(owner) = self.with_leg_retry(|e| e.net.route(from, &first_key)) else {
             return out;
         };
+        self.legs_answered += 1;
         let mut payload = 0usize;
         for oid in oids {
             let key = sqo_storage::keys::oid_key(oid);
@@ -909,9 +1072,27 @@ impl SimilarityEngine {
     }
 
     /// Distributed prefix scan (shower fan-out), e.g. "all values of
-    /// attribute A". Thin wrapper over `Network::retrieve`.
+    /// attribute A". Thin wrapper over `Network::retrieve_lists`, with
+    /// per-partition leg accounting: silenced shower siblings surface as
+    /// addressed-but-unanswered legs instead of vanishing.
     pub(crate) fn scan_prefix(&mut self, from: PeerId, prefix: &Key) -> Vec<Posting> {
-        self.net.retrieve(from, prefix).unwrap_or_default()
+        let mut failed0 = 0u64;
+        let got = self.with_leg_retry(|e| {
+            failed0 = e.net.metrics().failed_routes;
+            e.net.retrieve_lists(from, prefix)
+        });
+        match got {
+            Ok(lists) => {
+                let failed = self.net.metrics().failed_routes - failed0;
+                self.legs_addressed += lists.len() as u64 + failed;
+                self.legs_answered += lists.len() as u64;
+                lists.iter().flat_map(|l| l.iter().cloned()).collect()
+            }
+            Err(_) => {
+                self.legs_addressed += 1;
+                Vec::new()
+            }
+        }
     }
 
     /// Direct object lookup by oid (public convenience).
@@ -972,6 +1153,9 @@ impl SimilarityEngine {
         }
         acc.traffic.add(&step.traffic);
         acc.edit_comparisons += step.edit_comparisons;
+        acc.partitions_addressed += step.partitions_addressed;
+        acc.partitions_answered += step.partitions_answered;
+        acc.retries += step.retries;
         if let Some(s) = step.sim {
             match &mut acc.sim {
                 Some(mine) => mine.absorb(&s),
@@ -1099,6 +1283,11 @@ impl<B> FanOut<B> {
     /// Take the next branch to execute, if any remain.
     pub(crate) fn pop(&mut self) -> Option<B> {
         self.queue.pop_front()
+    }
+
+    /// Branches still queued — what a deadline drop forfeits.
+    pub(crate) fn len(&self) -> usize {
+        self.queue.len()
     }
 
     pub(crate) fn record_end(&mut self, end_us: u64) {

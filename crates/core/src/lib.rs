@@ -33,8 +33,8 @@ pub mod topn;
 pub use adaptive::{AimdWindow, JoinWindow};
 pub use broker::{ProbeBroker, ProbeFilter};
 pub use engine::{
-    finalize_stats, CardEstimate, CardSource, EngineBuilder, EngineConfig, ExecStep, QueryDefaults,
-    QueryTask, SimilarityEngine, StepOutcome,
+    finalize_stats, CardEstimate, CardSource, DegradePolicy, EngineBuilder, EngineConfig, ExecStep,
+    QueryDefaults, QueryTask, SimilarityEngine, StepOutcome,
 };
 pub use multi::{AttrPredicate, MultiMatch, MultiResult, MultiStrategy, MultiTask};
 pub use ranking::Rank;

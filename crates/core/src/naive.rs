@@ -43,6 +43,7 @@ impl SimilarityEngine {
         part: usize,
         prefix: &Key,
     ) -> Option<Vec<Candidate>> {
+        self.legs_addressed += 1;
         let responder = if part == entry_part {
             entry
         } else {
@@ -50,6 +51,7 @@ impl SimilarityEngine {
             self.net.forward_to(entry, p);
             p
         };
+        self.legs_answered += 1;
         let postings = self.net.local_prefix_scan(responder, prefix);
         // Local comparison at the data peer.
         let mut local_matches: Vec<Candidate> = Vec::new();

@@ -161,6 +161,12 @@ pub struct SimilarTask {
     candidates: Vec<Candidate>,
     partitions_contacted: usize,
     matches: Vec<SimilarMatch>,
+    /// Virtual-time deadline (`arrival + degrade.deadline_us`), fixed on
+    /// the first step; `None` runs to completion. Once virtual time passes
+    /// it, no new remote legs are issued: queued fan-out branches are
+    /// forfeited, counted as addressed-but-unanswered, and the query
+    /// returns what it has with `gave_up = 1`.
+    deadline_at: Option<u64>,
 }
 
 /// Continuation states of a [`SimilarTask`].
@@ -227,7 +233,21 @@ impl SimilarTask {
             candidates: Vec::new(),
             partitions_contacted: 0,
             matches: Vec::new(),
+            deadline_at: None,
         }
+    }
+
+    /// True once virtual time `at_us` passed the query deadline.
+    fn past_deadline(&self, at_us: u64) -> bool {
+        self.deadline_at.is_some_and(|d| at_us > d)
+    }
+
+    /// Forfeit `n` un-issued remote legs to the deadline: they count as
+    /// addressed (completeness drops accordingly) and the query is marked
+    /// as having given up.
+    fn drop_legs(&mut self, n: usize) {
+        self.stats.partitions_addressed += n as u64;
+        self.stats.gave_up = 1;
     }
 
     /// The verified matches, once the task is done.
@@ -246,6 +266,8 @@ impl SimilarTask {
         loop {
             match std::mem::replace(&mut self.state, SimState::Finished) {
                 SimState::Init => {
+                    self.deadline_at =
+                        engine.config().query.degrade.deadline_us.map(|d| at_us.saturating_add(d));
                     let q = engine.q();
                     self.s_len = self.s.chars().count();
                     // No grams exist for |s| < q: the gram index is blind,
@@ -286,6 +308,11 @@ impl SimilarTask {
                 }
 
                 SimState::Probe { mut fan } => {
+                    if !fan.is_done() && self.past_deadline(fan.fork_us) {
+                        self.drop_legs(fan.len());
+                        self.state = SimState::Aggregate { at_us: fan.max_end_us };
+                        continue;
+                    }
                     let Some((part, branch_keys)) = fan.pop() else {
                         self.state = SimState::Aggregate { at_us: fan.max_end_us };
                         continue;
@@ -326,6 +353,22 @@ impl SimilarTask {
                         self.state = SimState::PlanFetch { at_us: at };
                         continue;
                     }
+                    if self.past_deadline(at) {
+                        // Forfeit every partition the remaining prefixes
+                        // would have showered.
+                        let skipped: usize = prefixes[idx..]
+                            .iter()
+                            .map(|p| {
+                                let (ps, pe) = engine.net.subtree_of(p);
+                                pe - ps
+                            })
+                            .sum();
+                        if skipped > 0 {
+                            self.drop_legs(skipped);
+                            self.state = SimState::PlanFetch { at_us: at };
+                            continue;
+                        }
+                    }
                     let prefix = prefixes[idx].clone();
                     let (ps, pe) = engine.net.subtree_of(&prefix);
                     if ps == pe {
@@ -337,8 +380,9 @@ impl SimilarTask {
                     // initiator is done when the slowest responder replies.
                     let from = self.from;
                     let mut acc = self.stats;
-                    let (routed, end) =
-                        engine.charged(&mut acc, at, |e| e.net.route(from, &prefix).ok());
+                    let (routed, end) = engine.charged(&mut acc, at, |e| {
+                        e.with_leg_retry(|e| e.net.route(from, &prefix)).ok()
+                    });
                     self.stats = acc;
                     match routed {
                         Some(entry) => {
@@ -360,6 +404,12 @@ impl SimilarTask {
                 }
 
                 SimState::NaiveFan { prefixes, idx, prefix, entry, entry_part, mut fan } => {
+                    if !fan.is_done() && self.past_deadline(fan.fork_us) {
+                        self.drop_legs(fan.len());
+                        self.state =
+                            SimState::NaiveRoute { prefixes, idx: idx + 1, at_us: fan.max_end_us };
+                        continue;
+                    }
                     let Some(part) = fan.pop() else {
                         self.state =
                             SimState::NaiveRoute { prefixes, idx: idx + 1, at_us: fan.max_end_us };
@@ -539,6 +589,11 @@ impl SimilarTask {
                 }
 
                 SimState::Fetch { mut fan } => {
+                    if !fan.is_done() && self.past_deadline(fan.fork_us) {
+                        self.drop_legs(fan.len());
+                        self.state = SimState::Verify { at_us: fan.max_end_us };
+                        continue;
+                    }
                     let Some(oids) = fan.pop() else {
                         self.state = SimState::Verify { at_us: fan.max_end_us };
                         continue;
@@ -769,6 +824,72 @@ mod tests {
         let obj = &res.matches[0].object;
         assert_eq!(obj.get("hp"), Some(&Value::from(190)));
         assert_eq!(obj.get("name"), Some(&Value::from("BMW 320d")));
+    }
+
+    #[test]
+    fn dead_partition_degrades_completeness_instead_of_failing() {
+        let rows = word_rows(&[
+            "similar",
+            "simular",
+            "different",
+            "separate",
+            "unrelated",
+            "another",
+            "wording",
+            "verbiage",
+        ]);
+        let mut e = EngineBuilder::new().peers(48).replication(1).seed(30).build_with_rows(&rows);
+        let from = e.random_peer();
+        let healthy = e.similar("similar", Some("word"), 1, from, Strategy::QGrams);
+        assert_eq!(healthy.stats.completeness(), 1.0, "healthy network answers every leg");
+        assert!(healthy.stats.partitions_addressed > 0);
+        assert_eq!(healthy.stats.gave_up, 0);
+        // Kill a partition the query addresses; the initiator must survive.
+        let parts = e.network().partition_count();
+        let home = e.network().peer(from).partition as usize;
+        for part in (0..parts).filter(|&p| p != home).take(parts / 2) {
+            e.network_mut().fail_partition(part);
+        }
+        let degraded = e.similar("similar", Some("word"), 1, from, Strategy::QGrams);
+        assert!(
+            degraded.stats.partitions_answered < degraded.stats.partitions_addressed,
+            "silenced partitions must show up as unanswered legs"
+        );
+        assert!(degraded.stats.completeness() < 1.0);
+    }
+
+    #[test]
+    fn retries_are_counted_and_default_policy_is_inert() {
+        use crate::engine::DegradePolicy;
+        assert!(!DegradePolicy::default().is_active());
+        let rows = word_rows(&["similar", "simular", "distinct", "wording"]);
+        let build = |retries: u32| {
+            EngineBuilder::new()
+                .peers(32)
+                .replication(1)
+                .seed(31)
+                .degrade(DegradePolicy { retries, backoff_us: 0, deadline_us: None })
+                .build_with_rows(&rows)
+        };
+        let mut e = build(2);
+        let from = e.random_peer();
+        let parts = e.network().partition_count();
+        let home = e.network().peer(from).partition as usize;
+        for part in (0..parts).filter(|&p| p != home) {
+            e.network_mut().fail_partition(part);
+        }
+        let res = e.similar("similar", Some("word"), 1, from, Strategy::QGrams);
+        assert!(res.stats.retries > 0, "failed legs must be re-attempted under the policy");
+        // Same carnage without retries: the failure is final on the first try.
+        let mut e0 = build(0);
+        let from0 = e0.random_peer();
+        let parts0 = e0.network().partition_count();
+        let home0 = e0.network().peer(from0).partition as usize;
+        for part in (0..parts0).filter(|&p| p != home0) {
+            e0.network_mut().fail_partition(part);
+        }
+        let res0 = e0.similar("similar", Some("word"), 1, from0, Strategy::QGrams);
+        assert_eq!(res0.stats.retries, 0);
     }
 
     #[test]

@@ -49,9 +49,36 @@ pub struct QueryStats {
     /// Multiplicative window decreases adaptive joins performed (the
     /// congestion back-off count). Aggregates as the sum.
     pub join_window_shrinks: u64,
+    /// Remote legs this query addressed: partitions (or owners) a probe,
+    /// fetch or shower branch was aimed at. Together with
+    /// `partitions_answered` this yields [`Self::completeness`] — the
+    /// degraded-answer signal under churn.
+    pub partitions_addressed: u64,
+    /// Remote legs that actually answered. Equal to
+    /// `partitions_addressed` on a healthy network.
+    pub partitions_answered: u64,
+    /// Route retries performed against alternate replicas (see
+    /// `DegradePolicy`); 0 unless the policy enables retries *and* a leg
+    /// failed.
+    pub retries: u64,
+    /// Queries that hit their virtual-time deadline and returned a partial
+    /// answer early (0 or 1 per query; aggregates as the sum — the count
+    /// of degraded-by-deadline queries).
+    pub gave_up: u64,
 }
 
 impl QueryStats {
+    /// Fraction of addressed legs that answered: 1.0 for a full answer
+    /// (including the trivial all-local case), lower when churn silenced
+    /// partitions or a deadline cut the query short.
+    pub fn completeness(&self) -> f64 {
+        if self.partitions_addressed == 0 {
+            1.0
+        } else {
+            self.partitions_answered as f64 / self.partitions_addressed as f64
+        }
+    }
+
     /// Aggregate another query's stats into this one (workload totals).
     pub fn absorb(&mut self, other: &QueryStats) {
         self.traffic.add(&other.traffic);
@@ -70,6 +97,10 @@ impl QueryStats {
         self.probes_coalesced += other.probes_coalesced;
         self.join_window_peak = self.join_window_peak.max(other.join_window_peak);
         self.join_window_shrinks += other.join_window_shrinks;
+        self.partitions_addressed += other.partitions_addressed;
+        self.partitions_answered += other.partitions_answered;
+        self.retries += other.retries;
+        self.gave_up += other.gave_up;
     }
 }
 
@@ -111,5 +142,26 @@ mod tests {
         assert_eq!(a.probes_coalesced, 1);
         assert_eq!(a.join_window_peak, 6, "peak aggregates as the max");
         assert_eq!(a.join_window_shrinks, 3, "shrinks aggregate as the sum");
+    }
+
+    #[test]
+    fn completeness_is_answered_over_addressed() {
+        let full = QueryStats::default();
+        assert_eq!(full.completeness(), 1.0, "no remote legs means a full answer");
+        let degraded = QueryStats {
+            partitions_addressed: 8,
+            partitions_answered: 6,
+            retries: 2,
+            gave_up: 1,
+            ..Default::default()
+        };
+        assert_eq!(degraded.completeness(), 0.75);
+        let mut sum =
+            QueryStats { partitions_addressed: 4, partitions_answered: 4, ..Default::default() };
+        sum.absorb(&degraded);
+        assert_eq!(sum.partitions_addressed, 12);
+        assert_eq!(sum.partitions_answered, 10);
+        assert_eq!(sum.retries, 2);
+        assert_eq!(sum.gave_up, 1);
     }
 }

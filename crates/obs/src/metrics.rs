@@ -150,6 +150,10 @@ impl MetricsRegistry {
         self.counter_add("query.cache_hits", s.cache_hits);
         self.counter_add("query.cache_misses", s.cache_misses);
         self.counter_add("query.probes_coalesced", s.probes_coalesced);
+        self.counter_add("query.partitions_addressed", s.partitions_addressed);
+        self.counter_add("query.partitions_answered", s.partitions_answered);
+        self.counter_add("query.retries", s.retries);
+        self.counter_add("query.gave_up", s.gave_up);
         self.counter_add("join.window_shrinks", s.join_window_shrinks);
         if s.join_window_peak > 0 {
             let peak = self.gauge("join.window_peak").unwrap_or(0.0);

@@ -40,11 +40,22 @@ pub struct SloSpec {
     pub min_hit_rate: Option<f64>,
     /// Per-query overlay message budget.
     pub max_messages: Option<u64>,
+    /// Minimum result completeness (answered / addressed partition legs)
+    /// over the sliding window, in `[0, 1]` — the availability objective
+    /// under churn: degraded queries that silently drop partitions burn
+    /// this dimension even when their latency looks great.
+    pub min_completeness: Option<f64>,
 }
 
 impl SloSpec {
     pub fn operator(name: impl Into<String>) -> Self {
-        Self { operator: name.into(), p99_max_us: None, min_hit_rate: None, max_messages: None }
+        Self {
+            operator: name.into(),
+            p99_max_us: None,
+            min_hit_rate: None,
+            max_messages: None,
+            min_completeness: None,
+        }
     }
 
     pub fn p99_max_us(mut self, us: u64) -> Self {
@@ -61,6 +72,11 @@ impl SloSpec {
         self.max_messages = Some(n);
         self
     }
+
+    pub fn min_completeness(mut self, rate: f64) -> Self {
+        self.min_completeness = Some(rate);
+        self
+    }
 }
 
 /// One finished-query sample inside an operator's sliding window.
@@ -71,6 +87,8 @@ struct Sample {
     messages: u64,
     cache_hits: u64,
     cache_misses: u64,
+    parts_addressed: u64,
+    parts_answered: u64,
 }
 
 /// Final pass/fail state of one spec.
@@ -87,6 +105,9 @@ pub struct SloVerdict {
     pub worst_hit_rate: f64,
     /// Largest single-query message count observed.
     pub worst_messages: u64,
+    /// Worst windowed completeness observed (1.0 when no query addressed
+    /// any partitions).
+    pub worst_completeness: f64,
     /// True when the spec was never violated.
     pub ok: bool,
 }
@@ -116,6 +137,9 @@ impl SloReport {
             }
             if let Some(m) = v.spec.max_messages {
                 dims.push(format!("messages {}/{}", v.worst_messages, m));
+            }
+            if let Some(c) = v.spec.min_completeness {
+                dims.push(format!("completeness {:.3}/{:.3}", v.worst_completeness, c));
             }
             out.push_str(&format!(
                 "  [{}] {} · {} queries · {} violations · {}\n",
@@ -160,6 +184,7 @@ impl SloMonitor {
                 worst_p99_us: 0,
                 worst_hit_rate: 1.0,
                 worst_messages: 0,
+                worst_completeness: 1.0,
                 ok: true,
             })
             .collect();
@@ -227,6 +252,10 @@ impl SloMonitor {
         let (hits, misses) =
             win.iter().fold((0u64, 0u64), |(h, m), s| (h + s.cache_hits, m + s.cache_misses));
         let hit_rate = if hits + misses == 0 { 1.0 } else { hits as f64 / (hits + misses) as f64 };
+        let (addressed, answered) = win
+            .iter()
+            .fold((0u64, 0u64), |(ad, an), s| (ad + s.parts_addressed, an + s.parts_answered));
+        let completeness = if addressed == 0 { 1.0 } else { answered as f64 / addressed as f64 };
 
         for i in 0..self.specs.len() {
             if self.specs[i].operator != operator {
@@ -240,6 +269,9 @@ impl SloMonitor {
                 v.worst_hit_rate = v.worst_hit_rate.min(hit_rate);
             }
             v.worst_messages = v.worst_messages.max(latest.messages);
+            if addressed > 0 {
+                v.worst_completeness = v.worst_completeness.min(completeness);
+            }
 
             let mut breached: Vec<(&'static str, u64, u64)> = Vec::new();
             if let Some(max) = spec.p99_max_us {
@@ -259,6 +291,15 @@ impl SloMonitor {
             if let Some(max) = spec.max_messages {
                 if latest.messages > max {
                     breached.push(("messages", latest.messages, max));
+                }
+            }
+            if let Some(min) = spec.min_completeness {
+                if addressed > 0 && completeness < min {
+                    breached.push((
+                        "completeness_milli",
+                        (completeness * 1000.0) as u64,
+                        (min * 1000.0) as u64,
+                    ));
                 }
             }
 
@@ -303,6 +344,8 @@ impl TraceSink for SloMonitor {
             messages: Self::arg(&ev, "messages"),
             cache_hits: Self::arg(&ev, "cache_hits"),
             cache_misses: Self::arg(&ev, "cache_misses"),
+            parts_addressed: Self::arg(&ev, "parts_addressed"),
+            parts_answered: Self::arg(&ev, "parts_answered"),
         };
         let name = ev.name;
         if self.specs.iter().any(|s| s.operator == name) {
@@ -380,6 +423,25 @@ mod tests {
         assert_eq!(burns.len(), 1);
         assert_eq!(burns[0].track, TraceTrack::Control);
         assert_eq!(c.events().len(), 2, "the original event was forwarded too");
+    }
+
+    #[test]
+    fn completeness_dimension_catches_degraded_answers() {
+        let mut m =
+            SloMonitor::new(vec![SloSpec::operator("similar").min_completeness(0.9)], 100_000);
+        // Fully answered: fine. (Queries without partition args — legacy
+        // traces — are treated as complete.)
+        let full = q(1, 0, 100, 1, 0, 0).arg("parts_addressed", 10u64).arg("parts_answered", 10u64);
+        m.record(full);
+        assert!(m.report().ok());
+        // Half the partitions dropped: the windowed rate collapses.
+        let partial =
+            q(2, 200, 100, 1, 0, 0).arg("parts_addressed", 10u64).arg("parts_answered", 2u64);
+        m.record(partial);
+        let r = m.report();
+        assert!(!r.ok(), "{}", r.render());
+        assert!(r.verdicts[0].worst_completeness < 0.9);
+        assert!(r.render().contains("completeness"));
     }
 
     #[test]

@@ -42,7 +42,9 @@ pub use clock::{
 };
 pub use key::Key;
 pub use metrics::{Metrics, PeerLoad};
-pub use network::{Network, NetworkConfig, RouteError, RoutingArena};
+pub use network::{
+    Network, NetworkConfig, RepairReport, ReplicationPolicy, RouteError, RoutingArena,
+};
 pub use peer::{Item, Peer, PeerId};
 pub use snapshot::NetworkState;
 pub use store::{KeyTable, PartitionStore, PostingList, SharedKey, SortedStore};

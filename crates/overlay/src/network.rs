@@ -84,6 +84,57 @@ impl std::fmt::Display for RouteError {
 
 impl std::error::Error for RouteError {}
 
+/// Target of the self-healing pass ([`Network::repair_epoch`]): how many
+/// alive structural replicas every partition should keep under churn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicationPolicy {
+    /// Minimum alive replicas per partition; partitions that fall below
+    /// this (but still have at least one alive copy) are topped up from
+    /// partitions holding surplus replicas.
+    pub min_alive: usize,
+}
+
+impl Default for ReplicationPolicy {
+    fn default() -> Self {
+        Self { min_alive: 2 }
+    }
+}
+
+impl ReplicationPolicy {
+    /// A policy keeping at least `min_alive` alive replicas per partition.
+    pub fn at_least(min_alive: usize) -> Self {
+        assert!(min_alive >= 1, "replication target must be >= 1");
+        Self { min_alive }
+    }
+}
+
+/// Outcome of one [`Network::repair_epoch`] pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepairReport {
+    /// Partitions holding peers that were inspected.
+    pub scanned: usize,
+    /// Partitions found below the policy target with at least one alive
+    /// replica left to copy from.
+    pub deficient: usize,
+    /// Partitions with **zero** alive replicas — unrecoverable by repair
+    /// (no alive source to copy from); only a revival brings them back.
+    pub lost: usize,
+    /// Deficient partitions that could not be fully topped up because no
+    /// donor partition had surplus alive replicas.
+    pub unfilled: usize,
+    /// Peers recruited into deficient partitions (one store copy each).
+    pub recruited: u64,
+    /// Payload bytes the recruitments copied over the wire.
+    pub bytes_copied: u64,
+}
+
+impl RepairReport {
+    /// True when the pass changed the network (recruited at least one peer).
+    pub fn acted(&self) -> bool {
+        self.recruited > 0
+    }
+}
+
 /// Per-key item lists, as returned by [`Network::retrieve_multi`].
 pub type KeyedItems<T> = Vec<(Key, Vec<T>)>;
 
@@ -636,18 +687,33 @@ impl<T: Item> Network<T> {
         }
     }
 
-    /// A uniformly random alive peer (query initiators in the workload).
-    ///
-    /// # Panics
-    /// Panics if every peer is dead.
-    pub fn random_peer(&mut self) -> PeerId {
-        assert!(self.peers.iter().any(|p| p.alive), "all peers dead");
+    /// True when `id` is currently alive (not churned out).
+    pub fn peer_alive(&self, id: PeerId) -> bool {
+        self.peers[id.index()].alive
+    }
+
+    /// A uniformly random alive peer, or `None` when every peer is dead.
+    /// Consumes exactly the draws [`Self::random_peer`] would, so swapping
+    /// a call site between the two never shifts the RNG stream.
+    pub fn random_alive_peer(&mut self) -> Option<PeerId> {
+        if !self.peers.iter().any(|p| p.alive) {
+            return None;
+        }
         loop {
             let id = PeerId(self.rng.gen_range(0..self.peers.len()) as u32);
             if self.peers[id.index()].alive {
-                return id;
+                return Some(id);
             }
         }
+    }
+
+    /// A uniformly random alive peer (query initiators in the workload).
+    ///
+    /// # Panics
+    /// Panics if every peer is dead — drivers that must survive total
+    /// extinction use [`Self::random_alive_peer`].
+    pub fn random_peer(&mut self) -> PeerId {
+        self.random_alive_peer().expect("all peers dead")
     }
 
     /// Total stored (key, item) pairs across all peers (replicas included).
@@ -703,6 +769,147 @@ impl<T: Item> Network<T> {
             }
         }
         victims
+    }
+
+    /// Revive a random `fraction` of all peers — the recovery mirror of
+    /// [`Self::fail_random_fraction`]. Returns the revived peers. Churn is
+    /// crash-stop: a dead peer keeps its store handle, so a revival brings
+    /// its replica's data back online as-is.
+    pub fn revive_random_fraction(&mut self, fraction: f64) -> Vec<PeerId> {
+        assert!((0.0..=1.0).contains(&fraction));
+        let dead = self.peers.iter().filter(|p| !p.alive).count();
+        let n = (((self.peers.len() as f64) * fraction).round() as usize).min(dead);
+        // Even a zero-revival wave is a membership event (epoch parity with
+        // `fail_random_fraction`: caches must not outlive the schedule
+        // point).
+        self.cache_epoch += 1;
+        let mut revived = Vec::with_capacity(n);
+        while revived.len() < n {
+            let id = PeerId(self.rng.gen_range(0..self.peers.len()) as u32);
+            if !self.peers[id.index()].alive {
+                self.peers[id.index()].alive = true;
+                revived.push(id);
+            }
+        }
+        revived
+    }
+
+    /// Kill every alive member of partition `part` (a targeted wipe: the
+    /// partition's data becomes unavailable, and because no alive source
+    /// remains, repair cannot recover it — only a revival can). Returns the
+    /// victims.
+    pub fn fail_partition(&mut self, part: usize) -> Vec<PeerId> {
+        let victims: Vec<PeerId> =
+            self.part_peers[part].iter().copied().filter(|p| self.peers[p.index()].alive).collect();
+        for &p in &victims {
+            self.peers[p.index()].alive = false;
+        }
+        self.cache_epoch += 1;
+        victims
+    }
+
+    /// Number of currently alive peers.
+    pub fn alive_peers(&self) -> usize {
+        self.peers.iter().filter(|p| p.alive).count()
+    }
+
+    /// Number of alive structural replicas of partition `part`.
+    pub fn partition_alive(&self, part: usize) -> usize {
+        self.part_peers[part].iter().filter(|p| self.peers[p.index()].alive).count()
+    }
+
+    // ------------------------------------------------------------------
+    // Self-healing (failure detection + re-replication)
+    // ------------------------------------------------------------------
+
+    /// One failure-detection + re-replication pass: every partition whose
+    /// alive replica count fell below `policy.min_alive` (but still has an
+    /// alive copy) recruits alive peers out of partitions holding surplus
+    /// replicas, hands each recruit a shared handle onto the partition's
+    /// store, and charges the copy as real wire traffic (one result-class
+    /// transfer of the partition payload per recruit, visible to metrics,
+    /// per-peer load, the virtual clock and — blame-tagged
+    /// `cause:"repair"` — the trace stream).
+    ///
+    /// Donor and recruit selection are deterministic (largest alive
+    /// surplus, ties to the lowest partition index; the donor's highest-id
+    /// alive member moves). If anything moved, the cache epoch bumps and
+    /// the routing arena is rewired from the new membership so
+    /// [`Self::route`] / `pick_alive_ref` regain candidates in the healed
+    /// partitions. Partitions with zero alive replicas are reported as
+    /// `lost` and left alone — there is no alive source to copy from.
+    pub fn repair_epoch(&mut self, policy: &ReplicationPolicy) -> RepairReport {
+        let target = policy.min_alive.max(1);
+        let mut report = RepairReport::default();
+        let mut alive_count: Vec<usize> = self
+            .part_peers
+            .iter()
+            .map(|m| m.iter().filter(|p| self.peers[p.index()].alive).count())
+            .collect();
+        for part in 0..self.paths.len() {
+            if self.part_peers[part].is_empty() {
+                continue; // peerless gap partition (bootstrap tries)
+            }
+            report.scanned += 1;
+            if alive_count[part] == 0 {
+                report.lost += 1;
+                continue;
+            }
+            if alive_count[part] >= target {
+                continue;
+            }
+            report.deficient += 1;
+            while alive_count[part] < target {
+                // Donor: the partition with the largest alive surplus (ties
+                // to the lowest index); recruiting never pushes a donor
+                // below the target itself.
+                let donor = (0..self.paths.len())
+                    .filter(|&d| d != part && alive_count[d] > target)
+                    .max_by_key(|&d| (alive_count[d], std::cmp::Reverse(d)));
+                let Some(donor) = donor else {
+                    report.unfilled += 1;
+                    break;
+                };
+                let recruit = self.part_peers[donor]
+                    .iter()
+                    .copied()
+                    .filter(|p| self.peers[p.index()].alive)
+                    .max()
+                    .expect("donor has alive surplus");
+                let source = self.part_peers[part]
+                    .iter()
+                    .copied()
+                    .find(|p| self.peers[p.index()].alive)
+                    .expect("deficient partitions have an alive source");
+                self.part_peers[donor].retain(|p| *p != recruit);
+                alive_count[donor] -= 1;
+                self.part_peers[part].push(recruit);
+                alive_count[part] += 1;
+                self.peers[recruit.index()].partition = part as u32;
+                let store = self.peers[source.index()].store.share();
+                let bytes = store.stored_bytes();
+                self.peers[recruit.index()].store = store;
+                self.charge_result(source, recruit, bytes as usize);
+                let ts = self.sink.as_ref().map(|s| s.now_us()).unwrap_or(0);
+                self.trace_with(|| {
+                    TraceEvent::instant(ts, TraceTrack::Control, "repair", "run")
+                        .arg("cause", "repair")
+                        .arg("part", part)
+                        .arg("from", source.index())
+                        .arg("to", recruit.index())
+                        .arg("bytes", bytes)
+                });
+                report.recruited += 1;
+                report.bytes_copied += bytes;
+            }
+        }
+        if report.recruited > 0 {
+            // Membership moved: remotely cached data may be stale, and the
+            // routing arena references peers whose trie depth changed.
+            self.cache_epoch += 1;
+            self.wire_routing_tables();
+        }
+        report
     }
 
     // ------------------------------------------------------------------
@@ -1397,6 +1604,122 @@ mod tests {
              ({multi_msgs} vs {single_msgs})",
             keys.len()
         );
+    }
+
+    #[test]
+    fn random_alive_peer_is_none_when_all_peers_are_dead() {
+        let (mut net, _) = word_net(6, 30);
+        for i in 0..6 {
+            net.fail_peer(PeerId(i));
+        }
+        assert_eq!(net.alive_peers(), 0);
+        assert_eq!(net.random_alive_peer(), None);
+    }
+
+    #[test]
+    fn revive_random_fraction_mirrors_fail() {
+        let (mut net, _) = word_net(20, 60);
+        let killed = net.fail_random_fraction(0.5).len();
+        assert_eq!(killed, 10);
+        let e0 = net.cache_epoch();
+        let revived = net.revive_random_fraction(0.25);
+        assert_eq!(revived.len(), 5);
+        assert!(revived.iter().all(|p| net.peer(*p).alive));
+        assert_eq!(net.alive_peers(), 15);
+        assert_eq!(net.cache_epoch(), e0 + 1);
+        // Capped at the dead population; a zero wave still bumps the epoch.
+        assert_eq!(net.revive_random_fraction(1.0).len(), 5);
+        assert_eq!(net.revive_random_fraction(1.0).len(), 0);
+        assert_eq!(net.cache_epoch(), e0 + 3);
+    }
+
+    #[test]
+    fn fail_partition_kills_every_member_and_keeps_the_data() {
+        let words: Vec<String> = (0..120).map(|i| format!("w{i:03}")).collect();
+        let data: Vec<(Key, W)> = words.iter().map(|w| (hash_str(w), W(w.clone()))).collect();
+        let cfg = NetworkConfig { peers: 32, replication: 4, ..Default::default() };
+        let mut net = Network::build(cfg, data);
+        let part = net.partition_of(&hash_str(&words[0]));
+        let victims = net.fail_partition(part);
+        assert!(!victims.is_empty());
+        assert_eq!(net.partition_alive(part), 0);
+        // Crash-stop: the stores survive, so a revival restores service.
+        for &v in &victims {
+            net.revive_peer(v);
+        }
+        assert_eq!(net.partition_alive(part), victims.len());
+        let from = net.random_peer();
+        let got = net.retrieve(from, &hash_str(&words[0])).expect("route after revival");
+        assert!(got.contains(&W(words[0].clone())));
+    }
+
+    #[test]
+    fn repair_epoch_restores_the_replication_target() {
+        let words: Vec<String> = (0..200).map(|i| format!("w{i:03}")).collect();
+        let data: Vec<(Key, W)> = words.iter().map(|w| (hash_str(w), W(w.clone()))).collect();
+        let cfg = NetworkConfig { peers: 64, replication: 4, seed: 11, ..Default::default() };
+        let mut net = Network::build(cfg, data);
+        // Knock one partition down to a single alive replica.
+        let part = net.partition_of(&hash_str(&words[0]));
+        let members: Vec<PeerId> = net.partition_members(part).to_vec();
+        for &m in &members[1..] {
+            net.fail_peer(m);
+        }
+        assert_eq!(net.partition_alive(part), 1);
+
+        net.reset_metrics();
+        let e0 = net.cache_epoch();
+        let policy = ReplicationPolicy::at_least(2);
+        let report = net.repair_epoch(&policy);
+        assert!(report.acted());
+        assert_eq!(report.deficient, 1);
+        assert_eq!(report.lost, 0);
+        assert!(report.recruited >= 1);
+        assert!(report.bytes_copied > 0);
+        assert!(net.partition_alive(part) >= 2, "partition topped back up");
+        // The copy is real traffic and a membership event.
+        assert_eq!(net.metrics().result_msgs, report.recruited);
+        assert!(net.metrics().result_bytes >= report.bytes_copied);
+        assert_eq!(net.cache_epoch(), e0 + 1);
+        // Recruits answer queries for their new partition.
+        let from = net.random_peer();
+        let got = net.retrieve(from, &hash_str(&words[0])).expect("route after repair");
+        assert!(got.contains(&W(words[0].clone())));
+        // A second pass finds nothing to do and charges nothing.
+        net.reset_metrics();
+        let again = net.repair_epoch(&policy);
+        assert!(!again.acted());
+        assert_eq!(net.metrics().messages, 0);
+        assert_eq!(net.cache_epoch(), e0 + 1);
+    }
+
+    #[test]
+    fn repair_epoch_reports_fully_dead_partitions_as_lost() {
+        let words: Vec<String> = (0..120).map(|i| format!("w{i:03}")).collect();
+        let data: Vec<(Key, W)> = words.iter().map(|w| (hash_str(w), W(w.clone()))).collect();
+        let cfg = NetworkConfig { peers: 24, replication: 3, ..Default::default() };
+        let mut net = Network::build(cfg, data);
+        let part = net.partition_of(&hash_str(&words[0]));
+        net.fail_partition(part);
+        let report = net.repair_epoch(&ReplicationPolicy::at_least(2));
+        assert!(report.lost >= 1, "an extinct partition is lost, not repaired");
+        assert_eq!(net.partition_alive(part), 0, "no source, no recruits");
+    }
+
+    #[test]
+    fn repair_is_deterministic_for_a_seed() {
+        let run = || {
+            let words: Vec<String> = (0..150).map(|i| format!("w{i:03}")).collect();
+            let data: Vec<(Key, W)> = words.iter().map(|w| (hash_str(w), W(w.clone()))).collect();
+            let cfg = NetworkConfig { peers: 48, replication: 4, seed: 13, ..Default::default() };
+            let mut net = Network::build(cfg, data);
+            net.fail_random_fraction(0.4);
+            let report = net.repair_epoch(&ReplicationPolicy::at_least(2));
+            let members: Vec<Vec<PeerId>> =
+                (0..net.partition_count()).map(|p| net.partition_members(p).to_vec()).collect();
+            (report, members, *net.metrics())
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -115,6 +115,72 @@ proptest! {
         }
     }
 
+    /// Replica fallback under heavy churn: kill up to all-but-one member of
+    /// every partition — routing must still reach every partition (the
+    /// surviving replica makes identical routing progress); then make some
+    /// partitions extinct — routing to those must error, never land on a
+    /// wrong peer.
+    #[test]
+    fn routing_replica_fallback_under_heavy_churn(
+        words in prop::collection::hash_set("[a-z]{1,8}", 5..40),
+        peers in 8usize..64,
+        seed in 0u64..50,
+        kills in prop::collection::vec(0usize..16, 1..64),
+        extinct_mask in any::<u32>(),
+    ) {
+        let words: Vec<String> = words.into_iter().collect();
+        let data: Vec<(Key, S)> = words.iter().map(|w| (hash_str(w), S(w.clone()))).collect();
+        let cfg = NetworkConfig { peers, replication: 4, seed, ..Default::default() };
+        let mut net = Network::build(cfg, data);
+        let parts = net.partition_count();
+        // Phase 1: per partition, kill up to all-but-one member.
+        for part in 0..parts {
+            let members = net.partition_members(part).to_vec();
+            let kill = kills[part % kills.len()].min(members.len() - 1);
+            for &m in members.iter().take(kill) {
+                net.fail_peer(m);
+            }
+            prop_assert!(net.partition_alive(part) >= 1);
+        }
+        let from = net.random_alive_peer().expect("every partition kept a survivor");
+        for part in 0..parts {
+            let key = net.paths()[part].clone();
+            let got = net.route(from, &key);
+            match got {
+                Ok(p) => {
+                    prop_assert!(net.peer(p).alive, "routed to a corpse");
+                    prop_assert_eq!(net.peer(p).partition as usize, part,
+                        "routed to the wrong partition");
+                }
+                Err(e) => prop_assert!(false, "partition {part} unreachable: {e}"),
+            }
+        }
+        // Phase 2: make some partitions extinct (always sparing at least
+        // one); routing to them must error — never return a wrong peer.
+        let mut spared_any = false;
+        for part in 0..parts {
+            if part + 1 == parts && !spared_any {
+                break;
+            }
+            if (extinct_mask >> (part % 32)) & 1 == 1 {
+                net.fail_partition(part);
+            } else {
+                spared_any = true;
+            }
+        }
+        let from = net.random_alive_peer().expect("a partition was spared");
+        for part in 0..parts {
+            let key = net.paths()[part].clone();
+            // A routing error (NoAliveReference or PartitionDead) is an
+            // honest failure; a success must land on an alive owner.
+            if let Ok(p) = net.route(from, &key) {
+                prop_assert!(net.peer(p).alive);
+                prop_assert_eq!(net.peer(p).partition as usize, part);
+                prop_assert!(net.partition_alive(part) >= 1);
+            }
+        }
+    }
+
     /// Range queries agree with the brute-force oracle.
     #[test]
     fn range_query_oracle(

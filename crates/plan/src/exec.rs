@@ -199,6 +199,16 @@ pub struct NodeObs {
     /// Adaptive join window trajectory (joins with an adaptive window
     /// only): the window size after each AIMD adjustment.
     pub window_trace: Option<Vec<usize>>,
+    /// Graceful-degradation activity: routing legs re-sent under the
+    /// engine's [`DegradePolicy`](sqo_core::DegradePolicy) while this
+    /// stage ran.
+    pub retries: u64,
+    /// Legs abandoned after exhausting their retry budget.
+    pub gave_up: u64,
+    /// Partitions this stage addressed / heard back from. Equal on a
+    /// healthy run; a shortfall is the per-stage completeness loss.
+    pub partitions_addressed: u64,
+    pub partitions_answered: u64,
 }
 
 /// Counter snapshot taken when a stage begins; the closing [`NodeObs`] is
@@ -217,6 +227,10 @@ struct StageOpen {
     queue_us: u64,
     service_us: u64,
     crit: [u64; 4],
+    retries: u64,
+    gave_up: u64,
+    partitions_addressed: u64,
+    partitions_answered: u64,
 }
 
 /// The four critical-path blame counters of a stats snapshot, in
@@ -245,6 +259,10 @@ impl StageOpen {
             queue_us,
             service_us,
             crit: crit_of(stats),
+            retries: stats.retries,
+            gave_up: stats.gave_up,
+            partitions_addressed: stats.partitions_addressed,
+            partitions_answered: stats.partitions_answered,
         }
     }
 }
@@ -334,6 +352,10 @@ impl PlanTask {
             crit_service_us: crit[2] - open.crit[2],
             crit_stall_us: crit[3] - open.crit[3],
             window_trace,
+            retries: self.stats.retries - open.retries,
+            gave_up: self.stats.gave_up - open.gave_up,
+            partitions_addressed: self.stats.partitions_addressed - open.partitions_addressed,
+            partitions_answered: self.stats.partitions_answered - open.partitions_answered,
         };
         if engine.network().has_trace_sink() {
             if let Some(q) = engine.network().trace_query() {

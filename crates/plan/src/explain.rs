@@ -192,6 +192,17 @@ fn obs_line(o: &NodeObs) -> String {
         let path: Vec<String> = w.iter().map(|x| x.to_string()).collect();
         s.push_str(&format!(" window={}", path.join("->")));
     }
+    // Degradation annotations: silent on a healthy run, so fault-free
+    // explain output is unchanged.
+    if o.retries > 0 {
+        s.push_str(&format!(" retries={}", o.retries));
+    }
+    if o.gave_up > 0 {
+        s.push_str(&format!(" gave_up={}", o.gave_up));
+    }
+    if o.partitions_answered < o.partitions_addressed {
+        s.push_str(&format!(" partial={}/{}", o.partitions_answered, o.partitions_addressed));
+    }
     s
 }
 

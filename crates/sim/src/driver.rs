@@ -23,7 +23,8 @@
 //! at the current timestamp goes behind already-queued same-time events).
 //! Two runs with the same inputs produce byte-identical reports.
 
-use crate::netsim::{install, SimConfig};
+use crate::fault::{FaultKind, FaultPlan};
+use crate::netsim::{install, set_installed_loss, SimConfig};
 use crate::report::{LatencySummary, OperatorLatency};
 use crate::seed;
 use crate::shard::ShardedQueue;
@@ -36,7 +37,7 @@ use sqo_core::{
 };
 use sqo_datasets::ZipfSampler;
 use sqo_obs::{LogHistogram, MetricsRegistry};
-use sqo_overlay::{PeerId, SimLatency, TraceEvent, TraceTrack};
+use sqo_overlay::{PeerId, ReplicationPolicy, SimLatency, TraceEvent, TraceTrack};
 use sqo_plan::{PlannerEnv, PreparedQuery};
 use sqo_storage::Value;
 use std::collections::BTreeMap;
@@ -59,11 +60,26 @@ pub enum Arrival {
     Explicit { offsets_us: Vec<u64> },
 }
 
-/// A scheduled churn step: at `at_us`, kill `fail_fraction` of all peers.
+/// A scheduled churn step: at `at_us`, kill `fail_fraction` of all peers,
+/// then revive `revive_fraction` of the (now) dead ones — the paper's
+/// join/leave churn in one event. `revive_fraction: 0.0` is the historical
+/// kill-only wave and consumes no extra randomness, so old schedules
+/// reproduce bit-exactly.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ChurnEvent {
     pub at_us: u64,
     pub fail_fraction: f64,
+    /// Fraction of **all** peers to revive from the dead set right after
+    /// the kill wave (capped by the number of dead peers).
+    pub revive_fraction: f64,
+}
+
+impl ChurnEvent {
+    /// A kill-only wave — the pre-revival constructor every existing
+    /// schedule used.
+    pub fn kill(at_us: u64, fail_fraction: f64) -> Self {
+        Self { at_us, fail_fraction, revive_fraction: 0.0 }
+    }
 }
 
 /// One query template of the workload mix.
@@ -132,6 +148,17 @@ pub struct DriverConfig {
     /// Churn schedule (peers die mid-workload; queries must still
     /// terminate).
     pub churn: Vec<ChurnEvent>,
+    /// Deterministic fault script replayed on the event queue alongside
+    /// arrivals and churn: crash waves, targeted partition wipes, revivals,
+    /// transient loss spikes. The default empty plan injects nothing and
+    /// changes nothing.
+    pub faults: FaultPlan,
+    /// Self-healing: when set, the driver runs one
+    /// [`repair_epoch`](sqo_overlay::Network::repair_epoch) pass after
+    /// every churn and membership-fault event, recruiting alive peers into
+    /// under-replicated partitions (charged as real traffic). `None`
+    /// (default) leaves the overlay to decay.
+    pub repair: Option<ReplicationPolicy>,
     /// Hot-path services for the run: when any is enabled the driver
     /// installs a fresh [`CacheBatchBroker`] on the engine (and removes any
     /// stale one otherwise), so every run owns its own cache state.
@@ -173,6 +200,8 @@ impl Default for DriverConfig {
             strategy: Strategy::QGrams,
             sim: SimConfig::default(),
             churn: Vec::new(),
+            faults: FaultPlan::default(),
+            repair: None,
             cache: BrokerConfig::default(),
             zipf_s: 0.0,
             sticky_initiators: false,
@@ -216,6 +245,46 @@ impl From<BrokerCounters> for CacheReport {
     }
 }
 
+/// Accumulated self-healing activity over a driven run (all zeros when
+/// [`DriverConfig::repair`] is `None`).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize)]
+pub struct RepairTotals {
+    /// Repair passes executed (one per churn/fault membership event).
+    pub passes: u64,
+    /// Peers recruited into under-replicated partitions, summed over all
+    /// passes.
+    pub recruited: u64,
+    /// Payload bytes the recruitments copied, summed over all passes.
+    pub bytes_copied: u64,
+    /// Partitions with zero alive replicas as of the **last** pass — the
+    /// unrecoverable residue repair cannot touch (gauge, not a sum).
+    pub lost_partitions: u64,
+    /// Deficient partitions the last pass could not fully top up (gauge).
+    pub unfilled_deficits: u64,
+}
+
+/// One phase's latency and degradation profile (see [`PhaseReport`]).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize)]
+pub struct PhaseSummary {
+    pub summary: LatencySummary,
+    /// Answered / addressed partition legs over the phase's queries — 1.0
+    /// when nothing was skipped or unreachable.
+    pub completeness: f64,
+    pub retries: u64,
+    pub gave_up: u64,
+}
+
+/// The run split at its halfway point (by completion count): `early` is
+/// the first half of completions, `late` the second. Under sustained churn
+/// the comparison is the stationarity check — with repair on, `late`
+/// should look like `early`; without it, completeness decays and tails
+/// grow as replicas die off.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize)]
+pub struct PhaseReport {
+    pub early: PhaseSummary,
+    pub late: PhaseSummary,
+}
+
 /// Outcome of a driven workload.
 ///
 /// The typed fields (`total`, `cache`, `per_operator`) remain the
@@ -242,6 +311,15 @@ pub struct DriverReport {
     pub virtual_span_us: u64,
     /// Queries per virtual second.
     pub throughput_qps: f64,
+    /// Early/late halves of the run — the stationarity view churn and
+    /// repair experiments compare.
+    pub phases: PhaseReport,
+    /// Self-healing totals; `Some` exactly when [`DriverConfig::repair`]
+    /// was configured.
+    pub repair: Option<RepairTotals>,
+    /// Human-readable anomalies the run survived (e.g. an arrival that
+    /// found no alive initiator). Empty on a healthy run.
+    pub diagnostics: Vec<String>,
 }
 
 #[derive(Clone, Copy)]
@@ -254,6 +332,15 @@ enum Ev {
         slot: usize,
     },
     Churn {
+        idx: usize,
+    },
+    /// Apply `cfg.faults.events[idx]`.
+    Fault {
+        idx: usize,
+    },
+    /// End of the loss spike scheduled by `cfg.faults.events[idx]`:
+    /// restore the run's baseline loss model.
+    FaultClear {
         idx: usize,
     },
 }
@@ -285,6 +372,12 @@ struct LoopState {
     queries_run: usize,
     first_start: u64,
     last_end: u64,
+    /// First / second half of completions (latencies + absorbed stats) —
+    /// the stationarity split of [`PhaseReport`].
+    early: (LogHistogram, QueryStats),
+    late: (LogHistogram, QueryStats),
+    repair: RepairTotals,
+    diagnostics: Vec<String>,
 }
 
 impl LoopState {
@@ -306,6 +399,14 @@ impl LoopState {
         let mut q: ShardedQueue<Ev> = ShardedQueue::new(cfg.shards.max(1));
         for (idx, ev) in cfg.churn.iter().enumerate() {
             q.push(ev.at_us, 0, Ev::Churn { idx });
+        }
+        // Fault script: each event at its time; a loss spike additionally
+        // schedules the restore of the baseline model.
+        for (idx, ev) in cfg.faults.events.iter().enumerate() {
+            q.push(ev.at_us, 0, Ev::Fault { idx });
+            if let FaultKind::LossSpike { duration_us, .. } = ev.kind {
+                q.push(ev.at_us.saturating_add(duration_us), 0, Ev::FaultClear { idx });
+            }
         }
         // First arrivals.
         for (c, rng) in client_rngs.iter_mut().enumerate() {
@@ -330,6 +431,10 @@ impl LoopState {
             queries_run: 0,
             first_start: u64::MAX,
             last_end: 0,
+            early: (LogHistogram::new(), QueryStats::default()),
+            late: (LogHistogram::new(), QueryStats::default()),
+            repair: RepairTotals::default(),
+            diagnostics: Vec::new(),
         }
     }
 
@@ -344,6 +449,8 @@ impl LoopState {
                 let ev = match ev {
                     EvSnap::Arrive { client } => Ev::Arrive { client: client as usize },
                     EvSnap::Churn { idx } => Ev::Churn { idx: idx as usize },
+                    EvSnap::Fault { idx } => Ev::Fault { idx: idx as usize },
+                    EvSnap::FaultClear { idx } => Ev::FaultClear { idx: idx as usize },
                 };
                 (at, seq, lane, ev)
             })
@@ -362,6 +469,8 @@ impl LoopState {
             })
             .collect();
         let (c, s, mn, mx, buckets) = ckpt.all_latencies;
+        let hist =
+            |(c, s, mn, mx, buckets): HistParts| LogHistogram::from_parts(c, s, mn, mx, buckets);
         Self {
             client_rngs: ckpt.client_rngs.into_iter().map(StdRng::from_state_words).collect(),
             issued: ckpt.issued.into_iter().map(|n| n as usize).collect(),
@@ -375,6 +484,10 @@ impl LoopState {
             queries_run: ckpt.queries_run as usize,
             first_start: ckpt.first_start,
             last_end: ckpt.last_end,
+            early: (hist(ckpt.early.0), ckpt.early.1),
+            late: (hist(ckpt.late.0), ckpt.late.1),
+            repair: ckpt.repair,
+            diagnostics: ckpt.diagnostics,
         }
     }
 
@@ -395,6 +508,8 @@ impl LoopState {
                 let ev = match ev {
                     Ev::Arrive { client } => EvSnap::Arrive { client: client as u32 },
                     Ev::Churn { idx } => EvSnap::Churn { idx: idx as u32 },
+                    Ev::Fault { idx } => EvSnap::Fault { idx: idx as u32 },
+                    Ev::FaultClear { idx } => EvSnap::FaultClear { idx: idx as u32 },
                     Ev::Step { .. } => unreachable!("no steps pending at a quiesce boundary"),
                 };
                 (at, seq, lane, ev)
@@ -420,6 +535,10 @@ impl LoopState {
             queries_run: self.queries_run as u64,
             first_start: self.first_start,
             last_end: self.last_end,
+            early: (self.early.0.export_parts(), self.early.1),
+            late: (self.late.0.export_parts(), self.late.1),
+            repair: self.repair,
+            diagnostics: self.diagnostics.clone(),
             netsim: crate::netsim::export_installed(engine)
                 .expect("the driver installed a NetSim on this engine"),
         }
@@ -445,6 +564,8 @@ fn static_label(op: &str) -> &'static str {
 pub enum EvSnap {
     Arrive { client: u32 },
     Churn { idx: u32 },
+    Fault { idx: u32 },
+    FaultClear { idx: u32 },
 }
 
 /// The owned image of a paused driver run: pending arrivals/churn with
@@ -470,6 +591,13 @@ pub struct DriverCheckpoint {
     pub queries_run: u64,
     pub first_start: u64,
     pub last_end: u64,
+    /// Early/late completion-half accumulators (see [`PhaseReport`]).
+    pub early: (HistParts, QueryStats),
+    pub late: (HistParts, QueryStats),
+    /// Self-healing totals so far.
+    pub repair: RepairTotals,
+    /// Anomalies recorded so far.
+    pub diagnostics: Vec<String>,
     /// The installed [`NetSim`](crate::NetSim)'s image.
     pub netsim: crate::netsim::NetSimState,
 }
@@ -546,6 +674,35 @@ pub fn resume_driver(
     assert!(!strings.is_empty(), "driver needs a non-empty string pool");
     assert!(!cfg.mix.is_empty(), "empty query mix");
     crate::netsim::install_restored(engine, cfg.sim, ckpt.netsim.clone());
+    // A pending `FaultClear` whose `Fault` is no longer pending means its
+    // loss spike fired before the checkpoint and has not ended: the
+    // restored NetSim carries the baseline config, so re-arm the spike's
+    // model. With overlapping spikes the latest-applied one is in force.
+    let still_scheduled: Vec<usize> = ckpt
+        .queue
+        .entries
+        .iter()
+        .filter_map(|(_, _, _, ev)| match ev {
+            EvSnap::Fault { idx } => Some(*idx as usize),
+            _ => None,
+        })
+        .collect();
+    let active_spike = ckpt
+        .queue
+        .entries
+        .iter()
+        .filter_map(|(_, _, _, ev)| match ev {
+            EvSnap::FaultClear { idx } if !still_scheduled.contains(&(*idx as usize)) => {
+                Some(*idx as usize)
+            }
+            _ => None,
+        })
+        .max_by_key(|&i| cfg.faults.events[i].at_us);
+    if let Some(i) = active_spike {
+        if let FaultKind::LossSpike { loss, .. } = cfg.faults.events[i].kind {
+            set_installed_loss(engine, loss);
+        }
+    }
     let mut st = LoopState::restore(cfg, ckpt);
     match run_loop(engine, attr, strings, cfg, &mut st, None) {
         DriverPhase::Done(report) => report,
@@ -608,7 +765,14 @@ fn run_loop(
         queries_run,
         first_start,
         last_end,
+        early,
+        late,
+        repair,
+        diagnostics,
     } = st;
+
+    // Completion-count split point of the early/late phase view.
+    let half = (cfg.clients * cfg.queries_per_client) / 2;
 
     let paused = loop {
         // Quiesce check BEFORE popping: pausing must not consume an event.
@@ -624,9 +788,61 @@ fn run_loop(
             Ev::Churn { idx } => {
                 engine.network_mut().fail_random_fraction(cfg.churn[idx].fail_fraction);
                 let fail_permille = (cfg.churn[idx].fail_fraction * 1000.0) as u64;
+                // The revival branch is skipped entirely at 0.0 — no RNG
+                // draw, no extra trace arg — so kill-only schedules stay
+                // bit-exact with their pre-revival behavior.
+                let revive = cfg.churn[idx].revive_fraction;
+                if revive > 0.0 {
+                    engine.network_mut().revive_random_fraction(revive);
+                }
                 engine.network().trace_with(|| {
-                    TraceEvent::instant(t, TraceTrack::Control, "churn", "run")
-                        .arg("fail_permille", fail_permille)
+                    let ev = TraceEvent::instant(t, TraceTrack::Control, "churn", "run")
+                        .arg("fail_permille", fail_permille);
+                    if revive > 0.0 {
+                        ev.arg("revive_permille", (revive * 1000.0) as u64)
+                    } else {
+                        ev
+                    }
+                });
+                run_repair(engine, cfg, t, repair);
+            }
+            Ev::Fault { idx } => {
+                let fault = cfg.faults.events[idx];
+                let membership = match fault.kind {
+                    FaultKind::Crash { fraction } => {
+                        engine.network_mut().fail_random_fraction(fraction);
+                        true
+                    }
+                    FaultKind::WipePartition { part } => {
+                        engine.network_mut().fail_partition(part);
+                        true
+                    }
+                    FaultKind::Revive { fraction } => {
+                        engine.network_mut().revive_random_fraction(fraction);
+                        true
+                    }
+                    FaultKind::LossSpike { loss, .. } => {
+                        set_installed_loss(engine, loss);
+                        false
+                    }
+                };
+                engine.network().trace_with(|| {
+                    TraceEvent::instant(t, TraceTrack::Control, "fault", "run")
+                        .arg("kind", fault.kind.label())
+                        .arg("idx", idx)
+                });
+                // Loss spikes change no membership; repair has nothing to
+                // scan for.
+                if membership {
+                    run_repair(engine, cfg, t, repair);
+                }
+            }
+            Ev::FaultClear { idx } => {
+                set_installed_loss(engine, cfg.sim.loss);
+                engine.network().trace_with(|| {
+                    TraceEvent::instant(t, TraceTrack::Control, "fault-clear", "run")
+                        .arg("kind", cfg.faults.events[idx].kind.label())
+                        .arg("idx", idx)
                 });
             }
             Ev::Arrive { client } => {
@@ -640,9 +856,62 @@ fn run_loop(
                     };
                     strings[idx].clone()
                 };
-                let from = match &initiators {
-                    Some(per_client) => per_client[client],
-                    None => engine.random_peer(),
+                let from = match initiators.as_mut() {
+                    Some(per_client) => {
+                        let cur = per_client[client];
+                        if engine.network().peer_alive(cur) {
+                            Some(cur)
+                        } else {
+                            // The client's access point died. The overlay
+                            // survived (that is the whole point of
+                            // replication), so the client reconnects to a
+                            // fresh alive peer instead of dying with its
+                            // entry node — recorded as an anomaly, since a
+                            // re-pin resets initiator-side cache locality.
+                            let next = engine.try_random_peer();
+                            if let Some(p) = next {
+                                per_client[client] = p;
+                                diagnostics.push(format!(
+                                    "client {client}: sticky initiator {} died; re-pinned \
+                                     to {} at t={t}us",
+                                    cur.0, p.0
+                                ));
+                            }
+                            next
+                        }
+                    }
+                    None => engine.try_random_peer(),
+                };
+                let Some(from) = from else {
+                    // Every peer is dead: the query cannot even start.
+                    // Record the anomaly, count the slot as issued (done
+                    // above) and keep the client's arrival process alive so
+                    // the run drains instead of deadlocking — a later
+                    // revival can still serve its remaining queries.
+                    diagnostics.push(format!(
+                        "client {client} query {}: no alive initiator at t={t}us; skipped",
+                        issued[client]
+                    ));
+                    match &cfg.arrival {
+                        Arrival::Poisson { mean_interarrival_us } => {
+                            if issued[client] < cfg.queries_per_client {
+                                let next =
+                                    t + exp_sample(&mut client_rngs[client], *mean_interarrival_us);
+                                q.push(next, client, Ev::Arrive { client });
+                            }
+                        }
+                        Arrival::Closed { think_us } => {
+                            if issued[client] < cfg.queries_per_client {
+                                q.push(t + (*think_us).max(1), client, Ev::Arrive { client });
+                            }
+                        }
+                        Arrival::Explicit { .. } => {
+                            if issued[client] < cfg.queries_per_client {
+                                q.push(t + 1, client, Ev::Arrive { client });
+                            }
+                        }
+                    }
+                    continue;
                 };
                 let trace = engine
                     .network()
@@ -720,6 +989,8 @@ fn run_loop(
                                 .arg("messages", stats.traffic.messages)
                                 .arg("cache_hits", stats.cache_hits)
                                 .arg("cache_misses", stats.cache_misses)
+                                .arg("parts_addressed", stats.partitions_addressed)
+                                .arg("parts_answered", stats.partitions_answered)
                             });
                         }
                         let (lats, op_stats) = by_operator.entry(flight.label).or_default();
@@ -727,6 +998,13 @@ fn run_loop(
                         op_stats.absorb(&stats);
                         all_latencies.record(sim.elapsed_us);
                         total.absorb(&stats);
+                        // Stationarity split: first half of completions vs
+                        // the rest (skipped arrivals never complete, so a
+                        // heavily-degraded run just has a thinner late
+                        // half).
+                        let phase = if *queries_run < half { &mut *early } else { &mut *late };
+                        phase.0.record(sim.elapsed_us);
+                        phase.1.absorb(&stats);
                         *queries_run += 1;
                         *first_start = (*first_start).min(sim.start_us);
                         *last_end = (*last_end).max(sim.end_us);
@@ -780,6 +1058,9 @@ fn run_loop(
             probes_coalesced: op_stats.probes_coalesced,
             window_peak: op_stats.join_window_peak,
             window_shrinks: op_stats.join_window_shrinks,
+            completeness: op_stats.completeness(),
+            retries: op_stats.retries,
+            gave_up: op_stats.gave_up,
         })
         .collect();
     let virtual_span_us = st.last_end.saturating_sub(st.first_start.min(st.last_end));
@@ -795,6 +1076,15 @@ fn run_loop(
     }
     metrics.counter_add("run.queries", st.queries_run as u64);
     metrics.gauge_set("run.throughput_qps", throughput_qps);
+    // Self-healing visibility — emitted only when repair is configured, so
+    // a repair-free run's registry is untouched.
+    if cfg.repair.is_some() {
+        metrics.counter_add("repair.passes", st.repair.passes);
+        metrics.counter_add("repair.recruited", st.repair.recruited);
+        metrics.counter_add("repair.bytes_copied", st.repair.bytes_copied);
+        metrics.gauge_set("repair.lost_partitions", st.repair.lost_partitions as f64);
+        metrics.gauge_set("repair.unfilled_deficits", st.repair.unfilled_deficits as f64);
+    }
     // Per-operator attribution under `op.<name>.*` — most notably the
     // per-operator queue time, which used to live only in the typed
     // `per_operator` rows and bypassed the registry.
@@ -810,6 +1100,12 @@ fn run_loop(
         }
     }
 
+    let phase_summary = |(h, s): &(LogHistogram, QueryStats)| PhaseSummary {
+        summary: LatencySummary::of_histogram(h),
+        completeness: s.completeness(),
+        retries: s.retries,
+        gave_up: s.gave_up,
+    };
     DriverPhase::Done(DriverReport {
         per_operator,
         overall,
@@ -819,7 +1115,30 @@ fn run_loop(
         queries_run: st.queries_run,
         virtual_span_us,
         throughput_qps,
+        phases: PhaseReport { early: phase_summary(&st.early), late: phase_summary(&st.late) },
+        repair: cfg.repair.map(|_| st.repair),
+        diagnostics: std::mem::take(&mut st.diagnostics),
     })
+}
+
+/// One self-healing pass after a membership event: charge repair traffic
+/// at the event's virtual time, then fold the pass outcome into the run's
+/// [`RepairTotals`]. A no-op without a configured policy.
+fn run_repair(
+    engine: &mut SimilarityEngine,
+    cfg: &DriverConfig,
+    t: u64,
+    totals: &mut RepairTotals,
+) {
+    let Some(policy) = cfg.repair else { return };
+    engine.network_mut().sim_reset_to_us(t);
+    let rep = engine.network_mut().repair_epoch(&policy);
+    totals.passes += 1;
+    totals.recruited += rep.recruited;
+    totals.bytes_copied += rep.bytes_copied;
+    // Gauges: the state as of the most recent pass, not a sum.
+    totals.lost_partitions = rep.lost as u64;
+    totals.unfilled_deficits = rep.unfilled as u64;
 }
 
 /// Exponential interarrival sample with the given mean (microseconds).

@@ -76,6 +76,7 @@
 
 pub mod driver;
 pub mod events;
+pub mod fault;
 pub mod latency;
 pub mod netsim;
 pub mod report;
@@ -85,11 +86,13 @@ pub mod shard;
 
 pub use driver::{
     resume_driver, run_driver, run_driver_until, ApiMode, Arrival, CacheReport, ChurnEvent,
-    DriverCheckpoint, DriverConfig, DriverPhase, DriverReport, QueryKind,
+    DriverCheckpoint, DriverConfig, DriverPhase, DriverReport, PhaseReport, PhaseSummary,
+    QueryKind, RepairTotals,
 };
 pub use events::EventQueue;
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use latency::{LatencyModel, LossModel};
-pub use netsim::{install, install_restored, NetSim, NetSimState, SimConfig};
+pub use netsim::{install, install_restored, set_installed_loss, NetSim, NetSimState, SimConfig};
 pub use report::{percentile_us, LatencySummary, OperatorLatency};
 pub use scale::{
     resume_serial, resume_sharded, rss_now_bytes, rss_peak_bytes, run_serial, run_serial_until,

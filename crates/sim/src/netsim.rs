@@ -149,6 +149,14 @@ impl NetSim {
         self.clock_us
     }
 
+    /// Swap the loss model mid-run (fault injection: transient loss
+    /// spikes). Latency, service costs and the sampling stream are left
+    /// untouched, so a spike that is later reverted to the baseline model
+    /// perturbs only the traffic inside its window.
+    pub fn set_loss_model(&mut self, loss: LossModel) {
+        self.cfg.loss = loss;
+    }
+
     /// Lifetime totals across every query charged to this sink.
     pub fn totals(&self) -> &SimLatency {
         &self.totals
@@ -441,6 +449,17 @@ pub fn export_installed(engine: &mut sqo_core::SimilarityEngine) -> Option<NetSi
     let sink = engine.network_mut().event_sink_mut()?;
     let sim = sink.as_any_mut()?.downcast_mut::<NetSim>()?;
     Some(sim.export_state())
+}
+
+/// Swap the loss model of the installed `NetSim`, if one is installed —
+/// the driver's hook for [`FaultKind::LossSpike`](crate::FaultKind)
+/// events. Returns `false` when no `NetSim` sink is present.
+pub fn set_installed_loss(engine: &mut sqo_core::SimilarityEngine, loss: LossModel) -> bool {
+    let Some(sink) = engine.network_mut().event_sink_mut() else { return false };
+    let Some(any) = sink.as_any_mut() else { return false };
+    let Some(sim) = any.downcast_mut::<NetSim>() else { return false };
+    sim.set_loss_model(loss);
+    true
 }
 
 #[cfg(test)]

@@ -90,6 +90,14 @@ pub struct OperatorLatency {
     /// Adaptive-window congestion back-offs this operator's queries
     /// performed.
     pub window_shrinks: u64,
+    /// Answered / addressed partition legs over this operator's queries —
+    /// 1.0 on a healthy network, below it when dead partitions dropped
+    /// branches or deadlines forfeited them.
+    pub completeness: f64,
+    /// Replica-fallback retries this operator's queries performed.
+    pub retries: u64,
+    /// Queries of this operator that returned a knowingly partial result.
+    pub gave_up: u64,
 }
 
 #[cfg(test)]

@@ -27,6 +27,13 @@ pub const CLIENT_STREAM: u64 = 0x00C1_1E47;
 /// `derive(seed, FORK_STREAM, i)` when the caller asks for divergence.
 pub const FORK_STREAM: u64 = 0x00F0_524B;
 
+/// Stream namespace for fault-plan scripting (event-time jitter in
+/// [`FaultPlan::periodic`](crate::FaultPlan::periodic)): period `k` of a
+/// plan built under `seed` jitters under `derive(seed, FAULT_STREAM, k)`.
+/// Distinct from the client and fork namespaces so the same user seed
+/// never phase-locks fault times to arrival times.
+pub const FAULT_STREAM: u64 = 0x00FA_017E;
+
 /// Derive the seed for stream `idx` of namespace `stream` from the
 /// user-facing `seed`.
 ///
@@ -103,6 +110,8 @@ mod tests {
         let seed = 1234;
         for i in 0..256 {
             assert_ne!(derive(seed, CLIENT_STREAM, i), derive(seed, FORK_STREAM, i));
+            assert_ne!(derive(seed, CLIENT_STREAM, i), derive(seed, FAULT_STREAM, i));
+            assert_ne!(derive(seed, FORK_STREAM, i), derive(seed, FAULT_STREAM, i));
         }
     }
 

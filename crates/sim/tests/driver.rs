@@ -106,10 +106,7 @@ fn churn_mid_workload_terminates_deterministically() {
             clients: 5,
             queries_per_client: 4,
             arrival: Arrival::Poisson { mean_interarrival_us: 5_000 },
-            churn: vec![
-                ChurnEvent { at_us: 8_000, fail_fraction: 0.15 },
-                ChurnEvent { at_us: 20_000, fail_fraction: 0.15 },
-            ],
+            churn: vec![ChurnEvent::kill(8_000, 0.15), ChurnEvent::kill(20_000, 0.15)],
             ..DriverConfig::default()
         };
         run_driver(&mut e, "word", &words, &cfg)

@@ -90,7 +90,13 @@ use std::fmt;
 
 /// Version of the artifact layout. Bump on any wire-format change;
 /// [`Snapshot::from_bytes`] refuses other versions outright.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// v2: query stats carry the degradation counters
+/// (`partitions_addressed` / `partitions_answered` / `retries` /
+/// `gave_up`), driver checkpoints carry the early/late phase
+/// accumulators, repair totals and diagnostics, and pending fault /
+/// fault-clear events serialize alongside arrivals and churn.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Artifact magic: "SQO SNapshot".
 pub const MAGIC: [u8; 4] = *b"SQSN";

@@ -31,7 +31,7 @@ use sqo_cache::{
     PartitionChannel, SketchState,
 };
 use sqo_overlay::{Key, Metrics, NetworkConfig, NetworkState, PeerId, PeerLoad, SimLatency};
-use sqo_sim::driver::{DriverCheckpoint, EvSnap, HistParts};
+use sqo_sim::driver::{DriverCheckpoint, EvSnap, HistParts, RepairTotals};
 use sqo_sim::scale::{ScaleCheckpoint, ScaleEv};
 use sqo_sim::{NetSimState, QueueState};
 use sqo_storage::{BaseKind, Posting, Triple, TripleRef, Value};
@@ -653,6 +653,10 @@ fn query_stats(e: &mut Enc, s: &QueryStats) {
     e.u64(s.probes_coalesced);
     e.usize(s.join_window_peak);
     e.u64(s.join_window_shrinks);
+    e.u64(s.partitions_addressed);
+    e.u64(s.partitions_answered);
+    e.u64(s.retries);
+    e.u64(s.gave_up);
 }
 
 fn de_query_stats(d: &mut Dec<'_>) -> R<QueryStats> {
@@ -669,6 +673,10 @@ fn de_query_stats(d: &mut Dec<'_>) -> R<QueryStats> {
         probes_coalesced: d.u64()?,
         join_window_peak: d.usize()?,
         join_window_shrinks: d.u64()?,
+        partitions_addressed: d.u64()?,
+        partitions_answered: d.u64()?,
+        retries: d.u64()?,
+        gave_up: d.u64()?,
     })
 }
 
@@ -686,6 +694,22 @@ fn hist(e: &mut Enc, h: &HistParts) {
 
 fn de_hist(d: &mut Dec<'_>) -> R<HistParts> {
     Ok((d.u64()?, d.u64()?, d.u64()?, d.u64()?, d.seq(|d| Ok((d.u32()?, d.u64()?)))?))
+}
+
+fn repair_totals(e: &mut Enc, r: &RepairTotals) {
+    for v in [r.passes, r.recruited, r.bytes_copied, r.lost_partitions, r.unfilled_deficits] {
+        e.u64(v);
+    }
+}
+
+fn de_repair_totals(d: &mut Dec<'_>) -> R<RepairTotals> {
+    Ok(RepairTotals {
+        passes: d.u64()?,
+        recruited: d.u64()?,
+        bytes_copied: d.u64()?,
+        lost_partitions: d.u64()?,
+        unfilled_deficits: d.u64()?,
+    })
 }
 
 fn netsim_state(e: &mut Enc, s: &NetSimState) {
@@ -728,6 +752,14 @@ pub fn driver_checkpoint(e: &mut Enc, c: &DriverCheckpoint) {
                 e.u8(1);
                 e.u32(*idx);
             }
+            EvSnap::Fault { idx } => {
+                e.u8(2);
+                e.u32(*idx);
+            }
+            EvSnap::FaultClear { idx } => {
+                e.u8(3);
+                e.u32(*idx);
+            }
         }
     });
     e.seq(&c.issued, |e, v| e.u64(*v));
@@ -743,6 +775,12 @@ pub fn driver_checkpoint(e: &mut Enc, c: &DriverCheckpoint) {
     e.u64(c.queries_run);
     e.u64(c.first_start);
     e.u64(c.last_end);
+    hist(e, &c.early.0);
+    query_stats(e, &c.early.1);
+    hist(e, &c.late.0);
+    query_stats(e, &c.late.1);
+    repair_totals(e, &c.repair);
+    e.seq(&c.diagnostics, |e, s| e.str(s));
     netsim_state(e, &c.netsim);
 }
 
@@ -758,6 +796,8 @@ pub fn de_driver_checkpoint(d: &mut Dec<'_>) -> R<DriverCheckpoint> {
             match d.u8()? {
                 0 => EvSnap::Arrive { client: d.u32()? },
                 1 => EvSnap::Churn { idx: d.u32()? },
+                2 => EvSnap::Fault { idx: d.u32()? },
+                3 => EvSnap::FaultClear { idx: d.u32()? },
                 _ => return Err(SnapError::Corrupt("event tag out of range")),
             },
         ))
@@ -773,6 +813,10 @@ pub fn de_driver_checkpoint(d: &mut Dec<'_>) -> R<DriverCheckpoint> {
         queries_run: d.u64()?,
         first_start: d.u64()?,
         last_end: d.u64()?,
+        early: (de_hist(d)?, de_query_stats(d)?),
+        late: (de_hist(d)?, de_query_stats(d)?),
+        repair: de_repair_totals(d)?,
+        diagnostics: d.seq(|d| d.string())?,
         netsim: de_netsim_state(d)?,
     })
 }

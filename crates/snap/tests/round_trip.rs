@@ -6,10 +6,12 @@
 use sqo_cache::BrokerConfig;
 use sqo_core::{EngineBuilder, SimilarityEngine};
 use sqo_datasets::{bible_words, string_rows};
+use sqo_sim::driver::EvSnap;
 use sqo_sim::scale::{resume_serial, resume_sharded, run_serial, run_serial_until, ScalePhase};
 use sqo_sim::{
     resume_driver, run_driver, run_driver_until, seed, Arrival, ChurnEvent, DriverConfig,
-    DriverPhase, DriverReport, LatencyModel, ScaleConfig, SimConfig, Topology,
+    DriverPhase, DriverReport, FaultEvent, FaultKind, FaultPlan, LatencyModel, LossModel,
+    ScaleConfig, SimConfig, Topology,
 };
 use sqo_snap::{SnapError, Snapshot, SCHEMA_VERSION};
 
@@ -39,10 +41,7 @@ fn workload(cache: BrokerConfig, shards: usize) -> DriverConfig {
         // the round trip) plus a far-future one: the latter keeps the
         // queue non-empty until every query has completed, so a quiesce
         // boundary at `stop_us` is guaranteed to exist.
-        churn: vec![
-            ChurnEvent { at_us: 150_000, fail_fraction: 0.05 },
-            ChurnEvent { at_us: 10_000_000, fail_fraction: 0.01 },
-        ],
+        churn: vec![ChurnEvent::kill(150_000, 0.05), ChurnEvent::kill(10_000_000, 0.01)],
         cache,
         sticky_initiators: true,
         shards,
@@ -101,6 +100,71 @@ fn paused_run_resumes_to_a_byte_identical_report() {
             );
         }
     }
+}
+
+/// The robustness extension of the tentpole pin: checkpoint **in the
+/// middle of a fault plan** — after a crash wave, a partition wipe and a
+/// revival, with a loss spike still in force and self-healing repair
+/// enabled — and the resumed run must still be byte-identical to the
+/// uninterrupted one. This exercises the fault/fault-clear event images,
+/// the repair/phase/diagnostic checkpoint fields, and the resume-side
+/// re-arming of an active loss spike.
+#[test]
+fn checkpoint_mid_fault_plan_resumes_byte_identically() {
+    let words = words();
+    let mut cfg = workload(BrokerConfig::default(), 2);
+    cfg.repair = Some(sqo_overlay::ReplicationPolicy::default());
+    cfg.faults = FaultPlan {
+        events: vec![
+            FaultEvent { at_us: 80_000, kind: FaultKind::Crash { fraction: 0.1 } },
+            FaultEvent { at_us: 120_000, kind: FaultKind::WipePartition { part: 3 } },
+            FaultEvent {
+                at_us: 400_000,
+                kind: FaultKind::LossSpike {
+                    loss: LossModel { p: 0.1, timeout_us: 30_000, max_retries: 2 },
+                    duration_us: 1_500_000,
+                },
+            },
+            FaultEvent { at_us: 900_000, kind: FaultKind::Revive { fraction: 0.5 } },
+        ],
+    };
+
+    let mut uninterrupted = build(&words);
+    let report = run_driver(&mut uninterrupted, "word", &words, &cfg);
+    let baseline = json(&report);
+    assert!(report.repair.is_some(), "repair totals ride the report when configured");
+
+    // Cut inside the loss spike's window [400ms, 1.9s): the checkpoint
+    // must carry the pending fault-clear and the resume must re-install
+    // the spike's loss model, not the baseline.
+    let mut paused = build(&words);
+    let ckpt = match run_driver_until(&mut paused, "word", &words, &cfg, 1_000_000) {
+        DriverPhase::Paused(ck) => ck,
+        DriverPhase::Done(_) => panic!("a cut at 1s must land mid-run"),
+    };
+    let pending_clear =
+        ckpt.queue.entries.iter().any(|(_, _, _, ev)| matches!(ev, EvSnap::FaultClear { .. }));
+    assert!(pending_clear, "the cut landed inside the loss spike");
+    assert!(
+        !ckpt
+            .queue
+            .entries
+            .iter()
+            .any(|(at, _, _, ev)| matches!(ev, EvSnap::Fault { .. }) && *at < 1_000_000),
+        "all scripted faults before the cut have fired"
+    );
+
+    let bytes = Snapshot::capture_paused(&paused, ckpt).to_bytes();
+    let snap = Snapshot::from_bytes(&bytes).expect("artifact decodes");
+    let mut thawed = snap.restore_engine(paused.config());
+    let resumed = resume_driver(
+        &mut thawed,
+        "word",
+        &words,
+        &cfg,
+        snap.driver.clone().expect("driver image rides along"),
+    );
+    assert_eq!(json(&resumed), baseline, "mid-fault-plan resume diverged");
 }
 
 /// Warm one world, fork N runs off it: same-config forks are mutually

@@ -33,7 +33,7 @@ fn main() {
             latency: LatencyModel::Uniform { min_us: 500, max_us: 2_500 },
             ..SimConfig::default()
         },
-        churn: vec![ChurnEvent { at_us: 150_000, fail_fraction: 0.05 }],
+        churn: vec![ChurnEvent::kill(150_000, 0.05)],
         seed: 42,
         ..DriverConfig::default()
     };

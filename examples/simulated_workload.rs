@@ -22,7 +22,7 @@ fn main() {
             latency: LatencyModel::LogNormal { median_us: 1_500.0, sigma: 0.8 },
             ..SimConfig::default()
         },
-        churn: vec![ChurnEvent { at_us: 50_000, fail_fraction: 0.1 }],
+        churn: vec![ChurnEvent::kill(50_000, 0.1)],
         ..DriverConfig::default()
     };
     let report = run_driver(&mut engine, "word", &words, &cfg);

@@ -1,0 +1,167 @@
+//! End-to-end acceptance for the deterministic fault-injection harness
+//! (PR 10): seeded fault runs replay byte-identically, an empty fault
+//! plan with a repair policy installed is indistinguishable from a run
+//! without any fault machinery, repair activity is visible in both the
+//! metric registry and the trace stream, sticky clients survive the death
+//! of their entry peer, and revivals restore crashed peers.
+
+use sqo_core::{DegradePolicy, EngineBuilder, SimilarityEngine};
+use sqo_datasets::{bible_words, string_rows};
+use sqo_overlay::ReplicationPolicy;
+use sqo_sim::{
+    run_driver, Arrival, DriverConfig, DriverReport, FaultEvent, FaultKind, FaultPlan,
+    LatencyModel, RepairTotals, SimConfig, TraceCollector,
+};
+
+const PEERS: usize = 64;
+
+fn engine(words: &[String]) -> SimilarityEngine {
+    let rows = string_rows("word", words, "w");
+    EngineBuilder::new()
+        .peers(PEERS)
+        .replication(4)
+        .q(2)
+        .seed(9)
+        .degrade(DegradePolicy { retries: 2, backoff_us: 500, deadline_us: None })
+        .build_with_rows(&rows)
+}
+
+fn base_cfg() -> DriverConfig {
+    DriverConfig {
+        clients: 4,
+        queries_per_client: 6,
+        arrival: Arrival::Poisson { mean_interarrival_us: 40_000 },
+        sim: SimConfig {
+            latency: LatencyModel::Uniform { min_us: 200, max_us: 2_000 },
+            ..SimConfig::default()
+        },
+        seed: 29,
+        ..DriverConfig::default()
+    }
+}
+
+fn crash_waves() -> FaultPlan {
+    FaultPlan::periodic(29, 300_000, 60_000, 0.08, 0.0)
+}
+
+#[test]
+fn same_seed_fault_runs_replay_byte_identically() {
+    let words = bible_words(350, 17);
+    let run = || {
+        let mut e = engine(&words);
+        let cfg = DriverConfig {
+            faults: crash_waves(),
+            repair: Some(ReplicationPolicy { min_alive: 2 }),
+            sticky_initiators: true,
+            ..base_cfg()
+        };
+        run_driver(&mut e, "word", &words, &cfg)
+    };
+    let a = serde_json::to_string(&run()).unwrap();
+    let b = serde_json::to_string(&run()).unwrap();
+    assert_eq!(a, b, "same plan + same seed must serialize byte-identically");
+}
+
+#[test]
+fn empty_fault_plan_with_repair_installed_changes_nothing() {
+    let words = bible_words(350, 17);
+    let run = |repair: Option<ReplicationPolicy>| {
+        let mut e = engine(&words);
+        let cfg = DriverConfig { faults: FaultPlan::default(), repair, ..base_cfg() };
+        run_driver(&mut e, "word", &words, &cfg)
+    };
+    let plain = run(None);
+    let armed = run(Some(ReplicationPolicy { min_alive: 2 }));
+
+    // The armed run reports repair totals — all zero, nothing ever fired.
+    assert_eq!(plain.repair, None);
+    assert_eq!(armed.repair, Some(RepairTotals::default()));
+
+    // Every measured surface of the two runs is identical.
+    let view = |r: &DriverReport| {
+        (
+            serde_json::to_string(&r.overall).unwrap(),
+            serde_json::to_string(&r.per_operator).unwrap(),
+            serde_json::to_string(&r.total).unwrap(),
+            serde_json::to_string(&r.phases).unwrap(),
+            r.queries_run,
+            r.virtual_span_us,
+            r.diagnostics.clone(),
+        )
+    };
+    assert_eq!(view(&plain), view(&armed), "zero-fault equivalence violated");
+}
+
+#[test]
+fn repair_activity_is_visible_in_metrics_and_traces() {
+    let words = bible_words(350, 17);
+    let mut e = engine(&words);
+    let collector = TraceCollector::shared();
+    e.network_mut().set_trace_sink(TraceCollector::as_sink(&collector));
+    let cfg = DriverConfig {
+        faults: crash_waves(),
+        repair: Some(ReplicationPolicy { min_alive: 2 }),
+        sticky_initiators: true,
+        ..base_cfg()
+    };
+    let report = run_driver(&mut e, "word", &words, &cfg);
+
+    let totals = report.repair.expect("repair totals when a policy is configured");
+    assert!(totals.passes > 0, "crash waves must trigger repair passes");
+    assert_eq!(report.metrics.counter("repair.passes"), totals.passes);
+    assert_eq!(report.metrics.counter("repair.recruited"), totals.recruited);
+    assert_eq!(report.metrics.counter("repair.bytes_copied"), totals.bytes_copied);
+
+    let jsonl = collector.borrow().to_jsonl();
+    assert!(jsonl.contains("\"fault\""), "fault events must appear in the trace");
+    assert!(jsonl.contains("\"repair\""), "repair recruitment must be blame-tagged in the trace");
+}
+
+#[test]
+fn sticky_clients_repin_when_their_entry_peer_dies() {
+    let words = bible_words(350, 17);
+    let run = |sticky: bool| {
+        let mut e = engine(&words);
+        let cfg = DriverConfig {
+            // Heavy waves: ~5 peers die every 30ms of a 240ms horizon, so
+            // some client's pinned entry peer dies mid-run.
+            faults: FaultPlan::periodic(29, 240_000, 30_000, 0.08, 0.0),
+            repair: Some(ReplicationPolicy { min_alive: 2 }),
+            sticky_initiators: sticky,
+            ..base_cfg()
+        };
+        run_driver(&mut e, "word", &words, &cfg)
+    };
+    let sticky = run(true);
+    assert_eq!(sticky.queries_run, 24, "every query must still run");
+    assert!(
+        sticky.diagnostics.iter().any(|d| d.contains("re-pinned")),
+        "a dead entry peer must be recorded as a re-pin diagnostic: {:?}",
+        sticky.diagnostics
+    );
+    // Non-sticky arrivals draw a fresh alive peer each time — no re-pins.
+    let roaming = run(false);
+    assert!(roaming.diagnostics.iter().all(|d| !d.contains("re-pinned")));
+}
+
+#[test]
+fn revive_events_restore_crashed_peers() {
+    let words = bible_words(350, 17);
+    let mut e = engine(&words);
+    let cfg = DriverConfig {
+        faults: FaultPlan {
+            events: vec![
+                FaultEvent { at_us: 50_000, kind: FaultKind::Crash { fraction: 0.3 } },
+                FaultEvent { at_us: 120_000, kind: FaultKind::Revive { fraction: 1.0 } },
+            ],
+        },
+        ..base_cfg()
+    };
+    let report = run_driver(&mut e, "word", &words, &cfg);
+    assert_eq!(report.queries_run, 24);
+    assert_eq!(
+        e.network().alive_peers(),
+        PEERS,
+        "a full revival must bring every crashed peer back"
+    );
+}

@@ -134,3 +134,69 @@ fn traced_driver_run_exports_loadable_chrome_trace() {
         assert!(flame.lines().count() > 1, "flame has spans for query {q}:\n{flame}");
     }
 }
+
+/// Under partition loss the observation lines surface the degradation
+/// machinery: legs retried under the engine's `DegradePolicy`, legs that
+/// exhausted the budget, and the answered/addressed completeness
+/// shortfall. On a healthy run (the golden above) none of these
+/// annotations appear.
+#[test]
+fn explain_analyze_annotates_degraded_stages() {
+    let mut engine = EngineBuilder::new()
+        .peers(16)
+        .q(2)
+        .seed(5)
+        // Delegation off: one leg per gram key, so the tight deadline
+        // below finds un-issued legs to forfeit.
+        .delegation(false)
+        .degrade(sqo::core::DegradePolicy {
+            retries: 1,
+            backoff_us: 100,
+            // The deadline lands after the gram-probe round (1ms constant
+            // latency) but before the candidate fetches: the fetch fan is
+            // forfeited wholesale, exercising `gave_up`.
+            deadline_us: Some(1_050),
+        })
+        .build_with_rows(&market_rows());
+    install(
+        &mut engine,
+        SimConfig { latency: LatencyModel::Constant { us: 1_000 }, ..SimConfig::default() },
+    );
+    // First render: wipe the upper half of the key space. The gram
+    // probes still answer (their postings live in the lower half for
+    // this seed) and produce a candidate, but the deadline expires
+    // during the probe round, so the candidate-fetch fan is forfeited.
+    let partitions = engine.network().partition_count();
+    for part in partitions / 2..partitions {
+        engine.network_mut().fail_partition(part);
+    }
+    let q = Query::similar("mueller", Some("name"), 1);
+    let deadline_cut = {
+        let mut session = Session::new(&mut engine, PeerId(0));
+        session.explain_analyze(&q).expect("degraded plans still execute")
+    };
+    assert!(
+        deadline_cut.contains(" gave_up="),
+        "forfeited fetch fan must be annotated:\n{deadline_cut}"
+    );
+    assert!(
+        deadline_cut.contains(" partial="),
+        "completeness loss must be annotated:\n{deadline_cut}"
+    );
+
+    // Second render: also wipe partitions 1–3, which sit on every route
+    // toward the gram postings. Now each probe leg fails, burns its
+    // retry, and is counted addressed-but-unanswered.
+    for part in 1..4 {
+        engine.network_mut().fail_partition(part);
+    }
+    let route_failed = {
+        let mut session = Session::new(&mut engine, PeerId(0));
+        session.explain_analyze(&q).expect("degraded plans still execute")
+    };
+    assert!(route_failed.contains(" retries="), "retried legs must be annotated:\n{route_failed}");
+    assert!(
+        route_failed.contains(" partial=0/"),
+        "fully silenced probes must show zero answered legs:\n{route_failed}"
+    );
+}

@@ -24,7 +24,7 @@ fn load(name: &str) -> Json {
 
 #[test]
 fn committed_baselines_pass_against_themselves() {
-    for name in ["BENCH_latency.json", "BENCH_simscale.json"] {
+    for name in ["BENCH_latency.json", "BENCH_simscale.json", "BENCH_churn.json"] {
         let a = load(name);
         let rep = compare_artifacts(&a, &a, &GateConfig::default());
         assert_eq!(rep.exit_code(), EXIT_OK, "{name}: {}", rep.render());
@@ -34,7 +34,7 @@ fn committed_baselines_pass_against_themselves() {
 
 #[test]
 fn injected_regression_fails_the_gate() {
-    for name in ["BENCH_latency.json", "BENCH_simscale.json"] {
+    for name in ["BENCH_latency.json", "BENCH_simscale.json", "BENCH_churn.json"] {
         let a = load(name);
         let hurt = inject_regression(&a, 1.15);
         let rep = compare_artifacts(&a, &hurt, &GateConfig::default());
@@ -50,7 +50,7 @@ fn injected_regression_fails_the_gate() {
 
 #[test]
 fn mismatched_baseline_is_refused_not_diffed() {
-    for name in ["BENCH_latency.json", "BENCH_simscale.json"] {
+    for name in ["BENCH_latency.json", "BENCH_simscale.json", "BENCH_churn.json"] {
         let a = load(name);
         let reseeded = perturb_seed(&a);
         let rep = compare_artifacts(&reseeded, &a, &GateConfig::default());
@@ -61,7 +61,7 @@ fn mismatched_baseline_is_refused_not_diffed() {
 
 #[test]
 fn artifacts_carry_the_generation_envelope() {
-    for name in ["BENCH_latency.json", "BENCH_simscale.json"] {
+    for name in ["BENCH_latency.json", "BENCH_simscale.json", "BENCH_churn.json"] {
         let a = load(name);
         assert_eq!(
             a.get("schema_version").and_then(Json::as_u64),
@@ -79,7 +79,7 @@ fn artifacts_carry_the_generation_envelope() {
 
 #[test]
 fn gate_selftest_is_healthy_on_committed_artifacts() {
-    for name in ["BENCH_latency.json", "BENCH_simscale.json"] {
+    for name in ["BENCH_latency.json", "BENCH_simscale.json", "BENCH_churn.json"] {
         let failures = selftest(&load(name), &GateConfig::default());
         assert!(failures.is_empty(), "{name}: {failures:?}");
     }
